@@ -1,0 +1,17 @@
+//! Criterion bench for the Sec. IV-F ablation pipeline: training the compact
+//! inverted-norm CNN with one initialization setting at quick scale.
+use criterion::{criterion_group, criterion_main, Criterion};
+use invnorm_bench::experiments::ablation;
+use invnorm_bench::ExperimentScale;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("init_ablation_quick", |b| {
+        b.iter(|| ablation::run_init(&ExperimentScale::quick()).unwrap().len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench for the Fig. 1 pipeline: bit-flip injection plus a full
+//! forward pass collecting the output distribution.
+use criterion::{criterion_group, criterion_main, Criterion};
+use invnorm_bench::tasks::ImageTask;
+use invnorm_bench::ExperimentScale;
+use invnorm_imc::injector::WeightFaultInjector;
+use invnorm_models::NormVariant;
+use invnorm_nn::layer::{Layer, Mode};
+use invnorm_tensor::Rng;
+
+fn bench_fig1(c: &mut Criterion) {
+    let scale = ExperimentScale::quick();
+    let task = ImageTask::prepare(&scale);
+    let mut model = task.build(NormVariant::Conventional).unwrap();
+    let mut group = c.benchmark_group("fig1");
+    group.sample_size(10);
+    group.bench_function("bitflip_inject_and_forward", |b| {
+        b.iter(|| {
+            let fault = invnorm_bench::faults::bitflip_for(&model, 0.1);
+            let mut injector = WeightFaultInjector::new(fault);
+            let mut rng = Rng::seed_from(1);
+            injector.inject(&mut model, &mut rng).unwrap();
+            let out = model
+                .forward(&task.split.test_inputs, Mode::Eval)
+                .unwrap()
+                .sum();
+            injector.restore(&mut model).unwrap();
+            out
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench for the Fig. 5 pipeline: one Monte-Carlo robustness point
+//! (image task, proposed variant) at quick scale.
+use criterion::{criterion_group, criterion_main, Criterion};
+use invnorm_bench::faults::evaluate_under_fault;
+use invnorm_bench::tasks::ImageTask;
+use invnorm_bench::ExperimentScale;
+use invnorm_imc::FaultModel;
+use invnorm_models::NormVariant;
+
+fn bench_fig5(c: &mut Criterion) {
+    let scale = ExperimentScale::quick();
+    let task = ImageTask::prepare(&scale);
+    let mut model = task.train(NormVariant::proposed()).unwrap();
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("mc_point_binary_bitflip_10pct", |b| {
+        b.iter(|| {
+            evaluate_under_fault(
+                &mut model,
+                FaultModel::BinaryBitFlip { rate: 0.1 },
+                scale.mc_runs,
+                42,
+                |m| task.accuracy(m),
+            )
+            .unwrap()
+            .mean
+        })
+    });
+    group.bench_function("mc_point_preactivation_variation", |b| {
+        b.iter(|| {
+            evaluate_under_fault(
+                &mut model,
+                FaultModel::AdditiveVariation { sigma: 0.4 },
+                scale.mc_runs,
+                42,
+                |m| task.accuracy(m),
+            )
+            .unwrap()
+            .mean
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench for the Fig. 6 pipeline: one Monte-Carlo robustness point
+//! (CO₂/LSTM task, proposed variant) at quick scale.
+use criterion::{criterion_group, criterion_main, Criterion};
+use invnorm_bench::faults::evaluate_under_fault;
+use invnorm_bench::tasks::Co2Task;
+use invnorm_bench::ExperimentScale;
+use invnorm_imc::FaultModel;
+use invnorm_models::NormVariant;
+
+fn bench_fig6(c: &mut Criterion) {
+    let scale = ExperimentScale::quick();
+    let task = Co2Task::prepare(&scale);
+    let mut model = task.train(NormVariant::proposed()).unwrap();
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("mc_point_lstm_additive_variation", |b| {
+        b.iter(|| {
+            evaluate_under_fault(
+                &mut model,
+                FaultModel::AdditiveVariation { sigma: 0.3 },
+                scale.mc_runs,
+                7,
+                |m| task.rmse(m),
+            )
+            .unwrap()
+            .mean
+        })
+    });
+    group.bench_function("mc_point_lstm_bitflip", |b| {
+        b.iter(|| {
+            evaluate_under_fault(
+                &mut model,
+                FaultModel::BitFlip { rate: 0.1, bits: 8 },
+                scale.mc_runs,
+                7,
+                |m| task.rmse(m),
+            )
+            .unwrap()
+            .mean
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench for the Fig. 7 pipeline: rotating the test set and running
+//! a Monte-Carlo Bayesian prediction on it.
+use criterion::{criterion_group, criterion_main, Criterion};
+use invnorm_bench::tasks::ImageTask;
+use invnorm_bench::ExperimentScale;
+use invnorm_datasets::ood::rotate_images;
+use invnorm_models::NormVariant;
+
+fn bench_fig7(c: &mut Criterion) {
+    let scale = ExperimentScale::quick();
+    let task = ImageTask::prepare(&scale);
+    let mut model = task.train(NormVariant::proposed()).unwrap();
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.bench_function("rotate_and_mc_predict", |b| {
+        b.iter(|| {
+            let rotated = rotate_images(&task.split.test_inputs, 35.0);
+            task.predict(&mut model, &rotated)
+                .unwrap()
+                .nll(&task.split.test_labels)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Micro-benchmarks of the building blocks: inverted normalization vs batch
+//! normalization forward passes, Monte-Carlo Bayesian inference, and the
+//! crossbar analog matrix-vector product.
+use criterion::{criterion_group, criterion_main, Criterion};
+use invnorm_core::bayesian::BayesianPredictor;
+use invnorm_core::{InvNormConfig, InvertedNorm};
+use invnorm_imc::crossbar::{CrossbarArray, CrossbarConfig};
+use invnorm_nn::layer::{Layer, Mode};
+use invnorm_nn::linear::Linear;
+use invnorm_nn::norm::BatchNorm;
+use invnorm_nn::Sequential;
+use invnorm_tensor::{ops, Rng, Tensor};
+
+fn bench_layers(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(0);
+    let x = Tensor::randn(&[8, 32, 16, 16], 0.0, 1.0, &mut rng);
+
+    let mut group = c.benchmark_group("layer_throughput");
+    group.sample_size(20);
+
+    let mut inverted = InvertedNorm::new(32, &InvNormConfig::default(), &mut rng).unwrap();
+    group.bench_function("inverted_norm_forward", |b| {
+        b.iter(|| inverted.forward(&x, Mode::Eval).unwrap().sum())
+    });
+
+    let mut batchnorm = BatchNorm::new(32);
+    group.bench_function("batch_norm_forward", |b| {
+        b.iter(|| batchnorm.forward(&x, Mode::Train).unwrap().sum())
+    });
+
+    // Monte-Carlo inference over a small stochastic MLP.
+    let mut net = Sequential::new();
+    net.push(Box::new(
+        InvertedNorm::new(64, &InvNormConfig::default(), &mut rng).unwrap(),
+    ));
+    net.push(Box::new(Linear::new(64, 10, &mut rng)));
+    let inputs = Tensor::randn(&[32, 64], 0.0, 1.0, &mut rng);
+    group.bench_function("bayesian_mc_inference_20_passes", |b| {
+        b.iter(|| {
+            BayesianPredictor::new(20)
+                .predict_classification(&mut net, &inputs)
+                .unwrap()
+                .entropy
+                .len()
+        })
+    });
+
+    // Crossbar analog MVM vs the dense reference.
+    let weights = Tensor::randn(&[64, 64], 0.0, 0.5, &mut rng);
+    let array = CrossbarArray::program(&weights, CrossbarConfig::default(), &mut rng).unwrap();
+    let batch = Tensor::randn(&[16, 64], 0.0, 1.0, &mut rng);
+    group.bench_function("crossbar_matvec", |b| {
+        b.iter(|| array.matvec(&batch).unwrap().sum())
+    });
+    group.bench_function("dense_matmul_reference", |b| {
+        b.iter(|| ops::matmul(&batch, &weights).unwrap().sum())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_layers);
+criterion_main!(benches);

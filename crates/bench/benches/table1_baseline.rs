@@ -1,0 +1,29 @@
+//! Criterion bench for the Table I pipeline: time to train and evaluate one
+//! model variant on one task at quick scale.
+use criterion::{criterion_group, criterion_main, Criterion};
+use invnorm_bench::tasks::ImageTask;
+use invnorm_bench::ExperimentScale;
+use invnorm_models::NormVariant;
+
+fn bench_table1(c: &mut Criterion) {
+    let scale = ExperimentScale::quick();
+    let task = ImageTask::prepare(&scale);
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("train_and_eval_proposed_image", |b| {
+        b.iter(|| {
+            let mut model = task.train(NormVariant::proposed()).unwrap();
+            task.accuracy(&mut model).unwrap()
+        })
+    });
+    group.bench_function("train_and_eval_conventional_image", |b| {
+        b.iter(|| {
+            let mut model = task.train(NormVariant::Conventional).unwrap();
+            task.accuracy(&mut model).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Extra ablation: affine-dropout rate and granularity (paper Sec. III-B).
+use invnorm_bench::experiments::{ablation, print_and_save};
+use invnorm_bench::ExperimentScale;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    match ablation::run_dropout(&scale) {
+        Ok(tables) => print_and_save(&tables, "ablation_dropout"),
+        Err(err) => {
+            eprintln!("dropout ablation failed: {err}");
+            std::process::exit(1);
+        }
+    }
+}

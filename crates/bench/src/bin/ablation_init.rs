@@ -1,0 +1,14 @@
+//! Regenerates the paper's Sec. IV-F initialization ablation.
+use invnorm_bench::experiments::{ablation, print_and_save};
+use invnorm_bench::ExperimentScale;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    match ablation::run_init(&scale) {
+        Ok(tables) => print_and_save(&tables, "ablation_init"),
+        Err(err) => {
+            eprintln!("init ablation failed: {err}");
+            std::process::exit(1);
+        }
+    }
+}

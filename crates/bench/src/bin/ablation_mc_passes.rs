@@ -1,0 +1,15 @@
+//! Extra ablation: number of Monte-Carlo forward passes used for Bayesian
+//! inference (clean accuracy and accuracy under 10 % bit flips).
+use invnorm_bench::experiments::{ablation, print_and_save};
+use invnorm_bench::ExperimentScale;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    match ablation::run_mc_passes(&scale) {
+        Ok(tables) => print_and_save(&tables, "ablation_mc_passes"),
+        Err(err) => {
+            eprintln!("MC-pass ablation failed: {err}");
+            std::process::exit(1);
+        }
+    }
+}

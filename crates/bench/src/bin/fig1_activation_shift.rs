@@ -1,0 +1,14 @@
+//! Regenerates the paper's Fig. 1 (weighted-sum distribution under bit flips).
+use invnorm_bench::experiments::{fig1, print_and_save};
+use invnorm_bench::ExperimentScale;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    match fig1::run(&scale) {
+        Ok(tables) => print_and_save(&tables, "fig1_activation_shift"),
+        Err(err) => {
+            eprintln!("fig1 experiment failed: {err}");
+            std::process::exit(1);
+        }
+    }
+}

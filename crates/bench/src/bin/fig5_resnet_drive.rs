@@ -1,0 +1,15 @@
+//! Regenerates the paper's Fig. 5 (image classification and segmentation
+//! robustness to bit flips and additive conductance variation).
+use invnorm_bench::experiments::{fig5, print_and_save};
+use invnorm_bench::ExperimentScale;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    match fig5::run(&scale) {
+        Ok(tables) => print_and_save(&tables, "fig5_robustness"),
+        Err(err) => {
+            eprintln!("fig5 experiment failed: {err}");
+            std::process::exit(1);
+        }
+    }
+}

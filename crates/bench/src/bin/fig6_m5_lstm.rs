@@ -1,0 +1,15 @@
+//! Regenerates the paper's Fig. 6 (audio classification and CO₂ forecasting
+//! robustness to bit flips, additive/multiplicative variation and uniform noise).
+use invnorm_bench::experiments::{fig6, print_and_save};
+use invnorm_bench::ExperimentScale;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    match fig6::run(&scale) {
+        Ok(tables) => print_and_save(&tables, "fig6_robustness"),
+        Err(err) => {
+            eprintln!("fig6 experiment failed: {err}");
+            std::process::exit(1);
+        }
+    }
+}

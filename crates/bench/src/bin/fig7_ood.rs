@@ -1,0 +1,15 @@
+//! Regenerates the paper's Fig. 7 (accuracy / NLL / OOD detection under
+//! rotation and uniform-noise distribution shift).
+use invnorm_bench::experiments::{fig7, print_and_save};
+use invnorm_bench::ExperimentScale;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    match fig7::run(&scale) {
+        Ok(tables) => print_and_save(&tables, "fig7_ood"),
+        Err(err) => {
+            eprintln!("fig7 experiment failed: {err}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Regenerates the paper's Table I (baseline fault-free performance).
+use invnorm_bench::experiments::{print_and_save, table1};
+use invnorm_bench::ExperimentScale;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    match table1::run(&scale) {
+        Ok(tables) => print_and_save(&tables, "table1_baseline"),
+        Err(err) => {
+            eprintln!("table1 experiment failed: {err}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Fig. 5 — robustness of the image classifier (ResNet/CIFAR-10 stand-in)
+//! and the segmentation network (U-Net/DRIVE stand-in) to bit-flip faults
+//! and additive conductance variation.
+//!
+//! Paper claim being reproduced: under increasing fault strength the proposed
+//! method degrades gracefully and retains a large margin (tens of accuracy
+//! points at the strongest faults) over the conventional NN and the
+//! Dropout-based BayNN baselines, with a narrower ± std band.
+
+use crate::experiments::compared_variants;
+use crate::faults::{bitflip_for, evaluate_under_fault, variation_sweep};
+use crate::report::Table;
+use crate::scale::ExperimentScale;
+use crate::tasks::{ImageTask, SegmentationTask};
+use crate::Result;
+use invnorm_models::{BuiltModel, NormVariant};
+
+/// Runs the Fig. 5 experiment: four tables (image × {bit-flip, variation},
+/// segmentation × {bit-flip, variation}).
+///
+/// # Errors
+///
+/// Returns an error when any model fails to build, train or evaluate.
+pub fn run(scale: &ExperimentScale) -> Result<Vec<Table>> {
+    let variants = compared_variants();
+    let mut tables = Vec::new();
+
+    // ---------------------------------------------------------------- image
+    {
+        let task = ImageTask::prepare(scale);
+        let mut models: Vec<(NormVariant, BuiltModel)> = Vec::new();
+        for &variant in &variants {
+            models.push((variant, task.train(variant)?));
+        }
+        tables.push(sweep_table(
+            "Fig. 5a — image classification accuracy vs bit-flip rate",
+            "Bit-flip rate",
+            &crate::faults::bitflip_rates(0.3, scale.sweep_points)
+                .iter()
+                .map(|r| format!("{:.1}%", r * 100.0))
+                .collect::<Vec<_>>(),
+            &mut models,
+            scale,
+            |model, level_index, scale| {
+                let rate = crate::faults::bitflip_rates(0.3, scale.sweep_points)[level_index];
+                let fault = bitflip_for(model, rate);
+                evaluate_under_fault(model, fault, scale.mc_runs, 50 + level_index as u64, |m| {
+                    task.accuracy(m)
+                })
+            },
+        )?);
+        tables.push(sweep_table(
+            "Fig. 5a — image classification accuracy vs additive variation σ",
+            "σ",
+            &sigma_labels(1.0, scale.sweep_points),
+            &mut models,
+            scale,
+            |model, level_index, scale| {
+                let fault = variation_sweep(1.0, scale.sweep_points)[level_index];
+                evaluate_under_fault(model, fault, scale.mc_runs, 150 + level_index as u64, |m| {
+                    task.accuracy(m)
+                })
+            },
+        )?);
+    }
+
+    // --------------------------------------------------------- segmentation
+    {
+        let task = SegmentationTask::prepare(scale);
+        let mut models: Vec<(NormVariant, BuiltModel)> = Vec::new();
+        for &variant in &variants {
+            models.push((variant, task.train(variant)?));
+        }
+        tables.push(sweep_table(
+            "Fig. 5b — segmentation mIoU vs bit-flip rate",
+            "Bit-flip rate",
+            &crate::faults::bitflip_rates(0.3, scale.sweep_points)
+                .iter()
+                .map(|r| format!("{:.1}%", r * 100.0))
+                .collect::<Vec<_>>(),
+            &mut models,
+            scale,
+            |model, level_index, scale| {
+                let rate = crate::faults::bitflip_rates(0.3, scale.sweep_points)[level_index];
+                let fault = bitflip_for(model, rate);
+                evaluate_under_fault(model, fault, scale.mc_runs, 250 + level_index as u64, |m| {
+                    task.mean_iou(m)
+                })
+            },
+        )?);
+        tables.push(sweep_table(
+            "Fig. 5b — segmentation mIoU vs additive variation σ",
+            "σ",
+            &sigma_labels(1.0, scale.sweep_points),
+            &mut models,
+            scale,
+            |model, level_index, scale| {
+                let fault = variation_sweep(1.0, scale.sweep_points)[level_index];
+                evaluate_under_fault(model, fault, scale.mc_runs, 350 + level_index as u64, |m| {
+                    task.mean_iou(m)
+                })
+            },
+        )?);
+    }
+
+    Ok(tables)
+}
+
+/// Labels for a σ sweep including the fault-free point.
+pub(crate) fn sigma_labels(max_sigma: f32, points: usize) -> Vec<String> {
+    let mut labels = vec!["0.00".to_string()];
+    for i in 1..=points.max(1) {
+        labels.push(format!("{:.2}", max_sigma * i as f32 / points.max(1) as f32));
+    }
+    labels
+}
+
+/// Builds one sweep table: a row per fault level, a `mean ± std` column per
+/// method.
+pub(crate) fn sweep_table<F>(
+    title: &str,
+    level_header: &str,
+    level_labels: &[String],
+    models: &mut [(NormVariant, BuiltModel)],
+    scale: &ExperimentScale,
+    mut evaluate: F,
+) -> Result<Table>
+where
+    F: FnMut(
+        &mut BuiltModel,
+        usize,
+        &ExperimentScale,
+    ) -> Result<invnorm_imc::montecarlo::MonteCarloSummary>,
+{
+    let mut headers: Vec<&str> = vec![level_header];
+    let variant_labels: Vec<&'static str> = models.iter().map(|(v, _)| v.label()).collect();
+    headers.extend(variant_labels.iter().copied());
+    let mut table = Table::new(title, &headers);
+    for (level_index, level_label) in level_labels.iter().enumerate() {
+        let mut row = vec![level_label.clone()];
+        for (_, model) in models.iter_mut() {
+            let summary = evaluate(model, level_index, scale)?;
+            row.push(Table::mean_std_cell(summary.mean, summary.std));
+        }
+        table.push_row(row);
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_fig5_produces_four_tables() {
+        let scale = ExperimentScale::quick();
+        let tables = run(&scale).unwrap();
+        assert_eq!(tables.len(), 4);
+        for table in &tables {
+            // Fault-free row + sweep points.
+            assert_eq!(table.len(), scale.sweep_points + 1);
+            assert!(table.to_text().contains("Proposed"));
+        }
+    }
+
+    #[test]
+    fn sigma_labels_include_zero() {
+        let labels = sigma_labels(1.0, 4);
+        assert_eq!(labels[0], "0.00");
+        assert_eq!(labels.len(), 5);
+        assert_eq!(labels[4], "1.00");
+    }
+}

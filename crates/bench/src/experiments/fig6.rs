@@ -1,0 +1,153 @@
+//! Fig. 6 — robustness of the audio classifier (M5/Speech-Commands stand-in)
+//! and the LSTM forecaster (CO₂ stand-in) to bit-flip faults and conductance
+//! variation (additive for both; multiplicative and uniform noise additionally
+//! for the LSTM, as in the paper).
+//!
+//! Paper claim being reproduced: the proposed method keeps accuracy high /
+//! RMSE low as the fault strength grows, while the conventional NN and the
+//! Dropout baselines degrade sharply; on the LSTM the proposed method reduces
+//! RMSE under both additive and multiplicative variation.
+
+use crate::experiments::compared_variants;
+use crate::experiments::fig5::{sigma_labels, sweep_table};
+use crate::faults::{
+    bitflip_for, evaluate_under_fault, multiplicative_sweep, uniform_noise_sweep, variation_sweep,
+};
+use crate::report::Table;
+use crate::scale::ExperimentScale;
+use crate::tasks::{AudioTask, Co2Task};
+use crate::Result;
+use invnorm_models::{BuiltModel, NormVariant};
+
+/// Runs the Fig. 6 experiment: five tables (audio × {bit-flip, additive},
+/// CO₂ × {bit-flip, additive, multiplicative + uniform}).
+///
+/// # Errors
+///
+/// Returns an error when any model fails to build, train or evaluate.
+pub fn run(scale: &ExperimentScale) -> Result<Vec<Table>> {
+    let variants = compared_variants();
+    let mut tables = Vec::new();
+
+    // ---------------------------------------------------------------- audio
+    {
+        let task = AudioTask::prepare(scale);
+        let mut models: Vec<(NormVariant, BuiltModel)> = Vec::new();
+        for &variant in &variants {
+            models.push((variant, task.train(variant)?));
+        }
+        tables.push(sweep_table(
+            "Fig. 6a — audio classification accuracy vs bit-flip rate",
+            "Bit-flip rate",
+            &crate::faults::bitflip_rates(0.3, scale.sweep_points)
+                .iter()
+                .map(|r| format!("{:.1}%", r * 100.0))
+                .collect::<Vec<_>>(),
+            &mut models,
+            scale,
+            |model, level_index, scale| {
+                let rate = crate::faults::bitflip_rates(0.3, scale.sweep_points)[level_index];
+                let fault = bitflip_for(model, rate);
+                evaluate_under_fault(model, fault, scale.mc_runs, 450 + level_index as u64, |m| {
+                    task.accuracy(m)
+                })
+            },
+        )?);
+        tables.push(sweep_table(
+            "Fig. 6a — audio classification accuracy vs additive variation σ",
+            "σ",
+            &sigma_labels(1.0, scale.sweep_points),
+            &mut models,
+            scale,
+            |model, level_index, scale| {
+                let fault = variation_sweep(1.0, scale.sweep_points)[level_index];
+                evaluate_under_fault(model, fault, scale.mc_runs, 550 + level_index as u64, |m| {
+                    task.accuracy(m)
+                })
+            },
+        )?);
+    }
+
+    // ------------------------------------------------------------------ CO₂
+    {
+        let task = Co2Task::prepare(scale);
+        let mut models: Vec<(NormVariant, BuiltModel)> = Vec::new();
+        for &variant in &variants {
+            models.push((variant, task.train(variant)?));
+        }
+        tables.push(sweep_table(
+            "Fig. 6b — CO₂ forecast RMSE vs bit-flip rate",
+            "Bit-flip rate",
+            &crate::faults::bitflip_rates(0.3, scale.sweep_points)
+                .iter()
+                .map(|r| format!("{:.1}%", r * 100.0))
+                .collect::<Vec<_>>(),
+            &mut models,
+            scale,
+            |model, level_index, scale| {
+                let rate = crate::faults::bitflip_rates(0.3, scale.sweep_points)[level_index];
+                let fault = bitflip_for(model, rate);
+                evaluate_under_fault(model, fault, scale.mc_runs, 650 + level_index as u64, |m| {
+                    task.rmse(m)
+                })
+            },
+        )?);
+        tables.push(sweep_table(
+            "Fig. 6b — CO₂ forecast RMSE vs additive variation σ",
+            "σ",
+            &sigma_labels(0.6, scale.sweep_points),
+            &mut models,
+            scale,
+            |model, level_index, scale| {
+                let fault = variation_sweep(0.6, scale.sweep_points)[level_index];
+                evaluate_under_fault(model, fault, scale.mc_runs, 750 + level_index as u64, |m| {
+                    task.rmse(m)
+                })
+            },
+        )?);
+        tables.push(sweep_table(
+            "Fig. 6b — CO₂ forecast RMSE vs multiplicative variation σ",
+            "σ",
+            &sigma_labels(0.6, scale.sweep_points),
+            &mut models,
+            scale,
+            |model, level_index, scale| {
+                let fault = multiplicative_sweep(0.6, scale.sweep_points)[level_index];
+                evaluate_under_fault(model, fault, scale.mc_runs, 850 + level_index as u64, |m| {
+                    task.rmse(m)
+                })
+            },
+        )?);
+        tables.push(sweep_table(
+            "Fig. 6b (extra) — CO₂ forecast RMSE vs uniform weight noise",
+            "Noise strength",
+            &sigma_labels(0.6, scale.sweep_points),
+            &mut models,
+            scale,
+            |model, level_index, scale| {
+                let fault = uniform_noise_sweep(0.6, scale.sweep_points)[level_index];
+                evaluate_under_fault(model, fault, scale.mc_runs, 950 + level_index as u64, |m| {
+                    task.rmse(m)
+                })
+            },
+        )?);
+    }
+
+    Ok(tables)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_fig6_produces_six_tables() {
+        let scale = ExperimentScale::quick();
+        let tables = run(&scale).unwrap();
+        assert_eq!(tables.len(), 6);
+        for table in &tables {
+            assert_eq!(table.len(), scale.sweep_points + 1);
+        }
+        assert!(tables[5].title().contains("uniform"));
+    }
+}

@@ -1,0 +1,107 @@
+//! Fig. 7 — uncertainty behaviour on out-of-distribution (OOD) data.
+//!
+//! Paper claims being reproduced: as the test distribution is shifted (by
+//! adding uniform noise or rotating the images in 7° stages), the accuracy
+//! of the Bayesian prediction decreases while its NLL increases, and
+//! thresholding the per-sample NLL at the in-distribution mean detects a
+//! large fraction of the OOD inputs (the paper reports up to 55 % for noise
+//! and 79 % for rotation).
+
+use crate::report::Table;
+use crate::scale::ExperimentScale;
+use crate::tasks::ImageTask;
+use crate::Result;
+use invnorm_core::ood::OodDetector;
+use invnorm_datasets::ood::{add_uniform_noise, noise_stages, paper_rotation_stages};
+use invnorm_models::NormVariant;
+use invnorm_tensor::Rng;
+
+/// Runs the Fig. 7 experiment: two tables (rotation sweep, noise sweep), each
+/// reporting accuracy, NLL and OOD-detection rate per shift stage.
+///
+/// # Errors
+///
+/// Returns an error when the model fails to build, train or evaluate.
+pub fn run(scale: &ExperimentScale) -> Result<Vec<Table>> {
+    let task = ImageTask::prepare(scale);
+    let mut model = task.train(NormVariant::proposed())?;
+
+    // Calibrate the OOD detector on the clean (in-distribution) test set.
+    let id_prediction = task.predict(&mut model, &task.split.test_inputs)?;
+    let detector = OodDetector::calibrate(&id_prediction, &task.split.test_labels)?;
+    let id_accuracy = id_prediction.accuracy(&task.split.test_labels)?;
+    let id_nll = id_prediction.nll(&task.split.test_labels)?;
+
+    // ----------------------------------------------------------- rotations
+    let mut rotation_table = Table::new(
+        "Fig. 7 (right) — accuracy / NLL / OOD detection vs rotation angle",
+        &["Rotation (deg)", "Accuracy", "NLL", "OOD detection rate"],
+    );
+    rotation_table.push_row(vec![
+        "0".into(),
+        format!("{id_accuracy:.4}"),
+        format!("{id_nll:.4}"),
+        format!("{:.4}", detector.detection_rate_for(&id_prediction, &task.split.test_labels)?),
+    ]);
+    let rotation_stages: Vec<f32> = paper_rotation_stages()
+        .into_iter()
+        .take((scale.sweep_points * 2).max(3))
+        .collect();
+    for degrees in rotation_stages {
+        let rotated = invnorm_datasets::ood::rotate_images(&task.split.test_inputs, degrees);
+        let prediction = task.predict(&mut model, &rotated)?;
+        rotation_table.push_row(vec![
+            format!("{degrees:.0}"),
+            format!("{:.4}", prediction.accuracy(&task.split.test_labels)?),
+            format!("{:.4}", prediction.nll(&task.split.test_labels)?),
+            format!(
+                "{:.4}",
+                detector.detection_rate_for(&prediction, &task.split.test_labels)?
+            ),
+        ]);
+    }
+
+    // --------------------------------------------------------------- noise
+    let mut noise_table = Table::new(
+        "Fig. 7 (left) — accuracy / NLL / OOD detection vs uniform noise strength",
+        &["Noise strength", "Accuracy", "NLL", "OOD detection rate"],
+    );
+    noise_table.push_row(vec![
+        "0.00".into(),
+        format!("{id_accuracy:.4}"),
+        format!("{id_nll:.4}"),
+        format!("{:.4}", detector.detection_rate_for(&id_prediction, &task.split.test_labels)?),
+    ]);
+    let mut rng = Rng::seed_from(77);
+    for strength in noise_stages(scale.sweep_points.max(3), 2.0) {
+        let noisy = add_uniform_noise(&task.split.test_inputs, strength, &mut rng);
+        let prediction = task.predict(&mut model, &noisy)?;
+        noise_table.push_row(vec![
+            format!("{strength:.2}"),
+            format!("{:.4}", prediction.accuracy(&task.split.test_labels)?),
+            format!("{:.4}", prediction.nll(&task.split.test_labels)?),
+            format!(
+                "{:.4}",
+                detector.detection_rate_for(&prediction, &task.split.test_labels)?
+            ),
+        ]);
+    }
+
+    Ok(vec![noise_table, rotation_table])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_fig7_reports_both_shift_families() {
+        let scale = ExperimentScale::quick();
+        let tables = run(&scale).unwrap();
+        assert_eq!(tables.len(), 2);
+        assert!(tables[0].title().contains("noise"));
+        assert!(tables[1].title().contains("rotation"));
+        assert!(tables[0].len() >= 4);
+        assert!(tables[1].len() >= 4);
+    }
+}

@@ -1,0 +1,56 @@
+//! One module per paper artifact (table / figure / ablation).
+//!
+//! Every experiment exposes a single `run(scale) -> Result<Vec<Table>>`
+//! entry point used by both the corresponding binary (full scale, printed +
+//! CSV) and the Criterion bench (quick scale, timing only).
+
+pub mod ablation;
+pub mod fig1;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod table1;
+
+use crate::report::{default_results_dir, Table};
+
+/// The standard set of method variants compared in every figure, in the
+/// paper's column order.
+pub fn compared_variants() -> Vec<invnorm_models::NormVariant> {
+    use invnorm_models::NormVariant;
+    vec![
+        NormVariant::Conventional,
+        NormVariant::SpinDrop { p: 0.3 },
+        NormVariant::SpatialSpinDrop { p: 0.3 },
+        NormVariant::proposed(),
+    ]
+}
+
+/// Prints every table and writes it to `results/<stem>-<index>.csv`; used by
+/// the experiment binaries.
+pub fn print_and_save(tables: &[Table], stem: &str) {
+    for (i, table) in tables.iter().enumerate() {
+        println!("{}", table.to_text());
+        let file_stem = if tables.len() == 1 {
+            stem.to_string()
+        } else {
+            format!("{stem}-{i}")
+        };
+        match table.save_csv(default_results_dir(), &file_stem) {
+            Ok(path) => println!("(written to {})\n", path.display()),
+            Err(err) => eprintln!("warning: could not write CSV for {file_stem}: {err}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compared_variants_match_table1_columns() {
+        let variants = compared_variants();
+        assert_eq!(variants.len(), 4);
+        assert_eq!(variants[0].label(), "NN");
+        assert_eq!(variants[3].label(), "Proposed");
+    }
+}

@@ -1,0 +1,84 @@
+//! Table I — fault-free (baseline) predictive performance of the four
+//! methods on the four tasks.
+//!
+//! Paper claim being reproduced: the proposed inverted-normalization BayNN
+//! matches the conventional NN and the Dropout-based BayNN baselines on clean
+//! data (within a fraction of a percent) across all tasks and precisions.
+
+use crate::experiments::compared_variants;
+use crate::report::Table;
+use crate::scale::ExperimentScale;
+use crate::tasks::{AudioTask, Co2Task, ImageTask, SegmentationTask, TaskKind};
+use crate::Result;
+
+/// Runs the Table I experiment and returns one table with a row per task.
+///
+/// # Errors
+///
+/// Returns an error when any model fails to build, train or evaluate.
+pub fn run(scale: &ExperimentScale) -> Result<Vec<Table>> {
+    let variants = compared_variants();
+    let mut table = Table::new(
+        "Table I — baseline (fault-free) performance",
+        &[
+            "Topology", "Dataset", "Metric", "W/A", "NN", "SpinDrop", "SpatialSpinDrop", "Proposed",
+        ],
+    );
+
+    for task_kind in TaskKind::all() {
+        let mut metrics = Vec::with_capacity(variants.len());
+        let mut wa = String::new();
+        for &variant in &variants {
+            let (value, describe) = match task_kind {
+                TaskKind::Images => {
+                    let task = ImageTask::prepare(scale);
+                    let mut model = task.train(variant)?;
+                    (task.accuracy(&mut model)?, model.quant.describe())
+                }
+                TaskKind::Audio => {
+                    let task = AudioTask::prepare(scale);
+                    let mut model = task.train(variant)?;
+                    (task.accuracy(&mut model)?, model.quant.describe())
+                }
+                TaskKind::Segmentation => {
+                    let task = SegmentationTask::prepare(scale);
+                    let mut model = task.train(variant)?;
+                    (task.mean_iou(&mut model)?, model.quant.describe())
+                }
+                TaskKind::Co2 => {
+                    let task = Co2Task::prepare(scale);
+                    let mut model = task.train(variant)?;
+                    (task.rmse(&mut model)?, model.quant.describe())
+                }
+            };
+            wa = describe;
+            metrics.push(value);
+        }
+        let mut row = vec![
+            task_kind.topology_name().to_string(),
+            task_kind.dataset_name().to_string(),
+            task_kind.metric_name().to_string(),
+            wa,
+        ];
+        row.extend(metrics.iter().map(|m| format!("{m:.4}")));
+        table.push_row(row);
+    }
+    Ok(vec![table])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_table1_produces_all_rows() {
+        let tables = run(&ExperimentScale::quick()).unwrap();
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].len(), 4);
+        let text = tables[0].to_text();
+        assert!(text.contains("MicroResNet"));
+        assert!(text.contains("LstmForecaster"));
+        assert!(text.contains("1/1"));
+        assert!(text.contains("8/8"));
+    }
+}

@@ -1,0 +1,194 @@
+//! Result-table formatting and CSV export.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A simple column-oriented result table printed by every experiment binary
+/// and written to `results/<name>.csv`.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringifying each cell).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of cells does not match the header count — that
+    /// is a bug in the experiment code, not a runtime condition.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Convenience: formats a `mean ± std` cell.
+    pub fn mean_std_cell(mean: f32, std: f32) -> String {
+        format!("{mean:.4} ± {std:.4}")
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let header: Vec<String> = self
+            .headers
+            .iter()
+            .zip(widths.iter())
+            .map(|(h, w)| format!("{h:<w$}"))
+            .collect();
+        let _ = writeln!(out, "{}", header.join(" | "));
+        let _ = writeln!(
+            out,
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("-+-")
+        );
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .zip(widths.iter())
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            let _ = writeln!(out, "{}", line.join(" | "));
+        }
+        out
+    }
+
+    /// Renders the table as CSV (RFC-4180-style quoting for cells containing
+    /// commas or quotes).
+    pub fn to_csv(&self) -> String {
+        fn escape(cell: &str) -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to `dir/<file_stem>.csv`, creating the
+    /// directory if needed. Returns the written path.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the directory or file cannot be written.
+    pub fn save_csv(&self, dir: impl AsRef<Path>, file_stem: &str) -> std::io::Result<PathBuf> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{file_stem}.csv"));
+        std::fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+/// Default output directory for experiment CSVs (`results/` in the workspace
+/// root when run via `cargo run`, the current directory otherwise).
+pub fn default_results_dir() -> PathBuf {
+    PathBuf::from("results")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        let mut t = Table::new("Demo", &["method", "accuracy"]);
+        t.push_row(vec!["NN".into(), "0.90".into()]);
+        t.push_row(vec!["Proposed".into(), Table::mean_std_cell(0.95, 0.01)]);
+        t
+    }
+
+    #[test]
+    fn text_rendering_contains_all_cells() {
+        let t = sample_table();
+        let text = t.to_text();
+        assert!(text.contains("Demo"));
+        assert!(text.contains("Proposed"));
+        assert!(text.contains("0.9500 ± 0.0100"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.title(), "Demo");
+    }
+
+    #[test]
+    fn csv_rendering_and_quoting() {
+        let mut t = Table::new("CSV", &["a", "b"]);
+        t.push_row(vec!["plain".into(), "with, comma".into()]);
+        t.push_row(vec!["quo\"te".into(), "x".into()]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("a,b\n"));
+        assert!(csv.contains("\"with, comma\""));
+        assert!(csv.contains("\"quo\"\"te\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("Bad", &["a", "b"]);
+        t.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn save_csv_writes_file() {
+        let t = sample_table();
+        let dir = std::env::temp_dir().join("invnorm_bench_test_results");
+        let path = t.save_csv(&dir, "demo").unwrap();
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert!(written.contains("Proposed"));
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,104 @@
+//! Experiment scaling knobs.
+//!
+//! The paper's protocol (100 Monte-Carlo chip instances, full test sets,
+//! long training) is supported, but the default for the runnable binaries is
+//! a lighter configuration that preserves the shape of every result while
+//! finishing in minutes on a laptop. Unit tests and Criterion benches use
+//! [`ExperimentScale::quick`].
+
+use serde::{Deserialize, Serialize};
+
+/// Controls how much work each experiment performs.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ExperimentScale {
+    /// Training epochs per model.
+    pub train_epochs: usize,
+    /// Monte-Carlo fault-simulation runs (chip instances) per sweep point.
+    pub mc_runs: usize,
+    /// Monte-Carlo forward passes per Bayesian prediction.
+    pub mc_passes: usize,
+    /// Number of sweep points per fault axis (bit-flip rate, σ, ...).
+    pub sweep_points: usize,
+    /// Training samples per class (classification tasks) or total training
+    /// samples (dense tasks) — passed to the dataset generators.
+    pub dataset_scale: usize,
+}
+
+impl ExperimentScale {
+    /// The default scale used by the experiment binaries.
+    pub fn standard() -> Self {
+        Self {
+            train_epochs: 12,
+            mc_runs: 20,
+            mc_passes: 8,
+            sweep_points: 5,
+            dataset_scale: 24,
+        }
+    }
+
+    /// A minimal scale for unit tests and Criterion benches (seconds, not
+    /// minutes).
+    pub fn quick() -> Self {
+        Self {
+            train_epochs: 3,
+            mc_runs: 3,
+            mc_passes: 3,
+            sweep_points: 3,
+            dataset_scale: 8,
+        }
+    }
+
+    /// The paper's full protocol (100 chip instances); expect long runtimes.
+    pub fn paper() -> Self {
+        Self {
+            train_epochs: 30,
+            mc_runs: 100,
+            mc_passes: 20,
+            sweep_points: 7,
+            dataset_scale: 48,
+        }
+    }
+
+    /// Reads the scale from the `INVNORM_SCALE` environment variable
+    /// (`quick`, `standard` or `paper`), defaulting to `standard`.
+    pub fn from_env() -> Self {
+        match std::env::var("INVNORM_SCALE").as_deref() {
+            Ok("quick") => Self::quick(),
+            Ok("paper") => Self::paper(),
+            _ => Self::standard(),
+        }
+    }
+}
+
+impl Default for ExperimentScale {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_by_cost() {
+        let quick = ExperimentScale::quick();
+        let standard = ExperimentScale::standard();
+        let paper = ExperimentScale::paper();
+        assert!(quick.mc_runs < standard.mc_runs);
+        assert!(standard.mc_runs < paper.mc_runs);
+        assert!(quick.train_epochs < paper.train_epochs);
+        assert_eq!(ExperimentScale::default().mc_runs, standard.mc_runs);
+    }
+
+    #[test]
+    fn from_env_defaults_to_standard() {
+        // The variable is not set inside the test harness.
+        if std::env::var("INVNORM_SCALE").is_err() {
+            assert_eq!(
+                ExperimentScale::from_env().mc_runs,
+                ExperimentScale::standard().mc_runs
+            );
+        }
+    }
+}

@@ -1,0 +1,548 @@
+//! Task bundles: dataset + model builder + training + evaluation for the
+//! four benchmark tasks of the paper's Table I.
+//!
+//! Each task owns its synthetic dataset split and knows how to build, train
+//! and score a model in any [`NormVariant`], so the experiment modules only
+//! have to orchestrate sweeps.
+
+use crate::scale::ExperimentScale;
+use crate::Result;
+use invnorm_core::bayesian::{BayesianPredictor, ClassificationPrediction};
+use invnorm_datasets::audio::{self, AudioDatasetConfig};
+use invnorm_datasets::images::{self, ImageDatasetConfig};
+use invnorm_datasets::segmentation::{self, SegmentationDatasetConfig};
+use invnorm_datasets::timeseries::{self, Co2DatasetConfig};
+use invnorm_datasets::{ClassificationSplit, DenseSplit};
+use invnorm_models::lstm::{self, LstmForecasterConfig};
+use invnorm_models::m5::{self, M5NetConfig};
+use invnorm_models::resnet::{self, MicroResNetConfig};
+use invnorm_models::unet::{self, MicroUNetConfig};
+use invnorm_models::{BuiltModel, NormVariant};
+use invnorm_nn::layer::{Layer, Mode};
+use invnorm_nn::metrics;
+use invnorm_nn::optim::Adam;
+use invnorm_nn::train::{self, TrainConfig};
+use invnorm_quant::fake_quant::quantize_layer_weights;
+use invnorm_tensor::{ops, Tensor};
+
+/// Which of the paper's four benchmark tasks an experiment runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskKind {
+    /// Image classification (CIFAR-10 stand-in, MicroResNet).
+    Images,
+    /// Audio keyword classification (Speech-Commands stand-in, M5Net).
+    Audio,
+    /// Vessel segmentation (DRIVE stand-in, MicroUNet).
+    Segmentation,
+    /// CO₂ forecasting (Mauna Loa stand-in, LstmForecaster).
+    Co2,
+}
+
+impl TaskKind {
+    /// All four tasks in the paper's Table I order.
+    pub fn all() -> [TaskKind; 4] {
+        [
+            TaskKind::Images,
+            TaskKind::Audio,
+            TaskKind::Segmentation,
+            TaskKind::Co2,
+        ]
+    }
+
+    /// Table I metric name for this task.
+    pub fn metric_name(&self) -> &'static str {
+        match self {
+            TaskKind::Images | TaskKind::Audio => "Accuracy ↑",
+            TaskKind::Segmentation => "mIoU ↑",
+            TaskKind::Co2 => "RMSE ↓",
+        }
+    }
+
+    /// Whether larger metric values are better.
+    pub fn higher_is_better(&self) -> bool {
+        !matches!(self, TaskKind::Co2)
+    }
+
+    /// Table I topology name.
+    pub fn topology_name(&self) -> &'static str {
+        match self {
+            TaskKind::Images => "MicroResNet",
+            TaskKind::Audio => "M5Net",
+            TaskKind::Segmentation => "MicroUNet",
+            TaskKind::Co2 => "LstmForecaster",
+        }
+    }
+
+    /// Stand-in dataset name.
+    pub fn dataset_name(&self) -> &'static str {
+        match self {
+            TaskKind::Images => "synthetic CIFAR-like images",
+            TaskKind::Audio => "synthetic speech commands",
+            TaskKind::Segmentation => "synthetic DRIVE-like vessels",
+            TaskKind::Co2 => "synthetic atmospheric CO2",
+        }
+    }
+}
+
+fn adam() -> Adam {
+    Adam::new(0.01)
+}
+
+fn train_config(scale: &ExperimentScale) -> TrainConfig {
+    TrainConfig {
+        epochs: scale.train_epochs,
+        batch_size: 16,
+        shuffle: true,
+        seed: 9,
+    }
+}
+
+// --------------------------------------------------------------------------
+// Image classification task
+// --------------------------------------------------------------------------
+
+/// Image classification task (MicroResNet on the synthetic image dataset).
+#[derive(Debug)]
+pub struct ImageTask {
+    /// The dataset split.
+    pub split: ClassificationSplit,
+    scale: ExperimentScale,
+    binary: bool,
+}
+
+impl ImageTask {
+    /// Generates the dataset at the given scale.
+    pub fn prepare(scale: &ExperimentScale) -> Self {
+        let config = ImageDatasetConfig {
+            classes: 6,
+            size: 16,
+            channels: 3,
+            train_per_class: scale.dataset_scale,
+            test_per_class: (scale.dataset_scale / 3).max(4),
+            ..ImageDatasetConfig::default()
+        };
+        Self {
+            split: images::generate(&config),
+            scale: *scale,
+            binary: true,
+        }
+    }
+
+    /// Uses full-precision activations instead of binary ones (ablation).
+    #[must_use]
+    pub fn full_precision(mut self) -> Self {
+        self.binary = false;
+        self
+    }
+
+    /// Builds an untrained model in the given variant.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the variant configuration is invalid.
+    pub fn build(&self, variant: NormVariant) -> Result<BuiltModel> {
+        let config = MicroResNetConfig {
+            in_channels: 3,
+            classes: self.split.classes,
+            base_channels: 8,
+            binary_activations: self.binary,
+            seed: 100,
+        };
+        resnet::build(&config, variant)
+    }
+
+    /// Builds, trains and (post-training-)quantizes a model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when building or training fails.
+    pub fn train(&self, variant: NormVariant) -> Result<BuiltModel> {
+        let mut model = self.build(variant)?;
+        let mut optimizer = adam();
+        train::fit_classifier(
+            &mut model,
+            &mut optimizer,
+            &self.split.train_inputs,
+            &self.split.train_labels,
+            &train_config(&self.scale),
+        )?;
+        let quant = model.quant;
+        quantize_layer_weights(&mut model, &quant)?;
+        Ok(model)
+    }
+
+    /// Test-set accuracy (Monte-Carlo averaged for Bayesian variants).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when evaluation fails.
+    pub fn accuracy(&self, model: &mut BuiltModel) -> Result<f32> {
+        classification_accuracy(
+            model,
+            &self.split.test_inputs,
+            &self.split.test_labels,
+            self.scale.mc_passes,
+        )
+    }
+
+    /// Full Bayesian prediction on arbitrary inputs (used by the OOD
+    /// experiment).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when evaluation fails.
+    pub fn predict(
+        &self,
+        model: &mut BuiltModel,
+        inputs: &Tensor,
+    ) -> Result<ClassificationPrediction> {
+        BayesianPredictor::new(self.scale.mc_passes).predict_classification(model, inputs)
+    }
+}
+
+// --------------------------------------------------------------------------
+// Audio classification task
+// --------------------------------------------------------------------------
+
+/// Audio keyword classification task (M5Net on the synthetic audio dataset).
+#[derive(Debug)]
+pub struct AudioTask {
+    /// The dataset split.
+    pub split: ClassificationSplit,
+    scale: ExperimentScale,
+}
+
+impl AudioTask {
+    /// Generates the dataset at the given scale.
+    pub fn prepare(scale: &ExperimentScale) -> Self {
+        let config = AudioDatasetConfig {
+            classes: 6,
+            length: 128,
+            train_per_class: scale.dataset_scale,
+            test_per_class: (scale.dataset_scale / 3).max(4),
+            ..AudioDatasetConfig::default()
+        };
+        Self {
+            split: audio::generate(&config),
+            scale: *scale,
+        }
+    }
+
+    /// Builds an untrained model in the given variant.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the variant configuration is invalid.
+    pub fn build(&self, variant: NormVariant) -> Result<BuiltModel> {
+        m5::build(
+            &M5NetConfig {
+                classes: self.split.classes,
+                base_channels: 8,
+                seed: 200,
+            },
+            variant,
+        )
+    }
+
+    /// Builds, trains and quantizes a model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when building or training fails.
+    pub fn train(&self, variant: NormVariant) -> Result<BuiltModel> {
+        let mut model = self.build(variant)?;
+        let mut optimizer = adam();
+        train::fit_classifier(
+            &mut model,
+            &mut optimizer,
+            &self.split.train_inputs,
+            &self.split.train_labels,
+            &train_config(&self.scale),
+        )?;
+        let quant = model.quant;
+        quantize_layer_weights(&mut model, &quant)?;
+        Ok(model)
+    }
+
+    /// Test-set accuracy (Monte-Carlo averaged for Bayesian variants).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when evaluation fails.
+    pub fn accuracy(&self, model: &mut BuiltModel) -> Result<f32> {
+        classification_accuracy(
+            model,
+            &self.split.test_inputs,
+            &self.split.test_labels,
+            self.scale.mc_passes,
+        )
+    }
+}
+
+// --------------------------------------------------------------------------
+// Segmentation task
+// --------------------------------------------------------------------------
+
+/// Vessel segmentation task (MicroUNet on the synthetic vessel dataset).
+#[derive(Debug)]
+pub struct SegmentationTask {
+    /// The dataset split.
+    pub split: DenseSplit,
+    scale: ExperimentScale,
+}
+
+impl SegmentationTask {
+    /// Generates the dataset at the given scale.
+    pub fn prepare(scale: &ExperimentScale) -> Self {
+        let config = SegmentationDatasetConfig {
+            size: 16,
+            vessels_per_image: 2,
+            train_images: scale.dataset_scale * 2,
+            test_images: scale.dataset_scale.max(8) / 2 * 2,
+            ..SegmentationDatasetConfig::default()
+        };
+        Self {
+            split: segmentation::generate(&config),
+            scale: *scale,
+        }
+    }
+
+    /// Builds an untrained model in the given variant.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the variant configuration is invalid.
+    pub fn build(&self, variant: NormVariant) -> Result<BuiltModel> {
+        unet::build(
+            &MicroUNetConfig {
+                base_channels: 8,
+                quantized_activations: true,
+                seed: 300,
+            },
+            variant,
+        )
+    }
+
+    /// Builds, trains and quantizes a model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when building or training fails.
+    pub fn train(&self, variant: NormVariant) -> Result<BuiltModel> {
+        let mut model = self.build(variant)?;
+        let mut optimizer = adam();
+        train::fit_segmenter(
+            &mut model,
+            &mut optimizer,
+            &self.split.train_inputs,
+            &self.split.train_targets,
+            &train_config(&self.scale),
+        )?;
+        let quant = model.quant;
+        quantize_layer_weights(&mut model, &quant)?;
+        Ok(model)
+    }
+
+    /// Mean IoU on the test set (Monte-Carlo averaged probabilities for
+    /// Bayesian variants).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when evaluation fails.
+    pub fn mean_iou(&self, model: &mut BuiltModel) -> Result<f32> {
+        let passes = if model.variant.is_bayesian() {
+            self.scale.mc_passes
+        } else {
+            1
+        };
+        // Average the per-pass sigmoid probabilities, then threshold.
+        let mut mean_probs = Tensor::zeros(self.split.test_targets.dims());
+        for _ in 0..passes {
+            let logits = model.forward(&self.split.test_inputs, Mode::Eval)?;
+            let probs = logits.map(|z| 1.0 / (1.0 + (-z).exp()));
+            mean_probs.add_assign(&probs)?;
+        }
+        let mean_probs = mean_probs.scale(1.0 / passes as f32);
+        metrics::mean_iou(&mean_probs, &self.split.test_targets, 0.5)
+    }
+}
+
+// --------------------------------------------------------------------------
+// CO₂ forecasting task
+// --------------------------------------------------------------------------
+
+/// CO₂ forecasting task (LstmForecaster on the synthetic Keeling curve).
+#[derive(Debug)]
+pub struct Co2Task {
+    /// The dataset split (inputs `[N, window, 1]`, targets `[N, 1]`).
+    pub split: DenseSplit,
+    scale: ExperimentScale,
+}
+
+impl Co2Task {
+    /// Generates the dataset at the given scale.
+    pub fn prepare(scale: &ExperimentScale) -> Self {
+        let config = Co2DatasetConfig {
+            months: (scale.dataset_scale * 10).max(120),
+            window: 12,
+            ..Co2DatasetConfig::default()
+        };
+        let (split, _series) = timeseries::generate(&config);
+        Self {
+            split,
+            scale: *scale,
+        }
+    }
+
+    /// Builds an untrained model in the given variant.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the variant configuration is invalid.
+    pub fn build(&self, variant: NormVariant) -> Result<BuiltModel> {
+        lstm::build(
+            &LstmForecasterConfig {
+                input_features: 1,
+                hidden: 16,
+                seed: 400,
+            },
+            variant,
+        )
+    }
+
+    /// Builds, trains and quantizes a model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when building or training fails.
+    pub fn train(&self, variant: NormVariant) -> Result<BuiltModel> {
+        let mut model = self.build(variant)?;
+        let mut optimizer = adam();
+        train::fit_regressor(
+            &mut model,
+            &mut optimizer,
+            &self.split.train_inputs,
+            &self.split.train_targets,
+            &train_config(&self.scale),
+        )?;
+        let quant = model.quant;
+        quantize_layer_weights(&mut model, &quant)?;
+        Ok(model)
+    }
+
+    /// RMSE on the test windows (Monte-Carlo mean prediction for Bayesian
+    /// variants).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when evaluation fails.
+    pub fn rmse(&self, model: &mut BuiltModel) -> Result<f32> {
+        let passes = if model.variant.is_bayesian() {
+            self.scale.mc_passes
+        } else {
+            1
+        };
+        let prediction =
+            BayesianPredictor::new(passes).predict_regression(model, &self.split.test_inputs)?;
+        prediction.rmse(&self.split.test_targets)
+    }
+}
+
+// --------------------------------------------------------------------------
+// Shared helpers
+// --------------------------------------------------------------------------
+
+/// Monte-Carlo averaged classification accuracy (single pass for
+/// deterministic models).
+fn classification_accuracy(
+    model: &mut BuiltModel,
+    inputs: &Tensor,
+    labels: &[usize],
+    mc_passes: usize,
+) -> Result<f32> {
+    let passes = if model.variant.is_bayesian() {
+        mc_passes
+    } else {
+        1
+    };
+    let prediction = BayesianPredictor::new(passes).predict_classification(model, inputs)?;
+    prediction.accuracy(labels)
+}
+
+/// Deterministic single-pass accuracy, used where the Bayesian averaging is
+/// itself the quantity under ablation.
+pub fn single_pass_accuracy(
+    model: &mut BuiltModel,
+    inputs: &Tensor,
+    labels: &[usize],
+) -> Result<f32> {
+    let logits = model.forward(inputs, Mode::Eval)?;
+    let probs = ops::softmax_rows(&logits)?;
+    metrics::accuracy(&probs, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_kind_metadata() {
+        assert_eq!(TaskKind::all().len(), 4);
+        assert_eq!(TaskKind::Images.metric_name(), "Accuracy ↑");
+        assert_eq!(TaskKind::Segmentation.metric_name(), "mIoU ↑");
+        assert_eq!(TaskKind::Co2.metric_name(), "RMSE ↓");
+        assert!(TaskKind::Images.higher_is_better());
+        assert!(!TaskKind::Co2.higher_is_better());
+        assert_eq!(TaskKind::Audio.topology_name(), "M5Net");
+        assert!(TaskKind::Co2.dataset_name().contains("CO2"));
+    }
+
+    #[test]
+    fn image_task_trains_and_evaluates() {
+        let scale = ExperimentScale::quick();
+        let task = ImageTask::prepare(&scale).full_precision();
+        let mut model = task.train(NormVariant::proposed()).unwrap();
+        let accuracy = task.accuracy(&mut model).unwrap();
+        assert!((0.0..=1.0).contains(&accuracy));
+        let prediction = task.predict(&mut model, &task.split.test_inputs).unwrap();
+        assert_eq!(prediction.mean_probs.dims()[0], task.split.test_len());
+    }
+
+    #[test]
+    fn audio_task_trains_and_evaluates() {
+        let scale = ExperimentScale::quick();
+        let task = AudioTask::prepare(&scale);
+        let mut model = task.train(NormVariant::Conventional).unwrap();
+        let accuracy = task.accuracy(&mut model).unwrap();
+        assert!((0.0..=1.0).contains(&accuracy));
+    }
+
+    #[test]
+    fn segmentation_task_trains_and_evaluates() {
+        let scale = ExperimentScale::quick();
+        let task = SegmentationTask::prepare(&scale);
+        let mut model = task.train(NormVariant::proposed()).unwrap();
+        let miou = task.mean_iou(&mut model).unwrap();
+        assert!((0.0..=1.0).contains(&miou));
+    }
+
+    #[test]
+    fn co2_task_trains_and_evaluates() {
+        let scale = ExperimentScale::quick();
+        let task = Co2Task::prepare(&scale);
+        let mut model = task.train(NormVariant::proposed()).unwrap();
+        let rmse = task.rmse(&mut model).unwrap();
+        assert!(rmse.is_finite() && rmse >= 0.0);
+    }
+
+    #[test]
+    fn single_pass_accuracy_works() {
+        let scale = ExperimentScale::quick();
+        let task = ImageTask::prepare(&scale).full_precision();
+        let mut model = task.build(NormVariant::Conventional).unwrap();
+        let acc =
+            single_pass_accuracy(&mut model, &task.split.test_inputs, &task.split.test_labels)
+                .unwrap();
+        assert!((0.0..=1.0).contains(&acc));
+    }
+}

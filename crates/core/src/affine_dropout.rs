@@ -1,0 +1,287 @@
+//! Affine Dropout (paper Sec. III-B): stochastic dropping of the inverted
+//! normalization layer's affine parameters.
+//!
+//! Unlike conventional Dropout, the affine *weights* γ are dropped **to one**
+//! (because they multiply the weighted sum — dropping to zero would erase the
+//! activation) and the *biases* β are dropped **to zero**. Implementation
+//! follows the paper's Fig. 3:
+//!
+//! 1. sample a binary keep mask `m ~ Bernoulli(1 - p)`,
+//! 2. multiply the parameter by the mask,
+//! 3. for the weights, add `(1 - m)` so dropped entries become one.
+//!
+//! Two granularities are supported: element-wise (every channel's parameter
+//! gets its own mask) and vector-wise (one mask for the entire vector — the
+//! hardware-friendly variant the paper uses, since it needs a single random
+//! number generator per layer).
+
+use crate::Result;
+use invnorm_nn::NnError;
+use invnorm_tensor::{Rng, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// Granularity at which affine parameters are dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DropGranularity {
+    /// Each element of the weight/bias vector is dropped independently.
+    ElementWise,
+    /// The whole weight vector (and, independently, the whole bias vector) is
+    /// dropped at once. Hardware-friendly: one RNG per layer.
+    VectorWise,
+}
+
+/// Masks sampled for one stochastic forward pass.
+#[derive(Debug, Clone)]
+pub struct AffineMasks {
+    /// Keep mask for the weights (1 = keep, 0 = dropped-to-one).
+    pub gamma_keep: Tensor,
+    /// Keep mask for the biases (1 = keep, 0 = dropped-to-zero).
+    pub beta_keep: Tensor,
+}
+
+/// The affine-dropout sampler.
+///
+/// # Example
+///
+/// ```
+/// use invnorm_core::affine_dropout::{AffineDropout, DropGranularity};
+/// use invnorm_tensor::{Rng, Tensor};
+///
+/// # fn main() -> Result<(), invnorm_nn::NnError> {
+/// let dropout = AffineDropout::new(0.3, DropGranularity::VectorWise)?;
+/// let mut rng = Rng::seed_from(7);
+/// let gamma = Tensor::from_vec(vec![1.2, 0.8, 1.1], &[3])?;
+/// let beta = Tensor::from_vec(vec![0.1, -0.2, 0.3], &[3])?;
+/// let masks = dropout.sample_masks(3, &mut rng);
+/// let (g_eff, b_eff) = dropout.apply(&gamma, &beta, &masks)?;
+/// assert_eq!(g_eff.numel(), 3);
+/// assert_eq!(b_eff.numel(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AffineDropout {
+    p: f32,
+    granularity: DropGranularity,
+}
+
+impl AffineDropout {
+    /// Creates an affine-dropout sampler with drop probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `0 <= p < 1`.
+    pub fn new(p: f32, granularity: DropGranularity) -> Result<Self> {
+        if !(0.0..1.0).contains(&p) {
+            return Err(NnError::Config(format!(
+                "affine dropout probability must be in [0, 1), got {p}"
+            )));
+        }
+        Ok(Self { p, granularity })
+    }
+
+    /// Drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+
+    /// Drop granularity.
+    pub fn granularity(&self) -> DropGranularity {
+        self.granularity
+    }
+
+    /// Samples keep masks for a `channels`-element parameter vector.
+    ///
+    /// Weight and bias masks are sampled independently, as specified in the
+    /// paper.
+    pub fn sample_masks(&self, channels: usize, rng: &mut Rng) -> AffineMasks {
+        match self.granularity {
+            DropGranularity::ElementWise => AffineMasks {
+                gamma_keep: Tensor::from_vec(rng.bernoulli_mask(channels, self.p), &[channels])
+                    .expect("mask length matches"),
+                beta_keep: Tensor::from_vec(rng.bernoulli_mask(channels, self.p), &[channels])
+                    .expect("mask length matches"),
+            },
+            DropGranularity::VectorWise => {
+                let keep_gamma = if rng.bernoulli(self.p) { 0.0 } else { 1.0 };
+                let keep_beta = if rng.bernoulli(self.p) { 0.0 } else { 1.0 };
+                AffineMasks {
+                    gamma_keep: Tensor::full(&[channels], keep_gamma),
+                    beta_keep: Tensor::full(&[channels], keep_beta),
+                }
+            }
+        }
+    }
+
+    /// Deterministic masks (everything kept), used when stochasticity is
+    /// disabled.
+    pub fn keep_all_masks(&self, channels: usize) -> AffineMasks {
+        AffineMasks {
+            gamma_keep: Tensor::ones(&[channels]),
+            beta_keep: Tensor::ones(&[channels]),
+        }
+    }
+
+    /// Applies masks to the affine parameters, returning the effective
+    /// `(γ̃, β̃)` used by the forward pass:
+    ///
+    /// * `γ̃ = γ ⊙ m_γ + (1 - m_γ)` — dropped weights become one,
+    /// * `β̃ = β ⊙ m_β` — dropped biases become zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when mask and parameter shapes disagree.
+    pub fn apply(
+        &self,
+        gamma: &Tensor,
+        beta: &Tensor,
+        masks: &AffineMasks,
+    ) -> Result<(Tensor, Tensor)> {
+        let gamma_eff = gamma
+            .mul(&masks.gamma_keep)?
+            .add(&masks.gamma_keep.map(|m| 1.0 - m))?;
+        let beta_eff = beta.mul(&masks.beta_keep)?;
+        Ok((gamma_eff, beta_eff))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use invnorm_tensor::Rng;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constructor_validates_probability() {
+        assert!(AffineDropout::new(1.0, DropGranularity::VectorWise).is_err());
+        assert!(AffineDropout::new(-0.01, DropGranularity::ElementWise).is_err());
+        let d = AffineDropout::new(0.3, DropGranularity::VectorWise).unwrap();
+        assert_eq!(d.probability(), 0.3);
+        assert_eq!(d.granularity(), DropGranularity::VectorWise);
+    }
+
+    #[test]
+    fn dropped_weights_become_one_and_biases_zero() {
+        let d = AffineDropout::new(0.5, DropGranularity::ElementWise).unwrap();
+        let gamma = Tensor::from_vec(vec![2.0, 3.0, 4.0, 5.0], &[4]).unwrap();
+        let beta = Tensor::from_vec(vec![0.5, -0.5, 1.5, -1.5], &[4]).unwrap();
+        // Hand-build masks: drop indices 1 and 3.
+        let masks = AffineMasks {
+            gamma_keep: Tensor::from_vec(vec![1.0, 0.0, 1.0, 0.0], &[4]).unwrap(),
+            beta_keep: Tensor::from_vec(vec![0.0, 1.0, 0.0, 1.0], &[4]).unwrap(),
+        };
+        let (g, b) = d.apply(&gamma, &beta, &masks).unwrap();
+        assert_eq!(g.data(), &[2.0, 1.0, 4.0, 1.0]);
+        assert_eq!(b.data(), &[0.0, -0.5, 0.0, -1.5]);
+    }
+
+    #[test]
+    fn vector_wise_masks_are_uniform_across_channels() {
+        let d = AffineDropout::new(0.5, DropGranularity::VectorWise).unwrap();
+        let mut rng = Rng::seed_from(1);
+        for _ in 0..20 {
+            let masks = d.sample_masks(16, &mut rng);
+            let g0 = masks.gamma_keep.data()[0];
+            assert!(masks.gamma_keep.data().iter().all(|&v| v == g0));
+            let b0 = masks.beta_keep.data()[0];
+            assert!(masks.beta_keep.data().iter().all(|&v| v == b0));
+        }
+    }
+
+    #[test]
+    fn element_wise_masks_vary_across_channels() {
+        let d = AffineDropout::new(0.5, DropGranularity::ElementWise).unwrap();
+        let mut rng = Rng::seed_from(2);
+        let masks = d.sample_masks(64, &mut rng);
+        let zeros = masks.gamma_keep.data().iter().filter(|&&v| v == 0.0).count();
+        assert!(zeros > 10 && zeros < 54, "unexpected drop count {zeros}");
+    }
+
+    #[test]
+    fn drop_rate_matches_probability() {
+        let d = AffineDropout::new(0.3, DropGranularity::VectorWise).unwrap();
+        let mut rng = Rng::seed_from(3);
+        let mut dropped_gamma = 0usize;
+        let trials = 5000;
+        for _ in 0..trials {
+            let masks = d.sample_masks(4, &mut rng);
+            if masks.gamma_keep.data()[0] == 0.0 {
+                dropped_gamma += 1;
+            }
+        }
+        let rate = dropped_gamma as f32 / trials as f32;
+        assert!((rate - 0.3).abs() < 0.03, "vector drop rate {rate}");
+    }
+
+    #[test]
+    fn gamma_and_beta_masks_are_independent() {
+        let d = AffineDropout::new(0.5, DropGranularity::VectorWise).unwrap();
+        let mut rng = Rng::seed_from(4);
+        let mut combos = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            let masks = d.sample_masks(2, &mut rng);
+            combos.insert((
+                masks.gamma_keep.data()[0] as i32,
+                masks.beta_keep.data()[0] as i32,
+            ));
+        }
+        // All four combinations (keep/drop × keep/drop) should occur.
+        assert_eq!(combos.len(), 4);
+    }
+
+    #[test]
+    fn keep_all_is_identity() {
+        let d = AffineDropout::new(0.9, DropGranularity::ElementWise).unwrap();
+        let gamma = Tensor::from_vec(vec![1.5, 0.5], &[2]).unwrap();
+        let beta = Tensor::from_vec(vec![0.2, -0.2], &[2]).unwrap();
+        let masks = d.keep_all_masks(2);
+        let (g, b) = d.apply(&gamma, &beta, &masks).unwrap();
+        assert!(g.approx_eq(&gamma, 0.0));
+        assert!(b.approx_eq(&beta, 0.0));
+    }
+
+    #[test]
+    fn zero_probability_never_drops() {
+        let d = AffineDropout::new(0.0, DropGranularity::ElementWise).unwrap();
+        let mut rng = Rng::seed_from(5);
+        for _ in 0..50 {
+            let masks = d.sample_masks(8, &mut rng);
+            assert!(masks.gamma_keep.data().iter().all(|&v| v == 1.0));
+            assert!(masks.beta_keep.data().iter().all(|&v| v == 1.0));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_effective_params_are_valid(
+            gamma in proptest::collection::vec(-2.0f32..2.0, 1..32),
+            p in 0.0f32..0.9,
+        ) {
+            let channels = gamma.len();
+            let beta: Vec<f32> = gamma.iter().map(|g| g * 0.5).collect();
+            let gamma_t = Tensor::from_slice(&gamma);
+            let beta_t = Tensor::from_slice(&beta);
+            let d = AffineDropout::new(p, DropGranularity::ElementWise).unwrap();
+            let mut rng = Rng::seed_from(42);
+            let masks = d.sample_masks(channels, &mut rng);
+            let (g_eff, b_eff) = d.apply(&gamma_t, &beta_t, &masks).unwrap();
+            for i in 0..channels {
+                let kept_g = masks.gamma_keep.data()[i] == 1.0;
+                let kept_b = masks.beta_keep.data()[i] == 1.0;
+                // Each effective value is either the original or the dropped constant.
+                let gamma_ok = if kept_g {
+                    (g_eff.data()[i] - gamma[i]).abs() < 1e-6
+                } else {
+                    (g_eff.data()[i] - 1.0).abs() < 1e-6
+                };
+                let beta_ok = if kept_b {
+                    (b_eff.data()[i] - beta[i]).abs() < 1e-6
+                } else {
+                    b_eff.data()[i] == 0.0
+                };
+                prop_assert!(gamma_ok);
+                prop_assert!(beta_ok);
+            }
+        }
+    }
+}

@@ -1,0 +1,368 @@
+//! Monte-Carlo Bayesian inference (paper Sec. III-D).
+//!
+//! A network containing stochastic layers (the affine dropout of
+//! [`crate::InvertedNorm`], or the conventional/spatial Dropout of the
+//! baseline BayNNs) approximates a Bayesian neural network: running `T`
+//! forward passes with independently sampled masks yields an output
+//! distribution whose mean is the prediction and whose spread quantifies the
+//! model's uncertainty.
+
+use crate::Result;
+use invnorm_nn::layer::{Layer, Mode};
+use invnorm_nn::loss::nll_from_probs;
+use invnorm_nn::metrics;
+use invnorm_nn::NnError;
+use invnorm_tensor::{ops, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// Result of Bayesian classification over one batch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassificationPrediction {
+    /// Monte-Carlo averaged class probabilities, `[N, C]`.
+    pub mean_probs: Tensor,
+    /// Per-sample predictive entropy (in nats).
+    pub entropy: Vec<f32>,
+    /// Per-sample variance of the predicted-class probability across passes.
+    pub variance: Vec<f32>,
+    /// Number of Monte-Carlo passes used.
+    pub passes: usize,
+}
+
+impl ClassificationPrediction {
+    /// Predicted class index for every sample.
+    pub fn predicted_classes(&self) -> Vec<usize> {
+        ops::argmax_rows(&self.mean_probs).unwrap_or_default()
+    }
+
+    /// Classification accuracy against integer targets.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the target count does not match the batch.
+    pub fn accuracy(&self, targets: &[usize]) -> Result<f32> {
+        metrics::accuracy(&self.mean_probs, targets)
+    }
+
+    /// Mean negative log-likelihood against integer targets (the paper's
+    /// uncertainty metric).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the target count does not match the batch.
+    pub fn nll(&self, targets: &[usize]) -> Result<f32> {
+        nll_from_probs(&self.mean_probs, targets)
+    }
+
+    /// Per-sample negative log-likelihood against integer targets.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the target count does not match the batch.
+    pub fn per_sample_nll(&self, targets: &[usize]) -> Result<Vec<f32>> {
+        let (n, c) = ops::as_matrix_dims(&self.mean_probs)?;
+        if targets.len() != n {
+            return Err(NnError::TargetMismatch {
+                predictions: n,
+                targets: targets.len(),
+            });
+        }
+        Ok(targets
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| -self.mean_probs.data()[i * c + t].max(1e-12).ln())
+            .collect())
+    }
+}
+
+/// Result of Bayesian regression over one batch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegressionPrediction {
+    /// Monte-Carlo mean prediction (same shape as a single forward output).
+    pub mean: Tensor,
+    /// Per-element standard deviation across passes (epistemic uncertainty).
+    pub std: Tensor,
+    /// Number of Monte-Carlo passes used.
+    pub passes: usize,
+}
+
+impl RegressionPrediction {
+    /// RMSE of the mean prediction against targets.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the shapes differ.
+    pub fn rmse(&self, targets: &Tensor) -> Result<f32> {
+        metrics::rmse(&self.mean, targets)
+    }
+
+    /// Mean predictive standard deviation (a scalar uncertainty summary).
+    pub fn mean_uncertainty(&self) -> f32 {
+        self.std.mean()
+    }
+}
+
+/// Runs Monte-Carlo Bayesian inference over a stochastic network.
+///
+/// # Example
+///
+/// ```
+/// use invnorm_core::bayesian::BayesianPredictor;
+/// use invnorm_core::{InvNormConfig, InvertedNorm};
+/// use invnorm_nn::linear::Linear;
+/// use invnorm_nn::reshape::Flatten;
+/// use invnorm_nn::Sequential;
+/// use invnorm_tensor::{Rng, Tensor};
+///
+/// # fn main() -> Result<(), invnorm_nn::NnError> {
+/// let mut rng = Rng::seed_from(0);
+/// let mut net = Sequential::new();
+/// net.push(Box::new(InvertedNorm::new(4, &InvNormConfig::default(), &mut rng)?));
+/// net.push(Box::new(Flatten::new()));
+/// net.push(Box::new(Linear::new(4, 3, &mut rng)));
+/// let predictor = BayesianPredictor::new(10);
+/// let x = Tensor::randn(&[2, 4], 0.0, 1.0, &mut rng);
+/// let prediction = predictor.predict_classification(&mut net, &x)?;
+/// assert_eq!(prediction.mean_probs.dims(), &[2, 3]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct BayesianPredictor {
+    passes: usize,
+}
+
+impl BayesianPredictor {
+    /// Creates a predictor that averages `passes` stochastic forward passes
+    /// (at least one).
+    pub fn new(passes: usize) -> Self {
+        Self {
+            passes: passes.max(1),
+        }
+    }
+
+    /// Number of Monte-Carlo passes.
+    pub fn passes(&self) -> usize {
+        self.passes
+    }
+
+    /// Classification: averages softmax probabilities over the passes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the network does not produce `[N, C]` logits.
+    pub fn predict_classification(
+        &self,
+        network: &mut dyn Layer,
+        inputs: &Tensor,
+    ) -> Result<ClassificationPrediction> {
+        let mut sum_probs: Option<Tensor> = None;
+        let mut per_pass_predicted: Vec<Tensor> = Vec::with_capacity(self.passes);
+        for _ in 0..self.passes {
+            let logits = network.forward(inputs, Mode::Eval)?;
+            let probs = ops::softmax_rows(&logits)?;
+            per_pass_predicted.push(probs.clone());
+            sum_probs = Some(match sum_probs {
+                Some(acc) => acc.add(&probs)?,
+                None => probs,
+            });
+        }
+        let mean_probs = sum_probs
+            .expect("at least one pass")
+            .scale(1.0 / self.passes as f32);
+        let (n, c) = ops::as_matrix_dims(&mean_probs)?;
+
+        // Predictive entropy of the averaged distribution.
+        let entropy: Vec<f32> = (0..n)
+            .map(|i| {
+                let row = &mean_probs.data()[i * c..(i + 1) * c];
+                -row.iter()
+                    .map(|&p| if p > 1e-12 { p * p.ln() } else { 0.0 })
+                    .sum::<f32>()
+            })
+            .collect();
+
+        // Variance of the winning-class probability across passes.
+        let winners = ops::argmax_rows(&mean_probs)?;
+        let variance: Vec<f32> = (0..n)
+            .map(|i| {
+                let samples: Vec<f32> = per_pass_predicted
+                    .iter()
+                    .map(|p| p.data()[i * c + winners[i]])
+                    .collect();
+                let mean = samples.iter().sum::<f32>() / samples.len() as f32;
+                samples.iter().map(|s| (s - mean).powi(2)).sum::<f32>() / samples.len() as f32
+            })
+            .collect();
+
+        Ok(ClassificationPrediction {
+            mean_probs,
+            entropy,
+            variance,
+            passes: self.passes,
+        })
+    }
+
+    /// Regression: averages raw outputs over the passes and reports the
+    /// per-element standard deviation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a forward pass fails.
+    pub fn predict_regression(
+        &self,
+        network: &mut dyn Layer,
+        inputs: &Tensor,
+    ) -> Result<RegressionPrediction> {
+        let mut outputs: Vec<Tensor> = Vec::with_capacity(self.passes);
+        for _ in 0..self.passes {
+            outputs.push(network.forward(inputs, Mode::Eval)?);
+        }
+        let mut mean = Tensor::zeros(outputs[0].dims());
+        for o in &outputs {
+            mean.add_assign(o)?;
+        }
+        let mean = mean.scale(1.0 / self.passes as f32);
+        let mut var = Tensor::zeros(mean.dims());
+        for o in &outputs {
+            let diff = o.sub(&mean)?;
+            var.add_assign(&diff.mul(&diff)?)?;
+        }
+        let std = var.scale(1.0 / self.passes as f32).map(f32::sqrt);
+        Ok(RegressionPrediction {
+            mean,
+            std,
+            passes: self.passes,
+        })
+    }
+}
+
+impl Default for BayesianPredictor {
+    fn default() -> Self {
+        // The number of MC passes commonly used with MC-Dropout BayNNs.
+        Self::new(20)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inverted_norm::{InvNormConfig, InvertedNorm};
+    use invnorm_nn::linear::Linear;
+    use invnorm_nn::Sequential;
+    use invnorm_tensor::Rng;
+
+    fn stochastic_net(rng: &mut Rng) -> Sequential {
+        let mut net = Sequential::new();
+        net.push(Box::new(
+            InvertedNorm::new(6, &InvNormConfig::default().with_drop_probability(0.5), rng)
+                .unwrap(),
+        ));
+        net.push(Box::new(Linear::new(6, 3, rng)));
+        net
+    }
+
+    #[test]
+    fn classification_probabilities_are_normalized() {
+        let mut rng = Rng::seed_from(1);
+        let mut net = stochastic_net(&mut rng);
+        let x = Tensor::randn(&[5, 6], 0.0, 1.0, &mut rng);
+        let pred = BayesianPredictor::new(12)
+            .predict_classification(&mut net, &x)
+            .unwrap();
+        assert_eq!(pred.passes, 12);
+        assert_eq!(pred.mean_probs.dims(), &[5, 3]);
+        for i in 0..5 {
+            let row_sum: f32 = pred.mean_probs.data()[i * 3..(i + 1) * 3].iter().sum();
+            assert!((row_sum - 1.0).abs() < 1e-4);
+        }
+        assert_eq!(pred.entropy.len(), 5);
+        assert_eq!(pred.variance.len(), 5);
+        assert!(pred.entropy.iter().all(|&e| (0.0..=(3.0f32).ln() + 1e-4).contains(&e)));
+        assert_eq!(pred.predicted_classes().len(), 5);
+    }
+
+    #[test]
+    fn more_passes_reduce_prediction_noise() {
+        let mut rng = Rng::seed_from(2);
+        let mut net = stochastic_net(&mut rng);
+        let x = Tensor::randn(&[4, 6], 0.0, 1.0, &mut rng);
+        // Two independent few-pass estimates differ more than two many-pass
+        // estimates.
+        let few_a = BayesianPredictor::new(2)
+            .predict_classification(&mut net, &x)
+            .unwrap();
+        let few_b = BayesianPredictor::new(2)
+            .predict_classification(&mut net, &x)
+            .unwrap();
+        let many_a = BayesianPredictor::new(64)
+            .predict_classification(&mut net, &x)
+            .unwrap();
+        let many_b = BayesianPredictor::new(64)
+            .predict_classification(&mut net, &x)
+            .unwrap();
+        let dist = |a: &Tensor, b: &Tensor| a.sub(b).unwrap().abs().mean();
+        assert!(
+            dist(&many_a.mean_probs, &many_b.mean_probs)
+                <= dist(&few_a.mean_probs, &few_b.mean_probs) + 1e-3
+        );
+    }
+
+    #[test]
+    fn nll_and_accuracy_consistency() {
+        let mut rng = Rng::seed_from(3);
+        let mut net = stochastic_net(&mut rng);
+        let x = Tensor::randn(&[6, 6], 0.0, 1.0, &mut rng);
+        let pred = BayesianPredictor::new(8)
+            .predict_classification(&mut net, &x)
+            .unwrap();
+        let targets = pred.predicted_classes();
+        // Against its own predictions the accuracy is 1 and the NLL is the
+        // smallest achievable for this distribution.
+        assert_eq!(pred.accuracy(&targets).unwrap(), 1.0);
+        let nll_best = pred.nll(&targets).unwrap();
+        let worst_targets: Vec<usize> = targets.iter().map(|&t| (t + 1) % 3).collect();
+        assert!(pred.nll(&worst_targets).unwrap() > nll_best);
+        let per_sample = pred.per_sample_nll(&targets).unwrap();
+        assert_eq!(per_sample.len(), 6);
+        assert!((per_sample.iter().sum::<f32>() / 6.0 - nll_best).abs() < 1e-5);
+        assert!(pred.per_sample_nll(&targets[..2]).is_err());
+    }
+
+    #[test]
+    fn regression_prediction_reports_uncertainty() {
+        let mut rng = Rng::seed_from(4);
+        let mut net = stochastic_net(&mut rng);
+        let x = Tensor::randn(&[3, 6], 0.0, 1.0, &mut rng);
+        let pred = BayesianPredictor::new(16)
+            .predict_regression(&mut net, &x)
+            .unwrap();
+        assert_eq!(pred.mean.dims(), &[3, 3]);
+        assert_eq!(pred.std.dims(), &[3, 3]);
+        // Stochastic network → strictly positive average uncertainty.
+        assert!(pred.mean_uncertainty() > 0.0);
+        let targets = pred.mean.clone();
+        assert!(pred.rmse(&targets).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn deterministic_network_has_zero_uncertainty() {
+        let mut rng = Rng::seed_from(5);
+        let mut net = Sequential::new();
+        net.push(Box::new(Linear::new(4, 2, &mut rng)));
+        let x = Tensor::randn(&[3, 4], 0.0, 1.0, &mut rng);
+        let pred = BayesianPredictor::new(10)
+            .predict_regression(&mut net, &x)
+            .unwrap();
+        assert!(pred.mean_uncertainty() < 1e-7);
+        let cls = BayesianPredictor::new(10)
+            .predict_classification(&mut net, &x)
+            .unwrap();
+        assert!(cls.variance.iter().all(|&v| v < 1e-10));
+    }
+
+    #[test]
+    fn predictor_enforces_at_least_one_pass() {
+        assert_eq!(BayesianPredictor::new(0).passes(), 1);
+        assert_eq!(BayesianPredictor::default().passes(), 20);
+    }
+}

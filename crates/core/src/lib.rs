@@ -1,0 +1,57 @@
+//! # invnorm-core
+//!
+//! The primary contribution of *"Enhancing Reliability of Neural Networks at
+//! the Edge: Inverted Normalization with Stochastic Affine Transformations"*
+//! (DATE 2024), implemented as reusable layers and inference utilities on top
+//! of [`invnorm_nn`]:
+//!
+//! * [`inverted_norm::InvertedNorm`] — the inverted normalization layer: the
+//!   learnable affine transformation is applied *before* normalization, and
+//!   its weights/biases are randomly dropped (to one/zero respectively) on
+//!   every forward pass.
+//! * [`affine_dropout`] — the stochastic affine-parameter dropout itself
+//!   (element-wise or vector-wise granularity), usable independently of the
+//!   layer.
+//! * [`init`] — random initialization strategies for the affine parameters
+//!   (γ ~ N(1, σγ), β ~ N(0, σβ), or uniform variants).
+//! * [`bayesian`] — Monte-Carlo Bayesian inference: multiple stochastic
+//!   forward passes, averaged predictions, predictive variance, NLL and
+//!   entropy.
+//! * [`ood`] — out-of-distribution detection by NLL thresholding, the
+//!   mechanism evaluated in the paper's Fig. 7.
+//!
+//! # Quick start
+//!
+//! ```
+//! use invnorm_core::inverted_norm::InvertedNorm;
+//! use invnorm_core::InvNormConfig;
+//! use invnorm_nn::layer::{Layer, Mode};
+//! use invnorm_tensor::{Rng, Tensor};
+//!
+//! # fn main() -> Result<(), invnorm_nn::NnError> {
+//! let mut rng = Rng::seed_from(0);
+//! // Drop-in replacement for a normalization layer after an 8-channel conv.
+//! let mut layer = InvertedNorm::new(8, &InvNormConfig::default(), &mut rng)?;
+//! let x = Tensor::randn(&[4, 8, 6, 6], 0.0, 1.0, &mut rng);
+//! let y = layer.forward(&x, Mode::Train)?;
+//! assert_eq!(y.dims(), x.dims());
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod affine_dropout;
+pub mod bayesian;
+pub mod init;
+pub mod inverted_norm;
+pub mod ood;
+
+pub use affine_dropout::{AffineDropout, DropGranularity};
+pub use bayesian::{BayesianPredictor, ClassificationPrediction, RegressionPrediction};
+pub use init::AffineInit;
+pub use inverted_norm::{InvNormConfig, InvertedNorm};
+pub use ood::OodDetector;
+
+/// Convenience result alias re-using the NN error type.
+pub type Result<T> = std::result::Result<T, invnorm_nn::NnError>;

@@ -1,0 +1,137 @@
+//! Out-of-distribution (OOD) detection by NLL thresholding (paper Sec. IV-E
+//! and Fig. 7).
+//!
+//! The detector is calibrated on in-distribution (ID) test data: the
+//! threshold is the mean per-sample negative log-likelihood of the Bayesian
+//! prediction on that data. At inference time a sample whose NLL exceeds the
+//! threshold is flagged as OOD. The paper reports the fraction of OOD inputs
+//! detected this way for rotated images and for images corrupted with uniform
+//! noise.
+
+use crate::bayesian::ClassificationPrediction;
+use crate::Result;
+use invnorm_nn::NnError;
+use serde::{Deserialize, Serialize};
+
+/// NLL-threshold OOD detector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OodDetector {
+    threshold: f32,
+}
+
+impl OodDetector {
+    /// Creates a detector with an explicit threshold.
+    pub fn with_threshold(threshold: f32) -> Self {
+        Self { threshold }
+    }
+
+    /// Calibrates the threshold as the mean per-sample NLL of an
+    /// in-distribution prediction, as done in the paper.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the targets do not match the prediction batch.
+    pub fn calibrate(
+        prediction: &ClassificationPrediction,
+        targets: &[usize],
+    ) -> Result<Self> {
+        let nlls = prediction.per_sample_nll(targets)?;
+        if nlls.is_empty() {
+            return Err(NnError::Config(
+                "cannot calibrate OOD detector on an empty batch".into(),
+            ));
+        }
+        let threshold = nlls.iter().sum::<f32>() / nlls.len() as f32;
+        Ok(Self { threshold })
+    }
+
+    /// The decision threshold.
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    /// Flags every sample whose NLL exceeds the threshold.
+    pub fn flag(&self, per_sample_nll: &[f32]) -> Vec<bool> {
+        per_sample_nll.iter().map(|&nll| nll > self.threshold).collect()
+    }
+
+    /// Fraction of samples flagged as OOD (the paper's "detection rate" when
+    /// applied to genuinely OOD data, and the false-positive rate when applied
+    /// to ID data).
+    pub fn detection_rate(&self, per_sample_nll: &[f32]) -> f32 {
+        if per_sample_nll.is_empty() {
+            return 0.0;
+        }
+        let flagged = self.flag(per_sample_nll).iter().filter(|&&f| f).count();
+        flagged as f32 / per_sample_nll.len() as f32
+    }
+
+    /// Convenience: detection rate straight from a prediction and targets.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the targets do not match the prediction batch.
+    pub fn detection_rate_for(
+        &self,
+        prediction: &ClassificationPrediction,
+        targets: &[usize],
+    ) -> Result<f32> {
+        Ok(self.detection_rate(&prediction.per_sample_nll(targets)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use invnorm_tensor::Tensor;
+
+    fn prediction_from_probs(probs: Vec<f32>, n: usize, c: usize) -> ClassificationPrediction {
+        ClassificationPrediction {
+            mean_probs: Tensor::from_vec(probs, &[n, c]).unwrap(),
+            entropy: vec![0.0; n],
+            variance: vec![0.0; n],
+            passes: 1,
+        }
+    }
+
+    #[test]
+    fn calibration_uses_mean_nll() {
+        // Two samples with p(correct) = 0.9 and 0.5.
+        let pred = prediction_from_probs(vec![0.9, 0.1, 0.5, 0.5], 2, 2);
+        let det = OodDetector::calibrate(&pred, &[0, 0]).unwrap();
+        let expected = (-(0.9f32).ln() - (0.5f32).ln()) / 2.0;
+        assert!((det.threshold() - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn confident_id_data_is_not_flagged_and_ood_is() {
+        let id = prediction_from_probs(vec![0.95, 0.05, 0.9, 0.1], 2, 2);
+        let det = OodDetector::calibrate(&id, &[0, 0]).unwrap();
+        // ID-like new data: confident and correct.
+        let id_nll = id.per_sample_nll(&[0, 0]).unwrap();
+        assert!(det.detection_rate(&id_nll) <= 0.5);
+        // OOD-like data: uncertain predictions → high NLL.
+        let ood = prediction_from_probs(vec![0.5, 0.5, 0.4, 0.6], 2, 2);
+        let ood_nll = ood.per_sample_nll(&[0, 0]).unwrap();
+        assert_eq!(det.detection_rate(&ood_nll), 1.0);
+        let flags = det.flag(&ood_nll);
+        assert_eq!(flags, vec![true, true]);
+    }
+
+    #[test]
+    fn empty_inputs_and_errors() {
+        let det = OodDetector::with_threshold(1.0);
+        assert_eq!(det.detection_rate(&[]), 0.0);
+        let pred = prediction_from_probs(vec![1.0, 0.0], 1, 2);
+        assert!(OodDetector::calibrate(&pred, &[0, 1]).is_err());
+        assert!(det.detection_rate_for(&pred, &[0]).is_ok());
+    }
+
+    #[test]
+    fn threshold_accessor_and_explicit_construction() {
+        let det = OodDetector::with_threshold(0.7);
+        assert_eq!(det.threshold(), 0.7);
+        assert_eq!(det.flag(&[0.6, 0.8]), vec![false, true]);
+        assert!((det.detection_rate(&[0.6, 0.8]) - 0.5).abs() < 1e-6);
+    }
+}

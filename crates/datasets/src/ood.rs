@@ -1,0 +1,153 @@
+//! Distribution-shift corruptions for the out-of-distribution experiments
+//! (paper Sec. IV-E, Fig. 7).
+//!
+//! Two corruption families are provided, matching the paper's protocol:
+//!
+//! * [`rotate_images`] — rotates every image by a fixed angle (the paper uses
+//!   12 stages of 7° increments);
+//! * [`add_uniform_noise`] — adds uniform noise of increasing strength.
+
+use invnorm_tensor::{Rng, Tensor};
+
+/// Rotates a batch of `[N, C, H, W]` images counter-clockwise by `degrees`
+/// around the image centre, using bilinear interpolation and zero padding.
+///
+/// # Panics
+///
+/// Panics if the input is not rank-4 (this is an experiment utility; shape
+/// errors indicate a harness bug rather than a recoverable condition).
+pub fn rotate_images(images: &Tensor, degrees: f32) -> Tensor {
+    let d = images.dims();
+    assert_eq!(d.len(), 4, "rotate_images expects [N, C, H, W]");
+    let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+    let radians = degrees.to_radians();
+    let (sin, cos) = radians.sin_cos();
+    let cy = (h as f32 - 1.0) / 2.0;
+    let cx = (w as f32 - 1.0) / 2.0;
+    let src = images.data();
+    let mut out = vec![0.0f32; images.numel()];
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            for y in 0..h {
+                for x in 0..w {
+                    // Inverse mapping: rotate the destination coordinate by
+                    // -θ to find the source position.
+                    let dy = y as f32 - cy;
+                    let dx = x as f32 - cx;
+                    let sx = cos * dx + sin * dy + cx;
+                    let sy = -sin * dx + cos * dy + cy;
+                    if sx < 0.0 || sy < 0.0 || sx > (w - 1) as f32 || sy > (h - 1) as f32 {
+                        continue; // zero padding
+                    }
+                    let x0 = sx.floor() as usize;
+                    let y0 = sy.floor() as usize;
+                    let x1 = (x0 + 1).min(w - 1);
+                    let y1 = (y0 + 1).min(h - 1);
+                    let fx = sx - x0 as f32;
+                    let fy = sy - y0 as f32;
+                    let v00 = src[base + y0 * w + x0];
+                    let v01 = src[base + y0 * w + x1];
+                    let v10 = src[base + y1 * w + x0];
+                    let v11 = src[base + y1 * w + x1];
+                    out[base + y * w + x] = v00 * (1.0 - fx) * (1.0 - fy)
+                        + v01 * fx * (1.0 - fy)
+                        + v10 * (1.0 - fx) * fy
+                        + v11 * fx * fy;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, d).expect("shape preserved")
+}
+
+/// Adds uniform noise `U(-strength, strength)` to every element of a batch.
+pub fn add_uniform_noise(inputs: &Tensor, strength: f32, rng: &mut Rng) -> Tensor {
+    if strength <= 0.0 {
+        return inputs.clone();
+    }
+    let noise = Tensor::rand_uniform(inputs.dims(), -strength, strength, rng);
+    inputs.add(&noise).expect("same shape")
+}
+
+/// The paper's rotation schedule: 12 stages in 7° increments (0° excluded).
+pub fn paper_rotation_stages() -> Vec<f32> {
+    (1..=12).map(|i| i as f32 * 7.0).collect()
+}
+
+/// A noise-strength schedule of `stages` evenly spaced levels up to
+/// `max_strength` (0 excluded).
+pub fn noise_stages(stages: usize, max_strength: f32) -> Vec<f32> {
+    (1..=stages)
+        .map(|i| max_strength * i as f32 / stages as f32)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rotation_is_identity() {
+        let mut rng = Rng::seed_from(1);
+        let images = Tensor::randn(&[2, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let rotated = rotate_images(&images, 0.0);
+        assert!(rotated.approx_eq(&images, 1e-5));
+    }
+
+    #[test]
+    fn rotation_by_360_degrees_recovers_interior() {
+        let mut rng = Rng::seed_from(2);
+        let images = Tensor::randn(&[1, 1, 9, 9], 0.0, 1.0, &mut rng);
+        let rotated = rotate_images(&images, 360.0);
+        // The centre pixel is exactly preserved.
+        assert!(
+            (rotated.get(&[0, 0, 4, 4]).unwrap() - images.get(&[0, 0, 4, 4]).unwrap()).abs()
+                < 1e-4
+        );
+    }
+
+    #[test]
+    fn rotation_moves_off_center_mass() {
+        // A bright pixel off-centre must move under a 90° rotation.
+        let mut images = Tensor::zeros(&[1, 1, 9, 9]);
+        images.set(&[0, 0, 4, 8], 1.0).unwrap();
+        let rotated = rotate_images(&images, 90.0);
+        assert!(rotated.get(&[0, 0, 4, 8]).unwrap() < 0.5);
+        assert!(rotated.sum() > 0.5, "mass should survive the rotation");
+    }
+
+    #[test]
+    fn larger_rotations_change_images_more() {
+        let mut rng = Rng::seed_from(3);
+        let images = Tensor::randn(&[2, 1, 12, 12], 0.0, 1.0, &mut rng);
+        let small = rotate_images(&images, 7.0);
+        let large = rotate_images(&images, 70.0);
+        let d_small = small.sub(&images).unwrap().abs().mean();
+        let d_large = large.sub(&images).unwrap().abs().mean();
+        assert!(d_large > d_small);
+    }
+
+    #[test]
+    fn uniform_noise_bounded_and_zero_strength_identity() {
+        let mut rng = Rng::seed_from(4);
+        let x = Tensor::zeros(&[4, 16]);
+        let noisy = add_uniform_noise(&x, 0.5, &mut rng);
+        assert!(noisy.abs().max() <= 0.5);
+        assert!(noisy.std() > 0.05);
+        let same = add_uniform_noise(&x, 0.0, &mut rng);
+        assert!(same.approx_eq(&x, 0.0));
+    }
+
+    #[test]
+    fn schedules_match_paper() {
+        let rotations = paper_rotation_stages();
+        assert_eq!(rotations.len(), 12);
+        assert_eq!(rotations[0], 7.0);
+        assert_eq!(rotations[11], 84.0);
+        let noise = noise_stages(5, 1.0);
+        assert_eq!(noise.len(), 5);
+        assert!((noise[4] - 1.0).abs() < 1e-6);
+        assert!(noise.windows(2).all(|w| w[1] > w[0]));
+    }
+}

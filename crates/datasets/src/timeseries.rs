@@ -1,0 +1,210 @@
+//! Synthetic atmospheric-CO₂ time series (Mauna Loa / Keeling-curve
+//! stand-in) and its autoregressive windowing.
+//!
+//! The real record is, to a very good approximation, a slowly accelerating
+//! trend plus an annual seasonal cycle plus weather noise; the generator
+//! reproduces exactly that structure:
+//!
+//! `co2(t) = base + a·t + b·t² + A·sin(2πt/12 + φ) + ε`
+//!
+//! with `t` in months. Samples for the LSTM forecaster are sliding windows of
+//! `window` consecutive normalized values with the next value as the target
+//! (one-step-ahead autoregressive forecasting, as in the paper's LSTM task).
+
+use crate::DenseSplit;
+use invnorm_tensor::{Rng, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the synthetic CO₂ series and its windowing.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Co2DatasetConfig {
+    /// Number of months to synthesize.
+    pub months: usize,
+    /// Autoregressive input window length.
+    pub window: usize,
+    /// Fraction of windows used for training (the rest is the test set,
+    /// taken from the chronological end of the series).
+    pub train_fraction: f32,
+    /// Standard deviation of the observation noise (ppm).
+    pub noise: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Co2DatasetConfig {
+    fn default() -> Self {
+        Self {
+            months: 480, // 40 years
+            window: 24,
+            train_fraction: 0.8,
+            noise: 0.3,
+            seed: 1958, // the year the Keeling measurements started
+        }
+    }
+}
+
+impl Co2DatasetConfig {
+    /// A smaller configuration used by fast unit tests and examples.
+    pub fn tiny() -> Self {
+        Self {
+            months: 180,
+            window: 12,
+            train_fraction: 0.8,
+            noise: 0.2,
+            seed: 1959,
+        }
+    }
+}
+
+/// The raw synthetic series plus the normalization constants used to map it
+/// to the network's input range.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Co2Series {
+    /// Monthly CO₂ concentrations in ppm.
+    pub values: Vec<f32>,
+    /// Mean used for normalization.
+    pub mean: f32,
+    /// Standard deviation used for normalization.
+    pub std: f32,
+}
+
+impl Co2Series {
+    /// Normalizes a raw ppm value.
+    pub fn normalize(&self, ppm: f32) -> f32 {
+        (ppm - self.mean) / self.std
+    }
+
+    /// Maps a normalized value back to ppm.
+    pub fn denormalize(&self, normalized: f32) -> f32 {
+        normalized * self.std + self.mean
+    }
+}
+
+/// Generates the raw monthly series.
+pub fn generate_series(config: &Co2DatasetConfig) -> Co2Series {
+    let mut rng = Rng::seed_from(config.seed);
+    let mut values = Vec::with_capacity(config.months);
+    for month in 0..config.months {
+        let t = month as f32;
+        let trend = 315.0 + 0.1 * t + 0.0001 * t * t;
+        let seasonal = 3.0 * (std::f32::consts::TAU * t / 12.0 + 0.4).sin()
+            + 0.8 * (std::f32::consts::TAU * t / 6.0).sin();
+        values.push(trend + seasonal + rng.normal(0.0, config.noise));
+    }
+    let mean = values.iter().sum::<f32>() / values.len().max(1) as f32;
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / values.len().max(1) as f32;
+    Co2Series {
+        values,
+        mean,
+        std: var.sqrt().max(1e-6),
+    }
+}
+
+/// Windows the series into autoregressive samples.
+///
+/// Inputs have shape `[N, window, 1]` (sequence-first layout expected by the
+/// LSTM layer) and targets `[N, 1]` (the next normalized value). The split is
+/// chronological: the first `train_fraction` of windows train, the rest test,
+/// so the test set is a genuine extrapolation like in the paper.
+pub fn generate(config: &Co2DatasetConfig) -> (DenseSplit, Co2Series) {
+    let series = generate_series(config);
+    let normalized: Vec<f32> = series.values.iter().map(|&v| series.normalize(v)).collect();
+    let window = config.window;
+    let total_windows = normalized.len().saturating_sub(window);
+    let mut inputs = Vec::with_capacity(total_windows);
+    let mut targets = Vec::with_capacity(total_windows);
+    for start in 0..total_windows {
+        let input: Vec<f32> = normalized[start..start + window].to_vec();
+        inputs.push(Tensor::from_vec(input, &[window, 1]).expect("window shape"));
+        targets.push(Tensor::from_slice(&[normalized[start + window]]));
+    }
+    let train_count = ((total_windows as f32) * config.train_fraction).round() as usize;
+    let train_count = train_count.clamp(1, total_windows.saturating_sub(1).max(1));
+    let split = DenseSplit {
+        train_inputs: Tensor::stack(&inputs[..train_count]).expect("uniform shapes"),
+        train_targets: Tensor::stack(&targets[..train_count]).expect("uniform shapes"),
+        test_inputs: Tensor::stack(&inputs[train_count..]).expect("uniform shapes"),
+        test_targets: Tensor::stack(&targets[train_count..]).expect("uniform shapes"),
+    };
+    (split, series)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_has_trend_and_seasonality() {
+        let series = generate_series(&Co2DatasetConfig::default());
+        assert_eq!(series.values.len(), 480);
+        // Trend: last year's mean well above first year's mean.
+        let first_year: f32 = series.values[..12].iter().sum::<f32>() / 12.0;
+        let last_year: f32 = series.values[468..].iter().sum::<f32>() / 12.0;
+        assert!(last_year > first_year + 30.0);
+        // Seasonality: within one year there is a swing of several ppm after
+        // removing the linear trend between consecutive months.
+        let year = &series.values[120..132];
+        let min = year.iter().copied().fold(f32::MAX, f32::min);
+        let max = year.iter().copied().fold(f32::MIN, f32::max);
+        assert!(max - min > 3.0);
+    }
+
+    #[test]
+    fn normalization_round_trip() {
+        let series = generate_series(&Co2DatasetConfig::tiny());
+        let x = 360.0;
+        assert!((series.denormalize(series.normalize(x)) - x).abs() < 1e-3);
+        // Normalized series is roughly standardized.
+        let normalized: Vec<f32> = series.values.iter().map(|&v| series.normalize(v)).collect();
+        let mean = normalized.iter().sum::<f32>() / normalized.len() as f32;
+        assert!(mean.abs() < 1e-3);
+    }
+
+    #[test]
+    fn windowing_shapes_and_chronological_split() {
+        let config = Co2DatasetConfig::tiny();
+        let (split, _series) = generate(&config);
+        let total = config.months - config.window;
+        assert_eq!(split.train_len() + split.test_len(), total);
+        assert_eq!(split.train_inputs.dims()[1..], [config.window, 1]);
+        assert_eq!(split.train_targets.dims()[1..], [1]);
+        // Chronological: train fraction respected.
+        let expected_train = ((total as f32) * config.train_fraction).round() as usize;
+        assert_eq!(split.train_len(), expected_train);
+    }
+
+    #[test]
+    fn targets_follow_the_window() {
+        let config = Co2DatasetConfig::tiny();
+        let (split, series) = generate(&config);
+        // The first target equals the normalized series value at index `window`.
+        let expected = series.normalize(series.values[config.window]);
+        let actual = split.train_targets.get(&[0, 0]).unwrap();
+        assert!((actual - expected).abs() < 1e-5);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (a, _) = generate(&Co2DatasetConfig::tiny());
+        let (b, _) = generate(&Co2DatasetConfig::tiny());
+        assert!(a.train_inputs.approx_eq(&b.train_inputs, 0.0));
+    }
+
+    #[test]
+    fn persistence_baseline_beats_noise_floor() {
+        // Predicting "next = last observed" should already be decent on this
+        // smooth series — a sanity check that the task is learnable, and the
+        // reference the LSTM must beat.
+        let (split, _series) = generate(&Co2DatasetConfig::tiny());
+        let n = split.test_len();
+        let mut sq = 0.0f32;
+        for i in 0..n {
+            let window = split.test_inputs.index_axis0(i).unwrap();
+            let last = window.data()[window.numel() - 1];
+            let target = split.test_targets.get(&[i, 0]).unwrap();
+            sq += (last - target).powi(2);
+        }
+        let rmse = (sq / n as f32).sqrt();
+        assert!(rmse < 0.5, "persistence RMSE unexpectedly high: {rmse}");
+    }
+}

@@ -1,0 +1,290 @@
+//! Differential-pair crossbar model.
+//!
+//! This module models the analog matrix-vector-multiplication path the paper
+//! targets: weights are programmed as conductance pairs `(G⁺, G⁻)` in a
+//! crossbar of NVM cells, inputs are applied as DAC-quantized voltages, the
+//! bit-line currents implement the weighted sum, and ADCs digitize the
+//! result. Conductance variation is applied at programming time, which is the
+//! physical origin of the additive/multiplicative weight noise abstraction
+//! used by [`crate::fault`].
+//!
+//! The crossbar is not needed to reproduce the paper's robustness curves
+//! (the paper itself evaluates with the algorithmic abstraction), but it
+//! closes the loop from "weights in a file" to "currents in an array" and is
+//! exercised by one of the examples and a throughput benchmark.
+
+use crate::Result;
+use invnorm_nn::NnError;
+use invnorm_quant::uniform::QuantizedTensor;
+use invnorm_tensor::{ops, Rng, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// Device and converter parameters of a crossbar tile.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CrossbarConfig {
+    /// Number of distinct conductance levels a cell can be programmed to.
+    pub conductance_levels: u32,
+    /// Minimum programmable conductance (arbitrary units).
+    pub g_min: f32,
+    /// Maximum programmable conductance (arbitrary units).
+    pub g_max: f32,
+    /// Relative programming variation applied to every programmed cell
+    /// (`G ← G · (1 + N(0, σ))`).
+    pub programming_sigma: f32,
+    /// DAC resolution in bits for the input voltages.
+    pub dac_bits: u8,
+    /// ADC resolution in bits for the output currents.
+    pub adc_bits: u8,
+}
+
+impl Default for CrossbarConfig {
+    fn default() -> Self {
+        Self {
+            conductance_levels: 16,
+            g_min: 0.1,
+            g_max: 1.0,
+            programming_sigma: 0.0,
+            dac_bits: 8,
+            adc_bits: 8,
+        }
+    }
+}
+
+impl CrossbarConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-physical parameter values.
+    pub fn validate(&self) -> Result<()> {
+        if self.conductance_levels < 2 {
+            return Err(NnError::Config(
+                "a crossbar cell needs at least two conductance levels".into(),
+            ));
+        }
+        if self.g_min < 0.0 || self.g_max <= self.g_min {
+            return Err(NnError::Config(format!(
+                "invalid conductance range [{}, {}]",
+                self.g_min, self.g_max
+            )));
+        }
+        if self.programming_sigma < 0.0 {
+            return Err(NnError::Config("programming sigma must be >= 0".into()));
+        }
+        if !(2..=16).contains(&self.dac_bits) || !(2..=16).contains(&self.adc_bits) {
+            return Err(NnError::Config(
+                "DAC/ADC resolution must be between 2 and 16 bits".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A programmed crossbar tile holding one weight matrix `[rows, cols]` as two
+/// conductance matrices (positive and negative lines).
+#[derive(Debug, Clone)]
+pub struct CrossbarArray {
+    config: CrossbarConfig,
+    g_pos: Tensor,
+    g_neg: Tensor,
+    scale: f32,
+    rows: usize,
+    cols: usize,
+}
+
+impl CrossbarArray {
+    /// Programs a weight matrix `[rows, cols]` into a crossbar tile.
+    ///
+    /// Weights are first quantized to the cell's level count, then each
+    /// half (positive / negative part) is mapped linearly onto
+    /// `[g_min, g_max]` and perturbed by programming variation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the weights are not rank-2 or the configuration
+    /// is invalid.
+    pub fn program(weights: &Tensor, config: CrossbarConfig, rng: &mut Rng) -> Result<Self> {
+        config.validate()?;
+        let (rows, cols) = ops::as_matrix_dims(weights)?;
+        // Quantize to the number of programmable levels (per differential
+        // half, so effectively levels-1 magnitude steps).
+        let bits = (32 - (config.conductance_levels - 1).leading_zeros()).clamp(2, 16) as u8;
+        let q = QuantizedTensor::quantize(weights, bits)?;
+        let dequant = q.dequantize();
+        let w_max = dequant.abs().max().max(1e-12);
+        let g_range = config.g_max - config.g_min;
+        let mut g_pos = Tensor::zeros(&[rows, cols]);
+        let mut g_neg = Tensor::zeros(&[rows, cols]);
+        for (i, &w) in dequant.data().iter().enumerate() {
+            let magnitude = w.abs() / w_max; // in [0, 1]
+            let g_on = config.g_min + magnitude * g_range;
+            let g_off = config.g_min;
+            let (p, n) = if w >= 0.0 { (g_on, g_off) } else { (g_off, g_on) };
+            let noise_p = 1.0 + rng.normal(0.0, config.programming_sigma);
+            let noise_n = 1.0 + rng.normal(0.0, config.programming_sigma);
+            g_pos.data_mut()[i] = (p * noise_p).clamp(0.0, config.g_max * 2.0);
+            g_neg.data_mut()[i] = (n * noise_n).clamp(0.0, config.g_max * 2.0);
+        }
+        Ok(Self {
+            config,
+            g_pos,
+            g_neg,
+            scale: w_max / g_range,
+            rows,
+            cols,
+        })
+    }
+
+    /// Number of word lines (weight-matrix rows).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of bit lines (weight-matrix columns).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The effective weight matrix currently stored in the array
+    /// (`(G⁺ − G⁻) · scale`), i.e. what the analog MVM actually computes.
+    pub fn effective_weights(&self) -> Tensor {
+        self.g_pos
+            .sub(&self.g_neg)
+            .expect("conductance matrices share a shape")
+            .scale(self.scale)
+    }
+
+    /// Performs the analog matrix-vector multiplication `x · Wᵀ` for a batch
+    /// of input rows `[N, rows]`, including DAC quantization of the inputs and
+    /// ADC quantization of the outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the input width does not match the array.
+    pub fn matvec(&self, inputs: &Tensor) -> Result<Tensor> {
+        let (_, in_features) = ops::as_matrix_dims(inputs)?;
+        if in_features != self.rows {
+            return Err(NnError::Config(format!(
+                "crossbar has {} word lines but input provides {in_features} features",
+                self.rows
+            )));
+        }
+        // DAC: quantize input voltages.
+        let x = QuantizedTensor::quantize(inputs, self.config.dac_bits)?.dequantize();
+        // Analog MVM on the differential pair.
+        let weights = self.effective_weights(); // [rows, cols]
+        let currents = ops::matmul(&x, &weights)?; // [N, cols]
+        // ADC: quantize the output currents.
+        Ok(QuantizedTensor::quantize(&currents, self.config.adc_bits)?.dequantize())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation() {
+        assert!(CrossbarConfig::default().validate().is_ok());
+        assert!(CrossbarConfig {
+            conductance_levels: 1,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(CrossbarConfig {
+            g_min: 1.0,
+            g_max: 0.5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(CrossbarConfig {
+            dac_bits: 1,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(CrossbarConfig {
+            programming_sigma: -0.1,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn ideal_crossbar_approximates_dense_matmul() {
+        let mut rng = Rng::seed_from(1);
+        let w = Tensor::randn(&[6, 4], 0.0, 0.5, &mut rng);
+        let config = CrossbarConfig {
+            conductance_levels: 256,
+            dac_bits: 12,
+            adc_bits: 12,
+            programming_sigma: 0.0,
+            ..Default::default()
+        };
+        let array = CrossbarArray::program(&w, config, &mut rng).unwrap();
+        assert_eq!(array.rows(), 6);
+        assert_eq!(array.cols(), 4);
+        let x = Tensor::randn(&[3, 6], 0.0, 1.0, &mut rng);
+        let analog = array.matvec(&x).unwrap();
+        let digital = ops::matmul(&x, &w).unwrap();
+        let err = analog.sub(&digital).unwrap().abs().max();
+        let scale = digital.abs().max();
+        assert!(err < 0.1 * scale, "analog error {err} vs scale {scale}");
+    }
+
+    #[test]
+    fn programming_variation_degrades_fidelity() {
+        let mut rng = Rng::seed_from(2);
+        let w = Tensor::randn(&[8, 8], 0.0, 0.5, &mut rng);
+        let x = Tensor::randn(&[4, 8], 0.0, 1.0, &mut rng);
+        let digital = ops::matmul(&x, &w).unwrap();
+        let error_with_sigma = |sigma: f32| {
+            let config = CrossbarConfig {
+                conductance_levels: 256,
+                dac_bits: 12,
+                adc_bits: 12,
+                programming_sigma: sigma,
+                ..Default::default()
+            };
+            let mut rng = Rng::seed_from(3);
+            let array = CrossbarArray::program(&w, config, &mut rng).unwrap();
+            array
+                .matvec(&x)
+                .unwrap()
+                .sub(&digital)
+                .unwrap()
+                .abs()
+                .mean()
+        };
+        assert!(error_with_sigma(0.3) > error_with_sigma(0.0));
+    }
+
+    #[test]
+    fn input_width_mismatch_is_rejected() {
+        let mut rng = Rng::seed_from(4);
+        let w = Tensor::randn(&[5, 3], 0.0, 0.5, &mut rng);
+        let array = CrossbarArray::program(&w, CrossbarConfig::default(), &mut rng).unwrap();
+        assert!(array.matvec(&Tensor::zeros(&[2, 4])).is_err());
+        assert!(CrossbarArray::program(&Tensor::zeros(&[5]), CrossbarConfig::default(), &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn effective_weights_have_correct_signs() {
+        let mut rng = Rng::seed_from(5);
+        let w = Tensor::from_vec(vec![1.0, -1.0, 0.5, -0.5], &[2, 2]).unwrap();
+        let config = CrossbarConfig {
+            conductance_levels: 256,
+            programming_sigma: 0.0,
+            ..Default::default()
+        };
+        let array = CrossbarArray::program(&w, config, &mut rng).unwrap();
+        let eff = array.effective_weights();
+        for (orig, stored) in w.data().iter().zip(eff.data().iter()) {
+            assert_eq!(orig.signum(), stored.signum());
+        }
+    }
+}

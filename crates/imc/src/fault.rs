@@ -1,0 +1,430 @@
+//! The fault-model catalogue: how NVM non-idealities perturb a tensor of
+//! programmed weights (or pre-activation values).
+//!
+//! Models follow the abstractions used by the paper (Sec. IV-A2) and the
+//! works it cites:
+//!
+//! * **Conductance variation** (manufacturing + thermal): additive Gaussian
+//!   noise `w + N(0, σ)` and multiplicative Gaussian noise `w · (1 + N(0, σ))`.
+//! * **Programming / retention faults**: random bit flips of the quantized
+//!   integer representation (or sign flips for binary weights).
+//! * **Uniform noise**: additive `U(-s, s)`, the extra experiment the paper
+//!   runs on the LSTM model.
+//! * **Stuck-at faults**: a fraction of cells stuck at the minimum or maximum
+//!   programmable value.
+//! * **Retention drift**: magnitudes decay by a factor `(t/t₀)^(-ν)`, the
+//!   standard phase-change-memory drift law.
+
+use crate::Result;
+use invnorm_nn::NnError;
+use invnorm_quant::binary::BinaryTensor;
+use invnorm_quant::uniform::QuantizedTensor;
+use invnorm_tensor::{Rng, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// A parameterized NVM non-ideality model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultModel {
+    /// Additive conductance variation: `w ← w + N(0, σ)`.
+    AdditiveVariation {
+        /// Standard deviation of the additive noise (relative to the weight
+        /// scale of the layer; the paper sweeps 0–1).
+        sigma: f32,
+    },
+    /// Multiplicative conductance variation: `w ← w · (1 + N(0, σ))`.
+    MultiplicativeVariation {
+        /// Standard deviation of the relative perturbation.
+        sigma: f32,
+    },
+    /// Additive uniform noise: `w ← w + U(-strength, strength)`.
+    UniformNoise {
+        /// Half-width of the uniform perturbation.
+        strength: f32,
+    },
+    /// Random bit flips in a `bits`-bit quantized representation. Each bit of
+    /// each parameter flips independently with probability `rate`.
+    BitFlip {
+        /// Per-bit flip probability (the paper sweeps 0–30 %).
+        rate: f32,
+        /// Bit width of the quantized representation the flips act on.
+        bits: u8,
+    },
+    /// Sign flips of binary (±α) weights, each with probability `rate`.
+    BinaryBitFlip {
+        /// Per-weight flip probability.
+        rate: f32,
+    },
+    /// A fraction `rate` of cells become stuck at the layer's minimum or
+    /// maximum weight value (chosen with equal probability).
+    StuckAt {
+        /// Fraction of affected cells.
+        rate: f32,
+    },
+    /// Retention drift: `w ← w · (t/t₀)^(-ν)` — magnitudes shrink over time.
+    Drift {
+        /// Drift exponent ν (≈ 0.01–0.1 for PCM).
+        nu: f32,
+        /// Normalized elapsed time `t/t₀ ≥ 1`.
+        time_ratio: f32,
+    },
+    /// No fault (baseline). Useful to keep sweep code uniform.
+    None,
+}
+
+impl FaultModel {
+    /// A short human-readable label used in experiment tables.
+    pub fn label(&self) -> String {
+        match self {
+            FaultModel::AdditiveVariation { sigma } => format!("additive σ={sigma}"),
+            FaultModel::MultiplicativeVariation { sigma } => format!("multiplicative σ={sigma}"),
+            FaultModel::UniformNoise { strength } => format!("uniform ±{strength}"),
+            FaultModel::BitFlip { rate, bits } => format!("bit-flip {:.1}% ({bits}-bit)", rate * 100.0),
+            FaultModel::BinaryBitFlip { rate } => format!("sign-flip {:.1}%", rate * 100.0),
+            FaultModel::StuckAt { rate } => format!("stuck-at {:.1}%", rate * 100.0),
+            FaultModel::Drift { nu, time_ratio } => format!("drift ν={nu} t/t₀={time_ratio}"),
+            FaultModel::None => "fault-free".to_string(),
+        }
+    }
+
+    /// Whether this model perturbs anything at all.
+    pub fn is_active(&self) -> bool {
+        match *self {
+            FaultModel::AdditiveVariation { sigma } => sigma > 0.0,
+            FaultModel::MultiplicativeVariation { sigma } => sigma > 0.0,
+            FaultModel::UniformNoise { strength } => strength > 0.0,
+            FaultModel::BitFlip { rate, .. } => rate > 0.0,
+            FaultModel::BinaryBitFlip { rate } => rate > 0.0,
+            FaultModel::StuckAt { rate } => rate > 0.0,
+            FaultModel::Drift { nu, time_ratio } => nu > 0.0 && time_ratio > 1.0,
+            FaultModel::None => false,
+        }
+    }
+
+    /// Validates the model parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for negative magnitudes, probabilities outside
+    /// `[0, 1]`, invalid bit widths or a drift time ratio below one.
+    pub fn validate(&self) -> Result<()> {
+        let fail = |msg: String| Err(NnError::Config(msg));
+        match *self {
+            FaultModel::AdditiveVariation { sigma } | FaultModel::MultiplicativeVariation { sigma } => {
+                if sigma < 0.0 {
+                    return fail(format!("variation sigma must be >= 0, got {sigma}"));
+                }
+            }
+            FaultModel::UniformNoise { strength } => {
+                if strength < 0.0 {
+                    return fail(format!("uniform noise strength must be >= 0, got {strength}"));
+                }
+            }
+            FaultModel::BitFlip { rate, bits } => {
+                if !(0.0..=1.0).contains(&rate) {
+                    return fail(format!("bit-flip rate must be in [0, 1], got {rate}"));
+                }
+                if !(2..=16).contains(&bits) {
+                    return fail(format!("bit-flip bit width must be in [2, 16], got {bits}"));
+                }
+            }
+            FaultModel::BinaryBitFlip { rate } | FaultModel::StuckAt { rate } => {
+                if !(0.0..=1.0).contains(&rate) {
+                    return fail(format!("fault rate must be in [0, 1], got {rate}"));
+                }
+            }
+            FaultModel::Drift { nu, time_ratio } => {
+                if nu < 0.0 {
+                    return fail(format!("drift exponent must be >= 0, got {nu}"));
+                }
+                if time_ratio < 1.0 {
+                    return fail(format!("drift time ratio must be >= 1, got {time_ratio}"));
+                }
+            }
+            FaultModel::None => {}
+        }
+        Ok(())
+    }
+
+    /// Applies the fault model to a weight tensor, returning the perturbed
+    /// tensor. The original is left untouched.
+    ///
+    /// Noise magnitudes for the variation models are interpreted relative to
+    /// the tensor's own scale (its maximum absolute value), matching how the
+    /// paper sweeps a dimensionless σ from 0 to 1 across models with very
+    /// different weight magnitudes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the model parameters are invalid.
+    pub fn perturb(&self, weights: &Tensor, rng: &mut Rng) -> Result<Tensor> {
+        self.validate()?;
+        if !self.is_active() {
+            return Ok(weights.clone());
+        }
+        match *self {
+            FaultModel::AdditiveVariation { sigma } => {
+                let scale = weights.abs().max().max(1e-12);
+                let noise = Tensor::randn(weights.dims(), 0.0, sigma * scale, rng);
+                Ok(weights.add(&noise)?)
+            }
+            FaultModel::MultiplicativeVariation { sigma } => {
+                let factor = Tensor::randn(weights.dims(), 1.0, sigma, rng);
+                Ok(weights.mul(&factor)?)
+            }
+            FaultModel::UniformNoise { strength } => {
+                let scale = weights.abs().max().max(1e-12);
+                let noise =
+                    Tensor::rand_uniform(weights.dims(), -strength * scale, strength * scale, rng);
+                Ok(weights.add(&noise)?)
+            }
+            FaultModel::BitFlip { rate, bits } => {
+                let mut q = QuantizedTensor::quantize(weights, bits)?;
+                flip_bits(&mut q, rate, rng);
+                Ok(q.dequantize())
+            }
+            FaultModel::BinaryBitFlip { rate } => {
+                let mut b = BinaryTensor::binarize(weights);
+                for s in b.signs_mut() {
+                    if rng.bernoulli(rate) {
+                        *s = !*s;
+                    }
+                }
+                Ok(b.dequantize())
+            }
+            FaultModel::StuckAt { rate } => {
+                let lo = weights.min();
+                let hi = weights.max();
+                let mut out = weights.clone();
+                for v in out.data_mut() {
+                    if rng.bernoulli(rate) {
+                        *v = if rng.bernoulli(0.5) { lo } else { hi };
+                    }
+                }
+                Ok(out)
+            }
+            FaultModel::Drift { nu, time_ratio } => {
+                let factor = time_ratio.powf(-nu);
+                Ok(weights.scale(factor))
+            }
+            FaultModel::None => Ok(weights.clone()),
+        }
+    }
+}
+
+impl Default for FaultModel {
+    fn default() -> Self {
+        FaultModel::None
+    }
+}
+
+/// Flips each bit of each quantized code independently with probability
+/// `rate`, then clamps the codes back into the representable range (a flip of
+/// the sign bit can otherwise escape it).
+pub fn flip_bits(q: &mut QuantizedTensor, rate: f32, rng: &mut Rng) {
+    let bits = q.bits();
+    for code in q.codes_mut() {
+        // Represent the signed code in two's complement over `bits` bits.
+        let mask = (1i32 << bits) - 1;
+        let mut raw = *code & mask;
+        for b in 0..bits {
+            if rng.bernoulli(rate) {
+                raw ^= 1 << b;
+            }
+        }
+        // Sign-extend back.
+        let sign_bit = 1i32 << (bits - 1);
+        *code = if raw & sign_bit != 0 { raw - (1 << bits) } else { raw };
+    }
+    q.clamp_codes();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use invnorm_tensor::Rng;
+    use proptest::prelude::*;
+
+    fn sample_weights(seed: u64) -> (Tensor, Rng) {
+        let mut rng = Rng::seed_from(seed);
+        let w = Tensor::randn(&[256], 0.0, 0.5, &mut rng);
+        (w, rng)
+    }
+
+    #[test]
+    fn labels_and_activity() {
+        assert!(FaultModel::None.label().contains("fault-free"));
+        assert!(FaultModel::BitFlip { rate: 0.1, bits: 8 }.label().contains("10.0%"));
+        assert!(!FaultModel::None.is_active());
+        assert!(!FaultModel::AdditiveVariation { sigma: 0.0 }.is_active());
+        assert!(FaultModel::AdditiveVariation { sigma: 0.1 }.is_active());
+        assert!(FaultModel::default() == FaultModel::None);
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(FaultModel::AdditiveVariation { sigma: -0.1 }.validate().is_err());
+        assert!(FaultModel::BitFlip { rate: 1.5, bits: 8 }.validate().is_err());
+        assert!(FaultModel::BitFlip { rate: 0.1, bits: 1 }.validate().is_err());
+        assert!(FaultModel::StuckAt { rate: -0.1 }.validate().is_err());
+        assert!(FaultModel::Drift { nu: 0.05, time_ratio: 0.5 }.validate().is_err());
+        assert!(FaultModel::Drift { nu: -0.05, time_ratio: 2.0 }.validate().is_err());
+        assert!(FaultModel::UniformNoise { strength: -1.0 }.validate().is_err());
+        assert!(FaultModel::None.validate().is_ok());
+    }
+
+    #[test]
+    fn additive_variation_magnitude_scales_with_sigma() {
+        let (w, mut rng) = sample_weights(1);
+        let small = FaultModel::AdditiveVariation { sigma: 0.05 }
+            .perturb(&w, &mut rng)
+            .unwrap();
+        let large = FaultModel::AdditiveVariation { sigma: 0.5 }
+            .perturb(&w, &mut rng)
+            .unwrap();
+        let err_small = small.sub(&w).unwrap().abs().mean();
+        let err_large = large.sub(&w).unwrap().abs().mean();
+        assert!(err_large > err_small * 3.0);
+    }
+
+    #[test]
+    fn multiplicative_variation_preserves_zeros() {
+        let mut rng = Rng::seed_from(2);
+        let w = Tensor::from_vec(vec![0.0, 1.0, -2.0, 0.0], &[4]).unwrap();
+        let p = FaultModel::MultiplicativeVariation { sigma: 0.3 }
+            .perturb(&w, &mut rng)
+            .unwrap();
+        assert_eq!(p.data()[0], 0.0);
+        assert_eq!(p.data()[3], 0.0);
+        assert_ne!(p.data()[1], 1.0);
+    }
+
+    #[test]
+    fn uniform_noise_is_bounded() {
+        let (w, mut rng) = sample_weights(3);
+        let strength = 0.2f32;
+        let scale = w.abs().max();
+        let p = FaultModel::UniformNoise { strength }
+            .perturb(&w, &mut rng)
+            .unwrap();
+        let max_dev = p.sub(&w).unwrap().abs().max();
+        assert!(max_dev <= strength * scale + 1e-6);
+    }
+
+    #[test]
+    fn bitflip_rate_zero_is_quantization_only() {
+        let (w, mut rng) = sample_weights(4);
+        let p = FaultModel::BitFlip { rate: 0.0, bits: 8 }
+            .perturb(&w, &mut rng)
+            .unwrap();
+        // rate 0 is inactive → returns the original weights unchanged.
+        assert!(p.approx_eq(&w, 1e-6));
+    }
+
+    #[test]
+    fn bitflip_corrupts_more_with_higher_rate() {
+        let (w, mut rng) = sample_weights(5);
+        let p_low = FaultModel::BitFlip { rate: 0.01, bits: 8 }
+            .perturb(&w, &mut rng)
+            .unwrap();
+        let p_high = FaultModel::BitFlip { rate: 0.3, bits: 8 }
+            .perturb(&w, &mut rng)
+            .unwrap();
+        let err_low = p_low.sub(&w).unwrap().abs().mean();
+        let err_high = p_high.sub(&w).unwrap().abs().mean();
+        assert!(err_high > err_low);
+    }
+
+    #[test]
+    fn binary_bitflip_flips_expected_fraction() {
+        let mut rng = Rng::seed_from(6);
+        let w = Tensor::rand_uniform(&[10_000], -1.0, 1.0, &mut rng);
+        let binarized = BinaryTensor::binarize(&w).dequantize();
+        let flipped = FaultModel::BinaryBitFlip { rate: 0.2 }
+            .perturb(&w, &mut rng)
+            .unwrap();
+        let changed = binarized
+            .data()
+            .iter()
+            .zip(flipped.data().iter())
+            .filter(|(a, b)| (*a - *b).abs() > 1e-9)
+            .count();
+        let rate = changed as f32 / w.numel() as f32;
+        assert!((rate - 0.2).abs() < 0.02, "flip rate {rate}");
+    }
+
+    #[test]
+    fn stuck_at_pins_to_extremes() {
+        let mut rng = Rng::seed_from(7);
+        let w = Tensor::linspace(-1.0, 1.0, 1000);
+        let p = FaultModel::StuckAt { rate: 0.3 }.perturb(&w, &mut rng).unwrap();
+        let changed: Vec<(f32, f32)> = w
+            .data()
+            .iter()
+            .zip(p.data().iter())
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| (*a, *b))
+            .collect();
+        assert!(!changed.is_empty());
+        for (_, new) in changed {
+            assert!(new == -1.0 || new == 1.0);
+        }
+    }
+
+    #[test]
+    fn drift_shrinks_magnitudes() {
+        let mut rng = Rng::seed_from(8);
+        let w = Tensor::from_vec(vec![1.0, -2.0, 0.5], &[3]).unwrap();
+        let p = FaultModel::Drift { nu: 0.1, time_ratio: 100.0 }
+            .perturb(&w, &mut rng)
+            .unwrap();
+        for (orig, drifted) in w.data().iter().zip(p.data().iter()) {
+            assert!(drifted.abs() < orig.abs());
+            assert_eq!(orig.signum(), drifted.signum());
+        }
+    }
+
+    #[test]
+    fn flip_bits_keeps_codes_in_range() {
+        let mut rng = Rng::seed_from(9);
+        let w = Tensor::randn(&[512], 0.0, 1.0, &mut rng);
+        let mut q = QuantizedTensor::quantize(&w, 4).unwrap();
+        flip_bits(&mut q, 0.5, &mut rng);
+        let qmax = QuantizedTensor::qmax_for(4);
+        assert!(q.codes().iter().all(|&c| c.abs() <= qmax));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_inactive_models_are_identity(values in proptest::collection::vec(-2.0f32..2.0, 1..64)) {
+            let w = Tensor::from_slice(&values);
+            let mut rng = Rng::seed_from(10);
+            for model in [
+                FaultModel::None,
+                FaultModel::AdditiveVariation { sigma: 0.0 },
+                FaultModel::MultiplicativeVariation { sigma: 0.0 },
+                FaultModel::UniformNoise { strength: 0.0 },
+                FaultModel::BinaryBitFlip { rate: 0.0 },
+                FaultModel::StuckAt { rate: 0.0 },
+            ] {
+                let p = model.perturb(&w, &mut rng).unwrap();
+                prop_assert!(p.approx_eq(&w, 0.0));
+            }
+        }
+
+        #[test]
+        fn prop_perturbed_shape_matches(values in proptest::collection::vec(-2.0f32..2.0, 1..64), sigma in 0.0f32..1.0) {
+            let w = Tensor::from_slice(&values);
+            let mut rng = Rng::seed_from(11);
+            for model in [
+                FaultModel::AdditiveVariation { sigma },
+                FaultModel::MultiplicativeVariation { sigma },
+                FaultModel::BitFlip { rate: sigma.min(0.9), bits: 8 },
+                FaultModel::StuckAt { rate: sigma.min(1.0) },
+            ] {
+                let p = model.perturb(&w, &mut rng).unwrap();
+                prop_assert_eq!(p.dims(), w.dims());
+                prop_assert!(!p.has_non_finite());
+            }
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! Fault injection into networks.
+//!
+//! Two injection points are provided, matching the paper's protocol:
+//!
+//! * [`WeightFaultInjector`] perturbs the learnable weights of a network (the
+//!   injection point for 8-bit models). It snapshots the clean weights so
+//!   they can be restored between Monte-Carlo runs.
+//! * [`ActivationNoise`] is a pass-through layer placed on the weighted sum
+//!   (pre-activation) path. For binary networks the paper injects variation
+//!   into the *normalized activations before the sign function*, because a
+//!   binary weight has no analog magnitude to perturb; model builders insert
+//!   this layer at that point and experiments turn it on through the shared
+//!   [`NoiseHandle`].
+
+use crate::fault::FaultModel;
+use crate::Result;
+use invnorm_nn::layer::{Layer, Mode, Param};
+use invnorm_nn::NnError;
+use invnorm_tensor::{Rng, Tensor};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Applies a [`FaultModel`] to every learnable weight of a network.
+///
+/// Only parameters of rank ≥ 2 (convolution kernels, linear/recurrent weight
+/// matrices) are perturbed by default — biases and normalization affine
+/// parameters are computed digitally outside the crossbar in the paper's
+/// architecture. Use [`WeightFaultInjector::including_vectors`] to also
+/// perturb rank-1 parameters.
+#[derive(Debug)]
+pub struct WeightFaultInjector {
+    model: FaultModel,
+    include_vectors: bool,
+    snapshot: Option<Vec<Tensor>>,
+}
+
+impl WeightFaultInjector {
+    /// Creates an injector for the given fault model.
+    pub fn new(model: FaultModel) -> Self {
+        Self {
+            model,
+            include_vectors: false,
+            snapshot: None,
+        }
+    }
+
+    /// Also perturb rank-1 parameters (biases, affine vectors).
+    #[must_use]
+    pub fn including_vectors(mut self) -> Self {
+        self.include_vectors = true;
+        self
+    }
+
+    /// The configured fault model.
+    pub fn model(&self) -> &FaultModel {
+        &self.model
+    }
+
+    /// Replaces the fault model (e.g. for the next sweep point) — only
+    /// allowed while no faulty weights are outstanding.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if called between `inject` and `restore`.
+    pub fn set_model(&mut self, model: FaultModel) -> Result<()> {
+        if self.snapshot.is_some() {
+            return Err(NnError::Config(
+                "cannot change fault model while faults are injected; call restore() first".into(),
+            ));
+        }
+        self.model = model;
+        Ok(())
+    }
+
+    fn targets(&self, p: &Param) -> bool {
+        p.value.rank() >= 2 || self.include_vectors
+    }
+
+    /// Perturbs the network weights in place, remembering the clean values.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the fault model is invalid or faults are already
+    /// injected (call [`WeightFaultInjector::restore`] first).
+    pub fn inject(&mut self, network: &mut dyn Layer, rng: &mut Rng) -> Result<()> {
+        if self.snapshot.is_some() {
+            return Err(NnError::Config(
+                "faults already injected; call restore() before injecting again".into(),
+            ));
+        }
+        self.model.validate()?;
+        let mut snapshot = Vec::new();
+        let mut failure: Option<NnError> = None;
+        let model = self.model;
+        let include_vectors = self.include_vectors;
+        network.visit_params(&mut |p| {
+            if failure.is_some() {
+                return;
+            }
+            snapshot.push(p.value.clone());
+            if p.value.rank() >= 2 || include_vectors {
+                match model.perturb(&p.value, rng) {
+                    Ok(perturbed) => p.value = perturbed,
+                    Err(e) => failure = Some(e),
+                }
+            }
+        });
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        self.snapshot = Some(snapshot);
+        Ok(())
+    }
+
+    /// Restores the clean weights captured by the last
+    /// [`WeightFaultInjector::inject`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when no snapshot is available or the network's
+    /// parameter count changed in between.
+    pub fn restore(&mut self, network: &mut dyn Layer) -> Result<()> {
+        let snapshot = self.snapshot.take().ok_or_else(|| {
+            NnError::Config("restore() called without a prior inject()".into())
+        })?;
+        let mut idx = 0usize;
+        let mut mismatch = false;
+        network.visit_params(&mut |p| {
+            if idx < snapshot.len() {
+                p.value = snapshot[idx].clone();
+            } else {
+                mismatch = true;
+            }
+            idx += 1;
+        });
+        if mismatch || idx != snapshot.len() {
+            return Err(NnError::Config(
+                "parameter count changed between inject() and restore()".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Whether faulty weights are currently outstanding.
+    pub fn is_injected(&self) -> bool {
+        self.snapshot.is_some()
+    }
+
+    /// Returns `true` if this injector would perturb the given parameter.
+    pub fn would_target(&self, p: &Param) -> bool {
+        self.targets(p)
+    }
+}
+
+/// Shared, experiment-settable handle controlling every [`ActivationNoise`]
+/// layer created from it.
+#[derive(Debug, Clone, Default)]
+pub struct NoiseHandle {
+    inner: Arc<RwLock<FaultModel>>,
+}
+
+impl NoiseHandle {
+    /// Creates a handle with no active noise.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(RwLock::new(FaultModel::None)),
+        }
+    }
+
+    /// Sets the fault model applied by every attached layer.
+    pub fn set(&self, model: FaultModel) {
+        *self.inner.write() = model;
+    }
+
+    /// Clears the noise (equivalent to `set(FaultModel::None)`).
+    pub fn clear(&self) {
+        self.set(FaultModel::None);
+    }
+
+    /// The currently configured model.
+    pub fn current(&self) -> FaultModel {
+        *self.inner.read()
+    }
+}
+
+/// A pass-through layer that perturbs its input with the fault model
+/// currently configured on its [`NoiseHandle`].
+///
+/// The backward pass treats the perturbation as additive noise independent of
+/// the input (straight-through), which is sufficient because fault injection
+/// only happens at inference time.
+#[derive(Debug)]
+pub struct ActivationNoise {
+    handle: NoiseHandle,
+    rng: Rng,
+}
+
+impl ActivationNoise {
+    /// Creates a noise layer attached to `handle`.
+    pub fn new(handle: NoiseHandle, seed: u64) -> Self {
+        Self {
+            handle,
+            rng: Rng::seed_from(seed),
+        }
+    }
+}
+
+impl Layer for ActivationNoise {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        let model = self.handle.current();
+        if !model.is_active() {
+            return Ok(input.clone());
+        }
+        model.perturb(input, &mut self.rng)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        Ok(grad_output.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "ActivationNoise"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use invnorm_nn::linear::Linear;
+    use invnorm_nn::norm::GroupNorm;
+    use invnorm_nn::Sequential;
+
+    fn network(rng: &mut Rng) -> Sequential {
+        let mut net = Sequential::new();
+        net.push(Box::new(Linear::new(8, 16, rng)));
+        net.push(Box::new(GroupNorm::layer_norm(16)));
+        net.push(Box::new(Linear::new(16, 4, rng)));
+        net
+    }
+
+    fn weights_of(net: &mut Sequential) -> Vec<f32> {
+        let mut v = Vec::new();
+        net.visit_params(&mut |p| v.extend_from_slice(p.value.data()));
+        v
+    }
+
+    #[test]
+    fn inject_then_restore_is_identity() {
+        let mut rng = Rng::seed_from(1);
+        let mut net = network(&mut rng);
+        let clean = weights_of(&mut net);
+        let mut injector =
+            WeightFaultInjector::new(FaultModel::AdditiveVariation { sigma: 0.5 });
+        injector.inject(&mut net, &mut rng).unwrap();
+        assert!(injector.is_injected());
+        let faulty = weights_of(&mut net);
+        assert_ne!(clean, faulty);
+        injector.restore(&mut net).unwrap();
+        assert!(!injector.is_injected());
+        assert_eq!(clean, weights_of(&mut net));
+    }
+
+    #[test]
+    fn rank1_params_untouched_by_default() {
+        let mut rng = Rng::seed_from(2);
+        let mut net = network(&mut rng);
+        // Collect rank-1 params (biases, norm affine) before injection.
+        let mut rank1_before = Vec::new();
+        net.visit_params(&mut |p| {
+            if p.value.rank() < 2 {
+                rank1_before.extend_from_slice(p.value.data());
+            }
+        });
+        let mut injector =
+            WeightFaultInjector::new(FaultModel::MultiplicativeVariation { sigma: 0.5 });
+        injector.inject(&mut net, &mut rng).unwrap();
+        let mut rank1_after = Vec::new();
+        net.visit_params(&mut |p| {
+            if p.value.rank() < 2 {
+                rank1_after.extend_from_slice(p.value.data());
+            }
+        });
+        assert_eq!(rank1_before, rank1_after);
+        injector.restore(&mut net).unwrap();
+
+        // With including_vectors the rank-1 params are perturbed too.
+        let mut injector = WeightFaultInjector::new(FaultModel::AdditiveVariation { sigma: 0.5 })
+            .including_vectors();
+        injector.inject(&mut net, &mut rng).unwrap();
+        let mut rank1_now = Vec::new();
+        net.visit_params(&mut |p| {
+            if p.value.rank() < 2 {
+                rank1_now.extend_from_slice(p.value.data());
+            }
+        });
+        assert_ne!(rank1_before, rank1_now);
+        injector.restore(&mut net).unwrap();
+    }
+
+    #[test]
+    fn double_inject_and_bare_restore_error() {
+        let mut rng = Rng::seed_from(3);
+        let mut net = network(&mut rng);
+        let mut injector = WeightFaultInjector::new(FaultModel::AdditiveVariation { sigma: 0.1 });
+        assert!(injector.restore(&mut net).is_err());
+        injector.inject(&mut net, &mut rng).unwrap();
+        assert!(injector.inject(&mut net, &mut rng).is_err());
+        assert!(injector
+            .set_model(FaultModel::BitFlip { rate: 0.1, bits: 8 })
+            .is_err());
+        injector.restore(&mut net).unwrap();
+        assert!(injector
+            .set_model(FaultModel::BitFlip { rate: 0.1, bits: 8 })
+            .is_ok());
+        assert!(matches!(injector.model(), FaultModel::BitFlip { .. }));
+    }
+
+    #[test]
+    fn invalid_model_is_rejected_at_injection() {
+        let mut rng = Rng::seed_from(4);
+        let mut net = network(&mut rng);
+        let mut injector = WeightFaultInjector::new(FaultModel::BitFlip { rate: 2.0, bits: 8 });
+        assert!(injector.inject(&mut net, &mut rng).is_err());
+        assert!(!injector.is_injected());
+    }
+
+    #[test]
+    fn noise_handle_controls_activation_noise() {
+        let handle = NoiseHandle::new();
+        let mut layer = ActivationNoise::new(handle.clone(), 5);
+        let mut rng = Rng::seed_from(6);
+        let x = Tensor::randn(&[4, 8], 0.0, 1.0, &mut rng);
+        // No noise configured: identity.
+        let y = layer.forward(&x, Mode::Eval).unwrap();
+        assert!(y.approx_eq(&x, 0.0));
+        assert!(!handle.current().is_active());
+        // Configure additive noise through the shared handle.
+        handle.set(FaultModel::AdditiveVariation { sigma: 0.5 });
+        let y = layer.forward(&x, Mode::Eval).unwrap();
+        assert!(!y.approx_eq(&x, 1e-6));
+        // Backward is pass-through.
+        let g = layer.backward(&Tensor::ones(x.dims())).unwrap();
+        assert!(g.approx_eq(&Tensor::ones(x.dims()), 0.0));
+        // Clearing restores identity behaviour.
+        handle.clear();
+        let y = layer.forward(&x, Mode::Eval).unwrap();
+        assert!(y.approx_eq(&x, 0.0));
+    }
+
+    #[test]
+    fn cloned_handles_share_state() {
+        let handle = NoiseHandle::new();
+        let clone = handle.clone();
+        handle.set(FaultModel::UniformNoise { strength: 0.3 });
+        assert!(clone.current().is_active());
+        assert_eq!(clone.current(), handle.current());
+    }
+
+    #[test]
+    fn activation_noise_has_no_params() {
+        let mut layer = ActivationNoise::new(NoiseHandle::new(), 7);
+        assert_eq!(layer.param_count(), 0);
+        assert_eq!(layer.name(), "ActivationNoise");
+    }
+}

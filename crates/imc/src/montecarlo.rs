@@ -1,0 +1,392 @@
+//! Monte-Carlo fault simulation (the paper's evaluation protocol).
+//!
+//! Every robustness number in the paper is the mean ± standard deviation of a
+//! metric over 100 Monte-Carlo fault-simulation runs, each run representing
+//! one simulated chip instance with its own random fault realization.
+//! [`MonteCarloEngine`] reproduces that protocol: it repeatedly injects a
+//! fresh fault realization into the network, evaluates a caller-provided
+//! metric, restores the clean weights, and aggregates the results.
+//!
+//! For sweeps over many fault strengths, [`MonteCarloEngine::run_parallel`]
+//! distributes chip instances over worker threads using model *factories*
+//! (each thread builds its own model copy), since trained networks are not
+//! `Clone`.
+
+use crate::fault::FaultModel;
+use crate::injector::WeightFaultInjector;
+use crate::Result;
+use invnorm_nn::layer::Layer;
+use invnorm_nn::NnError;
+use invnorm_tensor::stats::RunningStats;
+use invnorm_tensor::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Aggregated result of a Monte-Carlo fault simulation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MonteCarloSummary {
+    /// The fault model that was simulated.
+    pub fault_label: String,
+    /// Metric value of every run (chip instance).
+    pub per_run: Vec<f32>,
+    /// Mean metric over all runs.
+    pub mean: f32,
+    /// Standard deviation of the metric over all runs.
+    pub std: f32,
+    /// Smallest observed metric.
+    pub min: f32,
+    /// Largest observed metric.
+    pub max: f32,
+}
+
+impl MonteCarloSummary {
+    fn from_runs(fault_label: String, per_run: Vec<f32>) -> Self {
+        let mut stats = RunningStats::new();
+        stats.extend_from_slice(&per_run);
+        Self {
+            fault_label,
+            mean: stats.mean(),
+            std: stats.std(),
+            min: stats.min(),
+            max: stats.max(),
+            per_run,
+        }
+    }
+
+    /// Number of simulated chip instances.
+    pub fn runs(&self) -> usize {
+        self.per_run.len()
+    }
+}
+
+/// Monte-Carlo fault-simulation engine.
+#[derive(Debug, Clone, Copy)]
+pub struct MonteCarloEngine {
+    runs: usize,
+    seed: u64,
+}
+
+impl MonteCarloEngine {
+    /// Creates an engine running `runs` chip instances (at least one) from a
+    /// base seed; instance `i` uses an independent RNG stream derived from
+    /// `seed` and `i`.
+    pub fn new(runs: usize, seed: u64) -> Self {
+        Self {
+            runs: runs.max(1),
+            seed,
+        }
+    }
+
+    /// The paper's setting: 100 chip instances.
+    pub fn paper_default() -> Self {
+        Self::new(100, 0xC0FFEE)
+    }
+
+    /// Number of runs.
+    pub fn runs(&self) -> usize {
+        self.runs
+    }
+
+    /// Independent RNG stream for chip instance `run`, identical regardless of
+    /// which thread (or call order) simulates it.
+    fn run_rng(seed: u64, run: usize) -> Rng {
+        Rng::seed_from(
+            seed ^ (run as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        )
+    }
+
+    /// Runs the simulation on a single network, injecting and restoring
+    /// faults around every evaluation.
+    ///
+    /// `evaluate` receives the faulty network and returns the metric of
+    /// interest (accuracy, mIoU, RMSE, NLL, ...).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when injection, evaluation or restoration fails; the
+    /// network is restored to its clean weights before the error is returned
+    /// whenever possible.
+    pub fn run<F>(
+        &self,
+        network: &mut dyn Layer,
+        fault: FaultModel,
+        mut evaluate: F,
+    ) -> Result<MonteCarloSummary>
+    where
+        F: FnMut(&mut dyn Layer) -> Result<f32>,
+    {
+        fault.validate()?;
+        let mut per_run = Vec::with_capacity(self.runs);
+        for run in 0..self.runs {
+            let mut rng = Self::run_rng(self.seed, run);
+            let mut injector = WeightFaultInjector::new(fault);
+            injector.inject(network, &mut rng)?;
+            let result = evaluate(network);
+            // Always restore, even if evaluation failed.
+            let restore_result = injector.restore(network);
+            let metric = result?;
+            restore_result?;
+            if !metric.is_finite() {
+                return Err(NnError::Config(format!(
+                    "evaluation returned a non-finite metric ({metric}) on run {run}"
+                )));
+            }
+            per_run.push(metric);
+        }
+        Ok(MonteCarloSummary::from_runs(fault.label(), per_run))
+    }
+
+    /// Runs the simulation with per-thread model copies built by `factory`,
+    /// spreading chip instances over `threads` workers.
+    ///
+    /// This is the variant used for the larger sweeps in `invnorm-bench`;
+    /// each worker builds its own model (factories are expected to reproduce
+    /// identical weights, e.g. by re-training with a fixed seed or loading a
+    /// shared checkpoint) and simulates a disjoint subset of chip instances.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when any worker fails.
+    pub fn run_parallel<M, F, E>(
+        &self,
+        factory: F,
+        fault: FaultModel,
+        evaluate: E,
+        threads: usize,
+    ) -> Result<MonteCarloSummary>
+    where
+        M: Layer + Send,
+        F: Fn() -> M + Sync,
+        E: Fn(&mut M) -> Result<f32> + Sync,
+    {
+        fault.validate()?;
+        let threads = threads.clamp(1, self.runs);
+        let runs_per_thread = self.runs.div_ceil(threads);
+        let seed = self.seed;
+        let results: std::result::Result<Vec<Vec<f32>>, NnError> =
+            crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for t in 0..threads {
+                    let factory = &factory;
+                    let evaluate = &evaluate;
+                    handles.push(scope.spawn(move |_| -> Result<Vec<f32>> {
+                        let start = t * runs_per_thread;
+                        let end = (start + runs_per_thread).min(self.runs);
+                        let mut model = factory();
+                        let mut out = Vec::with_capacity(end.saturating_sub(start));
+                        for run in start..end {
+                            let mut rng = Self::run_rng(seed, run);
+                            let mut injector = WeightFaultInjector::new(fault);
+                            injector.inject(&mut model, &mut rng)?;
+                            let metric = evaluate(&mut model);
+                            injector.restore(&mut model)?;
+                            out.push(metric?);
+                        }
+                        Ok(out)
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker thread panicked"))
+                    .collect()
+            })
+            .expect("crossbeam scope panicked");
+        let per_run: Vec<f32> = results?.into_iter().flatten().collect();
+        Ok(MonteCarloSummary::from_runs(fault.label(), per_run))
+    }
+
+    /// Convenience sweep: runs the engine once per fault model and collects
+    /// the summaries in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when any individual simulation fails.
+    pub fn sweep<F>(
+        &self,
+        network: &mut dyn Layer,
+        faults: &[FaultModel],
+        mut evaluate: F,
+    ) -> Result<Vec<MonteCarloSummary>>
+    where
+        F: FnMut(&mut dyn Layer) -> Result<f32>,
+    {
+        faults
+            .iter()
+            .map(|&fault| self.run(network, fault, &mut evaluate))
+            .collect()
+    }
+}
+
+impl Default for MonteCarloEngine {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use invnorm_nn::layer::Mode;
+    use invnorm_nn::linear::Linear;
+    use invnorm_nn::Sequential;
+    use invnorm_tensor::Tensor;
+
+    fn simple_net(seed: u64) -> Sequential {
+        let mut rng = Rng::seed_from(seed);
+        let mut net = Sequential::new();
+        net.push(Box::new(Linear::new(4, 4, &mut rng)));
+        net.push(Box::new(Linear::new(4, 2, &mut rng)));
+        net
+    }
+
+    #[test]
+    fn fault_free_simulation_has_zero_variance() {
+        let mut net = simple_net(1);
+        let x = Tensor::randn(&[8, 4], 0.0, 1.0, &mut Rng::seed_from(2));
+        let engine = MonteCarloEngine::new(10, 42);
+        let summary = engine
+            .run(&mut net, FaultModel::None, |n| {
+                Ok(n.forward(&x, Mode::Eval)?.sum())
+            })
+            .unwrap();
+        assert_eq!(summary.runs(), 10);
+        assert!(summary.std < 1e-6);
+        assert_eq!(summary.min, summary.max);
+        assert!(summary.fault_label.contains("fault-free"));
+    }
+
+    #[test]
+    fn faulty_simulation_varies_and_restores_weights() {
+        let mut net = simple_net(3);
+        let x = Tensor::randn(&[8, 4], 0.0, 1.0, &mut Rng::seed_from(4));
+        let clean_out = net.forward(&x, Mode::Eval).unwrap();
+        let engine = MonteCarloEngine::new(20, 7);
+        let summary = engine
+            .run(
+                &mut net,
+                FaultModel::AdditiveVariation { sigma: 0.3 },
+                |n| Ok(n.forward(&x, Mode::Eval)?.sum()),
+            )
+            .unwrap();
+        assert!(summary.std > 0.0, "fault runs should differ");
+        // Clean weights restored.
+        let after = net.forward(&x, Mode::Eval).unwrap();
+        assert!(clean_out.approx_eq(&after, 1e-6));
+    }
+
+    #[test]
+    fn stronger_faults_cause_larger_deviation() {
+        let mut net = simple_net(5);
+        let x = Tensor::randn(&[16, 4], 0.0, 1.0, &mut Rng::seed_from(6));
+        let clean = net.forward(&x, Mode::Eval).unwrap().mean();
+        let engine = MonteCarloEngine::new(30, 9);
+        let deviation = |sigma: f32, net: &mut Sequential| {
+            engine
+                .run(net, FaultModel::AdditiveVariation { sigma }, |n| {
+                    Ok((n.forward(&x, Mode::Eval)?.mean() - clean).abs())
+                })
+                .unwrap()
+                .mean
+        };
+        let weak = deviation(0.05, &mut net);
+        let strong = deviation(0.8, &mut net);
+        assert!(strong > weak, "strong {strong} vs weak {weak}");
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let x = Tensor::randn(&[8, 4], 0.0, 1.0, &mut Rng::seed_from(10));
+        let run = |seed: u64| {
+            let mut net = simple_net(11);
+            MonteCarloEngine::new(5, seed)
+                .run(&mut net, FaultModel::BitFlip { rate: 0.05, bits: 8 }, |n| {
+                    Ok(n.forward(&x, Mode::Eval)?.sum())
+                })
+                .unwrap()
+                .per_run
+        };
+        assert_eq!(run(123), run(123));
+        assert_ne!(run(123), run(456));
+    }
+
+    #[test]
+    fn sweep_runs_every_fault_model() {
+        let mut net = simple_net(12);
+        let x = Tensor::randn(&[4, 4], 0.0, 1.0, &mut Rng::seed_from(13));
+        let faults = [
+            FaultModel::None,
+            FaultModel::AdditiveVariation { sigma: 0.2 },
+            FaultModel::BitFlip { rate: 0.1, bits: 8 },
+        ];
+        let summaries = MonteCarloEngine::new(4, 1)
+            .sweep(&mut net, &faults, |n| Ok(n.forward(&x, Mode::Eval)?.sum()))
+            .unwrap();
+        assert_eq!(summaries.len(), 3);
+        assert_eq!(summaries[0].runs(), 4);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_statistics() {
+        let x = Tensor::randn(&[16, 4], 0.0, 1.0, &mut Rng::seed_from(14));
+        let engine = MonteCarloEngine::new(16, 77);
+        let fault = FaultModel::AdditiveVariation { sigma: 0.3 };
+        let mut net = simple_net(15);
+        let sequential = engine
+            .run(&mut net, fault, |n| Ok(n.forward(&x, Mode::Eval)?.sum()))
+            .unwrap();
+        let x_par = x.clone();
+        let parallel = engine
+            .run_parallel(
+                || simple_net(15),
+                fault,
+                move |n| Ok(n.forward(&x_par, Mode::Eval)?.sum()),
+                4,
+            )
+            .unwrap();
+        assert_eq!(parallel.runs(), sequential.runs());
+        // Same seeds and same model weights → identical per-run metrics
+        // regardless of which thread executed them.
+        let mut a = sequential.per_run.clone();
+        let mut b = parallel.per_run.clone();
+        a.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        b.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn evaluation_error_still_restores_weights() {
+        let mut net = simple_net(16);
+        let x = Tensor::randn(&[4, 4], 0.0, 1.0, &mut Rng::seed_from(17));
+        let clean = net.forward(&x, Mode::Eval).unwrap();
+        let engine = MonteCarloEngine::new(3, 5);
+        let mut calls = 0;
+        let result = engine.run(
+            &mut net,
+            FaultModel::AdditiveVariation { sigma: 0.5 },
+            |_n| {
+                calls += 1;
+                Err(NnError::Config("simulated evaluation failure".into()))
+            },
+        );
+        assert!(result.is_err());
+        assert_eq!(calls, 1);
+        let after = net.forward(&x, Mode::Eval).unwrap();
+        assert!(clean.approx_eq(&after, 1e-6));
+    }
+
+    #[test]
+    fn non_finite_metric_is_rejected() {
+        let mut net = simple_net(18);
+        let engine = MonteCarloEngine::new(2, 5);
+        let result = engine.run(&mut net, FaultModel::None, |_n| Ok(f32::NAN));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn run_count_is_at_least_one() {
+        assert_eq!(MonteCarloEngine::new(0, 1).runs(), 1);
+        assert_eq!(MonteCarloEngine::paper_default().runs(), 100);
+        assert_eq!(MonteCarloEngine::default().runs(), 100);
+    }
+}

@@ -1,0 +1,135 @@
+//! `LstmForecaster`: the two-layer LSTM autoregressive forecaster the paper
+//! uses for the atmospheric-CO₂ series (W/A = 8/8).
+
+use crate::variant::{BuiltModel, NormVariant};
+use crate::Result;
+use invnorm_imc::injector::NoiseHandle;
+use invnorm_nn::linear::Linear;
+use invnorm_nn::lstm::Lstm;
+use invnorm_nn::Sequential;
+use invnorm_quant::QuantConfig;
+use invnorm_tensor::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the LSTM forecaster.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LstmForecasterConfig {
+    /// Number of input features per timestep (1 for the univariate CO₂
+    /// series).
+    pub input_features: usize,
+    /// Hidden width of both LSTM layers.
+    pub hidden: usize,
+    /// RNG seed for weight initialization.
+    pub seed: u64,
+}
+
+impl Default for LstmForecasterConfig {
+    fn default() -> Self {
+        Self {
+            input_features: 1,
+            hidden: 24,
+            seed: 400,
+        }
+    }
+}
+
+impl LstmForecasterConfig {
+    /// A small configuration for fast unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            hidden: 8,
+            ..Self::default()
+        }
+    }
+}
+
+/// Builds the forecaster in the requested normalization variant.
+///
+/// The network is `LSTM → LSTM → normalization → (dropout) → Linear(1)`,
+/// consuming `[N, T, F]` windows and producing `[N, 1]` one-step-ahead
+/// predictions.
+///
+/// # Errors
+///
+/// Returns an error when the variant configuration is invalid.
+pub fn build(config: &LstmForecasterConfig, variant: NormVariant) -> Result<BuiltModel> {
+    let mut rng = Rng::seed_from(config.seed);
+    let mut net = Sequential::new();
+    net.push(Box::new(Lstm::new(
+        config.input_features,
+        config.hidden,
+        true,
+        &mut rng,
+    )));
+    net.push(Box::new(Lstm::new(config.hidden, config.hidden, false, &mut rng)));
+    net.push(variant.norm_layer(config.hidden, 1, config.seed + 1, &mut rng)?);
+    if let Some(dropout) = variant.dropout_layer(config.seed + 2)? {
+        net.push(dropout);
+    }
+    net.push(Box::new(Linear::new(config.hidden, 1, &mut rng)));
+
+    Ok(BuiltModel {
+        network: Box::new(net),
+        noise: NoiseHandle::new(),
+        quant: QuantConfig::int8(),
+        topology: "LstmForecaster",
+        variant,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use invnorm_nn::layer::{Layer, Mode};
+    use invnorm_tensor::Tensor;
+
+    #[test]
+    fn all_variants_build_and_run() {
+        for variant in [
+            NormVariant::Conventional,
+            NormVariant::SpinDrop { p: 0.3 },
+            NormVariant::SpatialSpinDrop { p: 0.3 },
+            NormVariant::proposed(),
+        ] {
+            let mut model = build(&LstmForecasterConfig::tiny(), variant).unwrap();
+            let mut rng = Rng::seed_from(1);
+            let x = Tensor::randn(&[4, 12, 1], 0.0, 1.0, &mut rng);
+            let y = model.forward(&x, Mode::Train).unwrap();
+            assert_eq!(y.dims(), &[4, 1]);
+            let g = model.backward(&Tensor::ones(y.dims())).unwrap();
+            assert_eq!(g.dims(), x.dims());
+        }
+    }
+
+    #[test]
+    fn metadata_matches_paper_row() {
+        let model = build(&LstmForecasterConfig::default(), NormVariant::proposed()).unwrap();
+        assert_eq!(model.topology, "LstmForecaster");
+        assert_eq!(model.quant.describe(), "8/8");
+        assert_eq!(model.variant.label(), "Proposed");
+    }
+
+    #[test]
+    fn proposed_variant_is_stochastic_and_conventional_not() {
+        let mut rng = Rng::seed_from(2);
+        let x = Tensor::randn(&[3, 12, 1], 0.0, 1.0, &mut rng);
+        let mut proposed = build(&LstmForecasterConfig::tiny(), NormVariant::proposed()).unwrap();
+        let outputs: Vec<Tensor> = (0..8)
+            .map(|_| proposed.forward(&x, Mode::Eval).unwrap())
+            .collect();
+        assert!(outputs.windows(2).any(|w| !w[0].approx_eq(&w[1], 1e-6)));
+
+        let mut conventional =
+            build(&LstmForecasterConfig::tiny(), NormVariant::Conventional).unwrap();
+        let y1 = conventional.forward(&x, Mode::Eval).unwrap();
+        let y2 = conventional.forward(&x, Mode::Eval).unwrap();
+        assert!(y1.approx_eq(&y2, 0.0));
+    }
+
+    #[test]
+    fn has_reasonable_parameter_count() {
+        let mut model = build(&LstmForecasterConfig::default(), NormVariant::proposed()).unwrap();
+        // Two LSTM layers dominate: 4H(F+H+1) + 4H(2H+1) plus head + norm.
+        assert!(model.param_count() > 4 * 24 * (1 + 24 + 1));
+    }
+}

@@ -1,0 +1,175 @@
+//! `M5Net`: the 1-D convolutional audio classifier (the paper's M5 topology
+//! for Google Speech Commands, W/A = 8/8), scaled to the synthetic keyword
+//! dataset.
+
+use crate::variant::{ActivationKind, BuiltModel, NormVariant};
+use crate::Result;
+use invnorm_imc::injector::NoiseHandle;
+use invnorm_nn::conv::Conv1d;
+use invnorm_nn::linear::Linear;
+use invnorm_nn::pool::{GlobalAvgPool1d, MaxPool1d};
+use invnorm_nn::reshape::Flatten;
+use invnorm_nn::Sequential;
+use invnorm_quant::QuantConfig;
+use invnorm_tensor::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the 1-D CNN audio classifier.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct M5NetConfig {
+    /// Number of keyword classes.
+    pub classes: usize,
+    /// Channel width of the first convolution.
+    pub base_channels: usize,
+    /// RNG seed for weight initialization.
+    pub seed: u64,
+}
+
+impl Default for M5NetConfig {
+    fn default() -> Self {
+        Self {
+            classes: 8,
+            base_channels: 16,
+            seed: 200,
+        }
+    }
+}
+
+impl M5NetConfig {
+    /// A small configuration for fast unit tests.
+    pub fn tiny(classes: usize) -> Self {
+        Self {
+            classes,
+            base_channels: 8,
+            ..Self::default()
+        }
+    }
+}
+
+/// Builds the model in the requested normalization variant.
+///
+/// The input is a `[N, 1, L]` waveform with `L` divisible by 8 (the first
+/// convolution strides by 4 and each of the two pooling stages halves the
+/// length).
+///
+/// # Errors
+///
+/// Returns an error when the variant configuration is invalid.
+pub fn build(config: &M5NetConfig, variant: NormVariant) -> Result<BuiltModel> {
+    let mut rng = Rng::seed_from(config.seed);
+    let noise = NoiseHandle::new();
+    let activation = ActivationKind::Relu;
+    let c1 = config.base_channels;
+    let c2 = config.base_channels * 2;
+    let mut seed_counter = config.seed;
+    let mut next_seed = || {
+        seed_counter = seed_counter.wrapping_add(1);
+        seed_counter
+    };
+
+    let mut net = Sequential::new();
+
+    // Block 1: wide strided convolution (the M5 "audio frontend").
+    net.push(Box::new(Conv1d::with_bias(1, c1, 8, 4, 2, false, &mut rng)));
+    net.push(variant.norm_layer(c1, 1, next_seed(), &mut rng)?);
+    push_activation(&mut net, activation, &noise, next_seed());
+    if let Some(dropout) = variant.dropout_layer(next_seed())? {
+        net.push(dropout);
+    }
+    net.push(Box::new(MaxPool1d::new(2)));
+
+    // Block 2.
+    net.push(Box::new(Conv1d::with_bias(c1, c2, 3, 1, 1, false, &mut rng)));
+    net.push(variant.norm_layer(c2, 1, next_seed(), &mut rng)?);
+    push_activation(&mut net, activation, &noise, next_seed());
+    if let Some(dropout) = variant.dropout_layer(next_seed())? {
+        net.push(dropout);
+    }
+    net.push(Box::new(MaxPool1d::new(2)));
+
+    // Block 3.
+    net.push(Box::new(Conv1d::with_bias(c2, c2, 3, 1, 1, false, &mut rng)));
+    net.push(variant.norm_layer(c2, 1, next_seed(), &mut rng)?);
+    push_activation(&mut net, activation, &noise, next_seed());
+
+    // Head.
+    if let Some(dropout) = variant.dropout_layer(next_seed())? {
+        net.push(dropout);
+    }
+    net.push(Box::new(GlobalAvgPool1d::new()));
+    net.push(Box::new(Flatten::new()));
+    net.push(Box::new(Linear::new(c2, config.classes, &mut rng)));
+
+    Ok(BuiltModel {
+        network: Box::new(net),
+        noise,
+        quant: QuantConfig::int8(),
+        topology: "M5Net",
+        variant,
+    })
+}
+
+fn push_activation(
+    net: &mut Sequential,
+    activation: ActivationKind,
+    noise: &NoiseHandle,
+    seed: u64,
+) {
+    let mut layers = Vec::new();
+    activation.push_onto(&mut layers, noise, seed);
+    for layer in layers {
+        net.push(layer);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use invnorm_nn::layer::{Layer, Mode};
+    use invnorm_tensor::Tensor;
+
+    #[test]
+    fn all_variants_build_and_run() {
+        for variant in [
+            NormVariant::Conventional,
+            NormVariant::SpinDrop { p: 0.3 },
+            NormVariant::SpatialSpinDrop { p: 0.3 },
+            NormVariant::proposed(),
+        ] {
+            let mut model = build(&M5NetConfig::tiny(4), variant).unwrap();
+            let mut rng = Rng::seed_from(3);
+            let x = Tensor::randn(&[2, 1, 128], 0.0, 1.0, &mut rng);
+            let y = model.forward(&x, Mode::Train).unwrap();
+            assert_eq!(y.dims(), &[2, 4]);
+            let g = model.backward(&Tensor::ones(y.dims())).unwrap();
+            assert_eq!(g.dims(), x.dims());
+        }
+    }
+
+    #[test]
+    fn metadata_matches_paper_row() {
+        let model = build(&M5NetConfig::default(), NormVariant::proposed()).unwrap();
+        assert_eq!(model.topology, "M5Net");
+        assert_eq!(model.quant.describe(), "8/8");
+    }
+
+    #[test]
+    fn handles_longer_waveforms() {
+        let mut model = build(&M5NetConfig::tiny(4), NormVariant::Conventional).unwrap();
+        let mut rng = Rng::seed_from(4);
+        let x = Tensor::randn(&[1, 1, 256], 0.0, 1.0, &mut rng);
+        let y = model.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[1, 4]);
+    }
+
+    #[test]
+    fn proposed_variant_is_stochastic() {
+        let mut model = build(&M5NetConfig::tiny(4), NormVariant::proposed()).unwrap();
+        let mut rng = Rng::seed_from(5);
+        let x = Tensor::randn(&[2, 1, 128], 0.0, 1.0, &mut rng);
+        let outputs: Vec<Tensor> = (0..6)
+            .map(|_| model.forward(&x, Mode::Eval).unwrap())
+            .collect();
+        assert!(outputs.windows(2).any(|w| !w[0].approx_eq(&w[1], 1e-6)));
+    }
+}

@@ -1,0 +1,313 @@
+//! `MicroResNet`: a scaled-down binarized residual CNN standing in for the
+//! paper's ResNet-18 on CIFAR-10 (W/A = 1/1).
+//!
+//! The topology keeps the structural ingredients that matter for the
+//! experiment — convolution + normalization after every conv, binary sign
+//! activations with a pre-activation fault-injection point, residual skip
+//! connections with projection shortcuts, global average pooling and a linear
+//! classifier — at a size that trains on the synthetic image dataset in
+//! seconds.
+
+use crate::variant::{ActivationKind, BuiltModel, NormVariant};
+use crate::Result;
+use invnorm_imc::injector::NoiseHandle;
+use invnorm_nn::conv::Conv2d;
+use invnorm_nn::linear::Linear;
+use invnorm_nn::pool::GlobalAvgPool2d;
+use invnorm_nn::reshape::Flatten;
+use invnorm_nn::{Residual, Sequential};
+use invnorm_quant::QuantConfig;
+use invnorm_tensor::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the residual image classifier.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MicroResNetConfig {
+    /// Number of input channels (3 for the synthetic RGB images).
+    pub in_channels: usize,
+    /// Number of output classes.
+    pub classes: usize,
+    /// Channel width of the first stage (doubled in the second stage).
+    pub base_channels: usize,
+    /// Whether activations are binarized (`sign` + straight-through), the
+    /// paper's 1-bit configuration. `false` gives a full-precision ReLU
+    /// network (useful for unit tests and ablations).
+    pub binary_activations: bool,
+    /// RNG seed for weight initialization.
+    pub seed: u64,
+}
+
+impl Default for MicroResNetConfig {
+    fn default() -> Self {
+        Self {
+            in_channels: 3,
+            classes: 10,
+            base_channels: 16,
+            binary_activations: true,
+            seed: 100,
+        }
+    }
+}
+
+impl MicroResNetConfig {
+    /// A small configuration for fast unit tests.
+    pub fn tiny(classes: usize) -> Self {
+        Self {
+            classes,
+            base_channels: 8,
+            ..Self::default()
+        }
+    }
+}
+
+/// Builds the model in the requested normalization variant.
+///
+/// # Errors
+///
+/// Returns an error when the variant configuration is invalid.
+pub fn build(config: &MicroResNetConfig, variant: NormVariant) -> Result<BuiltModel> {
+    let mut rng = Rng::seed_from(config.seed);
+    let noise = NoiseHandle::new();
+    let activation = if config.binary_activations {
+        ActivationKind::BinarySign
+    } else {
+        ActivationKind::Relu
+    };
+    let c1 = config.base_channels;
+    let c2 = config.base_channels * 2;
+    let mut seed_counter = config.seed;
+    let mut next_seed = || {
+        seed_counter = seed_counter.wrapping_add(1);
+        seed_counter
+    };
+
+    let mut net = Sequential::new();
+
+    // Stem: conv + norm + activation.
+    net.push(Box::new(Conv2d::with_bias(
+        config.in_channels,
+        c1,
+        3,
+        1,
+        1,
+        false,
+        &mut rng,
+    )));
+    net.push(variant.norm_layer(c1, 1, next_seed(), &mut rng)?);
+    {
+        let mut act = Vec::new();
+        activation.push_onto(&mut act, &noise, next_seed());
+        for layer in act {
+            net.push(layer);
+        }
+        if let Some(dropout) = variant.dropout_layer(next_seed())? {
+            net.push(dropout);
+        }
+    }
+
+    // Stage 1: identity residual block at width c1.
+    net.push(Box::new(residual_block(
+        c1,
+        c1,
+        1,
+        variant,
+        activation,
+        &noise,
+        &mut rng,
+        &mut next_seed,
+    )?));
+
+    // Stage 2: strided residual block widening to c2 (projection shortcut).
+    net.push(Box::new(residual_block(
+        c1,
+        c2,
+        2,
+        variant,
+        activation,
+        &noise,
+        &mut rng,
+        &mut next_seed,
+    )?));
+
+    // Head.
+    if let Some(dropout) = variant.dropout_layer(next_seed())? {
+        net.push(dropout);
+    }
+    net.push(Box::new(GlobalAvgPool2d::new()));
+    net.push(Box::new(Flatten::new()));
+    net.push(Box::new(Linear::new(c2, config.classes, &mut rng)));
+
+    Ok(BuiltModel {
+        network: Box::new(net),
+        noise,
+        quant: if config.binary_activations {
+            QuantConfig::binary()
+        } else {
+            QuantConfig::float()
+        },
+        topology: "MicroResNet",
+        variant,
+    })
+}
+
+/// One residual block: two 3×3 convolutions with normalization, plus a
+/// projection shortcut when the shape changes.
+#[allow(clippy::too_many_arguments)]
+fn residual_block(
+    in_channels: usize,
+    out_channels: usize,
+    stride: usize,
+    variant: NormVariant,
+    activation: ActivationKind,
+    noise: &NoiseHandle,
+    rng: &mut Rng,
+    next_seed: &mut impl FnMut() -> u64,
+) -> Result<Residual> {
+    let mut main = Sequential::new();
+    main.push(Box::new(Conv2d::with_bias(
+        in_channels,
+        out_channels,
+        3,
+        stride,
+        1,
+        false,
+        rng,
+    )));
+    main.push(variant.norm_layer(out_channels, 1, next_seed(), rng)?);
+    {
+        let mut act = Vec::new();
+        activation.push_onto(&mut act, noise, next_seed());
+        for layer in act {
+            main.push(layer);
+        }
+    }
+    main.push(Box::new(Conv2d::with_bias(
+        out_channels,
+        out_channels,
+        3,
+        1,
+        1,
+        false,
+        rng,
+    )));
+    main.push(variant.norm_layer(out_channels, 1, next_seed(), rng)?);
+
+    let block = if in_channels != out_channels || stride != 1 {
+        let mut shortcut = Sequential::new();
+        shortcut.push(Box::new(Conv2d::with_bias(
+            in_channels,
+            out_channels,
+            1,
+            stride,
+            0,
+            false,
+            rng,
+        )));
+        shortcut.push(variant.norm_layer(out_channels, 1, next_seed(), rng)?);
+        Residual::with_shortcut(main, shortcut)
+    } else {
+        Residual::new(main)
+    };
+
+    // Post-addition activation.
+    let mut post = Vec::new();
+    activation.push_onto(&mut post, noise, next_seed());
+    let mut post_seq = Sequential::new();
+    for layer in post {
+        post_seq.push(layer);
+    }
+    if let Some(dropout) = variant.dropout_layer(next_seed())? {
+        post_seq.push(dropout);
+    }
+    Ok(block.with_post(Box::new(post_seq)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use invnorm_nn::layer::{Layer, Mode};
+    use invnorm_tensor::Tensor;
+
+    fn forward_shape(variant: NormVariant, binary: bool) {
+        let mut config = MicroResNetConfig::tiny(4);
+        config.binary_activations = binary;
+        let mut model = build(&config, variant).unwrap();
+        let mut rng = Rng::seed_from(9);
+        let x = Tensor::randn(&[2, 3, 16, 16], 0.0, 1.0, &mut rng);
+        let y = model.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[2, 4]);
+        let g = model.backward(&Tensor::ones(y.dims())).unwrap();
+        assert_eq!(g.dims(), x.dims());
+        assert!(!y.has_non_finite());
+    }
+
+    #[test]
+    fn all_variants_build_and_run() {
+        for variant in [
+            NormVariant::Conventional,
+            NormVariant::SpinDrop { p: 0.3 },
+            NormVariant::SpatialSpinDrop { p: 0.3 },
+            NormVariant::proposed(),
+        ] {
+            forward_shape(variant, true);
+            forward_shape(variant, false);
+        }
+    }
+
+    #[test]
+    fn built_model_metadata() {
+        let model = build(&MicroResNetConfig::default(), NormVariant::proposed()).unwrap();
+        assert_eq!(model.topology, "MicroResNet");
+        assert_eq!(model.quant.describe(), "1/1");
+        assert_eq!(model.variant.label(), "Proposed");
+        assert!(format!("{model:?}").contains("MicroResNet"));
+
+        let mut fp = MicroResNetConfig::default();
+        fp.binary_activations = false;
+        let model = build(&fp, NormVariant::Conventional).unwrap();
+        assert_eq!(model.quant.describe(), "32/32");
+    }
+
+    #[test]
+    fn has_trainable_parameters() {
+        let mut model = build(&MicroResNetConfig::tiny(4), NormVariant::proposed()).unwrap();
+        assert!(model.param_count() > 1000);
+    }
+
+    #[test]
+    fn proposed_variant_is_stochastic_at_eval() {
+        let mut model = build(&MicroResNetConfig::tiny(4), NormVariant::proposed()).unwrap();
+        let mut rng = Rng::seed_from(10);
+        let x = Tensor::randn(&[2, 3, 16, 16], 0.0, 1.0, &mut rng);
+        let outputs: Vec<Tensor> = (0..6)
+            .map(|_| model.forward(&x, Mode::Eval).unwrap())
+            .collect();
+        assert!(outputs.windows(2).any(|w| !w[0].approx_eq(&w[1], 1e-6)));
+    }
+
+    #[test]
+    fn conventional_variant_is_deterministic_at_eval() {
+        let mut model = build(&MicroResNetConfig::tiny(4), NormVariant::Conventional).unwrap();
+        let mut rng = Rng::seed_from(11);
+        let x = Tensor::randn(&[2, 3, 16, 16], 0.0, 1.0, &mut rng);
+        let y1 = model.forward(&x, Mode::Eval).unwrap();
+        let y2 = model.forward(&x, Mode::Eval).unwrap();
+        assert!(y1.approx_eq(&y2, 0.0));
+    }
+
+    #[test]
+    fn noise_handle_perturbs_binary_preactivations() {
+        let mut model = build(&MicroResNetConfig::tiny(4), NormVariant::Conventional).unwrap();
+        let mut rng = Rng::seed_from(12);
+        let x = Tensor::randn(&[2, 3, 16, 16], 0.0, 1.0, &mut rng);
+        let clean = model.forward(&x, Mode::Eval).unwrap();
+        model
+            .noise
+            .set(invnorm_imc::FaultModel::AdditiveVariation { sigma: 2.0 });
+        let noisy = model.forward(&x, Mode::Eval).unwrap();
+        model.noise.clear();
+        let restored = model.forward(&x, Mode::Eval).unwrap();
+        assert!(!clean.approx_eq(&noisy, 1e-6));
+        assert!(clean.approx_eq(&restored, 0.0));
+    }
+}

@@ -1,0 +1,279 @@
+//! Saving and restoring network parameters ("checkpoints").
+//!
+//! Networks in this workspace are trees of trait objects, so checkpoints are
+//! stored positionally: [`save`] walks the parameters in `visit_params`
+//! order and records each tensor's shape and data; [`load`] walks the same
+//! order and copies the values back. A checkpoint is therefore valid for any
+//! network with an architecturally identical parameter sequence — the same
+//! property the experiment harness relies on when it rebuilds a model from a
+//! factory on another thread.
+
+use crate::error::NnError;
+use crate::layer::Layer;
+use crate::Result;
+use invnorm_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A serializable snapshot of every learnable parameter of a network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    entries: Vec<CheckpointEntry>,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct CheckpointEntry {
+    dims: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Checkpoint {
+    /// Number of parameter tensors in the snapshot.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the snapshot contains no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total number of scalar values stored.
+    pub fn scalar_count(&self) -> usize {
+        self.entries.iter().map(|e| e.data.len()).sum()
+    }
+
+    /// Serializes the checkpoint to a compact little-endian byte buffer
+    /// (format: entry count, then per entry the rank, dims and f32 data).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.entries.len() as u64).to_le_bytes());
+        for entry in &self.entries {
+            out.extend_from_slice(&(entry.dims.len() as u64).to_le_bytes());
+            for &d in &entry.dims {
+                out.extend_from_slice(&(d as u64).to_le_bytes());
+            }
+            out.extend_from_slice(&(entry.data.len() as u64).to_le_bytes());
+            for &v in &entry.data {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parses a checkpoint previously produced by [`Checkpoint::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the buffer is truncated or internally
+    /// inconsistent.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut cursor = 0usize;
+        let read_u64 = |bytes: &[u8], cursor: &mut usize| -> Result<u64> {
+            let end = *cursor + 8;
+            let slice = bytes
+                .get(*cursor..end)
+                .ok_or_else(|| NnError::Config("checkpoint buffer truncated".into()))?;
+            *cursor = end;
+            Ok(u64::from_le_bytes(slice.try_into().expect("8-byte slice")))
+        };
+        let entry_count = read_u64(bytes, &mut cursor)? as usize;
+        let mut entries = Vec::with_capacity(entry_count);
+        for _ in 0..entry_count {
+            let rank = read_u64(bytes, &mut cursor)? as usize;
+            let mut dims = Vec::with_capacity(rank);
+            for _ in 0..rank {
+                dims.push(read_u64(bytes, &mut cursor)? as usize);
+            }
+            let len = read_u64(bytes, &mut cursor)? as usize;
+            let expected: usize = dims.iter().product();
+            if expected != len {
+                return Err(NnError::Config(format!(
+                    "checkpoint entry claims {len} values but shape {dims:?} implies {expected}"
+                )));
+            }
+            let mut data = Vec::with_capacity(len);
+            for _ in 0..len {
+                let end = cursor + 4;
+                let slice = bytes
+                    .get(cursor..end)
+                    .ok_or_else(|| NnError::Config("checkpoint buffer truncated".into()))?;
+                cursor = end;
+                data.push(f32::from_le_bytes(slice.try_into().expect("4-byte slice")));
+            }
+            entries.push(CheckpointEntry { dims, data });
+        }
+        if cursor != bytes.len() {
+            return Err(NnError::Config(
+                "trailing bytes after checkpoint payload".into(),
+            ));
+        }
+        Ok(Self { entries })
+    }
+
+    /// Writes the checkpoint to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the file cannot be written.
+    pub fn save_file(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
+        std::fs::write(path, self.to_bytes())
+            .map_err(|e| NnError::Config(format!("failed to write checkpoint: {e}")))
+    }
+
+    /// Reads a checkpoint from a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the file cannot be read or parsed.
+    pub fn load_file(path: impl AsRef<std::path::Path>) -> Result<Self> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| NnError::Config(format!("failed to read checkpoint: {e}")))?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+/// Captures the current parameter values of a network.
+pub fn save(network: &mut dyn Layer) -> Checkpoint {
+    let mut entries = Vec::new();
+    network.visit_params(&mut |p| {
+        entries.push(CheckpointEntry {
+            dims: p.value.dims().to_vec(),
+            data: p.value.data().to_vec(),
+        });
+    });
+    Checkpoint { entries }
+}
+
+/// Restores parameter values from a checkpoint into a network with an
+/// identical parameter sequence.
+///
+/// # Errors
+///
+/// Returns an error when the parameter count or any tensor shape differs.
+pub fn load(network: &mut dyn Layer, checkpoint: &Checkpoint) -> Result<()> {
+    let mut index = 0usize;
+    let mut failure: Option<NnError> = None;
+    network.visit_params(&mut |p| {
+        if failure.is_some() {
+            return;
+        }
+        match checkpoint.entries.get(index) {
+            Some(entry) if entry.dims == p.value.dims() => {
+                match Tensor::from_vec(entry.data.clone(), &entry.dims) {
+                    Ok(value) => p.value = value,
+                    Err(e) => failure = Some(e.into()),
+                }
+            }
+            Some(entry) => {
+                failure = Some(NnError::Config(format!(
+                    "checkpoint entry {index} has shape {:?} but the network expects {:?}",
+                    entry.dims,
+                    p.value.dims()
+                )));
+            }
+            None => {
+                failure = Some(NnError::Config(format!(
+                    "checkpoint has {} entries but the network has more parameters",
+                    checkpoint.entries.len()
+                )));
+            }
+        }
+        index += 1;
+    });
+    if let Some(e) = failure {
+        return Err(e);
+    }
+    if index != checkpoint.entries.len() {
+        return Err(NnError::Config(format!(
+            "checkpoint has {} entries but the network consumed only {index}",
+            checkpoint.entries.len()
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Relu;
+    use crate::layer::Mode;
+    use crate::linear::Linear;
+    use crate::norm::BatchNorm;
+    use crate::Sequential;
+    use invnorm_tensor::Rng;
+
+    fn network(seed: u64) -> Sequential {
+        let mut rng = Rng::seed_from(seed);
+        Sequential::new()
+            .with(Box::new(Linear::new(6, 12, &mut rng)))
+            .with(Box::new(BatchNorm::new(12)))
+            .with(Box::new(Relu::new()))
+            .with(Box::new(Linear::new(12, 3, &mut rng)))
+    }
+
+    #[test]
+    fn save_load_round_trip_restores_outputs() {
+        let mut rng = Rng::seed_from(1);
+        let x = Tensor::randn(&[4, 6], 0.0, 1.0, &mut rng);
+        let mut original = network(10);
+        let reference = original.forward(&x, Mode::Eval).unwrap();
+        let checkpoint = save(&mut original);
+        assert!(!checkpoint.is_empty());
+        assert_eq!(checkpoint.scalar_count(), original.param_count());
+
+        // A differently initialized network produces different outputs ...
+        let mut other = network(99);
+        assert!(!other.forward(&x, Mode::Eval).unwrap().approx_eq(&reference, 1e-6));
+        // ... until the checkpoint is loaded.
+        load(&mut other, &checkpoint).unwrap();
+        assert!(other.forward(&x, Mode::Eval).unwrap().approx_eq(&reference, 1e-6));
+    }
+
+    #[test]
+    fn byte_round_trip_preserves_checkpoint() {
+        let mut net = network(3);
+        let checkpoint = save(&mut net);
+        let bytes = checkpoint.to_bytes();
+        let parsed = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(parsed, checkpoint);
+        assert_eq!(parsed.len(), checkpoint.len());
+    }
+
+    #[test]
+    fn corrupted_buffers_are_rejected() {
+        let mut net = network(4);
+        let bytes = save(&mut net).to_bytes();
+        assert!(Checkpoint::from_bytes(&bytes[..bytes.len() - 3]).is_err());
+        let mut extended = bytes.clone();
+        extended.extend_from_slice(&[0, 1, 2, 3]);
+        assert!(Checkpoint::from_bytes(&extended).is_err());
+        assert!(Checkpoint::from_bytes(&[1, 2]).is_err());
+    }
+
+    #[test]
+    fn shape_mismatch_is_detected() {
+        let mut net = network(5);
+        let checkpoint = save(&mut net);
+        // Network with a different hidden width cannot accept the checkpoint.
+        let mut rng = Rng::seed_from(6);
+        let mut wrong = Sequential::new()
+            .with(Box::new(Linear::new(6, 8, &mut rng)))
+            .with(Box::new(Linear::new(8, 3, &mut rng)));
+        assert!(load(&mut wrong, &checkpoint).is_err());
+        // Network with fewer parameters is also rejected.
+        let mut smaller = Sequential::new().with(Box::new(Linear::new(6, 12, &mut rng)));
+        assert!(load(&mut smaller, &checkpoint).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let mut net = network(7);
+        let checkpoint = save(&mut net);
+        let path = std::env::temp_dir().join("invnorm_checkpoint_test.bin");
+        checkpoint.save_file(&path).unwrap();
+        let loaded = Checkpoint::load_file(&path).unwrap();
+        assert_eq!(loaded, checkpoint);
+        let _ = std::fs::remove_file(&path);
+        assert!(Checkpoint::load_file("/nonexistent/invnorm.bin").is_err());
+    }
+}

@@ -1,0 +1,400 @@
+//! Convolution layers (2-D and 1-D) wrapping the kernels in
+//! [`invnorm_tensor::conv`].
+
+use crate::error::NnError;
+use crate::layer::{Layer, Mode, Param};
+use crate::Result;
+use invnorm_tensor::conv::{self, Conv2dSpec};
+use invnorm_tensor::{Rng, Tensor};
+
+/// 2-D convolution layer over `[N, C, H, W]` activations.
+///
+/// Kaiming-uniform initialization, square kernels, symmetric padding.
+#[derive(Debug)]
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    spec: Conv2dSpec,
+    weight: Param,
+    bias: Option<Param>,
+    cached_cols: Option<Tensor>,
+    cached_input_dims: Option<Vec<usize>>,
+}
+
+impl Conv2d {
+    /// Creates a 2-D convolution with bias.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut Rng,
+    ) -> Self {
+        Self::with_bias(in_channels, out_channels, kernel, stride, pad, true, rng)
+    }
+
+    /// Creates a 2-D convolution, optionally without bias (the usual choice
+    /// when the convolution is followed by a normalization layer).
+    pub fn with_bias(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        bias: bool,
+        rng: &mut Rng,
+    ) -> Self {
+        let fan_in = (in_channels * kernel * kernel) as f32;
+        let bound = 1.0 / fan_in.sqrt();
+        let weight = Tensor::rand_uniform(
+            &[out_channels, in_channels, kernel, kernel],
+            -bound,
+            bound,
+            rng,
+        );
+        let bias = if bias {
+            Some(Param::new(Tensor::rand_uniform(
+                &[out_channels],
+                -bound,
+                bound,
+                rng,
+            )))
+        } else {
+            None
+        };
+        Self {
+            in_channels,
+            out_channels,
+            spec: Conv2dSpec::new(kernel, stride, pad),
+            weight: Param::new(weight),
+            bias,
+            cached_cols: None,
+            cached_input_dims: None,
+        }
+    }
+
+    /// Number of input channels.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// The convolution geometry.
+    pub fn spec(&self) -> &Conv2dSpec {
+        &self.spec
+    }
+
+    /// Immutable access to the kernel parameter.
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+
+    /// Mutable access to the kernel parameter (used by quantization wrappers
+    /// and fault injection).
+    pub fn weight_mut(&mut self) -> &mut Param {
+        &mut self.weight
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        if input.rank() != 4 || input.dims()[1] != self.in_channels {
+            return Err(NnError::Config(format!(
+                "Conv2d expects [N, {}, H, W], got {:?}",
+                self.in_channels,
+                input.dims()
+            )));
+        }
+        let fwd = conv::conv2d_forward(
+            input,
+            &self.weight.value,
+            self.bias.as_ref().map(|b| &b.value),
+            &self.spec,
+        )?;
+        self.cached_cols = Some(fwd.cols);
+        self.cached_input_dims = Some(input.dims().to_vec());
+        Ok(fwd.output)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let cols = self
+            .cached_cols
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward("Conv2d"))?;
+        let input_dims = self
+            .cached_input_dims
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward("Conv2d"))?;
+        let grads =
+            conv::conv2d_backward(grad_output, cols, &self.weight.value, input_dims, &self.spec)?;
+        self.weight.grad.add_assign(&grads.grad_weight)?;
+        if let Some(bias) = &mut self.bias {
+            bias.grad.add_assign(&grads.grad_bias)?;
+        }
+        Ok(grads.grad_input)
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        visitor(&mut self.weight);
+        if let Some(bias) = &mut self.bias {
+            visitor(bias);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Conv2d"
+    }
+}
+
+/// 1-D convolution layer over `[N, C, L]` activations, implemented by lifting
+/// to the 2-D kernels with height 1 (so it shares the tested code path).
+#[derive(Debug)]
+pub struct Conv1d {
+    inner: Conv2d,
+    pad_width: usize,
+}
+
+impl Conv1d {
+    /// Creates a 1-D convolution with bias.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut Rng,
+    ) -> Self {
+        Self::with_bias(in_channels, out_channels, kernel, stride, pad, true, rng)
+    }
+
+    /// Creates a 1-D convolution, optionally without bias.
+    pub fn with_bias(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        bias: bool,
+        rng: &mut Rng,
+    ) -> Self {
+        // Build a height-1 2-D convolution: kernel [OC, IC, 1, K].
+        let mut inner = Conv2d::with_bias(in_channels, out_channels, 1, stride, 0, bias, rng);
+        let fan_in = (in_channels * kernel) as f32;
+        let bound = 1.0 / fan_in.sqrt();
+        inner.weight = Param::new(Tensor::rand_uniform(
+            &[out_channels, in_channels, 1, kernel],
+            -bound,
+            bound,
+            rng,
+        ));
+        inner.spec = Conv2dSpec {
+            kh: 1,
+            kw: kernel,
+            stride,
+            pad: 0, // padding handled manually on the length axis below
+        };
+        Self {
+            inner,
+            pad_width: pad,
+        }
+    }
+
+    /// Number of input channels.
+    pub fn in_channels(&self) -> usize {
+        self.inner.in_channels()
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.inner.out_channels()
+    }
+}
+
+// `pad_width` lives outside `Conv2dSpec` because 1-D padding must only apply
+// to the length axis, while `Conv2dSpec.pad` pads both spatial axes.
+impl Conv1d {
+    fn pad_input(&self, x: &Tensor) -> Result<Tensor> {
+        if self.pad_width == 0 {
+            return Ok(x.clone());
+        }
+        let d = x.dims();
+        let (n, c, l) = (d[0], d[1], d[2]);
+        let new_l = l + 2 * self.pad_width;
+        let mut out = Tensor::zeros(&[n, c, new_l]);
+        let od = out.data_mut();
+        let xd = x.data();
+        for ni in 0..n {
+            for ci in 0..c {
+                let src = (ni * c + ci) * l;
+                let dst = (ni * c + ci) * new_l + self.pad_width;
+                od[dst..dst + l].copy_from_slice(&xd[src..src + l]);
+            }
+        }
+        Ok(out)
+    }
+
+    fn unpad_grad(&self, g: &Tensor) -> Result<Tensor> {
+        if self.pad_width == 0 {
+            return Ok(g.clone());
+        }
+        let d = g.dims();
+        let (n, c, padded_l) = (d[0], d[1], d[2]);
+        let l = padded_l - 2 * self.pad_width;
+        let mut out = Tensor::zeros(&[n, c, l]);
+        let od = out.data_mut();
+        let gd = g.data();
+        for ni in 0..n {
+            for ci in 0..c {
+                let src = (ni * c + ci) * padded_l + self.pad_width;
+                let dst = (ni * c + ci) * l;
+                od[dst..dst + l].copy_from_slice(&gd[src..src + l]);
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl Layer for Conv1d {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        if input.rank() != 3 {
+            return Err(NnError::Config(format!(
+                "Conv1d expects [N, C, L], got {:?}",
+                input.dims()
+            )));
+        }
+        let padded = self.pad_input(input)?;
+        let lifted = invnorm_tensor::conv::lift_1d(&padded)?;
+        let out = self.inner.forward(&lifted, mode)?;
+        Ok(invnorm_tensor::conv::squeeze_1d(&out)?)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let lifted = invnorm_tensor::conv::lift_1d(grad_output)?;
+        let grad_in = self.inner.backward(&lifted)?;
+        let squeezed = invnorm_tensor::conv::squeeze_1d(&grad_in)?;
+        self.unpad_grad(&squeezed)
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        self.inner.visit_params(visitor);
+    }
+
+    fn name(&self) -> &'static str {
+        "Conv1d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv2d_shapes() {
+        let mut rng = Rng::seed_from(1);
+        let mut conv = Conv2d::new(3, 8, 3, 1, 1, &mut rng);
+        let x = Tensor::randn(&[2, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let y = conv.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[2, 8, 8, 8]);
+
+        let mut strided = Conv2d::new(3, 4, 3, 2, 1, &mut rng);
+        let y = strided.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[2, 4, 4, 4]);
+    }
+
+    #[test]
+    fn conv2d_gradients_match_numerical() {
+        let mut rng = Rng::seed_from(2);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
+        let x = Tensor::randn(&[1, 2, 5, 5], 0.0, 1.0, &mut rng);
+        let y = conv.forward(&x, Mode::Train).unwrap();
+        let grad_in = conv.backward(&Tensor::ones(y.dims())).unwrap();
+
+        let eps = 1e-2f32;
+        for idx in [0usize, 10, 30, 49] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let lp = conv.forward(&xp, Mode::Train).unwrap().sum();
+            let lm = conv.forward(&xm, Mode::Train).unwrap().sum();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - grad_in.data()[idx]).abs() < 2e-2,
+                "input grad mismatch at {idx}"
+            );
+        }
+    }
+
+    #[test]
+    fn conv2d_rejects_wrong_channels() {
+        let mut rng = Rng::seed_from(3);
+        let mut conv = Conv2d::new(3, 4, 3, 1, 1, &mut rng);
+        assert!(conv
+            .forward(&Tensor::zeros(&[1, 2, 8, 8]), Mode::Eval)
+            .is_err());
+        assert!(matches!(
+            conv.backward(&Tensor::zeros(&[1, 4, 8, 8])),
+            Err(NnError::BackwardBeforeForward(_))
+        ));
+    }
+
+    #[test]
+    fn conv1d_shapes_and_padding() {
+        let mut rng = Rng::seed_from(4);
+        let mut conv = Conv1d::new(2, 4, 5, 1, 2, &mut rng);
+        let x = Tensor::randn(&[3, 2, 16], 0.0, 1.0, &mut rng);
+        let y = conv.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[3, 4, 16]);
+
+        let mut strided = Conv1d::new(2, 4, 4, 4, 0, &mut rng);
+        let y = strided.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[3, 4, 4]);
+    }
+
+    #[test]
+    fn conv1d_backward_shape_matches_input() {
+        let mut rng = Rng::seed_from(5);
+        let mut conv = Conv1d::new(2, 3, 3, 1, 1, &mut rng);
+        let x = Tensor::randn(&[2, 2, 10], 0.0, 1.0, &mut rng);
+        let y = conv.forward(&x, Mode::Train).unwrap();
+        let gx = conv.backward(&Tensor::ones(y.dims())).unwrap();
+        assert_eq!(gx.dims(), x.dims());
+    }
+
+    #[test]
+    fn conv1d_gradient_numerical_check() {
+        let mut rng = Rng::seed_from(6);
+        let mut conv = Conv1d::new(1, 2, 3, 1, 1, &mut rng);
+        let x = Tensor::randn(&[1, 1, 8], 0.0, 1.0, &mut rng);
+        let y = conv.forward(&x, Mode::Train).unwrap();
+        let grad_in = conv.backward(&Tensor::ones(y.dims())).unwrap();
+        let eps = 1e-2f32;
+        for idx in [0usize, 3, 7] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let lp = conv.forward(&xp, Mode::Train).unwrap().sum();
+            let lm = conv.forward(&xm, Mode::Train).unwrap().sum();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - grad_in.data()[idx]).abs() < 2e-2,
+                "conv1d input grad mismatch at {idx}"
+            );
+        }
+    }
+
+    #[test]
+    fn param_counts() {
+        let mut rng = Rng::seed_from(7);
+        let mut conv = Conv2d::with_bias(3, 8, 3, 1, 1, false, &mut rng);
+        assert_eq!(conv.param_count(), 8 * 3 * 3 * 3);
+        let mut conv1d = Conv1d::new(2, 4, 5, 1, 2, &mut rng);
+        assert_eq!(conv1d.param_count(), 4 * 2 * 5 + 4);
+    }
+}

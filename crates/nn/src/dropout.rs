@@ -1,0 +1,352 @@
+//! Dropout-family layers.
+//!
+//! These provide the Dropout-based Bayesian baselines the paper compares
+//! against (SpinDrop uses conventional Dropout, SpatialSpinDrop uses
+//! channel-wise / spatial Dropout). For Monte-Carlo Bayesian inference the
+//! masks must also be resampled at *evaluation* time, so every layer takes an
+//! `active_in_eval` flag: `false` gives ordinary regularization Dropout,
+//! `true` gives MC-Dropout behaviour.
+
+use crate::error::NnError;
+use crate::layer::{Layer, Mode};
+use crate::Result;
+use invnorm_tensor::Tensor;
+use seed_stream::SeedCell;
+
+/// Per-layer RNG stream holder, so each dropout layer owns an independent,
+/// reproducible random stream identified by a single `u64` seed.
+mod seed_stream {
+    use invnorm_tensor::Rng;
+
+    /// Owns the per-layer RNG stream.
+    #[derive(Debug, Clone)]
+    pub struct SeedCell {
+        rng: Rng,
+    }
+
+    impl SeedCell {
+        pub fn new(seed: u64) -> Self {
+            Self {
+                rng: Rng::seed_from(seed),
+            }
+        }
+
+        pub fn rng_mut(&mut self) -> &mut Rng {
+            &mut self.rng
+        }
+    }
+}
+
+/// Standard (inverted) Dropout: each activation is zeroed with probability
+/// `p` and survivors are scaled by `1 / (1 - p)`.
+#[derive(Debug)]
+pub struct Dropout {
+    p: f32,
+    active_in_eval: bool,
+    seed: SeedCell,
+    mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Creates a Dropout layer with drop probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `0 <= p < 1`.
+    pub fn new(p: f32, active_in_eval: bool, seed: u64) -> Result<Self> {
+        if !(0.0..1.0).contains(&p) {
+            return Err(NnError::Config(format!(
+                "dropout probability must be in [0, 1), got {p}"
+            )));
+        }
+        Ok(Self {
+            p,
+            active_in_eval,
+            seed: SeedCell::new(seed),
+            mask: None,
+        })
+    }
+
+    /// Drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+
+    fn active(&self, mode: Mode) -> bool {
+        mode.is_train() || self.active_in_eval
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        if !self.active(mode) || self.p == 0.0 {
+            self.mask = None;
+            return Ok(input.clone());
+        }
+        let keep_scale = 1.0 / (1.0 - self.p);
+        let raw = self.seed.rng_mut().bernoulli_mask(input.numel(), self.p);
+        let mask = Tensor::from_vec(raw, input.dims())?.scale(keep_scale);
+        let out = input.mul(&mask)?;
+        self.mask = Some(mask);
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        match &self.mask {
+            Some(mask) => Ok(grad_output.mul(mask)?),
+            None => Ok(grad_output.clone()),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Dropout"
+    }
+}
+
+/// Spatial (channel-wise) Dropout: entire feature maps are zeroed with
+/// probability `p`. Works on `[N, C]`, `[N, C, L]` and `[N, C, H, W]`
+/// activations; the mask is per `(sample, channel)`.
+///
+/// This is the Dropout granularity used by the SpatialSpinDrop baseline.
+#[derive(Debug)]
+pub struct SpatialDropout {
+    p: f32,
+    active_in_eval: bool,
+    seed: SeedCell,
+    mask: Option<Tensor>,
+}
+
+impl SpatialDropout {
+    /// Creates a spatial-dropout layer with drop probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `0 <= p < 1`.
+    pub fn new(p: f32, active_in_eval: bool, seed: u64) -> Result<Self> {
+        if !(0.0..1.0).contains(&p) {
+            return Err(NnError::Config(format!(
+                "dropout probability must be in [0, 1), got {p}"
+            )));
+        }
+        Ok(Self {
+            p,
+            active_in_eval,
+            seed: SeedCell::new(seed),
+            mask: None,
+        })
+    }
+
+    fn active(&self, mode: Mode) -> bool {
+        mode.is_train() || self.active_in_eval
+    }
+}
+
+impl Layer for SpatialDropout {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let d = input.dims();
+        if d.len() < 2 {
+            return Err(NnError::Config(format!(
+                "SpatialDropout expects rank >= 2 input, got {d:?}"
+            )));
+        }
+        if !self.active(mode) || self.p == 0.0 {
+            self.mask = None;
+            return Ok(input.clone());
+        }
+        let (n, c) = (d[0], d[1]);
+        let spatial: usize = d[2..].iter().product::<usize>().max(1);
+        let keep_scale = 1.0 / (1.0 - self.p);
+        let channel_mask = self.seed.rng_mut().bernoulli_mask(n * c, self.p);
+        let mut mask = Tensor::zeros(d);
+        let md = mask.data_mut();
+        for nc in 0..n * c {
+            let value = channel_mask[nc] * keep_scale;
+            for i in 0..spatial {
+                md[nc * spatial + i] = value;
+            }
+        }
+        let out = input.mul(&mask)?;
+        self.mask = Some(mask);
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        match &self.mask {
+            Some(mask) => Ok(grad_output.mul(mask)?),
+            None => Ok(grad_output.clone()),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "SpatialDropout"
+    }
+}
+
+/// Gaussian Dropout: multiplies activations by `N(1, σ²)` noise with
+/// `σ² = p / (1 - p)`, the multiplicative-noise interpretation of Dropout.
+#[derive(Debug)]
+pub struct GaussianDropout {
+    p: f32,
+    active_in_eval: bool,
+    seed: SeedCell,
+    noise: Option<Tensor>,
+}
+
+impl GaussianDropout {
+    /// Creates a Gaussian-dropout layer with rate `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `0 <= p < 1`.
+    pub fn new(p: f32, active_in_eval: bool, seed: u64) -> Result<Self> {
+        if !(0.0..1.0).contains(&p) {
+            return Err(NnError::Config(format!(
+                "dropout probability must be in [0, 1), got {p}"
+            )));
+        }
+        Ok(Self {
+            p,
+            active_in_eval,
+            seed: SeedCell::new(seed),
+            noise: None,
+        })
+    }
+
+    fn active(&self, mode: Mode) -> bool {
+        mode.is_train() || self.active_in_eval
+    }
+}
+
+impl Layer for GaussianDropout {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        if !self.active(mode) || self.p == 0.0 {
+            self.noise = None;
+            return Ok(input.clone());
+        }
+        let sigma = (self.p / (1.0 - self.p)).sqrt();
+        let noise = Tensor::randn(input.dims(), 1.0, sigma, self.seed.rng_mut());
+        let out = input.mul(&noise)?;
+        self.noise = Some(noise);
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        match &self.noise {
+            Some(noise) => Ok(grad_output.mul(noise)?),
+            None => Ok(grad_output.clone()),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "GaussianDropout"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_invalid_probability() {
+        assert!(Dropout::new(1.0, false, 0).is_err());
+        assert!(Dropout::new(-0.1, false, 0).is_err());
+        assert!(SpatialDropout::new(1.5, false, 0).is_err());
+        assert!(GaussianDropout::new(1.0, false, 0).is_err());
+    }
+
+    #[test]
+    fn dropout_inactive_in_eval_by_default() {
+        let mut d = Dropout::new(0.5, false, 1).unwrap();
+        let x = Tensor::ones(&[4, 4]);
+        let y = d.forward(&x, Mode::Eval).unwrap();
+        assert!(y.approx_eq(&x, 0.0));
+        // Backward with no mask passes gradient through unchanged.
+        let g = d.backward(&Tensor::ones(&[4, 4])).unwrap();
+        assert!(g.approx_eq(&x, 0.0));
+    }
+
+    #[test]
+    fn dropout_active_in_eval_when_requested() {
+        let mut d = Dropout::new(0.5, true, 2).unwrap();
+        let x = Tensor::ones(&[100]);
+        let y = d.forward(&x, Mode::Eval).unwrap();
+        let zeros = y.data().iter().filter(|&&v| v == 0.0).count();
+        assert!(zeros > 20, "expected some dropped activations, got {zeros}");
+    }
+
+    #[test]
+    fn dropout_preserves_expectation() {
+        let mut d = Dropout::new(0.3, false, 3).unwrap();
+        let x = Tensor::ones(&[20_000]);
+        let y = d.forward(&x, Mode::Train).unwrap();
+        assert!((y.mean() - 1.0).abs() < 0.05, "mean {}", y.mean());
+    }
+
+    #[test]
+    fn dropout_backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, false, 4).unwrap();
+        let x = Tensor::ones(&[64]);
+        let y = d.forward(&x, Mode::Train).unwrap();
+        let g = d.backward(&Tensor::ones(&[64])).unwrap();
+        // Gradient must be zero exactly where the output was zeroed.
+        for (yo, go) in y.data().iter().zip(g.data().iter()) {
+            assert_eq!(*yo == 0.0, *go == 0.0);
+        }
+    }
+
+    #[test]
+    fn spatial_dropout_drops_whole_channels() {
+        let mut d = SpatialDropout::new(0.5, false, 5).unwrap();
+        let x = Tensor::ones(&[2, 8, 4, 4]);
+        let y = d.forward(&x, Mode::Train).unwrap();
+        for ni in 0..2 {
+            for ci in 0..8 {
+                let channel: Vec<f32> = (0..16)
+                    .map(|i| y.data()[(ni * 8 + ci) * 16 + i])
+                    .collect();
+                let all_zero = channel.iter().all(|&v| v == 0.0);
+                let all_kept = channel.iter().all(|&v| v == 2.0); // 1/(1-0.5)
+                assert!(
+                    all_zero || all_kept,
+                    "channel ({ni},{ci}) mixes dropped and kept values"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spatial_dropout_handles_rank2_and_rejects_rank1() {
+        let mut d = SpatialDropout::new(0.3, false, 6).unwrap();
+        let x = Tensor::ones(&[10, 5]);
+        assert!(d.forward(&x, Mode::Train).is_ok());
+        assert!(d.forward(&Tensor::ones(&[10]), Mode::Train).is_err());
+    }
+
+    #[test]
+    fn gaussian_dropout_is_multiplicative_noise() {
+        let mut d = GaussianDropout::new(0.3, false, 7).unwrap();
+        let x = Tensor::full(&[50_000], 2.0);
+        let y = d.forward(&x, Mode::Train).unwrap();
+        assert!((y.mean() - 2.0).abs() < 0.05);
+        let expected_sigma = 2.0 * (0.3f32 / 0.7).sqrt();
+        assert!((y.std() - expected_sigma).abs() < 0.05);
+    }
+
+    #[test]
+    fn different_forward_passes_resample_masks() {
+        let mut d = Dropout::new(0.5, true, 8).unwrap();
+        let x = Tensor::ones(&[256]);
+        let y1 = d.forward(&x, Mode::Eval).unwrap();
+        let y2 = d.forward(&x, Mode::Eval).unwrap();
+        assert!(!y1.approx_eq(&y2, 0.0), "masks should differ across passes");
+    }
+
+    #[test]
+    fn zero_probability_is_identity() {
+        let mut d = Dropout::new(0.0, true, 9).unwrap();
+        let x = Tensor::ones(&[32]);
+        assert!(d.forward(&x, Mode::Train).unwrap().approx_eq(&x, 0.0));
+        let mut sd = SpatialDropout::new(0.0, true, 9).unwrap();
+        assert!(sd.forward(&Tensor::ones(&[2, 3, 4]), Mode::Train).unwrap().numel() == 24);
+    }
+}

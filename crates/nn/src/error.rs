@@ -1,0 +1,78 @@
+//! Error type shared by all layer, loss and optimizer code.
+
+use invnorm_tensor::TensorError;
+use std::fmt;
+
+/// Error returned by neural-network operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// A tensor-level operation failed (shape mismatch, bad axis, ...).
+    Tensor(TensorError),
+    /// A layer was configured with inconsistent hyper-parameters.
+    Config(String),
+    /// `backward` was called before `forward` (no cached activations).
+    BackwardBeforeForward(&'static str),
+    /// The loss received targets that do not match the predictions.
+    TargetMismatch {
+        /// Number of predictions.
+        predictions: usize,
+        /// Number of targets.
+        targets: usize,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::Config(msg) => write!(f, "invalid layer configuration: {msg}"),
+            NnError::BackwardBeforeForward(layer) => {
+                write!(f, "backward called before forward on layer {layer}")
+            }
+            NnError::TargetMismatch {
+                predictions,
+                targets,
+            } => write!(
+                f,
+                "loss received {predictions} predictions but {targets} targets"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_and_display() {
+        let te = TensorError::InvalidArgument("x".into());
+        let ne: NnError = te.into();
+        assert!(ne.to_string().contains("tensor error"));
+        assert!(NnError::Config("bad".into()).to_string().contains("bad"));
+        assert!(NnError::BackwardBeforeForward("Linear")
+            .to_string()
+            .contains("Linear"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

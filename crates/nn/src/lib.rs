@@ -1,0 +1,67 @@
+//! # invnorm-nn
+//!
+//! A small, trainable neural-network layer stack built on
+//! [`invnorm_tensor`], used as the substrate for reproducing *"Enhancing
+//! Reliability of Neural Networks at the Edge: Inverted Normalization with
+//! Stochastic Affine Transformations"* (DATE 2024).
+//!
+//! Everything is implemented with explicit, hand-written forward/backward
+//! passes behind the object-safe [`Layer`] trait, so networks are assembled
+//! from trait objects and trained with the optimizers in [`optim`]:
+//!
+//! * [`layer`] — the [`Layer`] trait, [`Param`] storage, and train/eval
+//!   [`Mode`].
+//! * [`linear`], [`conv`], [`pool`], [`activation`], [`norm`], [`dropout`],
+//!   [`lstm`], [`reshape`] — concrete layers.
+//! * [`sequential`] — [`Sequential`] container plus the [`Residual`]
+//!   combinator used by the residual CNN topology.
+//! * [`loss`] — cross-entropy, mean-squared-error and binary-cross-entropy
+//!   losses returning both the loss value and the logits gradient.
+//! * [`optim`] — SGD (momentum + weight decay) and Adam.
+//! * [`metrics`] — accuracy, RMSE, IoU and negative log-likelihood.
+//! * [`train`] — small convenience training loops used by the examples,
+//!   tests and experiment harness.
+//!
+//! # Example
+//!
+//! ```
+//! use invnorm_nn::layer::{Layer, Mode};
+//! use invnorm_nn::linear::Linear;
+//! use invnorm_tensor::{Rng, Tensor};
+//!
+//! # fn main() -> Result<(), invnorm_nn::NnError> {
+//! let mut rng = Rng::seed_from(0);
+//! let mut layer = Linear::new(4, 2, &mut rng);
+//! let x = Tensor::randn(&[3, 4], 0.0, 1.0, &mut rng);
+//! let y = layer.forward(&x, Mode::Train)?;
+//! assert_eq!(y.dims(), &[3, 2]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod activation;
+pub mod checkpoint;
+pub mod conv;
+pub mod dropout;
+pub mod error;
+pub mod layer;
+pub mod linear;
+pub mod loss;
+pub mod lstm;
+pub mod metrics;
+pub mod norm;
+pub mod optim;
+pub mod pool;
+pub mod reshape;
+pub mod sequential;
+pub mod train;
+pub mod upsample;
+
+pub use error::NnError;
+pub use layer::{Layer, Mode, Param};
+pub use sequential::{Residual, Sequential};
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, NnError>;

@@ -1,0 +1,261 @@
+//! Loss functions.
+//!
+//! Each loss returns a [`LossOutput`] containing the scalar loss value and
+//! the gradient w.r.t. the predictions, ready to feed into a network's
+//! `backward`. All losses average over the batch so learning rates are
+//! batch-size independent.
+
+use crate::error::NnError;
+use crate::Result;
+use invnorm_tensor::{ops, Tensor};
+
+/// Loss value together with the gradient of the loss w.r.t. the predictions.
+#[derive(Debug, Clone)]
+pub struct LossOutput {
+    /// Mean loss over the batch.
+    pub loss: f32,
+    /// Gradient w.r.t. the predictions (same shape as the predictions).
+    pub grad: Tensor,
+}
+
+/// Softmax cross-entropy for classification.
+///
+/// `logits` is `[N, C]`, `targets` contains `N` class indices.
+///
+/// # Errors
+///
+/// Returns an error when the logits are not rank-2, the target count does not
+/// match the batch, or a target index is out of range.
+///
+/// # Example
+///
+/// ```
+/// use invnorm_nn::loss::cross_entropy;
+/// use invnorm_tensor::Tensor;
+///
+/// # fn main() -> Result<(), invnorm_nn::NnError> {
+/// let logits = Tensor::from_vec(vec![5.0, -5.0, -5.0, 5.0], &[2, 2])?;
+/// let out = cross_entropy(&logits, &[0, 1])?;
+/// assert!(out.loss < 0.01);
+/// # Ok(())
+/// # }
+/// ```
+pub fn cross_entropy(logits: &Tensor, targets: &[usize]) -> Result<LossOutput> {
+    let (n, c) = ops::as_matrix_dims(logits)?;
+    if targets.len() != n {
+        return Err(NnError::TargetMismatch {
+            predictions: n,
+            targets: targets.len(),
+        });
+    }
+    if let Some(&bad) = targets.iter().find(|&&t| t >= c) {
+        return Err(NnError::Config(format!(
+            "target class {bad} out of range for {c} classes"
+        )));
+    }
+    let log_probs = ops::log_softmax_rows(logits)?;
+    let probs = log_probs.map(f32::exp);
+    let mut loss = 0.0f32;
+    let mut grad = probs.clone();
+    let gd = grad.data_mut();
+    for (i, &t) in targets.iter().enumerate() {
+        loss -= log_probs.data()[i * c + t];
+        gd[i * c + t] -= 1.0;
+    }
+    let scale = 1.0 / n as f32;
+    Ok(LossOutput {
+        loss: loss * scale,
+        grad: grad.scale(scale),
+    })
+}
+
+/// Mean squared error for regression.
+///
+/// `predictions` and `targets` must have identical shapes.
+///
+/// # Errors
+///
+/// Returns an error when the shapes differ.
+pub fn mse(predictions: &Tensor, targets: &Tensor) -> Result<LossOutput> {
+    if predictions.dims() != targets.dims() {
+        return Err(NnError::TargetMismatch {
+            predictions: predictions.numel(),
+            targets: targets.numel(),
+        });
+    }
+    let n = predictions.numel().max(1) as f32;
+    let diff = predictions.sub(targets)?;
+    let loss = diff.sq_norm() / n;
+    let grad = diff.scale(2.0 / n);
+    Ok(LossOutput { loss, grad })
+}
+
+/// Binary cross-entropy on logits, used for per-pixel segmentation.
+///
+/// `logits` and `targets` (0/1 masks) must have identical shapes.
+///
+/// # Errors
+///
+/// Returns an error when the shapes differ.
+pub fn bce_with_logits(logits: &Tensor, targets: &Tensor) -> Result<LossOutput> {
+    if logits.dims() != targets.dims() {
+        return Err(NnError::TargetMismatch {
+            predictions: logits.numel(),
+            targets: targets.numel(),
+        });
+    }
+    let n = logits.numel().max(1) as f32;
+    let mut loss = 0.0f32;
+    let mut grad = Tensor::zeros(logits.dims());
+    let gd = grad.data_mut();
+    for (i, (&z, &t)) in logits.data().iter().zip(targets.data().iter()).enumerate() {
+        // Numerically stable: max(z,0) - z*t + log(1 + exp(-|z|))
+        loss += z.max(0.0) - z * t + (1.0 + (-z.abs()).exp()).ln();
+        let p = 1.0 / (1.0 + (-z).exp());
+        gd[i] = (p - t) / n;
+    }
+    Ok(LossOutput {
+        loss: loss / n,
+        grad,
+    })
+}
+
+/// Negative log-likelihood of already-averaged class probabilities
+/// (`[N, C]`, rows summing to one) against integer targets. This is the
+/// uncertainty metric the paper reports for Bayesian inference (lower is
+/// better in-distribution, higher signals out-of-distribution inputs).
+///
+/// # Errors
+///
+/// Returns an error when shapes/targets are inconsistent.
+pub fn nll_from_probs(probs: &Tensor, targets: &[usize]) -> Result<f32> {
+    let (n, c) = ops::as_matrix_dims(probs)?;
+    if targets.len() != n {
+        return Err(NnError::TargetMismatch {
+            predictions: n,
+            targets: targets.len(),
+        });
+    }
+    let mut nll = 0.0f32;
+    for (i, &t) in targets.iter().enumerate() {
+        if t >= c {
+            return Err(NnError::Config(format!(
+                "target class {t} out of range for {c} classes"
+            )));
+        }
+        nll -= probs.data()[i * c + t].max(1e-12).ln();
+    }
+    Ok(nll / n as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use invnorm_tensor::Rng;
+
+    #[test]
+    fn cross_entropy_perfect_and_uniform() {
+        let confident = Tensor::from_vec(vec![20.0, -20.0, -20.0, 20.0], &[2, 2]).unwrap();
+        let out = cross_entropy(&confident, &[0, 1]).unwrap();
+        assert!(out.loss < 1e-6);
+
+        let uniform = Tensor::zeros(&[3, 4]);
+        let out = cross_entropy(&uniform, &[0, 1, 2]).unwrap();
+        assert!((out.loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_grad_matches_numerical() {
+        let mut rng = Rng::seed_from(1);
+        let logits = Tensor::randn(&[3, 5], 0.0, 1.0, &mut rng);
+        let targets = [1usize, 4, 0];
+        let out = cross_entropy(&logits, &targets).unwrap();
+        let eps = 1e-3f32;
+        for idx in 0..logits.numel() {
+            let mut lp = logits.clone();
+            lp.data_mut()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[idx] -= eps;
+            let num = (cross_entropy(&lp, &targets).unwrap().loss
+                - cross_entropy(&lm, &targets).unwrap().loss)
+                / (2.0 * eps);
+            assert!(
+                (num - out.grad.data()[idx]).abs() < 1e-3,
+                "cross-entropy grad mismatch at {idx}"
+            );
+        }
+    }
+
+    #[test]
+    fn cross_entropy_validation() {
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(cross_entropy(&logits, &[0]).is_err());
+        assert!(cross_entropy(&logits, &[0, 3]).is_err());
+        assert!(cross_entropy(&Tensor::zeros(&[6]), &[0]).is_err());
+    }
+
+    #[test]
+    fn mse_value_and_gradient() {
+        let pred = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        let target = Tensor::from_vec(vec![1.0, 0.0, 6.0], &[3]).unwrap();
+        let out = mse(&pred, &target).unwrap();
+        assert!((out.loss - (0.0 + 4.0 + 9.0) / 3.0).abs() < 1e-6);
+        assert!(out
+            .grad
+            .approx_eq(
+                &Tensor::from_vec(vec![0.0, 4.0 / 3.0, -2.0], &[3]).unwrap(),
+                1e-6
+            ));
+        assert!(mse(&pred, &Tensor::zeros(&[4])).is_err());
+    }
+
+    #[test]
+    fn bce_with_logits_matches_reference() {
+        let logits = Tensor::from_vec(vec![0.0, 10.0, -10.0, 2.0], &[4]).unwrap();
+        let targets = Tensor::from_vec(vec![0.0, 1.0, 0.0, 1.0], &[4]).unwrap();
+        let out = bce_with_logits(&logits, &targets).unwrap();
+        // Reference values: ln2, ~0, ~0, softplus(-2)
+        let expected = ((2.0f32).ln() + 0.0000454 + 0.0000454 + 0.126928) / 4.0;
+        assert!((out.loss - expected).abs() < 1e-3);
+        // Gradient sign: positive where prediction > target.
+        assert!(out.grad.data()[0] > 0.0);
+        assert!(out.grad.data()[1].abs() < 1e-4);
+    }
+
+    #[test]
+    fn bce_gradient_matches_numerical() {
+        let mut rng = Rng::seed_from(2);
+        let logits = Tensor::randn(&[8], 0.0, 2.0, &mut rng);
+        let targets = Tensor::from_vec(
+            (0..8).map(|i| (i % 2) as f32).collect(),
+            &[8],
+        )
+        .unwrap();
+        let out = bce_with_logits(&logits, &targets).unwrap();
+        let eps = 1e-3f32;
+        for idx in 0..8 {
+            let mut lp = logits.clone();
+            lp.data_mut()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[idx] -= eps;
+            let num = (bce_with_logits(&lp, &targets).unwrap().loss
+                - bce_with_logits(&lm, &targets).unwrap().loss)
+                / (2.0 * eps);
+            assert!((num - out.grad.data()[idx]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn nll_from_probs_behaviour() {
+        let confident = Tensor::from_vec(vec![0.99, 0.01, 0.01, 0.99], &[2, 2]).unwrap();
+        let nll_good = nll_from_probs(&confident, &[0, 1]).unwrap();
+        let nll_bad = nll_from_probs(&confident, &[1, 0]).unwrap();
+        assert!(nll_good < 0.05);
+        assert!(nll_bad > 2.0);
+        assert!(nll_from_probs(&confident, &[0]).is_err());
+        assert!(nll_from_probs(&confident, &[0, 2]).is_err());
+        // Zero probability does not produce infinity.
+        let zero = Tensor::from_vec(vec![0.0, 1.0], &[1, 2]).unwrap();
+        assert!(nll_from_probs(&zero, &[0]).unwrap().is_finite());
+    }
+}

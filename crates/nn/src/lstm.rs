@@ -1,0 +1,405 @@
+//! Long short-term memory (LSTM) layer with full backpropagation through
+//! time, used by the paper's atmospheric-CO₂ autoregressive forecaster.
+
+use crate::error::NnError;
+use crate::layer::{Layer, Mode, Param};
+use crate::Result;
+use invnorm_tensor::{ops, Rng, Tensor};
+
+/// Gate activations cached for one timestep.
+#[derive(Debug, Clone)]
+struct StepCache {
+    x: Tensor,       // [N, F]
+    h_prev: Tensor,  // [N, H]
+    c_prev: Tensor,  // [N, H]
+    i: Tensor,       // input gate
+    f: Tensor,       // forget gate
+    g: Tensor,       // cell candidate
+    o: Tensor,       // output gate
+    tanh_c: Tensor,  // tanh(new cell state)
+}
+
+/// A single-layer LSTM over `[N, T, F]` sequences.
+///
+/// With `return_sequences == true` the output is the full hidden sequence
+/// `[N, T, H]`; otherwise only the final hidden state `[N, H]` is returned
+/// (the usual choice before a regression head).
+///
+/// Gate order in the packed weight matrices is `input, forget, cell, output`.
+#[derive(Debug)]
+pub struct Lstm {
+    input_size: usize,
+    hidden_size: usize,
+    return_sequences: bool,
+    w_ih: Param, // [4H, F]
+    w_hh: Param, // [4H, H]
+    bias: Param, // [4H]
+    cache: Option<Vec<StepCache>>,
+}
+
+impl Lstm {
+    /// Creates an LSTM layer.
+    pub fn new(
+        input_size: usize,
+        hidden_size: usize,
+        return_sequences: bool,
+        rng: &mut Rng,
+    ) -> Self {
+        let bound = 1.0 / (hidden_size as f32).sqrt();
+        Self {
+            input_size,
+            hidden_size,
+            return_sequences,
+            w_ih: Param::new(Tensor::rand_uniform(
+                &[4 * hidden_size, input_size],
+                -bound,
+                bound,
+                rng,
+            )),
+            w_hh: Param::new(Tensor::rand_uniform(
+                &[4 * hidden_size, hidden_size],
+                -bound,
+                bound,
+                rng,
+            )),
+            bias: Param::new(Tensor::rand_uniform(&[4 * hidden_size], -bound, bound, rng)),
+            cache: None,
+        }
+    }
+
+    /// Hidden state width.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden_size
+    }
+
+    /// Whether the full hidden sequence is returned.
+    pub fn returns_sequences(&self) -> bool {
+        self.return_sequences
+    }
+
+    fn sigmoid(x: f32) -> f32 {
+        1.0 / (1.0 + (-x).exp())
+    }
+
+    /// Splits a packed `[N, 4H]` pre-activation into the four gate tensors.
+    fn split_gates(&self, z: &Tensor, n: usize) -> (Tensor, Tensor, Tensor, Tensor) {
+        let h = self.hidden_size;
+        let zd = z.data();
+        let mut i = vec![0.0f32; n * h];
+        let mut f = vec![0.0f32; n * h];
+        let mut g = vec![0.0f32; n * h];
+        let mut o = vec![0.0f32; n * h];
+        for ni in 0..n {
+            for hi in 0..h {
+                i[ni * h + hi] = Self::sigmoid(zd[ni * 4 * h + hi]);
+                f[ni * h + hi] = Self::sigmoid(zd[ni * 4 * h + h + hi]);
+                g[ni * h + hi] = zd[ni * 4 * h + 2 * h + hi].tanh();
+                o[ni * h + hi] = Self::sigmoid(zd[ni * 4 * h + 3 * h + hi]);
+            }
+        }
+        (
+            Tensor::from_vec(i, &[n, h]).expect("gate shape"),
+            Tensor::from_vec(f, &[n, h]).expect("gate shape"),
+            Tensor::from_vec(g, &[n, h]).expect("gate shape"),
+            Tensor::from_vec(o, &[n, h]).expect("gate shape"),
+        )
+    }
+}
+
+impl Layer for Lstm {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        let d = input.dims();
+        if d.len() != 3 || d[2] != self.input_size {
+            return Err(NnError::Config(format!(
+                "Lstm expects [N, T, {}], got {d:?}",
+                self.input_size
+            )));
+        }
+        let (n, t, feat) = (d[0], d[1], d[2]);
+        let h = self.hidden_size;
+        let mut h_prev = Tensor::zeros(&[n, h]);
+        let mut c_prev = Tensor::zeros(&[n, h]);
+        let mut caches = Vec::with_capacity(t);
+        let mut hidden_seq = Vec::with_capacity(t);
+
+        let id = input.data();
+        for ti in 0..t {
+            // Slice x_t: [N, F]
+            let mut x_t = vec![0.0f32; n * feat];
+            for ni in 0..n {
+                let src = (ni * t + ti) * feat;
+                x_t[ni * feat..(ni + 1) * feat].copy_from_slice(&id[src..src + feat]);
+            }
+            let x_t = Tensor::from_vec(x_t, &[n, feat])?;
+            // z = x W_ihᵀ + h_prev W_hhᵀ + b : [N, 4H]
+            let mut z = ops::matmul_a_bt(&x_t, &self.w_ih.value)?;
+            let zh = ops::matmul_a_bt(&h_prev, &self.w_hh.value)?;
+            z.add_assign(&zh)?;
+            {
+                let zd = z.data_mut();
+                let bd = self.bias.value.data();
+                for ni in 0..n {
+                    for j in 0..4 * h {
+                        zd[ni * 4 * h + j] += bd[j];
+                    }
+                }
+            }
+            let (i, f, g, o) = self.split_gates(&z, n);
+            // c = f*c_prev + i*g ; h = o * tanh(c)
+            let c = f.mul(&c_prev)?.add(&i.mul(&g)?)?;
+            let tanh_c = c.map(f32::tanh);
+            let h_t = o.mul(&tanh_c)?;
+            caches.push(StepCache {
+                x: x_t,
+                h_prev: h_prev.clone(),
+                c_prev: c_prev.clone(),
+                i,
+                f,
+                g,
+                o,
+                tanh_c,
+            });
+            hidden_seq.push(h_t.clone());
+            h_prev = h_t;
+            c_prev = c;
+        }
+        self.cache = Some(caches);
+
+        if self.return_sequences {
+            // Assemble [N, T, H].
+            let mut out = vec![0.0f32; n * t * h];
+            for (ti, h_t) in hidden_seq.iter().enumerate() {
+                let hd = h_t.data();
+                for ni in 0..n {
+                    let dst = (ni * t + ti) * h;
+                    out[dst..dst + h].copy_from_slice(&hd[ni * h..(ni + 1) * h]);
+                }
+            }
+            Ok(Tensor::from_vec(out, &[n, t, h])?)
+        } else {
+            Ok(h_prev)
+        }
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let caches = self
+            .cache
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward("Lstm"))?;
+        let t = caches.len();
+        if t == 0 {
+            return Err(NnError::Config("Lstm backward on empty sequence".into()));
+        }
+        let n = caches[0].x.dims()[0];
+        let feat = self.input_size;
+        let h = self.hidden_size;
+
+        // Per-timestep external gradient on h_t.
+        let grad_h_ext = |ti: usize| -> Result<Tensor> {
+            if self.return_sequences {
+                let gd = grad_output.data();
+                let mut g = vec![0.0f32; n * h];
+                for ni in 0..n {
+                    let src = (ni * t + ti) * h;
+                    g[ni * h..(ni + 1) * h].copy_from_slice(&gd[src..src + h]);
+                }
+                Ok(Tensor::from_vec(g, &[n, h])?)
+            } else if ti == t - 1 {
+                Ok(grad_output.clone())
+            } else {
+                Ok(Tensor::zeros(&[n, h]))
+            }
+        };
+
+        let mut grad_input = Tensor::zeros(&[n, t, feat]);
+        let mut dh_next = Tensor::zeros(&[n, h]);
+        let mut dc_next = Tensor::zeros(&[n, h]);
+
+        for ti in (0..t).rev() {
+            let cache = &caches[ti];
+            let mut dh = grad_h_ext(ti)?;
+            dh.add_assign(&dh_next)?;
+
+            // dо = dh * tanh(c); dc = dc_next + dh * o * (1 - tanh²(c))
+            let do_ = dh.mul(&cache.tanh_c)?;
+            let one_minus_tanh2 = cache.tanh_c.map(|v| 1.0 - v * v);
+            let mut dc = dh.mul(&cache.o)?.mul(&one_minus_tanh2)?;
+            dc.add_assign(&dc_next)?;
+
+            let di = dc.mul(&cache.g)?;
+            let dg = dc.mul(&cache.i)?;
+            let df = dc.mul(&cache.c_prev)?;
+            dc_next = dc.mul(&cache.f)?;
+
+            // Gate pre-activation gradients.
+            let dzi = di.zip_map(&cache.i, |d, a| d * a * (1.0 - a))?;
+            let dzf = df.zip_map(&cache.f, |d, a| d * a * (1.0 - a))?;
+            let dzg = dg.zip_map(&cache.g, |d, a| d * (1.0 - a * a))?;
+            let dzo = do_.zip_map(&cache.o, |d, a| d * a * (1.0 - a))?;
+
+            // Pack dz: [N, 4H]
+            let mut dz = vec![0.0f32; n * 4 * h];
+            for ni in 0..n {
+                for hi in 0..h {
+                    dz[ni * 4 * h + hi] = dzi.data()[ni * h + hi];
+                    dz[ni * 4 * h + h + hi] = dzf.data()[ni * h + hi];
+                    dz[ni * 4 * h + 2 * h + hi] = dzg.data()[ni * h + hi];
+                    dz[ni * 4 * h + 3 * h + hi] = dzo.data()[ni * h + hi];
+                }
+            }
+            let dz = Tensor::from_vec(dz, &[n, 4 * h])?;
+
+            // Parameter gradients.
+            self.w_ih.grad.add_assign(&ops::matmul_at_b(&dz, &cache.x)?)?;
+            self.w_hh
+                .grad
+                .add_assign(&ops::matmul_at_b(&dz, &cache.h_prev)?)?;
+            self.bias.grad.add_assign(&ops::sum_axis(&dz, 0)?)?;
+
+            // Input and recurrent gradients.
+            let dx = ops::matmul(&dz, &self.w_ih.value)?;
+            dh_next = ops::matmul(&dz, &self.w_hh.value)?;
+
+            // Scatter dx into grad_input[:, ti, :].
+            let gid = grad_input.data_mut();
+            let dxd = dx.data();
+            for ni in 0..n {
+                let dst = (ni * t + ti) * feat;
+                for fi in 0..feat {
+                    gid[dst + fi] += dxd[ni * feat + fi];
+                }
+            }
+        }
+        Ok(grad_input)
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        visitor(&mut self.w_ih);
+        visitor(&mut self.w_hh);
+        visitor(&mut self.bias);
+    }
+
+    fn name(&self) -> &'static str {
+        "Lstm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = Rng::seed_from(1);
+        let mut lstm = Lstm::new(3, 5, false, &mut rng);
+        let x = Tensor::randn(&[4, 7, 3], 0.0, 1.0, &mut rng);
+        let y = lstm.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[4, 5]);
+
+        let mut lstm_seq = Lstm::new(3, 5, true, &mut rng);
+        let y = lstm_seq.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[4, 7, 5]);
+        assert!(lstm_seq.returns_sequences());
+        assert_eq!(lstm_seq.hidden_size(), 5);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let mut rng = Rng::seed_from(2);
+        let mut lstm = Lstm::new(3, 4, false, &mut rng);
+        assert!(lstm.forward(&Tensor::zeros(&[4, 7, 2]), Mode::Train).is_err());
+        assert!(lstm.forward(&Tensor::zeros(&[4, 7]), Mode::Train).is_err());
+        assert!(lstm.backward(&Tensor::zeros(&[4, 4])).is_err());
+    }
+
+    #[test]
+    fn hidden_values_are_bounded() {
+        let mut rng = Rng::seed_from(3);
+        let mut lstm = Lstm::new(2, 6, true, &mut rng);
+        let x = Tensor::randn(&[2, 10, 2], 0.0, 5.0, &mut rng);
+        let y = lstm.forward(&x, Mode::Train).unwrap();
+        // h = o * tanh(c) with o in (0,1) so |h| < 1.
+        assert!(y.max() <= 1.0 && y.min() >= -1.0);
+        assert!(!y.has_non_finite());
+    }
+
+    #[test]
+    fn input_gradient_matches_numerical_last_hidden() {
+        let mut rng = Rng::seed_from(4);
+        let mut lstm = Lstm::new(2, 3, false, &mut rng);
+        let x = Tensor::randn(&[1, 4, 2], 0.0, 1.0, &mut rng);
+        let y = lstm.forward(&x, Mode::Train).unwrap();
+        let grad_in = lstm.backward(&Tensor::ones(y.dims())).unwrap();
+        assert_eq!(grad_in.dims(), x.dims());
+
+        let eps = 1e-2f32;
+        for idx in [0usize, 3, 5, 7] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let lp = lstm.forward(&xp, Mode::Train).unwrap().sum();
+            let lm = lstm.forward(&xm, Mode::Train).unwrap().sum();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - grad_in.data()[idx]).abs() < 2e-2,
+                "lstm input grad mismatch at {idx}: num {num} ana {}",
+                grad_in.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_numerical_sequences() {
+        let mut rng = Rng::seed_from(5);
+        let mut lstm = Lstm::new(2, 3, true, &mut rng);
+        let x = Tensor::randn(&[1, 3, 2], 0.0, 1.0, &mut rng);
+        let y = lstm.forward(&x, Mode::Train).unwrap();
+        let grad_in = lstm.backward(&Tensor::ones(y.dims())).unwrap();
+        let eps = 1e-2f32;
+        for idx in 0..x.numel() {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let lp = lstm.forward(&xp, Mode::Train).unwrap().sum();
+            let lm = lstm.forward(&xm, Mode::Train).unwrap().sum();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - grad_in.data()[idx]).abs() < 2e-2,
+                "lstm seq input grad mismatch at {idx}"
+            );
+        }
+    }
+
+    #[test]
+    fn weight_gradient_matches_numerical() {
+        let mut rng = Rng::seed_from(6);
+        let mut lstm = Lstm::new(2, 2, false, &mut rng);
+        let x = Tensor::randn(&[2, 3, 2], 0.0, 1.0, &mut rng);
+        let y = lstm.forward(&x, Mode::Train).unwrap();
+        lstm.backward(&Tensor::ones(y.dims())).unwrap();
+        let analytic = lstm.w_ih.grad.clone();
+        let eps = 1e-2f32;
+        for idx in [0usize, 5, 11] {
+            let orig = lstm.w_ih.value.data()[idx];
+            lstm.w_ih.value.data_mut()[idx] = orig + eps;
+            let lp = lstm.forward(&x, Mode::Train).unwrap().sum();
+            lstm.w_ih.value.data_mut()[idx] = orig - eps;
+            let lm = lstm.forward(&x, Mode::Train).unwrap().sum();
+            lstm.w_ih.value.data_mut()[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - analytic.data()[idx]).abs() < 2e-2,
+                "lstm w_ih grad mismatch at {idx}"
+            );
+        }
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = Rng::seed_from(7);
+        let mut lstm = Lstm::new(3, 4, false, &mut rng);
+        assert_eq!(lstm.param_count(), 4 * 4 * 3 + 4 * 4 * 4 + 4 * 4);
+    }
+}

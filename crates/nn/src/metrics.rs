@@ -1,0 +1,244 @@
+//! Evaluation metrics: classification accuracy, RMSE, intersection-over-union
+//! and calibration measures.
+
+use crate::error::NnError;
+use crate::Result;
+use invnorm_tensor::{ops, Tensor};
+
+/// Fraction of rows whose argmax matches the target class.
+///
+/// `scores` is `[N, C]` (logits or probabilities), `targets` holds `N` class
+/// indices.
+///
+/// # Errors
+///
+/// Returns an error when shapes and targets are inconsistent.
+pub fn accuracy(scores: &Tensor, targets: &[usize]) -> Result<f32> {
+    let predictions = ops::argmax_rows(scores)?;
+    if predictions.len() != targets.len() {
+        return Err(NnError::TargetMismatch {
+            predictions: predictions.len(),
+            targets: targets.len(),
+        });
+    }
+    if targets.is_empty() {
+        return Ok(0.0);
+    }
+    let correct = predictions
+        .iter()
+        .zip(targets.iter())
+        .filter(|(p, t)| p == t)
+        .count();
+    Ok(correct as f32 / targets.len() as f32)
+}
+
+/// Root-mean-square error between two same-shaped tensors.
+///
+/// # Errors
+///
+/// Returns an error when the shapes differ.
+pub fn rmse(predictions: &Tensor, targets: &Tensor) -> Result<f32> {
+    if predictions.dims() != targets.dims() {
+        return Err(NnError::TargetMismatch {
+            predictions: predictions.numel(),
+            targets: targets.numel(),
+        });
+    }
+    if predictions.numel() == 0 {
+        return Ok(0.0);
+    }
+    let diff = predictions.sub(targets)?;
+    Ok((diff.sq_norm() / predictions.numel() as f32).sqrt())
+}
+
+/// Binary intersection-over-union between a probability map and a 0/1 mask,
+/// thresholding the probabilities at `threshold`.
+///
+/// Returns 1.0 when both prediction and target are empty (the conventional
+/// "perfect match of nothing").
+///
+/// # Errors
+///
+/// Returns an error when the shapes differ.
+pub fn binary_iou(probabilities: &Tensor, mask: &Tensor, threshold: f32) -> Result<f32> {
+    if probabilities.dims() != mask.dims() {
+        return Err(NnError::TargetMismatch {
+            predictions: probabilities.numel(),
+            targets: mask.numel(),
+        });
+    }
+    let mut intersection = 0usize;
+    let mut union = 0usize;
+    for (&p, &t) in probabilities.data().iter().zip(mask.data().iter()) {
+        let pred = p >= threshold;
+        let truth = t >= 0.5;
+        if pred && truth {
+            intersection += 1;
+        }
+        if pred || truth {
+            union += 1;
+        }
+    }
+    Ok(if union == 0 {
+        1.0
+    } else {
+        intersection as f32 / union as f32
+    })
+}
+
+/// Mean IoU over the foreground and background classes (the segmentation
+/// metric the paper reports for DRIVE / U-Net).
+///
+/// # Errors
+///
+/// Returns an error when the shapes differ.
+pub fn mean_iou(probabilities: &Tensor, mask: &Tensor, threshold: f32) -> Result<f32> {
+    let fg = binary_iou(probabilities, mask, threshold)?;
+    // Background IoU: invert both.
+    let inv_prob = probabilities.map(|p| 1.0 - p);
+    let inv_mask = mask.map(|t| 1.0 - t);
+    let bg = binary_iou(&inv_prob, &inv_mask, 1.0 - threshold)?;
+    Ok(0.5 * (fg + bg))
+}
+
+/// Expected calibration error with equal-width confidence bins.
+///
+/// `probs` is `[N, C]` with rows summing to one.
+///
+/// # Errors
+///
+/// Returns an error when shapes/targets are inconsistent.
+pub fn expected_calibration_error(probs: &Tensor, targets: &[usize], bins: usize) -> Result<f32> {
+    let (n, _c) = ops::as_matrix_dims(probs)?;
+    if targets.len() != n {
+        return Err(NnError::TargetMismatch {
+            predictions: n,
+            targets: targets.len(),
+        });
+    }
+    if n == 0 || bins == 0 {
+        return Ok(0.0);
+    }
+    let predictions = ops::argmax_rows(probs)?;
+    let confidences: Vec<f32> = (0..n)
+        .map(|i| {
+            let row = &probs.data()[i * probs.dims()[1]..(i + 1) * probs.dims()[1]];
+            row.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        })
+        .collect();
+    let mut bin_conf = vec![0.0f32; bins];
+    let mut bin_acc = vec![0.0f32; bins];
+    let mut bin_count = vec![0usize; bins];
+    for i in 0..n {
+        let b = ((confidences[i] * bins as f32) as usize).min(bins - 1);
+        bin_conf[b] += confidences[i];
+        bin_acc[b] += if predictions[i] == targets[i] { 1.0 } else { 0.0 };
+        bin_count[b] += 1;
+    }
+    let mut ece = 0.0f32;
+    for b in 0..bins {
+        if bin_count[b] > 0 {
+            let conf = bin_conf[b] / bin_count[b] as f32;
+            let acc = bin_acc[b] / bin_count[b] as f32;
+            ece += (bin_count[b] as f32 / n as f32) * (conf - acc).abs();
+        }
+    }
+    Ok(ece)
+}
+
+/// Brier score of probabilistic classification (`[N, C]` probabilities versus
+/// integer targets); lower is better.
+///
+/// # Errors
+///
+/// Returns an error when shapes/targets are inconsistent.
+pub fn brier_score(probs: &Tensor, targets: &[usize]) -> Result<f32> {
+    let (n, c) = ops::as_matrix_dims(probs)?;
+    if targets.len() != n {
+        return Err(NnError::TargetMismatch {
+            predictions: n,
+            targets: targets.len(),
+        });
+    }
+    if n == 0 {
+        return Ok(0.0);
+    }
+    let mut total = 0.0f32;
+    for (i, &t) in targets.iter().enumerate() {
+        for j in 0..c {
+            let y = if j == t { 1.0 } else { 0.0 };
+            total += (probs.data()[i * c + j] - y).powi(2);
+        }
+    }
+    Ok(total / n as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        let scores =
+            Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4], &[3, 2]).unwrap();
+        assert_eq!(accuracy(&scores, &[0, 1, 0]).unwrap(), 1.0);
+        assert!((accuracy(&scores, &[0, 1, 1]).unwrap() - 2.0 / 3.0).abs() < 1e-6);
+        assert!(accuracy(&scores, &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn rmse_basic() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        let b = Tensor::from_vec(vec![1.0, 4.0, 3.0], &[3]).unwrap();
+        assert!((rmse(&a, &b).unwrap() - (4.0f32 / 3.0).sqrt()).abs() < 1e-6);
+        assert_eq!(rmse(&a, &a).unwrap(), 0.0);
+        assert!(rmse(&a, &Tensor::zeros(&[4])).is_err());
+    }
+
+    #[test]
+    fn iou_values() {
+        let probs = Tensor::from_vec(vec![0.9, 0.8, 0.1, 0.2], &[4]).unwrap();
+        let mask = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[4]).unwrap();
+        // Predicted set {0,1}, truth {0,3}: intersection 1, union 3.
+        assert!((binary_iou(&probs, &mask, 0.5).unwrap() - 1.0 / 3.0).abs() < 1e-6);
+        // Perfect prediction.
+        assert_eq!(binary_iou(&mask, &mask, 0.5).unwrap(), 1.0);
+        // Empty prediction and mask.
+        let empty = Tensor::zeros(&[4]);
+        assert_eq!(binary_iou(&empty, &empty, 0.5).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn mean_iou_combines_foreground_and_background() {
+        let mask = Tensor::from_vec(vec![1.0, 1.0, 0.0, 0.0], &[4]).unwrap();
+        let perfect = mean_iou(&mask, &mask, 0.5).unwrap();
+        assert!((perfect - 1.0).abs() < 1e-6);
+        let inverted = mask.map(|v| 1.0 - v);
+        let worst = mean_iou(&inverted, &mask, 0.5).unwrap();
+        assert!(worst < 0.01);
+    }
+
+    #[test]
+    fn ece_perfectly_calibrated_and_overconfident() {
+        // Overconfident and wrong: high ECE.
+        let wrong = Tensor::from_vec(vec![0.99, 0.01, 0.99, 0.01], &[2, 2]).unwrap();
+        let ece_wrong = expected_calibration_error(&wrong, &[1, 1], 10).unwrap();
+        assert!(ece_wrong > 0.9);
+        // Confident and right: low ECE.
+        let right = expected_calibration_error(&wrong, &[0, 0], 10).unwrap();
+        assert!(right < 0.05);
+        assert_eq!(
+            expected_calibration_error(&wrong, &[0, 0], 0).unwrap(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn brier_score_bounds() {
+        let perfect = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]).unwrap();
+        assert_eq!(brier_score(&perfect, &[0, 1]).unwrap(), 0.0);
+        let worst = brier_score(&perfect, &[1, 0]).unwrap();
+        assert!((worst - 2.0).abs() < 1e-6);
+        assert!(brier_score(&perfect, &[0]).is_err());
+    }
+}

@@ -1,0 +1,566 @@
+//! Conventional normalization layers (normalize first, affine second).
+//!
+//! These are the baselines the paper's *inverted* normalization (see
+//! `invnorm-core`) is compared against:
+//!
+//! * [`BatchNorm`] — per-channel statistics over the batch and spatial
+//!   dimensions, with running statistics for evaluation.
+//! * [`GroupNorm`] — per-instance statistics over channel groups; with
+//!   `groups == 1` it behaves like Layer Normalization and with
+//!   `groups == channels` like Instance Normalization.
+//!
+//! All layers accept activations of rank 2 (`[N, C]`), 3 (`[N, C, L]`) or 4
+//! (`[N, C, H, W]`); internally they are viewed as `[N, C, S]` with `S` the
+//! flattened spatial extent.
+
+use crate::error::NnError;
+use crate::layer::{Layer, Mode, Param};
+use crate::Result;
+use invnorm_tensor::Tensor;
+
+/// Small constant added to variances for numerical stability.
+pub const NORM_EPS: f32 = 1e-5;
+
+/// Views an activation tensor as `[N, C, S]`, returning `(n, c, s)`.
+fn ncs_dims(input: &Tensor) -> Result<(usize, usize, usize)> {
+    let d = input.dims();
+    match d.len() {
+        2 => Ok((d[0], d[1], 1)),
+        3 => Ok((d[0], d[1], d[2])),
+        4 => Ok((d[0], d[1], d[2] * d[3])),
+        _ => Err(NnError::Config(format!(
+            "normalization layers expect rank 2-4 input, got {:?}",
+            d
+        ))),
+    }
+}
+
+/// Batch Normalization with learnable per-channel affine parameters applied
+/// *after* normalization (the conventional ordering, Eq. 1 of the paper).
+#[derive(Debug)]
+pub struct BatchNorm {
+    channels: usize,
+    momentum: f32,
+    gamma: Param,
+    beta: Param,
+    running_mean: Tensor,
+    running_var: Tensor,
+    cache: Option<BatchNormCache>,
+}
+
+#[derive(Debug)]
+struct BatchNormCache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+    input_dims: Vec<usize>,
+}
+
+impl BatchNorm {
+    /// Creates a batch-norm layer for `channels` feature maps.
+    pub fn new(channels: usize) -> Self {
+        Self {
+            channels,
+            momentum: 0.1,
+            gamma: Param::new(Tensor::ones(&[channels])),
+            beta: Param::new(Tensor::zeros(&[channels])),
+            running_mean: Tensor::zeros(&[channels]),
+            running_var: Tensor::ones(&[channels]),
+            cache: None,
+        }
+    }
+
+    /// Running mean estimate (used in evaluation mode).
+    pub fn running_mean(&self) -> &Tensor {
+        &self.running_mean
+    }
+
+    /// Running variance estimate (used in evaluation mode).
+    pub fn running_var(&self) -> &Tensor {
+        &self.running_var
+    }
+}
+
+impl Layer for BatchNorm {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let (n, c, s) = ncs_dims(input)?;
+        if c != self.channels {
+            return Err(NnError::Config(format!(
+                "BatchNorm configured for {} channels, input has {c}",
+                self.channels
+            )));
+        }
+        let data = input.data();
+        let count = (n * s) as f32;
+        let mut out = input.clone();
+        let mut x_hat = input.clone();
+        let mut inv_stds = vec![0.0f32; c];
+        for ci in 0..c {
+            let (mean, var) = if mode.is_train() {
+                let mut mean = 0.0f32;
+                for ni in 0..n {
+                    let base = (ni * c + ci) * s;
+                    for i in 0..s {
+                        mean += data[base + i];
+                    }
+                }
+                mean /= count;
+                let mut var = 0.0f32;
+                for ni in 0..n {
+                    let base = (ni * c + ci) * s;
+                    for i in 0..s {
+                        var += (data[base + i] - mean).powi(2);
+                    }
+                }
+                var /= count;
+                // Update running statistics.
+                let rm = &mut self.running_mean.data_mut()[ci];
+                *rm = (1.0 - self.momentum) * *rm + self.momentum * mean;
+                let rv = &mut self.running_var.data_mut()[ci];
+                *rv = (1.0 - self.momentum) * *rv + self.momentum * var;
+                (mean, var)
+            } else {
+                (
+                    self.running_mean.data()[ci],
+                    self.running_var.data()[ci],
+                )
+            };
+            let inv_std = 1.0 / (var + NORM_EPS).sqrt();
+            inv_stds[ci] = inv_std;
+            let g = self.gamma.value.data()[ci];
+            let b = self.beta.value.data()[ci];
+            for ni in 0..n {
+                let base = (ni * c + ci) * s;
+                for i in 0..s {
+                    let xh = (data[base + i] - mean) * inv_std;
+                    x_hat.data_mut()[base + i] = xh;
+                    out.data_mut()[base + i] = g * xh + b;
+                }
+            }
+        }
+        if mode.is_train() {
+            self.cache = Some(BatchNormCache {
+                x_hat,
+                inv_std: inv_stds,
+                input_dims: input.dims().to_vec(),
+            });
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let cache = self
+            .cache
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward("BatchNorm"))?;
+        let (n, c, s) = ncs_dims(grad_output)?;
+        if grad_output.dims() != cache.input_dims.as_slice() {
+            return Err(NnError::Config(
+                "BatchNorm backward gradient shape mismatch".into(),
+            ));
+        }
+        let count = (n * s) as f32;
+        let gd = grad_output.data();
+        let xh = cache.x_hat.data();
+        let mut grad_input = Tensor::zeros(&cache.input_dims);
+        for ci in 0..c {
+            let mut sum_dy = 0.0f32;
+            let mut sum_dy_xhat = 0.0f32;
+            for ni in 0..n {
+                let base = (ni * c + ci) * s;
+                for i in 0..s {
+                    sum_dy += gd[base + i];
+                    sum_dy_xhat += gd[base + i] * xh[base + i];
+                }
+            }
+            self.gamma.grad.data_mut()[ci] += sum_dy_xhat;
+            self.beta.grad.data_mut()[ci] += sum_dy;
+            let g = self.gamma.value.data()[ci];
+            let inv_std = cache.inv_std[ci];
+            let mean_dy = sum_dy / count;
+            let mean_dy_xhat = sum_dy_xhat / count;
+            for ni in 0..n {
+                let base = (ni * c + ci) * s;
+                for i in 0..s {
+                    grad_input.data_mut()[base + i] = g
+                        * inv_std
+                        * (gd[base + i] - mean_dy - xh[base + i] * mean_dy_xhat);
+                }
+            }
+        }
+        Ok(grad_input)
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        visitor(&mut self.gamma);
+        visitor(&mut self.beta);
+    }
+
+    fn name(&self) -> &'static str {
+        "BatchNorm"
+    }
+}
+
+/// Group Normalization with learnable per-channel affine parameters applied
+/// *after* normalization.
+///
+/// Statistics are computed per sample over groups of channels (and all
+/// spatial positions), so train-time and test-time behaviour are identical —
+/// the property the paper relies on for robustness to distribution shifts of
+/// the weighted sum.
+#[derive(Debug)]
+pub struct GroupNorm {
+    channels: usize,
+    groups: usize,
+    gamma: Param,
+    beta: Param,
+    cache: Option<GroupNormCache>,
+}
+
+#[derive(Debug)]
+struct GroupNormCache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+    input_dims: Vec<usize>,
+}
+
+impl GroupNorm {
+    /// Creates a group-norm layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `groups` does not divide `channels` or is zero.
+    pub fn new(channels: usize, groups: usize) -> Result<Self> {
+        if groups == 0 || channels % groups != 0 {
+            return Err(NnError::Config(format!(
+                "groups ({groups}) must divide channels ({channels})"
+            )));
+        }
+        Ok(Self {
+            channels,
+            groups,
+            gamma: Param::new(Tensor::ones(&[channels])),
+            beta: Param::new(Tensor::zeros(&[channels])),
+            cache: None,
+        })
+    }
+
+    /// Layer-Normalization convenience constructor (`groups == 1`).
+    pub fn layer_norm(channels: usize) -> Self {
+        Self::new(channels, 1).expect("groups=1 always divides channels")
+    }
+
+    /// Instance-Normalization convenience constructor (`groups == channels`).
+    pub fn instance_norm(channels: usize) -> Self {
+        Self::new(channels, channels).expect("groups=channels always divides channels")
+    }
+
+    /// Number of channel groups.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+}
+
+impl Layer for GroupNorm {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let (n, c, s) = ncs_dims(input)?;
+        if c != self.channels {
+            return Err(NnError::Config(format!(
+                "GroupNorm configured for {} channels, input has {c}",
+                self.channels
+            )));
+        }
+        let cpg = c / self.groups; // channels per group
+        let group_count = (cpg * s) as f32;
+        let data = input.data();
+        let mut out = input.clone();
+        let mut x_hat = input.clone();
+        let mut inv_stds = vec![0.0f32; n * self.groups];
+        for ni in 0..n {
+            for gi in 0..self.groups {
+                let mut mean = 0.0f32;
+                for cc in 0..cpg {
+                    let ci = gi * cpg + cc;
+                    let base = (ni * c + ci) * s;
+                    for i in 0..s {
+                        mean += data[base + i];
+                    }
+                }
+                mean /= group_count;
+                let mut var = 0.0f32;
+                for cc in 0..cpg {
+                    let ci = gi * cpg + cc;
+                    let base = (ni * c + ci) * s;
+                    for i in 0..s {
+                        var += (data[base + i] - mean).powi(2);
+                    }
+                }
+                var /= group_count;
+                let inv_std = 1.0 / (var + NORM_EPS).sqrt();
+                inv_stds[ni * self.groups + gi] = inv_std;
+                for cc in 0..cpg {
+                    let ci = gi * cpg + cc;
+                    let g = self.gamma.value.data()[ci];
+                    let b = self.beta.value.data()[ci];
+                    let base = (ni * c + ci) * s;
+                    for i in 0..s {
+                        let xh = (data[base + i] - mean) * inv_std;
+                        x_hat.data_mut()[base + i] = xh;
+                        out.data_mut()[base + i] = g * xh + b;
+                    }
+                }
+            }
+        }
+        // GroupNorm has identical train/eval behaviour; cache for backward in
+        // both modes so eval-time fault analyses can also request gradients.
+        let _ = mode;
+        self.cache = Some(GroupNormCache {
+            x_hat,
+            inv_std: inv_stds,
+            input_dims: input.dims().to_vec(),
+        });
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let cache = self
+            .cache
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward("GroupNorm"))?;
+        if grad_output.dims() != cache.input_dims.as_slice() {
+            return Err(NnError::Config(
+                "GroupNorm backward gradient shape mismatch".into(),
+            ));
+        }
+        let (n, c, s) = ncs_dims(grad_output)?;
+        let cpg = c / self.groups;
+        let group_count = (cpg * s) as f32;
+        let gd = grad_output.data();
+        let xh = cache.x_hat.data();
+        let mut grad_input = Tensor::zeros(&cache.input_dims);
+
+        // Per-channel affine gradients.
+        for ci in 0..c {
+            let mut dgamma = 0.0f32;
+            let mut dbeta = 0.0f32;
+            for ni in 0..n {
+                let base = (ni * c + ci) * s;
+                for i in 0..s {
+                    dgamma += gd[base + i] * xh[base + i];
+                    dbeta += gd[base + i];
+                }
+            }
+            self.gamma.grad.data_mut()[ci] += dgamma;
+            self.beta.grad.data_mut()[ci] += dbeta;
+        }
+
+        // Per-(sample, group) input gradients.
+        for ni in 0..n {
+            for gi in 0..self.groups {
+                let inv_std = cache.inv_std[ni * self.groups + gi];
+                let mut mean_dxhat = 0.0f32;
+                let mut mean_dxhat_xhat = 0.0f32;
+                for cc in 0..cpg {
+                    let ci = gi * cpg + cc;
+                    let g = self.gamma.value.data()[ci];
+                    let base = (ni * c + ci) * s;
+                    for i in 0..s {
+                        let dxh = gd[base + i] * g;
+                        mean_dxhat += dxh;
+                        mean_dxhat_xhat += dxh * xh[base + i];
+                    }
+                }
+                mean_dxhat /= group_count;
+                mean_dxhat_xhat /= group_count;
+                for cc in 0..cpg {
+                    let ci = gi * cpg + cc;
+                    let g = self.gamma.value.data()[ci];
+                    let base = (ni * c + ci) * s;
+                    for i in 0..s {
+                        let dxh = gd[base + i] * g;
+                        grad_input.data_mut()[base + i] =
+                            inv_std * (dxh - mean_dxhat - xh[base + i] * mean_dxhat_xhat);
+                    }
+                }
+            }
+        }
+        Ok(grad_input)
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        visitor(&mut self.gamma);
+        visitor(&mut self.beta);
+    }
+
+    fn name(&self) -> &'static str {
+        "GroupNorm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use invnorm_tensor::Rng;
+
+    #[test]
+    fn batchnorm_normalizes_in_train_mode() {
+        let mut rng = Rng::seed_from(1);
+        let mut bn = BatchNorm::new(3);
+        let x = Tensor::randn(&[8, 3, 4, 4], 5.0, 2.0, &mut rng);
+        let y = bn.forward(&x, Mode::Train).unwrap();
+        // With gamma=1, beta=0 the per-channel output should be ~N(0,1).
+        for ci in 0..3 {
+            let mut vals = Vec::new();
+            for ni in 0..8 {
+                for i in 0..16 {
+                    vals.push(y.data()[(ni * 3 + ci) * 16 + i]);
+                }
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "channel {ci} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "channel {ci} var {var}");
+        }
+    }
+
+    #[test]
+    fn batchnorm_eval_uses_running_stats() {
+        let mut rng = Rng::seed_from(2);
+        let mut bn = BatchNorm::new(2);
+        let x = Tensor::randn(&[16, 2, 3, 3], 1.0, 2.0, &mut rng);
+        // Several train steps so running stats move toward batch stats.
+        for _ in 0..50 {
+            bn.forward(&x, Mode::Train).unwrap();
+        }
+        let y_eval = bn.forward(&x, Mode::Eval).unwrap();
+        // Eval output should also be roughly standardized.
+        assert!(y_eval.mean().abs() < 0.2);
+        assert!((y_eval.std() - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn batchnorm_gradients_match_numerical() {
+        let mut rng = Rng::seed_from(3);
+        let mut bn = BatchNorm::new(2);
+        // Use non-trivial gamma/beta to exercise the full formula.
+        bn.gamma.value = Tensor::from_vec(vec![1.5, 0.5], &[2]).unwrap();
+        bn.beta.value = Tensor::from_vec(vec![0.3, -0.2], &[2]).unwrap();
+        let x = Tensor::randn(&[3, 2, 2, 2], 0.0, 1.0, &mut rng);
+        // Weighted-sum loss so the gradient is not uniform.
+        let w = Tensor::randn(&[3, 2, 2, 2], 0.0, 1.0, &mut rng);
+        let y = bn.forward(&x, Mode::Train).unwrap();
+        let _ = y;
+        let grad_in = bn.backward(&w).unwrap();
+
+        let eps = 1e-2f32;
+        let loss = |bn: &mut BatchNorm, x: &Tensor| -> f32 {
+            bn.forward(x, Mode::Train)
+                .unwrap()
+                .mul(&w)
+                .unwrap()
+                .sum()
+        };
+        for idx in [0usize, 5, 13, 23] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            // Fresh layers so running stats don't accumulate differences.
+            let mut bnp = BatchNorm::new(2);
+            bnp.gamma.value = bn.gamma.value.clone();
+            bnp.beta.value = bn.beta.value.clone();
+            let mut bnm = BatchNorm::new(2);
+            bnm.gamma.value = bn.gamma.value.clone();
+            bnm.beta.value = bn.beta.value.clone();
+            let num = (loss(&mut bnp, &xp) - loss(&mut bnm, &xm)) / (2.0 * eps);
+            assert!(
+                (num - grad_in.data()[idx]).abs() < 2e-2,
+                "batchnorm input grad mismatch at {idx}: num {num} ana {}",
+                grad_in.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn groupnorm_constructor_validation() {
+        assert!(GroupNorm::new(8, 3).is_err());
+        assert!(GroupNorm::new(8, 0).is_err());
+        assert!(GroupNorm::new(8, 4).is_ok());
+        assert_eq!(GroupNorm::layer_norm(8).groups(), 1);
+        assert_eq!(GroupNorm::instance_norm(8).groups(), 8);
+    }
+
+    #[test]
+    fn groupnorm_normalizes_each_instance() {
+        let mut rng = Rng::seed_from(4);
+        let mut gn = GroupNorm::layer_norm(4);
+        let x = Tensor::randn(&[3, 4, 5, 5], -2.0, 3.0, &mut rng);
+        let y = gn.forward(&x, Mode::Eval).unwrap();
+        for ni in 0..3 {
+            let inst = y.index_axis0(ni).unwrap();
+            assert!(inst.mean().abs() < 1e-4);
+            assert!((inst.std() - 1.0).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn groupnorm_train_eval_identical() {
+        let mut rng = Rng::seed_from(5);
+        let mut gn = GroupNorm::new(6, 3).unwrap();
+        let x = Tensor::randn(&[2, 6, 3, 3], 1.0, 2.0, &mut rng);
+        let yt = gn.forward(&x, Mode::Train).unwrap();
+        let ye = gn.forward(&x, Mode::Eval).unwrap();
+        assert!(yt.approx_eq(&ye, 1e-6));
+    }
+
+    #[test]
+    fn groupnorm_gradients_match_numerical() {
+        let mut rng = Rng::seed_from(6);
+        let mut gn = GroupNorm::new(4, 2).unwrap();
+        gn.gamma.value = Tensor::from_vec(vec![1.2, 0.8, 1.5, 0.5], &[4]).unwrap();
+        gn.beta.value = Tensor::from_vec(vec![0.1, -0.1, 0.2, 0.0], &[4]).unwrap();
+        let x = Tensor::randn(&[2, 4, 2, 2], 0.0, 1.0, &mut rng);
+        let w = Tensor::randn(&[2, 4, 2, 2], 0.0, 1.0, &mut rng);
+        gn.forward(&x, Mode::Train).unwrap();
+        let grad_in = gn.backward(&w).unwrap();
+        let eps = 1e-2f32;
+        for idx in [0usize, 7, 15, 31] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let lp = gn.forward(&xp, Mode::Train).unwrap().mul(&w).unwrap().sum();
+            let lm = gn.forward(&xm, Mode::Train).unwrap().mul(&w).unwrap().sum();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - grad_in.data()[idx]).abs() < 2e-2,
+                "groupnorm input grad mismatch at {idx}"
+            );
+        }
+    }
+
+    #[test]
+    fn norm_layers_accept_rank2_and_rank3() {
+        let mut rng = Rng::seed_from(7);
+        let mut bn = BatchNorm::new(5);
+        let x2 = Tensor::randn(&[6, 5], 0.0, 1.0, &mut rng);
+        assert_eq!(bn.forward(&x2, Mode::Train).unwrap().dims(), &[6, 5]);
+        let mut gn = GroupNorm::layer_norm(5);
+        let x3 = Tensor::randn(&[2, 5, 7], 0.0, 1.0, &mut rng);
+        assert_eq!(gn.forward(&x3, Mode::Train).unwrap().dims(), &[2, 5, 7]);
+        assert!(gn.forward(&Tensor::zeros(&[2, 3, 7]), Mode::Train).is_err());
+    }
+
+    #[test]
+    fn affine_param_gradients_accumulate() {
+        let mut rng = Rng::seed_from(8);
+        let mut gn = GroupNorm::layer_norm(3);
+        let x = Tensor::randn(&[2, 3, 4], 0.0, 1.0, &mut rng);
+        let y = gn.forward(&x, Mode::Train).unwrap();
+        gn.backward(&Tensor::ones(y.dims())).unwrap();
+        // dβ = sum of grad = numel per channel.
+        for ci in 0..3 {
+            assert!((gn.beta.grad.data()[ci] - 8.0).abs() < 1e-4);
+        }
+    }
+}

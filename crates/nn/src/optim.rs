@@ -1,0 +1,333 @@
+//! Optimizers: SGD with momentum/weight decay and Adam.
+//!
+//! Optimizers operate on a network through the [`crate::Layer::visit_params`]
+//! hook, so any layer composition (sequential, residual, model structs) can be
+//! optimized without a central parameter registry.
+
+use crate::layer::{Layer, Param};
+use crate::Result;
+use invnorm_tensor::Tensor;
+
+/// Common interface of the optimizers in this module.
+pub trait Optimizer {
+    /// Applies one update step to every trainable parameter of `network` and
+    /// clears the gradients.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if internal tensor operations fail (which indicates a
+    /// bug in layer bookkeeping, e.g. a gradient with the wrong shape).
+    fn step(&mut self, network: &mut dyn Layer) -> Result<()>;
+
+    /// The current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate (used by schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with classical momentum and decoupled L2
+/// weight decay.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+}
+
+impl Sgd {
+    /// Plain SGD with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+        }
+    }
+
+    /// SGD with momentum and weight decay.
+    pub fn with_momentum(lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        Self {
+            lr,
+            momentum,
+            weight_decay,
+        }
+    }
+
+    fn update_param(&self, p: &mut Param, lr: f32) {
+        if !p.trainable {
+            return;
+        }
+        let mut grad = p.grad.clone();
+        if self.weight_decay > 0.0 {
+            // L2 regularization: grad += wd * value
+            let _ = grad.add_scaled(&p.value, self.weight_decay);
+        }
+        if self.momentum > 0.0 {
+            let velocity = p
+                .opt_m
+                .get_or_insert_with(|| Tensor::zeros(p.value.dims()));
+            // v = momentum*v + grad ; value -= lr * v
+            let vd = velocity.data_mut();
+            for (v, g) in vd.iter_mut().zip(grad.data().iter()) {
+                *v = self.momentum * *v + g;
+            }
+            let _ = p.value.add_scaled(velocity, -lr);
+        } else {
+            let _ = p.value.add_scaled(&grad, -lr);
+        }
+        p.zero_grad();
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, network: &mut dyn Layer) -> Result<()> {
+        let lr = self.lr;
+        let this = self.clone();
+        network.visit_params(&mut |p| this.update_param(p, lr));
+        Ok(())
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) with optional weight decay.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    step_count: u64,
+}
+
+impl Adam {
+    /// Adam with standard hyper-parameters (β₁ = 0.9, β₂ = 0.999).
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            step_count: 0,
+        }
+    }
+
+    /// Adam with weight decay.
+    pub fn with_weight_decay(lr: f32, weight_decay: f32) -> Self {
+        Self {
+            weight_decay,
+            ..Self::new(lr)
+        }
+    }
+
+    fn update_param(&self, p: &mut Param, lr_t: f32) {
+        if !p.trainable {
+            return;
+        }
+        let mut grad = p.grad.clone();
+        if self.weight_decay > 0.0 {
+            let _ = grad.add_scaled(&p.value, self.weight_decay);
+        }
+        let m = p
+            .opt_m
+            .get_or_insert_with(|| Tensor::zeros(p.value.dims()));
+        let md = m.data_mut();
+        for (mi, g) in md.iter_mut().zip(grad.data().iter()) {
+            *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
+        }
+        let v = p
+            .opt_v
+            .get_or_insert_with(|| Tensor::zeros(p.value.dims()));
+        let vd = v.data_mut();
+        for (vi, g) in vd.iter_mut().zip(grad.data().iter()) {
+            *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
+        }
+        // Both buffers exist now; update the value.
+        let (m, v) = (p.opt_m.as_ref().unwrap(), p.opt_v.as_ref().unwrap());
+        let val = p.value.data_mut();
+        for ((x, mi), vi) in val.iter_mut().zip(m.data().iter()).zip(v.data().iter()) {
+            *x -= lr_t * mi / (vi.sqrt() + self.eps);
+        }
+        p.zero_grad();
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, network: &mut dyn Layer) -> Result<()> {
+        self.step_count += 1;
+        let t = self.step_count as f32;
+        // Bias-corrected learning rate.
+        let lr_t = self.lr * (1.0 - self.beta2.powf(t)).sqrt() / (1.0 - self.beta1.powf(t));
+        let this = self.clone();
+        network.visit_params(&mut |p| this.update_param(p, lr_t));
+        Ok(())
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Step learning-rate schedule: multiplies the learning rate by `gamma` every
+/// `step_every` epochs.
+#[derive(Debug, Clone)]
+pub struct StepLrSchedule {
+    initial_lr: f32,
+    gamma: f32,
+    step_every: usize,
+}
+
+impl StepLrSchedule {
+    /// Creates a schedule.
+    pub fn new(initial_lr: f32, gamma: f32, step_every: usize) -> Self {
+        Self {
+            initial_lr,
+            gamma,
+            step_every: step_every.max(1),
+        }
+    }
+
+    /// Learning rate to use for the given (0-based) epoch.
+    pub fn lr_at(&self, epoch: usize) -> f32 {
+        self.initial_lr * self.gamma.powi((epoch / self.step_every) as i32)
+    }
+
+    /// Applies the schedule to an optimizer for the given epoch.
+    pub fn apply(&self, optimizer: &mut dyn Optimizer, epoch: usize) {
+        optimizer.set_learning_rate(self.lr_at(epoch));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Mode;
+    use crate::linear::Linear;
+    use crate::loss::mse;
+    use crate::Sequential;
+    use invnorm_tensor::{Rng, Tensor};
+
+    /// Train y = 2x + 1 with a single Linear layer and check convergence.
+    fn fit_line(optimizer: &mut dyn Optimizer, epochs: usize) -> f32 {
+        let mut rng = Rng::seed_from(11);
+        let mut net = Sequential::new().with(Box::new(Linear::new(1, 1, &mut rng)));
+        let x = Tensor::linspace(-1.0, 1.0, 32).reshape(&[32, 1]).unwrap();
+        let y = x.map(|v| 2.0 * v + 1.0);
+        let mut last = f32::MAX;
+        for _ in 0..epochs {
+            let pred = net.forward(&x, Mode::Train).unwrap();
+            let out = mse(&pred, &y).unwrap();
+            net.backward(&out.grad).unwrap();
+            optimizer.step(&mut net).unwrap();
+            last = out.loss;
+        }
+        last
+    }
+
+    #[test]
+    fn sgd_converges_on_linear_regression() {
+        let mut opt = Sgd::new(0.5);
+        assert!(fit_line(&mut opt, 200) < 1e-3);
+    }
+
+    #[test]
+    fn sgd_momentum_converges_faster_than_plain() {
+        let mut plain = Sgd::new(0.05);
+        let mut momentum = Sgd::with_momentum(0.05, 0.9, 0.0);
+        let loss_plain = fit_line(&mut plain, 60);
+        let loss_momentum = fit_line(&mut momentum, 60);
+        assert!(
+            loss_momentum < loss_plain,
+            "momentum {loss_momentum} vs plain {loss_plain}"
+        );
+    }
+
+    #[test]
+    fn adam_converges_on_linear_regression() {
+        let mut opt = Adam::new(0.05);
+        assert!(fit_line(&mut opt, 300) < 1e-3);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut rng = Rng::seed_from(12);
+        let mut net = Sequential::new().with(Box::new(Linear::new(4, 4, &mut rng)));
+        let initial_norm = {
+            let mut n = 0.0;
+            net.visit_params(&mut |p| n += p.value.sq_norm());
+            n
+        };
+        // Zero gradients, only weight decay acts.
+        let mut opt = Sgd::with_momentum(0.1, 0.0, 0.5);
+        for _ in 0..10 {
+            net.zero_grad();
+            opt.step(&mut net).unwrap();
+        }
+        let final_norm = {
+            let mut n = 0.0;
+            net.visit_params(&mut |p| n += p.value.sq_norm());
+            n
+        };
+        assert!(final_norm < initial_norm);
+    }
+
+    #[test]
+    fn frozen_params_are_not_updated() {
+        let mut rng = Rng::seed_from(13);
+        let mut net = Sequential::new().with(Box::new(Linear::new(2, 2, &mut rng)));
+        net.visit_params(&mut |p| {
+            p.trainable = false;
+            p.grad.fill(1.0);
+        });
+        let before: Vec<f32> = {
+            let mut v = Vec::new();
+            net.visit_params(&mut |p| v.extend_from_slice(p.value.data()));
+            v
+        };
+        Sgd::new(1.0).step(&mut net).unwrap();
+        let after: Vec<f32> = {
+            let mut v = Vec::new();
+            net.visit_params(&mut |p| v.extend_from_slice(p.value.data()));
+            v
+        };
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn step_clears_gradients() {
+        let mut rng = Rng::seed_from(14);
+        let mut net = Sequential::new().with(Box::new(Linear::new(2, 2, &mut rng)));
+        net.visit_params(&mut |p| p.grad.fill(1.0));
+        Adam::new(0.01).step(&mut net).unwrap();
+        let mut grad_norm = 0.0;
+        net.visit_params(&mut |p| grad_norm += p.grad.sq_norm());
+        assert_eq!(grad_norm, 0.0);
+    }
+
+    #[test]
+    fn lr_schedule_and_setters() {
+        let sched = StepLrSchedule::new(0.1, 0.5, 10);
+        assert_eq!(sched.lr_at(0), 0.1);
+        assert_eq!(sched.lr_at(9), 0.1);
+        assert!((sched.lr_at(10) - 0.05).abs() < 1e-7);
+        assert!((sched.lr_at(25) - 0.025).abs() < 1e-7);
+        let mut opt = Sgd::new(0.1);
+        sched.apply(&mut opt, 20);
+        assert!((opt.learning_rate() - 0.025).abs() < 1e-7);
+        opt.set_learning_rate(1.0);
+        assert_eq!(opt.learning_rate(), 1.0);
+    }
+}

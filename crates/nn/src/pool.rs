@@ -1,0 +1,326 @@
+//! Pooling layers wrapping the kernels in [`invnorm_tensor::pool`].
+
+use crate::error::NnError;
+use crate::layer::{Layer, Mode};
+use crate::Result;
+use invnorm_tensor::pool::{self, Pool2dSpec};
+use invnorm_tensor::Tensor;
+
+/// 2-D max pooling (square, non-overlapping by default).
+#[derive(Debug)]
+pub struct MaxPool2d {
+    spec: Pool2dSpec,
+    argmax: Option<Vec<usize>>,
+    input_dims: Option<Vec<usize>>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer with `stride == kernel`.
+    pub fn new(kernel: usize) -> Self {
+        Self {
+            spec: Pool2dSpec::new(kernel),
+            argmax: None,
+            input_dims: None,
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        let fwd = pool::maxpool2d_forward(input, &self.spec)?;
+        self.argmax = Some(fwd.argmax);
+        self.input_dims = Some(input.dims().to_vec());
+        Ok(fwd.output)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let argmax = self
+            .argmax
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward("MaxPool2d"))?;
+        let dims = self
+            .input_dims
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward("MaxPool2d"))?;
+        Ok(pool::maxpool2d_backward(grad_output, argmax, dims)?)
+    }
+
+    fn name(&self) -> &'static str {
+        "MaxPool2d"
+    }
+}
+
+/// 1-D max pooling over `[N, C, L]`, implemented via the 2-D kernel.
+#[derive(Debug)]
+pub struct MaxPool1d {
+    kernel: usize,
+    argmax: Option<Vec<usize>>,
+    input_dims: Option<Vec<usize>>,
+}
+
+impl MaxPool1d {
+    /// Creates a 1-D max-pool layer with `stride == kernel`.
+    pub fn new(kernel: usize) -> Self {
+        Self {
+            kernel,
+            argmax: None,
+            input_dims: None,
+        }
+    }
+}
+
+impl Layer for MaxPool1d {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        if input.rank() != 3 {
+            return Err(NnError::Config(format!(
+                "MaxPool1d expects [N, C, L], got {:?}",
+                input.dims()
+            )));
+        }
+        // Pool2dSpec only supports square windows, so pool directly along the
+        // length axis: each output element takes the max of `kernel`
+        // consecutive positions.
+        let d = input.dims();
+        let (n, c, l) = (d[0], d[1], d[2]);
+        if l % self.kernel != 0 {
+            return Err(NnError::Config(format!(
+                "MaxPool1d kernel {} must divide length {l}",
+                self.kernel
+            )));
+        }
+        let out_l = l / self.kernel;
+        let data = input.data();
+        let mut out = vec![0.0f32; n * c * out_l];
+        let mut argmax = vec![0usize; n * c * out_l];
+        for nc in 0..n * c {
+            for o in 0..out_l {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_idx = 0usize;
+                for k in 0..self.kernel {
+                    let idx = nc * l + o * self.kernel + k;
+                    if data[idx] > best {
+                        best = data[idx];
+                        best_idx = idx;
+                    }
+                }
+                out[nc * out_l + o] = best;
+                argmax[nc * out_l + o] = best_idx;
+            }
+        }
+        self.argmax = Some(argmax);
+        self.input_dims = Some(d.to_vec());
+        Ok(Tensor::from_vec(out, &[n, c, out_l])?)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let argmax = self
+            .argmax
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward("MaxPool1d"))?;
+        let dims = self
+            .input_dims
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward("MaxPool1d"))?;
+        if grad_output.numel() != argmax.len() {
+            return Err(NnError::Config(
+                "MaxPool1d backward gradient size mismatch".into(),
+            ));
+        }
+        let mut grad_input = Tensor::zeros(dims);
+        let gi = grad_input.data_mut();
+        for (g, &idx) in grad_output.data().iter().zip(argmax.iter()) {
+            gi[idx] += g;
+        }
+        Ok(grad_input)
+    }
+
+    fn name(&self) -> &'static str {
+        "MaxPool1d"
+    }
+}
+
+/// 2-D average pooling.
+#[derive(Debug)]
+pub struct AvgPool2d {
+    spec: Pool2dSpec,
+    input_dims: Option<Vec<usize>>,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pool layer with `stride == kernel`.
+    pub fn new(kernel: usize) -> Self {
+        Self {
+            spec: Pool2dSpec::new(kernel),
+            input_dims: None,
+        }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        let out = pool::avgpool2d_forward(input, &self.spec)?;
+        self.input_dims = Some(input.dims().to_vec());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let dims = self
+            .input_dims
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward("AvgPool2d"))?;
+        Ok(pool::avgpool2d_backward(grad_output, dims, &self.spec)?)
+    }
+
+    fn name(&self) -> &'static str {
+        "AvgPool2d"
+    }
+}
+
+/// Global average pooling: `[N, C, H, W]` → `[N, C]`.
+#[derive(Debug, Default)]
+pub struct GlobalAvgPool2d {
+    input_dims: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool2d {
+    /// Creates a global average-pool layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for GlobalAvgPool2d {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        let out = pool::global_avgpool2d(input)?;
+        self.input_dims = Some(input.dims().to_vec());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let dims = self
+            .input_dims
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward("GlobalAvgPool2d"))?;
+        Ok(pool::global_avgpool2d_backward(grad_output, dims)?)
+    }
+
+    fn name(&self) -> &'static str {
+        "GlobalAvgPool2d"
+    }
+}
+
+/// Global average pooling over the length axis: `[N, C, L]` → `[N, C]`.
+#[derive(Debug, Default)]
+pub struct GlobalAvgPool1d {
+    input_dims: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool1d {
+    /// Creates a 1-D global average-pool layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for GlobalAvgPool1d {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        if input.rank() != 3 {
+            return Err(NnError::Config(format!(
+                "GlobalAvgPool1d expects [N, C, L], got {:?}",
+                input.dims()
+            )));
+        }
+        let lifted = invnorm_tensor::conv::lift_1d(input)?;
+        let out = pool::global_avgpool2d(&lifted)?;
+        self.input_dims = Some(input.dims().to_vec());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let dims = self
+            .input_dims
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward("GlobalAvgPool1d"))?;
+        let lifted_dims = [dims[0], dims[1], 1, dims[2]];
+        let grad = pool::global_avgpool2d_backward(grad_output, &lifted_dims)?;
+        Ok(invnorm_tensor::conv::squeeze_1d(&grad)?)
+    }
+
+    fn name(&self) -> &'static str {
+        "GlobalAvgPool1d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use invnorm_tensor::Rng;
+
+    #[test]
+    fn maxpool2d_layer_roundtrip() {
+        let mut rng = Rng::seed_from(1);
+        let mut layer = MaxPool2d::new(2);
+        let x = Tensor::randn(&[2, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let y = layer.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[2, 3, 4, 4]);
+        let g = layer.backward(&Tensor::ones(y.dims())).unwrap();
+        assert_eq!(g.dims(), x.dims());
+        assert_eq!(g.sum(), y.numel() as f32);
+    }
+
+    #[test]
+    fn maxpool1d_known_values() {
+        let mut layer = MaxPool1d::new(2);
+        let x = Tensor::from_vec(vec![1.0, 5.0, 2.0, 3.0, -1.0, 0.0], &[1, 1, 6]).unwrap();
+        let y = layer.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 3]);
+        assert_eq!(y.data(), &[5.0, 3.0, 0.0]);
+        let g = layer
+            .backward(&Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 1, 3]).unwrap())
+            .unwrap();
+        assert_eq!(g.data(), &[0.0, 1.0, 0.0, 2.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn maxpool1d_rejects_nondividing_kernel() {
+        let mut layer = MaxPool1d::new(4);
+        assert!(layer.forward(&Tensor::ones(&[1, 1, 6]), Mode::Eval).is_err());
+        assert!(layer.forward(&Tensor::ones(&[1, 6]), Mode::Eval).is_err());
+    }
+
+    #[test]
+    fn avgpool_layer_roundtrip() {
+        let mut rng = Rng::seed_from(2);
+        let mut layer = AvgPool2d::new(2);
+        let x = Tensor::randn(&[1, 2, 4, 4], 0.0, 1.0, &mut rng);
+        let y = layer.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[1, 2, 2, 2]);
+        let g = layer.backward(&Tensor::ones(y.dims())).unwrap();
+        assert!((g.sum() - y.numel() as f32).abs() < 1e-4);
+    }
+
+    #[test]
+    fn global_pools() {
+        let mut rng = Rng::seed_from(3);
+        let x4 = Tensor::randn(&[2, 3, 4, 4], 0.0, 1.0, &mut rng);
+        let mut gap = GlobalAvgPool2d::new();
+        let y = gap.forward(&x4, Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[2, 3]);
+        let g = gap.backward(&Tensor::ones(&[2, 3])).unwrap();
+        assert_eq!(g.dims(), x4.dims());
+
+        let x3 = Tensor::randn(&[2, 3, 10], 0.0, 1.0, &mut rng);
+        let mut gap1 = GlobalAvgPool1d::new();
+        let y = gap1.forward(&x3, Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[2, 3]);
+        let g = gap1.backward(&Tensor::ones(&[2, 3])).unwrap();
+        assert_eq!(g.dims(), x3.dims());
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        assert!(MaxPool2d::new(2).backward(&Tensor::ones(&[1])).is_err());
+        assert!(AvgPool2d::new(2).backward(&Tensor::ones(&[1])).is_err());
+        assert!(GlobalAvgPool2d::new().backward(&Tensor::ones(&[1])).is_err());
+    }
+}

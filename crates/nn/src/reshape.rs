@@ -1,0 +1,124 @@
+//! Shape-manipulation layers (flatten / reshape).
+
+use crate::error::NnError;
+use crate::layer::{Layer, Mode};
+use crate::Result;
+use invnorm_tensor::Tensor;
+
+/// Flattens all dimensions after the batch dimension: `[N, ...]` → `[N, F]`.
+#[derive(Debug, Default)]
+pub struct Flatten {
+    input_dims: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        if input.rank() < 2 {
+            return Err(NnError::Config(format!(
+                "Flatten expects rank >= 2 input, got {:?}",
+                input.dims()
+            )));
+        }
+        self.input_dims = Some(input.dims().to_vec());
+        let n = input.dims()[0];
+        let rest: usize = input.dims()[1..].iter().product();
+        Ok(input.reshape(&[n, rest])?)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let dims = self
+            .input_dims
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward("Flatten"))?;
+        Ok(grad_output.reshape(dims)?)
+    }
+
+    fn name(&self) -> &'static str {
+        "Flatten"
+    }
+}
+
+/// Reshapes the non-batch dimensions to a fixed target shape:
+/// `[N, ...]` → `[N, target...]`.
+#[derive(Debug)]
+pub struct Reshape {
+    target: Vec<usize>,
+    input_dims: Option<Vec<usize>>,
+}
+
+impl Reshape {
+    /// Creates a reshape layer with the given per-sample target shape.
+    pub fn new(target: &[usize]) -> Self {
+        Self {
+            target: target.to_vec(),
+            input_dims: None,
+        }
+    }
+}
+
+impl Layer for Reshape {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        if input.rank() < 1 {
+            return Err(NnError::Config("Reshape expects batched input".into()));
+        }
+        self.input_dims = Some(input.dims().to_vec());
+        let n = input.dims()[0];
+        let mut dims = vec![n];
+        dims.extend_from_slice(&self.target);
+        Ok(input.reshape(&dims)?)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let dims = self
+            .input_dims
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward("Reshape"))?;
+        Ok(grad_output.reshape(dims)?)
+    }
+
+    fn name(&self) -> &'static str {
+        "Reshape"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut f = Flatten::new();
+        let x = Tensor::ones(&[2, 3, 4, 5]);
+        let y = f.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[2, 60]);
+        let g = f.backward(&Tensor::ones(&[2, 60])).unwrap();
+        assert_eq!(g.dims(), &[2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn flatten_rejects_rank1() {
+        let mut f = Flatten::new();
+        assert!(f.forward(&Tensor::ones(&[5]), Mode::Train).is_err());
+        assert!(Flatten::new().backward(&Tensor::ones(&[2, 2])).is_err());
+    }
+
+    #[test]
+    fn reshape_roundtrip() {
+        let mut r = Reshape::new(&[2, 6]);
+        let x = Tensor::ones(&[3, 12]);
+        let y = r.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[3, 2, 6]);
+        let g = r.backward(&y).unwrap();
+        assert_eq!(g.dims(), &[3, 12]);
+        // Incompatible element count is rejected.
+        let mut r = Reshape::new(&[5]);
+        assert!(r.forward(&Tensor::ones(&[3, 12]), Mode::Train).is_err());
+    }
+}

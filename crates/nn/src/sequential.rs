@@ -1,0 +1,307 @@
+//! Containers for composing layers: [`Sequential`] chains and the
+//! [`Residual`] skip-connection combinator used by the residual CNN.
+
+use crate::error::NnError;
+use crate::layer::{BoxedLayer, Layer, Mode, Param};
+use crate::Result;
+use invnorm_tensor::Tensor;
+
+/// A chain of layers applied in order; the backward pass walks them in
+/// reverse.
+///
+/// # Example
+///
+/// ```
+/// use invnorm_nn::activation::Relu;
+/// use invnorm_nn::layer::{Layer, Mode};
+/// use invnorm_nn::linear::Linear;
+/// use invnorm_nn::Sequential;
+/// use invnorm_tensor::{Rng, Tensor};
+///
+/// # fn main() -> Result<(), invnorm_nn::NnError> {
+/// let mut rng = Rng::seed_from(0);
+/// let mut net = Sequential::new();
+/// net.push(Box::new(Linear::new(4, 8, &mut rng)));
+/// net.push(Box::new(Relu::new()));
+/// net.push(Box::new(Linear::new(8, 2, &mut rng)));
+/// let x = Tensor::randn(&[3, 4], 0.0, 1.0, &mut rng);
+/// assert_eq!(net.forward(&x, Mode::Train)?.dims(), &[3, 2]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<BoxedLayer>,
+}
+
+impl Sequential {
+    /// Creates an empty container.
+    pub fn new() -> Self {
+        Self { layers: Vec::new() }
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: BoxedLayer) {
+        self.layers.push(layer);
+    }
+
+    /// Builder-style [`Sequential::push`].
+    #[must_use]
+    pub fn with(mut self, layer: BoxedLayer) -> Self {
+        self.push(layer);
+        self
+    }
+
+    /// Number of layers in the chain.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the chain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Iterates over the contained layers.
+    pub fn layers_mut(&mut self) -> impl Iterator<Item = &mut BoxedLayer> {
+        self.layers.iter_mut()
+    }
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.layers.iter().map(|l| l.name()).collect();
+        f.debug_struct("Sequential").field("layers", &names).finish()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, mode)?;
+        }
+        Ok(x)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g)?;
+        }
+        Ok(g)
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params(visitor);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Sequential"
+    }
+}
+
+/// A residual block: `output = post(main(x) + shortcut(x))`.
+///
+/// `main` is the residual branch, `shortcut` the skip path (identity when
+/// `None`, or e.g. a strided 1×1 convolution when the spatial size or channel
+/// count changes), and `post` an optional layer applied after the addition
+/// (typically the activation).
+pub struct Residual {
+    main: Sequential,
+    shortcut: Option<Sequential>,
+    post: Option<BoxedLayer>,
+}
+
+impl Residual {
+    /// Creates a residual block with an identity shortcut.
+    pub fn new(main: Sequential) -> Self {
+        Self {
+            main,
+            shortcut: None,
+            post: None,
+        }
+    }
+
+    /// Creates a residual block with a projection shortcut.
+    pub fn with_shortcut(main: Sequential, shortcut: Sequential) -> Self {
+        Self {
+            main,
+            shortcut: Some(shortcut),
+            post: None,
+        }
+    }
+
+    /// Adds a layer applied after the residual addition.
+    #[must_use]
+    pub fn with_post(mut self, post: BoxedLayer) -> Self {
+        self.post = Some(post);
+        self
+    }
+}
+
+impl std::fmt::Debug for Residual {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Residual")
+            .field("main", &self.main)
+            .field("has_shortcut", &self.shortcut.is_some())
+            .field("has_post", &self.post.is_some())
+            .finish()
+    }
+}
+
+impl Layer for Residual {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let main_out = self.main.forward(input, mode)?;
+        let skip_out = match &mut self.shortcut {
+            Some(shortcut) => shortcut.forward(input, mode)?,
+            None => input.clone(),
+        };
+        if main_out.dims() != skip_out.dims() {
+            return Err(NnError::Config(format!(
+                "residual branch output {:?} does not match shortcut output {:?}",
+                main_out.dims(),
+                skip_out.dims()
+            )));
+        }
+        let summed = main_out.add(&skip_out)?;
+        match &mut self.post {
+            Some(post) => post.forward(&summed, mode),
+            None => Ok(summed),
+        }
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let grad_sum = match &mut self.post {
+            Some(post) => post.backward(grad_output)?,
+            None => grad_output.clone(),
+        };
+        let grad_main = self.main.backward(&grad_sum)?;
+        let grad_skip = match &mut self.shortcut {
+            Some(shortcut) => shortcut.backward(&grad_sum)?,
+            None => grad_sum,
+        };
+        Ok(grad_main.add(&grad_skip)?)
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        self.main.visit_params(visitor);
+        if let Some(shortcut) = &mut self.shortcut {
+            shortcut.visit_params(visitor);
+        }
+        if let Some(post) = &mut self.post {
+            post.visit_params(visitor);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Residual"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Relu;
+    use crate::linear::Linear;
+    use invnorm_tensor::Rng;
+
+    #[test]
+    fn sequential_chains_layers() {
+        let mut rng = Rng::seed_from(1);
+        let mut net = Sequential::new()
+            .with(Box::new(Linear::new(4, 8, &mut rng)))
+            .with(Box::new(Relu::new()))
+            .with(Box::new(Linear::new(8, 2, &mut rng)));
+        assert_eq!(net.len(), 3);
+        assert!(!net.is_empty());
+        let x = Tensor::randn(&[5, 4], 0.0, 1.0, &mut rng);
+        let y = net.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[5, 2]);
+        let g = net.backward(&Tensor::ones(y.dims())).unwrap();
+        assert_eq!(g.dims(), x.dims());
+        assert!(net.param_count() > 0);
+        assert!(format!("{net:?}").contains("Linear"));
+    }
+
+    #[test]
+    fn empty_sequential_is_identity() {
+        let mut net = Sequential::new();
+        let x = Tensor::ones(&[2, 2]);
+        assert!(net.forward(&x, Mode::Eval).unwrap().approx_eq(&x, 0.0));
+        assert!(net.backward(&x).unwrap().approx_eq(&x, 0.0));
+    }
+
+    #[test]
+    fn residual_identity_shortcut_gradients() {
+        let mut rng = Rng::seed_from(2);
+        // main branch: Linear(4 -> 4) so shapes match the identity skip.
+        let main = Sequential::new().with(Box::new(Linear::new(4, 4, &mut rng)));
+        let mut block = Residual::new(main);
+        let x = Tensor::randn(&[3, 4], 0.0, 1.0, &mut rng);
+        let y = block.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[3, 4]);
+        let g = block.backward(&Tensor::ones(y.dims())).unwrap();
+        assert_eq!(g.dims(), x.dims());
+        // With grad_out = 1 the identity path contributes exactly 1 to every
+        // input gradient entry, plus the Linear path contribution.
+        let mut lin_only = Sequential::new().with(Box::new(Linear::new(4, 4, &mut rng)));
+        let _ = lin_only.forward(&x, Mode::Train).unwrap();
+        // Not comparable numerically (different init), so just check it is not
+        // the pure identity gradient.
+        assert!(!g.approx_eq(&Tensor::ones(x.dims()), 1e-9));
+    }
+
+    #[test]
+    fn residual_numerical_gradient() {
+        let mut rng = Rng::seed_from(3);
+        let main = Sequential::new().with(Box::new(Linear::new(3, 3, &mut rng)));
+        let mut block = Residual::new(main).with_post(Box::new(Relu::new()));
+        let x = Tensor::randn(&[2, 3], 0.0, 1.0, &mut rng);
+        let y = block.forward(&x, Mode::Train).unwrap();
+        let g = block.backward(&Tensor::ones(y.dims())).unwrap();
+        let eps = 1e-2f32;
+        for idx in [0usize, 2, 5] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let lp = block.forward(&xp, Mode::Train).unwrap().sum();
+            let lm = block.forward(&xm, Mode::Train).unwrap().sum();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - g.data()[idx]).abs() < 2e-2,
+                "residual grad mismatch at {idx}"
+            );
+        }
+    }
+
+    #[test]
+    fn residual_shape_mismatch_is_reported() {
+        let mut rng = Rng::seed_from(4);
+        let main = Sequential::new().with(Box::new(Linear::new(4, 6, &mut rng)));
+        let mut block = Residual::new(main);
+        let x = Tensor::randn(&[2, 4], 0.0, 1.0, &mut rng);
+        assert!(matches!(
+            block.forward(&x, Mode::Train),
+            Err(NnError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn residual_with_projection_shortcut() {
+        let mut rng = Rng::seed_from(5);
+        let main = Sequential::new().with(Box::new(Linear::new(4, 6, &mut rng)));
+        let shortcut = Sequential::new().with(Box::new(Linear::new(4, 6, &mut rng)));
+        let mut block = Residual::with_shortcut(main, shortcut);
+        let x = Tensor::randn(&[2, 4], 0.0, 1.0, &mut rng);
+        let y = block.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[2, 6]);
+        let g = block.backward(&Tensor::ones(y.dims())).unwrap();
+        assert_eq!(g.dims(), x.dims());
+        // Both branches hold parameters.
+        assert_eq!(block.param_count(), 2 * (4 * 6 + 6));
+    }
+}

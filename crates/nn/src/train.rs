@@ -1,0 +1,326 @@
+//! Minimal training loops shared by the examples, tests and the experiment
+//! harness.
+
+use crate::layer::{Layer, Mode};
+use crate::loss::{bce_with_logits, cross_entropy, mse};
+use crate::metrics;
+use crate::optim::Optimizer;
+use crate::Result;
+use invnorm_tensor::{Rng, Tensor};
+
+/// Configuration of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Whether the data order is reshuffled every epoch.
+    pub shuffle: bool,
+    /// RNG seed for shuffling.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 10,
+            batch_size: 16,
+            shuffle: true,
+            seed: 0,
+        }
+    }
+}
+
+/// Loss history of a training run (one entry per epoch).
+#[derive(Debug, Clone, Default)]
+pub struct TrainReport {
+    /// Mean training loss per epoch.
+    pub epoch_losses: Vec<f32>,
+}
+
+impl TrainReport {
+    /// Loss of the final epoch, or `None` for an empty run.
+    pub fn final_loss(&self) -> Option<f32> {
+        self.epoch_losses.last().copied()
+    }
+}
+
+fn batch_indices(n: usize, batch_size: usize, shuffle: bool, rng: &mut Rng) -> Vec<Vec<usize>> {
+    let mut order: Vec<usize> = (0..n).collect();
+    if shuffle {
+        rng.shuffle(&mut order);
+    }
+    order
+        .chunks(batch_size.max(1))
+        .map(|c| c.to_vec())
+        .collect()
+}
+
+fn gather_rows(data: &Tensor, indices: &[usize]) -> Result<Tensor> {
+    let items: Vec<Tensor> = indices
+        .iter()
+        .map(|&i| data.index_axis0(i))
+        .collect::<std::result::Result<_, _>>()?;
+    Ok(Tensor::stack(&items)?)
+}
+
+/// Trains a classifier with softmax cross-entropy.
+///
+/// `inputs` is a batched tensor whose first dimension indexes samples,
+/// `targets` the class index of each sample.
+///
+/// # Errors
+///
+/// Returns an error when shapes are inconsistent or a layer fails.
+pub fn fit_classifier(
+    network: &mut dyn Layer,
+    optimizer: &mut dyn Optimizer,
+    inputs: &Tensor,
+    targets: &[usize],
+    config: &TrainConfig,
+) -> Result<TrainReport> {
+    let n = inputs.dims()[0];
+    let mut rng = Rng::seed_from(config.seed);
+    let mut report = TrainReport::default();
+    for _ in 0..config.epochs {
+        let mut epoch_loss = 0.0f32;
+        let mut batches = 0usize;
+        for batch in batch_indices(n, config.batch_size, config.shuffle, &mut rng) {
+            let x = gather_rows(inputs, &batch)?;
+            let y: Vec<usize> = batch.iter().map(|&i| targets[i]).collect();
+            let logits = network.forward(&x, Mode::Train)?;
+            let out = cross_entropy(&logits, &y)?;
+            network.backward(&out.grad)?;
+            optimizer.step(network)?;
+            epoch_loss += out.loss;
+            batches += 1;
+        }
+        report.epoch_losses.push(epoch_loss / batches.max(1) as f32);
+    }
+    Ok(report)
+}
+
+/// Trains a regressor with mean-squared error. `targets` must have the same
+/// leading dimension as `inputs`.
+///
+/// # Errors
+///
+/// Returns an error when shapes are inconsistent or a layer fails.
+pub fn fit_regressor(
+    network: &mut dyn Layer,
+    optimizer: &mut dyn Optimizer,
+    inputs: &Tensor,
+    targets: &Tensor,
+    config: &TrainConfig,
+) -> Result<TrainReport> {
+    let n = inputs.dims()[0];
+    let mut rng = Rng::seed_from(config.seed);
+    let mut report = TrainReport::default();
+    for _ in 0..config.epochs {
+        let mut epoch_loss = 0.0f32;
+        let mut batches = 0usize;
+        for batch in batch_indices(n, config.batch_size, config.shuffle, &mut rng) {
+            let x = gather_rows(inputs, &batch)?;
+            let y = gather_rows(targets, &batch)?;
+            let pred = network.forward(&x, Mode::Train)?;
+            let out = mse(&pred, &y)?;
+            network.backward(&out.grad)?;
+            optimizer.step(network)?;
+            epoch_loss += out.loss;
+            batches += 1;
+        }
+        report.epoch_losses.push(epoch_loss / batches.max(1) as f32);
+    }
+    Ok(report)
+}
+
+/// Trains a binary segmentation network with BCE-with-logits. `masks` must
+/// have the same shape as the network output.
+///
+/// # Errors
+///
+/// Returns an error when shapes are inconsistent or a layer fails.
+pub fn fit_segmenter(
+    network: &mut dyn Layer,
+    optimizer: &mut dyn Optimizer,
+    inputs: &Tensor,
+    masks: &Tensor,
+    config: &TrainConfig,
+) -> Result<TrainReport> {
+    let n = inputs.dims()[0];
+    let mut rng = Rng::seed_from(config.seed);
+    let mut report = TrainReport::default();
+    for _ in 0..config.epochs {
+        let mut epoch_loss = 0.0f32;
+        let mut batches = 0usize;
+        for batch in batch_indices(n, config.batch_size, config.shuffle, &mut rng) {
+            let x = gather_rows(inputs, &batch)?;
+            let y = gather_rows(masks, &batch)?;
+            let logits = network.forward(&x, Mode::Train)?;
+            let out = bce_with_logits(&logits, &y)?;
+            network.backward(&out.grad)?;
+            optimizer.step(network)?;
+            epoch_loss += out.loss;
+            batches += 1;
+        }
+        report.epoch_losses.push(epoch_loss / batches.max(1) as f32);
+    }
+    Ok(report)
+}
+
+/// Evaluates classification accuracy of a deterministic forward pass.
+///
+/// # Errors
+///
+/// Returns an error when shapes are inconsistent or a layer fails.
+pub fn evaluate_accuracy(
+    network: &mut dyn Layer,
+    inputs: &Tensor,
+    targets: &[usize],
+    batch_size: usize,
+) -> Result<f32> {
+    let n = inputs.dims()[0];
+    let mut correct_weighted = 0.0f32;
+    for batch in (0..n).collect::<Vec<_>>().chunks(batch_size.max(1)) {
+        let x = gather_rows(inputs, batch)?;
+        let y: Vec<usize> = batch.iter().map(|&i| targets[i]).collect();
+        let logits = network.forward(&x, Mode::Eval)?;
+        correct_weighted += metrics::accuracy(&logits, &y)? * batch.len() as f32;
+    }
+    Ok(correct_weighted / n.max(1) as f32)
+}
+
+/// Evaluates RMSE of a deterministic forward pass.
+///
+/// # Errors
+///
+/// Returns an error when shapes are inconsistent or a layer fails.
+pub fn evaluate_rmse(
+    network: &mut dyn Layer,
+    inputs: &Tensor,
+    targets: &Tensor,
+    batch_size: usize,
+) -> Result<f32> {
+    let n = inputs.dims()[0];
+    let mut sq_sum = 0.0f32;
+    let mut count = 0usize;
+    for batch in (0..n).collect::<Vec<_>>().chunks(batch_size.max(1)) {
+        let x = gather_rows(inputs, batch)?;
+        let y = gather_rows(targets, batch)?;
+        let pred = network.forward(&x, Mode::Eval)?;
+        let r = metrics::rmse(&pred, &y)?;
+        sq_sum += r * r * pred.numel() as f32;
+        count += pred.numel();
+    }
+    Ok((sq_sum / count.max(1) as f32).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Relu;
+    use crate::linear::Linear;
+    use crate::optim::{Adam, Sgd};
+    use crate::Sequential;
+
+    fn two_blob_dataset(n_per_class: usize, seed: u64) -> (Tensor, Vec<usize>) {
+        let mut rng = Rng::seed_from(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for class in 0..2usize {
+            let center = if class == 0 { -1.5 } else { 1.5 };
+            for _ in 0..n_per_class {
+                rows.push(Tensor::from_slice(&[
+                    rng.normal(center, 0.5),
+                    rng.normal(center, 0.5),
+                ]));
+                labels.push(class);
+            }
+        }
+        (Tensor::stack(&rows).unwrap(), labels)
+    }
+
+    #[test]
+    fn classifier_learns_separable_blobs() {
+        let (x, y) = two_blob_dataset(40, 1);
+        let mut rng = Rng::seed_from(2);
+        let mut net = Sequential::new()
+            .with(Box::new(Linear::new(2, 16, &mut rng)))
+            .with(Box::new(Relu::new()))
+            .with(Box::new(Linear::new(16, 2, &mut rng)));
+        let mut opt = Adam::new(0.01);
+        let config = TrainConfig {
+            epochs: 30,
+            batch_size: 16,
+            ..Default::default()
+        };
+        let report = fit_classifier(&mut net, &mut opt, &x, &y, &config).unwrap();
+        assert!(report.final_loss().unwrap() < 0.2);
+        let acc = evaluate_accuracy(&mut net, &x, &y, 16).unwrap();
+        assert!(acc > 0.95, "accuracy {acc}");
+        // Loss decreased over training.
+        assert!(report.epoch_losses[0] > report.epoch_losses.last().copied().unwrap());
+    }
+
+    #[test]
+    fn regressor_learns_linear_map() {
+        let mut rng = Rng::seed_from(3);
+        let x = Tensor::randn(&[64, 3], 0.0, 1.0, &mut rng);
+        // y = x @ [1, -2, 0.5]
+        let mut y_rows = Vec::new();
+        for i in 0..64 {
+            let r = x.index_axis0(i).unwrap();
+            y_rows.push(Tensor::from_slice(&[
+                r.data()[0] - 2.0 * r.data()[1] + 0.5 * r.data()[2],
+            ]));
+        }
+        let y = Tensor::stack(&y_rows).unwrap();
+        let mut net = Sequential::new().with(Box::new(Linear::new(3, 1, &mut rng)));
+        let mut opt = Sgd::new(0.1);
+        let config = TrainConfig {
+            epochs: 100,
+            batch_size: 16,
+            ..Default::default()
+        };
+        let report = fit_regressor(&mut net, &mut opt, &x, &y, &config).unwrap();
+        assert!(report.final_loss().unwrap() < 1e-3);
+        assert!(evaluate_rmse(&mut net, &x, &y, 16).unwrap() < 0.05);
+    }
+
+    #[test]
+    fn segmenter_learns_identity_mask() {
+        // Input *is* the target mask with some noise: the network only has to
+        // learn a positive scaling.
+        let mut rng = Rng::seed_from(4);
+        let mask_rows: Vec<Tensor> = (0..32)
+            .map(|_| {
+                Tensor::from_vec(
+                    (0..16)
+                        .map(|_| if rng.bernoulli(0.4) { 1.0 } else { 0.0 })
+                        .collect(),
+                    &[16],
+                )
+                .unwrap()
+            })
+            .collect();
+        let masks = Tensor::stack(&mask_rows).unwrap();
+        let inputs = masks.map(|v| v * 2.0 - 1.0);
+        let mut net = Sequential::new().with(Box::new(Linear::new(16, 16, &mut rng)));
+        let mut opt = Adam::new(0.02);
+        let config = TrainConfig {
+            epochs: 40,
+            batch_size: 8,
+            ..Default::default()
+        };
+        let report = fit_segmenter(&mut net, &mut opt, &inputs, &masks, &config).unwrap();
+        assert!(report.final_loss().unwrap() < 0.3);
+    }
+
+    #[test]
+    fn train_config_default_is_sane() {
+        let c = TrainConfig::default();
+        assert!(c.epochs > 0 && c.batch_size > 0);
+        assert!(TrainReport::default().final_loss().is_none());
+    }
+}

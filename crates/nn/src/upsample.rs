@@ -1,0 +1,143 @@
+//! Nearest-neighbour spatial upsampling (used by the U-Net decoder).
+
+use crate::error::NnError;
+use crate::layer::{Layer, Mode};
+use crate::Result;
+use invnorm_tensor::Tensor;
+
+/// Nearest-neighbour upsampling of `[N, C, H, W]` activations by an integer
+/// factor. The backward pass sums the gradients of all output positions that
+/// copied a given input position.
+#[derive(Debug)]
+pub struct Upsample2d {
+    factor: usize,
+    input_dims: Option<Vec<usize>>,
+}
+
+impl Upsample2d {
+    /// Creates an upsampling layer with the given integer scale factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero.
+    pub fn new(factor: usize) -> Self {
+        assert!(factor > 0, "upsampling factor must be positive");
+        Self {
+            factor,
+            input_dims: None,
+        }
+    }
+
+    /// The scale factor.
+    pub fn factor(&self) -> usize {
+        self.factor
+    }
+}
+
+impl Layer for Upsample2d {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        let d = input.dims();
+        if d.len() != 4 {
+            return Err(NnError::Config(format!(
+                "Upsample2d expects [N, C, H, W], got {d:?}"
+            )));
+        }
+        let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+        let f = self.factor;
+        let (oh, ow) = (h * f, w * f);
+        let src = input.data();
+        let mut out = vec![0.0f32; n * c * oh * ow];
+        for nc in 0..n * c {
+            for y in 0..oh {
+                for x in 0..ow {
+                    out[(nc * oh + y) * ow + x] = src[(nc * h + y / f) * w + x / f];
+                }
+            }
+        }
+        self.input_dims = Some(d.to_vec());
+        Ok(Tensor::from_vec(out, &[n, c, oh, ow])?)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let dims = self
+            .input_dims
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward("Upsample2d"))?;
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let f = self.factor;
+        let (oh, ow) = (h * f, w * f);
+        if grad_output.dims() != [n, c, oh, ow] {
+            return Err(NnError::Config(
+                "Upsample2d backward gradient shape mismatch".into(),
+            ));
+        }
+        let gd = grad_output.data();
+        let mut grad_input = Tensor::zeros(dims);
+        let gi = grad_input.data_mut();
+        for nc in 0..n * c {
+            for y in 0..oh {
+                for x in 0..ow {
+                    gi[(nc * h + y / f) * w + x / f] += gd[(nc * oh + y) * ow + x];
+                }
+            }
+        }
+        Ok(grad_input)
+    }
+
+    fn name(&self) -> &'static str {
+        "Upsample2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use invnorm_tensor::Rng;
+
+    #[test]
+    fn upsamples_by_replication() {
+        let mut up = Upsample2d::new(2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        let y = up.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 4, 4]);
+        assert_eq!(y.get(&[0, 0, 0, 0]).unwrap(), 1.0);
+        assert_eq!(y.get(&[0, 0, 0, 1]).unwrap(), 1.0);
+        assert_eq!(y.get(&[0, 0, 1, 1]).unwrap(), 1.0);
+        assert_eq!(y.get(&[0, 0, 3, 3]).unwrap(), 4.0);
+        assert_eq!(up.factor(), 2);
+    }
+
+    #[test]
+    fn backward_sums_replicated_gradients() {
+        let mut up = Upsample2d::new(2);
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        let y = up.forward(&x, Mode::Train).unwrap();
+        let g = up.backward(&Tensor::ones(y.dims())).unwrap();
+        assert_eq!(g.dims(), x.dims());
+        assert!(g.data().iter().all(|&v| v == 4.0));
+    }
+
+    #[test]
+    fn factor_one_is_identity() {
+        let mut rng = Rng::seed_from(1);
+        let mut up = Upsample2d::new(1);
+        let x = Tensor::randn(&[2, 3, 4, 4], 0.0, 1.0, &mut rng);
+        let y = up.forward(&x, Mode::Eval).unwrap();
+        assert!(y.approx_eq(&x, 0.0));
+    }
+
+    #[test]
+    fn error_handling() {
+        let mut up = Upsample2d::new(2);
+        assert!(up.forward(&Tensor::ones(&[2, 3]), Mode::Eval).is_err());
+        assert!(Upsample2d::new(2).backward(&Tensor::ones(&[1, 1, 4, 4])).is_err());
+        up.forward(&Tensor::ones(&[1, 1, 2, 2]), Mode::Eval).unwrap();
+        assert!(up.backward(&Tensor::ones(&[1, 1, 3, 3])).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_factor_panics() {
+        let _ = Upsample2d::new(0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Weight binarization following the convention of binary neural networks
+//! (XNOR-Net / IR-Net): a binarized weight tensor is `sign(W) * α` with
+//! `α = mean(|W|)`, which minimizes the L2 error of the rank-1 approximation.
+//!
+//! The paper binarizes ResNet-18 (weights *and* activations) and the U-Net
+//! weights; activation binarization is performed by the
+//! [`invnorm_nn::activation::SignSte`] layer, weight binarization by the
+//! functions here (either ahead of deployment or as fake-binarization during
+//! training).
+
+use invnorm_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A binarized tensor: packed signs plus the per-tensor scaling factor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BinaryTensor {
+    /// +1 / -1 signs stored as booleans (`true` = +1).
+    signs: Vec<bool>,
+    dims: Vec<usize>,
+    /// Scaling factor `α = mean(|W|)`.
+    alpha: f32,
+}
+
+impl BinaryTensor {
+    /// Binarizes a tensor.
+    pub fn binarize(tensor: &Tensor) -> Self {
+        let alpha = if tensor.numel() == 0 {
+            0.0
+        } else {
+            tensor.abs().mean()
+        };
+        Self {
+            signs: tensor.data().iter().map(|&x| x >= 0.0).collect(),
+            dims: tensor.dims().to_vec(),
+            alpha,
+        }
+    }
+
+    /// Reconstructs `sign(W) * α`.
+    pub fn dequantize(&self) -> Tensor {
+        let data = self
+            .signs
+            .iter()
+            .map(|&s| if s { self.alpha } else { -self.alpha })
+            .collect();
+        Tensor::from_vec(data, &self.dims).expect("signs and dims are consistent")
+    }
+
+    /// The scaling factor α.
+    pub fn alpha(&self) -> f32 {
+        self.alpha
+    }
+
+    /// The sign bits (`true` = +1).
+    pub fn signs(&self) -> &[bool] {
+        &self.signs
+    }
+
+    /// Mutable sign bits, used by the bit-flip fault injector (flipping a
+    /// binary weight's single bit flips its sign).
+    pub fn signs_mut(&mut self) -> &mut [bool] {
+        &mut self.signs
+    }
+
+    /// Number of elements.
+    pub fn numel(&self) -> usize {
+        self.signs.len()
+    }
+
+    /// The logical tensor shape.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+}
+
+/// Binarize-and-dequantize in one step ("fake binarization"), returning
+/// `sign(W) * mean(|W|)` as a floating-point tensor.
+pub fn fake_binarize(tensor: &Tensor) -> Tensor {
+    BinaryTensor::binarize(tensor).dequantize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use invnorm_tensor::Rng;
+    use proptest::prelude::*;
+
+    #[test]
+    fn binarize_known_values() {
+        let w = Tensor::from_vec(vec![0.5, -1.5, 2.0, -0.0], &[4]).unwrap();
+        let b = BinaryTensor::binarize(&w);
+        assert!((b.alpha() - 1.0).abs() < 1e-6);
+        assert_eq!(b.signs(), &[true, false, true, true]);
+        let back = b.dequantize();
+        assert_eq!(back.data(), &[1.0, -1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn alpha_minimizes_l2_among_scaled_signs() {
+        // For fixed signs s, the best scale is mean(|w|); check that the
+        // chosen alpha beats nearby alternatives.
+        let mut rng = Rng::seed_from(3);
+        let w = Tensor::randn(&[64], 0.0, 1.0, &mut rng);
+        let b = BinaryTensor::binarize(&w);
+        let err = |alpha: f32| -> f32 {
+            w.data()
+                .iter()
+                .zip(b.signs().iter())
+                .map(|(&x, &s)| {
+                    let v = if s { alpha } else { -alpha };
+                    (x - v).powi(2)
+                })
+                .sum()
+        };
+        let best = err(b.alpha());
+        assert!(best <= err(b.alpha() * 1.2) + 1e-4);
+        assert!(best <= err(b.alpha() * 0.8) + 1e-4);
+    }
+
+    #[test]
+    fn empty_and_zero_tensors() {
+        let empty = Tensor::zeros(&[0]);
+        let b = BinaryTensor::binarize(&empty);
+        assert_eq!(b.numel(), 0);
+        assert_eq!(b.alpha(), 0.0);
+
+        let zeros = Tensor::zeros(&[4]);
+        let b = BinaryTensor::binarize(&zeros);
+        assert_eq!(b.dequantize().data(), &[0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn sign_flip_changes_reconstruction() {
+        let w = Tensor::from_vec(vec![1.0, -1.0], &[2]).unwrap();
+        let mut b = BinaryTensor::binarize(&w);
+        b.signs_mut()[0] = false;
+        let back = b.dequantize();
+        assert_eq!(back.data()[0], -1.0);
+        assert_eq!(b.dims(), &[2]);
+    }
+
+    #[test]
+    fn fake_binarize_preserves_shape_and_magnitude() {
+        let mut rng = Rng::seed_from(4);
+        let w = Tensor::randn(&[3, 4, 5], 0.0, 2.0, &mut rng);
+        let fb = fake_binarize(&w);
+        assert_eq!(fb.dims(), w.dims());
+        let alpha = w.abs().mean();
+        assert!(fb.data().iter().all(|&v| (v.abs() - alpha).abs() < 1e-6));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_binarized_values_are_pm_alpha(values in proptest::collection::vec(-3.0f32..3.0, 1..64)) {
+            let t = Tensor::from_slice(&values);
+            let b = BinaryTensor::binarize(&t);
+            let back = b.dequantize();
+            for &v in back.data() {
+                prop_assert!((v.abs() - b.alpha()).abs() < 1e-6);
+            }
+            // Signs agree with the original tensor for non-negative entries.
+            for (&orig, &s) in t.data().iter().zip(b.signs().iter()) {
+                prop_assert_eq!(orig >= 0.0, s);
+            }
+        }
+    }
+}

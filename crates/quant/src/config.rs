@@ -1,0 +1,119 @@
+//! Per-model precision configuration, mirroring the W/A column of the
+//! paper's Table I.
+
+use serde::{Deserialize, Serialize};
+
+/// Precision of one tensor class (weights or activations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Precision {
+    /// Full 32-bit floating point (no quantization).
+    Float,
+    /// Binary (±α) representation.
+    Binary,
+    /// `k`-bit symmetric uniform quantization (2 ≤ k ≤ 16).
+    Bits(u8),
+}
+
+impl Precision {
+    /// Number of bits used to store one value (32 for [`Precision::Float`]).
+    pub fn bit_width(&self) -> u8 {
+        match self {
+            Precision::Float => 32,
+            Precision::Binary => 1,
+            Precision::Bits(k) => *k,
+        }
+    }
+
+    /// Whether values are quantized at all.
+    pub fn is_quantized(&self) -> bool {
+        !matches!(self, Precision::Float)
+    }
+}
+
+/// Weight/activation precision pair for one model.
+///
+/// # Example
+///
+/// ```
+/// use invnorm_quant::config::{Precision, QuantConfig};
+///
+/// // The paper's ResNet-18 configuration: 1-bit weights, 1-bit activations.
+/// let cfg = QuantConfig::binary();
+/// assert_eq!(cfg.describe(), "1/1");
+/// assert_eq!(QuantConfig::new(Precision::Bits(8), Precision::Bits(8)).describe(), "8/8");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuantConfig {
+    /// Weight precision.
+    pub weights: Precision,
+    /// Activation precision.
+    pub activations: Precision,
+}
+
+impl QuantConfig {
+    /// Creates a configuration.
+    pub fn new(weights: Precision, activations: Precision) -> Self {
+        Self {
+            weights,
+            activations,
+        }
+    }
+
+    /// Full floating-point configuration (no quantization).
+    pub fn float() -> Self {
+        Self::new(Precision::Float, Precision::Float)
+    }
+
+    /// Fully binary configuration (the paper's ResNet-18: W/A = 1/1).
+    pub fn binary() -> Self {
+        Self::new(Precision::Binary, Precision::Binary)
+    }
+
+    /// 8-bit weights and activations (the paper's M5 and LSTM: W/A = 8/8).
+    pub fn int8() -> Self {
+        Self::new(Precision::Bits(8), Precision::Bits(8))
+    }
+
+    /// Binary weights with 4-bit activations (the paper's U-Net: W/A = 1/4).
+    pub fn binary_weights_4bit_acts() -> Self {
+        Self::new(Precision::Binary, Precision::Bits(4))
+    }
+
+    /// Formats the configuration like the paper's Table I ("W/A" bits).
+    pub fn describe(&self) -> String {
+        format!(
+            "{}/{}",
+            self.weights.bit_width(),
+            self.activations.bit_width()
+        )
+    }
+}
+
+impl Default for QuantConfig {
+    fn default() -> Self {
+        Self::float()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_widths() {
+        assert_eq!(Precision::Float.bit_width(), 32);
+        assert_eq!(Precision::Binary.bit_width(), 1);
+        assert_eq!(Precision::Bits(4).bit_width(), 4);
+        assert!(!Precision::Float.is_quantized());
+        assert!(Precision::Binary.is_quantized());
+    }
+
+    #[test]
+    fn presets_match_paper_table1() {
+        assert_eq!(QuantConfig::binary().describe(), "1/1");
+        assert_eq!(QuantConfig::int8().describe(), "8/8");
+        assert_eq!(QuantConfig::binary_weights_4bit_acts().describe(), "1/4");
+        assert_eq!(QuantConfig::float().describe(), "32/32");
+        assert_eq!(QuantConfig::default(), QuantConfig::float());
+    }
+}

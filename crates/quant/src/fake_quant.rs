@@ -1,0 +1,275 @@
+//! Fake-quantization layers and whole-network weight quantization.
+//!
+//! * [`FakeQuantAct`] quantizes activations to `k` bits during the forward
+//!   pass (PACT-style: clip to `[0, clip]` or `[-clip, clip]`, then uniform
+//!   quantization) with a straight-through gradient, so quantization-aware
+//!   training works with the ordinary optimizers.
+//! * [`quantize_layer_weights`] applies post-training quantization to every
+//!   parameter of a network according to a [`QuantConfig`] — the step that
+//!   precedes programming the weights into the crossbar model of
+//!   `invnorm-imc`.
+
+use crate::config::{Precision, QuantConfig};
+use crate::binary::fake_binarize;
+use crate::uniform::fake_quantize;
+use crate::Result;
+use invnorm_nn::layer::{Layer, Mode};
+use invnorm_nn::NnError;
+use invnorm_tensor::Tensor;
+
+/// PACT-style activation fake-quantizer.
+///
+/// In the forward pass activations are clipped to `[lo, clip]`
+/// (`lo = 0` for unsigned mode, `-clip` for signed mode) and snapped to a
+/// uniform `k`-bit grid; the backward pass passes gradients through inside the
+/// clip range and zeroes them outside (straight-through estimator).
+#[derive(Debug)]
+pub struct FakeQuantAct {
+    bits: u8,
+    clip: f32,
+    signed: bool,
+    mask: Option<Vec<bool>>,
+}
+
+impl FakeQuantAct {
+    /// Creates an activation quantizer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `bits` is outside `[2, 16]` or `clip <= 0`.
+    pub fn new(bits: u8, clip: f32, signed: bool) -> Result<Self> {
+        if !(2..=16).contains(&bits) {
+            return Err(NnError::Config(format!(
+                "activation quantization supports 2-16 bits, got {bits}"
+            )));
+        }
+        if clip <= 0.0 {
+            return Err(NnError::Config("clip value must be positive".into()));
+        }
+        Ok(Self {
+            bits,
+            clip,
+            signed,
+            mask: None,
+        })
+    }
+
+    /// Unsigned (ReLU-style) 4-bit quantizer with the paper's U-Net setting.
+    pub fn unsigned4(clip: f32) -> Result<Self> {
+        Self::new(4, clip, false)
+    }
+
+    /// Number of quantization levels.
+    pub fn levels(&self) -> u32 {
+        if self.signed {
+            (1u32 << self.bits) - 1
+        } else {
+            (1u32 << (self.bits - 1)) - 1
+        }
+    }
+
+    fn lo(&self) -> f32 {
+        if self.signed {
+            -self.clip
+        } else {
+            0.0
+        }
+    }
+}
+
+impl Layer for FakeQuantAct {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        let lo = self.lo();
+        let hi = self.clip;
+        self.mask = Some(
+            input
+                .data()
+                .iter()
+                .map(|&x| x >= lo && x <= hi)
+                .collect(),
+        );
+        // Quantization step over the clip range.
+        let levels = self.levels() as f32;
+        let step = (hi - lo) / levels;
+        Ok(input.map(|x| {
+            let clipped = x.clamp(lo, hi);
+            lo + ((clipped - lo) / step).round() * step
+        }))
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let mask = self
+            .mask
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward("FakeQuantAct"))?;
+        if mask.len() != grad_output.numel() {
+            return Err(NnError::Config(
+                "FakeQuantAct backward gradient size mismatch".into(),
+            ));
+        }
+        let mut out = grad_output.clone();
+        for (g, &inside) in out.data_mut().iter_mut().zip(mask.iter()) {
+            if !inside {
+                *g = 0.0;
+            }
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "FakeQuantAct"
+    }
+}
+
+/// Applies post-training weight quantization in place to every parameter of
+/// `network`, according to `config.weights`:
+///
+/// * [`Precision::Float`] — no change,
+/// * [`Precision::Binary`] — `sign(W) * mean(|W|)` per parameter tensor,
+/// * [`Precision::Bits`] — symmetric uniform quantize/dequantize.
+///
+/// Returns the number of parameters that were modified.
+///
+/// # Errors
+///
+/// Returns an error when the configured bit width is invalid.
+pub fn quantize_layer_weights(network: &mut dyn Layer, config: &QuantConfig) -> Result<usize> {
+    let mut touched = 0usize;
+    let mut failure: Option<NnError> = None;
+    let weights = config.weights;
+    network.visit_params(&mut |p| {
+        if failure.is_some() {
+            return;
+        }
+        match weights {
+            Precision::Float => {}
+            Precision::Binary => {
+                // Per-channel affine parameters of normalization layers stay
+                // full precision (standard practice for binary networks, and
+                // what the paper does: only conv/linear weights are binary).
+                if p.value.rank() >= 2 {
+                    p.value = fake_binarize(&p.value);
+                    touched += 1;
+                }
+            }
+            Precision::Bits(bits) => match fake_quantize(&p.value, bits) {
+                Ok(q) => {
+                    p.value = q;
+                    touched += 1;
+                }
+                Err(e) => failure = Some(e),
+            },
+        }
+    });
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(touched),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use invnorm_nn::linear::Linear;
+    use invnorm_nn::norm::GroupNorm;
+    use invnorm_nn::Sequential;
+    use invnorm_tensor::Rng;
+
+    #[test]
+    fn fake_quant_act_snaps_to_grid_and_clips() {
+        let mut q = FakeQuantAct::new(4, 1.0, false).unwrap();
+        let x = Tensor::from_vec(vec![-0.5, 0.2, 0.5, 1.7], &[4]).unwrap();
+        let y = q.forward(&x, Mode::Train).unwrap();
+        // Negative input clips to 0, over-range clips to 1.
+        assert_eq!(y.data()[0], 0.0);
+        assert_eq!(y.data()[3], 1.0);
+        // All outputs on the 7-level grid.
+        let step = 1.0 / 7.0;
+        for &v in y.data() {
+            let ratio = v / step;
+            assert!((ratio - ratio.round()).abs() < 1e-5);
+        }
+        // Gradient masked outside the clip range.
+        let g = q.backward(&Tensor::ones(&[4])).unwrap();
+        assert_eq!(g.data(), &[0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn signed_mode_covers_negative_range() {
+        let mut q = FakeQuantAct::new(8, 2.0, true).unwrap();
+        let x = Tensor::from_vec(vec![-1.5, 1.5], &[2]).unwrap();
+        let y = q.forward(&x, Mode::Train).unwrap();
+        assert!((y.data()[0] + 1.5).abs() < 0.02);
+        assert!((y.data()[1] - 1.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(FakeQuantAct::new(1, 1.0, false).is_err());
+        assert!(FakeQuantAct::new(8, 0.0, false).is_err());
+        assert!(FakeQuantAct::new(8, -1.0, true).is_err());
+        assert!(FakeQuantAct::unsigned4(6.0).is_ok());
+        assert!(FakeQuantAct::new(8, 1.0, false)
+            .unwrap()
+            .backward(&Tensor::ones(&[1]))
+            .is_err());
+    }
+
+    #[test]
+    fn quantize_network_weights_int8() {
+        let mut rng = Rng::seed_from(1);
+        let mut net = Sequential::new()
+            .with(Box::new(Linear::new(4, 8, &mut rng)))
+            .with(Box::new(Linear::new(8, 2, &mut rng)));
+        let touched = quantize_layer_weights(&mut net, &QuantConfig::int8()).unwrap();
+        assert_eq!(touched, 4); // two weights + two biases
+        // Values should now lie on a small grid: count distinct values.
+        let mut distinct = std::collections::BTreeSet::new();
+        net.visit_params(&mut |p| {
+            for &v in p.value.data() {
+                distinct.insert((v * 1e4).round() as i64);
+            }
+        });
+        assert!(distinct.len() <= 255 * 4);
+    }
+
+    #[test]
+    fn quantize_network_weights_binary_skips_norm_params() {
+        let mut rng = Rng::seed_from(2);
+        let mut net = Sequential::new()
+            .with(Box::new(Linear::new(6, 6, &mut rng)))
+            .with(Box::new(GroupNorm::layer_norm(6)));
+        let touched = quantize_layer_weights(&mut net, &QuantConfig::binary()).unwrap();
+        // Only the rank-2 Linear weight is binarized; bias and norm affine
+        // parameters stay full precision.
+        assert_eq!(touched, 1);
+        let mut binary_values = 0usize;
+        let mut total_rank2 = 0usize;
+        net.visit_params(&mut |p| {
+            if p.value.rank() >= 2 {
+                total_rank2 += p.value.numel();
+                let alpha = p.value.abs().max();
+                binary_values += p
+                    .value
+                    .data()
+                    .iter()
+                    .filter(|v| (v.abs() - alpha).abs() < 1e-6)
+                    .count();
+            }
+        });
+        assert_eq!(binary_values, total_rank2);
+    }
+
+    #[test]
+    fn float_config_is_identity() {
+        let mut rng = Rng::seed_from(3);
+        let mut net = Sequential::new().with(Box::new(Linear::new(4, 4, &mut rng)));
+        let mut before = Vec::new();
+        net.visit_params(&mut |p| before.extend_from_slice(p.value.data()));
+        let touched = quantize_layer_weights(&mut net, &QuantConfig::float()).unwrap();
+        assert_eq!(touched, 0);
+        let mut after = Vec::new();
+        net.visit_params(&mut |p| after.extend_from_slice(p.value.data()));
+        assert_eq!(before, after);
+    }
+}

@@ -1,0 +1,32 @@
+//! # invnorm-quant
+//!
+//! Quantization and binarization utilities used to map the workspace's
+//! floating-point networks onto the limited-precision representations the
+//! paper evaluates (1-bit / 4-bit / 8-bit weights and activations), and to
+//! give the fault-injection machinery in `invnorm-imc` an integer code space
+//! to flip bits in.
+//!
+//! * [`uniform`] — symmetric uniform affine quantization to `k` bits
+//!   ([`uniform::QuantizedTensor`] holds the integer codes plus scale so
+//!   bit-flip faults can be injected on the codes and mapped back).
+//! * [`binary`] — IR-Net/XNOR-style binarization with a per-tensor scaling
+//!   factor.
+//! * [`fake_quant`] — [`fake_quant::FakeQuantAct`], a PACT-style clipped
+//!   activation quantizer usable as a regular layer (straight-through
+//!   gradient), and [`fake_quant::quantize_layer_weights`] for post-training
+//!   weight quantization of an entire network.
+//! * [`config`] — per-model precision configuration ([`config::QuantConfig`]),
+//!   mirroring the W/A column of the paper's Table I.
+
+#![deny(missing_docs)]
+
+pub mod binary;
+pub mod config;
+pub mod fake_quant;
+pub mod uniform;
+
+pub use config::QuantConfig;
+pub use uniform::QuantizedTensor;
+
+/// Convenience result alias re-using the NN error type.
+pub type Result<T> = std::result::Result<T, invnorm_nn::NnError>;

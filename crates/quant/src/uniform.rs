@@ -1,0 +1,276 @@
+//! Symmetric uniform affine quantization.
+//!
+//! A tensor is mapped to signed integer codes in `[-(2^(k-1) - 1), 2^(k-1) - 1]`
+//! with a single per-tensor scale. The integer codes are kept alongside the
+//! scale in a [`QuantizedTensor`], which is the representation the crossbar
+//! model and the bit-flip fault injector in `invnorm-imc` operate on.
+
+use crate::Result;
+use invnorm_nn::NnError;
+use invnorm_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A tensor quantized to `bits`-bit signed integer codes with a per-tensor
+/// scale such that `value ≈ code * scale`.
+///
+/// # Example
+///
+/// ```
+/// use invnorm_quant::uniform::QuantizedTensor;
+/// use invnorm_tensor::Tensor;
+///
+/// # fn main() -> Result<(), invnorm_nn::NnError> {
+/// let w = Tensor::from_vec(vec![-1.0, -0.5, 0.0, 0.5, 1.0], &[5])?;
+/// let q = QuantizedTensor::quantize(&w, 8)?;
+/// let back = q.dequantize();
+/// assert!(back.approx_eq(&w, 0.01));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuantizedTensor {
+    codes: Vec<i32>,
+    dims: Vec<usize>,
+    scale: f32,
+    bits: u8,
+}
+
+impl QuantizedTensor {
+    /// Quantizes a tensor to `bits` bits (2 ≤ bits ≤ 16) using a symmetric
+    /// per-tensor scale derived from the maximum absolute value.
+    ///
+    /// For 1-bit (binary) parameters use [`crate::binary::binarize`] instead,
+    /// which follows the sign/scaling convention of binary networks.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `bits` is outside `[2, 16]`.
+    pub fn quantize(tensor: &Tensor, bits: u8) -> Result<Self> {
+        if !(2..=16).contains(&bits) {
+            return Err(NnError::Config(format!(
+                "uniform quantization supports 2-16 bits, got {bits}"
+            )));
+        }
+        let qmax = Self::qmax_for(bits) as f32;
+        let max_abs = tensor.abs().max();
+        let scale = if max_abs > 0.0 { max_abs / qmax } else { 1.0 };
+        let codes = tensor
+            .data()
+            .iter()
+            .map(|&x| (x / scale).round().clamp(-qmax, qmax) as i32)
+            .collect();
+        Ok(Self {
+            codes,
+            dims: tensor.dims().to_vec(),
+            scale,
+            bits,
+        })
+    }
+
+    /// Largest representable positive code for the given bit width.
+    pub fn qmax_for(bits: u8) -> i32 {
+        (1i32 << (bits - 1)) - 1
+    }
+
+    /// Reconstructs the floating-point tensor from the codes.
+    pub fn dequantize(&self) -> Tensor {
+        let data = self.codes.iter().map(|&c| c as f32 * self.scale).collect();
+        Tensor::from_vec(data, &self.dims).expect("codes and dims are constructed consistently")
+    }
+
+    /// The integer codes (row-major, same layout as the original tensor).
+    pub fn codes(&self) -> &[i32] {
+        &self.codes
+    }
+
+    /// Mutable access to the integer codes, used by bit-flip fault injection.
+    pub fn codes_mut(&mut self) -> &mut [i32] {
+        &mut self.codes
+    }
+
+    /// The quantization scale.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// The bit width.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// The logical tensor shape.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of elements.
+    pub fn numel(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Clamps every code back into the representable range (used after fault
+    /// injection flipped high-order bits).
+    pub fn clamp_codes(&mut self) {
+        let qmax = Self::qmax_for(self.bits);
+        for c in &mut self.codes {
+            *c = (*c).clamp(-qmax, qmax);
+        }
+    }
+
+    /// Serializes the codes to a compact little-endian byte buffer (one
+    /// `i16` per code for ≤ 16-bit widths), prefixed by nothing — the caller
+    /// keeps shape/scale metadata. Used by the crossbar programming path.
+    pub fn codes_to_bytes(&self) -> bytes_impl::BytesBuf {
+        bytes_impl::codes_to_bytes(&self.codes)
+    }
+}
+
+/// Quantize-and-dequantize in one step ("fake quantization"), returning a
+/// floating-point tensor restricted to the representable grid.
+///
+/// # Errors
+///
+/// Returns an error when `bits` is outside `[2, 16]`.
+pub fn fake_quantize(tensor: &Tensor, bits: u8) -> Result<Tensor> {
+    Ok(QuantizedTensor::quantize(tensor, bits)?.dequantize())
+}
+
+/// Helpers around the `bytes` crate kept in a private-ish module so the main
+/// API stays focused on tensors.
+pub mod bytes_impl {
+    use bytes::{BufMut, BytesMut};
+
+    /// Compact byte buffer alias.
+    pub type BytesBuf = bytes::Bytes;
+
+    /// Packs i32 codes (assumed to fit in i16) into a little-endian buffer.
+    pub fn codes_to_bytes(codes: &[i32]) -> BytesBuf {
+        let mut buf = BytesMut::with_capacity(codes.len() * 2);
+        for &c in codes {
+            buf.put_i16_le(c.clamp(i16::MIN as i32, i16::MAX as i32) as i16);
+        }
+        buf.freeze()
+    }
+
+    /// Unpacks a buffer produced by [`codes_to_bytes`].
+    pub fn bytes_to_codes(buf: &[u8]) -> Vec<i32> {
+        buf.chunks_exact(2)
+            .map(|c| i16::from_le_bytes([c[0], c[1]]) as i32)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use invnorm_tensor::Rng;
+    use proptest::prelude::*;
+
+    #[test]
+    fn quantize_dequantize_error_is_bounded_by_half_scale() {
+        let mut rng = Rng::seed_from(1);
+        let t = Tensor::randn(&[100], 0.0, 2.0, &mut rng);
+        for bits in [4u8, 8, 12] {
+            let q = QuantizedTensor::quantize(&t, bits).unwrap();
+            let back = q.dequantize();
+            let max_err = t
+                .sub(&back)
+                .unwrap()
+                .abs()
+                .max();
+            assert!(
+                max_err <= q.scale() * 0.5 + 1e-6,
+                "bits {bits}: max error {max_err} vs half-scale {}",
+                q.scale() * 0.5
+            );
+        }
+    }
+
+    #[test]
+    fn higher_bit_width_is_more_precise() {
+        let mut rng = Rng::seed_from(2);
+        let t = Tensor::randn(&[256], 0.0, 1.0, &mut rng);
+        let err4 = t.sub(&fake_quantize(&t, 4).unwrap()).unwrap().abs().max();
+        let err8 = t.sub(&fake_quantize(&t, 8).unwrap()).unwrap().abs().max();
+        assert!(err8 < err4);
+    }
+
+    #[test]
+    fn invalid_bit_widths_are_rejected() {
+        let t = Tensor::ones(&[4]);
+        assert!(QuantizedTensor::quantize(&t, 1).is_err());
+        assert!(QuantizedTensor::quantize(&t, 17).is_err());
+        assert!(QuantizedTensor::quantize(&t, 0).is_err());
+    }
+
+    #[test]
+    fn zero_tensor_quantizes_to_zero() {
+        let t = Tensor::zeros(&[8]);
+        let q = QuantizedTensor::quantize(&t, 8).unwrap();
+        assert!(q.codes().iter().all(|&c| c == 0));
+        assert!(q.dequantize().approx_eq(&t, 0.0));
+        assert_eq!(q.scale(), 1.0);
+    }
+
+    #[test]
+    fn qmax_values() {
+        assert_eq!(QuantizedTensor::qmax_for(8), 127);
+        assert_eq!(QuantizedTensor::qmax_for(4), 7);
+        assert_eq!(QuantizedTensor::qmax_for(2), 1);
+    }
+
+    #[test]
+    fn clamp_codes_restores_range() {
+        let t = Tensor::from_vec(vec![1.0, -1.0, 0.5], &[3]).unwrap();
+        let mut q = QuantizedTensor::quantize(&t, 4).unwrap();
+        q.codes_mut()[0] = 1000;
+        q.codes_mut()[1] = -1000;
+        q.clamp_codes();
+        assert!(q.codes().iter().all(|&c| c.abs() <= 7));
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let t = Tensor::from_vec(vec![0.9, -0.5, 0.1, -1.0], &[4]).unwrap();
+        let q = QuantizedTensor::quantize(&t, 8).unwrap();
+        let bytes = q.codes_to_bytes();
+        let codes = bytes_impl::bytes_to_codes(&bytes);
+        assert_eq!(codes, q.codes());
+    }
+
+    #[test]
+    fn metadata_accessors() {
+        let t = Tensor::ones(&[2, 3]);
+        let q = QuantizedTensor::quantize(&t, 8).unwrap();
+        assert_eq!(q.dims(), &[2, 3]);
+        assert_eq!(q.numel(), 6);
+        assert_eq!(q.bits(), 8);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_dequantized_values_on_grid(values in proptest::collection::vec(-10.0f32..10.0, 1..64), bits in 2u8..10) {
+            let t = Tensor::from_slice(&values);
+            let q = QuantizedTensor::quantize(&t, bits).unwrap();
+            let back = q.dequantize();
+            // Every dequantized value must be an integer multiple of the scale.
+            for &v in back.data() {
+                let ratio = v / q.scale();
+                prop_assert!((ratio - ratio.round()).abs() < 1e-3);
+            }
+            // Codes fit in the representable range.
+            let qmax = QuantizedTensor::qmax_for(bits);
+            prop_assert!(q.codes().iter().all(|&c| c.abs() <= qmax));
+        }
+
+        #[test]
+        fn prop_quantization_error_bounded(values in proptest::collection::vec(-5.0f32..5.0, 1..64)) {
+            let t = Tensor::from_slice(&values);
+            let q = QuantizedTensor::quantize(&t, 8).unwrap();
+            let back = q.dequantize();
+            for (a, b) in t.data().iter().zip(back.data().iter()) {
+                prop_assert!((a - b).abs() <= q.scale() * 0.5 + 1e-6);
+            }
+        }
+    }
+}

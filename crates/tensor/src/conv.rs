@@ -1,0 +1,516 @@
+//! Convolution kernels (1-D and 2-D) based on im2col/col2im.
+//!
+//! Layouts follow the deep-learning convention used throughout the paper:
+//! 2-D activations are `[N, C, H, W]`, 1-D activations are `[N, C, L]`,
+//! 2-D kernels are `[OutC, InC, KH, KW]` and 1-D kernels are `[OutC, InC, K]`.
+//!
+//! Both the forward products and the three gradient products needed for a
+//! hand-written backward pass (`∂L/∂input`, `∂L/∂weight`, `∂L/∂bias`) are
+//! provided; 1-D convolution is implemented by lifting to a 2-D convolution
+//! with height 1 so there is a single, well-tested code path.
+
+use crate::error::TensorError;
+use crate::ops;
+use crate::tensor::Tensor;
+use crate::Result;
+
+/// Spatial geometry of a 2-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dSpec {
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride applied to both spatial dimensions.
+    pub stride: usize,
+    /// Zero padding applied to both spatial dimensions.
+    pub pad: usize,
+}
+
+impl Conv2dSpec {
+    /// Creates a square-kernel spec.
+    pub fn new(kernel: usize, stride: usize, pad: usize) -> Self {
+        Self {
+            kh: kernel,
+            kw: kernel,
+            stride,
+            pad,
+        }
+    }
+
+    /// Output spatial size for an `(h, w)` input.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the kernel (with padding) does not fit in the
+    /// input or the stride is zero.
+    pub fn output_hw(&self, h: usize, w: usize) -> Result<(usize, usize)> {
+        if self.stride == 0 {
+            return Err(TensorError::InvalidArgument("stride must be > 0".into()));
+        }
+        let h_eff = h + 2 * self.pad;
+        let w_eff = w + 2 * self.pad;
+        if h_eff < self.kh || w_eff < self.kw {
+            return Err(TensorError::InvalidArgument(format!(
+                "kernel {}x{} larger than padded input {}x{}",
+                self.kh, self.kw, h_eff, w_eff
+            )));
+        }
+        Ok((
+            (h_eff - self.kh) / self.stride + 1,
+            (w_eff - self.kw) / self.stride + 1,
+        ))
+    }
+}
+
+/// Unfolds an `[N, C, H, W]` input into a `[N*OH*OW, C*KH*KW]` matrix of
+/// receptive-field patches (zero padded).
+///
+/// # Errors
+///
+/// Returns an error when the input is not rank-4 or the geometry is invalid.
+pub fn im2col(input: &Tensor, spec: &Conv2dSpec) -> Result<Tensor> {
+    let (n, c, h, w) = as_nchw(input)?;
+    let (oh, ow) = spec.output_hw(h, w)?;
+    let patch = c * spec.kh * spec.kw;
+    let rows = n * oh * ow;
+    let data = input.data();
+    let mut cols = vec![0.0f32; rows * patch];
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = (ni * oh + oy) * ow + ox;
+                let row_base = row * patch;
+                for ci in 0..c {
+                    for ky in 0..spec.kh {
+                        let iy = (oy * spec.stride + ky) as isize - spec.pad as isize;
+                        for kx in 0..spec.kw {
+                            let ix = (ox * spec.stride + kx) as isize - spec.pad as isize;
+                            let col_idx = (ci * spec.kh + ky) * spec.kw + kx;
+                            let value = if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w
+                            {
+                                data[((ni * c + ci) * h + iy as usize) * w + ix as usize]
+                            } else {
+                                0.0
+                            };
+                            cols[row_base + col_idx] = value;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(cols, &[rows, patch])
+}
+
+/// Folds a `[N*OH*OW, C*KH*KW]` patch-gradient matrix back onto an
+/// `[N, C, H, W]` input gradient (the adjoint of [`im2col`]). Overlapping
+/// patches accumulate.
+///
+/// # Errors
+///
+/// Returns an error when shapes do not correspond to the given geometry.
+pub fn col2im(cols: &Tensor, input_dims: &[usize], spec: &Conv2dSpec) -> Result<Tensor> {
+    if input_dims.len() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: input_dims.len(),
+        });
+    }
+    let (n, c, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
+    let (oh, ow) = spec.output_hw(h, w)?;
+    let patch = c * spec.kh * spec.kw;
+    let rows = n * oh * ow;
+    let (rc, cc) = ops::as_matrix_dims(cols)?;
+    if rc != rows || cc != patch {
+        return Err(TensorError::ShapeMismatch {
+            lhs: vec![rows, patch],
+            rhs: vec![rc, cc],
+        });
+    }
+    let cd = cols.data();
+    let mut out = vec![0.0f32; n * c * h * w];
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = (ni * oh + oy) * ow + ox;
+                let row_base = row * patch;
+                for ci in 0..c {
+                    for ky in 0..spec.kh {
+                        let iy = (oy * spec.stride + ky) as isize - spec.pad as isize;
+                        for kx in 0..spec.kw {
+                            let ix = (ox * spec.stride + kx) as isize - spec.pad as isize;
+                            if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                                let col_idx = (ci * spec.kh + ky) * spec.kw + kx;
+                                out[((ni * c + ci) * h + iy as usize) * w + ix as usize] +=
+                                    cd[row_base + col_idx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, input_dims)
+}
+
+/// Result of a 2-D convolution forward pass, retaining the unfolded patches
+/// needed by [`conv2d_backward`].
+#[derive(Debug, Clone)]
+pub struct Conv2dForward {
+    /// Convolution output, `[N, OutC, OH, OW]`.
+    pub output: Tensor,
+    /// The im2col patch matrix, cached for the backward pass.
+    pub cols: Tensor,
+}
+
+/// Gradients produced by [`conv2d_backward`].
+#[derive(Debug, Clone)]
+pub struct Conv2dGrads {
+    /// Gradient w.r.t. the input, `[N, InC, H, W]`.
+    pub grad_input: Tensor,
+    /// Gradient w.r.t. the kernel, `[OutC, InC, KH, KW]`.
+    pub grad_weight: Tensor,
+    /// Gradient w.r.t. the bias, `[OutC]`.
+    pub grad_bias: Tensor,
+}
+
+/// 2-D convolution forward pass.
+///
+/// `input` is `[N, InC, H, W]`, `weight` is `[OutC, InC, KH, KW]` and `bias`
+/// (if given) is `[OutC]`.
+///
+/// # Errors
+///
+/// Returns an error when shapes are inconsistent with `spec`.
+pub fn conv2d_forward(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    spec: &Conv2dSpec,
+) -> Result<Conv2dForward> {
+    let (n, c, h, w) = as_nchw(input)?;
+    let wd = weight.dims();
+    if wd.len() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: wd.len(),
+        });
+    }
+    let (oc, wc, wkh, wkw) = (wd[0], wd[1], wd[2], wd[3]);
+    if wc != c || wkh != spec.kh || wkw != spec.kw {
+        return Err(TensorError::InvalidArgument(format!(
+            "weight shape {wd:?} inconsistent with input channels {c} and kernel {}x{}",
+            spec.kh, spec.kw
+        )));
+    }
+    let (oh, ow) = spec.output_hw(h, w)?;
+    let cols = im2col(input, spec)?;
+    let weight_mat = weight.reshape(&[oc, c * spec.kh * spec.kw])?;
+    // [N*OH*OW, patch] @ [patch, OC] -> [N*OH*OW, OC]
+    let out_mat = ops::matmul_a_bt(&cols, &weight_mat)?;
+    let om = out_mat.data();
+    let mut out = vec![0.0f32; n * oc * oh * ow];
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = (ni * oh + oy) * ow + ox;
+                for ci in 0..oc {
+                    let mut v = om[row * oc + ci];
+                    if let Some(b) = bias {
+                        v += b.data()[ci];
+                    }
+                    out[((ni * oc + ci) * oh + oy) * ow + ox] = v;
+                }
+            }
+        }
+    }
+    Ok(Conv2dForward {
+        output: Tensor::from_vec(out, &[n, oc, oh, ow])?,
+        cols,
+    })
+}
+
+/// 2-D convolution backward pass.
+///
+/// `grad_output` is `[N, OutC, OH, OW]`; `cols` is the patch matrix cached by
+/// [`conv2d_forward`].
+///
+/// # Errors
+///
+/// Returns an error when shapes are inconsistent.
+pub fn conv2d_backward(
+    grad_output: &Tensor,
+    cols: &Tensor,
+    weight: &Tensor,
+    input_dims: &[usize],
+    spec: &Conv2dSpec,
+) -> Result<Conv2dGrads> {
+    let god = grad_output.dims();
+    if god.len() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: god.len(),
+        });
+    }
+    let (n, oc, oh, ow) = (god[0], god[1], god[2], god[3]);
+    let wd = weight.dims();
+    let patch = wd[1] * wd[2] * wd[3];
+    // Re-layout grad_output [N, OC, OH, OW] into matrix [N*OH*OW, OC].
+    let gd = grad_output.data();
+    let mut go_mat = vec![0.0f32; n * oh * ow * oc];
+    for ni in 0..n {
+        for ci in 0..oc {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row = (ni * oh + oy) * ow + ox;
+                    go_mat[row * oc + ci] = gd[((ni * oc + ci) * oh + oy) * ow + ox];
+                }
+            }
+        }
+    }
+    let go_mat = Tensor::from_vec(go_mat, &[n * oh * ow, oc])?;
+    let weight_mat = weight.reshape(&[oc, patch])?;
+    // grad_cols = go_mat @ weight_mat : [rows, patch]
+    let grad_cols = ops::matmul(&go_mat, &weight_mat)?;
+    let grad_input = col2im(&grad_cols, input_dims, spec)?;
+    // grad_weight = go_matᵀ @ cols : [OC, patch]
+    let grad_weight = ops::matmul_at_b(&go_mat, cols)?.reshape(wd)?;
+    // grad_bias = column sums of go_mat
+    let grad_bias = ops::sum_axis(&go_mat, 0)?;
+    Ok(Conv2dGrads {
+        grad_input,
+        grad_weight,
+        grad_bias,
+    })
+}
+
+/// Lifts a `[N, C, L]` tensor to `[N, C, 1, L]` so 1-D convolutions reuse the
+/// 2-D kernels.
+///
+/// # Errors
+///
+/// Returns an error when the input is not rank-3.
+pub fn lift_1d(input: &Tensor) -> Result<Tensor> {
+    let d = input.dims();
+    if d.len() != 3 {
+        return Err(TensorError::RankMismatch {
+            expected: 3,
+            actual: d.len(),
+        });
+    }
+    input.reshape(&[d[0], d[1], 1, d[2]])
+}
+
+/// Squeezes a `[N, C, 1, L]` tensor back to `[N, C, L]`.
+///
+/// # Errors
+///
+/// Returns an error when the input is not rank-4 with height 1.
+pub fn squeeze_1d(input: &Tensor) -> Result<Tensor> {
+    let d = input.dims();
+    if d.len() != 4 || d[2] != 1 {
+        return Err(TensorError::InvalidArgument(format!(
+            "expected [N, C, 1, L], got {d:?}"
+        )));
+    }
+    input.reshape(&[d[0], d[1], d[3]])
+}
+
+fn as_nchw(t: &Tensor) -> Result<(usize, usize, usize, usize)> {
+    let d = t.dims();
+    if d.len() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: d.len(),
+        });
+    }
+    Ok((d[0], d[1], d[2], d[3]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn reference_conv2d(
+        input: &Tensor,
+        weight: &Tensor,
+        bias: Option<&Tensor>,
+        spec: &Conv2dSpec,
+    ) -> Tensor {
+        let (n, c, h, w) = as_nchw(input).unwrap();
+        let wd = weight.dims();
+        let oc = wd[0];
+        let (oh, ow) = spec.output_hw(h, w).unwrap();
+        let mut out = Tensor::zeros(&[n, oc, oh, ow]);
+        for ni in 0..n {
+            for co in 0..oc {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = bias.map(|b| b.data()[co]).unwrap_or(0.0);
+                        for ci in 0..c {
+                            for ky in 0..spec.kh {
+                                for kx in 0..spec.kw {
+                                    let iy = (oy * spec.stride + ky) as isize - spec.pad as isize;
+                                    let ix = (ox * spec.stride + kx) as isize - spec.pad as isize;
+                                    if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                                        let xv = input
+                                            .get(&[ni, ci, iy as usize, ix as usize])
+                                            .unwrap();
+                                        let wv = weight.get(&[co, ci, ky, kx]).unwrap();
+                                        acc += xv * wv;
+                                    }
+                                }
+                            }
+                        }
+                        out.set(&[ni, co, oy, ox], acc).unwrap();
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn output_geometry() {
+        let spec = Conv2dSpec::new(3, 1, 1);
+        assert_eq!(spec.output_hw(8, 8).unwrap(), (8, 8));
+        let spec = Conv2dSpec::new(3, 2, 1);
+        assert_eq!(spec.output_hw(8, 8).unwrap(), (4, 4));
+        let spec = Conv2dSpec::new(5, 1, 0);
+        assert!(spec.output_hw(3, 3).is_err());
+        let bad = Conv2dSpec {
+            kh: 1,
+            kw: 1,
+            stride: 0,
+            pad: 0,
+        };
+        assert!(bad.output_hw(4, 4).is_err());
+    }
+
+    #[test]
+    fn forward_matches_naive_reference() {
+        let mut rng = Rng::seed_from(2);
+        for &(stride, pad) in &[(1usize, 0usize), (1, 1), (2, 1)] {
+            let spec = Conv2dSpec::new(3, stride, pad);
+            let input = Tensor::randn(&[2, 3, 6, 6], 0.0, 1.0, &mut rng);
+            let weight = Tensor::randn(&[4, 3, 3, 3], 0.0, 0.5, &mut rng);
+            let bias = Tensor::randn(&[4], 0.0, 0.5, &mut rng);
+            let got = conv2d_forward(&input, &weight, Some(&bias), &spec).unwrap();
+            let expected = reference_conv2d(&input, &weight, Some(&bias), &spec);
+            assert!(
+                got.output.approx_eq(&expected, 1e-4),
+                "mismatch for stride {stride} pad {pad}"
+            );
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_adjointness() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+        // property of an adjoint pair, which is exactly what backward needs.
+        let mut rng = Rng::seed_from(3);
+        let spec = Conv2dSpec::new(3, 1, 1);
+        let x = Tensor::randn(&[1, 2, 5, 5], 0.0, 1.0, &mut rng);
+        let cols = im2col(&x, &spec).unwrap();
+        let y = Tensor::randn(cols.dims(), 0.0, 1.0, &mut rng);
+        let lhs: f32 = cols
+            .data()
+            .iter()
+            .zip(y.data().iter())
+            .map(|(a, b)| a * b)
+            .sum();
+        let back = col2im(&y, x.dims(), &spec).unwrap();
+        let rhs: f32 = x
+            .data()
+            .iter()
+            .zip(back.data().iter())
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-2, "lhs {lhs} rhs {rhs}");
+    }
+
+    #[test]
+    fn backward_matches_numerical_gradient() {
+        let mut rng = Rng::seed_from(4);
+        let spec = Conv2dSpec::new(3, 1, 1);
+        let input = Tensor::randn(&[1, 2, 4, 4], 0.0, 1.0, &mut rng);
+        let weight = Tensor::randn(&[3, 2, 3, 3], 0.0, 0.5, &mut rng);
+        let bias = Tensor::randn(&[3], 0.0, 0.5, &mut rng);
+
+        // Loss = sum(output); grad_output = ones.
+        let fwd = conv2d_forward(&input, &weight, Some(&bias), &spec).unwrap();
+        let grad_out = Tensor::ones(fwd.output.dims());
+        let grads =
+            conv2d_backward(&grad_out, &fwd.cols, &weight, input.dims(), &spec).unwrap();
+
+        let eps = 1e-2f32;
+        // Check a few weight coordinates against central differences.
+        for &idx in &[0usize, 7, 20, 35] {
+            let mut wp = weight.clone();
+            wp.data_mut()[idx] += eps;
+            let mut wm = weight.clone();
+            wm.data_mut()[idx] -= eps;
+            let lp = conv2d_forward(&input, &wp, Some(&bias), &spec)
+                .unwrap()
+                .output
+                .sum();
+            let lm = conv2d_forward(&input, &wm, Some(&bias), &spec)
+                .unwrap()
+                .output
+                .sum();
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = grads.grad_weight.data()[idx];
+            assert!(
+                (num - ana).abs() < 2e-2 * (1.0 + num.abs()),
+                "weight grad {idx}: numerical {num} analytic {ana}"
+            );
+        }
+        // Check a few input coordinates.
+        for &idx in &[0usize, 5, 17, 31] {
+            let mut xp = input.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = input.clone();
+            xm.data_mut()[idx] -= eps;
+            let lp = conv2d_forward(&xp, &weight, Some(&bias), &spec)
+                .unwrap()
+                .output
+                .sum();
+            let lm = conv2d_forward(&xm, &weight, Some(&bias), &spec)
+                .unwrap()
+                .output
+                .sum();
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = grads.grad_input.data()[idx];
+            assert!(
+                (num - ana).abs() < 2e-2 * (1.0 + num.abs()),
+                "input grad {idx}: numerical {num} analytic {ana}"
+            );
+        }
+        // Bias gradient: each output position contributes 1.
+        let per_channel = (fwd.output.numel() / 3) as f32;
+        for &g in grads.grad_bias.data() {
+            assert!((g - per_channel).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn lift_and_squeeze_1d() {
+        let x = Tensor::linspace(0.0, 1.0, 12).reshape(&[2, 2, 3]).unwrap();
+        let lifted = lift_1d(&x).unwrap();
+        assert_eq!(lifted.dims(), &[2, 2, 1, 3]);
+        let back = squeeze_1d(&lifted).unwrap();
+        assert!(back.approx_eq(&x, 0.0));
+        assert!(lift_1d(&Tensor::zeros(&[2, 2])).is_err());
+        assert!(squeeze_1d(&Tensor::zeros(&[2, 2, 2, 3])).is_err());
+    }
+
+    #[test]
+    fn conv_rejects_inconsistent_weight() {
+        let spec = Conv2dSpec::new(3, 1, 1);
+        let input = Tensor::zeros(&[1, 3, 8, 8]);
+        let weight = Tensor::zeros(&[4, 2, 3, 3]); // wrong in-channels
+        assert!(conv2d_forward(&input, &weight, None, &spec).is_err());
+    }
+}

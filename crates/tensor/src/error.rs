@@ -1,0 +1,116 @@
+//! Error types for tensor operations.
+
+use std::fmt;
+
+/// Error returned by fallible tensor operations.
+///
+/// All shape-sensitive operations in this crate validate their inputs and
+/// return a descriptive [`TensorError`] rather than panicking, so that layer
+/// code built on top can propagate configuration mistakes to the user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements implied by a shape does not match the data length.
+    ShapeDataMismatch {
+        /// Number of elements implied by the requested shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two tensors that must share a shape do not.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        lhs: Vec<usize>,
+        /// Shape of the right-hand operand.
+        rhs: Vec<usize>,
+    },
+    /// The operation requires a tensor of a particular rank.
+    RankMismatch {
+        /// Rank required by the operation.
+        expected: usize,
+        /// Rank of the tensor provided.
+        actual: usize,
+    },
+    /// Inner dimensions of a matrix product do not agree.
+    MatmulDimMismatch {
+        /// Columns of the left matrix.
+        lhs_cols: usize,
+        /// Rows of the right matrix.
+        rhs_rows: usize,
+    },
+    /// An axis index was out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// The offending axis.
+        axis: usize,
+        /// The tensor's rank.
+        rank: usize,
+    },
+    /// A broadcast between two shapes is not defined.
+    BroadcastError {
+        /// Shape of the left-hand operand.
+        lhs: Vec<usize>,
+        /// Shape of the right-hand operand.
+        rhs: Vec<usize>,
+    },
+    /// A parameter had an invalid value (zero batch, zero groups, ...).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeDataMismatch { expected, actual } => write!(
+                f,
+                "shape implies {expected} elements but {actual} were provided"
+            ),
+            TensorError::ShapeMismatch { lhs, rhs } => {
+                write!(f, "shape mismatch: {lhs:?} vs {rhs:?}")
+            }
+            TensorError::RankMismatch { expected, actual } => {
+                write!(f, "expected rank {expected} tensor, got rank {actual}")
+            }
+            TensorError::MatmulDimMismatch { lhs_cols, rhs_rows } => write!(
+                f,
+                "matmul inner dimensions disagree: lhs has {lhs_cols} columns, rhs has {rhs_rows} rows"
+            ),
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank {rank} tensor")
+            }
+            TensorError::BroadcastError { lhs, rhs } => {
+                write!(f, "cannot broadcast {lhs:?} with {rhs:?}")
+            }
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let err = TensorError::ShapeDataMismatch {
+            expected: 4,
+            actual: 3,
+        };
+        assert!(err.to_string().contains('4'));
+        assert!(err.to_string().contains('3'));
+
+        let err = TensorError::MatmulDimMismatch {
+            lhs_cols: 2,
+            rhs_rows: 5,
+        };
+        assert!(err.to_string().contains("inner dimensions"));
+
+        let err = TensorError::InvalidArgument("groups must divide channels".into());
+        assert!(err.to_string().contains("groups"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

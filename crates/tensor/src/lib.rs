@@ -1,0 +1,51 @@
+//! # invnorm-tensor
+//!
+//! Minimal, dependency-light N-dimensional `f32` tensor library used as the
+//! numerical substrate of the `invnorm` workspace (a Rust reproduction of
+//! *"Enhancing Reliability of Neural Networks at the Edge: Inverted
+//! Normalization with Stochastic Affine Transformations"*, DATE 2024).
+//!
+//! The paper's method is a layer-level modification of deep neural networks;
+//! reproducing it offline requires a trainable tensor/NN stack. This crate
+//! provides the tensor part:
+//!
+//! * [`Tensor`] — a contiguous, row-major, owned `f32` tensor with shape
+//!   metadata, element-wise arithmetic, broadcasting against per-channel
+//!   vectors, and reductions.
+//! * [`ops`] — matrix multiplication, transposition, softmax, argmax and
+//!   axis reductions used by the layer implementations.
+//! * [`conv`] — im2col/col2im based 1-D and 2-D convolution kernels (forward
+//!   and the gradient products needed for backward passes).
+//! * [`pool`] — max/average pooling kernels with argmax bookkeeping.
+//! * [`rng`] — seeded random number utilities (uniform, Gaussian via
+//!   Box–Muller, Bernoulli masks) so every experiment is reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use invnorm_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+//! let b = Tensor::ones(&[2, 2]);
+//! let c = a.add(&b).unwrap();
+//! assert_eq!(c.data(), &[2.0, 3.0, 4.0, 5.0]);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod conv;
+pub mod error;
+pub mod ops;
+pub mod pool;
+pub mod rng;
+pub mod shape;
+pub mod stats;
+pub mod tensor;
+
+pub use error::TensorError;
+pub use rng::Rng;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, TensorError>;

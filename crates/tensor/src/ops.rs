@@ -1,0 +1,392 @@
+//! Dense linear-algebra and reduction kernels.
+//!
+//! These free functions operate on [`Tensor`]s interpreted as matrices
+//! (rank-2) or batches of rows, and provide the handful of primitives the
+//! layer implementations need: matrix products (including the transposed
+//! variants used in backward passes), transposition, row-wise softmax /
+//! log-softmax, and single-axis reductions.
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+use crate::Result;
+
+/// Matrix product `a @ b` for `a: [m, k]` and `b: [k, n]`.
+///
+/// # Errors
+///
+/// Returns an error when either input is not rank-2 or the inner dimensions
+/// disagree.
+///
+/// # Example
+///
+/// ```
+/// use invnorm_tensor::{ops, Tensor};
+/// # fn main() -> Result<(), invnorm_tensor::TensorError> {
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// let i = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2])?;
+/// assert!(ops::matmul(&a, &i)?.approx_eq(&a, 1e-6));
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = as_matrix_dims(a)?;
+    let (k2, n) = as_matrix_dims(b)?;
+    if k != k2 {
+        return Err(TensorError::MatmulDimMismatch {
+            lhs_cols: k,
+            rhs_rows: k2,
+        });
+    }
+    let ad = a.data();
+    let bd = b.data();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let a_row = &ad[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &bd[p * n..(p + 1) * n];
+            for (j, &b_pj) in b_row.iter().enumerate() {
+                out_row[j] += a_ip * b_pj;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Matrix product `aᵀ @ b` for `a: [k, m]` and `b: [k, n]` without forming the
+/// transpose explicitly. Used for weight gradients.
+///
+/// # Errors
+///
+/// Returns an error when either input is not rank-2 or the shared dimension
+/// disagrees.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (k, m) = as_matrix_dims(a)?;
+    let (k2, n) = as_matrix_dims(b)?;
+    if k != k2 {
+        return Err(TensorError::MatmulDimMismatch {
+            lhs_cols: k,
+            rhs_rows: k2,
+        });
+    }
+    let ad = a.data();
+    let bd = b.data();
+    let mut out = vec![0.0f32; m * n];
+    for p in 0..k {
+        let a_row = &ad[p * m..(p + 1) * m];
+        let b_row = &bd[p * n..(p + 1) * n];
+        for (i, &a_pi) in a_row.iter().enumerate() {
+            if a_pi == 0.0 {
+                continue;
+            }
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (j, &b_pj) in b_row.iter().enumerate() {
+                out_row[j] += a_pi * b_pj;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Matrix product `a @ bᵀ` for `a: [m, k]` and `b: [n, k]` without forming the
+/// transpose explicitly. Used for input gradients.
+///
+/// # Errors
+///
+/// Returns an error when either input is not rank-2 or the shared dimension
+/// disagrees.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = as_matrix_dims(a)?;
+    let (n, k2) = as_matrix_dims(b)?;
+    if k != k2 {
+        return Err(TensorError::MatmulDimMismatch {
+            lhs_cols: k,
+            rhs_rows: k2,
+        });
+    }
+    let ad = a.data();
+    let bd = b.data();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let a_row = &ad[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (j, out_ij) in out_row.iter_mut().enumerate() {
+            let b_row = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (x, y) in a_row.iter().zip(b_row.iter()) {
+                acc += x * y;
+            }
+            *out_ij = acc;
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Transposes a rank-2 tensor.
+///
+/// # Errors
+///
+/// Returns an error when the input is not rank-2.
+pub fn transpose2d(a: &Tensor) -> Result<Tensor> {
+    let (m, n) = as_matrix_dims(a)?;
+    let ad = a.data();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = ad[i * n + j];
+        }
+    }
+    Tensor::from_vec(out, &[n, m])
+}
+
+/// Numerically stable softmax applied independently to each row of a rank-2
+/// tensor `[rows, cols]`.
+///
+/// # Errors
+///
+/// Returns an error when the input is not rank-2.
+pub fn softmax_rows(logits: &Tensor) -> Result<Tensor> {
+    let (rows, cols) = as_matrix_dims(logits)?;
+    let ld = logits.data();
+    let mut out = vec![0.0f32; rows * cols];
+    for r in 0..rows {
+        let row = &ld[r * cols..(r + 1) * cols];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0f32;
+        for (j, &x) in row.iter().enumerate() {
+            let e = (x - max).exp();
+            out[r * cols + j] = e;
+            denom += e;
+        }
+        for j in 0..cols {
+            out[r * cols + j] /= denom;
+        }
+    }
+    Tensor::from_vec(out, &[rows, cols])
+}
+
+/// Numerically stable log-softmax applied independently to each row.
+///
+/// # Errors
+///
+/// Returns an error when the input is not rank-2.
+pub fn log_softmax_rows(logits: &Tensor) -> Result<Tensor> {
+    let (rows, cols) = as_matrix_dims(logits)?;
+    let ld = logits.data();
+    let mut out = vec![0.0f32; rows * cols];
+    for r in 0..rows {
+        let row = &ld[r * cols..(r + 1) * cols];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let log_denom = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln();
+        for (j, &x) in row.iter().enumerate() {
+            out[r * cols + j] = x - max - log_denom;
+        }
+    }
+    Tensor::from_vec(out, &[rows, cols])
+}
+
+/// Index of the maximum entry of each row of a rank-2 tensor.
+///
+/// # Errors
+///
+/// Returns an error when the input is not rank-2.
+pub fn argmax_rows(scores: &Tensor) -> Result<Vec<usize>> {
+    let (rows, cols) = as_matrix_dims(scores)?;
+    let data = scores.data();
+    let mut out = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let row = &data[r * cols..(r + 1) * cols];
+        let mut best = 0usize;
+        let mut best_val = f32::NEG_INFINITY;
+        for (j, &x) in row.iter().enumerate() {
+            if x > best_val {
+                best_val = x;
+                best = j;
+            }
+        }
+        out.push(best);
+    }
+    Ok(out)
+}
+
+/// Sums a tensor along one axis, removing that axis.
+///
+/// # Errors
+///
+/// Returns an error when `axis` is out of range.
+pub fn sum_axis(t: &Tensor, axis: usize) -> Result<Tensor> {
+    reduce_axis(t, axis, |acc, x| acc + x, 0.0, |acc, _| acc)
+}
+
+/// Averages a tensor along one axis, removing that axis.
+///
+/// # Errors
+///
+/// Returns an error when `axis` is out of range.
+pub fn mean_axis(t: &Tensor, axis: usize) -> Result<Tensor> {
+    let n = t.shape().dim(axis)? as f32;
+    reduce_axis(t, axis, |acc, x| acc + x, 0.0, move |acc, _| acc / n)
+}
+
+fn reduce_axis(
+    t: &Tensor,
+    axis: usize,
+    combine: impl Fn(f32, f32) -> f32,
+    init: f32,
+    finish: impl Fn(f32, usize) -> f32,
+) -> Result<Tensor> {
+    let dims = t.dims();
+    if axis >= dims.len() {
+        return Err(TensorError::AxisOutOfRange {
+            axis,
+            rank: dims.len(),
+        });
+    }
+    let axis_len = dims[axis];
+    let outer: usize = dims[..axis].iter().product();
+    let inner: usize = dims[axis + 1..].iter().product();
+    let data = t.data();
+    let mut out = vec![init; outer * inner];
+    for o in 0..outer {
+        for a in 0..axis_len {
+            let base = (o * axis_len + a) * inner;
+            for i in 0..inner {
+                let idx = o * inner + i;
+                out[idx] = combine(out[idx], data[base + i]);
+            }
+        }
+    }
+    for v in &mut out {
+        *v = finish(*v, axis_len);
+    }
+    let mut new_dims: Vec<usize> = dims[..axis].to_vec();
+    new_dims.extend_from_slice(&dims[axis + 1..]);
+    if new_dims.is_empty() {
+        new_dims.push(1);
+    }
+    Tensor::from_vec(out, &new_dims)
+}
+
+/// Interprets a tensor as a matrix, returning `(rows, cols)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] when the tensor is not rank-2.
+pub fn as_matrix_dims(t: &Tensor) -> Result<(usize, usize)> {
+    if t.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: t.rank(),
+        });
+    }
+    Ok((t.dims()[0], t.dims()[1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn matmul_identity_and_known_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_shapes() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(matches!(
+            matmul(&a, &b),
+            Err(TensorError::MatmulDimMismatch { .. })
+        ));
+        let v = Tensor::zeros(&[3]);
+        assert!(matches!(matmul(&v, &a), Err(TensorError::RankMismatch { .. })));
+    }
+
+    #[test]
+    fn transposed_products_match_explicit_transpose() {
+        let mut rng = Rng::seed_from(0);
+        let a = Tensor::randn(&[4, 3], 0.0, 1.0, &mut rng);
+        let b = Tensor::randn(&[4, 5], 0.0, 1.0, &mut rng);
+        let expected = matmul(&transpose2d(&a).unwrap(), &b).unwrap();
+        let got = matmul_at_b(&a, &b).unwrap();
+        assert!(got.approx_eq(&expected, 1e-4));
+
+        let c = Tensor::randn(&[6, 3], 0.0, 1.0, &mut rng);
+        let d = Tensor::randn(&[5, 3], 0.0, 1.0, &mut rng);
+        let expected = matmul(&c, &transpose2d(&d).unwrap()).unwrap();
+        let got = matmul_a_bt(&c, &d).unwrap();
+        assert!(got.approx_eq(&expected, 1e-4));
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let mut rng = Rng::seed_from(1);
+        let a = Tensor::randn(&[3, 7], 0.0, 1.0, &mut rng);
+        let back = transpose2d(&transpose2d(&a).unwrap()).unwrap();
+        assert!(a.approx_eq(&back, 0.0));
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_are_shift_invariant() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]).unwrap();
+        let p = softmax_rows(&logits).unwrap();
+        for r in 0..2 {
+            let s: f32 = p.data()[r * 3..(r + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+        let shifted = logits.shift(100.0);
+        let p2 = softmax_rows(&shifted).unwrap();
+        assert!(p.approx_eq(&p2, 1e-5));
+    }
+
+    #[test]
+    fn log_softmax_matches_softmax_log() {
+        let logits = Tensor::from_vec(vec![0.3, -0.7, 2.0, 1.0, 1.0, 1.0], &[2, 3]).unwrap();
+        let p = softmax_rows(&logits).unwrap().map(|x| x.ln());
+        let lp = log_softmax_rows(&logits).unwrap();
+        assert!(p.approx_eq(&lp, 1e-5));
+    }
+
+    #[test]
+    fn softmax_handles_extreme_logits() {
+        let logits = Tensor::from_vec(vec![1000.0, -1000.0, 0.0], &[1, 3]).unwrap();
+        let p = softmax_rows(&logits).unwrap();
+        assert!(!p.has_non_finite());
+        assert!((p.data()[0] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn argmax_rows_picks_largest() {
+        let scores = Tensor::from_vec(vec![0.1, 0.9, 0.0, 0.5, 0.2, 0.3], &[2, 3]).unwrap();
+        assert_eq!(argmax_rows(&scores).unwrap(), vec![1, 0]);
+    }
+
+    #[test]
+    fn sum_and_mean_axis() {
+        let t = Tensor::from_vec((1..=12).map(|x| x as f32).collect(), &[2, 3, 2]).unwrap();
+        let s0 = sum_axis(&t, 0).unwrap();
+        assert_eq!(s0.dims(), &[3, 2]);
+        assert_eq!(s0.data()[0], 1.0 + 7.0);
+        let m1 = mean_axis(&t, 1).unwrap();
+        assert_eq!(m1.dims(), &[2, 2]);
+        assert!((m1.data()[0] - (1.0 + 3.0 + 5.0) / 3.0).abs() < 1e-6);
+        assert!(sum_axis(&t, 3).is_err());
+    }
+
+    #[test]
+    fn sum_axis_scalar_result_keeps_rank_one() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        let s = sum_axis(&t, 0).unwrap();
+        assert_eq!(s.dims(), &[1]);
+        assert_eq!(s.data(), &[6.0]);
+    }
+}

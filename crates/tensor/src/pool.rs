@@ -1,0 +1,343 @@
+//! Pooling kernels (max / average / global average) with backward support.
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+use crate::Result;
+
+/// Geometry of a 2-D pooling operation (square window).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool2dSpec {
+    /// Pooling window edge length.
+    pub kernel: usize,
+    /// Stride (commonly equal to `kernel`).
+    pub stride: usize,
+}
+
+impl Pool2dSpec {
+    /// Creates a pooling spec with `stride == kernel` (non-overlapping).
+    pub fn new(kernel: usize) -> Self {
+        Self {
+            kernel,
+            stride: kernel,
+        }
+    }
+
+    /// Output spatial size for an `(h, w)` input.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the window does not fit or stride is zero.
+    pub fn output_hw(&self, h: usize, w: usize) -> Result<(usize, usize)> {
+        if self.stride == 0 || self.kernel == 0 {
+            return Err(TensorError::InvalidArgument(
+                "pool kernel and stride must be > 0".into(),
+            ));
+        }
+        if h < self.kernel || w < self.kernel {
+            return Err(TensorError::InvalidArgument(format!(
+                "pool window {} larger than input {h}x{w}",
+                self.kernel
+            )));
+        }
+        Ok(((h - self.kernel) / self.stride + 1, (w - self.kernel) / self.stride + 1))
+    }
+}
+
+/// Output of a max-pool forward pass; `argmax` stores, for every output
+/// element, the flat input index that produced it (needed for backward).
+#[derive(Debug, Clone)]
+pub struct MaxPool2dForward {
+    /// Pooled output `[N, C, OH, OW]`.
+    pub output: Tensor,
+    /// Flat input index of each maximum.
+    pub argmax: Vec<usize>,
+}
+
+/// 2-D max pooling over an `[N, C, H, W]` tensor.
+///
+/// # Errors
+///
+/// Returns an error when the input is not rank-4 or the window does not fit.
+pub fn maxpool2d_forward(input: &Tensor, spec: &Pool2dSpec) -> Result<MaxPool2dForward> {
+    let (n, c, h, w) = as_nchw(input)?;
+    let (oh, ow) = spec.output_hw(h, w)?;
+    let data = input.data();
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    let mut argmax = vec![0usize; n * c * oh * ow];
+    for ni in 0..n {
+        for ci in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0usize;
+                    for ky in 0..spec.kernel {
+                        for kx in 0..spec.kernel {
+                            let iy = oy * spec.stride + ky;
+                            let ix = ox * spec.stride + kx;
+                            let idx = ((ni * c + ci) * h + iy) * w + ix;
+                            if data[idx] > best {
+                                best = data[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    let oidx = ((ni * c + ci) * oh + oy) * ow + ox;
+                    out[oidx] = best;
+                    argmax[oidx] = best_idx;
+                }
+            }
+        }
+    }
+    Ok(MaxPool2dForward {
+        output: Tensor::from_vec(out, &[n, c, oh, ow])?,
+        argmax,
+    })
+}
+
+/// Backward pass for max pooling: routes each output gradient back to the
+/// input position that won the max.
+///
+/// # Errors
+///
+/// Returns an error when `grad_output` does not match the cached argmax size.
+pub fn maxpool2d_backward(
+    grad_output: &Tensor,
+    argmax: &[usize],
+    input_dims: &[usize],
+) -> Result<Tensor> {
+    if grad_output.numel() != argmax.len() {
+        return Err(TensorError::ShapeMismatch {
+            lhs: vec![grad_output.numel()],
+            rhs: vec![argmax.len()],
+        });
+    }
+    let mut grad_input = Tensor::zeros(input_dims);
+    let gi = grad_input.data_mut();
+    for (g, &idx) in grad_output.data().iter().zip(argmax.iter()) {
+        gi[idx] += g;
+    }
+    Ok(grad_input)
+}
+
+/// 2-D average pooling over an `[N, C, H, W]` tensor.
+///
+/// # Errors
+///
+/// Returns an error when the input is not rank-4 or the window does not fit.
+pub fn avgpool2d_forward(input: &Tensor, spec: &Pool2dSpec) -> Result<Tensor> {
+    let (n, c, h, w) = as_nchw(input)?;
+    let (oh, ow) = spec.output_hw(h, w)?;
+    let data = input.data();
+    let norm = (spec.kernel * spec.kernel) as f32;
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    for ni in 0..n {
+        for ci in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    for ky in 0..spec.kernel {
+                        for kx in 0..spec.kernel {
+                            let iy = oy * spec.stride + ky;
+                            let ix = ox * spec.stride + kx;
+                            acc += data[((ni * c + ci) * h + iy) * w + ix];
+                        }
+                    }
+                    out[((ni * c + ci) * oh + oy) * ow + ox] = acc / norm;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, c, oh, ow])
+}
+
+/// Backward pass for average pooling: spreads each output gradient uniformly
+/// over its window.
+///
+/// # Errors
+///
+/// Returns an error when the shapes are inconsistent with the spec.
+pub fn avgpool2d_backward(
+    grad_output: &Tensor,
+    input_dims: &[usize],
+    spec: &Pool2dSpec,
+) -> Result<Tensor> {
+    if input_dims.len() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: input_dims.len(),
+        });
+    }
+    let (n, c, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
+    let (oh, ow) = spec.output_hw(h, w)?;
+    let god = grad_output.dims();
+    if god != [n, c, oh, ow] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: vec![n, c, oh, ow],
+            rhs: god.to_vec(),
+        });
+    }
+    let norm = (spec.kernel * spec.kernel) as f32;
+    let gd = grad_output.data();
+    let mut grad_input = Tensor::zeros(input_dims);
+    let gi = grad_input.data_mut();
+    for ni in 0..n {
+        for ci in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = gd[((ni * c + ci) * oh + oy) * ow + ox] / norm;
+                    for ky in 0..spec.kernel {
+                        for kx in 0..spec.kernel {
+                            let iy = oy * spec.stride + ky;
+                            let ix = ox * spec.stride + kx;
+                            gi[((ni * c + ci) * h + iy) * w + ix] += g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(grad_input)
+}
+
+/// Global average pooling: reduces `[N, C, H, W]` to `[N, C]`.
+///
+/// # Errors
+///
+/// Returns an error when the input is not rank-4.
+pub fn global_avgpool2d(input: &Tensor) -> Result<Tensor> {
+    let (n, c, h, w) = as_nchw(input)?;
+    let data = input.data();
+    let norm = (h * w) as f32;
+    let mut out = vec![0.0f32; n * c];
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            out[ni * c + ci] = data[base..base + h * w].iter().sum::<f32>() / norm;
+        }
+    }
+    Tensor::from_vec(out, &[n, c])
+}
+
+/// Backward pass for global average pooling.
+///
+/// # Errors
+///
+/// Returns an error when shapes are inconsistent.
+pub fn global_avgpool2d_backward(grad_output: &Tensor, input_dims: &[usize]) -> Result<Tensor> {
+    if input_dims.len() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: input_dims.len(),
+        });
+    }
+    let (n, c, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
+    if grad_output.dims() != [n, c] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: vec![n, c],
+            rhs: grad_output.dims().to_vec(),
+        });
+    }
+    let norm = (h * w) as f32;
+    let gd = grad_output.data();
+    let mut out = vec![0.0f32; n * c * h * w];
+    for ni in 0..n {
+        for ci in 0..c {
+            let g = gd[ni * c + ci] / norm;
+            let base = (ni * c + ci) * h * w;
+            for v in &mut out[base..base + h * w] {
+                *v = g;
+            }
+        }
+    }
+    Tensor::from_vec(out, input_dims)
+}
+
+fn as_nchw(t: &Tensor) -> Result<(usize, usize, usize, usize)> {
+    let d = t.dims();
+    if d.len() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: d.len(),
+        });
+    }
+    Ok((d[0], d[1], d[2], d[3]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn maxpool_known_values() {
+        let input = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                9.0, 10.0, 13.0, 14.0, //
+                11.0, 12.0, 15.0, 16.0,
+            ],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let fwd = maxpool2d_forward(&input, &Pool2dSpec::new(2)).unwrap();
+        assert_eq!(fwd.output.dims(), &[1, 1, 2, 2]);
+        assert_eq!(fwd.output.data(), &[4.0, 8.0, 12.0, 16.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let input = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let spec = Pool2dSpec::new(2);
+        let fwd = maxpool2d_forward(&input, &spec).unwrap();
+        let grad_out = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        let grad_in = maxpool2d_backward(&grad_out, &fwd.argmax, input.dims()).unwrap();
+        // Each window's max is its bottom-right corner.
+        assert_eq!(grad_in.get(&[0, 0, 1, 1]).unwrap(), 1.0);
+        assert_eq!(grad_in.get(&[0, 0, 1, 3]).unwrap(), 2.0);
+        assert_eq!(grad_in.get(&[0, 0, 3, 1]).unwrap(), 3.0);
+        assert_eq!(grad_in.get(&[0, 0, 3, 3]).unwrap(), 4.0);
+        assert_eq!(grad_in.sum(), 10.0);
+    }
+
+    #[test]
+    fn avgpool_forward_and_backward_conserve_mass() {
+        let mut rng = Rng::seed_from(8);
+        let input = Tensor::randn(&[2, 3, 4, 4], 0.0, 1.0, &mut rng);
+        let spec = Pool2dSpec::new(2);
+        let out = avgpool2d_forward(&input, &spec).unwrap();
+        assert_eq!(out.dims(), &[2, 3, 2, 2]);
+        // Average of averages equals global average for non-overlapping windows.
+        assert!((out.mean() - input.mean()).abs() < 1e-5);
+
+        let grad_out = Tensor::ones(out.dims());
+        let grad_in = avgpool2d_backward(&grad_out, input.dims(), &spec).unwrap();
+        assert!((grad_in.sum() - grad_out.sum()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn global_avgpool_matches_mean() {
+        let mut rng = Rng::seed_from(9);
+        let input = Tensor::randn(&[2, 4, 3, 3], 0.0, 1.0, &mut rng);
+        let out = global_avgpool2d(&input).unwrap();
+        assert_eq!(out.dims(), &[2, 4]);
+        let first = input.index_axis0(0).unwrap().index_axis0(0).unwrap();
+        assert!((out.get(&[0, 0]).unwrap() - first.mean()).abs() < 1e-5);
+
+        let grad = Tensor::ones(&[2, 4]);
+        let gi = global_avgpool2d_backward(&grad, input.dims()).unwrap();
+        assert!((gi.sum() - 8.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn pool_rejects_bad_geometry() {
+        let input = Tensor::zeros(&[1, 1, 3, 3]);
+        assert!(maxpool2d_forward(&input, &Pool2dSpec::new(4)).is_err());
+        assert!(avgpool2d_forward(&input, &Pool2dSpec::new(0)).is_err());
+        assert!(global_avgpool2d(&Tensor::zeros(&[2, 2])).is_err());
+    }
+}

@@ -1,0 +1,188 @@
+//! Shape metadata and stride arithmetic for row-major tensors.
+
+use crate::error::TensorError;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// The shape of a tensor: the extent of each dimension, outermost first.
+///
+/// Shapes are stored row-major; [`Shape::strides`] returns the element stride
+/// of each dimension for the contiguous layout used by [`crate::Tensor`].
+///
+/// # Example
+///
+/// ```
+/// use invnorm_tensor::Shape;
+///
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.numel(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from a slice of dimension extents.
+    pub fn new(dims: &[usize]) -> Self {
+        Self {
+            dims: dims.to_vec(),
+        }
+    }
+
+    /// Returns the dimension extents as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions (the tensor rank).
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements described by this shape.
+    ///
+    /// The empty (rank-0) shape describes a single scalar element.
+    pub fn numel(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Row-major strides, in elements, for each dimension.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Returns the extent of dimension `axis`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::AxisOutOfRange`] if `axis >= rank`.
+    pub fn dim(&self, axis: usize) -> Result<usize> {
+        self.dims
+            .get(axis)
+            .copied()
+            .ok_or(TensorError::AxisOutOfRange {
+                axis,
+                rank: self.dims.len(),
+            })
+    }
+
+    /// Converts a multi-dimensional index to a flat row-major offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the index rank does not match or any coordinate is
+    /// out of bounds.
+    pub fn offset(&self, index: &[usize]) -> Result<usize> {
+        if index.len() != self.dims.len() {
+            return Err(TensorError::RankMismatch {
+                expected: self.dims.len(),
+                actual: index.len(),
+            });
+        }
+        let strides = self.strides();
+        let mut off = 0usize;
+        for (axis, (&i, (&d, &s))) in index
+            .iter()
+            .zip(self.dims.iter().zip(strides.iter()))
+            .enumerate()
+        {
+            if i >= d {
+                return Err(TensorError::AxisOutOfRange {
+                    axis,
+                    rank: self.dims.len(),
+                });
+            }
+            off += i * s;
+        }
+        Ok(off)
+    }
+
+    /// Checks whether two shapes are identical.
+    pub fn same_as(&self, other: &Shape) -> bool {
+        self.dims == other.dims
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_strides() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(s.rank(), 3);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::new(&[]);
+        assert_eq!(s.numel(), 1);
+        assert_eq!(s.rank(), 0);
+        assert!(s.strides().is_empty());
+    }
+
+    #[test]
+    fn offset_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]).unwrap(), 0);
+        assert_eq!(s.offset(&[0, 0, 3]).unwrap(), 3);
+        assert_eq!(s.offset(&[0, 1, 0]).unwrap(), 4);
+        assert_eq!(s.offset(&[1, 2, 3]).unwrap(), 23);
+    }
+
+    #[test]
+    fn offset_errors() {
+        let s = Shape::new(&[2, 3]);
+        assert!(matches!(
+            s.offset(&[0]),
+            Err(TensorError::RankMismatch { .. })
+        ));
+        assert!(matches!(
+            s.offset(&[2, 0]),
+            Err(TensorError::AxisOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn dim_accessor() {
+        let s = Shape::new(&[5, 7]);
+        assert_eq!(s.dim(0).unwrap(), 5);
+        assert_eq!(s.dim(1).unwrap(), 7);
+        assert!(s.dim(2).is_err());
+    }
+
+    #[test]
+    fn conversions_and_display() {
+        let s: Shape = vec![1, 2].into();
+        assert_eq!(s.dims(), &[1, 2]);
+        let s2: Shape = (&[1usize, 2][..]).into();
+        assert!(s.same_as(&s2));
+        assert_eq!(format!("{s}"), "[1, 2]");
+    }
+}

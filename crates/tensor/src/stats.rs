@@ -1,0 +1,278 @@
+//! Descriptive statistics helpers used by the experiment harness.
+//!
+//! The paper reports mean ± standard deviation over 100 Monte-Carlo fault
+//! simulation runs, and Fig. 1 shows activation histograms under fault
+//! injection; [`RunningStats`] and [`Histogram`] provide those two pieces.
+
+use serde::{Deserialize, Serialize};
+
+/// Online (Welford) accumulator for mean / variance / min / max.
+///
+/// # Example
+///
+/// ```
+/// use invnorm_tensor::stats::RunningStats;
+///
+/// let mut s = RunningStats::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.count(), 4);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f32) {
+        let x = x as f64;
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Adds every element of a slice.
+    pub fn extend_from_slice(&mut self, xs: &[f32]) {
+        for &x in xs {
+            self.push(x);
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f32 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean as f32
+        }
+    }
+
+    /// Population variance (0 when fewer than two observations).
+    pub fn variance(&self) -> f32 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64) as f32
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std(&self) -> f32 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f32 {
+        self.min as f32
+    }
+
+    /// Largest observation (`-inf` when empty).
+    pub fn max(&self) -> f32 {
+        self.max as f32
+    }
+}
+
+/// Fixed-bin histogram over a closed range, used to reproduce the paper's
+/// Fig. 1 (activation distribution under bit-flip faults).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f32,
+    hi: f32,
+    counts: Vec<u64>,
+    below: u64,
+    above: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins spanning `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f32, hi: f32, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "histogram range must be non-empty");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            below: 0,
+            above: 0,
+            total: 0,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f32) {
+        self.total += 1;
+        if x < self.lo {
+            self.below += 1;
+        } else if x > self.hi {
+            self.above += 1;
+        } else {
+            let frac = (x - self.lo) / (self.hi - self.lo);
+            let bin = ((frac * self.counts.len() as f32) as usize).min(self.counts.len() - 1);
+            self.counts[bin] += 1;
+        }
+    }
+
+    /// Adds every element of a slice.
+    pub fn extend_from_slice(&mut self, xs: &[f32]) {
+        for &x in xs {
+            self.push(x);
+        }
+    }
+
+    /// Raw bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Bin centres, matching [`Histogram::counts`].
+    pub fn bin_centers(&self) -> Vec<f32> {
+        let width = (self.hi - self.lo) / self.counts.len() as f32;
+        (0..self.counts.len())
+            .map(|i| self.lo + width * (i as f32 + 0.5))
+            .collect()
+    }
+
+    /// Normalized probability density per bin (integrates to ≤ 1; outliers
+    /// below/above the range are excluded).
+    pub fn density(&self) -> Vec<f32> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        let width = (self.hi - self.lo) / self.counts.len() as f32;
+        self.counts
+            .iter()
+            .map(|&c| c as f32 / (self.total as f32 * width))
+            .collect()
+    }
+
+    /// Total number of observations pushed (including out-of-range ones).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Observations below the histogram range.
+    pub fn underflow(&self) -> u64 {
+        self.below
+    }
+
+    /// Observations above the histogram range.
+    pub fn overflow(&self) -> u64 {
+        self.above
+    }
+}
+
+/// Computes the `q`-quantile (0 ≤ q ≤ 1) of a slice by sorting a copy.
+/// Returns `None` for an empty slice.
+pub fn quantile(xs: &[f32], q: f32) -> Option<f32> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f32> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f32;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f32;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_stats_matches_closed_form() {
+        let xs = [2.0f32, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = RunningStats::new();
+        s.extend_from_slice(&xs);
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-6);
+        assert!((s.std() - 2.0).abs() < 1e-6);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn running_stats_empty_and_single() {
+        let s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        let mut s = RunningStats::new();
+        s.push(3.0);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.std(), 0.0);
+    }
+
+    #[test]
+    fn histogram_bins_and_outliers() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.extend_from_slice(&[0.5, 1.5, 1.6, 9.99, 10.0, -3.0, 42.0]);
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[1], 2);
+        assert_eq!(h.counts()[9], 2); // 9.99 and the boundary value 10.0
+        let centers = h.bin_centers();
+        assert!((centers[0] - 0.5).abs() < 1e-6);
+        assert!((centers[9] - 9.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn histogram_density_normalizes() {
+        let mut h = Histogram::new(-1.0, 1.0, 20);
+        for i in 0..1000 {
+            h.push(-1.0 + 2.0 * (i as f32 / 999.0));
+        }
+        let width = 2.0 / 20.0;
+        let integral: f32 = h.density().iter().map(|d| d * width).sum();
+        assert!((integral - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn histogram_rejects_empty_range() {
+        let _ = Histogram::new(1.0, 1.0, 4);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [1.0f32, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(quantile(&xs, 1.0), Some(4.0));
+        assert_eq!(quantile(&xs, 0.5), Some(2.5));
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+}

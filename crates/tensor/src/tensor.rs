@@ -1,0 +1,688 @@
+//! The owned, contiguous, row-major `f32` tensor type.
+
+use crate::error::TensorError;
+use crate::rng::Rng;
+use crate::shape::Shape;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// An owned N-dimensional array of `f32` values stored contiguously in
+/// row-major order.
+///
+/// `Tensor` intentionally has no view/stride machinery: every tensor owns its
+/// buffer and is contiguous, which keeps the layer implementations in
+/// `invnorm-nn` simple to reason about (important for hand-written backward
+/// passes) at the cost of some extra copies.
+///
+/// # Example
+///
+/// ```
+/// use invnorm_tensor::Tensor;
+///
+/// # fn main() -> Result<(), invnorm_tensor::TensorError> {
+/// let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3])?;
+/// let doubled = x.scale(2.0);
+/// assert_eq!(doubled.get(&[1, 2])?, 12.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Shape,
+}
+
+impl Tensor {
+    // ----------------------------------------------------------------- ctors
+
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        Self {
+            data: vec![0.0; shape.numel()],
+            shape,
+        }
+    }
+
+    /// Creates a tensor filled with ones.
+    pub fn ones(dims: &[usize]) -> Self {
+        Self::full(dims, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        Self {
+            data: vec![value; shape.numel()],
+            shape,
+        }
+    }
+
+    /// Creates a tensor from a flat buffer and a shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeDataMismatch`] when `data.len()` does not
+    /// equal the number of elements implied by `dims`.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self> {
+        let shape = Shape::new(dims);
+        if shape.numel() != data.len() {
+            return Err(TensorError::ShapeDataMismatch {
+                expected: shape.numel(),
+                actual: data.len(),
+            });
+        }
+        Ok(Self { data, shape })
+    }
+
+    /// Creates a rank-1 tensor from a slice.
+    pub fn from_slice(data: &[f32]) -> Self {
+        Self {
+            data: data.to_vec(),
+            shape: Shape::new(&[data.len()]),
+        }
+    }
+
+    /// Creates a rank-0 (scalar) tensor.
+    pub fn scalar(value: f32) -> Self {
+        Self {
+            data: vec![value],
+            shape: Shape::new(&[]),
+        }
+    }
+
+    /// Creates a tensor with elements drawn from `N(mean, std)`.
+    pub fn randn(dims: &[usize], mean: f32, std: f32, rng: &mut Rng) -> Self {
+        let shape = Shape::new(dims);
+        let data = rng.normal_vec(shape.numel(), mean, std);
+        Self { data, shape }
+    }
+
+    /// Creates a tensor with elements drawn uniformly from `[lo, hi)`.
+    pub fn rand_uniform(dims: &[usize], lo: f32, hi: f32, rng: &mut Rng) -> Self {
+        let shape = Shape::new(dims);
+        let data = rng.uniform_vec(shape.numel(), lo, hi);
+        Self { data, shape }
+    }
+
+    /// Creates a rank-1 tensor containing `n` evenly spaced values from `start`
+    /// to `end` inclusive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn linspace(start: f32, end: f32, n: usize) -> Self {
+        assert!(n > 0, "linspace needs at least one point");
+        if n == 1 {
+            return Self::from_slice(&[start]);
+        }
+        let step = (end - start) / (n - 1) as f32;
+        let data = (0..n).map(|i| start + step * i as f32).collect();
+        Self {
+            data,
+            shape: Shape::new(&[n]),
+        }
+    }
+
+    // ------------------------------------------------------------- accessors
+
+    /// The underlying flat buffer (row-major).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying flat buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its flat buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// The tensor shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The dimension extents as a slice.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// Reads the element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the index is out of bounds or has the wrong rank.
+    pub fn get(&self, index: &[usize]) -> Result<f32> {
+        let off = self.shape.offset(index)?;
+        Ok(self.data[off])
+    }
+
+    /// Writes the element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the index is out of bounds or has the wrong rank.
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<()> {
+        let off = self.shape.offset(index)?;
+        self.data[off] = value;
+        Ok(())
+    }
+
+    // --------------------------------------------------------------- reshape
+
+    /// Returns a copy of this tensor with a new shape containing the same
+    /// number of elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeDataMismatch`] if the element counts differ.
+    pub fn reshape(&self, dims: &[usize]) -> Result<Tensor> {
+        let shape = Shape::new(dims);
+        if shape.numel() != self.data.len() {
+            return Err(TensorError::ShapeDataMismatch {
+                expected: shape.numel(),
+                actual: self.data.len(),
+            });
+        }
+        Ok(Tensor {
+            data: self.data.clone(),
+            shape,
+        })
+    }
+
+    /// Flattens to a rank-1 tensor.
+    pub fn flatten(&self) -> Tensor {
+        Tensor {
+            data: self.data.clone(),
+            shape: Shape::new(&[self.data.len()]),
+        }
+    }
+
+    // ---------------------------------------------------------- element-wise
+
+    /// Applies `f` to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Combines two same-shaped tensors element-wise with `f`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when the shapes differ.
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+        if !self.shape.same_as(&other.shape) {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        Ok(Tensor {
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+            shape: self.shape.clone(),
+        })
+    }
+
+    /// Element-wise addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the shapes differ.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Element-wise subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the shapes differ.
+    pub fn sub(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Element-wise multiplication (Hadamard product).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the shapes differ.
+    pub fn mul(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Element-wise division.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the shapes differ.
+    pub fn div(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_map(other, |a, b| a / b)
+    }
+
+    /// Adds `other` into `self` in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the shapes differ.
+    pub fn add_assign(&mut self, other: &Tensor) -> Result<()> {
+        if !self.shape.same_as(&other.shape) {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// Accumulates `alpha * other` into `self` in place (axpy).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the shapes differ.
+    pub fn add_scaled(&mut self, other: &Tensor, alpha: f32) -> Result<()> {
+        if !self.shape.same_as(&other.shape) {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Multiplies every element by `factor`, returning a new tensor.
+    pub fn scale(&self, factor: f32) -> Tensor {
+        self.map(|x| x * factor)
+    }
+
+    /// Adds `offset` to every element, returning a new tensor.
+    pub fn shift(&self, offset: f32) -> Tensor {
+        self.map(|x| x + offset)
+    }
+
+    /// Clamps every element to `[lo, hi]`, returning a new tensor.
+    pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
+        self.map(|x| x.clamp(lo, hi))
+    }
+
+    /// Element-wise absolute value.
+    pub fn abs(&self) -> Tensor {
+        self.map(f32::abs)
+    }
+
+    /// Sets every element to `value`.
+    pub fn fill(&mut self, value: f32) {
+        for x in &mut self.data {
+            *x = value;
+        }
+    }
+
+    // ------------------------------------------------------------ reductions
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for the empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Population variance of all elements (0 for the empty tensor).
+    pub fn variance(&self) -> f32 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let mean = self.mean();
+        self.data.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / self.data.len() as f32
+    }
+
+    /// Standard deviation of all elements.
+    pub fn std(&self) -> f32 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum element (`+inf` for the empty tensor).
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Maximum element (`-inf` for the empty tensor).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Index of the maximum element in the flat buffer (0 for the empty
+    /// tensor).
+    pub fn argmax(&self) -> usize {
+        let mut best = 0usize;
+        let mut best_val = f32::NEG_INFINITY;
+        for (i, &x) in self.data.iter().enumerate() {
+            if x > best_val {
+                best_val = x;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Squared L2 norm of all elements.
+    pub fn sq_norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum()
+    }
+
+    // -------------------------------------------------------------- batching
+
+    /// Extracts the `i`-th slice along the first dimension as a tensor of rank
+    /// `rank - 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for rank-0 tensors or if `i` is out of range.
+    pub fn index_axis0(&self, i: usize) -> Result<Tensor> {
+        if self.rank() == 0 {
+            return Err(TensorError::RankMismatch {
+                expected: 1,
+                actual: 0,
+            });
+        }
+        let n = self.dims()[0];
+        if i >= n {
+            return Err(TensorError::AxisOutOfRange {
+                axis: 0,
+                rank: self.rank(),
+            });
+        }
+        let inner: usize = self.dims()[1..].iter().product();
+        let start = i * inner;
+        Ok(Tensor {
+            data: self.data[start..start + inner].to_vec(),
+            shape: Shape::new(&self.dims()[1..]),
+        })
+    }
+
+    /// Stacks rank-`r` tensors with identical shapes into a rank-`r+1` tensor
+    /// along a new leading axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `items` is empty or shapes differ.
+    pub fn stack(items: &[Tensor]) -> Result<Tensor> {
+        let first = items
+            .first()
+            .ok_or_else(|| TensorError::InvalidArgument("cannot stack zero tensors".into()))?;
+        let mut data = Vec::with_capacity(first.numel() * items.len());
+        for t in items {
+            if !t.shape.same_as(&first.shape) {
+                return Err(TensorError::ShapeMismatch {
+                    lhs: first.dims().to_vec(),
+                    rhs: t.dims().to_vec(),
+                });
+            }
+            data.extend_from_slice(&t.data);
+        }
+        let mut dims = vec![items.len()];
+        dims.extend_from_slice(first.dims());
+        Tensor::from_vec(data, &dims)
+    }
+
+    /// Concatenates tensors along the first axis. All other dimensions must
+    /// match.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `items` is empty or trailing dimensions differ.
+    pub fn concat_axis0(items: &[Tensor]) -> Result<Tensor> {
+        let first = items
+            .first()
+            .ok_or_else(|| TensorError::InvalidArgument("cannot concat zero tensors".into()))?;
+        let tail = &first.dims()[1..];
+        let mut total = 0usize;
+        for t in items {
+            if t.rank() != first.rank() || &t.dims()[1..] != tail {
+                return Err(TensorError::ShapeMismatch {
+                    lhs: first.dims().to_vec(),
+                    rhs: t.dims().to_vec(),
+                });
+            }
+            total += t.dims()[0];
+        }
+        let mut data = Vec::with_capacity(total * tail.iter().product::<usize>());
+        for t in items {
+            data.extend_from_slice(&t.data);
+        }
+        let mut dims = vec![total];
+        dims.extend_from_slice(tail);
+        Tensor::from_vec(data, &dims)
+    }
+
+    // ----------------------------------------------------------------- tests
+
+    /// Returns `true` if every element differs from `other` by at most `tol`.
+    ///
+    /// Used heavily by the test suites; shape differences return `false`
+    /// rather than erroring so this can sit directly inside `assert!`.
+    pub fn approx_eq(&self, other: &Tensor, tol: f32) -> bool {
+        self.shape.same_as(&other.shape)
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// Returns `true` if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+}
+
+impl Default for Tensor {
+    fn default() -> Self {
+        Tensor::zeros(&[0])
+    }
+}
+
+impl std::fmt::Display for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tensor{} ", self.shape)?;
+        let preview: Vec<String> = self
+            .data
+            .iter()
+            .take(8)
+            .map(|x| format!("{x:.4}"))
+            .collect();
+        write!(f, "[{}{}]", preview.join(", "), if self.numel() > 8 { ", …" } else { "" })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = Tensor::zeros(&[2, 3]);
+        assert_eq!(t.numel(), 6);
+        assert_eq!(t.rank(), 2);
+        assert!(t.data().iter().all(|&x| x == 0.0));
+
+        let t = Tensor::full(&[4], 2.5);
+        assert!(t.data().iter().all(|&x| x == 2.5));
+
+        let t = Tensor::from_vec(vec![1.0, 2.0], &[3]);
+        assert!(matches!(t, Err(TensorError::ShapeDataMismatch { .. })));
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut t = Tensor::zeros(&[2, 2, 2]);
+        t.set(&[1, 0, 1], 7.0).unwrap();
+        assert_eq!(t.get(&[1, 0, 1]).unwrap(), 7.0);
+        assert_eq!(t.get(&[0, 0, 0]).unwrap(), 0.0);
+        assert!(t.get(&[2, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn elementwise_arithmetic() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        let b = Tensor::from_vec(vec![4.0, 5.0, 6.0], &[3]).unwrap();
+        assert_eq!(a.add(&b).unwrap().data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).unwrap().data(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).unwrap().data(), &[4.0, 10.0, 18.0]);
+        assert_eq!(b.div(&a).unwrap().data(), &[4.0, 2.5, 2.0]);
+
+        let c = Tensor::zeros(&[4]);
+        assert!(a.add(&c).is_err());
+    }
+
+    #[test]
+    fn scale_shift_clamp() {
+        let a = Tensor::from_vec(vec![-2.0, 0.5, 3.0], &[3]).unwrap();
+        assert_eq!(a.scale(2.0).data(), &[-4.0, 1.0, 6.0]);
+        assert_eq!(a.shift(1.0).data(), &[-1.0, 1.5, 4.0]);
+        assert_eq!(a.clamp(-1.0, 1.0).data(), &[-1.0, 0.5, 1.0]);
+        assert_eq!(a.abs().data(), &[2.0, 0.5, 3.0]);
+    }
+
+    #[test]
+    fn add_scaled_accumulates() {
+        let mut a = Tensor::ones(&[3]);
+        let g = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        a.add_scaled(&g, -0.5).unwrap();
+        assert_eq!(a.data(), &[0.5, 0.0, -0.5]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        assert_eq!(a.sum(), 10.0);
+        assert_eq!(a.mean(), 2.5);
+        assert!((a.variance() - 1.25).abs() < 1e-6);
+        assert_eq!(a.min(), 1.0);
+        assert_eq!(a.max(), 4.0);
+        assert_eq!(a.argmax(), 3);
+        assert_eq!(a.sq_norm(), 30.0);
+    }
+
+    #[test]
+    fn reshape_and_flatten() {
+        let a = Tensor::linspace(0.0, 5.0, 6);
+        let b = a.reshape(&[2, 3]).unwrap();
+        assert_eq!(b.dims(), &[2, 3]);
+        assert_eq!(b.flatten().dims(), &[6]);
+        assert!(a.reshape(&[4]).is_err());
+    }
+
+    #[test]
+    fn linspace_endpoints() {
+        let a = Tensor::linspace(-1.0, 1.0, 5);
+        assert_eq!(a.data(), &[-1.0, -0.5, 0.0, 0.5, 1.0]);
+        let single = Tensor::linspace(3.0, 9.0, 1);
+        assert_eq!(single.data(), &[3.0]);
+    }
+
+    #[test]
+    fn index_axis0_extracts_rows() {
+        let a = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[3, 4]).unwrap();
+        let row1 = a.index_axis0(1).unwrap();
+        assert_eq!(row1.dims(), &[4]);
+        assert_eq!(row1.data(), &[4.0, 5.0, 6.0, 7.0]);
+        assert!(a.index_axis0(3).is_err());
+    }
+
+    #[test]
+    fn stack_and_concat() {
+        let a = Tensor::ones(&[2, 2]);
+        let b = Tensor::zeros(&[2, 2]);
+        let s = Tensor::stack(&[a.clone(), b.clone()]).unwrap();
+        assert_eq!(s.dims(), &[2, 2, 2]);
+        let c = Tensor::concat_axis0(&[a, b]).unwrap();
+        assert_eq!(c.dims(), &[4, 2]);
+        assert!(Tensor::stack(&[]).is_err());
+    }
+
+    #[test]
+    fn random_constructors_are_seeded() {
+        let mut r1 = Rng::seed_from(5);
+        let mut r2 = Rng::seed_from(5);
+        let a = Tensor::randn(&[10], 0.0, 1.0, &mut r1);
+        let b = Tensor::randn(&[10], 0.0, 1.0, &mut r2);
+        assert!(a.approx_eq(&b, 0.0));
+        let u = Tensor::rand_uniform(&[100], -1.0, 1.0, &mut r1);
+        assert!(u.min() >= -1.0 && u.max() < 1.0);
+    }
+
+    #[test]
+    fn approx_eq_and_non_finite() {
+        let a = Tensor::ones(&[3]);
+        let b = Tensor::from_vec(vec![1.0, 1.0001, 0.9999], &[3]).unwrap();
+        assert!(a.approx_eq(&b, 1e-3));
+        assert!(!a.approx_eq(&b, 1e-6));
+        let mut c = Tensor::ones(&[2]);
+        assert!(!c.has_non_finite());
+        c.data_mut()[0] = f32::NAN;
+        assert!(c.has_non_finite());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let t = Tensor::linspace(0.0, 1.0, 20);
+        let s = format!("{t}");
+        assert!(s.contains("Tensor"));
+        assert!(s.contains('…'));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = Tensor::linspace(0.0, 1.0, 4).reshape(&[2, 2]).unwrap();
+        let json = serde_json_like(&t);
+        assert!(json.contains("data"));
+    }
+
+    // serde_json is not a dependency; just make sure Serialize is derivable by
+    // serializing into a simple custom serializer (here: debug formatting of
+    // the serde-ready struct stands in for a full round-trip).
+    fn serde_json_like(t: &Tensor) -> String {
+        format!("data={:?} shape={:?}", t.data(), t.dims())
+    }
+}

@@ -1,0 +1,98 @@
+//! A full fault-robustness sweep on the audio task (the paper's Fig. 6a
+//! scenario): accuracy of every method variant as a function of additive
+//! conductance variation, printed as a small text table.
+//!
+//! Run with `cargo run --release --example fault_robustness_sweep`.
+
+use invnorm::prelude::*;
+use invnorm_datasets::audio::{self, AudioDatasetConfig};
+use invnorm_models::m5::{self, M5NetConfig};
+use invnorm_nn::train::{fit_classifier, TrainConfig};
+use invnorm_quant::fake_quant::quantize_layer_weights;
+
+fn main() -> Result<(), NnError> {
+    let split = audio::generate(&AudioDatasetConfig {
+        classes: 6,
+        length: 128,
+        train_per_class: 24,
+        test_per_class: 8,
+        ..AudioDatasetConfig::default()
+    });
+
+    let variants = [
+        NormVariant::Conventional,
+        NormVariant::SpinDrop { p: 0.3 },
+        NormVariant::SpatialSpinDrop { p: 0.3 },
+        NormVariant::proposed(),
+    ];
+    let sigmas = [0.0f32, 0.2, 0.4, 0.6, 0.8];
+
+    // Train one 8-bit M5 model per variant.
+    let mut models = Vec::new();
+    for variant in variants {
+        let mut model = m5::build(
+            &M5NetConfig {
+                classes: split.classes,
+                base_channels: 8,
+                seed: 21,
+            },
+            variant,
+        )?;
+        let mut optimizer = Adam::new(0.01);
+        fit_classifier(
+            &mut model,
+            &mut optimizer,
+            &split.train_inputs,
+            &split.train_labels,
+            &TrainConfig {
+                epochs: 10,
+                batch_size: 16,
+                ..TrainConfig::default()
+            },
+        )?;
+        let quant = model.quant;
+        quantize_layer_weights(&mut model, &quant)?;
+        models.push(model);
+    }
+
+    // Sweep additive conductance variation, 15 Monte-Carlo chips per point.
+    println!("accuracy (%) under additive conductance variation, synthetic speech commands");
+    print!("{:>6}", "σ");
+    for variant in variants {
+        print!(" {:>16}", variant.label());
+    }
+    println!();
+    for &sigma in &sigmas {
+        print!("{sigma:>6.2}");
+        for model in models.iter_mut() {
+            let accuracy = if sigma == 0.0 {
+                evaluate(model, &split)?
+            } else {
+                let engine = MonteCarloEngine::new(15, 3);
+                let split_ref = &split;
+                engine
+                    .run(model, FaultModel::AdditiveVariation { sigma }, |network| {
+                        let passes = 6;
+                        BayesianPredictor::new(passes)
+                            .predict_classification(network, &split_ref.test_inputs)?
+                            .accuracy(&split_ref.test_labels)
+                    })?
+                    .mean
+            };
+            print!(" {:>16.2}", 100.0 * accuracy);
+        }
+        println!();
+    }
+    println!("\nExpected shape: the Proposed column stays high the longest as σ grows.");
+    Ok(())
+}
+
+fn evaluate(
+    model: &mut BuiltModel,
+    split: &invnorm_datasets::ClassificationSplit,
+) -> Result<f32, NnError> {
+    let passes = if model.variant.is_bayesian() { 10 } else { 1 };
+    BayesianPredictor::new(passes)
+        .predict_classification(model, &split.test_inputs)?
+        .accuracy(&split.test_labels)
+}

@@ -1,0 +1,85 @@
+//! Autoregressive CO₂ forecasting with the two-layer LSTM (the paper's
+//! Mauna-Loa scenario, W/A = 8/8): train the proposed and conventional
+//! variants, compare clean RMSE and RMSE under multiplicative conductance
+//! variation, and show the predictive uncertainty of the Bayesian model.
+//!
+//! Run with `cargo run --release --example timeseries_forecast`.
+
+use invnorm::prelude::*;
+use invnorm_datasets::timeseries::{self, Co2DatasetConfig};
+use invnorm_models::lstm::{self, LstmForecasterConfig};
+use invnorm_nn::train::{fit_regressor, TrainConfig};
+use invnorm_quant::fake_quant::quantize_layer_weights;
+
+fn main() -> Result<(), NnError> {
+    let (split, series) = timeseries::generate(&Co2DatasetConfig {
+        months: 360,
+        window: 12,
+        ..Co2DatasetConfig::default()
+    });
+    println!(
+        "synthetic Keeling curve: {} months, {} train / {} test windows (mean {:.1} ppm)",
+        series.values.len(),
+        split.train_len(),
+        split.test_len(),
+        series.mean
+    );
+
+    for variant in [NormVariant::Conventional, NormVariant::proposed()] {
+        let mut model = lstm::build(
+            &LstmForecasterConfig {
+                input_features: 1,
+                hidden: 16,
+                seed: 77,
+            },
+            variant,
+        )?;
+        let mut optimizer = Adam::new(0.01);
+        fit_regressor(
+            &mut model,
+            &mut optimizer,
+            &split.train_inputs,
+            &split.train_targets,
+            &TrainConfig {
+                epochs: 15,
+                batch_size: 16,
+                ..TrainConfig::default()
+            },
+        )?;
+        let quant = model.quant;
+        quantize_layer_weights(&mut model, &quant)?;
+
+        let passes = if variant.is_bayesian() { 16 } else { 1 };
+        let prediction =
+            BayesianPredictor::new(passes).predict_regression(&mut model, &split.test_inputs)?;
+        println!(
+            "\n[{}] clean test RMSE: {:.4} (normalized), mean predictive std: {:.4}",
+            variant.label(),
+            prediction.rmse(&split.test_targets)?,
+            prediction.mean_uncertainty()
+        );
+
+        // Robustness to multiplicative conductance variation (Fig. 6b, right).
+        for sigma in [0.2f32, 0.4, 0.6] {
+            let engine = MonteCarloEngine::new(15, 9);
+            let split_ref = &split;
+            let summary = engine.run(
+                &mut model,
+                FaultModel::MultiplicativeVariation { sigma },
+                |network| {
+                    BayesianPredictor::new(passes)
+                        .predict_regression(network, &split_ref.test_inputs)?
+                        .rmse(&split_ref.test_targets)
+                },
+            )?;
+            println!(
+                "[{}] RMSE under multiplicative variation σ={sigma:.1}: {:.4} ± {:.4}",
+                variant.label(),
+                summary.mean,
+                summary.std
+            );
+        }
+    }
+    println!("\nExpected shape: the Proposed variant's RMSE grows far more slowly with σ.");
+    Ok(())
+}

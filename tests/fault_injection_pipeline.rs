@@ -1,0 +1,250 @@
+//! Cross-crate integration tests of the fault-injection and uncertainty
+//! pipeline: quantization → crossbar/fault models → Monte-Carlo simulation →
+//! Bayesian metrics, exercised through the public API of the umbrella crate.
+
+use invnorm::prelude::*;
+use invnorm_imc::crossbar::{CrossbarArray, CrossbarConfig};
+use invnorm_nn::activation::Relu;
+use invnorm_nn::train::{fit_classifier, TrainConfig};
+use invnorm_quant::fake_quant::quantize_layer_weights;
+use invnorm_tensor::ops;
+
+/// Builds and trains a small stochastic classifier on separable blobs.
+fn trained_classifier(rng: &mut Rng) -> (Sequential, Tensor, Vec<usize>) {
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for class in 0..3usize {
+        let center = class as f32 * 2.0 - 2.0;
+        for _ in 0..30 {
+            rows.push(Tensor::randn(&[6], center, 0.5, rng));
+            labels.push(class);
+        }
+    }
+    let inputs = Tensor::stack(&rows).unwrap();
+    let mut net = Sequential::new();
+    net.push(Box::new(Linear::new(6, 24, rng)));
+    net.push(Box::new(
+        InvertedNorm::new(24, &InvNormConfig::default(), rng).unwrap(),
+    ));
+    net.push(Box::new(Relu::new()));
+    net.push(Box::new(Linear::new(24, 3, rng)));
+    let mut optimizer = Adam::new(0.02);
+    fit_classifier(
+        &mut net,
+        &mut optimizer,
+        &inputs,
+        &labels,
+        &TrainConfig {
+            epochs: 25,
+            batch_size: 16,
+            ..TrainConfig::default()
+        },
+    )
+    .unwrap();
+    (net, inputs, labels)
+}
+
+#[test]
+fn accuracy_degrades_monotonically_in_expectation_with_fault_strength() {
+    let mut rng = Rng::seed_from(10);
+    let (mut net, inputs, labels) = trained_classifier(&mut rng);
+    let engine = MonteCarloEngine::new(15, 3);
+    let mut means = Vec::new();
+    for sigma in [0.0f32, 0.3, 1.0, 2.5] {
+        let inputs_ref = &inputs;
+        let labels_ref = &labels;
+        let summary = engine
+            .run(&mut net, FaultModel::AdditiveVariation { sigma }, |n| {
+                BayesianPredictor::new(6)
+                    .predict_classification(n, inputs_ref)?
+                    .accuracy(labels_ref)
+            })
+            .unwrap();
+        means.push(summary.mean);
+    }
+    // Clean accuracy is high; the strongest fault clearly hurts.
+    assert!(means[0] > 0.9, "clean accuracy {means:?}");
+    assert!(
+        means[3] < means[0],
+        "very strong faults must reduce accuracy: {means:?}"
+    );
+}
+
+#[test]
+fn bit_flips_on_quantized_weights_round_trip_through_injection() {
+    let mut rng = Rng::seed_from(11);
+    let (mut net, inputs, _labels) = trained_classifier(&mut rng);
+    // Quantize to 8 bits as deployed, then check inject/restore invariants.
+    let touched = quantize_layer_weights(&mut net, &QuantConfig::int8()).unwrap();
+    assert!(touched > 0);
+    let _ = &inputs;
+    // The network contains stochastic (affine-dropout) layers, so compare the
+    // parameter values themselves rather than forward outputs.
+    let weights_of = |net: &mut Sequential| {
+        let mut v = Vec::new();
+        net.visit_params(&mut |p| v.extend_from_slice(p.value.data()));
+        v
+    };
+    let clean_weights = weights_of(&mut net);
+
+    let mut injector = WeightFaultInjector::new(FaultModel::BitFlip { rate: 0.2, bits: 8 });
+    injector.inject(&mut net, &mut rng).unwrap();
+    let faulty_weights = weights_of(&mut net);
+    injector.restore(&mut net).unwrap();
+    let restored_weights = weights_of(&mut net);
+
+    assert_ne!(clean_weights, faulty_weights);
+    assert_eq!(clean_weights, restored_weights);
+}
+
+#[test]
+fn uncertainty_rises_under_distribution_shift() {
+    let mut rng = Rng::seed_from(12);
+    let (mut net, inputs, labels) = trained_classifier(&mut rng);
+    let predictor = BayesianPredictor::new(12);
+    let id = predictor.predict_classification(&mut net, &inputs).unwrap();
+    let detector = OodDetector::calibrate(&id, &labels).unwrap();
+
+    // Shift the inputs far outside the training distribution.
+    let shifted = inputs.shift(6.0);
+    let ood = predictor.predict_classification(&mut net, &shifted).unwrap();
+    assert!(
+        ood.nll(&labels).unwrap() > id.nll(&labels).unwrap(),
+        "NLL should increase on shifted data"
+    );
+    let detection = detector.detection_rate_for(&ood, &labels).unwrap();
+    let false_positives = detector.detection_rate_for(&id, &labels).unwrap();
+    assert!(
+        detection > false_positives,
+        "OOD detection rate ({detection}) should exceed the ID false-positive rate ({false_positives})"
+    );
+}
+
+#[test]
+fn crossbar_deployment_approximates_digital_layer() {
+    let mut rng = Rng::seed_from(13);
+    // Program a trained Linear layer's weights into the crossbar model and
+    // compare the analog MVM against the digital computation.
+    let weights = Tensor::randn(&[12, 8], 0.0, 0.4, &mut rng);
+    let inputs = Tensor::randn(&[5, 12], 0.0, 1.0, &mut rng);
+    let digital = ops::matmul(&inputs, &weights).unwrap();
+
+    let ideal = CrossbarArray::program(
+        &weights,
+        CrossbarConfig {
+            conductance_levels: 256,
+            dac_bits: 12,
+            adc_bits: 12,
+            programming_sigma: 0.0,
+            ..CrossbarConfig::default()
+        },
+        &mut rng,
+    )
+    .unwrap();
+    let analog = ideal.matvec(&inputs).unwrap();
+    let relative_error = analog.sub(&digital).unwrap().abs().mean() / digital.abs().mean();
+    assert!(
+        relative_error < 0.05,
+        "ideal crossbar should track the digital MVM, relative error {relative_error}"
+    );
+
+    // Programming variation degrades the match — the effect the fault models
+    // abstract.
+    let noisy = CrossbarArray::program(
+        &weights,
+        CrossbarConfig {
+            conductance_levels: 256,
+            dac_bits: 12,
+            adc_bits: 12,
+            programming_sigma: 0.4,
+            ..CrossbarConfig::default()
+        },
+        &mut rng,
+    )
+    .unwrap();
+    let noisy_out = noisy.matvec(&inputs).unwrap();
+    let noisy_error = noisy_out.sub(&digital).unwrap().abs().mean() / digital.abs().mean();
+    assert!(noisy_error > relative_error);
+}
+
+#[test]
+fn proposed_layer_is_more_robust_than_batchnorm_to_weighted_sum_shift() {
+    // Mechanism-level integration check of the paper's core claim: with the
+    // same classifier head, a network whose normalization is the proposed
+    // inverted norm recovers from a global shift/scale of its input features,
+    // while a BatchNorm network using frozen running statistics does not.
+    let mut rng = Rng::seed_from(14);
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    // The class signal is a *pattern across features* (first half high /
+    // second half low, or the reverse), not a per-sample mean offset, so the
+    // per-instance normalization of the inverted-norm layer preserves it.
+    for class in 0..2usize {
+        for _ in 0..40 {
+            let mut features = [0.0f32; 8];
+            for (j, f) in features.iter_mut().enumerate() {
+                let sign = if (j < 4) == (class == 0) { 1.0 } else { -1.0 };
+                *f = sign + rng.normal(0.0, 0.3);
+            }
+            rows.push(Tensor::from_slice(&features));
+            labels.push(class);
+        }
+    }
+    let inputs = Tensor::stack(&rows).unwrap();
+
+    let build_and_train = |use_inverted: bool, rng: &mut Rng| -> Sequential {
+        let mut net = Sequential::new();
+        if use_inverted {
+            // Deterministic configuration isolates the *mechanism* under test
+            // (affine-before-per-instance-normalization) from the stochastic
+            // dropout and random initialization.
+            let config = InvNormConfig {
+                drop_probability: 0.0,
+                stochastic_eval: false,
+                init: AffineInit::Conventional,
+                ..InvNormConfig::default()
+            };
+            net.push(Box::new(InvertedNorm::new(8, &config, rng).unwrap()));
+        } else {
+            net.push(Box::new(invnorm_nn::norm::BatchNorm::new(8)));
+        }
+        net.push(Box::new(Linear::new(8, 2, rng)));
+        let mut optimizer = Adam::new(0.05);
+        fit_classifier(
+            &mut net,
+            &mut optimizer,
+            &inputs,
+            &labels,
+            &TrainConfig {
+                epochs: 20,
+                batch_size: 16,
+                ..TrainConfig::default()
+            },
+        )
+        .unwrap();
+        net
+    };
+
+    let mut inverted = build_and_train(true, &mut rng);
+    let mut batchnorm = build_and_train(false, &mut rng);
+
+    // Simulate a fault-induced shift of the weighted sum: scale + offset.
+    let shifted = inputs.scale(3.0).shift(4.0);
+    let accuracy = |net: &mut Sequential, x: &Tensor| {
+        BayesianPredictor::new(8)
+            .predict_classification(net, x)
+            .unwrap()
+            .accuracy(&labels)
+            .unwrap()
+    };
+    let inverted_shifted = accuracy(&mut inverted, &shifted);
+    let batchnorm_shifted = accuracy(&mut batchnorm, &shifted);
+    assert!(
+        inverted_shifted >= batchnorm_shifted,
+        "inverted norm ({inverted_shifted}) should tolerate the shift at least as well as BatchNorm ({batchnorm_shifted})"
+    );
+    assert!(
+        inverted_shifted > 0.9,
+        "inverted norm should fully recover from an affine shift, got {inverted_shifted}"
+    );
+}

@@ -1,0 +1,124 @@
+//! Integration tests for reproducibility guarantees and checkpointing:
+//! identical seeds must give identical datasets, models, training
+//! trajectories and Monte-Carlo fault simulations, and checkpoints must move
+//! trained weights between independently built model instances.
+
+use invnorm::prelude::*;
+use invnorm_datasets::images::{self, ImageDatasetConfig};
+use invnorm_models::resnet::{self, MicroResNetConfig};
+use invnorm_nn::checkpoint;
+use invnorm_nn::train::{fit_classifier, TrainConfig};
+
+fn dataset() -> invnorm_datasets::ClassificationSplit {
+    images::generate(&ImageDatasetConfig {
+        classes: 3,
+        size: 12,
+        train_per_class: 10,
+        test_per_class: 4,
+        ..ImageDatasetConfig::default()
+    })
+}
+
+fn model_config() -> MicroResNetConfig {
+    MicroResNetConfig {
+        in_channels: 3,
+        classes: 3,
+        base_channels: 8,
+        binary_activations: false,
+        seed: 77,
+    }
+}
+
+fn train(split: &invnorm_datasets::ClassificationSplit, epochs: usize) -> BuiltModel {
+    let mut model = resnet::build(&model_config(), NormVariant::Conventional).unwrap();
+    let mut optimizer = Adam::new(0.01);
+    fit_classifier(
+        &mut model,
+        &mut optimizer,
+        &split.train_inputs,
+        &split.train_labels,
+        &TrainConfig {
+            epochs,
+            batch_size: 8,
+            shuffle: true,
+            seed: 5,
+        },
+    )
+    .unwrap();
+    model
+}
+
+#[test]
+fn identical_seeds_give_identical_training_trajectories() {
+    let split = dataset();
+    let mut a = train(&split, 3);
+    let mut b = train(&split, 3);
+    let out_a = a.forward(&split.test_inputs, Mode::Eval).unwrap();
+    let out_b = b.forward(&split.test_inputs, Mode::Eval).unwrap();
+    assert!(
+        out_a.approx_eq(&out_b, 1e-6),
+        "same seeds must reproduce the same trained network"
+    );
+}
+
+#[test]
+fn monte_carlo_fault_simulation_is_reproducible() {
+    let split = dataset();
+    let mut model = train(&split, 2);
+    let run = |model: &mut BuiltModel| {
+        MonteCarloEngine::new(6, 99)
+            .run(model, FaultModel::BitFlip { rate: 0.1, bits: 8 }, |net| {
+                Ok(net.forward(&split.test_inputs, Mode::Eval)?.mean())
+            })
+            .unwrap()
+            .per_run
+    };
+    let first = run(&mut model);
+    let second = run(&mut model);
+    assert_eq!(first, second, "same engine seed must replay the same faults");
+}
+
+#[test]
+fn checkpoint_transfers_trained_weights_between_instances() {
+    let split = dataset();
+    let mut trained = train(&split, 3);
+    // Compare in Train mode: BatchNorm then normalizes with the (deterministic)
+    // statistics of the evaluation batch itself, so the comparison depends only
+    // on the learnable parameters a checkpoint carries (running statistics are
+    // not part of the checkpoint by design).
+    let reference = trained.forward(&split.test_inputs, Mode::Train).unwrap();
+    let snapshot = checkpoint::save(&mut trained);
+
+    // A freshly built (untrained) model behaves differently until the
+    // checkpoint is loaded into it.
+    let mut fresh = resnet::build(&model_config(), NormVariant::Conventional).unwrap();
+    let before = fresh.forward(&split.test_inputs, Mode::Train).unwrap();
+    assert!(!before.approx_eq(&reference, 1e-4));
+    checkpoint::load(&mut fresh, &snapshot).unwrap();
+    let after = fresh.forward(&split.test_inputs, Mode::Train).unwrap();
+    assert!(after.approx_eq(&reference, 1e-4));
+
+    // Byte round trip preserves behaviour too.
+    let parsed = invnorm_nn::checkpoint::Checkpoint::from_bytes(&snapshot.to_bytes()).unwrap();
+    let mut another = resnet::build(&model_config(), NormVariant::Conventional).unwrap();
+    checkpoint::load(&mut another, &parsed).unwrap();
+    let again = another.forward(&split.test_inputs, Mode::Train).unwrap();
+    assert!(again.approx_eq(&reference, 1e-4));
+}
+
+#[test]
+fn checkpoint_rejects_architecturally_different_model() {
+    let split = dataset();
+    let mut trained = train(&split, 1);
+    let snapshot = checkpoint::save(&mut trained);
+    // Different base width → different parameter shapes → load must fail.
+    let mut wider = resnet::build(
+        &MicroResNetConfig {
+            base_channels: 16,
+            ..model_config()
+        },
+        NormVariant::Conventional,
+    )
+    .unwrap();
+    assert!(checkpoint::load(&mut wider, &snapshot).is_err());
+}
