@@ -1,21 +1,82 @@
-//! Micro-benchmarks of the building blocks: inverted normalization vs batch
-//! normalization forward passes, Monte-Carlo Bayesian inference, and the
-//! crossbar analog matrix-vector product.
+//! Micro-benchmarks of the building blocks: the blocked GEMM compute core
+//! against the retained naive reference, the zero-alloc conv path, inverted
+//! normalization vs batch normalization forward passes, Monte-Carlo Bayesian
+//! inference, and the crossbar analog matrix-vector product.
+//!
+//! Results are written to `BENCH_layer_throughput.json` at the workspace
+//! root (see the README's "Benchmarks" section); the `gemm_*` /
+//! `naive_gemm_*` pairs are the numbers that track the speedup of the
+//! blocked kernel across PRs.
 use criterion::{criterion_group, criterion_main, Criterion};
 use invnorm_core::bayesian::BayesianPredictor;
 use invnorm_core::{InvNormConfig, InvertedNorm};
 use invnorm_imc::crossbar::{CrossbarArray, CrossbarConfig};
+use invnorm_nn::conv::Conv2d;
 use invnorm_nn::layer::{Layer, Mode};
 use invnorm_nn::linear::Linear;
 use invnorm_nn::norm::BatchNorm;
 use invnorm_nn::Sequential;
 use invnorm_tensor::{ops, Rng, Tensor};
 
+/// Square-GEMM sizes the blocked kernel is tracked on. 256 is the
+/// acceptance-criterion size; 64/512 bracket it to expose cache-regime
+/// behavior.
+const GEMM_SIZES: [usize; 3] = [64, 256, 512];
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(42);
+    let mut group = c.benchmark_group("layer_throughput");
+    group.sample_size(10);
+
+    for &size in &GEMM_SIZES {
+        let a = Tensor::randn(&[size, size], 0.0, 1.0, &mut rng);
+        let b = Tensor::randn(&[size, size], 0.0, 1.0, &mut rng);
+        group.bench_function(format!("gemm_{size}x{size}x{size}"), |bch| {
+            bch.iter(|| ops::matmul(&a, &b).unwrap().sum())
+        });
+        group.bench_function(format!("naive_gemm_{size}x{size}x{size}"), |bch| {
+            bch.iter(|| ops::reference::matmul(&a, &b).unwrap().sum())
+        });
+    }
+
+    // The transposed-product form used by Linear forward and the backward
+    // passes, at a typical layer shape.
+    let x = Tensor::randn(&[64, 512], 0.0, 1.0, &mut rng);
+    let w = Tensor::randn(&[256, 512], 0.0, 1.0, &mut rng);
+    group.bench_function("gemm_a_bt_64x512_512x256", |bch| {
+        bch.iter(|| ops::matmul_a_bt(&x, &w).unwrap().sum())
+    });
+    group.bench_function("naive_gemm_a_bt_64x512_512x256", |bch| {
+        bch.iter(|| ops::reference::matmul_a_bt(&x, &w).unwrap().sum())
+    });
+
+    // Conv forward: the zero-alloc Eval path (scratch-reusing im2col + blocked
+    // GEMM) against an im2col + naive-matmul composition.
+    let conv_input = Tensor::randn(&[4, 16, 32, 32], 0.0, 1.0, &mut rng);
+    let mut conv = Conv2d::new(16, 32, 3, 1, 1, &mut rng);
+    group.bench_function("conv2d_forward_eval_16to32_32x32", |bch| {
+        bch.iter(|| conv.forward(&conv_input, Mode::Eval).unwrap().sum())
+    });
+    let conv_weight = conv.weight().value.clone();
+    let weight_mat = conv_weight.reshape(&[32, 16 * 3 * 3]).unwrap();
+    let spec = *conv.spec();
+    group.bench_function("naive_conv2d_forward_16to32_32x32", |bch| {
+        bch.iter(|| {
+            let cols = invnorm_tensor::conv::im2col(&conv_input, &spec).unwrap();
+            ops::reference::matmul_a_bt(&cols, &weight_mat)
+                .unwrap()
+                .sum()
+        })
+    });
+
+    group.finish();
+}
+
 fn bench_layers(c: &mut Criterion) {
     let mut rng = Rng::seed_from(0);
     let x = Tensor::randn(&[8, 32, 16, 16], 0.0, 1.0, &mut rng);
 
-    let mut group = c.benchmark_group("layer_throughput");
+    let mut group = c.benchmark_group("layer_forward");
     group.sample_size(20);
 
     let mut inverted = InvertedNorm::new(32, &InvNormConfig::default(), &mut rng).unwrap();
@@ -45,7 +106,7 @@ fn bench_layers(c: &mut Criterion) {
         })
     });
 
-    // Crossbar analog MVM vs the dense reference.
+    // Crossbar analog MVM vs the dense path.
     let weights = Tensor::randn(&[64, 64], 0.0, 0.5, &mut rng);
     let array = CrossbarArray::program(&weights, CrossbarConfig::default(), &mut rng).unwrap();
     let batch = Tensor::randn(&[16, 64], 0.0, 1.0, &mut rng);
@@ -59,5 +120,5 @@ fn bench_layers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_layers);
+criterion_group!(benches, bench_gemm, bench_layers);
 criterion_main!(benches);

@@ -35,10 +35,7 @@ use invnorm_quant::QuantConfig;
 use invnorm_tensor::Rng;
 
 /// Builds the compact ablation CNN with a custom inverted-norm configuration.
-fn build_ablation_cnn(
-    classes: usize,
-    config: &InvNormConfig,
-) -> Result<BuiltModel> {
+fn build_ablation_cnn(classes: usize, config: &InvNormConfig) -> Result<BuiltModel> {
     let mut rng = Rng::seed_from(4242);
     let mut net = Sequential::new();
     net.push(Box::new(Conv2d::with_bias(3, 8, 3, 1, 1, false, &mut rng)));
@@ -101,12 +98,19 @@ pub fn run_init(scale: &ExperimentScale) -> Result<Vec<Table>> {
     let task = ImageTask::prepare(scale);
     let mut table = Table::new(
         "Sec. IV-F — effect of affine-parameter initialization spread",
-        &["Init", "Clean accuracy", "Accuracy @ 10% bit flips (mean ± std)"],
+        &[
+            "Init",
+            "Clean accuracy",
+            "Accuracy @ 10% bit flips (mean ± std)",
+        ],
     );
     let settings: Vec<(String, AffineInit)> = vec![
         ("conventional (γ=1, β=0)".into(), AffineInit::Conventional),
         ("normal σ=0.1".into(), AffineInit::normal_with_sigma(0.1)),
-        ("normal σ=0.3 (paper)".into(), AffineInit::normal_with_sigma(0.3)),
+        (
+            "normal σ=0.3 (paper)".into(),
+            AffineInit::normal_with_sigma(0.3),
+        ),
         ("normal σ=0.5".into(), AffineInit::normal_with_sigma(0.5)),
         ("normal σ=0.8".into(), AffineInit::normal_with_sigma(0.8)),
     ];
@@ -189,7 +193,11 @@ pub fn run_mc_passes(scale: &ExperimentScale) -> Result<Vec<Table>> {
     let mut model = train_ablation_cnn(&task, &config, scale)?;
     let mut table = Table::new(
         "Ablation — number of Monte-Carlo forward passes T",
-        &["T", "Clean accuracy", "Accuracy @ 10% bit flips (mean ± std)"],
+        &[
+            "T",
+            "Clean accuracy",
+            "Accuracy @ 10% bit flips (mean ± std)",
+        ],
     );
     for passes in [1usize, 2, 4, 8, 16] {
         let clean = mc_accuracy(&task, &mut model, passes)?;

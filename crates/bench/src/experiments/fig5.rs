@@ -110,7 +110,10 @@ pub fn run(scale: &ExperimentScale) -> Result<Vec<Table>> {
 pub(crate) fn sigma_labels(max_sigma: f32, points: usize) -> Vec<String> {
     let mut labels = vec!["0.00".to_string()];
     for i in 1..=points.max(1) {
-        labels.push(format!("{:.2}", max_sigma * i as f32 / points.max(1) as f32));
+        labels.push(format!(
+            "{:.2}",
+            max_sigma * i as f32 / points.max(1) as f32
+        ));
     }
     labels
 }

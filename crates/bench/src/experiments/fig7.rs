@@ -41,7 +41,10 @@ pub fn run(scale: &ExperimentScale) -> Result<Vec<Table>> {
         "0".into(),
         format!("{id_accuracy:.4}"),
         format!("{id_nll:.4}"),
-        format!("{:.4}", detector.detection_rate_for(&id_prediction, &task.split.test_labels)?),
+        format!(
+            "{:.4}",
+            detector.detection_rate_for(&id_prediction, &task.split.test_labels)?
+        ),
     ]);
     let rotation_stages: Vec<f32> = paper_rotation_stages()
         .into_iter()
@@ -70,7 +73,10 @@ pub fn run(scale: &ExperimentScale) -> Result<Vec<Table>> {
         "0.00".into(),
         format!("{id_accuracy:.4}"),
         format!("{id_nll:.4}"),
-        format!("{:.4}", detector.detection_rate_for(&id_prediction, &task.split.test_labels)?),
+        format!(
+            "{:.4}",
+            detector.detection_rate_for(&id_prediction, &task.split.test_labels)?
+        ),
     ]);
     let mut rng = Rng::seed_from(77);
     for strength in noise_stages(scale.sweep_points.max(3), 2.0) {

@@ -21,7 +21,14 @@ pub fn run(scale: &ExperimentScale) -> Result<Vec<Table>> {
     let mut table = Table::new(
         "Table I — baseline (fault-free) performance",
         &[
-            "Topology", "Dataset", "Metric", "W/A", "NN", "SpinDrop", "SpatialSpinDrop", "Proposed",
+            "Topology",
+            "Dataset",
+            "Metric",
+            "W/A",
+            "NN",
+            "SpinDrop",
+            "SpatialSpinDrop",
+            "Proposed",
         ],
     );
 

@@ -96,7 +96,10 @@ where
                 model.noise.clear();
                 per_run.push(value?);
             }
-            Ok(summary_from(format!("{} (pre-activation)", fault.label()), per_run))
+            Ok(summary_from(
+                format!("{} (pre-activation)", fault.label()),
+                per_run,
+            ))
         }
     }
 }
@@ -171,7 +174,9 @@ mod tests {
         let sweep = variation_sweep(1.0, 4);
         assert_eq!(sweep.len(), 5);
         assert_eq!(sweep[0], FaultModel::None);
-        assert!(matches!(sweep[4], FaultModel::AdditiveVariation { sigma } if (sigma - 1.0).abs() < 1e-6));
+        assert!(
+            matches!(sweep[4], FaultModel::AdditiveVariation { sigma } if (sigma - 1.0).abs() < 1e-6)
+        );
         assert_eq!(multiplicative_sweep(0.5, 2).len(), 3);
         assert_eq!(uniform_noise_sweep(0.5, 2).len(), 3);
         let rates = bitflip_rates(0.3, 3);

@@ -193,7 +193,12 @@ mod tests {
         let d = AffineDropout::new(0.5, DropGranularity::ElementWise).unwrap();
         let mut rng = Rng::seed_from(2);
         let masks = d.sample_masks(64, &mut rng);
-        let zeros = masks.gamma_keep.data().iter().filter(|&&v| v == 0.0).count();
+        let zeros = masks
+            .gamma_keep
+            .data()
+            .iter()
+            .filter(|&&v| v == 0.0)
+            .count();
         assert!(zeros > 10 && zeros < 54, "unexpected drop count {zeros}");
     }
 

@@ -123,7 +123,7 @@ impl InvertedNorm {
     /// Returns an error when the dropout probability is invalid or `groups`
     /// does not divide `channels`.
     pub fn new(channels: usize, config: &InvNormConfig, rng: &mut Rng) -> Result<Self> {
-        if config.groups == 0 || channels % config.groups != 0 {
+        if config.groups == 0 || !channels.is_multiple_of(config.groups) {
             return Err(NnError::Config(format!(
                 "groups ({}) must divide channels ({channels})",
                 config.groups
@@ -140,7 +140,7 @@ impl InvertedNorm {
             gamma: Param::new(gamma),
             beta: Param::new(beta),
             rng: rng.fork(config.seed),
-        cache: None,
+            cache: None,
         })
     }
 
@@ -206,7 +206,9 @@ impl Layer for InvertedNorm {
         } else {
             self.dropout.keep_all_masks(c)
         };
-        let (gamma_eff, beta_eff) = self.dropout.apply(&self.gamma.value, &self.beta.value, &masks)?;
+        let (gamma_eff, beta_eff) =
+            self.dropout
+                .apply(&self.gamma.value, &self.beta.value, &masks)?;
 
         // 1. Affine transformation first.
         let data = input.data();
@@ -380,7 +382,11 @@ mod tests {
         for ni in 0..3 {
             let inst = y.index_axis0(ni).unwrap();
             assert!(inst.mean().abs() < 1e-4, "instance mean {}", inst.mean());
-            assert!((inst.std() - 1.0).abs() < 1e-2, "instance std {}", inst.std());
+            assert!(
+                (inst.std() - 1.0).abs() < 1e-2,
+                "instance std {}",
+                inst.std()
+            );
         }
     }
 
@@ -424,17 +430,20 @@ mod tests {
         let outputs: Vec<Tensor> = (0..8)
             .map(|_| layer.forward(&x, Mode::Eval).unwrap())
             .collect();
-        let any_different = outputs
-            .windows(2)
-            .any(|w| !w[0].approx_eq(&w[1], 1e-6));
-        assert!(any_different, "MC passes should differ under affine dropout");
+        let any_different = outputs.windows(2).any(|w| !w[0].approx_eq(&w[1], 1e-6));
+        assert!(
+            any_different,
+            "MC passes should differ under affine dropout"
+        );
     }
 
     #[test]
     fn deterministic_eval_is_repeatable() {
         let mut rng = Rng::seed_from(6);
-        let mut cfg = InvNormConfig::default();
-        cfg.stochastic_eval = false;
+        let cfg = InvNormConfig {
+            stochastic_eval: false,
+            ..InvNormConfig::default()
+        };
         let mut layer = InvertedNorm::new(8, &cfg, &mut rng).unwrap();
         let x = Tensor::randn(&[2, 8, 4, 4], 0.0, 1.0, &mut rng);
         let y1 = layer.forward(&x, Mode::Eval).unwrap();
@@ -464,8 +473,18 @@ mod tests {
             xp.data_mut()[idx] += eps;
             let mut xm = x.clone();
             xm.data_mut()[idx] -= eps;
-            let lp = layer.forward(&xp, Mode::Train).unwrap().mul(&w).unwrap().sum();
-            let lm = layer.forward(&xm, Mode::Train).unwrap().mul(&w).unwrap().sum();
+            let lp = layer
+                .forward(&xp, Mode::Train)
+                .unwrap()
+                .mul(&w)
+                .unwrap()
+                .sum();
+            let lm = layer
+                .forward(&xm, Mode::Train)
+                .unwrap()
+                .mul(&w)
+                .unwrap()
+                .sum();
             let num = (lp - lm) / (2.0 * eps);
             assert!(
                 (num - grad_in.data()[idx]).abs() < 2e-2 * (1.0 + num.abs()),
@@ -481,9 +500,19 @@ mod tests {
         for ci in 0..4 {
             let orig = layer.gamma.value.data()[ci];
             layer.gamma.value.data_mut()[ci] = orig + eps;
-            let lp = layer.forward(&x, Mode::Train).unwrap().mul(&w).unwrap().sum();
+            let lp = layer
+                .forward(&x, Mode::Train)
+                .unwrap()
+                .mul(&w)
+                .unwrap()
+                .sum();
             layer.gamma.value.data_mut()[ci] = orig - eps;
-            let lm = layer.forward(&x, Mode::Train).unwrap().mul(&w).unwrap().sum();
+            let lm = layer
+                .forward(&x, Mode::Train)
+                .unwrap()
+                .mul(&w)
+                .unwrap()
+                .sum();
             layer.gamma.value.data_mut()[ci] = orig;
             let num = (lp - lm) / (2.0 * eps);
             assert!(
@@ -510,7 +539,8 @@ mod tests {
         for ci in 0..16 {
             if masks.data()[ci] == 0.0 {
                 assert_eq!(
-                    layer.gamma.grad.data()[ci], 0.0,
+                    layer.gamma.grad.data()[ci],
+                    0.0,
                     "dropped gamma {ci} must not receive gradient"
                 );
             }
@@ -528,7 +558,11 @@ mod tests {
         let mut x = Tensor::zeros(&[1, 4, 1, 4]);
         for ci in 0..4 {
             for i in 0..4 {
-                let v = if ci < 2 { 100.0 + i as f32 } else { i as f32 * 0.01 };
+                let v = if ci < 2 {
+                    100.0 + i as f32
+                } else {
+                    i as f32 * 0.01
+                };
                 x.set(&[0, ci, 0, i], v).unwrap();
             }
         }

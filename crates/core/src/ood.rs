@@ -31,10 +31,7 @@ impl OodDetector {
     /// # Errors
     ///
     /// Returns an error when the targets do not match the prediction batch.
-    pub fn calibrate(
-        prediction: &ClassificationPrediction,
-        targets: &[usize],
-    ) -> Result<Self> {
+    pub fn calibrate(prediction: &ClassificationPrediction, targets: &[usize]) -> Result<Self> {
         let nlls = prediction.per_sample_nll(targets)?;
         if nlls.is_empty() {
             return Err(NnError::Config(
@@ -52,7 +49,10 @@ impl OodDetector {
 
     /// Flags every sample whose NLL exceeds the threshold.
     pub fn flag(&self, per_sample_nll: &[f32]) -> Vec<bool> {
-        per_sample_nll.iter().map(|&nll| nll > self.threshold).collect()
+        per_sample_nll
+            .iter()
+            .map(|&nll| nll > self.threshold)
+            .collect()
     }
 
     /// Fraction of samples flagged as OOD (the paper's "detection rate" when

@@ -82,12 +82,9 @@ fn render_sample(keyword: &Keyword, config: &AudioDatasetConfig, rng: &mut Rng) 
     let mut data = vec![0.0f32; n];
     for (i, v) in data.iter_mut().enumerate() {
         let t = i as f32 / n as f32;
-        let envelope = (-((t - keyword.envelope_center - shift)
-            / keyword.envelope_width)
-            .powi(2))
-        .exp();
-        let carrier = (std::f32::consts::TAU * keyword.f1 * pitch_jitter * t * n as f32
-            / n as f32)
+        let envelope =
+            (-((t - keyword.envelope_center - shift) / keyword.envelope_width).powi(2)).exp();
+        let carrier = (std::f32::consts::TAU * keyword.f1 * pitch_jitter * t * n as f32 / n as f32)
             .sin()
             + 0.5 * (std::f32::consts::TAU * keyword.f2 * pitch_jitter * t).sin();
         *v = amp * envelope * carrier + rng.normal(0.0, config.noise);
@@ -197,7 +194,11 @@ mod tests {
             let mut best = 0;
             let mut best_dist = f32::MAX;
             for (class, mean) in means.iter().enumerate() {
-                let d: f32 = f.iter().zip(mean.iter()).map(|(a, b)| (a - b).powi(2)).sum();
+                let d: f32 = f
+                    .iter()
+                    .zip(mean.iter())
+                    .map(|(a, b)| (a - b).powi(2))
+                    .sum();
                 if d < best_dist {
                     best_dist = d;
                     best = class;

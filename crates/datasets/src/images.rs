@@ -75,15 +75,13 @@ fn make_prototype(channels: usize, rng: &mut Rng) -> Prototype {
         phase: (0..channels)
             .map(|_| rng.uniform_range(0.0, std::f32::consts::TAU))
             .collect(),
-        bias: (0..channels).map(|_| rng.uniform_range(-0.5, 0.5)).collect(),
+        bias: (0..channels)
+            .map(|_| rng.uniform_range(-0.5, 0.5))
+            .collect(),
     }
 }
 
-fn render_sample(
-    proto: &Prototype,
-    config: &ImageDatasetConfig,
-    rng: &mut Rng,
-) -> Tensor {
+fn render_sample(proto: &Prototype, config: &ImageDatasetConfig, rng: &mut Rng) -> Tensor {
     let size = config.size;
     let channels = config.channels;
     // Random per-sample transformation: translation, amplitude and phase jitter.

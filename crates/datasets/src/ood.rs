@@ -102,8 +102,7 @@ mod tests {
         let rotated = rotate_images(&images, 360.0);
         // The centre pixel is exactly preserved.
         assert!(
-            (rotated.get(&[0, 0, 4, 4]).unwrap() - images.get(&[0, 0, 4, 4]).unwrap()).abs()
-                < 1e-4
+            (rotated.get(&[0, 0, 4, 4]).unwrap() - images.get(&[0, 0, 4, 4]).unwrap()).abs() < 1e-4
         );
     }
 

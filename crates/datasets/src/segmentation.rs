@@ -58,7 +58,11 @@ impl SegmentationDatasetConfig {
 fn draw_vessel(mask: &mut [f32], size: usize, rng: &mut Rng) {
     // Random walk from a random border point with momentum.
     let mut x = rng.uniform_range(0.0, size as f32);
-    let mut y = if rng.bernoulli(0.5) { 0.0 } else { size as f32 - 1.0 };
+    let mut y = if rng.bernoulli(0.5) {
+        0.0
+    } else {
+        size as f32 - 1.0
+    };
     let mut angle = rng.uniform_range(0.0, std::f32::consts::TAU);
     let steps = size * 2;
     let thickness: f32 = if rng.bernoulli(0.3) { 1.5 } else { 0.8 };
@@ -103,8 +107,7 @@ fn render_sample(config: &SegmentationDatasetConfig, rng: &mut Rng) -> (Tensor, 
             let background =
                 gx * (x as f32 / size as f32 - 0.5) + gy * (y as f32 / size as f32 - 0.5);
             let vessel = mask[y * size + x];
-            image[y * size + x] =
-                background + 1.2 * vessel + rng.normal(0.0, config.noise);
+            image[y * size + x] = background + 1.2 * vessel + rng.normal(0.0, config.noise);
         }
     }
     (

@@ -119,7 +119,11 @@ impl CrossbarArray {
             let magnitude = w.abs() / w_max; // in [0, 1]
             let g_on = config.g_min + magnitude * g_range;
             let g_off = config.g_min;
-            let (p, n) = if w >= 0.0 { (g_on, g_off) } else { (g_off, g_on) };
+            let (p, n) = if w >= 0.0 {
+                (g_on, g_off)
+            } else {
+                (g_off, g_on)
+            };
             let noise_p = 1.0 + rng.normal(0.0, config.programming_sigma);
             let noise_n = 1.0 + rng.normal(0.0, config.programming_sigma);
             g_pos.data_mut()[i] = (p * noise_p).clamp(0.0, config.g_max * 2.0);
@@ -174,7 +178,7 @@ impl CrossbarArray {
         // Analog MVM on the differential pair.
         let weights = self.effective_weights(); // [rows, cols]
         let currents = ops::matmul(&x, &weights)?; // [N, cols]
-        // ADC: quantize the output currents.
+                                                   // ADC: quantize the output currents.
         Ok(QuantizedTensor::quantize(&currents, self.config.adc_bits)?.dequantize())
     }
 }
@@ -268,8 +272,10 @@ mod tests {
         let w = Tensor::randn(&[5, 3], 0.0, 0.5, &mut rng);
         let array = CrossbarArray::program(&w, CrossbarConfig::default(), &mut rng).unwrap();
         assert!(array.matvec(&Tensor::zeros(&[2, 4])).is_err());
-        assert!(CrossbarArray::program(&Tensor::zeros(&[5]), CrossbarConfig::default(), &mut rng)
-            .is_err());
+        assert!(
+            CrossbarArray::program(&Tensor::zeros(&[5]), CrossbarConfig::default(), &mut rng)
+                .is_err()
+        );
     }
 
     #[test]

@@ -23,7 +23,7 @@ use invnorm_tensor::{Rng, Tensor};
 use serde::{Deserialize, Serialize};
 
 /// A parameterized NVM non-ideality model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub enum FaultModel {
     /// Additive conductance variation: `w ← w + N(0, σ)`.
     AdditiveVariation {
@@ -68,6 +68,7 @@ pub enum FaultModel {
         time_ratio: f32,
     },
     /// No fault (baseline). Useful to keep sweep code uniform.
+    #[default]
     None,
 }
 
@@ -78,7 +79,9 @@ impl FaultModel {
             FaultModel::AdditiveVariation { sigma } => format!("additive σ={sigma}"),
             FaultModel::MultiplicativeVariation { sigma } => format!("multiplicative σ={sigma}"),
             FaultModel::UniformNoise { strength } => format!("uniform ±{strength}"),
-            FaultModel::BitFlip { rate, bits } => format!("bit-flip {:.1}% ({bits}-bit)", rate * 100.0),
+            FaultModel::BitFlip { rate, bits } => {
+                format!("bit-flip {:.1}% ({bits}-bit)", rate * 100.0)
+            }
             FaultModel::BinaryBitFlip { rate } => format!("sign-flip {:.1}%", rate * 100.0),
             FaultModel::StuckAt { rate } => format!("stuck-at {:.1}%", rate * 100.0),
             FaultModel::Drift { nu, time_ratio } => format!("drift ν={nu} t/t₀={time_ratio}"),
@@ -109,14 +112,17 @@ impl FaultModel {
     pub fn validate(&self) -> Result<()> {
         let fail = |msg: String| Err(NnError::Config(msg));
         match *self {
-            FaultModel::AdditiveVariation { sigma } | FaultModel::MultiplicativeVariation { sigma } => {
+            FaultModel::AdditiveVariation { sigma }
+            | FaultModel::MultiplicativeVariation { sigma } => {
                 if sigma < 0.0 {
                     return fail(format!("variation sigma must be >= 0, got {sigma}"));
                 }
             }
             FaultModel::UniformNoise { strength } => {
                 if strength < 0.0 {
-                    return fail(format!("uniform noise strength must be >= 0, got {strength}"));
+                    return fail(format!(
+                        "uniform noise strength must be >= 0, got {strength}"
+                    ));
                 }
             }
             FaultModel::BitFlip { rate, bits } => {
@@ -211,12 +217,6 @@ impl FaultModel {
     }
 }
 
-impl Default for FaultModel {
-    fn default() -> Self {
-        FaultModel::None
-    }
-}
-
 /// Flips each bit of each quantized code independently with probability
 /// `rate`, then clamps the codes back into the representable range (a flip of
 /// the sign bit can otherwise escape it).
@@ -233,7 +233,11 @@ pub fn flip_bits(q: &mut QuantizedTensor, rate: f32, rng: &mut Rng) {
         }
         // Sign-extend back.
         let sign_bit = 1i32 << (bits - 1);
-        *code = if raw & sign_bit != 0 { raw - (1 << bits) } else { raw };
+        *code = if raw & sign_bit != 0 {
+            raw - (1 << bits)
+        } else {
+            raw
+        };
     }
     q.clamp_codes();
 }
@@ -253,7 +257,9 @@ mod tests {
     #[test]
     fn labels_and_activity() {
         assert!(FaultModel::None.label().contains("fault-free"));
-        assert!(FaultModel::BitFlip { rate: 0.1, bits: 8 }.label().contains("10.0%"));
+        assert!(FaultModel::BitFlip { rate: 0.1, bits: 8 }
+            .label()
+            .contains("10.0%"));
         assert!(!FaultModel::None.is_active());
         assert!(!FaultModel::AdditiveVariation { sigma: 0.0 }.is_active());
         assert!(FaultModel::AdditiveVariation { sigma: 0.1 }.is_active());
@@ -262,13 +268,31 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_parameters() {
-        assert!(FaultModel::AdditiveVariation { sigma: -0.1 }.validate().is_err());
-        assert!(FaultModel::BitFlip { rate: 1.5, bits: 8 }.validate().is_err());
-        assert!(FaultModel::BitFlip { rate: 0.1, bits: 1 }.validate().is_err());
+        assert!(FaultModel::AdditiveVariation { sigma: -0.1 }
+            .validate()
+            .is_err());
+        assert!(FaultModel::BitFlip { rate: 1.5, bits: 8 }
+            .validate()
+            .is_err());
+        assert!(FaultModel::BitFlip { rate: 0.1, bits: 1 }
+            .validate()
+            .is_err());
         assert!(FaultModel::StuckAt { rate: -0.1 }.validate().is_err());
-        assert!(FaultModel::Drift { nu: 0.05, time_ratio: 0.5 }.validate().is_err());
-        assert!(FaultModel::Drift { nu: -0.05, time_ratio: 2.0 }.validate().is_err());
-        assert!(FaultModel::UniformNoise { strength: -1.0 }.validate().is_err());
+        assert!(FaultModel::Drift {
+            nu: 0.05,
+            time_ratio: 0.5
+        }
+        .validate()
+        .is_err());
+        assert!(FaultModel::Drift {
+            nu: -0.05,
+            time_ratio: 2.0
+        }
+        .validate()
+        .is_err());
+        assert!(FaultModel::UniformNoise { strength: -1.0 }
+            .validate()
+            .is_err());
         assert!(FaultModel::None.validate().is_ok());
     }
 
@@ -323,9 +347,12 @@ mod tests {
     #[test]
     fn bitflip_corrupts_more_with_higher_rate() {
         let (w, mut rng) = sample_weights(5);
-        let p_low = FaultModel::BitFlip { rate: 0.01, bits: 8 }
-            .perturb(&w, &mut rng)
-            .unwrap();
+        let p_low = FaultModel::BitFlip {
+            rate: 0.01,
+            bits: 8,
+        }
+        .perturb(&w, &mut rng)
+        .unwrap();
         let p_high = FaultModel::BitFlip { rate: 0.3, bits: 8 }
             .perturb(&w, &mut rng)
             .unwrap();
@@ -356,7 +383,9 @@ mod tests {
     fn stuck_at_pins_to_extremes() {
         let mut rng = Rng::seed_from(7);
         let w = Tensor::linspace(-1.0, 1.0, 1000);
-        let p = FaultModel::StuckAt { rate: 0.3 }.perturb(&w, &mut rng).unwrap();
+        let p = FaultModel::StuckAt { rate: 0.3 }
+            .perturb(&w, &mut rng)
+            .unwrap();
         let changed: Vec<(f32, f32)> = w
             .data()
             .iter()
@@ -374,9 +403,12 @@ mod tests {
     fn drift_shrinks_magnitudes() {
         let mut rng = Rng::seed_from(8);
         let w = Tensor::from_vec(vec![1.0, -2.0, 0.5], &[3]).unwrap();
-        let p = FaultModel::Drift { nu: 0.1, time_ratio: 100.0 }
-            .perturb(&w, &mut rng)
-            .unwrap();
+        let p = FaultModel::Drift {
+            nu: 0.1,
+            time_ratio: 100.0,
+        }
+        .perturb(&w, &mut rng)
+        .unwrap();
         for (orig, drifted) in w.data().iter().zip(p.data().iter()) {
             assert!(drifted.abs() < orig.abs());
             assert_eq!(orig.signum(), drifted.signum());

@@ -17,8 +17,16 @@ use crate::Result;
 use invnorm_nn::layer::{Layer, Mode, Param};
 use invnorm_nn::NnError;
 use invnorm_tensor::{Rng, Tensor};
-use parking_lot::RwLock;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
+
+/// Minimum total targeted elements before per-parameter perturbation fans
+/// out over rayon tasks; below this the spawn overhead dominates.
+const PARALLEL_INJECT_THRESHOLD: usize = 1 << 16;
+
+/// Minimum elements a single parameter needs before it gets its own rayon
+/// task inside the parallel branch; smaller tensors are perturbed inline so
+/// a network of many small parameters doesn't pay one spawn each.
+const PARALLEL_INJECT_MIN_PARAM: usize = 1 << 14;
 
 /// Applies a [`FaultModel`] to every learnable weight of a network.
 ///
@@ -78,36 +86,93 @@ impl WeightFaultInjector {
 
     /// Perturbs the network weights in place, remembering the clean values.
     ///
+    /// Every targeted parameter draws from its **own RNG stream**, forked
+    /// from `rng` in `visit_params` order. That makes the realization a pure
+    /// function of the caller's seed and the parameter index, so large
+    /// parameters can be perturbed **in parallel** (rayon) without changing
+    /// any value — the realization is bit-identical for every thread count,
+    /// which is what keeps `MonteCarloEngine::run_parallel` exactly equal to
+    /// the sequential engine.
+    ///
     /// # Errors
     ///
     /// Returns an error when the fault model is invalid or faults are already
-    /// injected (call [`WeightFaultInjector::restore`] first).
-    pub fn inject(&mut self, network: &mut dyn Layer, rng: &mut Rng) -> Result<()> {
+    /// injected (call [`WeightFaultInjector::restore`] first); on error the
+    /// network is left untouched.
+    pub fn inject<L: Layer + ?Sized>(&mut self, network: &mut L, rng: &mut Rng) -> Result<()> {
         if self.snapshot.is_some() {
             return Err(NnError::Config(
                 "faults already injected; call restore() before injecting again".into(),
             ));
         }
         self.model.validate()?;
-        let mut snapshot = Vec::new();
-        let mut failure: Option<NnError> = None;
-        let model = self.model;
         let include_vectors = self.include_vectors;
+        let mut snapshot: Vec<Tensor> = Vec::new();
+        let mut targeted: Vec<bool> = Vec::new();
         network.visit_params(&mut |p| {
-            if failure.is_some() {
-                return;
-            }
+            targeted.push(p.value.rank() >= 2 || include_vectors);
             snapshot.push(p.value.clone());
-            if p.value.rank() >= 2 || include_vectors {
-                match model.perturb(&p.value, rng) {
-                    Ok(perturbed) => p.value = perturbed,
-                    Err(e) => failure = Some(e),
+        });
+        // One independent child stream per targeted parameter, forked in a
+        // fixed order so the realization is schedule-independent.
+        let mut streams: Vec<Option<Rng>> = targeted
+            .iter()
+            .enumerate()
+            .map(|(idx, &t)| t.then(|| rng.fork(idx as u64)))
+            .collect();
+        let mut perturbed: Vec<Option<Result<Tensor>>> =
+            (0..snapshot.len()).map(|_| None).collect();
+        let model = self.model;
+        let work: usize = snapshot
+            .iter()
+            .zip(&targeted)
+            .filter(|(_, &t)| t)
+            .map(|(v, _)| v.numel())
+            .sum();
+        if rayon::current_num_threads() > 1 && work >= PARALLEL_INJECT_THRESHOLD {
+            rayon::scope(|s| {
+                for ((slot, clean), stream) in
+                    perturbed.iter_mut().zip(&snapshot).zip(streams.iter_mut())
+                {
+                    if let Some(stream) = stream.as_mut() {
+                        // Only parameters with enough elements to amortize a
+                        // task spawn go to a worker; the long tail of small
+                        // tensors (biases, norm affines, tiny layers) is
+                        // perturbed inline. Streams are pre-forked, so the
+                        // split cannot change any value.
+                        if clean.numel() >= PARALLEL_INJECT_MIN_PARAM {
+                            s.spawn(move || {
+                                *slot = Some(model.perturb(clean, stream));
+                            });
+                        } else {
+                            *slot = Some(model.perturb(clean, stream));
+                        }
+                    }
+                }
+            });
+        } else {
+            for ((slot, clean), stream) in
+                perturbed.iter_mut().zip(&snapshot).zip(streams.iter_mut())
+            {
+                if let Some(stream) = stream.as_mut() {
+                    *slot = Some(model.perturb(clean, stream));
                 }
             }
-        });
-        if let Some(e) = failure {
-            return Err(e);
         }
+        // Fail atomically: assign only after every perturbation succeeded.
+        let mut values = Vec::with_capacity(perturbed.len());
+        for result in perturbed {
+            values.push(result.transpose()?);
+        }
+        let mut idx = 0usize;
+        network.visit_params(&mut |p| {
+            if let Some(slot) = values.get_mut(idx) {
+                if let Some(value) = slot.take() {
+                    p.value = value;
+                }
+            }
+            idx += 1;
+        });
         self.snapshot = Some(snapshot);
         Ok(())
     }
@@ -119,10 +184,11 @@ impl WeightFaultInjector {
     ///
     /// Returns an error when no snapshot is available or the network's
     /// parameter count changed in between.
-    pub fn restore(&mut self, network: &mut dyn Layer) -> Result<()> {
-        let snapshot = self.snapshot.take().ok_or_else(|| {
-            NnError::Config("restore() called without a prior inject()".into())
-        })?;
+    pub fn restore<L: Layer + ?Sized>(&mut self, network: &mut L) -> Result<()> {
+        let snapshot = self
+            .snapshot
+            .take()
+            .ok_or_else(|| NnError::Config("restore() called without a prior inject()".into()))?;
         let mut idx = 0usize;
         let mut mismatch = false;
         network.visit_params(&mut |p| {
@@ -169,7 +235,7 @@ impl NoiseHandle {
 
     /// Sets the fault model applied by every attached layer.
     pub fn set(&self, model: FaultModel) {
-        *self.inner.write() = model;
+        *self.inner.write().expect("noise handle lock poisoned") = model;
     }
 
     /// Clears the noise (equivalent to `set(FaultModel::None)`).
@@ -179,7 +245,7 @@ impl NoiseHandle {
 
     /// The currently configured model.
     pub fn current(&self) -> FaultModel {
-        *self.inner.read()
+        *self.inner.read().expect("noise handle lock poisoned")
     }
 }
 
@@ -249,8 +315,7 @@ mod tests {
         let mut rng = Rng::seed_from(1);
         let mut net = network(&mut rng);
         let clean = weights_of(&mut net);
-        let mut injector =
-            WeightFaultInjector::new(FaultModel::AdditiveVariation { sigma: 0.5 });
+        let mut injector = WeightFaultInjector::new(FaultModel::AdditiveVariation { sigma: 0.5 });
         injector.inject(&mut net, &mut rng).unwrap();
         assert!(injector.is_injected());
         let faulty = weights_of(&mut net);
@@ -313,6 +378,29 @@ mod tests {
             .set_model(FaultModel::BitFlip { rate: 0.1, bits: 8 })
             .is_ok());
         assert!(matches!(injector.model(), FaultModel::BitFlip { .. }));
+    }
+
+    #[test]
+    fn injection_is_deterministic_for_seed() {
+        // Large enough to cross the parallel-injection threshold on
+        // multi-core machines; per-parameter forked streams must make the
+        // realization identical either way.
+        let mut build_rng = Rng::seed_from(20);
+        let mut net = Sequential::new();
+        net.push(Box::new(Linear::new(300, 300, &mut build_rng)));
+        net.push(Box::new(Linear::new(300, 10, &mut build_rng)));
+        let realize = |net: &mut Sequential| {
+            let mut rng = Rng::seed_from(777);
+            let mut injector =
+                WeightFaultInjector::new(FaultModel::AdditiveVariation { sigma: 0.2 });
+            injector.inject(net, &mut rng).unwrap();
+            let faulty = weights_of(net);
+            injector.restore(net).unwrap();
+            faulty
+        };
+        let first = realize(&mut net);
+        let second = realize(&mut net);
+        assert_eq!(first, second, "same seed must give the same realization");
     }
 
     #[test]

@@ -8,9 +8,15 @@
 //! metric, restores the clean weights, and aggregates the results.
 //!
 //! For sweeps over many fault strengths, [`MonteCarloEngine::run_parallel`]
-//! distributes chip instances over worker threads using model *factories*
-//! (each thread builds its own model copy), since trained networks are not
-//! `Clone`.
+//! distributes chip instances over rayon worker threads using model
+//! *factories* (each worker builds its own model copy once and reuses it
+//! across the chip instances it claims), since trained networks are not
+//! `Clone`. Chip instances are claimed in fixed-size chunks from a shared
+//! atomic counter (work stealing), and every instance derives its RNG stream
+//! from the base seed and its own index alone, so the per-run metrics — and
+//! therefore the aggregate statistics — are **bit-identical** to the
+//! sequential [`MonteCarloEngine::run`] regardless of thread count or
+//! scheduling order.
 
 use crate::fault::FaultModel;
 use crate::injector::WeightFaultInjector;
@@ -20,6 +26,8 @@ use invnorm_nn::NnError;
 use invnorm_tensor::stats::RunningStats;
 use invnorm_tensor::Rng;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Aggregated result of a Monte-Carlo fault simulation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -89,9 +97,7 @@ impl MonteCarloEngine {
     /// Independent RNG stream for chip instance `run`, identical regardless of
     /// which thread (or call order) simulates it.
     fn run_rng(seed: u64, run: usize) -> Rng {
-        Rng::seed_from(
-            seed ^ (run as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        )
+        Rng::seed_from(seed ^ (run as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
     /// Runs the simulation on a single network, injecting and restoring
@@ -117,6 +123,11 @@ impl MonteCarloEngine {
         fault.validate()?;
         let mut per_run = Vec::with_capacity(self.runs);
         for run in 0..self.runs {
+            // Kept in lockstep with `simulate_one` (the run_parallel inner
+            // step); they cannot share code because the `&mut dyn Layer` in
+            // `F`'s bound cannot unify with a `?Sized` type parameter
+            // (diagonal higher-ranked lifetime). Any divergence is caught by
+            // the `parallel_*_bit_identical*` tests below.
             let mut rng = Self::run_rng(self.seed, run);
             let mut injector = WeightFaultInjector::new(fault);
             injector.inject(network, &mut rng)?;
@@ -135,17 +146,26 @@ impl MonteCarloEngine {
         Ok(MonteCarloSummary::from_runs(fault.label(), per_run))
     }
 
-    /// Runs the simulation with per-thread model copies built by `factory`,
-    /// spreading chip instances over `threads` workers.
+    /// Runs the simulation with per-worker model copies built by `factory`,
+    /// spreading chip instances over `threads` rayon workers.
     ///
     /// This is the variant used for the larger sweeps in `invnorm-bench`;
-    /// each worker builds its own model (factories are expected to reproduce
-    /// identical weights, e.g. by re-training with a fixed seed or loading a
-    /// shared checkpoint) and simulates a disjoint subset of chip instances.
+    /// each worker builds its own model once (factories are expected to
+    /// reproduce identical weights, e.g. by re-training with a fixed seed or
+    /// loading a shared checkpoint) and then claims chip instances in chunks
+    /// of [`MonteCarloEngine::CHUNK`] from a shared atomic counter, so slow
+    /// instances do not leave workers idle.
+    ///
+    /// Because instance `i` always uses the RNG stream derived from
+    /// `(seed, i)` and writes metric slot `i`, the result is bit-identical to
+    /// [`MonteCarloEngine::run`] on an identically-weighted model, for every
+    /// thread count and schedule.
     ///
     /// # Errors
     ///
-    /// Returns an error when any worker fails.
+    /// Returns an error when any instance fails; with several failures, the
+    /// error of the lowest-indexed failing instance is returned (matching
+    /// what the sequential engine would report first).
     pub fn run_parallel<M, F, E>(
         &self,
         factory: F,
@@ -160,38 +180,85 @@ impl MonteCarloEngine {
     {
         fault.validate()?;
         let threads = threads.clamp(1, self.runs);
-        let runs_per_thread = self.runs.div_ceil(threads);
+        let n_chunks = self.runs.div_ceil(Self::CHUNK);
         let seed = self.seed;
-        let results: std::result::Result<Vec<Vec<f32>>, NnError> =
-            crossbeam::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for t in 0..threads {
-                    let factory = &factory;
-                    let evaluate = &evaluate;
-                    handles.push(scope.spawn(move |_| -> Result<Vec<f32>> {
-                        let start = t * runs_per_thread;
-                        let end = (start + runs_per_thread).min(self.runs);
-                        let mut model = factory();
-                        let mut out = Vec::with_capacity(end.saturating_sub(start));
-                        for run in start..end {
-                            let mut rng = Self::run_rng(seed, run);
-                            let mut injector = WeightFaultInjector::new(fault);
-                            injector.inject(&mut model, &mut rng)?;
-                            let metric = evaluate(&mut model);
-                            injector.restore(&mut model)?;
-                            out.push(metric?);
+        let runs = self.runs;
+        let next_chunk = AtomicUsize::new(0);
+        let collected: Mutex<Vec<(usize, Result<f32>)>> = Mutex::new(Vec::with_capacity(runs));
+        rayon::scope(|s| {
+            for _ in 0..threads {
+                let next_chunk = &next_chunk;
+                let collected = &collected;
+                let factory = &factory;
+                let evaluate = &evaluate;
+                s.spawn(move || {
+                    let mut model = factory();
+                    let mut local: Vec<(usize, Result<f32>)> = Vec::new();
+                    loop {
+                        let chunk = next_chunk.fetch_add(1, Ordering::Relaxed);
+                        if chunk >= n_chunks {
+                            break;
                         }
-                        Ok(out)
-                    }));
-                }
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker thread panicked"))
-                    .collect()
-            })
-            .expect("crossbeam scope panicked");
-        let per_run: Vec<f32> = results?.into_iter().flatten().collect();
+                        let start = chunk * Self::CHUNK;
+                        let end = (start + Self::CHUNK).min(runs);
+                        for run in start..end {
+                            local.push((
+                                run,
+                                Self::simulate_one(&mut model, fault, seed, run, evaluate),
+                            ));
+                        }
+                    }
+                    collected
+                        .lock()
+                        .expect("monte-carlo result lock poisoned")
+                        .append(&mut local);
+                });
+            }
+        });
+        let mut collected = collected
+            .into_inner()
+            .expect("monte-carlo result lock poisoned");
+        collected.sort_by_key(|(run, _)| *run);
+        debug_assert_eq!(collected.len(), runs);
+        let mut per_run = Vec::with_capacity(runs);
+        for (run, metric) in collected {
+            let metric = metric?;
+            if !metric.is_finite() {
+                return Err(NnError::Config(format!(
+                    "evaluation returned a non-finite metric ({metric}) on run {run}"
+                )));
+            }
+            per_run.push(metric);
+        }
         Ok(MonteCarloSummary::from_runs(fault.label(), per_run))
+    }
+
+    /// Number of chip instances a worker claims per steal. Small enough to
+    /// balance heterogeneous evaluation times, large enough to amortize the
+    /// atomic increment.
+    pub const CHUNK: usize = 4;
+
+    /// Injects, evaluates and restores a single chip instance — the inner
+    /// step of [`MonteCarloEngine::run_parallel`], kept in lockstep with the
+    /// loop body of [`MonteCarloEngine::run`] (see the comment there for why
+    /// they cannot literally share code). Depends only on `(seed, run)`, not
+    /// on which thread executes it.
+    fn simulate_one<M: Layer + ?Sized>(
+        model: &mut M,
+        fault: FaultModel,
+        seed: u64,
+        run: usize,
+        evaluate: impl FnOnce(&mut M) -> Result<f32>,
+    ) -> Result<f32> {
+        let mut rng = Self::run_rng(seed, run);
+        let mut injector = WeightFaultInjector::new(fault);
+        injector.inject(model, &mut rng)?;
+        let result = evaluate(model);
+        // Always restore, even if evaluation failed.
+        let restore_result = injector.restore(model);
+        let metric = result?;
+        restore_result?;
+        Ok(metric)
     }
 
     /// Convenience sweep: runs the engine once per fault model and collects
@@ -298,9 +365,14 @@ mod tests {
         let run = |seed: u64| {
             let mut net = simple_net(11);
             MonteCarloEngine::new(5, seed)
-                .run(&mut net, FaultModel::BitFlip { rate: 0.05, bits: 8 }, |n| {
-                    Ok(n.forward(&x, Mode::Eval)?.sum())
-                })
+                .run(
+                    &mut net,
+                    FaultModel::BitFlip {
+                        rate: 0.05,
+                        bits: 8,
+                    },
+                    |n| Ok(n.forward(&x, Mode::Eval)?.sum()),
+                )
                 .unwrap()
                 .per_run
         };
@@ -343,15 +415,66 @@ mod tests {
             )
             .unwrap();
         assert_eq!(parallel.runs(), sequential.runs());
-        // Same seeds and same model weights → identical per-run metrics
-        // regardless of which thread executed them.
-        let mut a = sequential.per_run.clone();
-        let mut b = parallel.per_run.clone();
-        a.sort_by(|x, y| x.partial_cmp(y).unwrap());
-        b.sort_by(|x, y| x.partial_cmp(y).unwrap());
-        for (x, y) in a.iter().zip(b.iter()) {
-            assert!((x - y).abs() < 1e-5);
+        // Same seeds and same model weights → per-run metrics bit-identical
+        // to the sequential engine, in run order, regardless of which thread
+        // executed each chip instance.
+        assert_eq!(parallel.per_run, sequential.per_run);
+        assert_eq!(parallel.mean.to_bits(), sequential.mean.to_bits());
+        assert_eq!(parallel.std.to_bits(), sequential.std.to_bits());
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_for_every_thread_count() {
+        let x = Tensor::randn(&[8, 4], 0.0, 1.0, &mut Rng::seed_from(21));
+        let engine = MonteCarloEngine::new(13, 99);
+        let fault = FaultModel::BitFlip {
+            rate: 0.08,
+            bits: 8,
+        };
+        let run_with = |threads: usize| {
+            let x = x.clone();
+            engine
+                .run_parallel(
+                    || simple_net(22),
+                    fault,
+                    move |n: &mut Sequential| Ok(n.forward(&x, Mode::Eval)?.sum()),
+                    threads,
+                )
+                .unwrap()
+                .per_run
+        };
+        let reference = run_with(1);
+        for threads in [2, 3, 7, 13] {
+            let got = run_with(threads);
+            let same = reference
+                .iter()
+                .zip(got.iter())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same && got.len() == reference.len(), "threads={threads}");
         }
+    }
+
+    #[test]
+    fn parallel_error_reports_lowest_failing_run() {
+        let engine = MonteCarloEngine::new(8, 5);
+        let result = engine.run_parallel(
+            || simple_net(23),
+            FaultModel::None,
+            |_n: &mut Sequential| Err(NnError::Config("boom".into())),
+            4,
+        );
+        assert!(result.is_err());
+        // Every instance yields a non-finite metric; the reported error must
+        // name the lowest-indexed instance (run 0) no matter which worker
+        // finished first — the documented error-ordering contract.
+        let result = engine.run_parallel(
+            || simple_net(23),
+            FaultModel::AdditiveVariation { sigma: 0.1 },
+            |_n: &mut Sequential| Ok(f32::NAN),
+            4,
+        );
+        let err = result.unwrap_err().to_string();
+        assert!(err.contains("on run 0"), "unexpected error: {err}");
     }
 
     #[test]

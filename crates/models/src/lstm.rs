@@ -61,7 +61,12 @@ pub fn build(config: &LstmForecasterConfig, variant: NormVariant) -> Result<Buil
         true,
         &mut rng,
     )));
-    net.push(Box::new(Lstm::new(config.hidden, config.hidden, false, &mut rng)));
+    net.push(Box::new(Lstm::new(
+        config.hidden,
+        config.hidden,
+        false,
+        &mut rng,
+    )));
     net.push(variant.norm_layer(config.hidden, 1, config.seed + 1, &mut rng)?);
     if let Some(dropout) = variant.dropout_layer(config.seed + 2)? {
         net.push(dropout);

@@ -79,7 +79,9 @@ pub fn build(config: &M5NetConfig, variant: NormVariant) -> Result<BuiltModel> {
     net.push(Box::new(MaxPool1d::new(2)));
 
     // Block 2.
-    net.push(Box::new(Conv1d::with_bias(c1, c2, 3, 1, 1, false, &mut rng)));
+    net.push(Box::new(Conv1d::with_bias(
+        c1, c2, 3, 1, 1, false, &mut rng,
+    )));
     net.push(variant.norm_layer(c2, 1, next_seed(), &mut rng)?);
     push_activation(&mut net, activation, &noise, next_seed());
     if let Some(dropout) = variant.dropout_layer(next_seed())? {
@@ -88,7 +90,9 @@ pub fn build(config: &M5NetConfig, variant: NormVariant) -> Result<BuiltModel> {
     net.push(Box::new(MaxPool1d::new(2)));
 
     // Block 3.
-    net.push(Box::new(Conv1d::with_bias(c2, c2, 3, 1, 1, false, &mut rng)));
+    net.push(Box::new(Conv1d::with_bias(
+        c2, c2, 3, 1, 1, false, &mut rng,
+    )));
     net.push(variant.norm_layer(c2, 1, next_seed(), &mut rng)?);
     push_activation(&mut net, activation, &noise, next_seed());
 

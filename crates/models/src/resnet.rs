@@ -262,8 +262,10 @@ mod tests {
         assert_eq!(model.variant.label(), "Proposed");
         assert!(format!("{model:?}").contains("MicroResNet"));
 
-        let mut fp = MicroResNetConfig::default();
-        fp.binary_activations = false;
+        let fp = MicroResNetConfig {
+            binary_activations: false,
+            ..MicroResNetConfig::default()
+        };
         let model = build(&fp, NormVariant::Conventional).unwrap();
         assert_eq!(model.quant.describe(), "32/32");
     }

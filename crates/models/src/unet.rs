@@ -96,7 +96,9 @@ fn conv_block(
     seed: u64,
 ) -> Result<Sequential> {
     let mut block = Sequential::new();
-    block.push(Box::new(Conv2d::with_bias(in_ch, out_ch, 3, 1, 1, false, rng)));
+    block.push(Box::new(Conv2d::with_bias(
+        in_ch, out_ch, 3, 1, 1, false, rng,
+    )));
     block.push(variant.norm_layer(out_ch, groups.min(out_ch), seed, rng)?);
     // Fault-injection point: the paper injects conductance variation into the
     // normalized pre-activation values for binary-weight networks.
@@ -125,8 +127,26 @@ pub fn build(config: &MicroUNetConfig, variant: NormVariant) -> Result<BuiltMode
     let noise = NoiseHandle::new();
 
     let enc1 = conv_block(1, c, groups, variant, q, &noise, &mut rng, config.seed + 1)?;
-    let enc2 = conv_block(c, 2 * c, groups, variant, q, &noise, &mut rng, config.seed + 2)?;
-    let reduce = conv_block(2 * c, c, groups, variant, q, &noise, &mut rng, config.seed + 3)?;
+    let enc2 = conv_block(
+        c,
+        2 * c,
+        groups,
+        variant,
+        q,
+        &noise,
+        &mut rng,
+        config.seed + 2,
+    )?;
+    let reduce = conv_block(
+        2 * c,
+        c,
+        groups,
+        variant,
+        q,
+        &noise,
+        &mut rng,
+        config.seed + 3,
+    )?;
     let mut fuse = conv_block(c, c, groups, variant, q, &noise, &mut rng, config.seed + 4)?;
     // Final 1×1 convolution producing one logit per pixel (full precision).
     fuse.push(Box::new(Conv2d::new(c, 1, 1, 1, 0, &mut rng)));
@@ -161,7 +181,7 @@ impl Layer for MicroUNet {
                 "MicroUNet expects [N, 1, H, W], got {d:?}"
             )));
         }
-        if d[2] % 2 != 0 || d[3] % 2 != 0 {
+        if !d[2].is_multiple_of(2) || !d[3].is_multiple_of(2) {
             return Err(NnError::Config(
                 "MicroUNet needs even spatial dimensions".into(),
             ));
@@ -227,8 +247,10 @@ mod tests {
         let model = build(&MicroUNetConfig::default(), NormVariant::proposed()).unwrap();
         assert_eq!(model.topology, "MicroUNet");
         assert_eq!(model.quant.describe(), "1/4");
-        let mut fp = MicroUNetConfig::default();
-        fp.quantized_activations = false;
+        let fp = MicroUNetConfig {
+            quantized_activations: false,
+            ..MicroUNetConfig::default()
+        };
         let model = build(&fp, NormVariant::Conventional).unwrap();
         assert_eq!(model.quant.describe(), "32/32");
     }

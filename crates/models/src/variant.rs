@@ -123,12 +123,7 @@ pub enum ActivationKind {
 impl ActivationKind {
     /// Appends this activation (and, for binary models, its fault-injection
     /// hook) to a layer list.
-    pub fn push_onto(
-        &self,
-        layers: &mut Vec<BoxedLayer>,
-        noise: &NoiseHandle,
-        seed: u64,
-    ) {
+    pub fn push_onto(&self, layers: &mut Vec<BoxedLayer>, noise: &NoiseHandle, seed: u64) {
         match self {
             ActivationKind::Relu => layers.push(Box::new(Relu::new())),
             ActivationKind::BinarySign => {
@@ -207,14 +202,21 @@ mod tests {
             .norm_layer(8, 1, 0, &mut rng)
             .unwrap();
         assert_eq!(conventional.name(), "BatchNorm");
-        let inverted = NormVariant::proposed().norm_layer(8, 4, 0, &mut rng).unwrap();
+        let inverted = NormVariant::proposed()
+            .norm_layer(8, 4, 0, &mut rng)
+            .unwrap();
         assert_eq!(inverted.name(), "InvertedNorm");
-        assert!(NormVariant::proposed().norm_layer(8, 3, 0, &mut rng).is_err());
+        assert!(NormVariant::proposed()
+            .norm_layer(8, 3, 0, &mut rng)
+            .is_err());
     }
 
     #[test]
     fn dropout_layer_construction() {
-        assert!(NormVariant::Conventional.dropout_layer(0).unwrap().is_none());
+        assert!(NormVariant::Conventional
+            .dropout_layer(0)
+            .unwrap()
+            .is_none());
         assert!(NormVariant::proposed().dropout_layer(0).unwrap().is_none());
         assert_eq!(
             NormVariant::SpinDrop { p: 0.3 }

@@ -223,10 +223,16 @@ mod tests {
 
         // A differently initialized network produces different outputs ...
         let mut other = network(99);
-        assert!(!other.forward(&x, Mode::Eval).unwrap().approx_eq(&reference, 1e-6));
+        assert!(!other
+            .forward(&x, Mode::Eval)
+            .unwrap()
+            .approx_eq(&reference, 1e-6));
         // ... until the checkpoint is loaded.
         load(&mut other, &checkpoint).unwrap();
-        assert!(other.forward(&x, Mode::Eval).unwrap().approx_eq(&reference, 1e-6));
+        assert!(other
+            .forward(&x, Mode::Eval)
+            .unwrap()
+            .approx_eq(&reference, 1e-6));
     }
 
     #[test]

@@ -5,11 +5,17 @@ use crate::error::NnError;
 use crate::layer::{Layer, Mode, Param};
 use crate::Result;
 use invnorm_tensor::conv::{self, Conv2dSpec};
-use invnorm_tensor::{Rng, Tensor};
+use invnorm_tensor::{Rng, Scratch, Tensor};
 
 /// 2-D convolution layer over `[N, C, H, W]` activations.
 ///
 /// Kaiming-uniform initialization, square kernels, symmetric padding.
+///
+/// Evaluation-mode forwards run through the zero-alloc scratch path
+/// ([`conv::conv2d_forward_with_scratch`]): the im2col patch matrix and GEMM
+/// staging buffers are reused across calls, which is what the Monte-Carlo
+/// fault-simulation hot loop repeatedly exercises. Training-mode forwards
+/// retain the patch matrix for the backward pass as before.
 #[derive(Debug)]
 pub struct Conv2d {
     in_channels: usize,
@@ -19,6 +25,7 @@ pub struct Conv2d {
     bias: Option<Param>,
     cached_cols: Option<Tensor>,
     cached_input_dims: Option<Vec<usize>>,
+    scratch: Scratch,
 }
 
 impl Conv2d {
@@ -71,6 +78,7 @@ impl Conv2d {
             bias,
             cached_cols: None,
             cached_input_dims: None,
+            scratch: Scratch::new(),
         }
     }
 
@@ -102,13 +110,28 @@ impl Conv2d {
 }
 
 impl Layer for Conv2d {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
         if input.rank() != 4 || input.dims()[1] != self.in_channels {
             return Err(NnError::Config(format!(
                 "Conv2d expects [N, {}, H, W], got {:?}",
                 self.in_channels,
                 input.dims()
             )));
+        }
+        if !mode.is_train() {
+            // Inference: no backward pass will follow, so skip retaining the
+            // patch matrix and reuse the scratch buffers (zero allocations
+            // besides the output). Clear any stale training cache so a
+            // backward call cannot silently use gradients of older inputs.
+            self.cached_cols = None;
+            self.cached_input_dims = None;
+            return Ok(conv::conv2d_forward_with_scratch(
+                input,
+                &self.weight.value,
+                self.bias.as_ref().map(|b| &b.value),
+                &self.spec,
+                &mut self.scratch,
+            )?);
         }
         let fwd = conv::conv2d_forward(
             input,
@@ -130,8 +153,13 @@ impl Layer for Conv2d {
             .cached_input_dims
             .as_ref()
             .ok_or(NnError::BackwardBeforeForward("Conv2d"))?;
-        let grads =
-            conv::conv2d_backward(grad_output, cols, &self.weight.value, input_dims, &self.spec)?;
+        let grads = conv::conv2d_backward(
+            grad_output,
+            cols,
+            &self.weight.value,
+            input_dims,
+            &self.spec,
+        )?;
         self.weight.grad.add_assign(&grads.grad_weight)?;
         if let Some(bias) = &mut self.bias {
             bias.grad.add_assign(&grads.grad_bias)?;

@@ -301,9 +301,7 @@ mod tests {
         let y = d.forward(&x, Mode::Train).unwrap();
         for ni in 0..2 {
             for ci in 0..8 {
-                let channel: Vec<f32> = (0..16)
-                    .map(|i| y.data()[(ni * 8 + ci) * 16 + i])
-                    .collect();
+                let channel: Vec<f32> = (0..16).map(|i| y.data()[(ni * 8 + ci) * 16 + i]).collect();
                 let all_zero = channel.iter().all(|&v| v == 0.0);
                 let all_kept = channel.iter().all(|&v| v == 2.0); // 1/(1-0.5)
                 assert!(
@@ -347,6 +345,11 @@ mod tests {
         let x = Tensor::ones(&[32]);
         assert!(d.forward(&x, Mode::Train).unwrap().approx_eq(&x, 0.0));
         let mut sd = SpatialDropout::new(0.0, true, 9).unwrap();
-        assert!(sd.forward(&Tensor::ones(&[2, 3, 4]), Mode::Train).unwrap().numel() == 24);
+        assert!(
+            sd.forward(&Tensor::ones(&[2, 3, 4]), Mode::Train)
+                .unwrap()
+                .numel()
+                == 24
+        );
     }
 }

@@ -43,12 +43,7 @@ impl Linear {
     }
 
     /// Creates a layer, optionally without a bias term.
-    pub fn with_bias(
-        in_features: usize,
-        out_features: usize,
-        bias: bool,
-        rng: &mut Rng,
-    ) -> Self {
+    pub fn with_bias(in_features: usize, out_features: usize, bias: bool, rng: &mut Rng) -> Self {
         let bound = 1.0 / (in_features as f32).sqrt();
         let weight = Tensor::rand_uniform(&[out_features, in_features], -bound, bound, rng);
         let bias = if bias {
@@ -88,7 +83,7 @@ impl Linear {
 }
 
 impl Layer for Linear {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
         if input.rank() != 2 || input.dims()[1] != self.in_features {
             return Err(NnError::Config(format!(
                 "Linear expects input [N, {}], got {:?}",
@@ -96,7 +91,13 @@ impl Layer for Linear {
                 input.dims()
             )));
         }
-        self.cached_input = Some(input.clone());
+        // The input is only needed by backward; skip the clone on the
+        // inference hot path (and drop any stale training cache).
+        self.cached_input = if mode.is_train() {
+            Some(input.clone())
+        } else {
+            None
+        };
         let mut out = ops::matmul_a_bt(input, &self.weight.value)?;
         if let Some(bias) = &self.bias {
             let n = out.dims()[0];
@@ -117,9 +118,17 @@ impl Layer for Linear {
             .cached_input
             .as_ref()
             .ok_or(NnError::BackwardBeforeForward("Linear"))?;
-        // dW = gradᵀ @ x : [out, in]
-        let grad_w = ops::matmul_at_b(grad_output, input)?;
-        self.weight.grad.add_assign(&grad_w)?;
+        // dW += gradᵀ @ x : [out, in] — fused into the gradient tensor with
+        // β = 1, avoiding the former temporary + add pass.
+        ops::gemm_into(
+            true,
+            false,
+            1.0,
+            grad_output,
+            input,
+            1.0,
+            &mut self.weight.grad,
+        )?;
         if let Some(bias) = &mut self.bias {
             let grad_b = ops::sum_axis(grad_output, 0)?;
             bias.grad.add_assign(&grad_b)?;

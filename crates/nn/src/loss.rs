@@ -200,12 +200,10 @@ mod tests {
         let target = Tensor::from_vec(vec![1.0, 0.0, 6.0], &[3]).unwrap();
         let out = mse(&pred, &target).unwrap();
         assert!((out.loss - (0.0 + 4.0 + 9.0) / 3.0).abs() < 1e-6);
-        assert!(out
-            .grad
-            .approx_eq(
-                &Tensor::from_vec(vec![0.0, 4.0 / 3.0, -2.0], &[3]).unwrap(),
-                1e-6
-            ));
+        assert!(out.grad.approx_eq(
+            &Tensor::from_vec(vec![0.0, 4.0 / 3.0, -2.0], &[3]).unwrap(),
+            1e-6
+        ));
         assert!(mse(&pred, &Tensor::zeros(&[4])).is_err());
     }
 
@@ -226,11 +224,7 @@ mod tests {
     fn bce_gradient_matches_numerical() {
         let mut rng = Rng::seed_from(2);
         let logits = Tensor::randn(&[8], 0.0, 2.0, &mut rng);
-        let targets = Tensor::from_vec(
-            (0..8).map(|i| (i % 2) as f32).collect(),
-            &[8],
-        )
-        .unwrap();
+        let targets = Tensor::from_vec((0..8).map(|i| (i % 2) as f32).collect(), &[8]).unwrap();
         let out = bce_with_logits(&logits, &targets).unwrap();
         let eps = 1e-3f32;
         for idx in 0..8 {

@@ -4,19 +4,20 @@
 use crate::error::NnError;
 use crate::layer::{Layer, Mode, Param};
 use crate::Result;
-use invnorm_tensor::{ops, Rng, Tensor};
+use invnorm_tensor::scratch::uninit_slice;
+use invnorm_tensor::{ops, Rng, Scratch, Tensor};
 
 /// Gate activations cached for one timestep.
 #[derive(Debug, Clone)]
 struct StepCache {
-    x: Tensor,       // [N, F]
-    h_prev: Tensor,  // [N, H]
-    c_prev: Tensor,  // [N, H]
-    i: Tensor,       // input gate
-    f: Tensor,       // forget gate
-    g: Tensor,       // cell candidate
-    o: Tensor,       // output gate
-    tanh_c: Tensor,  // tanh(new cell state)
+    x: Tensor,      // [N, F]
+    h_prev: Tensor, // [N, H]
+    c_prev: Tensor, // [N, H]
+    i: Tensor,      // input gate
+    f: Tensor,      // forget gate
+    g: Tensor,      // cell candidate
+    o: Tensor,      // output gate
+    tanh_c: Tensor, // tanh(new cell state)
 }
 
 /// A single-layer LSTM over `[N, T, F]` sequences.
@@ -26,6 +27,12 @@ struct StepCache {
 /// (the usual choice before a regression head).
 ///
 /// Gate order in the packed weight matrices is `input, forget, cell, output`.
+///
+/// Evaluation-mode forwards run a buffer-reusing fast path: the per-timestep
+/// input slice and gate pre-activations live in a [`Scratch`] and the gate
+/// math updates the recurrent state in place, so the Monte-Carlo hot loop
+/// performs no per-timestep allocations. Training-mode forwards retain the
+/// per-step caches needed by backpropagation through time.
 #[derive(Debug)]
 pub struct Lstm {
     input_size: usize,
@@ -35,6 +42,7 @@ pub struct Lstm {
     w_hh: Param, // [4H, H]
     bias: Param, // [4H]
     cache: Option<Vec<StepCache>>,
+    scratch: Scratch,
 }
 
 impl Lstm {
@@ -64,6 +72,7 @@ impl Lstm {
             )),
             bias: Param::new(Tensor::rand_uniform(&[4 * hidden_size], -bound, bound, rng)),
             cache: None,
+            scratch: Scratch::new(),
         }
     }
 
@@ -106,14 +115,77 @@ impl Lstm {
     }
 }
 
+impl Lstm {
+    /// Inference fast path: gate pre-activations and the input slice live in
+    /// the layer scratch, the recurrent state is updated in place, and no
+    /// step caches are built. Identical math to the training path.
+    fn forward_eval(&mut self, input: &Tensor) -> Result<Tensor> {
+        let d = input.dims();
+        let (n, t, feat) = (d[0], d[1], d[2]);
+        let h = self.hidden_size;
+        let mut h_prev = vec![0.0f32; n * h];
+        let mut c_prev = vec![0.0f32; n * h];
+        let mut hidden_seq = if self.return_sequences {
+            vec![0.0f32; n * t * h]
+        } else {
+            Vec::new()
+        };
+        let id = input.data();
+        let w_ih = self.w_ih.value.data();
+        let w_hh = self.w_hh.value.data();
+        let bd = self.bias.value.data();
+        let x_t = uninit_slice(&mut self.scratch.step, n * feat);
+        let z = uninit_slice(&mut self.scratch.out_mat, n * 4 * h);
+        for ti in 0..t {
+            for ni in 0..n {
+                let src = (ni * t + ti) * feat;
+                x_t[ni * feat..(ni + 1) * feat].copy_from_slice(&id[src..src + feat]);
+            }
+            // z = x W_ihᵀ + h_prev W_hhᵀ : [N, 4H], fused with β = 1.
+            ops::gemm(false, true, n, 4 * h, feat, 1.0, x_t, w_ih, 0.0, z);
+            ops::gemm(false, true, n, 4 * h, h, 1.0, &h_prev, w_hh, 1.0, z);
+            for ni in 0..n {
+                let zrow = &mut z[ni * 4 * h..(ni + 1) * 4 * h];
+                for (zv, bv) in zrow.iter_mut().zip(bd.iter()) {
+                    *zv += bv;
+                }
+                for hi in 0..h {
+                    let i = Self::sigmoid(zrow[hi]);
+                    let f = Self::sigmoid(zrow[h + hi]);
+                    let g = zrow[2 * h + hi].tanh();
+                    let o = Self::sigmoid(zrow[3 * h + hi]);
+                    let c = f * c_prev[ni * h + hi] + i * g;
+                    c_prev[ni * h + hi] = c;
+                    h_prev[ni * h + hi] = o * c.tanh();
+                }
+                if self.return_sequences {
+                    let dst = (ni * t + ti) * h;
+                    hidden_seq[dst..dst + h].copy_from_slice(&h_prev[ni * h..(ni + 1) * h]);
+                }
+            }
+        }
+        if self.return_sequences {
+            Ok(Tensor::from_vec(hidden_seq, &[n, t, h])?)
+        } else {
+            Ok(Tensor::from_vec(h_prev, &[n, h])?)
+        }
+    }
+}
+
 impl Layer for Lstm {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
         let d = input.dims();
         if d.len() != 3 || d[2] != self.input_size {
             return Err(NnError::Config(format!(
                 "Lstm expects [N, T, {}], got {d:?}",
                 self.input_size
             )));
+        }
+        if !mode.is_train() {
+            // No backward pass will follow; drop any stale training cache and
+            // take the allocation-free path.
+            self.cache = None;
+            return self.forward_eval(input);
         }
         let (n, t, feat) = (d[0], d[1], d[2]);
         let h = self.hidden_size;
@@ -131,10 +203,10 @@ impl Layer for Lstm {
                 x_t[ni * feat..(ni + 1) * feat].copy_from_slice(&id[src..src + feat]);
             }
             let x_t = Tensor::from_vec(x_t, &[n, feat])?;
-            // z = x W_ihᵀ + h_prev W_hhᵀ + b : [N, 4H]
+            // z = x W_ihᵀ + h_prev W_hhᵀ + b : [N, 4H], recurrent term fused
+            // into the same buffer with β = 1.
             let mut z = ops::matmul_a_bt(&x_t, &self.w_ih.value)?;
-            let zh = ops::matmul_a_bt(&h_prev, &self.w_hh.value)?;
-            z.add_assign(&zh)?;
+            ops::gemm_into(false, true, 1.0, &h_prev, &self.w_hh.value, 1.0, &mut z)?;
             {
                 let zd = z.data_mut();
                 let bd = self.bias.value.data();
@@ -249,11 +321,17 @@ impl Layer for Lstm {
             }
             let dz = Tensor::from_vec(dz, &[n, 4 * h])?;
 
-            // Parameter gradients.
-            self.w_ih.grad.add_assign(&ops::matmul_at_b(&dz, &cache.x)?)?;
-            self.w_hh
-                .grad
-                .add_assign(&ops::matmul_at_b(&dz, &cache.h_prev)?)?;
+            // Parameter gradients, accumulated in place with β = 1.
+            ops::gemm_into(true, false, 1.0, &dz, &cache.x, 1.0, &mut self.w_ih.grad)?;
+            ops::gemm_into(
+                true,
+                false,
+                1.0,
+                &dz,
+                &cache.h_prev,
+                1.0,
+                &mut self.w_hh.grad,
+            )?;
             self.bias.grad.add_assign(&ops::sum_axis(&dz, 0)?)?;
 
             // Input and recurrent gradients.
@@ -307,7 +385,9 @@ mod tests {
     fn rejects_bad_input() {
         let mut rng = Rng::seed_from(2);
         let mut lstm = Lstm::new(3, 4, false, &mut rng);
-        assert!(lstm.forward(&Tensor::zeros(&[4, 7, 2]), Mode::Train).is_err());
+        assert!(lstm
+            .forward(&Tensor::zeros(&[4, 7, 2]), Mode::Train)
+            .is_err());
         assert!(lstm.forward(&Tensor::zeros(&[4, 7]), Mode::Train).is_err());
         assert!(lstm.backward(&Tensor::zeros(&[4, 4])).is_err());
     }
@@ -401,5 +481,28 @@ mod tests {
         let mut rng = Rng::seed_from(7);
         let mut lstm = Lstm::new(3, 4, false, &mut rng);
         assert_eq!(lstm.param_count(), 4 * 4 * 3 + 4 * 4 * 4 + 4 * 4);
+    }
+
+    #[test]
+    fn eval_fast_path_matches_train_forward() {
+        let mut rng = Rng::seed_from(8);
+        for &return_sequences in &[false, true] {
+            let mut lstm = Lstm::new(3, 5, return_sequences, &mut rng);
+            let x = Tensor::randn(&[4, 6, 3], 0.0, 1.0, &mut rng);
+            let train = lstm.forward(&x, Mode::Train).unwrap();
+            let eval = lstm.forward(&x, Mode::Eval).unwrap();
+            assert!(
+                eval.approx_eq(&train, 1e-6),
+                "eval path must match train math (seq={return_sequences})"
+            );
+            // Repeated eval forwards reuse the scratch buffers.
+            let warm = lstm.scratch.capacity();
+            for _ in 0..3 {
+                lstm.forward(&x, Mode::Eval).unwrap();
+            }
+            assert_eq!(lstm.scratch.capacity(), warm);
+            // The eval pass dropped the training cache: backward must refuse.
+            assert!(lstm.backward(&Tensor::ones(train.dims())).is_err());
+        }
     }
 }

@@ -132,7 +132,11 @@ pub fn expected_calibration_error(probs: &Tensor, targets: &[usize], bins: usize
     for i in 0..n {
         let b = ((confidences[i] * bins as f32) as usize).min(bins - 1);
         bin_conf[b] += confidences[i];
-        bin_acc[b] += if predictions[i] == targets[i] { 1.0 } else { 0.0 };
+        bin_acc[b] += if predictions[i] == targets[i] {
+            1.0
+        } else {
+            0.0
+        };
         bin_count[b] += 1;
     }
     let mut ece = 0.0f32;
@@ -179,8 +183,7 @@ mod tests {
 
     #[test]
     fn accuracy_basic() {
-        let scores =
-            Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4], &[3, 2]).unwrap();
+        let scores = Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4], &[3, 2]).unwrap();
         assert_eq!(accuracy(&scores, &[0, 1, 0]).unwrap(), 1.0);
         assert!((accuracy(&scores, &[0, 1, 1]).unwrap() - 2.0 / 3.0).abs() < 1e-6);
         assert!(accuracy(&scores, &[0, 1]).is_err());
@@ -227,10 +230,7 @@ mod tests {
         // Confident and right: low ECE.
         let right = expected_calibration_error(&wrong, &[0, 0], 10).unwrap();
         assert!(right < 0.05);
-        assert_eq!(
-            expected_calibration_error(&wrong, &[0, 0], 0).unwrap(),
-            0.0
-        );
+        assert_eq!(expected_calibration_error(&wrong, &[0, 0], 0).unwrap(), 0.0);
     }
 
     #[test]

@@ -119,10 +119,7 @@ impl Layer for BatchNorm {
                 *rv = (1.0 - self.momentum) * *rv + self.momentum * var;
                 (mean, var)
             } else {
-                (
-                    self.running_mean.data()[ci],
-                    self.running_var.data()[ci],
-                )
+                (self.running_mean.data()[ci], self.running_var.data()[ci])
             };
             let inv_std = 1.0 / (var + NORM_EPS).sqrt();
             inv_stds[ci] = inv_std;
@@ -181,9 +178,8 @@ impl Layer for BatchNorm {
             for ni in 0..n {
                 let base = (ni * c + ci) * s;
                 for i in 0..s {
-                    grad_input.data_mut()[base + i] = g
-                        * inv_std
-                        * (gd[base + i] - mean_dy - xh[base + i] * mean_dy_xhat);
+                    grad_input.data_mut()[base + i] =
+                        g * inv_std * (gd[base + i] - mean_dy - xh[base + i] * mean_dy_xhat);
                 }
             }
         }
@@ -230,7 +226,7 @@ impl GroupNorm {
     ///
     /// Returns an error if `groups` does not divide `channels` or is zero.
     pub fn new(channels: usize, groups: usize) -> Result<Self> {
-        if groups == 0 || channels % groups != 0 {
+        if groups == 0 || !channels.is_multiple_of(groups) {
             return Err(NnError::Config(format!(
                 "groups ({groups}) must divide channels ({channels})"
             )));
@@ -416,8 +412,7 @@ mod tests {
                 }
             }
             let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
-            let var: f32 =
-                vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
+            let var: f32 = vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
             assert!(mean.abs() < 1e-4, "channel {ci} mean {mean}");
             assert!((var - 1.0).abs() < 1e-2, "channel {ci} var {var}");
         }
@@ -454,11 +449,7 @@ mod tests {
 
         let eps = 1e-2f32;
         let loss = |bn: &mut BatchNorm, x: &Tensor| -> f32 {
-            bn.forward(x, Mode::Train)
-                .unwrap()
-                .mul(&w)
-                .unwrap()
-                .sum()
+            bn.forward(x, Mode::Train).unwrap().mul(&w).unwrap().sum()
         };
         for idx in [0usize, 5, 13, 23] {
             let mut xp = x.clone();

@@ -64,9 +64,7 @@ impl Sgd {
             let _ = grad.add_scaled(&p.value, self.weight_decay);
         }
         if self.momentum > 0.0 {
-            let velocity = p
-                .opt_m
-                .get_or_insert_with(|| Tensor::zeros(p.value.dims()));
+            let velocity = p.opt_m.get_or_insert_with(|| Tensor::zeros(p.value.dims()));
             // v = momentum*v + grad ; value -= lr * v
             let vd = velocity.data_mut();
             for (v, g) in vd.iter_mut().zip(grad.data().iter()) {
@@ -137,16 +135,12 @@ impl Adam {
         if self.weight_decay > 0.0 {
             let _ = grad.add_scaled(&p.value, self.weight_decay);
         }
-        let m = p
-            .opt_m
-            .get_or_insert_with(|| Tensor::zeros(p.value.dims()));
+        let m = p.opt_m.get_or_insert_with(|| Tensor::zeros(p.value.dims()));
         let md = m.data_mut();
         for (mi, g) in md.iter_mut().zip(grad.data().iter()) {
             *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
         }
-        let v = p
-            .opt_v
-            .get_or_insert_with(|| Tensor::zeros(p.value.dims()));
+        let v = p.opt_v.get_or_insert_with(|| Tensor::zeros(p.value.dims()));
         let vd = v.data_mut();
         for (vi, g) in vd.iter_mut().zip(grad.data().iter()) {
             *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;

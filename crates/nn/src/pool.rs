@@ -284,7 +284,9 @@ mod tests {
     #[test]
     fn maxpool1d_rejects_nondividing_kernel() {
         let mut layer = MaxPool1d::new(4);
-        assert!(layer.forward(&Tensor::ones(&[1, 1, 6]), Mode::Eval).is_err());
+        assert!(layer
+            .forward(&Tensor::ones(&[1, 1, 6]), Mode::Eval)
+            .is_err());
         assert!(layer.forward(&Tensor::ones(&[1, 6]), Mode::Eval).is_err());
     }
 
@@ -321,6 +323,8 @@ mod tests {
     fn backward_before_forward_errors() {
         assert!(MaxPool2d::new(2).backward(&Tensor::ones(&[1])).is_err());
         assert!(AvgPool2d::new(2).backward(&Tensor::ones(&[1])).is_err());
-        assert!(GlobalAvgPool2d::new().backward(&Tensor::ones(&[1])).is_err());
+        assert!(GlobalAvgPool2d::new()
+            .backward(&Tensor::ones(&[1]))
+            .is_err());
     }
 }

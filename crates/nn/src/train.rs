@@ -272,7 +272,7 @@ mod tests {
         for i in 0..64 {
             let r = x.index_axis0(i).unwrap();
             y_rows.push(Tensor::from_slice(&[
-                r.data()[0] - 2.0 * r.data()[1] + 0.5 * r.data()[2],
+                r.data()[0] - 2.0 * r.data()[1] + 0.5 * r.data()[2]
             ]));
         }
         let y = Tensor::stack(&y_rows).unwrap();

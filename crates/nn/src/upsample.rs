@@ -130,8 +130,11 @@ mod tests {
     fn error_handling() {
         let mut up = Upsample2d::new(2);
         assert!(up.forward(&Tensor::ones(&[2, 3]), Mode::Eval).is_err());
-        assert!(Upsample2d::new(2).backward(&Tensor::ones(&[1, 1, 4, 4])).is_err());
-        up.forward(&Tensor::ones(&[1, 1, 2, 2]), Mode::Eval).unwrap();
+        assert!(Upsample2d::new(2)
+            .backward(&Tensor::ones(&[1, 1, 4, 4]))
+            .is_err());
+        up.forward(&Tensor::ones(&[1, 1, 2, 2]), Mode::Eval)
+            .unwrap();
         assert!(up.backward(&Tensor::ones(&[1, 1, 3, 3])).is_err());
     }
 

@@ -9,8 +9,8 @@
 //!   precedes programming the weights into the crossbar model of
 //!   `invnorm-imc`.
 
-use crate::config::{Precision, QuantConfig};
 use crate::binary::fake_binarize;
+use crate::config::{Precision, QuantConfig};
 use crate::uniform::fake_quantize;
 use crate::Result;
 use invnorm_nn::layer::{Layer, Mode};
@@ -81,13 +81,7 @@ impl Layer for FakeQuantAct {
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
         let lo = self.lo();
         let hi = self.clip;
-        self.mask = Some(
-            input
-                .data()
-                .iter()
-                .map(|&x| x >= lo && x <= hi)
-                .collect(),
-        );
+        self.mask = Some(input.data().iter().map(|&x| x >= lo && x <= hi).collect());
         // Quantization step over the clip range.
         let levels = self.levels() as f32;
         let step = (hi - lo) / levels;
@@ -223,7 +217,7 @@ mod tests {
             .with(Box::new(Linear::new(8, 2, &mut rng)));
         let touched = quantize_layer_weights(&mut net, &QuantConfig::int8()).unwrap();
         assert_eq!(touched, 4); // two weights + two biases
-        // Values should now lie on a small grid: count distinct values.
+                                // Values should now lie on a small grid: count distinct values.
         let mut distinct = std::collections::BTreeSet::new();
         net.visit_params(&mut |p| {
             for &v in p.value.data() {

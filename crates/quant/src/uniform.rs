@@ -135,21 +135,20 @@ pub fn fake_quantize(tensor: &Tensor, bits: u8) -> Result<Tensor> {
     Ok(QuantizedTensor::quantize(tensor, bits)?.dequantize())
 }
 
-/// Helpers around the `bytes` crate kept in a private-ish module so the main
-/// API stays focused on tensors.
+/// Byte-packing helpers kept in a private-ish module so the main API stays
+/// focused on tensors.
 pub mod bytes_impl {
-    use bytes::{BufMut, BytesMut};
-
     /// Compact byte buffer alias.
-    pub type BytesBuf = bytes::Bytes;
+    pub type BytesBuf = Vec<u8>;
 
     /// Packs i32 codes (assumed to fit in i16) into a little-endian buffer.
     pub fn codes_to_bytes(codes: &[i32]) -> BytesBuf {
-        let mut buf = BytesMut::with_capacity(codes.len() * 2);
+        let mut buf = Vec::with_capacity(codes.len() * 2);
         for &c in codes {
-            buf.put_i16_le(c.clamp(i16::MIN as i32, i16::MAX as i32) as i16);
+            let clamped = c.clamp(i16::MIN as i32, i16::MAX as i32) as i16;
+            buf.extend_from_slice(&clamped.to_le_bytes());
         }
-        buf.freeze()
+        buf
     }
 
     /// Unpacks a buffer produced by [`codes_to_bytes`].
@@ -173,11 +172,7 @@ mod tests {
         for bits in [4u8, 8, 12] {
             let q = QuantizedTensor::quantize(&t, bits).unwrap();
             let back = q.dequantize();
-            let max_err = t
-                .sub(&back)
-                .unwrap()
-                .abs()
-                .max();
+            let max_err = t.sub(&back).unwrap().abs().max();
             assert!(
                 max_err <= q.scale() * 0.5 + 1e-6,
                 "bits {bits}: max error {max_err} vs half-scale {}",

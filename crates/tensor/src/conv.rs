@@ -11,6 +11,7 @@
 
 use crate::error::TensorError;
 use crate::ops;
+use crate::scratch::{uninit_slice, Scratch};
 use crate::tensor::Tensor;
 use crate::Result;
 
@@ -74,8 +75,31 @@ pub fn im2col(input: &Tensor, spec: &Conv2dSpec) -> Result<Tensor> {
     let (oh, ow) = spec.output_hw(h, w)?;
     let patch = c * spec.kh * spec.kw;
     let rows = n * oh * ow;
-    let data = input.data();
     let mut cols = vec![0.0f32; rows * patch];
+    im2col_into(input, spec, &mut cols)?;
+    Tensor::from_vec(cols, &[rows, patch])
+}
+
+/// [`im2col`] into a caller-provided buffer of exactly
+/// `N*OH*OW × C*KH*KW` elements (every element is overwritten), so repeated
+/// forward passes can reuse one allocation — see [`conv2d_forward_with_scratch`].
+///
+/// # Errors
+///
+/// Returns an error when the input is not rank-4, the geometry is invalid or
+/// the buffer length is wrong.
+pub fn im2col_into(input: &Tensor, spec: &Conv2dSpec, cols: &mut [f32]) -> Result<()> {
+    let (n, c, h, w) = as_nchw(input)?;
+    let (oh, ow) = spec.output_hw(h, w)?;
+    let patch = c * spec.kh * spec.kw;
+    let rows = n * oh * ow;
+    if cols.len() != rows * patch {
+        return Err(TensorError::ShapeMismatch {
+            lhs: vec![rows, patch],
+            rhs: vec![cols.len()],
+        });
+    }
+    let data = input.data();
     for ni in 0..n {
         for oy in 0..oh {
             for ox in 0..ow {
@@ -84,11 +108,11 @@ pub fn im2col(input: &Tensor, spec: &Conv2dSpec) -> Result<Tensor> {
                 for ci in 0..c {
                     for ky in 0..spec.kh {
                         let iy = (oy * spec.stride + ky) as isize - spec.pad as isize;
+                        let in_y = iy >= 0 && (iy as usize) < h;
                         for kx in 0..spec.kw {
                             let ix = (ox * spec.stride + kx) as isize - spec.pad as isize;
                             let col_idx = (ci * spec.kh + ky) * spec.kw + kx;
-                            let value = if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w
-                            {
+                            let value = if in_y && ix >= 0 && (ix as usize) < w {
                                 data[((ni * c + ci) * h + iy as usize) * w + ix as usize]
                             } else {
                                 0.0
@@ -100,7 +124,7 @@ pub fn im2col(input: &Tensor, spec: &Conv2dSpec) -> Result<Tensor> {
             }
         }
     }
-    Tensor::from_vec(cols, &[rows, patch])
+    Ok(())
 }
 
 /// Folds a `[N*OH*OW, C*KH*KW]` patch-gradient matrix back onto an
@@ -209,7 +233,78 @@ pub fn conv2d_forward(
     let weight_mat = weight.reshape(&[oc, c * spec.kh * spec.kw])?;
     // [N*OH*OW, patch] @ [patch, OC] -> [N*OH*OW, OC]
     let out_mat = ops::matmul_a_bt(&cols, &weight_mat)?;
-    let om = out_mat.data();
+    let out = relayout_nchw(out_mat.data(), bias, n, oc, oh, ow);
+    Ok(Conv2dForward {
+        output: Tensor::from_vec(out, &[n, oc, oh, ow])?,
+        cols,
+    })
+}
+
+/// 2-D convolution forward pass for inference hot loops: identical math to
+/// [`conv2d_forward`], but the im2col patch matrix and the GEMM staging
+/// buffer live in the caller's [`Scratch`] (and the GEMM packing buffers in
+/// a thread-local one), so steady-state calls only allocate the returned
+/// output tensor. No patch matrix is retained — use [`conv2d_forward`] when
+/// a backward pass will follow.
+///
+/// # Errors
+///
+/// Returns an error when shapes are inconsistent with `spec`.
+pub fn conv2d_forward_with_scratch(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    spec: &Conv2dSpec,
+    scratch: &mut Scratch,
+) -> Result<Tensor> {
+    let (n, c, h, w) = as_nchw(input)?;
+    let wd = weight.dims();
+    if wd.len() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: wd.len(),
+        });
+    }
+    let (oc, wc, wkh, wkw) = (wd[0], wd[1], wd[2], wd[3]);
+    if wc != c || wkh != spec.kh || wkw != spec.kw {
+        return Err(TensorError::InvalidArgument(format!(
+            "weight shape {wd:?} inconsistent with input channels {c} and kernel {}x{}",
+            spec.kh, spec.kw
+        )));
+    }
+    let (oh, ow) = spec.output_hw(h, w)?;
+    let patch = c * spec.kh * spec.kw;
+    let rows = n * oh * ow;
+    let cols = uninit_slice(&mut scratch.cols, rows * patch);
+    im2col_into(input, spec, cols)?;
+    // [rows, patch] @ [oc, patch]ᵀ -> [rows, oc]
+    let out_mat = uninit_slice(&mut scratch.out_mat, rows * oc);
+    ops::gemm(
+        false,
+        true,
+        rows,
+        oc,
+        patch,
+        1.0,
+        cols,
+        weight.data(),
+        0.0,
+        out_mat,
+    );
+    let out = relayout_nchw(out_mat, bias, n, oc, oh, ow);
+    Tensor::from_vec(out, &[n, oc, oh, ow])
+}
+
+/// Re-layouts a `[N*OH*OW, OC]` GEMM result into `[N, OC, OH, OW]`, adding
+/// the per-channel bias on the way.
+fn relayout_nchw(
+    om: &[f32],
+    bias: Option<&Tensor>,
+    n: usize,
+    oc: usize,
+    oh: usize,
+    ow: usize,
+) -> Vec<f32> {
     let mut out = vec![0.0f32; n * oc * oh * ow];
     for ni in 0..n {
         for oy in 0..oh {
@@ -225,10 +320,7 @@ pub fn conv2d_forward(
             }
         }
     }
-    Ok(Conv2dForward {
-        output: Tensor::from_vec(out, &[n, oc, oh, ow])?,
-        cols,
-    })
+    out
 }
 
 /// 2-D convolution backward pass.
@@ -354,10 +446,10 @@ mod tests {
                                 for kx in 0..spec.kw {
                                     let iy = (oy * spec.stride + ky) as isize - spec.pad as isize;
                                     let ix = (ox * spec.stride + kx) as isize - spec.pad as isize;
-                                    if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
-                                        let xv = input
-                                            .get(&[ni, ci, iy as usize, ix as usize])
-                                            .unwrap();
+                                    if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w
+                                    {
+                                        let xv =
+                                            input.get(&[ni, ci, iy as usize, ix as usize]).unwrap();
                                         let wv = weight.get(&[co, ci, ky, kx]).unwrap();
                                         acc += xv * wv;
                                     }
@@ -442,8 +534,7 @@ mod tests {
         // Loss = sum(output); grad_output = ones.
         let fwd = conv2d_forward(&input, &weight, Some(&bias), &spec).unwrap();
         let grad_out = Tensor::ones(fwd.output.dims());
-        let grads =
-            conv2d_backward(&grad_out, &fwd.cols, &weight, input.dims(), &spec).unwrap();
+        let grads = conv2d_backward(&grad_out, &fwd.cols, &weight, input.dims(), &spec).unwrap();
 
         let eps = 1e-2f32;
         // Check a few weight coordinates against central differences.
@@ -512,5 +603,49 @@ mod tests {
         let input = Tensor::zeros(&[1, 3, 8, 8]);
         let weight = Tensor::zeros(&[4, 2, 3, 3]); // wrong in-channels
         assert!(conv2d_forward(&input, &weight, None, &spec).is_err());
+        let mut scratch = Scratch::new();
+        assert!(conv2d_forward_with_scratch(&input, &weight, None, &spec, &mut scratch).is_err());
+    }
+
+    #[test]
+    fn scratch_forward_matches_allocating_forward() {
+        let mut rng = Rng::seed_from(10);
+        let mut scratch = Scratch::new();
+        for &(stride, pad) in &[(1usize, 0usize), (1, 1), (2, 1)] {
+            let spec = Conv2dSpec::new(3, stride, pad);
+            let input = Tensor::randn(&[2, 3, 7, 7], 0.0, 1.0, &mut rng);
+            let weight = Tensor::randn(&[5, 3, 3, 3], 0.0, 0.5, &mut rng);
+            let bias = Tensor::randn(&[5], 0.0, 0.5, &mut rng);
+            let reference = conv2d_forward(&input, &weight, Some(&bias), &spec)
+                .unwrap()
+                .output;
+            let got =
+                conv2d_forward_with_scratch(&input, &weight, Some(&bias), &spec, &mut scratch)
+                    .unwrap();
+            assert!(got.approx_eq(&reference, 1e-5), "stride {stride} pad {pad}");
+        }
+    }
+
+    #[test]
+    fn scratch_forward_reuses_buffers_across_calls() {
+        let mut rng = Rng::seed_from(11);
+        let spec = Conv2dSpec::new(3, 1, 1);
+        let input = Tensor::randn(&[2, 4, 12, 12], 0.0, 1.0, &mut rng);
+        let weight = Tensor::randn(&[8, 4, 3, 3], 0.0, 0.5, &mut rng);
+        let mut scratch = Scratch::new();
+        conv2d_forward_with_scratch(&input, &weight, None, &spec, &mut scratch).unwrap();
+        let warm = scratch.capacity();
+        for _ in 0..3 {
+            conv2d_forward_with_scratch(&input, &weight, None, &spec, &mut scratch).unwrap();
+        }
+        assert_eq!(scratch.capacity(), warm, "steady state must not reallocate");
+    }
+
+    #[test]
+    fn im2col_into_rejects_wrong_buffer_length() {
+        let spec = Conv2dSpec::new(3, 1, 1);
+        let input = Tensor::zeros(&[1, 2, 5, 5]);
+        let mut too_small = vec![0.0f32; 7];
+        assert!(im2col_into(&input, &spec, &mut too_small).is_err());
     }
 }

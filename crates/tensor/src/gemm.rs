@@ -1,0 +1,650 @@
+//! Cache-blocked, register-tiled, parallel f32 GEMM.
+//!
+//! This is the compute core every dense layer in the workspace funnels into:
+//! `C ← α · op(A) · op(B) + β · C` with optional transposition of either
+//! operand, in the classic three-level blocking scheme (Goto/BLIS):
+//!
+//! * the k-dimension is split into panels of [`KC`] so a packed strip of B
+//!   stays resident in L1 while the microkernel streams over it;
+//! * the m-dimension is split into blocks of [`MC`] so the packed A block
+//!   stays resident in L2;
+//! * the innermost microkernel computes an `MR × NR` tile of C entirely in
+//!   registers — branch-free, with no loads or stores of C inside the k-loop
+//!   (the naive kernel's biggest cost after its data-dependent sparsity
+//!   branch).
+//!
+//! Both operands are packed into contiguous, tile-major buffers before the
+//! microkernel runs, with edge tiles zero-padded so the microkernel never
+//! needs bounds checks. Packing buffers come from a caller-supplied
+//! [`Scratch`] (or a thread-local one for the convenience entry point), so
+//! steady-state calls allocate nothing.
+//!
+//! Large products are parallelized over [`MC`]-row blocks with rayon: worker
+//! threads claim row blocks from an atomic counter (work stealing) and each
+//! element of C is written by exactly one worker with a fixed, sequential
+//! k-accumulation order — results are therefore **bit-identical** for every
+//! thread count and schedule.
+
+use crate::scratch::{uninit_slice, Scratch};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Rows of C computed per microkernel tile.
+///
+/// The AVX2+FMA kernel uses a 6×16 tile: 12 independent 256-bit FMA
+/// accumulator chains — enough to cover FMA latency at two FMAs per cycle.
+/// On baseline SSE2 that tile would spill (24 xmm accumulators), so the
+/// portable kernel uses 4×8 instead.
+#[cfg(all(
+    target_arch = "x86_64",
+    target_feature = "avx2",
+    target_feature = "fma"
+))]
+pub const MR: usize = 6;
+/// Columns of C computed per microkernel tile (two 256-bit vectors of f32).
+#[cfg(all(
+    target_arch = "x86_64",
+    target_feature = "avx2",
+    target_feature = "fma"
+))]
+pub const NR: usize = 16;
+
+/// Rows of C computed per microkernel tile (portable configuration).
+#[cfg(not(all(
+    target_arch = "x86_64",
+    target_feature = "avx2",
+    target_feature = "fma"
+)))]
+pub const MR: usize = 4;
+/// Columns of C computed per microkernel tile (two 128-bit vectors of f32).
+#[cfg(not(all(
+    target_arch = "x86_64",
+    target_feature = "avx2",
+    target_feature = "fma"
+)))]
+pub const NR: usize = 8;
+/// k-panel size: a KC×NR strip of packed B (8 KiB) stays L1-resident.
+pub const KC: usize = 256;
+/// m-block size: an MC×KC block of packed A (128 KiB) stays L2-resident.
+pub const MC: usize = 128;
+/// n-panel size: bounds the packed-B buffer at KC×NC (256 KiB).
+pub const NC: usize = 256;
+
+/// Minimum `m·n·k` before the row-block loop is parallelized; below this the
+/// fork/steal overhead outweighs the work.
+const PARALLEL_FLOP_THRESHOLD: usize = 1 << 21;
+
+thread_local! {
+    static LOCAL_SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new());
+}
+
+/// General matrix multiply-accumulate `C ← α · op(A) · op(B) + β · C`.
+///
+/// `op(A)` is `A` (`[m, k]`, row-major) or `Aᵀ` (stored `[k, m]`) when
+/// `trans_a` is set; likewise `op(B)` is `[k, n]` or stored `[n, k]` when
+/// `trans_b` is set. `C` is always `[m, n]` row-major. With `beta == 0.0`,
+/// `C` is overwritten without being read (so it may hold garbage, including
+/// NaNs); with `beta == 1.0` the product accumulates into `C`, which lets
+/// backward passes fuse their `+=` instead of allocating a temporary.
+///
+/// Packing buffers are borrowed from a thread-local [`Scratch`]; use
+/// [`gemm_with_scratch`] to supply your own. Large products run in parallel;
+/// results are bit-identical for every thread count.
+///
+/// # Panics
+///
+/// Panics when a slice length disagrees with the given dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm(
+    trans_a: bool,
+    trans_b: bool,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+) {
+    check_dims(m, n, k, a, b, c);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 || alpha == 0.0 {
+        scale_in_place(c, beta);
+        return;
+    }
+    let row_blocks = m.div_ceil(MC);
+    let workers = rayon::current_num_threads().min(row_blocks);
+    if workers > 1 && m * n * k >= PARALLEL_FLOP_THRESHOLD {
+        gemm_parallel(trans_a, trans_b, m, n, k, alpha, a, b, beta, c, workers);
+    } else {
+        LOCAL_SCRATCH.with(|s| {
+            gemm_with_scratch(
+                trans_a,
+                trans_b,
+                m,
+                n,
+                k,
+                alpha,
+                a,
+                b,
+                beta,
+                c,
+                &mut s.borrow_mut(),
+            );
+        });
+    }
+}
+
+/// Single-threaded [`gemm`] with an explicit packing workspace, for callers
+/// that manage buffer reuse themselves (layers, the conv path).
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_with_scratch(
+    trans_a: bool,
+    trans_b: bool,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+    scratch: &mut Scratch,
+) {
+    check_dims(m, n, k, a, b, c);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 || alpha == 0.0 {
+        scale_in_place(c, beta);
+        return;
+    }
+    let packed_b = uninit_slice(&mut scratch.packed_b, KC * NC.min(n.next_multiple_of(NR)));
+    let packed_a = uninit_slice(&mut scratch.packed_a, MC.next_multiple_of(MR) * KC);
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            pack_b(trans_b, b, k, n, pc, kc, jc, nc, packed_b);
+            let beta_block = if pc == 0 { beta } else { 1.0 };
+            for ic in (0..m).step_by(MC) {
+                let mc = MC.min(m - ic);
+                pack_a(trans_a, a, m, k, ic, mc, pc, kc, packed_a);
+                block_kernel(
+                    packed_a, packed_b, c, n, ic, mc, jc, nc, kc, alpha, beta_block,
+                );
+            }
+        }
+    }
+}
+
+/// Work-stealing parallel path: row blocks are claimed from an atomic
+/// counter; each worker packs its own A blocks, while the packed B panel for
+/// the current `(jc, pc)` stage is shared read-only across workers.
+#[allow(clippy::too_many_arguments)]
+fn gemm_parallel(
+    trans_a: bool,
+    trans_b: bool,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+    workers: usize,
+) {
+    let row_blocks = m.div_ceil(MC);
+    let mut packed_b_buf = vec![0.0f32; KC * NC.min(n.next_multiple_of(NR))];
+    let c_ptr = SendPtr(c.as_mut_ptr());
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            pack_b(trans_b, b, k, n, pc, kc, jc, nc, &mut packed_b_buf);
+            let packed_b = &packed_b_buf;
+            let beta_block = if pc == 0 { beta } else { 1.0 };
+            let next = AtomicUsize::new(0);
+            rayon::scope(|s| {
+                for _ in 0..workers {
+                    let next = &next;
+                    let c_ptr = &c_ptr;
+                    s.spawn(move || {
+                        let mut packed_a = vec![0.0f32; MC.next_multiple_of(MR) * KC];
+                        loop {
+                            let blk = next.fetch_add(1, Ordering::Relaxed);
+                            if blk >= row_blocks {
+                                break;
+                            }
+                            let ic = blk * MC;
+                            let mc = MC.min(m - ic);
+                            pack_a(trans_a, a, m, k, ic, mc, pc, kc, &mut packed_a);
+                            // SAFETY: each row block `[ic, ic+mc)` is claimed
+                            // by exactly one worker (atomic counter), so the
+                            // C rows written here are disjoint between
+                            // workers for the lifetime of this scope.
+                            let c_rows = unsafe {
+                                std::slice::from_raw_parts_mut(c_ptr.0.add(ic * n), mc * n)
+                            };
+                            block_kernel(
+                                &packed_a, packed_b, c_rows, n, 0, mc, jc, nc, kc, alpha,
+                                beta_block,
+                            );
+                        }
+                    });
+                }
+            });
+        }
+    }
+}
+
+/// Raw pointer wrapper so scoped workers can share the output buffer; safety
+/// rests on the disjoint row-block claim discipline in [`gemm_parallel`].
+struct SendPtr(*mut f32);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+fn check_dims(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "A must hold m*k elements");
+    assert_eq!(b.len(), k * n, "B must hold k*n elements");
+    assert_eq!(c.len(), m * n, "C must hold m*n elements");
+}
+
+fn scale_in_place(c: &mut [f32], beta: f32) {
+    if beta == 0.0 {
+        c.fill(0.0);
+    } else if beta != 1.0 {
+        for v in c {
+            *v *= beta;
+        }
+    }
+}
+
+/// Packs the `mc × kc` block of `op(A)` starting at `(ic, pc)` into MR-row
+/// strips laid out p-major (`packed[strip][p][r]`), zero-padding the ragged
+/// final strip so the microkernel always reads full tiles.
+#[allow(clippy::too_many_arguments)]
+fn pack_a(
+    trans_a: bool,
+    a: &[f32],
+    m: usize,
+    k: usize,
+    ic: usize,
+    mc: usize,
+    pc: usize,
+    kc: usize,
+    packed: &mut [f32],
+) {
+    let at = |i: usize, p: usize| -> f32 {
+        if trans_a {
+            a[p * m + i]
+        } else {
+            a[i * k + p]
+        }
+    };
+    let mut dst = 0;
+    for ir in (0..mc).step_by(MR) {
+        let rows = MR.min(mc - ir);
+        for p in 0..kc {
+            for r in 0..MR {
+                packed[dst] = if r < rows {
+                    at(ic + ir + r, pc + p)
+                } else {
+                    0.0
+                };
+                dst += 1;
+            }
+        }
+    }
+}
+
+/// Packs the `kc × nc` block of `op(B)` starting at `(pc, jc)` into NR-column
+/// strips laid out p-major (`packed[strip][p][j]`), zero-padded like
+/// [`pack_a`].
+#[allow(clippy::too_many_arguments)]
+fn pack_b(
+    trans_b: bool,
+    b: &[f32],
+    k: usize,
+    n: usize,
+    pc: usize,
+    kc: usize,
+    jc: usize,
+    nc: usize,
+    packed: &mut [f32],
+) {
+    let bt = |p: usize, j: usize| -> f32 {
+        if trans_b {
+            b[j * k + p]
+        } else {
+            b[p * n + j]
+        }
+    };
+    let mut dst = 0;
+    for jr in (0..nc).step_by(NR) {
+        let cols = NR.min(nc - jr);
+        for p in 0..kc {
+            for j in 0..NR {
+                packed[dst] = if j < cols {
+                    bt(pc + p, jc + jr + j)
+                } else {
+                    0.0
+                };
+                dst += 1;
+            }
+        }
+    }
+}
+
+/// Runs the microkernel over every `MR × NR` tile of an `mc × nc` block,
+/// writing into `c` (row-major with leading dimension `n`) at row offset
+/// `ic` and column offset `jc`.
+#[allow(clippy::too_many_arguments)]
+fn block_kernel(
+    packed_a: &[f32],
+    packed_b: &[f32],
+    c: &mut [f32],
+    n: usize,
+    ic: usize,
+    mc: usize,
+    jc: usize,
+    nc: usize,
+    kc: usize,
+    alpha: f32,
+    beta: f32,
+) {
+    for jr in (0..nc).step_by(NR) {
+        let cols = NR.min(nc - jr);
+        let pb = &packed_b[(jr / NR) * (kc * NR)..][..kc * NR];
+        for ir in (0..mc).step_by(MR) {
+            let rows = MR.min(mc - ir);
+            let pa = &packed_a[(ir / MR) * (kc * MR)..][..kc * MR];
+            let acc = microkernel(kc, pa, pb);
+            store_tile(&acc, c, n, ic + ir, jc + jr, rows, cols, alpha, beta);
+        }
+    }
+}
+
+/// The register-resident `MR × NR` tile product: `acc += Ā · B̄` over one
+/// packed k-panel. Branch-free; the accumulators live entirely in vector
+/// registers, so the k-loop touches memory only to stream the packed panels.
+///
+/// Hand-written 6×16 AVX2+FMA variant: twelve ymm accumulators, two packed-B
+/// vector loads and six scalar broadcasts per k-step.
+#[cfg(all(
+    target_arch = "x86_64",
+    target_feature = "avx2",
+    target_feature = "fma"
+))]
+#[inline(always)]
+fn microkernel(kc: usize, pa: &[f32], pb: &[f32]) -> [[f32; NR]; MR] {
+    use core::arch::x86_64::{
+        _mm256_broadcast_ss, _mm256_fmadd_ps, _mm256_loadu_ps, _mm256_setzero_ps, _mm256_storeu_ps,
+    };
+    assert!(pa.len() >= kc * MR && pb.len() >= kc * NR);
+    // SAFETY: the target features are statically enabled (cfg above), and
+    // every pointer read stays inside the asserted slice bounds.
+    unsafe {
+        let mut acc = [_mm256_setzero_ps(); 2 * MR];
+        let mut ap = pa.as_ptr();
+        let mut bp = pb.as_ptr();
+        for _ in 0..kc {
+            let b0 = _mm256_loadu_ps(bp);
+            let b1 = _mm256_loadu_ps(bp.add(8));
+            // Fixed trip count: fully unrolled, `acc` stays in registers.
+            for r in 0..MR {
+                let ar = _mm256_broadcast_ss(&*ap.add(r));
+                acc[2 * r] = _mm256_fmadd_ps(ar, b0, acc[2 * r]);
+                acc[2 * r + 1] = _mm256_fmadd_ps(ar, b1, acc[2 * r + 1]);
+            }
+            ap = ap.add(MR);
+            bp = bp.add(NR);
+        }
+        let mut out = [[0.0f32; NR]; MR];
+        for (r, row) in out.iter_mut().enumerate() {
+            _mm256_storeu_ps(row.as_mut_ptr(), acc[2 * r]);
+            _mm256_storeu_ps(row.as_mut_ptr().add(8), acc[2 * r + 1]);
+        }
+        out
+    }
+}
+
+/// Portable auto-vectorized 4×8 variant of the microkernel.
+#[cfg(not(all(
+    target_arch = "x86_64",
+    target_feature = "avx2",
+    target_feature = "fma"
+)))]
+#[inline(always)]
+fn microkernel(kc: usize, pa: &[f32], pb: &[f32]) -> [[f32; NR]; MR] {
+    let mut acc = [[0.0f32; NR]; MR];
+    for p in 0..kc {
+        let bv: &[f32; NR] = pb[p * NR..p * NR + NR].try_into().expect("NR panel");
+        let av: &[f32; MR] = pa[p * MR..p * MR + MR].try_into().expect("MR panel");
+        for r in 0..MR {
+            let ar = av[r];
+            for j in 0..NR {
+                acc[r][j] += ar * bv[j];
+            }
+        }
+    }
+    acc
+}
+
+/// Writes one accumulator tile back to C, applying `alpha`/`beta`. `beta ==
+/// 0.0` overwrites without reading C.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn store_tile(
+    acc: &[[f32; NR]; MR],
+    c: &mut [f32],
+    n: usize,
+    row0: usize,
+    col0: usize,
+    rows: usize,
+    cols: usize,
+    alpha: f32,
+    beta: f32,
+) {
+    for (r, acc_row) in acc.iter().enumerate().take(rows) {
+        let out = &mut c[(row0 + r) * n + col0..][..cols];
+        if beta == 0.0 {
+            for (o, &v) in out.iter_mut().zip(acc_row.iter()) {
+                *o = alpha * v;
+            }
+        } else if beta == 1.0 {
+            for (o, &v) in out.iter_mut().zip(acc_row.iter()) {
+                *o += alpha * v;
+            }
+        } else {
+            for (o, &v) in out.iter_mut().zip(acc_row.iter()) {
+                *o = alpha * v + beta * *o;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    /// Textbook reference used to validate the blocked kernel.
+    #[allow(clippy::too_many_arguments)]
+    fn gemm_reference(
+        trans_a: bool,
+        trans_b: bool,
+        m: usize,
+        n: usize,
+        k: usize,
+        alpha: f32,
+        a: &[f32],
+        b: &[f32],
+        beta: f32,
+        c: &mut [f32],
+    ) {
+        for i in 0..m {
+            for j in 0..n {
+                let mut dot = 0.0f32;
+                for p in 0..k {
+                    let av = if trans_a { a[p * m + i] } else { a[i * k + p] };
+                    let bv = if trans_b { b[j * k + p] } else { b[p * n + j] };
+                    dot += av * bv;
+                }
+                let old = if beta == 0.0 {
+                    0.0
+                } else {
+                    beta * c[i * n + j]
+                };
+                c[i * n + j] = alpha * dot + old;
+            }
+        }
+    }
+
+    fn random_vec(len: usize, rng: &mut Rng) -> Vec<f32> {
+        (0..len).map(|_| rng.normal(0.0, 1.0)).collect()
+    }
+
+    #[test]
+    fn matches_reference_over_odd_shapes() {
+        let mut rng = Rng::seed_from(7);
+        // Deliberately awkward shapes: non-multiples of MR/NR/KC, GEMV-like
+        // m=1 and n=1, k spanning several KC panels, tiny everything.
+        let shapes = [
+            (1usize, 1usize, 1usize),
+            (1, 17, 300),
+            (5, 1, 3),
+            (3, 7, 2),
+            (4, 8, 256),
+            (13, 29, 31),
+            (33, 65, 17),
+            (130, 9, 270),
+            (2, 300, 5),
+        ];
+        for &(m, n, k) in &shapes {
+            for &(ta, tb) in &[(false, false), (true, false), (false, true), (true, true)] {
+                for &(alpha, beta) in &[(1.0f32, 0.0f32), (0.5, 1.0), (2.0, -0.5), (0.0, 2.0)] {
+                    let a = random_vec(m * k, &mut rng);
+                    let b = random_vec(k * n, &mut rng);
+                    let seed_c = random_vec(m * n, &mut rng);
+                    let mut expected = seed_c.clone();
+                    gemm_reference(ta, tb, m, n, k, alpha, &a, &b, beta, &mut expected);
+                    let mut got = seed_c.clone();
+                    gemm(ta, tb, m, n, k, alpha, &a, &b, beta, &mut got);
+                    for (idx, (g, e)) in got.iter().zip(expected.iter()).enumerate() {
+                        assert!(
+                            (g - e).abs() <= 1e-3 * (1.0 + e.abs()),
+                            "m={m} n={n} k={k} ta={ta} tb={tb} α={alpha} β={beta} idx={idx}: {g} vs {e}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_dims_are_handled() {
+        // m == 0 / n == 0: nothing to write.
+        gemm(false, false, 0, 4, 3, 1.0, &[], &[0.0; 12], 0.0, &mut []);
+        gemm(false, false, 4, 0, 3, 1.0, &[0.0; 12], &[], 0.0, &mut []);
+        // k == 0: C ← β·C without touching A/B.
+        let mut c = vec![2.0f32; 6];
+        gemm(false, false, 2, 3, 0, 1.0, &[], &[], 0.5, &mut c);
+        assert_eq!(c, vec![1.0; 6]);
+        gemm(false, false, 2, 3, 0, 1.0, &[], &[], 0.0, &mut c);
+        assert_eq!(c, vec![0.0; 6]);
+    }
+
+    #[test]
+    fn beta_zero_overwrites_nan_garbage() {
+        let a = [1.0f32, 2.0];
+        let b = [3.0f32, 4.0];
+        let mut c = [f32::NAN; 1];
+        gemm(false, false, 1, 1, 2, 1.0, &a, &b, 0.0, &mut c);
+        assert_eq!(c[0], 11.0);
+    }
+
+    #[test]
+    fn scratch_reuse_is_alloc_free_after_warmup() {
+        let mut rng = Rng::seed_from(9);
+        let a = random_vec(64 * 48, &mut rng);
+        let b = random_vec(48 * 32, &mut rng);
+        let mut c = vec![0.0f32; 64 * 32];
+        let mut scratch = Scratch::new();
+        gemm_with_scratch(
+            false,
+            false,
+            64,
+            32,
+            48,
+            1.0,
+            &a,
+            &b,
+            0.0,
+            &mut c,
+            &mut scratch,
+        );
+        let cap = s_total(&scratch);
+        for _ in 0..3 {
+            gemm_with_scratch(
+                false,
+                false,
+                64,
+                32,
+                48,
+                1.0,
+                &a,
+                &b,
+                0.0,
+                &mut c,
+                &mut scratch,
+            );
+        }
+        assert_eq!(s_total(&scratch), cap, "repeat calls must not grow scratch");
+    }
+
+    fn s_total(s: &Scratch) -> usize {
+        s.capacity()
+    }
+
+    #[test]
+    fn accumulation_order_is_thread_count_invariant() {
+        // The sequential and parallel paths must agree bit-for-bit: same
+        // k-accumulation order per element, only the (disjoint) row-block
+        // assignment differs.
+        let mut rng = Rng::seed_from(11);
+        let (m, n, k) = (2 * MC + 3, NC + 5, KC + 7);
+        let a = random_vec(m * k, &mut rng);
+        let b = random_vec(k * n, &mut rng);
+        let mut seq = vec![0.0f32; m * n];
+        LOCAL_SCRATCH.with(|s| {
+            gemm_with_scratch(
+                false,
+                false,
+                m,
+                n,
+                k,
+                1.0,
+                &a,
+                &b,
+                0.0,
+                &mut seq,
+                &mut s.borrow_mut(),
+            );
+        });
+        let mut par = vec![0.0f32; m * n];
+        gemm_parallel(false, false, m, n, k, 1.0, &a, &b, 0.0, &mut par, 4);
+        let identical = seq
+            .iter()
+            .zip(par.iter())
+            .all(|(x, y)| x.to_bits() == y.to_bits());
+        assert!(
+            identical,
+            "parallel GEMM must be bit-identical to sequential"
+        );
+    }
+}

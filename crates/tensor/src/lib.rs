@@ -14,6 +14,10 @@
 //!   vectors, and reductions.
 //! * [`ops`] — matrix multiplication, transposition, softmax, argmax and
 //!   axis reductions used by the layer implementations.
+//! * [`gemm`] — the cache-blocked, register-tiled, parallel f32 GEMM with
+//!   `alpha`/`beta` accumulation that all matrix products route through.
+//! * [`scratch`] — reusable workspace buffers so hot-path kernels allocate
+//!   nothing in steady state.
 //! * [`conv`] — im2col/col2im based 1-D and 2-D convolution kernels (forward
 //!   and the gradient products needed for backward passes).
 //! * [`pool`] — max/average pooling kernels with argmax bookkeeping.
@@ -35,15 +39,18 @@
 
 pub mod conv;
 pub mod error;
+pub mod gemm;
 pub mod ops;
 pub mod pool;
 pub mod rng;
+pub mod scratch;
 pub mod shape;
 pub mod stats;
 pub mod tensor;
 
 pub use error::TensorError;
 pub use rng::Rng;
+pub use scratch::Scratch;
 pub use shape::Shape;
 pub use tensor::Tensor;
 

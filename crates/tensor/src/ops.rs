@@ -5,10 +5,17 @@
 //! layer implementations need: matrix products (including the transposed
 //! variants used in backward passes), transposition, row-wise softmax /
 //! log-softmax, and single-axis reductions.
+//!
+//! All three matrix-product entry points route into the cache-blocked,
+//! register-tiled [`gemm`] kernel (see [`crate::gemm`]); the original naive
+//! triple loops are retained verbatim in [`reference`] as the correctness
+//! oracle for tests and the baseline for the `layer_throughput` benchmark.
 
 use crate::error::TensorError;
 use crate::tensor::Tensor;
 use crate::Result;
+
+pub use crate::gemm::{gemm, gemm_with_scratch};
 
 /// Matrix product `a @ b` for `a: [m, k]` and `b: [k, n]`.
 ///
@@ -37,22 +44,19 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             rhs_rows: k2,
         });
     }
-    let ad = a.data();
-    let bd = b.data();
     let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
-        let a_row = &ad[i * k..(i + 1) * k];
-        let out_row = &mut out[i * n..(i + 1) * n];
-        for (p, &a_ip) in a_row.iter().enumerate() {
-            if a_ip == 0.0 {
-                continue;
-            }
-            let b_row = &bd[p * n..(p + 1) * n];
-            for (j, &b_pj) in b_row.iter().enumerate() {
-                out_row[j] += a_ip * b_pj;
-            }
-        }
-    }
+    gemm(
+        false,
+        false,
+        m,
+        n,
+        k,
+        1.0,
+        a.data(),
+        b.data(),
+        0.0,
+        &mut out,
+    );
     Tensor::from_vec(out, &[m, n])
 }
 
@@ -72,22 +76,8 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             rhs_rows: k2,
         });
     }
-    let ad = a.data();
-    let bd = b.data();
     let mut out = vec![0.0f32; m * n];
-    for p in 0..k {
-        let a_row = &ad[p * m..(p + 1) * m];
-        let b_row = &bd[p * n..(p + 1) * n];
-        for (i, &a_pi) in a_row.iter().enumerate() {
-            if a_pi == 0.0 {
-                continue;
-            }
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (j, &b_pj) in b_row.iter().enumerate() {
-                out_row[j] += a_pi * b_pj;
-            }
-        }
-    }
+    gemm(true, false, m, n, k, 1.0, a.data(), b.data(), 0.0, &mut out);
     Tensor::from_vec(out, &[m, n])
 }
 
@@ -107,22 +97,174 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             rhs_rows: k2,
         });
     }
-    let ad = a.data();
-    let bd = b.data();
     let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
-        let a_row = &ad[i * k..(i + 1) * k];
-        let out_row = &mut out[i * n..(i + 1) * n];
-        for (j, out_ij) in out_row.iter_mut().enumerate() {
-            let b_row = &bd[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (x, y) in a_row.iter().zip(b_row.iter()) {
-                acc += x * y;
-            }
-            *out_ij = acc;
-        }
-    }
+    gemm(false, true, m, n, k, 1.0, a.data(), b.data(), 0.0, &mut out);
     Tensor::from_vec(out, &[m, n])
+}
+
+/// Shape-checked tensor wrapper over [`gemm`]:
+/// `c ← α · op(a) · op(b) + β · c`.
+///
+/// Backward passes use `beta == 1.0` to accumulate weight gradients directly
+/// into the gradient tensor, fusing the former `matmul + add_assign` pair
+/// into one pass with no temporary allocation.
+///
+/// # Errors
+///
+/// Returns an error when an operand is not rank-2 or the shapes are
+/// inconsistent with `c`'s `[m, n]`.
+pub fn gemm_into(
+    trans_a: bool,
+    trans_b: bool,
+    alpha: f32,
+    a: &Tensor,
+    b: &Tensor,
+    beta: f32,
+    c: &mut Tensor,
+) -> Result<()> {
+    let (ar, ac) = as_matrix_dims(a)?;
+    let (br, bc) = as_matrix_dims(b)?;
+    let (m, k) = if trans_a { (ac, ar) } else { (ar, ac) };
+    let (kb, n) = if trans_b { (bc, br) } else { (br, bc) };
+    if k != kb {
+        return Err(TensorError::MatmulDimMismatch {
+            lhs_cols: k,
+            rhs_rows: kb,
+        });
+    }
+    let (cr, cc) = as_matrix_dims(c)?;
+    if cr != m || cc != n {
+        return Err(TensorError::ShapeMismatch {
+            lhs: vec![m, n],
+            rhs: vec![cr, cc],
+        });
+    }
+    gemm(
+        trans_a,
+        trans_b,
+        m,
+        n,
+        k,
+        alpha,
+        a.data(),
+        b.data(),
+        beta,
+        c.data_mut(),
+    );
+    Ok(())
+}
+
+/// The seed's original naive matrix-product kernels, retained verbatim as
+/// the correctness oracle for the blocked [`gemm`] and as the baseline the
+/// `layer_throughput` benchmark measures speedups against.
+///
+/// Note the data-dependent `if a_ip == 0.0 { continue; }` branch in
+/// [`reference::matmul`]: it makes dense throughput depend on activation
+/// sparsity and poisons the hot loop with a branch per k-step — exactly what
+/// the blocked kernel eliminates.
+pub mod reference {
+    use super::{as_matrix_dims, Result, Tensor, TensorError};
+
+    /// Naive `a @ b` (row-major ikj loop with the historical sparsity skip).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when either input is not rank-2 or the inner
+    /// dimensions disagree.
+    pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+        let (m, k) = as_matrix_dims(a)?;
+        let (k2, n) = as_matrix_dims(b)?;
+        if k != k2 {
+            return Err(TensorError::MatmulDimMismatch {
+                lhs_cols: k,
+                rhs_rows: k2,
+            });
+        }
+        let ad = a.data();
+        let bd = b.data();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &ad[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (p, &a_ip) in a_row.iter().enumerate() {
+                if a_ip == 0.0 {
+                    continue;
+                }
+                let b_row = &bd[p * n..(p + 1) * n];
+                for (j, &b_pj) in b_row.iter().enumerate() {
+                    out_row[j] += a_ip * b_pj;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Naive `aᵀ @ b` for `a: [k, m]`, `b: [k, n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when either input is not rank-2 or the shared
+    /// dimension disagrees.
+    pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+        let (k, m) = as_matrix_dims(a)?;
+        let (k2, n) = as_matrix_dims(b)?;
+        if k != k2 {
+            return Err(TensorError::MatmulDimMismatch {
+                lhs_cols: k,
+                rhs_rows: k2,
+            });
+        }
+        let ad = a.data();
+        let bd = b.data();
+        let mut out = vec![0.0f32; m * n];
+        for p in 0..k {
+            let a_row = &ad[p * m..(p + 1) * m];
+            let b_row = &bd[p * n..(p + 1) * n];
+            for (i, &a_pi) in a_row.iter().enumerate() {
+                if a_pi == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for (j, &b_pj) in b_row.iter().enumerate() {
+                    out_row[j] += a_pi * b_pj;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Naive `a @ bᵀ` for `a: [m, k]`, `b: [n, k]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when either input is not rank-2 or the shared
+    /// dimension disagrees.
+    pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+        let (m, k) = as_matrix_dims(a)?;
+        let (n, k2) = as_matrix_dims(b)?;
+        if k != k2 {
+            return Err(TensorError::MatmulDimMismatch {
+                lhs_cols: k,
+                rhs_rows: k2,
+            });
+        }
+        let ad = a.data();
+        let bd = b.data();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &ad[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (j, out_ij) in out_row.iter_mut().enumerate() {
+                let b_row = &bd[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (x, y) in a_row.iter().zip(b_row.iter()) {
+                    acc += x * y;
+                }
+                *out_ij = acc;
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
 }
 
 /// Transposes a rank-2 tensor.
@@ -289,6 +431,7 @@ pub fn as_matrix_dims(t: &Tensor) -> Result<(usize, usize)> {
 mod tests {
     use super::*;
     use crate::rng::Rng;
+    use proptest::prelude::*;
 
     #[test]
     fn matmul_identity_and_known_values() {
@@ -308,7 +451,10 @@ mod tests {
             Err(TensorError::MatmulDimMismatch { .. })
         ));
         let v = Tensor::zeros(&[3]);
-        assert!(matches!(matmul(&v, &a), Err(TensorError::RankMismatch { .. })));
+        assert!(matches!(
+            matmul(&v, &a),
+            Err(TensorError::RankMismatch { .. })
+        ));
     }
 
     #[test]
@@ -388,5 +534,100 @@ mod tests {
         let s = sum_axis(&t, 0).unwrap();
         assert_eq!(s.dims(), &[1]);
         assert_eq!(s.data(), &[6.0]);
+    }
+
+    #[test]
+    fn gemm_into_accumulates_and_checks_shapes() {
+        let mut rng = Rng::seed_from(20);
+        let a = Tensor::randn(&[5, 3], 0.0, 1.0, &mut rng);
+        let b = Tensor::randn(&[3, 4], 0.0, 1.0, &mut rng);
+        let product = matmul(&a, &b).unwrap();
+        // beta = 1 accumulates into existing contents.
+        let mut c = Tensor::ones(&[5, 4]);
+        gemm_into(false, false, 1.0, &a, &b, 1.0, &mut c).unwrap();
+        let expected = product.add(&Tensor::ones(&[5, 4])).unwrap();
+        assert!(c.approx_eq(&expected, 1e-5));
+        // Transposed variants agree with the matmul helpers.
+        let at = transpose2d(&a).unwrap();
+        let mut c = Tensor::zeros(&[5, 4]);
+        gemm_into(true, false, 1.0, &at, &b, 0.0, &mut c).unwrap();
+        assert!(c.approx_eq(&product, 1e-5));
+        // Mismatched output shape is rejected.
+        let mut wrong = Tensor::zeros(&[4, 5]);
+        assert!(gemm_into(false, false, 1.0, &a, &b, 0.0, &mut wrong).is_err());
+        // Mismatched inner dimension is rejected.
+        let bad = Tensor::zeros(&[2, 4]);
+        let mut c = Tensor::zeros(&[5, 4]);
+        assert!(gemm_into(false, false, 1.0, &a, &bad, 0.0, &mut c).is_err());
+    }
+
+    #[test]
+    fn gemv_shapes_match_reference() {
+        // m == 1 (row-vector GEMV) and n == 1 (matrix-vector) paths.
+        let mut rng = Rng::seed_from(21);
+        let a = Tensor::randn(&[1, 37], 0.0, 1.0, &mut rng);
+        let b = Tensor::randn(&[37, 19], 0.0, 1.0, &mut rng);
+        assert!(matmul(&a, &b)
+            .unwrap()
+            .approx_eq(&reference::matmul(&a, &b).unwrap(), 1e-4));
+        let c = Tensor::randn(&[23, 41], 0.0, 1.0, &mut rng);
+        let v = Tensor::randn(&[41, 1], 0.0, 1.0, &mut rng);
+        assert!(matmul(&c, &v)
+            .unwrap()
+            .approx_eq(&reference::matmul(&c, &v).unwrap(), 1e-4));
+    }
+
+    #[test]
+    fn blocked_kernel_handles_sparse_inputs_like_reference() {
+        // The retained naive kernel skips zero activations; the branch-free
+        // blocked kernel must produce the same values anyway.
+        let mut rng = Rng::seed_from(22);
+        let mut a = Tensor::randn(&[30, 50], 0.0, 1.0, &mut rng);
+        for (i, v) in a.data_mut().iter_mut().enumerate() {
+            if i % 3 != 0 {
+                *v = 0.0;
+            }
+        }
+        let b = Tensor::randn(&[50, 20], 0.0, 1.0, &mut rng);
+        assert!(matmul(&a, &b)
+            .unwrap()
+            .approx_eq(&reference::matmul(&a, &b).unwrap(), 1e-4));
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_blocked_matmul_matches_naive_reference(
+            m in 1usize..40,
+            k in 1usize..70,
+            n in 1usize..40,
+            seed in 0u32..1000,
+        ) {
+            let mut rng = Rng::seed_from(seed as u64);
+            let a = Tensor::randn(&[m, k], 0.0, 1.0, &mut rng);
+            let b = Tensor::randn(&[k, n], 0.0, 1.0, &mut rng);
+            let blocked = matmul(&a, &b).unwrap();
+            let naive = reference::matmul(&a, &b).unwrap();
+            prop_assert!(blocked.approx_eq(&naive, 1e-3), "m={} k={} n={}", m, k, n);
+        }
+
+        #[test]
+        fn prop_transposed_products_match_naive_reference(
+            m in 1usize..24,
+            k in 1usize..48,
+            n in 1usize..24,
+            seed in 0u32..1000,
+        ) {
+            let mut rng = Rng::seed_from(1000 + seed as u64);
+            let a_t = Tensor::randn(&[k, m], 0.0, 1.0, &mut rng);
+            let b = Tensor::randn(&[k, n], 0.0, 1.0, &mut rng);
+            prop_assert!(matmul_at_b(&a_t, &b)
+                .unwrap()
+                .approx_eq(&reference::matmul_at_b(&a_t, &b).unwrap(), 1e-3));
+            let a = Tensor::randn(&[m, k], 0.0, 1.0, &mut rng);
+            let b_t = Tensor::randn(&[n, k], 0.0, 1.0, &mut rng);
+            prop_assert!(matmul_a_bt(&a, &b_t)
+                .unwrap()
+                .approx_eq(&reference::matmul_a_bt(&a, &b_t).unwrap(), 1e-3));
+        }
     }
 }

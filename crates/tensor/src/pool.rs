@@ -39,7 +39,10 @@ impl Pool2dSpec {
                 self.kernel
             )));
         }
-        Ok(((h - self.kernel) / self.stride + 1, (w - self.kernel) / self.stride + 1))
+        Ok((
+            (h - self.kernel) / self.stride + 1,
+            (w - self.kernel) / self.stride + 1,
+        ))
     }
 }
 
@@ -288,7 +291,10 @@ mod tests {
     #[test]
     fn maxpool_backward_routes_to_argmax() {
         let input = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
             &[1, 1, 4, 4],
         )
         .unwrap();

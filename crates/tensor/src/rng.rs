@@ -6,14 +6,16 @@
 //! generator with convenience methods for the distributions the paper needs:
 //! uniform, Gaussian (Box–Muller) and Bernoulli masks.
 //!
-//! Keeping the generator local (instead of using `rand::distributions`
-//! adaptors scattered around the codebase) makes Monte-Carlo fault simulation
+//! Keeping the generator local (a self-contained xoshiro256++ seeded through
+//! SplitMix64, no external crates) makes Monte-Carlo fault simulation
 //! reproducible from a single `u64` seed per simulated chip instance.
 
-use rand::rngs::StdRng;
-use rand::{Rng as _, SeedableRng};
-
 /// Seeded random number generator used across the `invnorm` workspace.
+///
+/// The core generator is xoshiro256++ (Blackman & Vigna), whose 256-bit state
+/// is expanded from the 64-bit seed with SplitMix64 — the standard seeding
+/// recipe, which guarantees distinct, well-mixed states even for adjacent
+/// seeds like the per-chip-instance streams the Monte-Carlo engine derives.
 ///
 /// # Example
 ///
@@ -28,27 +30,56 @@ use rand::{Rng as _, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct Rng {
-    inner: StdRng,
+    state: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl Rng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
         Self {
-            inner: StdRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
         }
+    }
+
+    /// Next raw 64-bit output of the xoshiro256++ generator.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Derives an independent child generator; useful for giving each
     /// Monte-Carlo chip instance its own stream.
     pub fn fork(&mut self, stream: u64) -> Rng {
-        let base: u64 = self.inner.gen();
+        let base = self.next_u64();
         Rng::seed_from(base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
     /// Uniform sample in `[0, 1)`.
     pub fn uniform(&mut self) -> f32 {
-        self.inner.gen::<f32>()
+        // Use the top 24 bits: the largest mantissa f32 can represent exactly.
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
     }
 
     /// Uniform sample in `[lo, hi)`.
@@ -61,14 +92,15 @@ impl Rng {
         lo + (hi - lo) * self.uniform()
     }
 
-    /// Uniform integer in `[0, n)`.
+    /// Uniform integer in `[0, n)` (Lemire's multiply-shift reduction; the
+    /// tiny bias over a full 64-bit draw is far below anything observable).
     ///
     /// # Panics
     ///
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index range must be non-empty");
-        self.inner.gen_range(0..n)
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
     }
 
     /// Standard normal sample via the Box–Muller transform.

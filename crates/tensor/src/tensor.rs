@@ -531,7 +531,12 @@ impl std::fmt::Display for Tensor {
             .take(8)
             .map(|x| format!("{x:.4}"))
             .collect();
-        write!(f, "[{}{}]", preview.join(", "), if self.numel() > 8 { ", …" } else { "" })
+        write!(
+            f,
+            "[{}{}]",
+            preview.join(", "),
+            if self.numel() > 8 { ", …" } else { "" }
+        )
     }
 }
 

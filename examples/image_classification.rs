@@ -72,7 +72,11 @@ fn main() -> Result<(), NnError> {
     for variant in [NormVariant::Conventional, NormVariant::proposed()] {
         let mut model = train_variant(variant, &split)?;
         let clean = mc_accuracy(&mut model, &split)?;
-        println!("\n[{}] clean accuracy: {:.2}%", variant.label(), 100.0 * clean);
+        println!(
+            "\n[{}] clean accuracy: {:.2}%",
+            variant.label(),
+            100.0 * clean
+        );
 
         // Bit-flip robustness: flip each binary weight's sign with rate r.
         for rate in [0.05f32, 0.15, 0.30] {

@@ -57,7 +57,10 @@ fn main() -> Result<(), NnError> {
     );
 
     println!("\nrotation sweep (paper Fig. 7 right):");
-    println!("{:>10} {:>10} {:>8} {:>14}", "degrees", "accuracy", "NLL", "OOD detected");
+    println!(
+        "{:>10} {:>10} {:>8} {:>14}",
+        "degrees", "accuracy", "NLL", "OOD detected"
+    );
     for stage in 1..=6 {
         let degrees = stage as f32 * 14.0;
         let rotated = rotate_images(&split.test_inputs, degrees);
@@ -72,7 +75,10 @@ fn main() -> Result<(), NnError> {
     }
 
     println!("\nuniform-noise sweep (paper Fig. 7 left):");
-    println!("{:>10} {:>10} {:>8} {:>14}", "strength", "accuracy", "NLL", "OOD detected");
+    println!(
+        "{:>10} {:>10} {:>8} {:>14}",
+        "strength", "accuracy", "NLL", "OOD detected"
+    );
     let mut rng = Rng::seed_from(5);
     for stage in 1..=6 {
         let strength = stage as f32 * 0.4;
@@ -87,6 +93,8 @@ fn main() -> Result<(), NnError> {
         );
     }
 
-    println!("\nExpected shape: accuracy falls, NLL rises, and the detection rate grows with the shift.");
+    println!(
+        "\nExpected shape: accuracy falls, NLL rises, and the detection rate grows with the shift."
+    );
     Ok(())
 }

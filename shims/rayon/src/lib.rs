@@ -1,0 +1,124 @@
+//! In-tree shim for the `rayon` crate (the build environment is offline).
+//!
+//! Provides the structured-parallelism subset the workspace uses — [`scope`],
+//! [`join`] and [`current_num_threads`] — implemented on
+//! [`std::thread::scope`]. Callers are written so that results are
+//! *scheduling-independent*: work items are claimed from an atomic counter
+//! and every output slot is written by exactly one task, so swapping this
+//! shim for real work-stealing rayon cannot change any computed value.
+//!
+//! Deviation from upstream: [`Scope::spawn`] takes a zero-argument closure
+//! (`s.spawn(|| ...)`) instead of rayon's `s.spawn(|_| ...)`, because the
+//! scope handle cannot be re-borrowed for the `'scope` lifetime without
+//! leaking. Nested spawns are not needed anywhere in the workspace.
+
+#![deny(missing_docs)]
+
+/// Number of worker threads a parallel region should use.
+///
+/// Honors the `RAYON_NUM_THREADS` environment variable (like real rayon),
+/// falling back to [`std::thread::available_parallelism`].
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs both closures and returns their results.
+///
+/// The shim runs them sequentially on the calling thread, which is a valid
+/// rayon schedule (rayon may also run either closure inline).
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let ra = oper_a();
+    let rb = oper_b();
+    (ra, rb)
+}
+
+/// A scope in which borrowed-data tasks can be spawned; all tasks complete
+/// before [`scope`] returns.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task that may borrow from outside the scope.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.inner.spawn(f);
+    }
+}
+
+/// Creates a scope for spawning borrowed-data tasks, joining them all before
+/// returning the closure's result. Panics in spawned tasks propagate.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_tasks() {
+        let counter = AtomicUsize::new(0);
+        let out = scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            42
+        });
+        assert_eq!(out, 42);
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn scoped_tasks_can_write_disjoint_slots() {
+        let mut out = vec![0usize; 16];
+        {
+            let chunks: Vec<&mut [usize]> = out.chunks_mut(4).collect();
+            scope(|s| {
+                for (i, chunk) in chunks.into_iter().enumerate() {
+                    s.spawn(move || {
+                        for (j, slot) in chunk.iter_mut().enumerate() {
+                            *slot = i * 4 + j;
+                        }
+                    });
+                }
+            });
+        }
+        assert_eq!(out, (0..16).collect::<Vec<_>>());
+    }
+}

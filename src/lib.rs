@@ -64,9 +64,15 @@ pub use invnorm_tensor as tensor;
 
 /// The most commonly used items, re-exported for convenient glob import.
 pub mod prelude {
-    pub use invnorm_core::bayesian::{BayesianPredictor, ClassificationPrediction, RegressionPrediction};
-    pub use invnorm_core::{AffineDropout, AffineInit, DropGranularity, InvNormConfig, InvertedNorm, OodDetector};
-    pub use invnorm_imc::{FaultModel, MonteCarloEngine, MonteCarloSummary, NoiseHandle, WeightFaultInjector};
+    pub use invnorm_core::bayesian::{
+        BayesianPredictor, ClassificationPrediction, RegressionPrediction,
+    };
+    pub use invnorm_core::{
+        AffineDropout, AffineInit, DropGranularity, InvNormConfig, InvertedNorm, OodDetector,
+    };
+    pub use invnorm_imc::{
+        FaultModel, MonteCarloEngine, MonteCarloSummary, NoiseHandle, WeightFaultInjector,
+    };
     pub use invnorm_models::{BuiltModel, NormVariant};
     pub use invnorm_nn::layer::{Layer, Mode, Param};
     pub use invnorm_nn::linear::Linear;
@@ -94,9 +100,14 @@ mod tests {
             .unwrap();
         assert_eq!(prediction.mean_probs.dims(), &[4, 3]);
         let summary = MonteCarloEngine::new(3, 0)
-            .run(&mut net, FaultModel::BitFlip { rate: 0.05, bits: 8 }, |n| {
-                Ok(n.forward(&x, Mode::Eval)?.mean())
-            })
+            .run(
+                &mut net,
+                FaultModel::BitFlip {
+                    rate: 0.05,
+                    bits: 8,
+                },
+                |n| Ok(n.forward(&x, Mode::Eval)?.mean()),
+            )
             .unwrap();
         assert_eq!(summary.runs(), 3);
     }

@@ -107,7 +107,9 @@ fn uncertainty_rises_under_distribution_shift() {
 
     // Shift the inputs far outside the training distribution.
     let shifted = inputs.shift(6.0);
-    let ood = predictor.predict_classification(&mut net, &shifted).unwrap();
+    let ood = predictor
+        .predict_classification(&mut net, &shifted)
+        .unwrap();
     assert!(
         ood.nll(&labels).unwrap() > id.nll(&labels).unwrap(),
         "NLL should increase on shifted data"

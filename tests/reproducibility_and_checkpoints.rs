@@ -75,7 +75,10 @@ fn monte_carlo_fault_simulation_is_reproducible() {
     };
     let first = run(&mut model);
     let second = run(&mut model);
-    assert_eq!(first, second, "same engine seed must replay the same faults");
+    assert_eq!(
+        first, second,
+        "same engine seed must replay the same faults"
+    );
 }
 
 #[test]
