@@ -1,12 +1,14 @@
 //! Micro-benchmarks of the building blocks: the blocked GEMM compute core
-//! against the retained naive reference, the zero-alloc conv path, inverted
+//! against the retained naive reference, the quantized i8 GEMM and layer
+//! paths against their f32 counterparts, the zero-alloc conv path, inverted
 //! normalization vs batch normalization forward passes, Monte-Carlo Bayesian
 //! inference, and the crossbar analog matrix-vector product.
 //!
 //! Results are written to `BENCH_layer_throughput.json` at the workspace
 //! root (see the README's "Benchmarks" section); the `gemm_*` /
-//! `naive_gemm_*` pairs are the numbers that track the speedup of the
-//! blocked kernel across PRs.
+//! `naive_gemm_*` pairs track the blocked kernel's speedup and the
+//! `qgemm_*` / `gemm_*` and `q*_forward_*` / `*_forward_*` pairs track the
+//! integer path across PRs.
 use criterion::{criterion_group, criterion_main, Criterion};
 use invnorm_core::bayesian::BayesianPredictor;
 use invnorm_core::{InvNormConfig, InvertedNorm};
@@ -15,6 +17,7 @@ use invnorm_nn::conv::Conv2d;
 use invnorm_nn::layer::{Layer, Mode};
 use invnorm_nn::linear::Linear;
 use invnorm_nn::norm::BatchNorm;
+use invnorm_nn::quantized::{QuantizedConv2d, QuantizedLinear};
 use invnorm_nn::Sequential;
 use invnorm_tensor::{ops, Rng, Tensor};
 
@@ -36,6 +39,30 @@ fn bench_gemm(c: &mut Criterion) {
         });
         group.bench_function(format!("naive_gemm_{size}x{size}x{size}"), |bch| {
             bch.iter(|| ops::reference::matmul(&a, &b).unwrap().sum())
+        });
+    }
+
+    // Quantized i8 GEMM vs the f32 blocked kernel at the same sizes: the
+    // qgemm_*/gemm_* pairs track the integer path's speedup (4× smaller
+    // working set) across PRs.
+    for &size in &GEMM_SIZES {
+        let qa: Vec<i8> = (0..size * size).map(|i| ((i * 37) % 255) as i8).collect();
+        let qb: Vec<i8> = (0..size * size).map(|i| ((i * 61) % 255) as i8).collect();
+        // Keep codes in [-127, 127] (the microkernel's contract).
+        let qa: Vec<i8> = qa
+            .iter()
+            .map(|&c| if c == i8::MIN { 0 } else { c })
+            .collect();
+        let qb: Vec<i8> = qb
+            .iter()
+            .map(|&c| if c == i8::MIN { 0 } else { c })
+            .collect();
+        let mut qc = vec![0i32; size * size];
+        group.bench_function(format!("qgemm_{size}x{size}x{size}"), |bch| {
+            bch.iter(|| {
+                ops::qgemm(false, false, size, size, size, &qa, &qb, false, &mut qc);
+                qc[0]
+            })
         });
     }
 
@@ -67,6 +94,24 @@ fn bench_gemm(c: &mut Criterion) {
                 .unwrap()
                 .sum()
         })
+    });
+
+    // Quantized conv forward: i8 im2col + i8 GEMM + one dequantization,
+    // paired with the f32 eval path above.
+    let mut qconv = QuantizedConv2d::from_conv2d(&conv, 8).unwrap();
+    group.bench_function("qconv2d_forward_eval_16to32_32x32", |bch| {
+        bch.iter(|| qconv.forward(&conv_input, Mode::Eval).unwrap().sum())
+    });
+
+    // Quantized linear forward vs the float layer at an MLP-ish shape.
+    let mut linear = Linear::new(512, 256, &mut rng);
+    let lx = Tensor::randn(&[64, 512], 0.0, 1.0, &mut rng);
+    group.bench_function("linear_forward_eval_64x512to256", |bch| {
+        bch.iter(|| linear.forward(&lx, Mode::Eval).unwrap().sum())
+    });
+    let mut qlinear = QuantizedLinear::from_linear(&linear, 8).unwrap();
+    group.bench_function("qlinear_forward_eval_64x512to256", |bch| {
+        bch.iter(|| qlinear.forward(&lx, Mode::Eval).unwrap().sum())
     });
 
     group.finish();

@@ -95,9 +95,11 @@ pub struct CrossbarArray {
 impl CrossbarArray {
     /// Programs a weight matrix `[rows, cols]` into a crossbar tile.
     ///
-    /// Weights are first quantized to the cell's level count, then each
-    /// half (positive / negative part) is mapped linearly onto
-    /// `[g_min, g_max]` and perturbed by programming variation.
+    /// Weights are first quantized to the cell's level count, then the
+    /// **integer codes** are programmed via
+    /// [`CrossbarArray::program_codes`] — the same path a host would use to
+    /// program real hardware, and the hook the code-domain fault injection
+    /// uses (perturb the codes, then program).
     ///
     /// # Errors
     ///
@@ -105,21 +107,63 @@ impl CrossbarArray {
     /// is invalid.
     pub fn program(weights: &Tensor, config: CrossbarConfig, rng: &mut Rng) -> Result<Self> {
         config.validate()?;
-        let (rows, cols) = ops::as_matrix_dims(weights)?;
+        ops::as_matrix_dims(weights)?;
         // Quantize to the number of programmable levels (per differential
         // half, so effectively levels-1 magnitude steps).
         let bits = (32 - (config.conductance_levels - 1).leading_zeros()).clamp(2, 16) as u8;
         let q = QuantizedTensor::quantize(weights, bits)?;
-        let dequant = q.dequantize();
-        let w_max = dequant.abs().max().max(1e-12);
+        Self::program_codes(&q, config, rng)
+    }
+
+    /// Programs a tile **directly from quantized integer codes**: each code's
+    /// effective value (`code - zero_point`) selects the on-conductance of
+    /// its differential half, without ever reconstructing a f32 weight
+    /// tensor. Fault realizations applied to the codes beforehand (bit
+    /// flips, stuck-at cells) therefore land exactly where the hardware
+    /// applies them.
+    ///
+    /// Symmetric codes (`zero_point == 0`) map magnitudes over
+    /// `[0, qmax]`; asymmetric (affine) codes map over
+    /// `[0, qmax + |zero_point|]`, so the full effective range still fits
+    /// the conductance window.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the codes are not rank-2, carry per-channel
+    /// scales (a crossbar tile stores one weight scale), or the
+    /// configuration is invalid.
+    pub fn program_codes(
+        q: &QuantizedTensor,
+        config: CrossbarConfig,
+        rng: &mut Rng,
+    ) -> Result<Self> {
+        config.validate()?;
+        let dims = q.dims();
+        if dims.len() != 2 {
+            return Err(NnError::Config(format!(
+                "crossbar programming expects a rank-2 code matrix, got {dims:?}"
+            )));
+        }
+        if q.is_per_channel() {
+            return Err(NnError::Config(
+                "crossbar programming needs a per-tensor scale; fold per-channel scales first"
+                    .into(),
+            ));
+        }
+        let (rows, cols) = (dims[0], dims[1]);
+        let qmax = QuantizedTensor::qmax_for(q.bits());
+        let zp = q.zero_point();
+        // Largest effective |code - zp| the representable range can produce.
+        let emax = (qmax + zp.abs()).max(1) as f32;
         let g_range = config.g_max - config.g_min;
         let mut g_pos = Tensor::zeros(&[rows, cols]);
         let mut g_neg = Tensor::zeros(&[rows, cols]);
-        for (i, &w) in dequant.data().iter().enumerate() {
-            let magnitude = w.abs() / w_max; // in [0, 1]
+        for i in 0..q.numel() {
+            let effective = q.code(i) - zp;
+            let magnitude = (effective.unsigned_abs() as f32 / emax).min(1.0); // in [0, 1]
             let g_on = config.g_min + magnitude * g_range;
             let g_off = config.g_min;
-            let (p, n) = if w >= 0.0 {
+            let (p, n) = if effective >= 0 {
                 (g_on, g_off)
             } else {
                 (g_off, g_on)
@@ -133,7 +177,7 @@ impl CrossbarArray {
             config,
             g_pos,
             g_neg,
-            scale: w_max / g_range,
+            scale: emax * q.scale() / g_range,
             rows,
             cols,
         })
@@ -276,6 +320,79 @@ mod tests {
             CrossbarArray::program(&Tensor::zeros(&[5]), CrossbarConfig::default(), &mut rng)
                 .is_err()
         );
+    }
+
+    #[test]
+    fn program_codes_matches_program_for_clean_codes() {
+        let mut rng = Rng::seed_from(6);
+        let w = Tensor::randn(&[4, 5], 0.0, 0.5, &mut rng);
+        let config = CrossbarConfig {
+            conductance_levels: 256,
+            programming_sigma: 0.0,
+            ..Default::default()
+        };
+        let via_weights = CrossbarArray::program(&w, config, &mut Rng::seed_from(7)).unwrap();
+        let q = QuantizedTensor::quantize(&w, 8).unwrap();
+        let via_codes = CrossbarArray::program_codes(&q, config, &mut Rng::seed_from(7)).unwrap();
+        assert!(via_codes
+            .effective_weights()
+            .approx_eq(&via_weights.effective_weights(), 1e-6));
+    }
+
+    #[test]
+    fn affine_codes_program_with_zero_point_correction() {
+        // A strictly positive tensor quantized affinely has codes spanning
+        // the full signed range with a large zero point; programming must
+        // honour `code - zp`, not the raw code sign.
+        let mut rng = Rng::seed_from(20);
+        let w = Tensor::from_vec(vec![0.5, 1.0, 1.5, 2.0, 2.5, 3.0], &[2, 3]).unwrap();
+        let q = QuantizedTensor::quantize_affine(&w, 8).unwrap();
+        assert_ne!(q.zero_point(), 0);
+        let config = CrossbarConfig {
+            conductance_levels: 256,
+            programming_sigma: 0.0,
+            ..Default::default()
+        };
+        let array = CrossbarArray::program_codes(&q, config, &mut rng).unwrap();
+        let eff = array.effective_weights();
+        // All weights are positive and approximately recovered.
+        let dequant = q.dequantize();
+        for (stored, want) in eff.data().iter().zip(dequant.data().iter()) {
+            assert!(*stored > 0.0, "stored {stored} lost its sign");
+            assert!(
+                (stored - want).abs() <= 0.05 * want.abs() + 0.02,
+                "stored {stored} vs dequantized {want}"
+            );
+        }
+        // Per-channel code matrices are rejected (tiles hold one scale).
+        let pc = QuantizedTensor::quantize_per_channel(&w, 8).unwrap();
+        assert!(CrossbarArray::program_codes(&pc, config, &mut rng).is_err());
+    }
+
+    #[test]
+    fn code_domain_faults_reach_the_programmed_array() {
+        // Flip bits on the codes, then program: the array must store the
+        // faulty weights — the full code-domain deployment path.
+        let mut rng = Rng::seed_from(8);
+        let w = Tensor::randn(&[6, 6], 0.0, 0.5, &mut rng);
+        let config = CrossbarConfig {
+            conductance_levels: 256,
+            programming_sigma: 0.0,
+            ..Default::default()
+        };
+        let mut q = QuantizedTensor::quantize(&w, 8).unwrap();
+        let clean = CrossbarArray::program_codes(&q, config, &mut Rng::seed_from(9)).unwrap();
+        crate::fault::flip_bits(&mut q, 0.3, &mut rng);
+        let faulty = CrossbarArray::program_codes(&q, config, &mut Rng::seed_from(9)).unwrap();
+        assert!(!faulty
+            .effective_weights()
+            .approx_eq(&clean.effective_weights(), 1e-6));
+        // The faulty array still computes an MVM of the faulty weights.
+        let x = Tensor::randn(&[2, 6], 0.0, 1.0, &mut rng);
+        let analog = faulty.matvec(&x).unwrap();
+        let digital = ops::matmul(&x, &faulty.effective_weights()).unwrap();
+        let err = analog.sub(&digital).unwrap().abs().max();
+        assert!(err < 0.1 * digital.abs().max().max(1e-6));
     }
 
     #[test]

@@ -222,24 +222,30 @@ impl FaultModel {
 /// the sign bit can otherwise escape it).
 pub fn flip_bits(q: &mut QuantizedTensor, rate: f32, rng: &mut Rng) {
     let bits = q.bits();
-    for code in q.codes_mut() {
-        // Represent the signed code in two's complement over `bits` bits.
-        let mask = (1i32 << bits) - 1;
-        let mut raw = *code & mask;
-        for b in 0..bits {
-            if rng.bernoulli(rate) {
-                raw ^= 1 << b;
-            }
-        }
-        // Sign-extend back.
-        let sign_bit = 1i32 << (bits - 1);
-        *code = if raw & sign_bit != 0 {
-            raw - (1 << bits)
-        } else {
-            raw
-        };
-    }
+    q.map_codes(|code| flip_code_bits(code, bits, rate, rng));
     q.clamp_codes();
+}
+
+/// Flips each of the low `bits` bits of one two's-complement code
+/// independently with probability `rate`, sign-extending the result. The
+/// scalar core of [`flip_bits`], shared with the code-domain injector in
+/// [`crate::injector`].
+pub fn flip_code_bits(code: i32, bits: u8, rate: f32, rng: &mut Rng) -> i32 {
+    // Represent the signed code in two's complement over `bits` bits.
+    let mask = (1i32 << bits) - 1;
+    let mut raw = code & mask;
+    for b in 0..bits {
+        if rng.bernoulli(rate) {
+            raw ^= 1 << b;
+        }
+    }
+    // Sign-extend back.
+    let sign_bit = 1i32 << (bits - 1);
+    if raw & sign_bit != 0 {
+        raw - (1 << bits)
+    } else {
+        raw
+    }
 }
 
 #[cfg(test)]
@@ -422,7 +428,7 @@ mod tests {
         let mut q = QuantizedTensor::quantize(&w, 4).unwrap();
         flip_bits(&mut q, 0.5, &mut rng);
         let qmax = QuantizedTensor::qmax_for(4);
-        assert!(q.codes().iter().all(|&c| c.abs() <= qmax));
+        assert!(q.iter_codes().all(|c| c.abs() <= qmax));
     }
 
     proptest! {

@@ -12,7 +12,7 @@
 //!   this layer at that point and experiments turn it on through the shared
 //!   [`NoiseHandle`].
 
-use crate::fault::FaultModel;
+use crate::fault::{flip_code_bits, FaultModel};
 use crate::Result;
 use invnorm_nn::layer::{Layer, Mode, Param};
 use invnorm_nn::NnError;
@@ -218,6 +218,195 @@ impl WeightFaultInjector {
     }
 }
 
+/// Applies a [`FaultModel`] **directly to the i8 quantization codes** of a
+/// network's quantized layers (via [`Layer::visit_codes`]), instead of
+/// emulating code-domain faults with a quantize → perturb → dequantize round
+/// trip on f32 weights.
+///
+/// This is the injection point for integer-inference networks built from
+/// `invnorm_nn::quantized` layers: the fault realization lands on exactly
+/// the integers a host would program into the crossbar, and the subsequent
+/// forward pass stays in the integer domain. Fault magnitudes are
+/// interpreted in code units relative to the layer's `qmax` (e.g.
+/// `AdditiveVariation { sigma }` adds `N(0, σ·qmax)` rounded to the nearest
+/// code), mirroring how the f32 models scale noise by each tensor's maximum
+/// magnitude.
+///
+/// Like [`WeightFaultInjector`], the clean codes are snapshotted on inject
+/// and restored afterwards, and every quantized parameter draws from its own
+/// RNG stream forked in visit order, so a realization is a pure function of
+/// the caller's seed.
+#[derive(Debug)]
+pub struct CodeFaultInjector {
+    model: FaultModel,
+    snapshot: Option<Vec<Vec<i8>>>,
+}
+
+impl CodeFaultInjector {
+    /// Creates an injector for the given fault model.
+    pub fn new(model: FaultModel) -> Self {
+        Self {
+            model,
+            snapshot: None,
+        }
+    }
+
+    /// The configured fault model.
+    pub fn model(&self) -> &FaultModel {
+        &self.model
+    }
+
+    /// Replaces the fault model — only allowed while no faulty codes are
+    /// outstanding.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if called between `inject` and `restore`.
+    pub fn set_model(&mut self, model: FaultModel) -> Result<()> {
+        if self.snapshot.is_some() {
+            return Err(NnError::Config(
+                "cannot change fault model while faults are injected; call restore() first".into(),
+            ));
+        }
+        self.model = model;
+        Ok(())
+    }
+
+    /// Perturbs every quantized layer's codes in place, remembering the
+    /// clean values. Layers without codes (float layers) are untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the fault model is invalid or faults are
+    /// already injected; on error the network is left untouched.
+    pub fn inject<L: Layer + ?Sized>(&mut self, network: &mut L, rng: &mut Rng) -> Result<()> {
+        if self.snapshot.is_some() {
+            return Err(NnError::Config(
+                "faults already injected; call restore() before injecting again".into(),
+            ));
+        }
+        self.model.validate()?;
+        let model = self.model;
+        let mut snapshot: Vec<Vec<i8>> = Vec::new();
+        // One independent child stream per quantized parameter, forked in
+        // visit order, so the realization is schedule-independent.
+        network.visit_codes(&mut |view| {
+            snapshot.push(view.codes.to_vec());
+            let mut stream = rng.fork(snapshot.len() as u64 - 1);
+            perturb_codes(view.codes, view.bits, model, &mut stream);
+        });
+        self.snapshot = Some(snapshot);
+        Ok(())
+    }
+
+    /// Restores the clean codes captured by the last
+    /// [`CodeFaultInjector::inject`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when no snapshot is available or the network's
+    /// quantized-parameter count changed in between.
+    pub fn restore<L: Layer + ?Sized>(&mut self, network: &mut L) -> Result<()> {
+        let snapshot = self
+            .snapshot
+            .take()
+            .ok_or_else(|| NnError::Config("restore() called without a prior inject()".into()))?;
+        let mut idx = 0usize;
+        let mut mismatch = false;
+        network.visit_codes(&mut |view| {
+            match snapshot.get(idx) {
+                Some(clean) if clean.len() == view.codes.len() => {
+                    view.codes.copy_from_slice(clean);
+                }
+                _ => mismatch = true,
+            }
+            idx += 1;
+        });
+        if mismatch || idx != snapshot.len() {
+            return Err(NnError::Config(
+                "quantized parameters changed between inject() and restore()".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Whether faulty codes are currently outstanding.
+    pub fn is_injected(&self) -> bool {
+        self.snapshot.is_some()
+    }
+}
+
+/// Applies a fault model to one slice of `bits`-bit codes, in place.
+/// Infallible for validated models; [`FaultModel::BitFlip`]'s `bits` field is
+/// ignored in favour of the layer's actual width.
+fn perturb_codes(codes: &mut [i8], bits: u8, model: FaultModel, rng: &mut Rng) {
+    let qmax = ((1i32 << (bits - 1)) - 1).min(127);
+    let clamp = |v: i32| v.clamp(-qmax, qmax) as i8;
+    match model {
+        FaultModel::None => {}
+        FaultModel::AdditiveVariation { sigma } => {
+            if sigma > 0.0 {
+                for c in codes {
+                    let delta = rng.normal(0.0, sigma * qmax as f32).round() as i32;
+                    *c = clamp(i32::from(*c) + delta);
+                }
+            }
+        }
+        FaultModel::MultiplicativeVariation { sigma } => {
+            if sigma > 0.0 {
+                for c in codes {
+                    let factor = 1.0 + rng.normal(0.0, sigma);
+                    *c = clamp((f32::from(*c) * factor).round() as i32);
+                }
+            }
+        }
+        FaultModel::UniformNoise { strength } => {
+            if strength > 0.0 {
+                let span = strength * qmax as f32;
+                for c in codes {
+                    let delta = rng.uniform_range(-span, span).round() as i32;
+                    *c = clamp(i32::from(*c) + delta);
+                }
+            }
+        }
+        FaultModel::BitFlip { rate, .. } => {
+            if rate > 0.0 {
+                for c in codes {
+                    *c = clamp(flip_code_bits(i32::from(*c), bits, rate, rng));
+                }
+            }
+        }
+        FaultModel::BinaryBitFlip { rate } => {
+            if rate > 0.0 {
+                for c in codes {
+                    if rng.bernoulli(rate) {
+                        *c = clamp(-i32::from(*c));
+                    }
+                }
+            }
+        }
+        FaultModel::StuckAt { rate } => {
+            if rate > 0.0 {
+                for c in codes {
+                    if rng.bernoulli(rate) {
+                        *c = if rng.bernoulli(0.5) {
+                            clamp(-qmax)
+                        } else {
+                            clamp(qmax)
+                        };
+                    }
+                }
+            }
+        }
+        FaultModel::Drift { nu, time_ratio } => {
+            let factor = time_ratio.powf(-nu);
+            for c in codes {
+                *c = clamp((f32::from(*c) * factor).round() as i32);
+            }
+        }
+    }
+}
+
 /// Shared, experiment-settable handle controlling every [`ActivationNoise`]
 /// layer created from it.
 #[derive(Debug, Clone, Default)]
@@ -410,6 +599,133 @@ mod tests {
         let mut injector = WeightFaultInjector::new(FaultModel::BitFlip { rate: 2.0, bits: 8 });
         assert!(injector.inject(&mut net, &mut rng).is_err());
         assert!(!injector.is_injected());
+    }
+
+    fn quantized_network(rng: &mut Rng) -> Sequential {
+        use invnorm_nn::quantized::QuantizedLinear;
+        let mut net = Sequential::new();
+        net.push(Box::new(
+            QuantizedLinear::from_linear(&Linear::new(8, 16, rng), 8).unwrap(),
+        ));
+        net.push(Box::new(
+            QuantizedLinear::from_linear(&Linear::new(16, 4, rng), 8).unwrap(),
+        ));
+        net
+    }
+
+    fn codes_of(net: &mut Sequential) -> Vec<i8> {
+        let mut v = Vec::new();
+        net.visit_codes(&mut |view| v.extend_from_slice(view.codes));
+        v
+    }
+
+    #[test]
+    fn code_inject_then_restore_is_identity() {
+        let mut rng = Rng::seed_from(30);
+        let mut net = quantized_network(&mut rng);
+        let clean = codes_of(&mut net);
+        let mut injector = CodeFaultInjector::new(FaultModel::BitFlip { rate: 0.1, bits: 8 });
+        injector.inject(&mut net, &mut rng).unwrap();
+        assert!(injector.is_injected());
+        let faulty = codes_of(&mut net);
+        assert_ne!(clean, faulty);
+        // Faulty codes stay inside the symmetric range (never -128, which
+        // the i8 GEMM's sign-split microkernel excludes).
+        assert!(faulty.iter().all(|&c| c != i8::MIN));
+        injector.restore(&mut net).unwrap();
+        assert!(!injector.is_injected());
+        assert_eq!(clean, codes_of(&mut net));
+    }
+
+    #[test]
+    fn code_injection_is_deterministic_for_seed() {
+        let mut build = Rng::seed_from(31);
+        let mut net = quantized_network(&mut build);
+        let realize = |net: &mut Sequential| {
+            let mut rng = Rng::seed_from(555);
+            let mut injector =
+                CodeFaultInjector::new(FaultModel::AdditiveVariation { sigma: 0.05 });
+            injector.inject(net, &mut rng).unwrap();
+            let faulty = codes_of(net);
+            injector.restore(net).unwrap();
+            faulty
+        };
+        assert_eq!(realize(&mut net), realize(&mut net));
+    }
+
+    #[test]
+    fn every_code_fault_model_perturbs_and_stays_in_range() {
+        let mut rng = Rng::seed_from(32);
+        let mut net = quantized_network(&mut rng);
+        let clean = codes_of(&mut net);
+        let models = [
+            FaultModel::AdditiveVariation { sigma: 0.2 },
+            FaultModel::MultiplicativeVariation { sigma: 0.3 },
+            FaultModel::UniformNoise { strength: 0.2 },
+            FaultModel::BitFlip { rate: 0.2, bits: 8 },
+            FaultModel::BinaryBitFlip { rate: 0.5 },
+            FaultModel::StuckAt { rate: 0.4 },
+            FaultModel::Drift {
+                nu: 0.1,
+                time_ratio: 1000.0,
+            },
+        ];
+        for model in models {
+            let mut injector = CodeFaultInjector::new(model);
+            injector.inject(&mut net, &mut rng).unwrap();
+            let faulty = codes_of(&mut net);
+            assert_ne!(clean, faulty, "{model:?} must perturb codes");
+            assert!(
+                faulty.iter().all(|&c| c != i8::MIN),
+                "{model:?} escaped the symmetric code range"
+            );
+            injector.restore(&mut net).unwrap();
+            assert_eq!(clean, codes_of(&mut net), "{model:?} restore failed");
+        }
+    }
+
+    #[test]
+    fn code_injector_guards_mirror_weight_injector() {
+        let mut rng = Rng::seed_from(33);
+        let mut net = quantized_network(&mut rng);
+        let mut injector = CodeFaultInjector::new(FaultModel::AdditiveVariation { sigma: 0.1 });
+        assert!(injector.restore(&mut net).is_err());
+        injector.inject(&mut net, &mut rng).unwrap();
+        assert!(injector.inject(&mut net, &mut rng).is_err());
+        assert!(injector.set_model(FaultModel::None).is_err());
+        injector.restore(&mut net).unwrap();
+        assert!(injector.set_model(FaultModel::None).is_ok());
+        // Invalid models are rejected without touching the codes.
+        let mut bad = CodeFaultInjector::new(FaultModel::BitFlip { rate: 2.0, bits: 8 });
+        assert!(bad.inject(&mut net, &mut rng).is_err());
+        assert!(!bad.is_injected());
+        assert!(matches!(bad.model(), FaultModel::BitFlip { .. }));
+    }
+
+    #[test]
+    fn code_injector_is_a_noop_on_float_networks() {
+        let mut rng = Rng::seed_from(34);
+        let mut net = network(&mut rng); // all-float layers
+        let before = weights_of(&mut net);
+        let mut injector = CodeFaultInjector::new(FaultModel::BitFlip { rate: 0.5, bits: 8 });
+        injector.inject(&mut net, &mut rng).unwrap();
+        assert_eq!(before, weights_of(&mut net));
+        injector.restore(&mut net).unwrap();
+    }
+
+    #[test]
+    fn code_faults_change_the_quantized_forward_pass() {
+        let mut rng = Rng::seed_from(35);
+        let mut net = quantized_network(&mut rng);
+        let x = Tensor::randn(&[4, 8], 0.0, 1.0, &mut rng);
+        let clean = net.forward(&x, Mode::Eval).unwrap();
+        let mut injector = CodeFaultInjector::new(FaultModel::StuckAt { rate: 0.3 });
+        injector.inject(&mut net, &mut rng).unwrap();
+        let faulty = net.forward(&x, Mode::Eval).unwrap();
+        assert!(!clean.approx_eq(&faulty, 1e-6));
+        injector.restore(&mut net).unwrap();
+        let restored = net.forward(&x, Mode::Eval).unwrap();
+        assert!(clean.approx_eq(&restored, 0.0));
     }
 
     #[test]

@@ -14,15 +14,21 @@
 //!   quantized or binary weights, stuck-at faults, retention drift).
 //! * [`injector`] — [`injector::WeightFaultInjector`]: applies a fault model
 //!   to every weight of a network (with save/restore so Monte-Carlo runs are
-//!   independent), and [`injector::ActivationNoise`], a layer that perturbs
-//!   pre-activation values (the injection point the paper uses for binary
-//!   networks, where weights have no analog magnitude to perturb).
+//!   independent); [`injector::CodeFaultInjector`]: the code-domain variant
+//!   that perturbs the **i8 quantization codes** of integer-inference
+//!   networks directly (via `Layer::visit_codes`), so faults land on the
+//!   representation the hardware programs; and
+//!   [`injector::ActivationNoise`], a layer that perturbs pre-activation
+//!   values (the injection point the paper uses for binary networks, where
+//!   weights have no analog magnitude to perturb).
 //! * [`montecarlo`] — the Monte-Carlo fault-simulation engine that evaluates
 //!   a metric over `N` simulated chip instances and reports mean ± std, the
-//!   protocol behind every robustness figure in the paper.
+//!   protocol behind every robustness figure in the paper
+//!   (`run_quantized` drives the same protocol over code-domain faults).
 //! * [`crossbar`] — a differential-pair crossbar model with DAC/ADC
 //!   quantization and conductance variation, demonstrating the full
-//!   weight-programming / analog-MVM path.
+//!   weight-programming / analog-MVM path (`program_codes` programs a tile
+//!   straight from quantized integer codes).
 //!
 //! # Example: perturb a network and measure the damage
 //!
@@ -61,7 +67,7 @@ pub mod injector;
 pub mod montecarlo;
 
 pub use fault::FaultModel;
-pub use injector::{ActivationNoise, NoiseHandle, WeightFaultInjector};
+pub use injector::{ActivationNoise, CodeFaultInjector, NoiseHandle, WeightFaultInjector};
 pub use montecarlo::{MonteCarloEngine, MonteCarloSummary};
 
 /// Convenience result alias re-using the NN error type.

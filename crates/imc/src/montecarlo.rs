@@ -19,7 +19,7 @@
 //! scheduling order.
 
 use crate::fault::FaultModel;
-use crate::injector::WeightFaultInjector;
+use crate::injector::{CodeFaultInjector, WeightFaultInjector};
 use crate::Result;
 use invnorm_nn::layer::Layer;
 use invnorm_nn::NnError;
@@ -237,6 +237,53 @@ impl MonteCarloEngine {
     /// balance heterogeneous evaluation times, large enough to amortize the
     /// atomic increment.
     pub const CHUNK: usize = 4;
+
+    /// Runs the simulation on a **quantized** network, injecting each fault
+    /// realization **directly into the i8 weight codes**
+    /// (via [`CodeFaultInjector`]) instead of the f32 parameters. This is
+    /// the protocol for integer-inference models built from
+    /// `invnorm_nn::quantized` layers: faults are applied on the
+    /// representation the hardware programs, and every forward pass inside
+    /// `evaluate` runs through the integer GEMM on the faulty codes.
+    ///
+    /// Chip instance `i` uses the same `(seed, i)`-derived RNG stream as
+    /// [`MonteCarloEngine::run`], so a quantized simulation is directly
+    /// comparable to its f32 counterpart run with the same engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when injection, evaluation or restoration fails, or
+    /// when a metric is non-finite; the clean codes are restored before the
+    /// error is returned whenever possible.
+    pub fn run_quantized<F>(
+        &self,
+        network: &mut dyn Layer,
+        fault: FaultModel,
+        mut evaluate: F,
+    ) -> Result<MonteCarloSummary>
+    where
+        F: FnMut(&mut dyn Layer) -> Result<f32>,
+    {
+        fault.validate()?;
+        let mut per_run = Vec::with_capacity(self.runs);
+        for run in 0..self.runs {
+            let mut rng = Self::run_rng(self.seed, run);
+            let mut injector = CodeFaultInjector::new(fault);
+            injector.inject(network, &mut rng)?;
+            let result = evaluate(network);
+            // Always restore, even if evaluation failed.
+            let restore_result = injector.restore(network);
+            let metric = result?;
+            restore_result?;
+            if !metric.is_finite() {
+                return Err(NnError::Config(format!(
+                    "evaluation returned a non-finite metric ({metric}) on run {run}"
+                )));
+            }
+            per_run.push(metric);
+        }
+        Ok(MonteCarloSummary::from_runs(fault.label(), per_run))
+    }
 
     /// Injects, evaluates and restores a single chip instance — the inner
     /// step of [`MonteCarloEngine::run_parallel`], kept in lockstep with the
@@ -503,6 +550,90 @@ mod tests {
         let mut net = simple_net(18);
         let engine = MonteCarloEngine::new(2, 5);
         let result = engine.run(&mut net, FaultModel::None, |_n| Ok(f32::NAN));
+        assert!(result.is_err());
+    }
+
+    fn paired_float_and_quantized_nets(seed: u64) -> (Sequential, Sequential) {
+        use invnorm_nn::quantized::QuantizedLinear;
+        let mut rng = Rng::seed_from(seed);
+        let l1 = Linear::new(16, 12, &mut rng);
+        let l2 = Linear::new(12, 4, &mut rng);
+        let q1 = QuantizedLinear::from_linear(&l1, 8).unwrap();
+        let q2 = QuantizedLinear::from_linear(&l2, 8).unwrap();
+        let mut fnet = Sequential::new();
+        fnet.push(Box::new(l1));
+        fnet.push(Box::new(l2));
+        let mut qnet = Sequential::new();
+        qnet.push(Box::new(q1));
+        qnet.push(Box::new(q2));
+        (fnet, qnet)
+    }
+
+    #[test]
+    fn quantized_run_reproduces_float_path_within_quantization_tolerance() {
+        let (mut fnet, mut qnet) = paired_float_and_quantized_nets(40);
+        let x = Tensor::randn(&[16, 16], 0.0, 1.0, &mut Rng::seed_from(41));
+        // Fault-free: the integer path must track the float path closely.
+        let clean_f = fnet.forward(&x, Mode::Eval).unwrap();
+        let clean_q = qnet.forward(&x, Mode::Eval).unwrap();
+        let quant_err = clean_f.sub(&clean_q).unwrap().abs().max();
+        let out_scale = clean_f.abs().max();
+        assert!(
+            quant_err <= 0.05 * out_scale,
+            "quantization error {quant_err} vs output scale {out_scale}"
+        );
+        // Under bit-flip faults, the quantized engine (faults on codes,
+        // integer forward) must reproduce the f32 engine's accuracy metric —
+        // mean absolute deviation from each path's own clean output — to
+        // within quantization tolerance.
+        let engine = MonteCarloEngine::new(24, 7);
+        let fault = FaultModel::BitFlip {
+            rate: 0.03,
+            bits: 8,
+        };
+        let cf = clean_f.clone();
+        let float_summary = engine
+            .run(&mut fnet, fault, |n| {
+                Ok(n.forward(&x, Mode::Eval)?.sub(&cf)?.abs().mean())
+            })
+            .unwrap();
+        let cq = clean_q.clone();
+        let quant_summary = engine
+            .run_quantized(&mut qnet, fault, |n| {
+                Ok(n.forward(&x, Mode::Eval)?.sub(&cq)?.abs().mean())
+            })
+            .unwrap();
+        assert!(float_summary.mean > 0.0 && quant_summary.mean > 0.0);
+        let diff = (float_summary.mean - quant_summary.mean).abs();
+        let scale = float_summary.mean.max(quant_summary.mean);
+        assert!(
+            diff <= 0.5 * scale,
+            "float-path mean {} vs quantized-path mean {} (diff {diff})",
+            float_summary.mean,
+            quant_summary.mean
+        );
+        // The quantized engine restored the clean codes.
+        let after = qnet.forward(&x, Mode::Eval).unwrap();
+        assert!(clean_q.approx_eq(&after, 0.0));
+    }
+
+    #[test]
+    fn quantized_run_is_deterministic_and_rejects_non_finite() {
+        let run_means = |seed: u64| {
+            let (_, mut qnet) = paired_float_and_quantized_nets(42);
+            let x = Tensor::randn(&[4, 16], 0.0, 1.0, &mut Rng::seed_from(43));
+            MonteCarloEngine::new(6, seed)
+                .run_quantized(&mut qnet, FaultModel::StuckAt { rate: 0.2 }, |n| {
+                    Ok(n.forward(&x, Mode::Eval)?.sum())
+                })
+                .unwrap()
+                .per_run
+        };
+        assert_eq!(run_means(9), run_means(9));
+        assert_ne!(run_means(9), run_means(10));
+        let (_, mut qnet) = paired_float_and_quantized_nets(42);
+        let result = MonteCarloEngine::new(2, 1)
+            .run_quantized(&mut qnet, FaultModel::None, |_n| Ok(f32::NAN));
         assert!(result.is_err());
     }
 

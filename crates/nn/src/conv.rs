@@ -107,6 +107,12 @@ impl Conv2d {
     pub fn weight_mut(&mut self) -> &mut Param {
         &mut self.weight
     }
+
+    /// Immutable access to the bias parameter (used by the quantized-layer
+    /// conversion path).
+    pub fn bias(&self) -> Option<&Param> {
+        self.bias.as_ref()
+    }
 }
 
 impl Layer for Conv2d {

@@ -73,6 +73,21 @@ impl Param {
     }
 }
 
+/// A mutable view of one quantized parameter's integer codes, handed to
+/// [`Layer::visit_codes`] visitors.
+///
+/// This is the code-domain analogue of [`Param`]: fault injectors perturb
+/// `codes` directly (bit flips, stuck-at cells) instead of round-tripping
+/// through f32, so the realization lands exactly on the representation the
+/// hardware programs into the crossbar.
+#[derive(Debug)]
+pub struct CodeView<'a> {
+    /// The packed i8 quantization codes, row-major.
+    pub codes: &'a mut [i8],
+    /// Bit width of the quantized representation (≤ 8).
+    pub bits: u8,
+}
+
 /// An object-safe neural-network layer with explicit forward and backward
 /// passes.
 ///
@@ -100,6 +115,13 @@ pub trait Layer {
     /// Visits every learnable parameter (used by optimizers and fault
     /// injectors).
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        let _ = visitor;
+    }
+
+    /// Visits every quantized weight's integer codes (used by code-domain
+    /// fault injectors). Float layers have none; quantized layers and
+    /// containers override this.
+    fn visit_codes(&mut self, visitor: &mut dyn FnMut(CodeView<'_>)) {
         let _ = visitor;
     }
 

@@ -13,6 +13,10 @@
 //!   [`Mode`].
 //! * [`linear`], [`conv`], [`pool`], [`activation`], [`norm`], [`dropout`],
 //!   [`lstm`], [`reshape`] — concrete layers.
+//! * [`quantized`] — integer-domain inference layers
+//!   ([`quantized::QuantizedLinear`], [`quantized::QuantizedConv2d`]) whose
+//!   i8 weight codes feed the blocked i8 GEMM and are exposed to code-domain
+//!   fault injection via [`Layer::visit_codes`].
 //! * [`sequential`] — [`Sequential`] container plus the [`Residual`]
 //!   combinator used by the residual CNN topology.
 //! * [`loss`] — cross-entropy, mean-squared-error and binary-cross-entropy
@@ -54,13 +58,15 @@ pub mod metrics;
 pub mod norm;
 pub mod optim;
 pub mod pool;
+pub mod quantized;
 pub mod reshape;
 pub mod sequential;
 pub mod train;
 pub mod upsample;
 
 pub use error::NnError;
-pub use layer::{Layer, Mode, Param};
+pub use layer::{CodeView, Layer, Mode, Param};
+pub use quantized::{QuantizedConv2d, QuantizedLinear};
 pub use sequential::{Residual, Sequential};
 
 /// Convenience result alias for this crate.

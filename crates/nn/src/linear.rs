@@ -80,6 +80,12 @@ impl Linear {
     pub fn weight(&self) -> &Param {
         &self.weight
     }
+
+    /// Immutable access to the bias parameter (used by the quantized-layer
+    /// conversion path).
+    pub fn bias(&self) -> Option<&Param> {
+        self.bias.as_ref()
+    }
 }
 
 impl Layer for Linear {

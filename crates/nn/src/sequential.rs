@@ -2,7 +2,7 @@
 //! [`Residual`] skip-connection combinator used by the residual CNN.
 
 use crate::error::NnError;
-use crate::layer::{BoxedLayer, Layer, Mode, Param};
+use crate::layer::{BoxedLayer, CodeView, Layer, Mode, Param};
 use crate::Result;
 use invnorm_tensor::Tensor;
 
@@ -97,6 +97,12 @@ impl Layer for Sequential {
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
         for layer in &mut self.layers {
             layer.visit_params(visitor);
+        }
+    }
+
+    fn visit_codes(&mut self, visitor: &mut dyn FnMut(CodeView<'_>)) {
+        for layer in &mut self.layers {
+            layer.visit_codes(visitor);
         }
     }
 
@@ -195,6 +201,16 @@ impl Layer for Residual {
         }
         if let Some(post) = &mut self.post {
             post.visit_params(visitor);
+        }
+    }
+
+    fn visit_codes(&mut self, visitor: &mut dyn FnMut(CodeView<'_>)) {
+        self.main.visit_codes(visitor);
+        if let Some(shortcut) = &mut self.shortcut {
+            shortcut.visit_codes(visitor);
+        }
+        if let Some(post) = &mut self.post {
+            post.visit_codes(visitor);
         }
     }
 

@@ -6,9 +6,11 @@
 //! give the fault-injection machinery in `invnorm-imc` an integer code space
 //! to flip bits in.
 //!
-//! * [`uniform`] — symmetric uniform affine quantization to `k` bits
-//!   ([`uniform::QuantizedTensor`] holds the integer codes plus scale so
-//!   bit-flip faults can be injected on the codes and mapped back).
+//! * [`uniform`] — uniform affine quantization to `k` bits
+//!   ([`uniform::QuantizedTensor`] holds **packed** integer codes — i8 for
+//!   widths ≤ 8 — plus per-tensor or per-channel scales and zero points, so
+//!   bit-flip faults can be injected on the codes and the codes can feed
+//!   the i8 GEMM directly).
 //! * [`binary`] — IR-Net/XNOR-style binarization with a per-tensor scaling
 //!   factor.
 //! * [`fake_quant`] — [`fake_quant::FakeQuantAct`], a PACT-style clipped

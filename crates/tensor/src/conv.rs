@@ -90,6 +90,51 @@ pub fn im2col(input: &Tensor, spec: &Conv2dSpec) -> Result<Tensor> {
 /// the buffer length is wrong.
 pub fn im2col_into(input: &Tensor, spec: &Conv2dSpec, cols: &mut [f32]) -> Result<()> {
     let (n, c, h, w) = as_nchw(input)?;
+    im2col_generic(input.data(), n, c, h, w, spec, cols)
+}
+
+/// [`im2col_into`] over raw **i8 quantization codes** in NCHW layout, for the
+/// quantized conv path: the patch matrix stays in the integer code domain so
+/// it can feed the i8 GEMM directly. Zero padding inserts code `0`, which is
+/// exact for the symmetric quantizers used throughout the workspace
+/// (`0.0` maps to code `0`).
+///
+/// # Errors
+///
+/// Returns an error when `dims` is not rank-4, the geometry is invalid or a
+/// buffer length is wrong.
+pub fn im2col_codes_into(
+    codes: &[i8],
+    dims: &[usize],
+    spec: &Conv2dSpec,
+    cols: &mut [i8],
+) -> Result<()> {
+    if dims.len() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: dims.len(),
+        });
+    }
+    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    if codes.len() != n * c * h * w {
+        return Err(TensorError::ShapeMismatch {
+            lhs: dims.to_vec(),
+            rhs: vec![codes.len()],
+        });
+    }
+    im2col_generic(codes, n, c, h, w, spec, cols)
+}
+
+/// Element-type-generic patch unfolding shared by the f32 and i8 paths.
+fn im2col_generic<T: Copy + Default>(
+    data: &[T],
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    spec: &Conv2dSpec,
+    cols: &mut [T],
+) -> Result<()> {
     let (oh, ow) = spec.output_hw(h, w)?;
     let patch = c * spec.kh * spec.kw;
     let rows = n * oh * ow;
@@ -99,7 +144,6 @@ pub fn im2col_into(input: &Tensor, spec: &Conv2dSpec, cols: &mut [f32]) -> Resul
             rhs: vec![cols.len()],
         });
     }
-    let data = input.data();
     for ni in 0..n {
         for oy in 0..oh {
             for ox in 0..ow {
@@ -115,7 +159,7 @@ pub fn im2col_into(input: &Tensor, spec: &Conv2dSpec, cols: &mut [f32]) -> Resul
                             let value = if in_y && ix >= 0 && (ix as usize) < w {
                                 data[((ni * c + ci) * h + iy as usize) * w + ix as usize]
                             } else {
-                                0.0
+                                T::default()
                             };
                             cols[row_base + col_idx] = value;
                         }
@@ -647,5 +691,33 @@ mod tests {
         let input = Tensor::zeros(&[1, 2, 5, 5]);
         let mut too_small = vec![0.0f32; 7];
         assert!(im2col_into(&input, &spec, &mut too_small).is_err());
+    }
+
+    #[test]
+    fn im2col_codes_agrees_with_f32_im2col() {
+        // Integer-valued input: the i8 unfolding must produce exactly the
+        // same patch matrix as the f32 path (zero padding = code 0).
+        let mut rng = Rng::seed_from(12);
+        for &(stride, pad) in &[(1usize, 0usize), (1, 1), (2, 1)] {
+            let spec = Conv2dSpec::new(3, stride, pad);
+            let codes: Vec<i8> = (0..2 * 3 * 6 * 6)
+                .map(|_| (rng.normal(0.0, 40.0).round().clamp(-127.0, 127.0)) as i8)
+                .collect();
+            let dims = [2usize, 3, 6, 6];
+            let as_f32: Vec<f32> = codes.iter().map(|&c| f32::from(c)).collect();
+            let input = Tensor::from_vec(as_f32, &dims).unwrap();
+            let expected = im2col(&input, &spec).unwrap();
+            let mut cols = vec![0i8; expected.numel()];
+            im2col_codes_into(&codes, &dims, &spec, &mut cols).unwrap();
+            for (got, want) in cols.iter().zip(expected.data().iter()) {
+                assert_eq!(f32::from(*got), *want, "stride {stride} pad {pad}");
+            }
+        }
+        // Error paths: wrong rank, wrong code count, wrong buffer length.
+        let spec = Conv2dSpec::new(3, 1, 1);
+        let mut cols = vec![0i8; 8];
+        assert!(im2col_codes_into(&[0i8; 4], &[2, 2], &spec, &mut cols).is_err());
+        assert!(im2col_codes_into(&[0i8; 4], &[1, 2, 5, 5], &spec, &mut cols).is_err());
+        assert!(im2col_codes_into(&[0i8; 50], &[1, 2, 5, 5], &spec, &mut cols).is_err());
     }
 }

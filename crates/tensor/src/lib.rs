@@ -16,6 +16,9 @@
 //!   axis reductions used by the layer implementations.
 //! * [`gemm`] — the cache-blocked, register-tiled, parallel f32 GEMM with
 //!   `alpha`/`beta` accumulation that all matrix products route through.
+//! * [`qgemm`] — the i8×i8→i32 sibling of [`gemm`] for the quantized
+//!   inference path (AVX2 `maddubs` microkernel, bit-exact vs. the integer
+//!   oracle in `ops::reference`).
 //! * [`scratch`] — reusable workspace buffers so hot-path kernels allocate
 //!   nothing in steady state.
 //! * [`conv`] — im2col/col2im based 1-D and 2-D convolution kernels (forward
@@ -42,6 +45,7 @@ pub mod error;
 pub mod gemm;
 pub mod ops;
 pub mod pool;
+pub mod qgemm;
 pub mod rng;
 pub mod scratch;
 pub mod shape;

@@ -16,6 +16,7 @@ use crate::tensor::Tensor;
 use crate::Result;
 
 pub use crate::gemm::{gemm, gemm_with_scratch};
+pub use crate::qgemm::{qgemm, qgemm_with_scratch};
 
 /// Matrix product `a @ b` for `a: [m, k]` and `b: [k, n]`.
 ///
@@ -231,6 +232,40 @@ pub mod reference {
             }
         }
         Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Naive integer oracle for the blocked i8 GEMM in [`crate::qgemm`]:
+    /// `op(A) · op(B)` over i8 codes with exact i32 accumulation, in the
+    /// textbook ijk order. The blocked kernel must match this **bit-exactly**
+    /// (integer arithmetic is exact, so any summation order agrees).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a slice length disagrees with the given dimensions.
+    pub fn qmatmul_i8(
+        trans_a: bool,
+        trans_b: bool,
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[i8],
+        b: &[i8],
+    ) -> Vec<i32> {
+        assert_eq!(a.len(), m * k, "A must hold m*k codes");
+        assert_eq!(b.len(), k * n, "B must hold k*n codes");
+        let mut out = vec![0i32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut dot = 0i32;
+                for p in 0..k {
+                    let av = if trans_a { a[p * m + i] } else { a[i * k + p] };
+                    let bv = if trans_b { b[j * k + p] } else { b[p * n + j] };
+                    dot += i32::from(av) * i32::from(bv);
+                }
+                out[i * n + j] = dot;
+            }
+        }
+        out
     }
 
     /// Naive `a @ bᵀ` for `a: [m, k]`, `b: [n, k]`.

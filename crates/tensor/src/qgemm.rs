@@ -1,0 +1,607 @@
+//! Cache-blocked, register-tiled, parallel **i8 × i8 → i32** GEMM.
+//!
+//! This is the integer compute core of the quantized inference path:
+//! `C ← op(A) · op(B)` (optionally accumulating into C) where A and B hold
+//! signed 8-bit quantization codes and C holds exact 32-bit integer
+//! accumulators. It mirrors the blocking structure of the f32 kernel in
+//! [`crate::gemm`] (KC k-panels, MC row blocks, NC column panels, packed
+//! operands, zero-padded edge tiles) with one integer-specific twist: the
+//! k-dimension is packed in **quads of four** codes so the AVX2 microkernel
+//! can consume them with `maddubs`-style pair products.
+//!
+//! The AVX2 microkernel uses the sign-split trick (as in the i8 dot kernels
+//! of llama.cpp and rten): `a·b == |a| · sign(b, a)`, which makes the
+//! unsigned-by-signed `_mm256_maddubs_epi16` applicable to two signed
+//! operands. Because codes are constrained to `[-127, 127]`, each i16 pair
+//! sum is at most `2 · 127² = 32258 < 32767`, so the saturating multiply-add
+//! can never saturate and the result is **bit-exact** — every kernel
+//! (AVX2, portable, parallel, any thread count) returns the same integers as
+//! the naive reference oracle in `ops::reference::qmatmul_i8`.
+//!
+//! Accumulation depth is bounded: `k · 127² ≤ i32::MAX` requires
+//! `k ≤ 133 152`, far beyond any layer in the workspace; the entry points
+//! debug-assert it.
+
+use crate::scratch::{uninit_slice_of, Scratch};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Rows of C computed per quantized microkernel tile.
+///
+/// 4×16 on AVX2: eight 256-bit i32 accumulators plus the packed-B loads and
+/// the sign/abs temporaries fit the 16 ymm registers without spilling.
+pub const QMR: usize = 4;
+/// Columns of C computed per quantized microkernel tile (two 256-bit vectors
+/// of i32 on AVX2; the portable kernel uses the same tile so the packed
+/// layout — and therefore every intermediate — is identical).
+pub const QNR: usize = 16;
+/// k-panel size (shared with the f32 kernel; the packed i8 strips are 4×
+/// smaller, so they sit even deeper in L1).
+pub const QKC: usize = 256;
+/// m-block size.
+pub const QMC: usize = 128;
+/// n-panel size.
+pub const QNC: usize = 256;
+/// k-quad: the microkernel consumes four codes per k-step.
+const KQ: usize = 4;
+
+/// Maximum k supported without risking i32 accumulator overflow
+/// (`k · 127² ≤ i32::MAX`).
+pub const MAX_K: usize = (i32::MAX as usize) / (127 * 127);
+
+/// Minimum `m·n·k` before the row-block loop is parallelized.
+const PARALLEL_FLOP_THRESHOLD: usize = 1 << 21;
+
+thread_local! {
+    static LOCAL_SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new());
+}
+
+/// Integer matrix multiply `C ← op(A) · op(B)` (or `C += …` when
+/// `accumulate`), for i8 codes in `[-127, 127]` and an i32 output.
+///
+/// `op(A)` is `A` (`[m, k]`, row-major) or `Aᵀ` (stored `[k, m]`) when
+/// `trans_a` is set; likewise `op(B)` is `[k, n]` or stored `[n, k]` when
+/// `trans_b` is set. `C` is always `[m, n]` row-major.
+///
+/// Results are **bit-exact** for every kernel variant and thread count
+/// (integer arithmetic, fixed per-element accumulation). Large products are
+/// parallelized over row blocks.
+///
+/// # Panics
+///
+/// Panics when a slice length disagrees with the given dimensions. Debug
+/// builds also assert `k ≤ MAX_K` and that no code is `-128` (the sign-split
+/// microkernel requires magnitudes ≤ 127; every quantizer in the workspace
+/// clamps to `[-qmax, qmax]`).
+#[allow(clippy::too_many_arguments)]
+pub fn qgemm(
+    trans_a: bool,
+    trans_b: bool,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[i8],
+    b: &[i8],
+    accumulate: bool,
+    c: &mut [i32],
+) {
+    check_dims(m, n, k, a, b, c);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        if !accumulate {
+            c.fill(0);
+        }
+        return;
+    }
+    let row_blocks = m.div_ceil(QMC);
+    let workers = rayon::current_num_threads().min(row_blocks);
+    if workers > 1 && m * n * k >= PARALLEL_FLOP_THRESHOLD {
+        qgemm_parallel(trans_a, trans_b, m, n, k, a, b, accumulate, c, workers);
+    } else {
+        LOCAL_SCRATCH.with(|s| {
+            qgemm_with_scratch(
+                trans_a,
+                trans_b,
+                m,
+                n,
+                k,
+                a,
+                b,
+                accumulate,
+                c,
+                &mut s.borrow_mut(),
+            );
+        });
+    }
+}
+
+/// Single-threaded [`qgemm`] with an explicit packing workspace, for callers
+/// that manage buffer reuse themselves (the quantized layers).
+#[allow(clippy::too_many_arguments)]
+pub fn qgemm_with_scratch(
+    trans_a: bool,
+    trans_b: bool,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[i8],
+    b: &[i8],
+    accumulate: bool,
+    c: &mut [i32],
+    scratch: &mut Scratch,
+) {
+    check_dims(m, n, k, a, b, c);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        if !accumulate {
+            c.fill(0);
+        }
+        return;
+    }
+    let kq_panel = QKC / KQ; // quads per full k-panel
+    let packed_b = uninit_slice_of(
+        &mut scratch.packed_b_i8,
+        kq_panel * KQ * QNC.min(n.next_multiple_of(QNR)),
+    );
+    let packed_a = uninit_slice_of(
+        &mut scratch.packed_a_i8,
+        QMC.next_multiple_of(QMR) * kq_panel * KQ,
+    );
+    for jc in (0..n).step_by(QNC) {
+        let nc = QNC.min(n - jc);
+        for pc in (0..k).step_by(QKC) {
+            let kc = QKC.min(k - pc);
+            pack_b(trans_b, b, k, n, pc, kc, jc, nc, packed_b);
+            let acc_block = accumulate || pc > 0;
+            for ic in (0..m).step_by(QMC) {
+                let mc = QMC.min(m - ic);
+                pack_a(trans_a, a, m, k, ic, mc, pc, kc, packed_a);
+                block_kernel(packed_a, packed_b, c, n, ic, mc, jc, nc, kc, acc_block);
+            }
+        }
+    }
+}
+
+/// Work-stealing parallel path mirroring `gemm_parallel`: row blocks are
+/// claimed from an atomic counter, each worker packs its own A blocks, and
+/// the packed B panel is shared read-only.
+#[allow(clippy::too_many_arguments)]
+fn qgemm_parallel(
+    trans_a: bool,
+    trans_b: bool,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[i8],
+    b: &[i8],
+    accumulate: bool,
+    c: &mut [i32],
+    workers: usize,
+) {
+    let row_blocks = m.div_ceil(QMC);
+    let kq_panel = QKC / KQ;
+    let mut packed_b_buf = vec![0i8; kq_panel * KQ * QNC.min(n.next_multiple_of(QNR))];
+    let c_ptr = SendPtr(c.as_mut_ptr());
+    for jc in (0..n).step_by(QNC) {
+        let nc = QNC.min(n - jc);
+        for pc in (0..k).step_by(QKC) {
+            let kc = QKC.min(k - pc);
+            pack_b(trans_b, b, k, n, pc, kc, jc, nc, &mut packed_b_buf);
+            let packed_b = &packed_b_buf;
+            let acc_block = accumulate || pc > 0;
+            let next = AtomicUsize::new(0);
+            rayon::scope(|s| {
+                for _ in 0..workers {
+                    let next = &next;
+                    let c_ptr = &c_ptr;
+                    s.spawn(move || {
+                        let mut packed_a = vec![0i8; QMC.next_multiple_of(QMR) * kq_panel * KQ];
+                        loop {
+                            let blk = next.fetch_add(1, Ordering::Relaxed);
+                            if blk >= row_blocks {
+                                break;
+                            }
+                            let ic = blk * QMC;
+                            let mc = QMC.min(m - ic);
+                            pack_a(trans_a, a, m, k, ic, mc, pc, kc, &mut packed_a);
+                            // SAFETY: each row block `[ic, ic+mc)` is claimed
+                            // by exactly one worker (atomic counter), so the
+                            // C rows written here are disjoint between
+                            // workers for the lifetime of this scope.
+                            let c_rows = unsafe {
+                                std::slice::from_raw_parts_mut(c_ptr.0.add(ic * n), mc * n)
+                            };
+                            block_kernel(
+                                &packed_a, packed_b, c_rows, n, 0, mc, jc, nc, kc, acc_block,
+                            );
+                        }
+                    });
+                }
+            });
+        }
+    }
+}
+
+/// Raw pointer wrapper so scoped workers can share the output buffer; safety
+/// rests on the disjoint row-block claim discipline in [`qgemm_parallel`].
+struct SendPtr(*mut i32);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+fn check_dims(m: usize, n: usize, k: usize, a: &[i8], b: &[i8], c: &mut [i32]) {
+    assert_eq!(a.len(), m * k, "A must hold m*k codes");
+    assert_eq!(b.len(), k * n, "B must hold k*n codes");
+    assert_eq!(c.len(), m * n, "C must hold m*n accumulators");
+    debug_assert!(k <= MAX_K, "k={k} exceeds the i32 accumulation bound");
+    debug_assert!(
+        a.iter().all(|&x| x != i8::MIN) && b.iter().all(|&x| x != i8::MIN),
+        "codes must lie in [-127, 127] (the sign-split microkernel needs |code| ≤ 127)"
+    );
+}
+
+/// Packs the `mc × kc` block of `op(A)` starting at `(ic, pc)` into QMR-row
+/// strips laid out quad-major (`packed[strip][quad][r][0..4]`), zero-padding
+/// both the ragged final strip and the ragged final k-quad.
+#[allow(clippy::too_many_arguments)]
+fn pack_a(
+    trans_a: bool,
+    a: &[i8],
+    m: usize,
+    k: usize,
+    ic: usize,
+    mc: usize,
+    pc: usize,
+    kc: usize,
+    packed: &mut [i8],
+) {
+    let at = |i: usize, p: usize| -> i8 {
+        if trans_a {
+            a[p * m + i]
+        } else {
+            a[i * k + p]
+        }
+    };
+    let quads = kc.div_ceil(KQ);
+    let mut dst = 0;
+    for ir in (0..mc).step_by(QMR) {
+        let rows = QMR.min(mc - ir);
+        for q in 0..quads {
+            for r in 0..QMR {
+                for kk in 0..KQ {
+                    let p = q * KQ + kk;
+                    packed[dst] = if r < rows && p < kc {
+                        at(ic + ir + r, pc + p)
+                    } else {
+                        0
+                    };
+                    dst += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Packs the `kc × nc` block of `op(B)` starting at `(pc, jc)` into
+/// QNR-column strips laid out quad-major (`packed[strip][quad][j][0..4]`),
+/// zero-padded like [`pack_a`].
+#[allow(clippy::too_many_arguments)]
+fn pack_b(
+    trans_b: bool,
+    b: &[i8],
+    k: usize,
+    n: usize,
+    pc: usize,
+    kc: usize,
+    jc: usize,
+    nc: usize,
+    packed: &mut [i8],
+) {
+    let bt = |p: usize, j: usize| -> i8 {
+        if trans_b {
+            b[j * k + p]
+        } else {
+            b[p * n + j]
+        }
+    };
+    let quads = kc.div_ceil(KQ);
+    let mut dst = 0;
+    for jr in (0..nc).step_by(QNR) {
+        let cols = QNR.min(nc - jr);
+        for q in 0..quads {
+            for j in 0..QNR {
+                for kk in 0..KQ {
+                    let p = q * KQ + kk;
+                    packed[dst] = if j < cols && p < kc {
+                        bt(pc + p, jc + jr + j)
+                    } else {
+                        0
+                    };
+                    dst += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Runs the microkernel over every `QMR × QNR` tile of an `mc × nc` block,
+/// writing into `c` (row-major with leading dimension `n`) at row offset
+/// `ic` and column offset `jc`.
+#[allow(clippy::too_many_arguments)]
+fn block_kernel(
+    packed_a: &[i8],
+    packed_b: &[i8],
+    c: &mut [i32],
+    n: usize,
+    ic: usize,
+    mc: usize,
+    jc: usize,
+    nc: usize,
+    kc: usize,
+    accumulate: bool,
+) {
+    let quads = kc.div_ceil(KQ);
+    for jr in (0..nc).step_by(QNR) {
+        let cols = QNR.min(nc - jr);
+        let pb = &packed_b[(jr / QNR) * (quads * KQ * QNR)..][..quads * KQ * QNR];
+        for ir in (0..mc).step_by(QMR) {
+            let rows = QMR.min(mc - ir);
+            let pa = &packed_a[(ir / QMR) * (quads * KQ * QMR)..][..quads * KQ * QMR];
+            let acc = microkernel(quads, pa, pb);
+            store_tile(&acc, c, n, ic + ir, jc + jr, rows, cols, accumulate);
+        }
+    }
+}
+
+/// The register-resident `QMR × QNR` i32 tile product over one packed
+/// k-panel, consuming four codes per k-step.
+///
+/// AVX2 variant: per k-quad, two 256-bit loads of packed B (16 columns × 4
+/// codes) and, per row, one 4-byte broadcast of packed A. The signed×signed
+/// product is computed as `maddubs(|a|, sign(b, a))` (never saturates for
+/// codes in `[-127, 127]`), widened to i32 with `madd(…, 1)` and accumulated.
+#[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+#[inline(always)]
+fn microkernel(quads: usize, pa: &[i8], pb: &[i8]) -> [[i32; QNR]; QMR] {
+    use core::arch::x86_64::{
+        _mm256_abs_epi8, _mm256_add_epi32, _mm256_loadu_si256, _mm256_madd_epi16,
+        _mm256_maddubs_epi16, _mm256_set1_epi16, _mm256_set1_epi32, _mm256_setzero_si256,
+        _mm256_sign_epi8, _mm256_storeu_si256,
+    };
+    assert!(pa.len() >= quads * KQ * QMR && pb.len() >= quads * KQ * QNR);
+    // SAFETY: AVX2 is statically enabled (cfg above) and every pointer read
+    // stays inside the asserted slice bounds.
+    unsafe {
+        let ones = _mm256_set1_epi16(1);
+        let mut acc = [_mm256_setzero_si256(); 2 * QMR];
+        let mut ap = pa.as_ptr();
+        let mut bp = pb.as_ptr();
+        for _ in 0..quads {
+            let b0 = _mm256_loadu_si256(bp.cast());
+            let b1 = _mm256_loadu_si256(bp.add(32).cast());
+            for r in 0..QMR {
+                // Broadcast the row's 4-code quad across all lanes.
+                let aq = _mm256_set1_epi32(ap.add(r * KQ).cast::<i32>().read_unaligned());
+                let abs_a = _mm256_abs_epi8(aq);
+                let sb0 = _mm256_sign_epi8(b0, aq);
+                let sb1 = _mm256_sign_epi8(b1, aq);
+                // 16 i16 pair sums → 8 i32 quad sums per vector (one per column).
+                let p0 = _mm256_madd_epi16(_mm256_maddubs_epi16(abs_a, sb0), ones);
+                let p1 = _mm256_madd_epi16(_mm256_maddubs_epi16(abs_a, sb1), ones);
+                acc[2 * r] = _mm256_add_epi32(acc[2 * r], p0);
+                acc[2 * r + 1] = _mm256_add_epi32(acc[2 * r + 1], p1);
+            }
+            ap = ap.add(QMR * KQ);
+            bp = bp.add(QNR * KQ);
+        }
+        let mut out = [[0i32; QNR]; QMR];
+        for (r, row) in out.iter_mut().enumerate() {
+            _mm256_storeu_si256(row.as_mut_ptr().cast(), acc[2 * r]);
+            _mm256_storeu_si256(row.as_mut_ptr().add(8).cast(), acc[2 * r + 1]);
+        }
+        out
+    }
+}
+
+/// Portable auto-vectorized variant of the quantized microkernel (identical
+/// packed layout and — integers being exact — identical results).
+#[cfg(not(all(target_arch = "x86_64", target_feature = "avx2")))]
+#[inline(always)]
+fn microkernel(quads: usize, pa: &[i8], pb: &[i8]) -> [[i32; QNR]; QMR] {
+    let mut acc = [[0i32; QNR]; QMR];
+    for q in 0..quads {
+        let aq = &pa[q * QMR * KQ..][..QMR * KQ];
+        let bq = &pb[q * QNR * KQ..][..QNR * KQ];
+        for r in 0..QMR {
+            let ar = &aq[r * KQ..][..KQ];
+            for j in 0..QNR {
+                let bj = &bq[j * KQ..][..KQ];
+                let mut dot = 0i32;
+                for kk in 0..KQ {
+                    dot += i32::from(ar[kk]) * i32::from(bj[kk]);
+                }
+                acc[r][j] += dot;
+            }
+        }
+    }
+    acc
+}
+
+/// Writes one accumulator tile back to C, overwriting or accumulating.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn store_tile(
+    acc: &[[i32; QNR]; QMR],
+    c: &mut [i32],
+    n: usize,
+    row0: usize,
+    col0: usize,
+    rows: usize,
+    cols: usize,
+    accumulate: bool,
+) {
+    for (r, acc_row) in acc.iter().enumerate().take(rows) {
+        let out = &mut c[(row0 + r) * n + col0..][..cols];
+        if accumulate {
+            for (o, &v) in out.iter_mut().zip(acc_row.iter()) {
+                *o += v;
+            }
+        } else {
+            for (o, &v) in out.iter_mut().zip(acc_row.iter()) {
+                *o = v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::reference;
+    use crate::rng::Rng;
+    use proptest::prelude::*;
+
+    fn random_codes(len: usize, rng: &mut Rng) -> Vec<i8> {
+        (0..len)
+            .map(|_| (rng.normal(0.0, 48.0).round().clamp(-127.0, 127.0)) as i8)
+            .collect()
+    }
+
+    #[test]
+    fn matches_integer_oracle_over_odd_shapes() {
+        let mut rng = Rng::seed_from(7);
+        // Awkward shapes: non-multiples of QMR/QNR/KQ/QKC, GEMV-like m=1 and
+        // n=1, k spanning several QKC panels, tiny everything.
+        let shapes = [
+            (1usize, 1usize, 1usize),
+            (1, 17, 300),
+            (5, 1, 3),
+            (3, 7, 2),
+            (4, 16, 256),
+            (13, 29, 31),
+            (33, 65, 17),
+            (130, 9, 270),
+            (2, 300, 5),
+            (7, 19, 515),
+        ];
+        for &(m, n, k) in &shapes {
+            for &(ta, tb) in &[(false, false), (true, false), (false, true), (true, true)] {
+                let a = random_codes(m * k, &mut rng);
+                let b = random_codes(k * n, &mut rng);
+                let expected = reference::qmatmul_i8(ta, tb, m, n, k, &a, &b);
+                let mut got = vec![0i32; m * n];
+                qgemm(ta, tb, m, n, k, &a, &b, false, &mut got);
+                assert_eq!(got, expected, "m={m} n={n} k={k} ta={ta} tb={tb}");
+            }
+        }
+    }
+
+    #[test]
+    fn accumulate_adds_to_existing_contents() {
+        let mut rng = Rng::seed_from(8);
+        let (m, n, k) = (9, 11, 23);
+        let a = random_codes(m * k, &mut rng);
+        let b = random_codes(k * n, &mut rng);
+        let product = reference::qmatmul_i8(false, false, m, n, k, &a, &b);
+        let mut c: Vec<i32> = (0..m * n).map(|i| i as i32 - 40).collect();
+        let expected: Vec<i32> = c.iter().zip(&product).map(|(x, p)| x + p).collect();
+        qgemm(false, false, m, n, k, &a, &b, true, &mut c);
+        assert_eq!(c, expected);
+    }
+
+    #[test]
+    fn empty_dims_are_handled() {
+        qgemm(false, false, 0, 4, 3, &[], &[0i8; 12], false, &mut []);
+        qgemm(false, false, 4, 0, 3, &[0i8; 12], &[], false, &mut []);
+        // k == 0: overwrite zeroes C, accumulate leaves it alone.
+        let mut c = vec![5i32; 6];
+        qgemm(false, false, 2, 3, 0, &[], &[], true, &mut c);
+        assert_eq!(c, vec![5; 6]);
+        qgemm(false, false, 2, 3, 0, &[], &[], false, &mut c);
+        assert_eq!(c, vec![0; 6]);
+    }
+
+    #[test]
+    fn extreme_codes_do_not_saturate() {
+        // ±127 everywhere maximizes every intermediate the AVX2 kernel
+        // computes; any maddubs saturation would show up immediately.
+        let (m, n, k) = (5, 33, 130);
+        let a = vec![127i8; m * k];
+        let b: Vec<i8> = (0..k * n)
+            .map(|i| if i % 2 == 0 { 127 } else { -127 })
+            .collect();
+        let expected = reference::qmatmul_i8(false, false, m, n, k, &a, &b);
+        let mut got = vec![0i32; m * n];
+        qgemm(false, false, m, n, k, &a, &b, false, &mut got);
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn parallel_is_bit_exact_for_every_worker_count() {
+        let mut rng = Rng::seed_from(11);
+        let (m, n, k) = (2 * QMC + 3, QNC + 5, QKC + 7);
+        let a = random_codes(m * k, &mut rng);
+        let b = random_codes(k * n, &mut rng);
+        let mut seq = vec![0i32; m * n];
+        LOCAL_SCRATCH.with(|s| {
+            qgemm_with_scratch(
+                false,
+                false,
+                m,
+                n,
+                k,
+                &a,
+                &b,
+                false,
+                &mut seq,
+                &mut s.borrow_mut(),
+            );
+        });
+        for workers in [2usize, 3, 5, 8] {
+            let mut par = vec![0i32; m * n];
+            qgemm_parallel(false, false, m, n, k, &a, &b, false, &mut par, workers);
+            assert_eq!(seq, par, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_alloc_free_after_warmup() {
+        let mut rng = Rng::seed_from(9);
+        let (m, n, k) = (64, 32, 48);
+        let a = random_codes(m * k, &mut rng);
+        let b = random_codes(k * n, &mut rng);
+        let mut c = vec![0i32; m * n];
+        let mut scratch = Scratch::new();
+        qgemm_with_scratch(false, false, m, n, k, &a, &b, false, &mut c, &mut scratch);
+        let cap = scratch.capacity();
+        for _ in 0..3 {
+            qgemm_with_scratch(false, false, m, n, k, &a, &b, false, &mut c, &mut scratch);
+        }
+        assert_eq!(
+            scratch.capacity(),
+            cap,
+            "repeat calls must not grow scratch"
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_qgemm_matches_oracle(
+            m in 1usize..24,
+            k in 1usize..48,
+            n in 1usize..24,
+            seed in 0u32..1000,
+        ) {
+            let mut rng = Rng::seed_from(seed as u64);
+            let a = random_codes(m * k, &mut rng);
+            let b = random_codes(k * n, &mut rng);
+            let expected = reference::qmatmul_i8(false, false, m, n, k, &a, &b);
+            let mut got = vec![0i32; m * n];
+            qgemm(false, false, m, n, k, &a, &b, false, &mut got);
+            prop_assert_eq!(got, expected);
+        }
+    }
+}

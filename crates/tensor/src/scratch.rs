@@ -28,6 +28,12 @@ pub struct Scratch {
     pub out_mat: Vec<f32>,
     /// Per-timestep input slice / gate staging (LSTM).
     pub step: Vec<f32>,
+    /// Packed A-panel storage for the quantized i8 GEMM (k-quad layout).
+    /// (The quantized layers' activation/patch/accumulator buffers live in
+    /// the layers themselves; `Scratch` only hosts the GEMM packing panels.)
+    pub packed_a_i8: Vec<i8>,
+    /// Packed B-panel storage for the quantized i8 GEMM (k-quad layout).
+    pub packed_b_i8: Vec<i8>,
 }
 
 impl Scratch {
@@ -43,6 +49,8 @@ impl Scratch {
             + self.cols.capacity()
             + self.out_mat.capacity()
             + self.step.capacity()
+            + self.packed_a_i8.capacity()
+            + self.packed_b_i8.capacity()
     }
 }
 
@@ -51,8 +59,14 @@ impl Scratch {
 /// buffer is already large enough). Contents are unspecified — callers must
 /// overwrite every element they read.
 pub fn uninit_slice(buf: &mut Vec<f32>, len: usize) -> &mut [f32] {
+    uninit_slice_of(buf, len)
+}
+
+/// Element-type-generic [`uninit_slice`], shared by the f32 and the quantized
+/// (i8 / i32) kernel paths.
+pub fn uninit_slice_of<T: Copy + Default>(buf: &mut Vec<T>, len: usize) -> &mut [T] {
     if buf.len() < len {
-        buf.resize(len, 0.0);
+        buf.resize(len, T::default());
     }
     &mut buf[..len]
 }

@@ -71,12 +71,14 @@ pub mod prelude {
         AffineDropout, AffineInit, DropGranularity, InvNormConfig, InvertedNorm, OodDetector,
     };
     pub use invnorm_imc::{
-        FaultModel, MonteCarloEngine, MonteCarloSummary, NoiseHandle, WeightFaultInjector,
+        CodeFaultInjector, FaultModel, MonteCarloEngine, MonteCarloSummary, NoiseHandle,
+        WeightFaultInjector,
     };
     pub use invnorm_models::{BuiltModel, NormVariant};
     pub use invnorm_nn::layer::{Layer, Mode, Param};
     pub use invnorm_nn::linear::Linear;
     pub use invnorm_nn::optim::{Adam, Optimizer, Sgd};
+    pub use invnorm_nn::quantized::{QuantizedConv2d, QuantizedLinear};
     pub use invnorm_nn::{NnError, Residual, Sequential};
     pub use invnorm_quant::{QuantConfig, QuantizedTensor};
     pub use invnorm_tensor::{Rng, Shape, Tensor};
