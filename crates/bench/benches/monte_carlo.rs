@@ -1,0 +1,201 @@
+//! Monte-Carlo engine throughput: sequential [`MonteCarloEngine::run`] vs
+//! instance-parallel `run_parallel` vs the batched `run_batched` path that
+//! fuses B fault realizations into each forward pass.
+//!
+//! The workload is the paper's actual evaluation shape: a **small** model
+//! (the 64×512→256 linear probe and a compact CNN) evaluated over ~tens of
+//! Monte-Carlo chip instances. At these sizes a single instance cannot
+//! saturate the blocked GEMM, so `run_parallel` only scales by instance-level
+//! work stealing and still pays per-instance snapshot/restore clones, packing
+//! and allocator traffic; `run_batched` amortizes all of that across the
+//! batch. Results are written to `BENCH_monte_carlo.json`; the
+//! `*_batched_*` / `*_parallel_*` pairs are the tracked speedup.
+//!
+//! `run`, `run_parallel` and `run_batched` produce bit-identical per-run
+//! metrics (tested in `invnorm-imc`), so these benchmarks compare equal
+//! work, not approximations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use invnorm_imc::fault::FaultModel;
+use invnorm_imc::montecarlo::MonteCarloEngine;
+use invnorm_nn::activation::Relu;
+use invnorm_nn::conv::Conv2d;
+use invnorm_nn::layer::{Layer, Mode};
+use invnorm_nn::linear::Linear;
+use invnorm_nn::pool::MaxPool2d;
+use invnorm_nn::quantized::{QuantizedConv2d, QuantizedLinear};
+use invnorm_nn::reshape::Flatten;
+use invnorm_nn::Sequential;
+use invnorm_tensor::{Rng, Tensor};
+
+/// Chip instances per engine run (kept below the paper's 100 so every
+/// benchmark iteration is one full engine invocation).
+const RUNS: usize = 32;
+/// Fault realizations fused per batched forward pass.
+const BATCH: usize = 16;
+/// Worker threads for the parallel and batched engines.
+const THREADS: usize = 4;
+
+/// The paper's linear probe shape: one 512→256 dense layer on a 64-row
+/// evaluation batch.
+fn linear_model(seed: u64) -> Sequential {
+    let mut rng = Rng::seed_from(seed);
+    Sequential::new().with(Box::new(Linear::new(512, 256, &mut rng)))
+}
+
+fn linear_input() -> Tensor {
+    Tensor::randn(&[64, 512], 0.0, 1.0, &mut Rng::seed_from(7))
+}
+
+/// A compact LeNet-style CNN on CIFAR-shaped inputs: one 5×5 conv stage,
+/// pooling, and a dense head.
+fn cnn_model(seed: u64) -> Sequential {
+    let mut rng = Rng::seed_from(seed);
+    Sequential::new()
+        .with(Box::new(Conv2d::new(3, 8, 5, 1, 2, &mut rng)))
+        .with(Box::new(Relu::new()))
+        .with(Box::new(MaxPool2d::new(2)))
+        .with(Box::new(Flatten::new()))
+        .with(Box::new(Linear::new(8 * 16 * 16, 10, &mut rng)))
+}
+
+fn cnn_input() -> Tensor {
+    Tensor::randn(&[8, 3, 32, 32], 0.0, 1.0, &mut Rng::seed_from(8))
+}
+
+fn quantized_linear_model(seed: u64) -> Sequential {
+    let mut rng = Rng::seed_from(seed);
+    let l = Linear::new(512, 256, &mut rng);
+    Sequential::new().with(Box::new(QuantizedLinear::from_linear(&l, 8).unwrap()))
+}
+
+fn quantized_cnn_model(seed: u64) -> Sequential {
+    let mut rng = Rng::seed_from(seed);
+    let conv = Conv2d::new(3, 8, 5, 1, 2, &mut rng);
+    let head = Linear::new(8 * 16 * 16, 10, &mut rng);
+    Sequential::new()
+        .with(Box::new(QuantizedConv2d::from_conv2d(&conv, 8).unwrap()))
+        .with(Box::new(Relu::new()))
+        .with(Box::new(MaxPool2d::new(2)))
+        .with(Box::new(Flatten::new()))
+        .with(Box::new(QuantizedLinear::from_linear(&head, 8).unwrap()))
+}
+
+/// The fault models of the benchmark sweep: the paper's conductance
+/// variation, a programming-fault model and retention drift.
+fn sweep_faults() -> [FaultModel; 3] {
+    [
+        FaultModel::AdditiveVariation { sigma: 0.1 },
+        FaultModel::StuckAt { rate: 0.05 },
+        FaultModel::Drift {
+            nu: 0.05,
+            time_ratio: 100.0,
+        },
+    ]
+}
+
+fn bench_model<F>(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    name: &str,
+    factory: F,
+    input: &Tensor,
+    quantized: bool,
+) where
+    F: Fn() -> Sequential + Sync + Copy,
+{
+    let engine = MonteCarloEngine::new(RUNS, 0xC0FFEE);
+    for fault in sweep_faults() {
+        let tag = match fault {
+            FaultModel::AdditiveVariation { .. } => "additive",
+            FaultModel::StuckAt { .. } => "stuckat",
+            FaultModel::Drift { .. } => "drift",
+            _ => "other",
+        };
+        // Sequential reference engine.
+        group.bench_function(format!("{name}_{tag}_sequential"), |b| {
+            b.iter(|| {
+                let mut net = factory();
+                let x = input.clone();
+                let summary = if quantized {
+                    engine
+                        .run_quantized(&mut net, fault, |n| Ok(n.forward(&x, Mode::Eval)?.sum()))
+                        .unwrap()
+                } else {
+                    engine
+                        .run(&mut net, fault, |n| Ok(n.forward(&x, Mode::Eval)?.sum()))
+                        .unwrap()
+                };
+                summary.mean
+            })
+        });
+        // Instance-parallel engine (f32 weight domain only).
+        if !quantized {
+            group.bench_function(format!("{name}_{tag}_parallel_t{THREADS}"), |b| {
+                b.iter(|| {
+                    let x = input.clone();
+                    engine
+                        .run_parallel(
+                            factory,
+                            fault,
+                            move |n: &mut Sequential| Ok(n.forward(&x, Mode::Eval)?.sum()),
+                            THREADS,
+                        )
+                        .unwrap()
+                        .mean
+                })
+            });
+        }
+        // Batched engine: B realizations per forward pass.
+        group.bench_function(format!("{name}_{tag}_batched_b{BATCH}_t{THREADS}"), |b| {
+            b.iter(|| {
+                let summary = if quantized {
+                    engine
+                        .run_batched_quantized(
+                            factory,
+                            fault,
+                            input,
+                            |out| Ok(out.sum()),
+                            BATCH,
+                            THREADS,
+                        )
+                        .unwrap()
+                } else {
+                    engine
+                        .run_batched(factory, fault, input, |out| Ok(out.sum()), BATCH, THREADS)
+                        .unwrap()
+                };
+                summary.mean
+            })
+        });
+    }
+}
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monte_carlo");
+    group.sample_size(10);
+
+    let xc = cnn_input();
+    bench_model(&mut group, "cnn_f32", || cnn_model(2), &xc, false);
+    bench_model(
+        &mut group,
+        "cnn_quant",
+        || quantized_cnn_model(2),
+        &xc,
+        true,
+    );
+
+    let x = linear_input();
+    bench_model(&mut group, "linear_f32", || linear_model(1), &x, false);
+    bench_model(
+        &mut group,
+        "linear_quant",
+        || quantized_linear_model(1),
+        &x,
+        true,
+    );
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_monte_carlo);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! CI bench regression gate (see `invnorm_bench::regression`).
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_gate --baseline <dir> --fresh <dir> [--threshold 0.25]
+//! ```
+//!
+//! Compares every `BENCH_*.json` in the fresh directory against the
+//! same-named committed baseline and exits non-zero when any benchmark name
+//! present in both regressed by more than the threshold (default 25 % mean
+//! time). Benchmarks present on only one side are ignored.
+
+use invnorm_bench::regression::gate_dirs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut baseline = PathBuf::from(".");
+    let mut fresh = PathBuf::from("bench-fresh");
+    let mut threshold = 0.25f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => baseline = PathBuf::from(args.next().unwrap_or_default()),
+            "--fresh" => fresh = PathBuf::from(args.next().unwrap_or_default()),
+            "--threshold" => {
+                threshold = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(threshold)
+            }
+            other => {
+                eprintln!("bench_gate: unknown argument `{other}`");
+                eprintln!("usage: bench_gate --baseline <dir> --fresh <dir> [--threshold 0.25]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let outcome = match gate_dirs(&baseline, &fresh, threshold) {
+        Ok(outcome) => outcome,
+        Err(err) => {
+            eprintln!("bench_gate: failed to read reports: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "bench_gate: compared {} benchmarks across {} report file(s) at a {:.0}% threshold",
+        outcome.compared,
+        outcome.files,
+        threshold * 100.0
+    );
+    if outcome.files == 0 || outcome.compared == 0 {
+        // A gate that checked nothing is a misconfiguration (wrong
+        // directory, renamed reports), not a pass.
+        eprintln!(
+            "bench_gate: nothing to compare between {} and {} — refusing to pass",
+            baseline.display(),
+            fresh.display()
+        );
+        return ExitCode::from(2);
+    }
+    if outcome.regressions.is_empty() {
+        println!("bench_gate: no regressions");
+        return ExitCode::SUCCESS;
+    }
+    for r in &outcome.regressions {
+        println!(
+            "REGRESSION {}::{} — baseline {:.1} ns, fresh {:.1} ns ({:.2}x)",
+            r.file,
+            r.name,
+            r.baseline_ns,
+            r.fresh_ns,
+            r.ratio()
+        );
+    }
+    ExitCode::FAILURE
+}

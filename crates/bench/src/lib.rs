@@ -26,6 +26,7 @@
 
 pub mod experiments;
 pub mod faults;
+pub mod regression;
 pub mod report;
 pub mod scale;
 pub mod tasks;

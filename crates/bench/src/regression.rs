@@ -1,0 +1,237 @@
+//! Bench regression gate: compares freshly produced `BENCH_*.json` reports
+//! against the committed baselines and flags mean-time regressions.
+//!
+//! The reports are written by the criterion shim (see the README's
+//! "Benchmarks" section); the schema is a flat object with a `benchmarks`
+//! array of `{"name": …, "mean_ns": …}` entries. Parsing is a minimal
+//! hand-rolled scan of exactly that shape — the files are produced by this
+//! workspace, not arbitrary JSON.
+//!
+//! The CI job runs every bench group into a scratch directory and then calls
+//! the `bench_gate` binary, which fails the job when any benchmark name
+//! present in **both** the baseline and the fresh report regressed by more
+//! than the threshold (25 % by default). Benchmarks that exist on only one
+//! side (added or retired) are ignored, so adding a bench never breaks the
+//! gate.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// One benchmark's mean time, keyed by its name within the group.
+pub type BenchMeans = BTreeMap<String, f64>;
+
+/// A mean-time regression of one benchmark beyond the gate threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Report file name (e.g. `BENCH_layer_throughput.json`).
+    pub file: String,
+    /// Benchmark name within the group.
+    pub name: String,
+    /// Committed baseline mean, in nanoseconds per iteration.
+    pub baseline_ns: f64,
+    /// Freshly measured mean, in nanoseconds per iteration.
+    pub fresh_ns: f64,
+}
+
+impl Regression {
+    /// Slowdown factor of the fresh measurement over the baseline.
+    pub fn ratio(&self) -> f64 {
+        self.fresh_ns / self.baseline_ns
+    }
+}
+
+/// Outcome of gating one pair of report directories.
+#[derive(Debug, Default)]
+pub struct GateOutcome {
+    /// Benchmarks compared (name present in both baseline and fresh).
+    pub compared: usize,
+    /// Report files compared.
+    pub files: usize,
+    /// Regressions beyond the threshold, worst first.
+    pub regressions: Vec<Regression>,
+}
+
+/// Extracts `(name, mean_ns)` pairs from a `BENCH_*.json` report produced by
+/// the criterion shim. Unparseable input yields an empty map (the gate then
+/// simply has nothing to compare).
+pub fn parse_bench_means(json: &str) -> BenchMeans {
+    let mut means = BenchMeans::new();
+    // Each benchmark entry is emitted on one line as
+    // `{"name": "...", "mean_ns": 123.4, ...}`; scan for the two fields.
+    let mut rest = json;
+    while let Some(pos) = rest.find("\"name\":") {
+        rest = &rest[pos + "\"name\":".len()..];
+        let Some(open) = rest.find('"') else { break };
+        let after = &rest[open + 1..];
+        let Some(close) = after.find('"') else { break };
+        let name = &after[..close];
+        rest = &after[close + 1..];
+        let Some(mpos) = rest.find("\"mean_ns\":") else {
+            break;
+        };
+        let after_mean = rest[mpos + "\"mean_ns\":".len()..].trim_start();
+        let end = after_mean
+            .find(|c: char| c != '.' && c != '-' && c != '+' && c != 'e' && !c.is_ascii_digit())
+            .unwrap_or(after_mean.len());
+        if let Ok(mean) = after_mean[..end].trim().parse::<f64>() {
+            means.insert(name.to_string(), mean);
+        }
+        rest = &after_mean[end..];
+    }
+    means
+}
+
+/// Compares one baseline report against its fresh counterpart, returning the
+/// regressions beyond `threshold` (fractional slowdown, e.g. `0.25` = 25 %)
+/// and the number of benchmarks compared.
+pub fn compare_reports(
+    file: &str,
+    baseline: &BenchMeans,
+    fresh: &BenchMeans,
+    threshold: f64,
+) -> (Vec<Regression>, usize) {
+    let mut regressions = Vec::new();
+    let mut compared = 0usize;
+    for (name, &base) in baseline {
+        let Some(&new) = fresh.get(name) else {
+            continue;
+        };
+        compared += 1;
+        if base > 0.0 && new > base * (1.0 + threshold) {
+            regressions.push(Regression {
+                file: file.to_string(),
+                name: name.clone(),
+                baseline_ns: base,
+                fresh_ns: new,
+            });
+        }
+    }
+    (regressions, compared)
+}
+
+/// Lists the `BENCH_*.json` report files directly inside `dir`.
+pub fn list_reports(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut reports = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let is_report = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"));
+        if is_report && path.is_file() {
+            reports.push(path);
+        }
+    }
+    reports.sort();
+    Ok(reports)
+}
+
+/// Gates a fresh report directory against a baseline directory: every
+/// benchmark name present in both sides of a same-named report pair must not
+/// have regressed by more than `threshold`.
+///
+/// # Errors
+///
+/// Returns an error when a directory cannot be read.
+pub fn gate_dirs(baseline: &Path, fresh: &Path, threshold: f64) -> std::io::Result<GateOutcome> {
+    let mut outcome = GateOutcome::default();
+    for base_path in list_reports(baseline)? {
+        let file = base_path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        let fresh_path = fresh.join(&file);
+        if !fresh_path.is_file() {
+            continue;
+        }
+        let base_means = parse_bench_means(&std::fs::read_to_string(&base_path)?);
+        let fresh_means = parse_bench_means(&std::fs::read_to_string(&fresh_path)?);
+        let (mut regressions, compared) =
+            compare_reports(&file, &base_means, &fresh_means, threshold);
+        outcome.files += 1;
+        outcome.compared += compared;
+        outcome.regressions.append(&mut regressions);
+    }
+    outcome
+        .regressions
+        .sort_by(|a, b| b.ratio().total_cmp(&a.ratio()));
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "group": "layer_throughput",
+  "unit": "ns_per_iter",
+  "benchmarks": [
+    {"name": "gemm_64", "mean_ns": 1000.0, "std_ns": 1.0, "min_ns": 900.0, "median_ns": 990.0, "samples": 10, "iters_per_sample": 5},
+    {"name": "conv_fwd", "mean_ns": 2500.5, "std_ns": 2.0, "min_ns": 2400.0, "median_ns": 2490.0, "samples": 10, "iters_per_sample": 3}
+  ]
+}"#;
+
+    #[test]
+    fn parses_names_and_means() {
+        let means = parse_bench_means(SAMPLE);
+        assert_eq!(means.len(), 2);
+        assert_eq!(means["gemm_64"], 1000.0);
+        assert_eq!(means["conv_fwd"], 2500.5);
+        assert!(parse_bench_means("not json at all").is_empty());
+        assert!(parse_bench_means("{\"benchmarks\": []}").is_empty());
+    }
+
+    #[test]
+    fn flags_only_regressions_beyond_threshold() {
+        let baseline = parse_bench_means(SAMPLE);
+        let mut fresh = baseline.clone();
+        // 20% slower: inside a 25% gate.
+        fresh.insert("gemm_64".into(), 1200.0);
+        let (regs, compared) = compare_reports("f", &baseline, &fresh, 0.25);
+        assert_eq!((regs.len(), compared), (0, 2));
+        // 30% slower: flagged.
+        fresh.insert("gemm_64".into(), 1300.0);
+        let (regs, _) = compare_reports("f", &baseline, &fresh, 0.25);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].name, "gemm_64");
+        assert!((regs[0].ratio() - 1.3).abs() < 1e-9);
+        // Speedups never flag.
+        fresh.insert("gemm_64".into(), 10.0);
+        let (regs, _) = compare_reports("f", &baseline, &fresh, 0.25);
+        assert!(regs.is_empty());
+    }
+
+    #[test]
+    fn names_on_only_one_side_are_ignored() {
+        let baseline = parse_bench_means(SAMPLE);
+        let mut fresh = BenchMeans::new();
+        fresh.insert("brand_new_bench".into(), 1.0);
+        fresh.insert("gemm_64".into(), 1001.0);
+        let (regs, compared) = compare_reports("f", &baseline, &fresh, 0.25);
+        assert_eq!((regs.len(), compared), (0, 1));
+    }
+
+    #[test]
+    fn gate_dirs_end_to_end() {
+        let root = std::env::temp_dir().join(format!("bench_gate_test_{}", std::process::id()));
+        let base_dir = root.join("base");
+        let fresh_dir = root.join("fresh");
+        std::fs::create_dir_all(&base_dir).unwrap();
+        std::fs::create_dir_all(&fresh_dir).unwrap();
+        std::fs::write(base_dir.join("BENCH_a.json"), SAMPLE).unwrap();
+        // Fresh report: conv_fwd regressed 2×, gemm_64 unchanged.
+        let fresh = SAMPLE.replace("2500.5", "5001.0");
+        std::fs::write(fresh_dir.join("BENCH_a.json"), fresh).unwrap();
+        // A baseline-only report is skipped.
+        std::fs::write(base_dir.join("BENCH_only_base.json"), SAMPLE).unwrap();
+        // A non-report file is ignored.
+        std::fs::write(base_dir.join("notes.txt"), "hi").unwrap();
+        let outcome = gate_dirs(&base_dir, &fresh_dir, 0.25).unwrap();
+        assert_eq!(outcome.files, 1);
+        assert_eq!(outcome.compared, 2);
+        assert_eq!(outcome.regressions.len(), 1);
+        assert_eq!(outcome.regressions[0].name, "conv_fwd");
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

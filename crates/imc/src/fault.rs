@@ -215,6 +215,95 @@ impl FaultModel {
             FaultModel::None => Ok(weights.clone()),
         }
     }
+
+    /// Applies the fault model to a weight tensor, writing the perturbed
+    /// values into a caller-provided buffer instead of allocating a fresh
+    /// tensor — the zero-alloc realization step of the batched Monte-Carlo
+    /// path, where B perturbed copies of each parameter land in a stacked
+    /// buffer.
+    ///
+    /// Draws **exactly** the same random variates in the same order as
+    /// [`FaultModel::perturb`], so for the same `rng` state the realization
+    /// is bit-identical to the allocating path (the bit-flip models, which
+    /// route through the quantizer, fall back to it internally).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the model parameters are invalid or `dst` does
+    /// not match the tensor's element count.
+    pub fn perturb_into(&self, weights: &Tensor, dst: &mut [f32], rng: &mut Rng) -> Result<()> {
+        self.validate()?;
+        let src = weights.data();
+        if dst.len() != src.len() {
+            return Err(NnError::Config(format!(
+                "perturb_into destination holds {} elements, parameter has {}",
+                dst.len(),
+                src.len()
+            )));
+        }
+        if !self.is_active() {
+            dst.copy_from_slice(src);
+            return Ok(());
+        }
+        match *self {
+            FaultModel::AdditiveVariation { sigma } => {
+                // Same scale fold and per-element draw order as `perturb`.
+                let scale = src
+                    .iter()
+                    .fold(f32::NEG_INFINITY, |m, &x| m.max(x.abs()))
+                    .max(1e-12);
+                let std = sigma * scale;
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d = s + rng.normal(0.0, std);
+                }
+            }
+            FaultModel::MultiplicativeVariation { sigma } => {
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d = s * rng.normal(1.0, sigma);
+                }
+            }
+            FaultModel::UniformNoise { strength } => {
+                let scale = src
+                    .iter()
+                    .fold(f32::NEG_INFINITY, |m, &x| m.max(x.abs()))
+                    .max(1e-12);
+                let span = strength * scale;
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d = s + rng.uniform_range(-span, span);
+                }
+            }
+            FaultModel::StuckAt { rate } => {
+                let lo = src.iter().copied().fold(f32::INFINITY, f32::min);
+                let hi = src.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d = if rng.bernoulli(rate) {
+                        if rng.bernoulli(0.5) {
+                            lo
+                        } else {
+                            hi
+                        }
+                    } else {
+                        s
+                    };
+                }
+            }
+            FaultModel::Drift { nu, time_ratio } => {
+                let factor = time_ratio.powf(-nu);
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d = s * factor;
+                }
+            }
+            FaultModel::BitFlip { .. } | FaultModel::BinaryBitFlip { .. } => {
+                // These route through the quantizer representations; reuse
+                // the allocating path verbatim so the realization stays
+                // bit-identical.
+                let perturbed = self.perturb(weights, rng)?;
+                dst.copy_from_slice(perturbed.data());
+            }
+            FaultModel::None => unreachable!("inactive models handled above"),
+        }
+        Ok(())
+    }
 }
 
 /// Flips each bit of each quantized code independently with probability
@@ -419,6 +508,48 @@ mod tests {
             assert!(drifted.abs() < orig.abs());
             assert_eq!(orig.signum(), drifted.signum());
         }
+    }
+
+    #[test]
+    fn perturb_into_is_bit_identical_to_perturb() {
+        let (w, _) = sample_weights(20);
+        let models = [
+            FaultModel::None,
+            FaultModel::AdditiveVariation { sigma: 0.4 },
+            FaultModel::MultiplicativeVariation { sigma: 0.3 },
+            FaultModel::UniformNoise { strength: 0.2 },
+            FaultModel::BitFlip {
+                rate: 0.05,
+                bits: 8,
+            },
+            FaultModel::BinaryBitFlip { rate: 0.2 },
+            FaultModel::StuckAt { rate: 0.3 },
+            FaultModel::Drift {
+                nu: 0.05,
+                time_ratio: 50.0,
+            },
+        ];
+        for model in models {
+            let mut rng_a = Rng::seed_from(777);
+            let mut rng_b = Rng::seed_from(777);
+            let allocated = model.perturb(&w, &mut rng_a).unwrap();
+            let mut dst = vec![0.0f32; w.numel()];
+            model.perturb_into(&w, &mut dst, &mut rng_b).unwrap();
+            let identical = allocated
+                .data()
+                .iter()
+                .zip(dst.iter())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(identical, "{model:?} perturb_into diverged from perturb");
+            // The two paths must also leave the RNG in the same state, so a
+            // subsequent parameter draws the same stream either way.
+            assert_eq!(rng_a.next_u64(), rng_b.next_u64(), "{model:?} rng state");
+        }
+        // Length mismatch is rejected.
+        let mut short = vec![0.0f32; 3];
+        assert!(FaultModel::None
+            .perturb_into(&w, &mut short, &mut Rng::seed_from(1))
+            .is_err());
     }
 
     #[test]

@@ -216,6 +216,67 @@ impl WeightFaultInjector {
     pub fn would_target(&self, p: &Param) -> bool {
         self.targets(p)
     }
+
+    /// Materializes one fault realization per entry of `rngs` into the
+    /// network's **stacked batched buffers** (staged by
+    /// `Layer::begin_batched`), leaving the clean parameters untouched — the
+    /// batched Monte-Carlo engine's counterpart of
+    /// [`WeightFaultInjector::inject`] + restore.
+    ///
+    /// Realization `b` perturbs parameter `i` with the stream
+    /// `rngs[b].fork(i)` in `visit_params` order — exactly the stream the
+    /// sequential injector would fork on chip instance `b` — so every staged
+    /// realization is **bit-identical** to what [`MonteCarloEngine::run`]
+    /// would have programmed.
+    ///
+    /// [`MonteCarloEngine::run`]: crate::MonteCarloEngine::run
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the fault model is invalid, the injector was
+    /// configured with [`WeightFaultInjector::including_vectors`] (batched
+    /// evaluation targets the default rank ≥ 2 parameter set only), or a
+    /// staged buffer does not match the batch size.
+    pub fn realize_batch<L: Layer + ?Sized>(
+        &self,
+        network: &mut L,
+        rngs: &mut [Rng],
+    ) -> Result<()> {
+        if self.include_vectors {
+            return Err(NnError::Config(
+                "batched evaluation supports the default (rank >= 2) fault targets only".into(),
+            ));
+        }
+        self.model.validate()?;
+        let model = self.model;
+        let batch = rngs.len();
+        let mut result: Result<()> = Ok(());
+        network.visit_batched(&mut |view| {
+            if result.is_err() {
+                return;
+            }
+            if view.stacked.batch() != batch || view.stacked.numel() != view.clean.numel() {
+                result = Err(NnError::Config(format!(
+                    "staged batch buffer is {}x{} elements, expected {}x{}",
+                    view.stacked.batch(),
+                    view.stacked.numel(),
+                    batch,
+                    view.clean.numel()
+                )));
+                return;
+            }
+            for (b, parent) in rngs.iter_mut().enumerate() {
+                let mut stream = parent.fork(view.index as u64);
+                if let Err(e) =
+                    model.perturb_into(view.clean, view.stacked.realization_mut(b), &mut stream)
+                {
+                    result = Err(e);
+                    return;
+                }
+            }
+        });
+        result
+    }
 }
 
 /// Applies a [`FaultModel`] **directly to the i8 quantization codes** of a
@@ -333,6 +394,50 @@ impl CodeFaultInjector {
     /// Whether faulty codes are currently outstanding.
     pub fn is_injected(&self) -> bool {
         self.snapshot.is_some()
+    }
+
+    /// Materializes one code-domain fault realization per entry of `rngs`
+    /// into the network's stacked batched code buffers — the code-domain
+    /// counterpart of [`WeightFaultInjector::realize_batch`], with the same
+    /// bit-identity guarantee: realization `b` of quantized parameter `i`
+    /// uses the stream `rngs[b].fork(i)` in `visit_codes` order, exactly as
+    /// [`CodeFaultInjector::inject`] would on chip instance `b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the fault model is invalid or a staged buffer
+    /// does not match the batch size.
+    pub fn realize_batch<L: Layer + ?Sized>(
+        &self,
+        network: &mut L,
+        rngs: &mut [Rng],
+    ) -> Result<()> {
+        self.model.validate()?;
+        let model = self.model;
+        let batch = rngs.len();
+        let mut result: Result<()> = Ok(());
+        network.visit_batched_codes(&mut |view| {
+            if result.is_err() {
+                return;
+            }
+            if view.stacked.batch() != batch || view.stacked.numel() != view.clean.len() {
+                result = Err(NnError::Config(format!(
+                    "staged batch code buffer is {}x{} codes, expected {}x{}",
+                    view.stacked.batch(),
+                    view.stacked.numel(),
+                    batch,
+                    view.clean.len()
+                )));
+                return;
+            }
+            for (b, parent) in rngs.iter_mut().enumerate() {
+                let mut stream = parent.fork(view.index as u64);
+                let slot = view.stacked.realization_mut(b);
+                slot.copy_from_slice(view.clean);
+                perturb_codes(slot, view.bits, model, &mut stream);
+            }
+        });
+        result
     }
 }
 
@@ -590,6 +695,98 @@ mod tests {
         let first = realize(&mut net);
         let second = realize(&mut net);
         assert_eq!(first, second, "same seed must give the same realization");
+    }
+
+    #[test]
+    fn realize_batch_matches_sequential_injection_per_instance() {
+        // Realization b of the batch must equal what `inject` with the same
+        // chip-instance RNG would have programmed — including across a
+        // rank-1-parameter layer that shifts the global parameter indices.
+        let mut build = Rng::seed_from(40);
+        let mut net = network(&mut build);
+        let batch = 3usize;
+        let fault = FaultModel::AdditiveVariation { sigma: 0.3 };
+        // Sequential realizations.
+        let mut expected: Vec<Vec<f32>> = Vec::new();
+        for b in 0..batch {
+            let mut rng = Rng::seed_from(1000 + b as u64);
+            let mut injector = WeightFaultInjector::new(fault);
+            injector.inject(&mut net, &mut rng).unwrap();
+            let mut faulty = Vec::new();
+            net.visit_params(&mut |p| {
+                if p.value.rank() >= 2 {
+                    faulty.extend_from_slice(p.value.data());
+                }
+            });
+            injector.restore(&mut net).unwrap();
+            expected.push(faulty);
+        }
+        // Batched realizations from the same per-instance streams.
+        net.begin_batched(batch).unwrap();
+        let mut rngs: Vec<Rng> = (0..batch)
+            .map(|b| Rng::seed_from(1000 + b as u64))
+            .collect();
+        WeightFaultInjector::new(fault)
+            .realize_batch(&mut net, &mut rngs)
+            .unwrap();
+        let mut got: Vec<Vec<f32>> = vec![Vec::new(); batch];
+        net.visit_batched(&mut |view| {
+            for (b, dst) in got.iter_mut().enumerate() {
+                dst.extend_from_slice(view.stacked.realization(b));
+            }
+        });
+        net.end_batched();
+        for b in 0..batch {
+            let identical = expected[b]
+                .iter()
+                .zip(got[b].iter())
+                .all(|(e, g)| e.to_bits() == g.to_bits());
+            assert!(
+                identical && expected[b].len() == got[b].len(),
+                "realization {b} diverged"
+            );
+        }
+        // including_vectors is unsupported in the batched path.
+        net.begin_batched(batch).unwrap();
+        let mut rngs: Vec<Rng> = (0..batch).map(|b| Rng::seed_from(b as u64)).collect();
+        assert!(WeightFaultInjector::new(fault)
+            .including_vectors()
+            .realize_batch(&mut net, &mut rngs)
+            .is_err());
+        net.end_batched();
+    }
+
+    #[test]
+    fn code_realize_batch_matches_sequential_code_injection() {
+        let mut build = Rng::seed_from(41);
+        let mut net = quantized_network(&mut build);
+        let batch = 3usize;
+        let fault = FaultModel::BitFlip { rate: 0.1, bits: 8 };
+        let mut expected: Vec<Vec<i8>> = Vec::new();
+        for b in 0..batch {
+            let mut rng = Rng::seed_from(2000 + b as u64);
+            let mut injector = CodeFaultInjector::new(fault);
+            injector.inject(&mut net, &mut rng).unwrap();
+            expected.push(codes_of(&mut net));
+            injector.restore(&mut net).unwrap();
+        }
+        net.begin_batched(batch).unwrap();
+        let mut rngs: Vec<Rng> = (0..batch)
+            .map(|b| Rng::seed_from(2000 + b as u64))
+            .collect();
+        CodeFaultInjector::new(fault)
+            .realize_batch(&mut net, &mut rngs)
+            .unwrap();
+        let mut got: Vec<Vec<i8>> = vec![Vec::new(); batch];
+        net.visit_batched_codes(&mut |view| {
+            for (b, dst) in got.iter_mut().enumerate() {
+                dst.extend_from_slice(view.stacked.realization(b));
+            }
+        });
+        net.end_batched();
+        for b in 0..batch {
+            assert_eq!(expected[b], got[b], "code realization {b} diverged");
+        }
     }
 
     #[test]

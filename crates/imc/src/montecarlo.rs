@@ -21,13 +21,21 @@
 use crate::fault::FaultModel;
 use crate::injector::{CodeFaultInjector, WeightFaultInjector};
 use crate::Result;
-use invnorm_nn::layer::Layer;
+use invnorm_nn::layer::{Layer, Mode};
 use invnorm_nn::NnError;
 use invnorm_tensor::stats::RunningStats;
-use invnorm_tensor::Rng;
+use invnorm_tensor::{Rng, Tensor};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Which representation a batched Monte-Carlo run perturbs: f32 weights (via
+/// [`WeightFaultInjector`]) or quantization codes (via [`CodeFaultInjector`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BatchedDomain {
+    Weights,
+    Codes,
+}
 
 /// Aggregated result of a Monte-Carlo fault simulation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -283,6 +291,239 @@ impl MonteCarloEngine {
             per_run.push(metric);
         }
         Ok(MonteCarloSummary::from_runs(fault.label(), per_run))
+    }
+
+    /// Runs the simulation with **B fault realizations fused into each
+    /// forward pass**: `runs` chip instances are chunked into batches of
+    /// `batch`, each batch stages B perturbed weight realizations into the
+    /// network's stacked batched buffers (the clean weights are never
+    /// touched, so there is no snapshot/restore), evaluates all of them in
+    /// one batched forward over the shared `input`, and applies `metric` to
+    /// each realization's output slice. Batches are distributed over
+    /// `threads` rayon workers exactly like [`MonteCarloEngine::run_parallel`]
+    /// distributes instances.
+    ///
+    /// Chip instance `i` perturbs its weights with the same `(seed, i)`
+    /// derived streams as [`MonteCarloEngine::run`], and each realization's
+    /// forward pass is arithmetically identical to a sequential forward on
+    /// its perturbed weights, so the per-run metrics are **bit-identical** to
+    /// the sequential engine evaluating `metric(network.forward(input))` —
+    /// for every batch size and thread count. What batching buys is
+    /// throughput: the shared input panel is quantized/unfolded/packed once
+    /// per batch instead of once per instance, per-instance snapshot/restore
+    /// clones disappear, and small models stop being bound by per-run
+    /// dispatch overhead.
+    ///
+    /// The network must be built from batched-eval-capable layers
+    /// (`Linear`, `Conv2d`, the quantized layers, containers and stateless
+    /// layers); a layer with fault-targetable weights but no batched support
+    /// is rejected loudly. Networks that are stochastic at evaluation time
+    /// are not reproducible against the sequential engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when staging, injection, evaluation or the metric
+    /// fails, or when a metric is non-finite; with several failures, the
+    /// error of the lowest-indexed failing batch is returned.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_batched<M, F, E>(
+        &self,
+        factory: F,
+        fault: FaultModel,
+        input: &Tensor,
+        metric: E,
+        batch: usize,
+        threads: usize,
+    ) -> Result<MonteCarloSummary>
+    where
+        M: Layer + Send,
+        F: Fn() -> M + Sync,
+        E: Fn(&Tensor) -> Result<f32> + Sync,
+    {
+        self.run_batched_in(
+            BatchedDomain::Weights,
+            factory,
+            fault,
+            input,
+            metric,
+            batch,
+            threads,
+        )
+    }
+
+    /// The **quantized** counterpart of [`MonteCarloEngine::run_batched`]:
+    /// each batch materializes B fault realizations directly into the
+    /// stacked **i8 code** buffers (via [`CodeFaultInjector`] streams), and
+    /// the batched forward stays in the integer domain. Per-run metrics are
+    /// bit-identical to [`MonteCarloEngine::run_quantized`] evaluating
+    /// `metric(network.forward(input))`.
+    ///
+    /// # Errors
+    ///
+    /// See [`MonteCarloEngine::run_batched`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_batched_quantized<M, F, E>(
+        &self,
+        factory: F,
+        fault: FaultModel,
+        input: &Tensor,
+        metric: E,
+        batch: usize,
+        threads: usize,
+    ) -> Result<MonteCarloSummary>
+    where
+        M: Layer + Send,
+        F: Fn() -> M + Sync,
+        E: Fn(&Tensor) -> Result<f32> + Sync,
+    {
+        self.run_batched_in(
+            BatchedDomain::Codes,
+            factory,
+            fault,
+            input,
+            metric,
+            batch,
+            threads,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_batched_in<M, F, E>(
+        &self,
+        domain: BatchedDomain,
+        factory: F,
+        fault: FaultModel,
+        input: &Tensor,
+        metric: E,
+        batch: usize,
+        threads: usize,
+    ) -> Result<MonteCarloSummary>
+    where
+        M: Layer + Send,
+        F: Fn() -> M + Sync,
+        E: Fn(&Tensor) -> Result<f32> + Sync,
+    {
+        fault.validate()?;
+        let runs = self.runs;
+        let seed = self.seed;
+        let batch = batch.clamp(1, runs);
+        let n_batches = runs.div_ceil(batch);
+        let threads = threads.clamp(1, n_batches);
+        let next_batch = AtomicUsize::new(0);
+        type BatchResult = (usize, Result<Vec<f32>>);
+        let collected: Mutex<Vec<BatchResult>> = Mutex::new(Vec::with_capacity(n_batches));
+        rayon::scope(|s| {
+            for _ in 0..threads {
+                let next_batch = &next_batch;
+                let collected = &collected;
+                let factory = &factory;
+                let metric = &metric;
+                s.spawn(move || {
+                    let mut model = factory();
+                    let mut local: Vec<BatchResult> = Vec::new();
+                    // Clean weights are staged into the stacked buffers once
+                    // per worker (targeted slots are fully overwritten by
+                    // every realization pass, untargeted slots stay clean),
+                    // so batch N+1 pays no re-staging memcpy.
+                    let mut staged = 0usize;
+                    loop {
+                        let bi = next_batch.fetch_add(1, Ordering::Relaxed);
+                        if bi >= n_batches {
+                            break;
+                        }
+                        let start = bi * batch;
+                        let bsize = batch.min(runs - start);
+                        if staged != bsize {
+                            if let Err(e) = model.begin_batched(bsize) {
+                                local.push((start, Err(e)));
+                                break;
+                            }
+                            staged = bsize;
+                        }
+                        local.push((
+                            start,
+                            Self::simulate_batch(
+                                &mut model, domain, fault, seed, start, bsize, input, metric,
+                            ),
+                        ));
+                    }
+                    model.end_batched();
+                    collected
+                        .lock()
+                        .expect("monte-carlo result lock poisoned")
+                        .append(&mut local);
+                });
+            }
+        });
+        let mut collected = collected
+            .into_inner()
+            .expect("monte-carlo result lock poisoned");
+        collected.sort_by_key(|(start, _)| *start);
+        let mut per_run = Vec::with_capacity(runs);
+        for (start, metrics) in collected {
+            let metrics = metrics?;
+            for (offset, metric) in metrics.into_iter().enumerate() {
+                let run = start + offset;
+                if !metric.is_finite() {
+                    return Err(NnError::Config(format!(
+                        "evaluation returned a non-finite metric ({metric}) on run {run}"
+                    )));
+                }
+                per_run.push(metric);
+            }
+        }
+        debug_assert_eq!(per_run.len(), runs);
+        Ok(MonteCarloSummary::from_runs(fault.label(), per_run))
+    }
+
+    /// Injects, evaluates and scores one batch of chip instances (whose
+    /// stacked buffers were staged by a prior `begin_batched`) — the inner
+    /// step of the batched engine. Depends only on
+    /// `(seed, start..start+bsize)`, not on which thread executes it.
+    #[allow(clippy::too_many_arguments)]
+    fn simulate_batch<M: Layer + ?Sized>(
+        model: &mut M,
+        domain: BatchedDomain,
+        fault: FaultModel,
+        seed: u64,
+        start: usize,
+        bsize: usize,
+        input: &Tensor,
+        metric: &impl Fn(&Tensor) -> Result<f32>,
+    ) -> Result<Vec<f32>> {
+        let mut rngs: Vec<Rng> = (0..bsize).map(|i| Self::run_rng(seed, start + i)).collect();
+        match domain {
+            BatchedDomain::Weights => {
+                WeightFaultInjector::new(fault).realize_batch(model, &mut rngs)?;
+            }
+            BatchedDomain::Codes => {
+                CodeFaultInjector::new(fault).realize_batch(model, &mut rngs)?;
+            }
+        }
+        let (out, shared) = model.forward_batched(input, true, bsize, Mode::Eval)?;
+        let mut metrics = Vec::with_capacity(bsize);
+        if shared {
+            // Degenerate case: no weighted layer diverged the realizations,
+            // so every chip instance scores the same output.
+            let m = metric(&out)?;
+            metrics.resize(bsize, m);
+        } else {
+            let d0 = out.dims()[0];
+            if d0 % bsize != 0 {
+                return Err(NnError::Config(format!(
+                    "batched output rows {d0} not divisible by batch {bsize}"
+                )));
+            }
+            let per = out.numel() / bsize;
+            let mut dims = out.dims().to_vec();
+            dims[0] = d0 / bsize;
+            for b in 0..bsize {
+                let slice = out.data()[b * per..(b + 1) * per].to_vec();
+                let realization = Tensor::from_vec(slice, &dims)?;
+                metrics.push(metric(&realization)?);
+            }
+        }
+        Ok(metrics)
     }
 
     /// Injects, evaluates and restores a single chip instance — the inner
@@ -635,6 +876,271 @@ mod tests {
         let result = MonteCarloEngine::new(2, 1)
             .run_quantized(&mut qnet, FaultModel::None, |_n| Ok(f32::NAN));
         assert!(result.is_err());
+    }
+
+    /// All eight fault models of the catalogue, at strengths that actually
+    /// perturb something.
+    fn all_fault_models() -> [FaultModel; 8] {
+        [
+            FaultModel::None,
+            FaultModel::AdditiveVariation { sigma: 0.3 },
+            FaultModel::MultiplicativeVariation { sigma: 0.2 },
+            FaultModel::UniformNoise { strength: 0.25 },
+            FaultModel::BitFlip {
+                rate: 0.05,
+                bits: 8,
+            },
+            FaultModel::BinaryBitFlip { rate: 0.1 },
+            FaultModel::StuckAt { rate: 0.15 },
+            FaultModel::Drift {
+                nu: 0.05,
+                time_ratio: 100.0,
+            },
+        ]
+    }
+
+    /// An MLP with a normalization layer in the middle: the norm's rank-1
+    /// affine parameters shift the global parameter indices, exercising the
+    /// index re-basing that keeps batched RNG streams aligned with the
+    /// sequential injector.
+    fn mlp_with_norm(seed: u64) -> Sequential {
+        use invnorm_nn::activation::Relu;
+        use invnorm_nn::norm::GroupNorm;
+        let mut rng = Rng::seed_from(seed);
+        Sequential::new()
+            .with(Box::new(Linear::new(8, 16, &mut rng)))
+            .with(Box::new(GroupNorm::layer_norm(16)))
+            .with(Box::new(Relu::new()))
+            .with(Box::new(Linear::new(16, 4, &mut rng)))
+    }
+
+    #[test]
+    fn batched_is_bit_identical_to_sequential_for_all_fault_models() {
+        let x = Tensor::randn(&[6, 8], 0.0, 1.0, &mut Rng::seed_from(50));
+        let engine = MonteCarloEngine::new(10, 1234);
+        for fault in all_fault_models() {
+            let mut net = mlp_with_norm(51);
+            let xc = x.clone();
+            let sequential = engine
+                .run(&mut net, fault, |n| Ok(n.forward(&xc, Mode::Eval)?.sum()))
+                .unwrap();
+            for batch in [1usize, 3, 10] {
+                for threads in [1usize, 4] {
+                    let batched = engine
+                        .run_batched(
+                            || mlp_with_norm(51),
+                            fault,
+                            &x,
+                            |out| Ok(out.sum()),
+                            batch,
+                            threads,
+                        )
+                        .unwrap();
+                    assert_eq!(batched.runs(), sequential.runs());
+                    let identical = sequential
+                        .per_run
+                        .iter()
+                        .zip(batched.per_run.iter())
+                        .all(|(a, b)| a.to_bits() == b.to_bits());
+                    assert!(
+                        identical,
+                        "{fault:?} batch={batch} threads={threads}: {:?} vs {:?}",
+                        sequential.per_run, batched.per_run
+                    );
+                    assert_eq!(batched.mean.to_bits(), sequential.mean.to_bits());
+                    assert_eq!(batched.std.to_bits(), sequential.std.to_bits());
+                }
+            }
+        }
+    }
+
+    fn small_cnn(seed: u64) -> Sequential {
+        use invnorm_nn::activation::Relu;
+        use invnorm_nn::conv::Conv2d;
+        use invnorm_nn::pool::MaxPool2d;
+        use invnorm_nn::reshape::Flatten;
+        let mut rng = Rng::seed_from(seed);
+        Sequential::new()
+            .with(Box::new(Conv2d::new(2, 4, 3, 1, 1, &mut rng)))
+            .with(Box::new(Relu::new()))
+            .with(Box::new(MaxPool2d::new(2)))
+            .with(Box::new(Conv2d::new(4, 6, 3, 1, 1, &mut rng)))
+            .with(Box::new(Relu::new()))
+            .with(Box::new(Flatten::new()))
+            .with(Box::new(Linear::new(6 * 4 * 4, 3, &mut rng)))
+    }
+
+    #[test]
+    fn batched_cnn_is_bit_identical_to_sequential() {
+        let x = Tensor::randn(&[3, 2, 8, 8], 0.0, 1.0, &mut Rng::seed_from(60));
+        let engine = MonteCarloEngine::new(9, 77);
+        for fault in [
+            FaultModel::AdditiveVariation { sigma: 0.2 },
+            FaultModel::StuckAt { rate: 0.1 },
+        ] {
+            let mut net = small_cnn(61);
+            let xc = x.clone();
+            let sequential = engine
+                .run(&mut net, fault, |n| {
+                    Ok(n.forward(&xc, Mode::Eval)?.abs().mean())
+                })
+                .unwrap();
+            for (batch, threads) in [(4usize, 1usize), (3, 4), (9, 2)] {
+                let batched = engine
+                    .run_batched(
+                        || small_cnn(61),
+                        fault,
+                        &x,
+                        |out| Ok(out.abs().mean()),
+                        batch,
+                        threads,
+                    )
+                    .unwrap();
+                let identical = sequential
+                    .per_run
+                    .iter()
+                    .zip(batched.per_run.iter())
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(identical, "{fault:?} batch={batch} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_residual_block_is_bit_identical_to_sequential() {
+        use invnorm_nn::activation::Relu;
+        use invnorm_nn::Residual;
+        let build = |seed: u64| -> Sequential {
+            let mut rng = Rng::seed_from(seed);
+            let main = Sequential::new()
+                .with(Box::new(Linear::new(6, 6, &mut rng)))
+                .with(Box::new(Relu::new()));
+            Sequential::new()
+                .with(Box::new(
+                    Residual::new(main).with_post(Box::new(Relu::new())),
+                ))
+                .with(Box::new(Linear::new(6, 2, &mut rng)))
+        };
+        let x = Tensor::randn(&[4, 6], 0.0, 1.0, &mut Rng::seed_from(70));
+        let engine = MonteCarloEngine::new(8, 99);
+        let fault = FaultModel::AdditiveVariation { sigma: 0.25 };
+        let mut net = build(71);
+        let xc = x.clone();
+        let sequential = engine
+            .run(&mut net, fault, |n| Ok(n.forward(&xc, Mode::Eval)?.sum()))
+            .unwrap();
+        let batched = engine
+            .run_batched(|| build(71), fault, &x, |out| Ok(out.sum()), 3, 2)
+            .unwrap();
+        let identical = sequential
+            .per_run
+            .iter()
+            .zip(batched.per_run.iter())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(
+            identical,
+            "{:?} vs {:?}",
+            sequential.per_run, batched.per_run
+        );
+    }
+
+    fn quantized_net(seed: u64) -> Sequential {
+        use invnorm_nn::activation::Relu;
+        use invnorm_nn::quantized::QuantizedLinear;
+        let mut rng = Rng::seed_from(seed);
+        let l1 = Linear::new(12, 10, &mut rng);
+        let l2 = Linear::new(10, 4, &mut rng);
+        Sequential::new()
+            .with(Box::new(QuantizedLinear::from_linear(&l1, 8).unwrap()))
+            .with(Box::new(Relu::new()))
+            .with(Box::new(QuantizedLinear::from_linear(&l2, 6).unwrap()))
+    }
+
+    #[test]
+    fn batched_quantized_is_bit_identical_to_sequential_for_all_fault_models() {
+        let x = Tensor::randn(&[5, 12], 0.0, 1.0, &mut Rng::seed_from(80));
+        let engine = MonteCarloEngine::new(10, 4321);
+        for fault in all_fault_models() {
+            let mut net = quantized_net(81);
+            let xc = x.clone();
+            let sequential = engine
+                .run_quantized(&mut net, fault, |n| Ok(n.forward(&xc, Mode::Eval)?.sum()))
+                .unwrap();
+            for (batch, threads) in [(1usize, 1usize), (3, 4), (10, 2)] {
+                let batched = engine
+                    .run_batched_quantized(
+                        || quantized_net(81),
+                        fault,
+                        &x,
+                        |out| Ok(out.sum()),
+                        batch,
+                        threads,
+                    )
+                    .unwrap();
+                // Same streams, same integer GEMM, same dequantization
+                // expression: the quantized batched path is not merely
+                // within quantization tolerance — it is bit-identical.
+                let identical = sequential
+                    .per_run
+                    .iter()
+                    .zip(batched.per_run.iter())
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(identical, "{fault:?} batch={batch} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_rejects_unsupported_layers_loudly() {
+        use invnorm_nn::lstm::Lstm;
+        let build = || -> Sequential {
+            let mut rng = Rng::seed_from(90);
+            Sequential::new().with(Box::new(Lstm::new(4, 6, false, &mut rng)))
+        };
+        let x = Tensor::randn(&[2, 5, 4], 0.0, 1.0, &mut Rng::seed_from(91));
+        let engine = MonteCarloEngine::new(4, 7);
+        let err = engine
+            .run_batched(
+                build,
+                FaultModel::AdditiveVariation { sigma: 0.1 },
+                &x,
+                |out| Ok(out.sum()),
+                2,
+                1,
+            )
+            .unwrap_err()
+            .to_string();
+        assert!(
+            err.contains("batched evaluation"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn batched_metric_errors_and_non_finite_metrics_are_reported() {
+        let engine = MonteCarloEngine::new(6, 5);
+        let x = Tensor::randn(&[4, 8], 0.0, 1.0, &mut Rng::seed_from(95));
+        let result = engine.run_batched(
+            || mlp_with_norm(96),
+            FaultModel::None,
+            &x,
+            |_out| Err(NnError::Config("boom".into())),
+            2,
+            2,
+        );
+        assert!(result.is_err());
+        let err = engine
+            .run_batched(
+                || mlp_with_norm(96),
+                FaultModel::AdditiveVariation { sigma: 0.1 },
+                &x,
+                |_out| Ok(f32::NAN),
+                2,
+                2,
+            )
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("on run 0"), "unexpected error: {err}");
     }
 
     #[test]

@@ -2,9 +2,10 @@
 //! [`invnorm_tensor::conv`].
 
 use crate::error::NnError;
-use crate::layer::{Layer, Mode, Param};
+use crate::layer::{BatchedParam, BatchedParamView, Layer, Mode, Param};
 use crate::Result;
 use invnorm_tensor::conv::{self, Conv2dSpec};
+use invnorm_tensor::gemm::PackedA;
 use invnorm_tensor::{Rng, Scratch, Tensor};
 
 /// 2-D convolution layer over `[N, C, H, W]` activations.
@@ -26,6 +27,15 @@ pub struct Conv2d {
     cached_cols: Option<Tensor>,
     cached_input_dims: Option<Vec<usize>>,
     scratch: Scratch,
+    batched: Option<Conv2dBatched>,
+}
+
+/// Batched-eval state: stacked kernel realizations plus the reusable packed
+/// activation panel shared across them.
+#[derive(Debug, Default)]
+struct Conv2dBatched {
+    weights: BatchedParam,
+    packed: PackedA,
 }
 
 impl Conv2d {
@@ -79,6 +89,7 @@ impl Conv2d {
             cached_cols: None,
             cached_input_dims: None,
             scratch: Scratch::new(),
+            batched: None,
         }
     }
 
@@ -159,18 +170,20 @@ impl Layer for Conv2d {
             .cached_input_dims
             .as_ref()
             .ok_or(NnError::BackwardBeforeForward("Conv2d"))?;
-        let grads = conv::conv2d_backward(
+        // Scratch-backed backward: gradient staging buffers are reused across
+        // steps and the weight/bias gradients accumulate in place, so the
+        // steady-state training loop allocates only the returned input
+        // gradient.
+        Ok(conv::conv2d_backward_into(
             grad_output,
             cols,
             &self.weight.value,
             input_dims,
             &self.spec,
-        )?;
-        self.weight.grad.add_assign(&grads.grad_weight)?;
-        if let Some(bias) = &mut self.bias {
-            bias.grad.add_assign(&grads.grad_bias)?;
-        }
-        Ok(grads.grad_input)
+            &mut self.weight.grad,
+            self.bias.as_mut().map(|b| &mut b.grad),
+            &mut self.scratch,
+        )?)
     }
 
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
@@ -178,6 +191,63 @@ impl Layer for Conv2d {
         if let Some(bias) = &mut self.bias {
             visitor(bias);
         }
+    }
+
+    fn begin_batched(&mut self, batch: usize) -> Result<()> {
+        let state = self.batched.get_or_insert_with(Conv2dBatched::default);
+        state.weights.reset(&self.weight.value, batch);
+        Ok(())
+    }
+
+    fn end_batched(&mut self) {
+        self.batched = None;
+    }
+
+    fn visit_batched(&mut self, visitor: &mut dyn FnMut(BatchedParamView<'_>)) {
+        if let Some(state) = &mut self.batched {
+            visitor(BatchedParamView {
+                index: 0,
+                clean: &self.weight.value,
+                stacked: &mut state.weights,
+            });
+        }
+    }
+
+    fn forward_batched(
+        &mut self,
+        input: &Tensor,
+        shared: bool,
+        batch: usize,
+        _mode: Mode,
+    ) -> Result<(Tensor, bool)> {
+        if input.rank() != 4 || input.dims()[1] != self.in_channels {
+            return Err(NnError::Config(format!(
+                "Conv2d expects [N, {}, H, W], got {:?}",
+                self.in_channels,
+                input.dims()
+            )));
+        }
+        let state = self.batched.as_mut().ok_or_else(|| {
+            NnError::Config("Conv2d::forward_batched called without begin_batched".into())
+        })?;
+        if state.weights.batch() != batch {
+            return Err(NnError::Config(format!(
+                "Conv2d has {} staged weight realizations, expected {batch}",
+                state.weights.batch()
+            )));
+        }
+        let out = conv::conv2d_forward_batched(
+            input,
+            shared,
+            batch,
+            state.weights.data(),
+            self.weight.value.dims(),
+            self.bias.as_ref().map(|b| &b.value),
+            &self.spec,
+            &mut state.packed,
+            &mut self.scratch,
+        )?;
+        Ok((out, false))
     }
 
     fn name(&self) -> &'static str {

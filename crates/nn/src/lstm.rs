@@ -20,6 +20,23 @@ struct StepCache {
     tanh_c: Tensor, // tanh(new cell state)
 }
 
+impl StepCache {
+    /// A zeroed cache for one timestep, reused (overwritten in full) across
+    /// training forwards with the same `[N, T, F]` geometry.
+    fn zeros(n: usize, feat: usize, h: usize) -> Self {
+        Self {
+            x: Tensor::zeros(&[n, feat]),
+            h_prev: Tensor::zeros(&[n, h]),
+            c_prev: Tensor::zeros(&[n, h]),
+            i: Tensor::zeros(&[n, h]),
+            f: Tensor::zeros(&[n, h]),
+            g: Tensor::zeros(&[n, h]),
+            o: Tensor::zeros(&[n, h]),
+            tanh_c: Tensor::zeros(&[n, h]),
+        }
+    }
+}
+
 /// A single-layer LSTM over `[N, T, F]` sequences.
 ///
 /// With `return_sequences == true` the output is the full hidden sequence
@@ -88,30 +105,6 @@ impl Lstm {
 
     fn sigmoid(x: f32) -> f32 {
         1.0 / (1.0 + (-x).exp())
-    }
-
-    /// Splits a packed `[N, 4H]` pre-activation into the four gate tensors.
-    fn split_gates(&self, z: &Tensor, n: usize) -> (Tensor, Tensor, Tensor, Tensor) {
-        let h = self.hidden_size;
-        let zd = z.data();
-        let mut i = vec![0.0f32; n * h];
-        let mut f = vec![0.0f32; n * h];
-        let mut g = vec![0.0f32; n * h];
-        let mut o = vec![0.0f32; n * h];
-        for ni in 0..n {
-            for hi in 0..h {
-                i[ni * h + hi] = Self::sigmoid(zd[ni * 4 * h + hi]);
-                f[ni * h + hi] = Self::sigmoid(zd[ni * 4 * h + h + hi]);
-                g[ni * h + hi] = zd[ni * 4 * h + 2 * h + hi].tanh();
-                o[ni * h + hi] = Self::sigmoid(zd[ni * 4 * h + 3 * h + hi]);
-            }
-        }
-        (
-            Tensor::from_vec(i, &[n, h]).expect("gate shape"),
-            Tensor::from_vec(f, &[n, h]).expect("gate shape"),
-            Tensor::from_vec(g, &[n, h]).expect("gate shape"),
-            Tensor::from_vec(o, &[n, h]).expect("gate shape"),
-        )
     }
 }
 
@@ -189,67 +182,96 @@ impl Layer for Lstm {
         }
         let (n, t, feat) = (d[0], d[1], d[2]);
         let h = self.hidden_size;
-        let mut h_prev = Tensor::zeros(&[n, h]);
-        let mut c_prev = Tensor::zeros(&[n, h]);
-        let mut caches = Vec::with_capacity(t);
-        let mut hidden_seq = Vec::with_capacity(t);
-
-        let id = input.data();
-        for ti in 0..t {
-            // Slice x_t: [N, F]
-            let mut x_t = vec![0.0f32; n * feat];
-            for ni in 0..n {
-                let src = (ni * t + ti) * feat;
-                x_t[ni * feat..(ni + 1) * feat].copy_from_slice(&id[src..src + feat]);
-            }
-            let x_t = Tensor::from_vec(x_t, &[n, feat])?;
-            // z = x W_ihᵀ + h_prev W_hhᵀ + b : [N, 4H], recurrent term fused
-            // into the same buffer with β = 1.
-            let mut z = ops::matmul_a_bt(&x_t, &self.w_ih.value)?;
-            ops::gemm_into(false, true, 1.0, &h_prev, &self.w_hh.value, 1.0, &mut z)?;
+        // Reuse the previous training step's caches when the geometry
+        // matches: every tensor below is overwritten in full, so a
+        // steady-state training loop performs no per-timestep allocations
+        // beyond the returned output.
+        let mut caches = match self.cache.take() {
+            Some(caches)
+                if caches.len() == t
+                    && caches
+                        .first()
+                        .is_some_and(|c| c.x.dims() == [n, feat] && c.i.dims() == [n, h]) =>
             {
-                let zd = z.data_mut();
-                let bd = self.bias.value.data();
-                for ni in 0..n {
-                    for j in 0..4 * h {
-                        zd[ni * 4 * h + j] += bd[j];
-                    }
-                }
+                caches
             }
-            let (i, f, g, o) = self.split_gates(&z, n);
-            // c = f*c_prev + i*g ; h = o * tanh(c)
-            let c = f.mul(&c_prev)?.add(&i.mul(&g)?)?;
-            let tanh_c = c.map(f32::tanh);
-            let h_t = o.mul(&tanh_c)?;
-            caches.push(StepCache {
-                x: x_t,
-                h_prev: h_prev.clone(),
-                c_prev: c_prev.clone(),
+            _ => (0..t).map(|_| StepCache::zeros(n, feat, h)).collect(),
+        };
+        let mut h_state = vec![0.0f32; n * h];
+        let mut c_state = vec![0.0f32; n * h];
+        let mut hidden_seq = if self.return_sequences {
+            vec![0.0f32; n * t * h]
+        } else {
+            Vec::new()
+        };
+        let id = input.data();
+        let w_ih = self.w_ih.value.data();
+        let w_hh = self.w_hh.value.data();
+        let bd = self.bias.value.data();
+        let z = uninit_slice(&mut self.scratch.out_mat, n * 4 * h);
+        for (ti, cache) in caches.iter_mut().enumerate() {
+            let StepCache {
+                x,
+                h_prev,
+                c_prev,
                 i,
                 f,
                 g,
                 o,
                 tanh_c,
-            });
-            hidden_seq.push(h_t.clone());
-            h_prev = h_t;
-            c_prev = c;
+            } = cache;
+            // Stage x_t = input[:, ti, :] and the incoming recurrent state
+            // directly into the step cache.
+            let xd = x.data_mut();
+            for ni in 0..n {
+                let src = (ni * t + ti) * feat;
+                xd[ni * feat..(ni + 1) * feat].copy_from_slice(&id[src..src + feat]);
+            }
+            h_prev.data_mut().copy_from_slice(&h_state);
+            c_prev.data_mut().copy_from_slice(&c_state);
+            // z = x W_ihᵀ + h_prev W_hhᵀ : [N, 4H], recurrent term fused with
+            // β = 1 — the same two GEMMs as the eval fast path.
+            ops::gemm(false, true, n, 4 * h, feat, 1.0, xd, w_ih, 0.0, z);
+            ops::gemm(false, true, n, 4 * h, h, 1.0, &h_state, w_hh, 1.0, z);
+            let (idata, fdata, gdata, odata, tdata) = (
+                i.data_mut(),
+                f.data_mut(),
+                g.data_mut(),
+                o.data_mut(),
+                tanh_c.data_mut(),
+            );
+            for ni in 0..n {
+                let zrow = &mut z[ni * 4 * h..(ni + 1) * 4 * h];
+                for (zv, bv) in zrow.iter_mut().zip(bd.iter()) {
+                    *zv += bv;
+                }
+                for hi in 0..h {
+                    let iv = Self::sigmoid(zrow[hi]);
+                    let fv = Self::sigmoid(zrow[h + hi]);
+                    let gv = zrow[2 * h + hi].tanh();
+                    let ov = Self::sigmoid(zrow[3 * h + hi]);
+                    let c = fv * c_state[ni * h + hi] + iv * gv;
+                    let tc = c.tanh();
+                    idata[ni * h + hi] = iv;
+                    fdata[ni * h + hi] = fv;
+                    gdata[ni * h + hi] = gv;
+                    odata[ni * h + hi] = ov;
+                    tdata[ni * h + hi] = tc;
+                    c_state[ni * h + hi] = c;
+                    h_state[ni * h + hi] = ov * tc;
+                }
+                if self.return_sequences {
+                    let dst = (ni * t + ti) * h;
+                    hidden_seq[dst..dst + h].copy_from_slice(&h_state[ni * h..(ni + 1) * h]);
+                }
+            }
         }
         self.cache = Some(caches);
 
         if self.return_sequences {
-            // Assemble [N, T, H].
-            let mut out = vec![0.0f32; n * t * h];
-            for (ti, h_t) in hidden_seq.iter().enumerate() {
-                let hd = h_t.data();
-                for ni in 0..n {
-                    let dst = (ni * t + ti) * h;
-                    out[dst..dst + h].copy_from_slice(&hd[ni * h..(ni + 1) * h]);
-                }
-            }
-            Ok(Tensor::from_vec(out, &[n, t, h])?)
+            Ok(Tensor::from_vec(hidden_seq, &[n, t, h])?)
         } else {
-            Ok(h_prev)
+            Ok(Tensor::from_vec(h_state, &[n, h])?)
         }
     }
 
@@ -266,85 +288,128 @@ impl Layer for Lstm {
         let feat = self.input_size;
         let h = self.hidden_size;
 
-        // Per-timestep external gradient on h_t.
-        let grad_h_ext = |ti: usize| -> Result<Tensor> {
-            if self.return_sequences {
-                let gd = grad_output.data();
-                let mut g = vec![0.0f32; n * h];
-                for ni in 0..n {
-                    let src = (ni * t + ti) * h;
-                    g[ni * h..(ni + 1) * h].copy_from_slice(&gd[src..src + h]);
-                }
-                Ok(Tensor::from_vec(g, &[n, h])?)
-            } else if ti == t - 1 {
-                Ok(grad_output.clone())
-            } else {
-                Ok(Tensor::zeros(&[n, h]))
-            }
-        };
-
         let mut grad_input = Tensor::zeros(&[n, t, feat]);
-        let mut dh_next = Tensor::zeros(&[n, h]);
-        let mut dc_next = Tensor::zeros(&[n, h]);
+        // Recurrent state gradients: small per-call buffers reused across
+        // timesteps. The larger staging matrices (packed gate gradients, the
+        // input gradient slice and the bias column sums) live in the layer
+        // scratch, so a steady-state training loop allocates nothing per
+        // step.
+        let mut dh = vec![0.0f32; n * h];
+        let mut dh_next = vec![0.0f32; n * h];
+        let mut dc_next = vec![0.0f32; n * h];
+        let dz = uninit_slice(&mut self.scratch.step, n * 4 * h);
+        let dx = uninit_slice(&mut self.scratch.cols, n * feat);
+        let bias_sums = uninit_slice(&mut self.scratch.packed_b, 4 * h);
+        let god = grad_output.data();
 
         for ti in (0..t).rev() {
             let cache = &caches[ti];
-            let mut dh = grad_h_ext(ti)?;
-            dh.add_assign(&dh_next)?;
-
-            // dо = dh * tanh(c); dc = dc_next + dh * o * (1 - tanh²(c))
-            let do_ = dh.mul(&cache.tanh_c)?;
-            let one_minus_tanh2 = cache.tanh_c.map(|v| 1.0 - v * v);
-            let mut dc = dh.mul(&cache.o)?.mul(&one_minus_tanh2)?;
-            dc.add_assign(&dc_next)?;
-
-            let di = dc.mul(&cache.g)?;
-            let dg = dc.mul(&cache.i)?;
-            let df = dc.mul(&cache.c_prev)?;
-            dc_next = dc.mul(&cache.f)?;
-
-            // Gate pre-activation gradients.
-            let dzi = di.zip_map(&cache.i, |d, a| d * a * (1.0 - a))?;
-            let dzf = df.zip_map(&cache.f, |d, a| d * a * (1.0 - a))?;
-            let dzg = dg.zip_map(&cache.g, |d, a| d * (1.0 - a * a))?;
-            let dzo = do_.zip_map(&cache.o, |d, a| d * a * (1.0 - a))?;
-
-            // Pack dz: [N, 4H]
-            let mut dz = vec![0.0f32; n * 4 * h];
+            // dh = external gradient on h_t + recurrent gradient.
             for ni in 0..n {
                 for hi in 0..h {
-                    dz[ni * 4 * h + hi] = dzi.data()[ni * h + hi];
-                    dz[ni * 4 * h + h + hi] = dzf.data()[ni * h + hi];
-                    dz[ni * 4 * h + 2 * h + hi] = dzg.data()[ni * h + hi];
-                    dz[ni * 4 * h + 3 * h + hi] = dzo.data()[ni * h + hi];
+                    let ext = if self.return_sequences {
+                        god[(ni * t + ti) * h + hi]
+                    } else if ti == t - 1 {
+                        god[ni * h + hi]
+                    } else {
+                        0.0
+                    };
+                    dh[ni * h + hi] = ext + dh_next[ni * h + hi];
                 }
             }
-            let dz = Tensor::from_vec(dz, &[n, 4 * h])?;
+            let (id, fd, gd, od, td, cpd) = (
+                cache.i.data(),
+                cache.f.data(),
+                cache.g.data(),
+                cache.o.data(),
+                cache.tanh_c.data(),
+                cache.c_prev.data(),
+            );
+            for e in 0..n * h {
+                // dо = dh·tanh(c); dc = dh·o·(1 − tanh²(c)) + dc_next.
+                let do_ = dh[e] * td[e];
+                let dc = dh[e] * od[e] * (1.0 - td[e] * td[e]) + dc_next[e];
+                let di = dc * gd[e];
+                let dg = dc * id[e];
+                let df = dc * cpd[e];
+                dc_next[e] = dc * fd[e];
+                // Gate pre-activation gradients, packed [N, 4H] in gate
+                // order (input, forget, cell, output).
+                let (ni, hi) = (e / h, e % h);
+                let base = ni * 4 * h;
+                dz[base + hi] = di * id[e] * (1.0 - id[e]);
+                dz[base + h + hi] = df * fd[e] * (1.0 - fd[e]);
+                dz[base + 2 * h + hi] = dg * (1.0 - gd[e] * gd[e]);
+                dz[base + 3 * h + hi] = do_ * od[e] * (1.0 - od[e]);
+            }
 
             // Parameter gradients, accumulated in place with β = 1.
-            ops::gemm_into(true, false, 1.0, &dz, &cache.x, 1.0, &mut self.w_ih.grad)?;
-            ops::gemm_into(
+            ops::gemm(
                 true,
                 false,
+                4 * h,
+                feat,
+                n,
                 1.0,
-                &dz,
-                &cache.h_prev,
+                dz,
+                cache.x.data(),
                 1.0,
-                &mut self.w_hh.grad,
-            )?;
-            self.bias.grad.add_assign(&ops::sum_axis(&dz, 0)?)?;
+                self.w_ih.grad.data_mut(),
+            );
+            ops::gemm(
+                true,
+                false,
+                4 * h,
+                h,
+                n,
+                1.0,
+                dz,
+                cache.h_prev.data(),
+                1.0,
+                self.w_hh.grad.data_mut(),
+            );
+            bias_sums.fill(0.0);
+            for ni in 0..n {
+                for (s, &g) in bias_sums.iter_mut().zip(&dz[ni * 4 * h..(ni + 1) * 4 * h]) {
+                    *s += g;
+                }
+            }
+            for (g, &s) in self.bias.grad.data_mut().iter_mut().zip(bias_sums.iter()) {
+                *g += s;
+            }
 
             // Input and recurrent gradients.
-            let dx = ops::matmul(&dz, &self.w_ih.value)?;
-            dh_next = ops::matmul(&dz, &self.w_hh.value)?;
+            ops::gemm(
+                false,
+                false,
+                n,
+                feat,
+                4 * h,
+                1.0,
+                dz,
+                self.w_ih.value.data(),
+                0.0,
+                dx,
+            );
+            ops::gemm(
+                false,
+                false,
+                n,
+                h,
+                4 * h,
+                1.0,
+                dz,
+                self.w_hh.value.data(),
+                0.0,
+                &mut dh_next,
+            );
 
             // Scatter dx into grad_input[:, ti, :].
             let gid = grad_input.data_mut();
-            let dxd = dx.data();
             for ni in 0..n {
                 let dst = (ni * t + ti) * feat;
                 for fi in 0..feat {
-                    gid[dst + fi] += dxd[ni * feat + fi];
+                    gid[dst + fi] += dx[ni * feat + fi];
                 }
             }
         }
@@ -481,6 +546,47 @@ mod tests {
         let mut rng = Rng::seed_from(7);
         let mut lstm = Lstm::new(3, 4, false, &mut rng);
         assert_eq!(lstm.param_count(), 4 * 4 * 3 + 4 * 4 * 4 + 4 * 4);
+    }
+
+    #[test]
+    fn training_step_caches_reach_steady_state() {
+        let mut rng = Rng::seed_from(9);
+        let mut lstm = Lstm::new(3, 5, true, &mut rng);
+        let x = Tensor::randn(&[4, 6, 3], 0.0, 1.0, &mut rng);
+        // Warm up one train forward + backward so caches and scratch exist.
+        let y = lstm.forward(&x, Mode::Train).unwrap();
+        lstm.backward(&Tensor::ones(y.dims())).unwrap();
+        let scratch_warm = lstm.scratch.capacity();
+        let cache_ptrs: Vec<*const f32> = lstm
+            .cache
+            .as_ref()
+            .unwrap()
+            .iter()
+            .map(|c| c.x.data().as_ptr())
+            .collect();
+        // Steady-state training loop: the same cache tensors are overwritten
+        // in place and the scratch does not grow.
+        for _ in 0..3 {
+            let y = lstm.forward(&x, Mode::Train).unwrap();
+            lstm.backward(&Tensor::ones(y.dims())).unwrap();
+        }
+        assert_eq!(lstm.scratch.capacity(), scratch_warm);
+        let cache_ptrs_after: Vec<*const f32> = lstm
+            .cache
+            .as_ref()
+            .unwrap()
+            .iter()
+            .map(|c| c.x.data().as_ptr())
+            .collect();
+        assert_eq!(
+            cache_ptrs, cache_ptrs_after,
+            "step caches must be reused, not reallocated"
+        );
+        // A geometry change rebuilds the caches (and still trains correctly).
+        let x2 = Tensor::randn(&[2, 4, 3], 0.0, 1.0, &mut rng);
+        let y2 = lstm.forward(&x2, Mode::Train).unwrap();
+        assert_eq!(y2.dims(), &[2, 4, 5]);
+        lstm.backward(&Tensor::ones(y2.dims())).unwrap();
     }
 
     #[test]

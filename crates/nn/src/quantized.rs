@@ -26,9 +26,10 @@
 //! quantization instead.
 
 use crate::error::NnError;
-use crate::layer::{CodeView, Layer, Mode};
+use crate::layer::{BatchedCodeView, BatchedCodes, CodeView, Layer, Mode};
 use crate::Result;
 use invnorm_tensor::conv::{im2col_codes_into, Conv2dSpec};
+use invnorm_tensor::qgemm::{qgemm_prepacked, QPackedA};
 use invnorm_tensor::scratch::uninit_slice_of;
 use invnorm_tensor::{qgemm, Scratch, Tensor};
 
@@ -60,18 +61,34 @@ fn quantize_rows(data: &[f32], channels: usize, bits: u8) -> (Vec<i8>, Vec<f32>)
     (codes, scales)
 }
 
-/// Dynamic symmetric per-tensor quantization of an activation slice into a
-/// reusable i8 buffer; returns the scale.
-fn quantize_activations(data: &[f32], out: &mut [i8]) -> f32 {
-    let max_abs = data.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
-    let scale = if max_abs > 0.0 {
+/// Symmetric i8 activation scale for a maximum absolute value.
+fn scale_for_max_abs(max_abs: f32) -> f32 {
+    if max_abs > 0.0 {
         max_abs / QMAX8 as f32
     } else {
         1.0
-    };
+    }
+}
+
+/// Maximum absolute value of an activation slice (the max-abs pass a
+/// calibrated static scale skips).
+fn max_abs(data: &[f32]) -> f32 {
+    data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+}
+
+/// Quantizes an activation slice to i8 codes with a fixed symmetric scale.
+fn quantize_with_scale(data: &[f32], scale: f32, out: &mut [i8]) {
     for (dst, &x) in out.iter_mut().zip(data) {
         *dst = (x / scale).round().clamp(-(QMAX8 as f32), QMAX8 as f32) as i8;
     }
+}
+
+/// Dynamic symmetric per-tensor quantization of an activation slice into a
+/// reusable i8 buffer; returns the scale. With `calibrated` set, the max-abs
+/// pass is skipped and the static scale is used instead.
+fn quantize_activations(data: &[f32], calibrated: Option<f32>, out: &mut [i8]) -> f32 {
+    let scale = calibrated.unwrap_or_else(|| scale_for_max_abs(max_abs(data)));
+    quantize_with_scale(data, scale, out);
     scale
 }
 
@@ -96,10 +113,21 @@ pub struct QuantizedLinear {
     scales: Vec<f32>,
     bias: Option<Tensor>,
     bits: u8,
+    act_scale: Option<f32>,
     // Reusable buffers: input codes, i32 accumulators, GEMM packing.
     qin: Vec<i8>,
     acc: Vec<i32>,
     scratch: Scratch,
+    batched: Option<QuantizedBatched>,
+}
+
+/// Batched-eval state shared by both quantized layers: stacked code
+/// realizations plus the reusable i8 GEMM packing buffers.
+#[derive(Debug, Default)]
+struct QuantizedBatched {
+    codes: BatchedCodes,
+    packed: QPackedA,
+    packed_b: Vec<i8>,
 }
 
 impl QuantizedLinear {
@@ -122,10 +150,43 @@ impl QuantizedLinear {
             scales,
             bias: linear.bias().map(|b| b.value.clone()),
             bits,
+            act_scale: None,
             qin: Vec::new(),
             acc: Vec::new(),
             scratch: Scratch::new(),
+            batched: None,
         })
+    }
+
+    /// Records a **static activation scale** from a calibration batch: the
+    /// batch's maximum absolute value becomes the fixed symmetric scale, and
+    /// every subsequent forward pass skips the per-batch max-abs pass.
+    /// Returns the recorded scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the sample is not `[N, in_features]`.
+    pub fn calibrate(&mut self, sample: &Tensor) -> Result<f32> {
+        if sample.rank() != 2 || sample.dims()[1] != self.in_features {
+            return Err(NnError::Config(format!(
+                "QuantizedLinear calibration expects [N, {}], got {:?}",
+                self.in_features,
+                sample.dims()
+            )));
+        }
+        let scale = scale_for_max_abs(max_abs(sample.data()));
+        self.act_scale = Some(scale);
+        Ok(scale)
+    }
+
+    /// The calibrated static activation scale, if any.
+    pub fn activation_scale(&self) -> Option<f32> {
+        self.act_scale
+    }
+
+    /// Reverts to dynamic per-batch activation quantization.
+    pub fn clear_calibration(&mut self) {
+        self.act_scale = None;
     }
 
     /// Input feature count.
@@ -177,7 +238,7 @@ impl Layer for QuantizedLinear {
         }
         let n = input.dims()[0];
         let qin = uninit_slice_of(&mut self.qin, n * self.in_features);
-        let sx = quantize_activations(input.data(), qin);
+        let sx = quantize_activations(input.data(), self.act_scale, qin);
         let acc = uninit_slice_of(&mut self.acc, n * self.out_features);
         qgemm::qgemm_with_scratch(
             false,
@@ -218,6 +279,139 @@ impl Layer for QuantizedLinear {
         });
     }
 
+    fn begin_batched(&mut self, batch: usize) -> Result<()> {
+        let state = self.batched.get_or_insert_with(QuantizedBatched::default);
+        state.codes.reset(&self.codes, batch);
+        Ok(())
+    }
+
+    fn end_batched(&mut self) {
+        self.batched = None;
+    }
+
+    fn visit_batched_codes(&mut self, visitor: &mut dyn FnMut(BatchedCodeView<'_>)) {
+        if let Some(state) = &mut self.batched {
+            visitor(BatchedCodeView {
+                index: 0,
+                clean: &self.codes,
+                bits: self.bits,
+                stacked: &mut state.codes,
+            });
+        }
+    }
+
+    fn forward_batched(
+        &mut self,
+        input: &Tensor,
+        shared: bool,
+        batch: usize,
+        _mode: Mode,
+    ) -> Result<(Tensor, bool)> {
+        if input.rank() != 2 || input.dims()[1] != self.in_features {
+            return Err(NnError::Config(format!(
+                "QuantizedLinear expects input [N, {}], got {:?}",
+                self.in_features,
+                input.dims()
+            )));
+        }
+        let state = self.batched.as_mut().ok_or_else(|| {
+            NnError::Config("QuantizedLinear::forward_batched called without begin_batched".into())
+        })?;
+        if state.codes.batch() != batch {
+            return Err(NnError::Config(format!(
+                "QuantizedLinear has {} staged code realizations, expected {batch}",
+                state.codes.batch()
+            )));
+        }
+        let rows = input.dims()[0];
+        let n = if shared {
+            rows
+        } else {
+            if !rows.is_multiple_of(batch) {
+                return Err(NnError::Config(format!(
+                    "per-realization input rows {rows} not divisible by batch {batch}"
+                )));
+            }
+            rows / batch
+        };
+        let (fin, fout) = (self.in_features, self.out_features);
+        let qin = uninit_slice_of(&mut self.qin, n * fin * if shared { 1 } else { batch });
+        // Activation quantization must match the sequential path exactly:
+        // per-tensor scale over each realization's own input slice (or the
+        // calibrated static scale when one is recorded).
+        let shared_sx = if shared {
+            Some(quantize_activations(input.data(), self.act_scale, qin))
+        } else {
+            None
+        };
+        let mut out = vec![0.0f32; batch * n * fout];
+        let bias = self.bias.as_ref().map(Tensor::data);
+        let QuantizedBatched {
+            codes,
+            packed,
+            packed_b,
+        } = state;
+        if let Some(sx) = shared_sx {
+            // Batch-fused wide product: the stacked codes `[B·out, in]` are
+            // contiguous, so one integer GEMM `[N, in] @ [B·out, in]ᵀ →
+            // [N, B·out]` evaluates every realization bit-exactly while
+            // packing/streaming the shared activation panel once.
+            let acc = uninit_slice_of(&mut self.acc, n * batch * fout);
+            qgemm::qgemm(
+                false,
+                true,
+                n,
+                batch * fout,
+                fin,
+                qin,
+                codes.data(),
+                false,
+                acc,
+            );
+            let ld = batch * fout;
+            for b in 0..batch {
+                let out_b = &mut out[b * n * fout..][..n * fout];
+                for i in 0..n {
+                    for j in 0..fout {
+                        let mut v = acc[i * ld + b * fout + j] as f32 * sx * self.scales[j];
+                        if let Some(bd) = bias {
+                            v += bd[j];
+                        }
+                        out_b[i * fout + j] = v;
+                    }
+                }
+            }
+        } else {
+            let acc = uninit_slice_of(&mut self.acc, n * fout);
+            for b in 0..batch {
+                let xs = &input.data()[b * n * fin..][..n * fin];
+                let sx =
+                    quantize_activations(xs, self.act_scale, &mut qin[b * n * fin..][..n * fin]);
+                packed.pack(false, &qin[b * n * fin..][..n * fin], n, fin);
+                qgemm_prepacked(
+                    packed,
+                    true,
+                    fout,
+                    codes.realization(b),
+                    false,
+                    acc,
+                    packed_b,
+                );
+                let out_b = &mut out[b * n * fout..][..n * fout];
+                for i in 0..n {
+                    for j in 0..fout {
+                        let mut v = acc[i * fout + j] as f32 * sx * self.scales[j];
+                        if let Some(bd) = bias {
+                            v += bd[j];
+                        }
+                        out_b[i * fout + j] = v;
+                    }
+                }
+            }
+        }
+        Ok((Tensor::from_vec(out, &[batch * n, fout])?, false))
+    }
+
     fn name(&self) -> &'static str {
         "QuantizedLinear"
     }
@@ -237,10 +431,12 @@ pub struct QuantizedConv2d {
     scales: Vec<f32>,
     bias: Option<Tensor>,
     bits: u8,
+    act_scale: Option<f32>,
     qin: Vec<i8>,
     cols: Vec<i8>,
     acc: Vec<i32>,
     scratch: Scratch,
+    batched: Option<QuantizedBatched>,
 }
 
 impl QuantizedConv2d {
@@ -261,11 +457,43 @@ impl QuantizedConv2d {
             scales,
             bias: conv.bias().map(|b| b.value.clone()),
             bits,
+            act_scale: None,
             qin: Vec::new(),
             cols: Vec::new(),
             acc: Vec::new(),
             scratch: Scratch::new(),
+            batched: None,
         })
+    }
+
+    /// Records a **static activation scale** from a calibration batch (see
+    /// [`QuantizedLinear::calibrate`]); subsequent forwards skip the
+    /// per-batch max-abs pass. Returns the recorded scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the sample is not `[N, in_channels, H, W]`.
+    pub fn calibrate(&mut self, sample: &Tensor) -> Result<f32> {
+        if sample.rank() != 4 || sample.dims()[1] != self.in_channels {
+            return Err(NnError::Config(format!(
+                "QuantizedConv2d calibration expects [N, {}, H, W], got {:?}",
+                self.in_channels,
+                sample.dims()
+            )));
+        }
+        let scale = scale_for_max_abs(max_abs(sample.data()));
+        self.act_scale = Some(scale);
+        Ok(scale)
+    }
+
+    /// The calibrated static activation scale, if any.
+    pub fn activation_scale(&self) -> Option<f32> {
+        self.act_scale
+    }
+
+    /// Reverts to dynamic per-batch activation quantization.
+    pub fn clear_calibration(&mut self) {
+        self.act_scale = None;
     }
 
     /// Number of input channels.
@@ -312,7 +540,7 @@ impl Layer for QuantizedConv2d {
 
         // Quantize the input once, then unfold the codes.
         let qin = uninit_slice_of(&mut self.qin, input.numel());
-        let sx = quantize_activations(input.data(), qin);
+        let sx = quantize_activations(input.data(), self.act_scale, qin);
         let cols = uninit_slice_of(&mut self.cols, rows * patch);
         im2col_codes_into(qin, &d, &self.spec, cols)?;
 
@@ -362,6 +590,170 @@ impl Layer for QuantizedConv2d {
             codes: &mut self.codes,
             bits: self.bits,
         });
+    }
+
+    fn begin_batched(&mut self, batch: usize) -> Result<()> {
+        let state = self.batched.get_or_insert_with(QuantizedBatched::default);
+        state.codes.reset(&self.codes, batch);
+        Ok(())
+    }
+
+    fn end_batched(&mut self) {
+        self.batched = None;
+    }
+
+    fn visit_batched_codes(&mut self, visitor: &mut dyn FnMut(BatchedCodeView<'_>)) {
+        if let Some(state) = &mut self.batched {
+            visitor(BatchedCodeView {
+                index: 0,
+                clean: &self.codes,
+                bits: self.bits,
+                stacked: &mut state.codes,
+            });
+        }
+    }
+
+    fn forward_batched(
+        &mut self,
+        input: &Tensor,
+        shared: bool,
+        batch: usize,
+        _mode: Mode,
+    ) -> Result<(Tensor, bool)> {
+        if input.rank() != 4 || input.dims()[1] != self.in_channels {
+            return Err(NnError::Config(format!(
+                "QuantizedConv2d expects [N, {}, H, W], got {:?}",
+                self.in_channels,
+                input.dims()
+            )));
+        }
+        let state = self.batched.as_mut().ok_or_else(|| {
+            NnError::Config("QuantizedConv2d::forward_batched called without begin_batched".into())
+        })?;
+        if state.codes.batch() != batch {
+            return Err(NnError::Config(format!(
+                "QuantizedConv2d has {} staged code realizations, expected {batch}",
+                state.codes.batch()
+            )));
+        }
+        let d = input.dims().to_vec();
+        let (n_total, h, w) = (d[0], d[2], d[3]);
+        let n_per = if shared {
+            n_total
+        } else {
+            if n_total % batch != 0 {
+                return Err(NnError::Config(format!(
+                    "per-realization input rows {n_total} not divisible by batch {batch}"
+                )));
+            }
+            n_total / batch
+        };
+        let (oh, ow) = self.spec.output_hw(h, w)?;
+        let c = self.in_channels;
+        let oc = self.out_channels;
+        let patch = c * self.spec.kh * self.spec.kw;
+        let rows_per = n_per * oh * ow;
+        let per_in = n_per * c * h * w;
+        let per_out = n_per * oc * oh * ow;
+
+        // Quantize each realization's input over its own slice (the
+        // sequential per-instance scale semantics), then unfold the whole
+        // stacked batch of codes in a single im2col call.
+        let qin = uninit_slice_of(&mut self.qin, input.numel());
+        let mut shared_sx = 1.0f32;
+        let mut per_sx: Vec<f32> = Vec::new();
+        if shared {
+            shared_sx = quantize_activations(input.data(), self.act_scale, qin);
+        } else {
+            per_sx.reserve(batch);
+            for b in 0..batch {
+                let xs = &input.data()[b * per_in..][..per_in];
+                per_sx.push(quantize_activations(
+                    xs,
+                    self.act_scale,
+                    &mut qin[b * per_in..][..per_in],
+                ));
+            }
+        }
+        let cols = uninit_slice_of(&mut self.cols, n_total * oh * ow * patch);
+        im2col_codes_into(qin, &d, &self.spec, cols)?;
+
+        let mut out = vec![0.0f32; batch * per_out];
+        let bias = self.bias.as_ref().map(Tensor::data);
+        let QuantizedBatched {
+            codes,
+            packed,
+            packed_b,
+        } = state;
+        if shared {
+            // Batch-fused wide product: the stacked kernel codes
+            // `[B·OC, patch]` are contiguous, so one integer GEMM
+            // `[rows, patch] @ [B·OC, patch]ᵀ → [rows, B·OC]` evaluates every
+            // realization bit-exactly while packing/streaming the shared
+            // patch panel once.
+            let acc = uninit_slice_of(&mut self.acc, rows_per * batch * oc);
+            qgemm::qgemm(
+                false,
+                true,
+                rows_per,
+                batch * oc,
+                patch,
+                cols,
+                codes.data(),
+                false,
+                acc,
+            );
+            let ld = batch * oc;
+            for b in 0..batch {
+                let out_b = &mut out[b * per_out..][..per_out];
+                for ni in 0..n_per {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let row = (ni * oh + oy) * ow + ox;
+                            for co in 0..oc {
+                                let mut v = acc[row * ld + b * oc + co] as f32
+                                    * shared_sx
+                                    * self.scales[co];
+                                if let Some(bd) = bias {
+                                    v += bd[co];
+                                }
+                                out_b[((ni * oc + co) * oh + oy) * ow + ox] = v;
+                            }
+                        }
+                    }
+                }
+            }
+        } else {
+            let acc = uninit_slice_of(&mut self.acc, rows_per * oc);
+            for b in 0..batch {
+                packed.pack(
+                    false,
+                    &cols[b * rows_per * patch..][..rows_per * patch],
+                    rows_per,
+                    patch,
+                );
+                let sx = per_sx[b];
+                // [rows, patch] @ [oc, patch]ᵀ → [rows, oc], exact i32.
+                qgemm_prepacked(packed, true, oc, codes.realization(b), false, acc, packed_b);
+                // Dequantize during the NCHW re-layout; bias is digital f32.
+                let out_b = &mut out[b * per_out..][..per_out];
+                for ni in 0..n_per {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let row = (ni * oh + oy) * ow + ox;
+                            for co in 0..oc {
+                                let mut v = acc[row * oc + co] as f32 * sx * self.scales[co];
+                                if let Some(bd) = bias {
+                                    v += bd[co];
+                                }
+                                out_b[((ni * oc + co) * oh + oy) * ow + ox] = v;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok((Tensor::from_vec(out, &[batch * n_per, oc, oh, ow])?, false))
     }
 
     fn name(&self) -> &'static str {
@@ -547,6 +939,126 @@ mod tests {
         });
         let faulty = ql.forward(&x, Mode::Eval).unwrap();
         assert!(!clean.approx_eq(&faulty, 1e-6));
+    }
+
+    #[test]
+    fn calibrated_scale_matches_dynamic_on_the_calibration_batch() {
+        let mut rng = Rng::seed_from(20);
+        let float = Linear::new(12, 5, &mut rng);
+        let mut dynamic = QuantizedLinear::from_linear(&float, 8).unwrap();
+        let mut calibrated = QuantizedLinear::from_linear(&float, 8).unwrap();
+        let x = Tensor::randn(&[6, 12], 0.0, 1.0, &mut rng);
+        let scale = calibrated.calibrate(&x).unwrap();
+        assert!(scale > 0.0);
+        assert_eq!(calibrated.activation_scale(), Some(scale));
+        // On the calibration batch itself the static scale equals the
+        // dynamic one, so the outputs are bit-identical.
+        let yd = dynamic.forward(&x, Mode::Eval).unwrap();
+        let yc = calibrated.forward(&x, Mode::Eval).unwrap();
+        assert!(yd.approx_eq(&yc, 0.0));
+        // On a *smaller-magnitude* batch the static scale differs from the
+        // dynamic one but stays within quantization tolerance.
+        let x2 = x.scale(0.5);
+        let yd2 = dynamic.forward(&x2, Mode::Eval).unwrap();
+        let yc2 = calibrated.forward(&x2, Mode::Eval).unwrap();
+        let tol = error_bound(&x2, dynamic.scales(), float.weight().value.abs().max(), 12);
+        assert!(yd2.sub(&yc2).unwrap().abs().max() <= tol);
+        calibrated.clear_calibration();
+        assert_eq!(calibrated.activation_scale(), None);
+        let yd3 = calibrated.forward(&x2, Mode::Eval).unwrap();
+        assert!(yd3.approx_eq(&yd2, 0.0));
+        // Shape validation.
+        assert!(calibrated.calibrate(&Tensor::zeros(&[3, 4])).is_err());
+        let mut qc =
+            QuantizedConv2d::from_conv2d(&Conv2d::new(3, 4, 3, 1, 1, &mut rng), 8).unwrap();
+        assert!(qc.calibrate(&Tensor::zeros(&[1, 2, 6, 6])).is_err());
+        let xc = Tensor::randn(&[2, 3, 6, 6], 0.0, 1.0, &mut rng);
+        let sc = qc.calibrate(&xc).unwrap();
+        assert!(sc > 0.0 && qc.activation_scale() == Some(sc));
+    }
+
+    #[test]
+    fn quantized_forward_batched_matches_sequential_realizations() {
+        let mut rng = Rng::seed_from(21);
+        let batch = 3usize;
+        // Linear.
+        let float = Linear::new(10, 4, &mut rng);
+        let mut ql = QuantizedLinear::from_linear(&float, 8).unwrap();
+        let x = Tensor::randn(&[5, 10], 0.0, 1.0, &mut rng);
+        ql.begin_batched(batch).unwrap();
+        ql.visit_batched_codes(&mut |view| {
+            assert_eq!(view.index, 0);
+            for b in 0..batch {
+                for c in view.stacked.realization_mut(b).iter_mut() {
+                    *c = c.wrapping_add(b as i8 + 1).clamp(-127, 127);
+                }
+            }
+        });
+        let realizations: Vec<Vec<i8>> = {
+            let mut v = Vec::new();
+            ql.visit_batched_codes(&mut |view| {
+                for b in 0..batch {
+                    v.push(view.stacked.realization(b).to_vec());
+                }
+            });
+            v
+        };
+        let (out, shared) = ql.forward_batched(&x, true, batch, Mode::Eval).unwrap();
+        assert!(!shared);
+        assert_eq!(out.dims(), &[batch * 5, 4]);
+        for (b, codes) in realizations.iter().enumerate() {
+            let mut reference = QuantizedLinear::from_linear(&float, 8).unwrap();
+            reference.codes = codes.clone();
+            let expected = reference.forward(&x, Mode::Eval).unwrap();
+            let got = &out.data()[b * 20..(b + 1) * 20];
+            let identical = got
+                .iter()
+                .zip(expected.data().iter())
+                .all(|(g, e)| g.to_bits() == e.to_bits());
+            assert!(identical, "quantized linear realization {b} diverged");
+        }
+        ql.end_batched();
+
+        // Conv, per-realization input path included.
+        let floatc = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
+        let mut qc = QuantizedConv2d::from_conv2d(&floatc, 8).unwrap();
+        let xs = Tensor::randn(&[batch * 2, 2, 5, 5], 0.0, 1.0, &mut rng);
+        qc.begin_batched(batch).unwrap();
+        qc.visit_batched_codes(&mut |view| {
+            for b in 0..batch {
+                for c in view.stacked.realization_mut(b).iter_mut() {
+                    *c = c.wrapping_sub(b as i8).clamp(-127, 127);
+                }
+            }
+        });
+        let realizations: Vec<Vec<i8>> = {
+            let mut v = Vec::new();
+            qc.visit_batched_codes(&mut |view| {
+                for b in 0..batch {
+                    v.push(view.stacked.realization(b).to_vec());
+                }
+            });
+            v
+        };
+        let (out, _) = qc.forward_batched(&xs, false, batch, Mode::Eval).unwrap();
+        let per_in = 2 * 2 * 5 * 5;
+        let per_out = 2 * 3 * 5 * 5;
+        for (b, codes) in realizations.iter().enumerate() {
+            let mut reference = QuantizedConv2d::from_conv2d(&floatc, 8).unwrap();
+            reference.codes = codes.clone();
+            let xb = Tensor::from_vec(
+                xs.data()[b * per_in..(b + 1) * per_in].to_vec(),
+                &[2, 2, 5, 5],
+            )
+            .unwrap();
+            let expected = reference.forward(&xb, Mode::Eval).unwrap();
+            let got = &out.data()[b * per_out..(b + 1) * per_out];
+            let identical = got
+                .iter()
+                .zip(expected.data().iter())
+                .all(|(g, e)| g.to_bits() == e.to_bits());
+            assert!(identical, "quantized conv realization {b} diverged");
+        }
     }
 
     #[test]

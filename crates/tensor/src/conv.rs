@@ -10,6 +10,7 @@
 //! with height 1 so there is a single, well-tested code path.
 
 use crate::error::TensorError;
+use crate::gemm::{gemm_prepacked, PackedA};
 use crate::ops;
 use crate::scratch::{uninit_slice, Scratch};
 use crate::tensor::Tensor;
@@ -179,6 +180,27 @@ fn im2col_generic<T: Copy + Default>(
 ///
 /// Returns an error when shapes do not correspond to the given geometry.
 pub fn col2im(cols: &Tensor, input_dims: &[usize], spec: &Conv2dSpec) -> Result<Tensor> {
+    let (rc, cc) = ops::as_matrix_dims(cols)?;
+    let mut out = vec![0.0f32; input_dims.iter().product()];
+    col2im_into(cols.data(), rc, cc, input_dims, spec, &mut out)?;
+    Tensor::from_vec(out, input_dims)
+}
+
+/// [`col2im`] into a caller-provided buffer of exactly `N*C*H*W` elements
+/// (zeroed, then accumulated into), so the training backward pass can reuse
+/// one allocation across steps — see [`conv2d_backward_into`].
+///
+/// # Errors
+///
+/// Returns an error when shapes do not correspond to the given geometry.
+pub fn col2im_into(
+    cols: &[f32],
+    cols_rows: usize,
+    cols_cols: usize,
+    input_dims: &[usize],
+    spec: &Conv2dSpec,
+    out: &mut [f32],
+) -> Result<()> {
     if input_dims.len() != 4 {
         return Err(TensorError::RankMismatch {
             expected: 4,
@@ -189,15 +211,19 @@ pub fn col2im(cols: &Tensor, input_dims: &[usize], spec: &Conv2dSpec) -> Result<
     let (oh, ow) = spec.output_hw(h, w)?;
     let patch = c * spec.kh * spec.kw;
     let rows = n * oh * ow;
-    let (rc, cc) = ops::as_matrix_dims(cols)?;
-    if rc != rows || cc != patch {
+    if cols_rows != rows || cols_cols != patch || cols.len() != rows * patch {
         return Err(TensorError::ShapeMismatch {
             lhs: vec![rows, patch],
-            rhs: vec![rc, cc],
+            rhs: vec![cols_rows, cols_cols],
         });
     }
-    let cd = cols.data();
-    let mut out = vec![0.0f32; n * c * h * w];
+    if out.len() != n * c * h * w {
+        return Err(TensorError::ShapeMismatch {
+            lhs: input_dims.to_vec(),
+            rhs: vec![out.len()],
+        });
+    }
+    out.fill(0.0);
     for ni in 0..n {
         for oy in 0..oh {
             for ox in 0..ow {
@@ -211,7 +237,7 @@ pub fn col2im(cols: &Tensor, input_dims: &[usize], spec: &Conv2dSpec) -> Result<
                             if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
                                 let col_idx = (ci * spec.kh + ky) * spec.kw + kx;
                                 out[((ni * c + ci) * h + iy as usize) * w + ix as usize] +=
-                                    cd[row_base + col_idx];
+                                    cols[row_base + col_idx];
                             }
                         }
                     }
@@ -219,7 +245,7 @@ pub fn col2im(cols: &Tensor, input_dims: &[usize], spec: &Conv2dSpec) -> Result<
             }
         }
     }
-    Tensor::from_vec(out, input_dims)
+    Ok(())
 }
 
 /// Result of a 2-D convolution forward pass, retaining the unfolded patches
@@ -350,12 +376,46 @@ fn relayout_nchw(
     ow: usize,
 ) -> Vec<f32> {
     let mut out = vec![0.0f32; n * oc * oh * ow];
+    relayout_nchw_into(om, bias, n, oc, oh, ow, &mut out);
+    out
+}
+
+/// [`relayout_nchw`] into a caller-provided slice of exactly `N*OC*OH*OW`
+/// elements (every element is overwritten).
+fn relayout_nchw_into(
+    om: &[f32],
+    bias: Option<&Tensor>,
+    n: usize,
+    oc: usize,
+    oh: usize,
+    ow: usize,
+    out: &mut [f32],
+) {
+    relayout_nchw_strided(om, oc, 0, bias, n, oc, oh, ow, out);
+}
+
+/// [`relayout_nchw_into`] reading a `[N*OH*OW, ld]` GEMM result at column
+/// offset `col0` — the extraction step of the batch-fused wide GEMM, where
+/// realization `b` owns columns `[b·OC, (b+1)·OC)` of one `[rows, B·OC]`
+/// product.
+#[allow(clippy::too_many_arguments)]
+fn relayout_nchw_strided(
+    om: &[f32],
+    ld: usize,
+    col0: usize,
+    bias: Option<&Tensor>,
+    n: usize,
+    oc: usize,
+    oh: usize,
+    ow: usize,
+    out: &mut [f32],
+) {
     for ni in 0..n {
         for oy in 0..oh {
             for ox in 0..ow {
                 let row = (ni * oh + oy) * ow + ox;
                 for ci in 0..oc {
-                    let mut v = om[row * oc + ci];
+                    let mut v = om[row * ld + col0 + ci];
                     if let Some(b) = bias {
                         v += b.data()[ci];
                     }
@@ -364,7 +424,161 @@ fn relayout_nchw(
             }
         }
     }
-    out
+}
+
+/// Batched-weights 2-D convolution forward pass for the Monte-Carlo engine:
+/// evaluates `batch` weight realizations (stacked `[B, OC, IC, KH, KW]`,
+/// flattened) in one call.
+///
+/// With `shared == true` the input `[N, C, H, W]` is the same for every
+/// realization: it is unfolded **once**, the patch matrix is packed **once**
+/// (into `packed`) and reused against all `batch` kernel realizations — the
+/// pack-once/reuse-many discipline that amortizes im2col and A-panel packing
+/// across the batch. With `shared == false` the input is per-realization
+/// (`[B·N, C, H, W]`, realization `b` owning rows `[b·N, (b+1)·N)`); the
+/// unfold still happens in a single im2col call over the stacked batch.
+///
+/// The output is always per-realization: `[B·N, OC, OH, OW]`. Per
+/// realization, the arithmetic is **bit-identical** to
+/// [`conv2d_forward_with_scratch`] on that realization's input and weights.
+/// The bias (applied digitally, outside the crossbar) is shared.
+///
+/// # Errors
+///
+/// Returns an error when shapes are inconsistent with `spec`, the stacked
+/// weight length is not `batch` realizations, or (for `shared == false`) the
+/// leading input dimension is not divisible by `batch`.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_forward_batched(
+    input: &Tensor,
+    shared: bool,
+    batch: usize,
+    stacked_weight: &[f32],
+    weight_dims: &[usize],
+    bias: Option<&Tensor>,
+    spec: &Conv2dSpec,
+    packed: &mut PackedA,
+    scratch: &mut Scratch,
+) -> Result<Tensor> {
+    let (n_total, c, h, w) = as_nchw(input)?;
+    if weight_dims.len() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: weight_dims.len(),
+        });
+    }
+    let (oc, wc, wkh, wkw) = (
+        weight_dims[0],
+        weight_dims[1],
+        weight_dims[2],
+        weight_dims[3],
+    );
+    if wc != c || wkh != spec.kh || wkw != spec.kw {
+        return Err(TensorError::InvalidArgument(format!(
+            "weight shape {weight_dims:?} inconsistent with input channels {c} and kernel {}x{}",
+            spec.kh, spec.kw
+        )));
+    }
+    if batch == 0 {
+        return Err(TensorError::InvalidArgument(
+            "batched conv needs batch >= 1".into(),
+        ));
+    }
+    let per_w = oc * c * spec.kh * spec.kw;
+    if stacked_weight.len() != batch * per_w {
+        return Err(TensorError::ShapeMismatch {
+            lhs: vec![batch, per_w],
+            rhs: vec![stacked_weight.len()],
+        });
+    }
+    let n_per = if shared {
+        n_total
+    } else {
+        if n_total % batch != 0 {
+            return Err(TensorError::InvalidArgument(format!(
+                "per-realization input rows {n_total} not divisible by batch {batch}"
+            )));
+        }
+        n_total / batch
+    };
+    let (oh, ow) = spec.output_hw(h, w)?;
+    let patch = c * spec.kh * spec.kw;
+    let rows_per = n_per * oh * ow;
+    let per_out = n_per * oc * oh * ow;
+    let mut out = vec![0.0f32; batch * per_out];
+    // Split-borrow the scratch fields so the patch matrix, the GEMM staging
+    // buffer and the B-panel packing buffer can be held simultaneously.
+    let Scratch {
+        cols: cols_buf,
+        out_mat: om_buf,
+        packed_b: packed_b_buf,
+        ..
+    } = scratch;
+    let cols = uninit_slice(cols_buf, n_total * oh * ow * patch);
+    im2col_into(input, spec, cols)?;
+    if shared {
+        // Fuse the B realizations into ONE wide product: the stacked kernels
+        // `[B·OC, patch]` are already contiguous, so
+        // `[rows, patch] @ [B·OC, patch]ᵀ → [rows, B·OC]` evaluates every
+        // realization in a single GEMM. Each output element keeps exactly the
+        // per-element k-accumulation order of a per-realization GEMM (the
+        // n-blocking never reorders a dot product), so this is bit-identical
+        // to B separate products — but the shared patch panel is packed and
+        // streamed once instead of B times, and a small OC no longer wastes
+        // the wide microkernel tile.
+        let om = uninit_slice(om_buf, rows_per * batch * oc);
+        crate::gemm::gemm(
+            false,
+            true,
+            rows_per,
+            batch * oc,
+            patch,
+            1.0,
+            cols,
+            stacked_weight,
+            0.0,
+            om,
+        );
+        for b in 0..batch {
+            relayout_nchw_strided(
+                om,
+                batch * oc,
+                b * oc,
+                bias,
+                n_per,
+                oc,
+                oh,
+                ow,
+                &mut out[b * per_out..][..per_out],
+            );
+        }
+    } else {
+        // Per-realization inputs form a block-diagonal product that cannot
+        // be fused; pack each realization's patch slice once and reuse the
+        // blocked traversal.
+        let om = uninit_slice(om_buf, rows_per * oc);
+        for b in 0..batch {
+            packed.pack(
+                false,
+                &cols[b * rows_per * patch..][..rows_per * patch],
+                rows_per,
+                patch,
+            );
+            let weight_b = &stacked_weight[b * per_w..][..per_w];
+            // [rows, patch] @ [oc, patch]ᵀ -> [rows, oc]
+            gemm_prepacked(packed, true, oc, 1.0, weight_b, 0.0, om, packed_b_buf);
+            relayout_nchw_into(
+                om,
+                bias,
+                n_per,
+                oc,
+                oh,
+                ow,
+                &mut out[b * per_out..][..per_out],
+            );
+        }
+    }
+    Tensor::from_vec(out, &[batch * n_per, oc, oh, ow])
 }
 
 /// 2-D convolution backward pass.
@@ -419,6 +633,123 @@ pub fn conv2d_backward(
         grad_weight,
         grad_bias,
     })
+}
+
+/// 2-D convolution backward pass for training hot loops: identical math to
+/// [`conv2d_backward`], but the gradient staging buffers (the re-laid-out
+/// `grad_output` matrix, the patch-gradient matrix and the per-channel bias
+/// sums) live in the caller's [`Scratch`], and the weight/bias gradients are
+/// **accumulated in place** (`+=`) instead of being returned as fresh
+/// tensors. Steady-state backward steps therefore allocate only the returned
+/// input-gradient tensor.
+///
+/// # Errors
+///
+/// Returns an error when shapes are inconsistent.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_backward_into(
+    grad_output: &Tensor,
+    cols: &Tensor,
+    weight: &Tensor,
+    input_dims: &[usize],
+    spec: &Conv2dSpec,
+    grad_weight: &mut Tensor,
+    grad_bias: Option<&mut Tensor>,
+    scratch: &mut Scratch,
+) -> Result<Tensor> {
+    let god = grad_output.dims();
+    if god.len() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: god.len(),
+        });
+    }
+    let (n, oc, oh, ow) = (god[0], god[1], god[2], god[3]);
+    let wd = weight.dims().to_vec();
+    let patch = wd[1] * wd[2] * wd[3];
+    let rows = n * oh * ow;
+    let (cr, cc) = ops::as_matrix_dims(cols)?;
+    if cr != rows || cc != patch {
+        return Err(TensorError::ShapeMismatch {
+            lhs: vec![rows, patch],
+            rhs: vec![cr, cc],
+        });
+    }
+    if grad_weight.dims() != wd {
+        return Err(TensorError::ShapeMismatch {
+            lhs: wd,
+            rhs: grad_weight.dims().to_vec(),
+        });
+    }
+    let Scratch {
+        cols: grad_cols_buf,
+        out_mat: go_buf,
+        step: bias_buf,
+        ..
+    } = scratch;
+    // Re-layout grad_output [N, OC, OH, OW] into matrix [N*OH*OW, OC].
+    let gd = grad_output.data();
+    let go_mat = uninit_slice(go_buf, rows * oc);
+    for ni in 0..n {
+        for ci in 0..oc {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row = (ni * oh + oy) * ow + ox;
+                    go_mat[row * oc + ci] = gd[((ni * oc + ci) * oh + oy) * ow + ox];
+                }
+            }
+        }
+    }
+    // grad_weight += go_matᵀ @ cols : [OC, patch], fused with β = 1.
+    crate::gemm::gemm(
+        true,
+        false,
+        oc,
+        patch,
+        rows,
+        1.0,
+        go_mat,
+        cols.data(),
+        1.0,
+        grad_weight.data_mut(),
+    );
+    if let Some(gb) = grad_bias {
+        if gb.numel() != oc {
+            return Err(TensorError::ShapeMismatch {
+                lhs: vec![oc],
+                rhs: gb.dims().to_vec(),
+            });
+        }
+        // Column sums of go_mat, staged so the accumulation into the live
+        // gradient keeps the same summation order as `sum_axis` + add.
+        let sums = uninit_slice(bias_buf, oc);
+        sums.fill(0.0);
+        for row in 0..rows {
+            for (s, &g) in sums.iter_mut().zip(&go_mat[row * oc..(row + 1) * oc]) {
+                *s += g;
+            }
+        }
+        for (g, &s) in gb.data_mut().iter_mut().zip(sums.iter()) {
+            *g += s;
+        }
+    }
+    // grad_cols = go_mat @ weight_mat : [rows, patch]
+    let grad_cols = uninit_slice(grad_cols_buf, rows * patch);
+    crate::gemm::gemm(
+        false,
+        false,
+        rows,
+        patch,
+        oc,
+        1.0,
+        go_mat,
+        weight.data(),
+        0.0,
+        grad_cols,
+    );
+    let mut grad_input = vec![0.0f32; input_dims.iter().product()];
+    col2im_into(grad_cols, rows, patch, input_dims, spec, &mut grad_input)?;
+    Tensor::from_vec(grad_input, input_dims)
 }
 
 /// Lifts a `[N, C, L]` tensor to `[N, C, 1, L]` so 1-D convolutions reuse the
@@ -683,6 +1014,175 @@ mod tests {
             conv2d_forward_with_scratch(&input, &weight, None, &spec, &mut scratch).unwrap();
         }
         assert_eq!(scratch.capacity(), warm, "steady state must not reallocate");
+    }
+
+    #[test]
+    fn batched_forward_matches_per_realization_scratch_forward() {
+        let mut rng = Rng::seed_from(20);
+        let spec = Conv2dSpec::new(3, 1, 1);
+        let batch = 3usize;
+        let (n, c, h, w, oc) = (2usize, 3usize, 6usize, 6usize, 4usize);
+        let weights: Vec<Tensor> = (0..batch)
+            .map(|_| Tensor::randn(&[oc, c, 3, 3], 0.0, 0.5, &mut rng))
+            .collect();
+        let stacked: Vec<f32> = weights.iter().flat_map(|t| t.data().to_vec()).collect();
+        let bias = Tensor::randn(&[oc], 0.0, 0.5, &mut rng);
+        let mut packed = PackedA::new();
+        let mut scratch = Scratch::new();
+
+        // Shared input: one im2col, one pack, `batch` kernel realizations.
+        let x = Tensor::randn(&[n, c, h, w], 0.0, 1.0, &mut rng);
+        let got = conv2d_forward_batched(
+            &x,
+            true,
+            batch,
+            &stacked,
+            &[oc, c, 3, 3],
+            Some(&bias),
+            &spec,
+            &mut packed,
+            &mut scratch,
+        )
+        .unwrap();
+        assert_eq!(got.dims(), &[batch * n, oc, h, w]);
+        let per = n * oc * h * w;
+        for (b, wt) in weights.iter().enumerate() {
+            let mut s = Scratch::new();
+            let expected = conv2d_forward_with_scratch(&x, wt, Some(&bias), &spec, &mut s).unwrap();
+            let slice = &got.data()[b * per..(b + 1) * per];
+            let identical = slice
+                .iter()
+                .zip(expected.data().iter())
+                .all(|(a, e)| a.to_bits() == e.to_bits());
+            assert!(identical, "shared-input realization {b} diverged");
+        }
+
+        // Per-realization input: one im2col over the stacked batch.
+        let xs: Vec<Tensor> = (0..batch)
+            .map(|_| Tensor::randn(&[n, c, h, w], 0.0, 1.0, &mut rng))
+            .collect();
+        let stacked_x: Vec<f32> = xs.iter().flat_map(|t| t.data().to_vec()).collect();
+        let x_all = Tensor::from_vec(stacked_x, &[batch * n, c, h, w]).unwrap();
+        let got = conv2d_forward_batched(
+            &x_all,
+            false,
+            batch,
+            &stacked,
+            &[oc, c, 3, 3],
+            Some(&bias),
+            &spec,
+            &mut packed,
+            &mut scratch,
+        )
+        .unwrap();
+        for (b, (wt, xb)) in weights.iter().zip(&xs).enumerate() {
+            let mut s = Scratch::new();
+            let expected = conv2d_forward_with_scratch(xb, wt, Some(&bias), &spec, &mut s).unwrap();
+            let slice = &got.data()[b * per..(b + 1) * per];
+            let identical = slice
+                .iter()
+                .zip(expected.data().iter())
+                .all(|(a, e)| a.to_bits() == e.to_bits());
+            assert!(identical, "per-realization input {b} diverged");
+        }
+    }
+
+    #[test]
+    fn batched_forward_validates_shapes() {
+        let spec = Conv2dSpec::new(3, 1, 1);
+        let x = Tensor::zeros(&[2, 3, 6, 6]);
+        let mut packed = PackedA::new();
+        let mut scratch = Scratch::new();
+        // Wrong stacked length.
+        assert!(conv2d_forward_batched(
+            &x,
+            true,
+            2,
+            &[0.0; 10],
+            &[4, 3, 3, 3],
+            None,
+            &spec,
+            &mut packed,
+            &mut scratch,
+        )
+        .is_err());
+        // Per-realization rows not divisible by batch.
+        let stacked = vec![0.0f32; 3 * 4 * 3 * 3 * 3];
+        assert!(conv2d_forward_batched(
+            &x,
+            false,
+            3,
+            &stacked,
+            &[4, 3, 3, 3],
+            None,
+            &spec,
+            &mut packed,
+            &mut scratch,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn backward_into_matches_allocating_backward() {
+        let mut rng = Rng::seed_from(21);
+        for &(stride, pad) in &[(1usize, 1usize), (2, 1)] {
+            let spec = Conv2dSpec::new(3, stride, pad);
+            let input = Tensor::randn(&[2, 3, 6, 6], 0.0, 1.0, &mut rng);
+            let weight = Tensor::randn(&[4, 3, 3, 3], 0.0, 0.5, &mut rng);
+            let fwd = conv2d_forward(&input, &weight, None, &spec).unwrap();
+            let grad_out = Tensor::randn(fwd.output.dims(), 0.0, 1.0, &mut rng);
+            let reference =
+                conv2d_backward(&grad_out, &fwd.cols, &weight, input.dims(), &spec).unwrap();
+
+            let mut scratch = Scratch::new();
+            let mut gw = Tensor::zeros(weight.dims());
+            let mut gb = Tensor::zeros(&[4]);
+            let gi = conv2d_backward_into(
+                &grad_out,
+                &fwd.cols,
+                &weight,
+                input.dims(),
+                &spec,
+                &mut gw,
+                Some(&mut gb),
+                &mut scratch,
+            )
+            .unwrap();
+            assert!(gi.approx_eq(&reference.grad_input, 1e-5));
+            assert!(gw.approx_eq(&reference.grad_weight, 1e-5));
+            assert!(gb.approx_eq(&reference.grad_bias, 1e-4));
+
+            // Accumulation semantics: a second call doubles the gradients.
+            conv2d_backward_into(
+                &grad_out,
+                &fwd.cols,
+                &weight,
+                input.dims(),
+                &spec,
+                &mut gw,
+                Some(&mut gb),
+                &mut scratch,
+            )
+            .unwrap();
+            assert!(gw.approx_eq(&reference.grad_weight.scale(2.0), 1e-4));
+
+            // Steady state: no further scratch growth.
+            let warm = scratch.capacity();
+            for _ in 0..2 {
+                conv2d_backward_into(
+                    &grad_out,
+                    &fwd.cols,
+                    &weight,
+                    input.dims(),
+                    &spec,
+                    &mut gw,
+                    Some(&mut gb),
+                    &mut scratch,
+                )
+                .unwrap();
+            }
+            assert_eq!(scratch.capacity(), warm, "stride {stride} pad {pad}");
+        }
     }
 
     #[test]

@@ -248,6 +248,116 @@ struct SendPtr(*mut f32);
 unsafe impl Send for SendPtr {}
 unsafe impl Sync for SendPtr {}
 
+/// Bytes-per-block stride of one packed `(k-panel, m-block)` A block inside a
+/// [`PackedA`] buffer: every block occupies a fixed-size slot (edge blocks
+/// use a prefix of theirs) so offsets are index arithmetic.
+const A_BLOCK_STRIDE: usize = MC.div_ceil(MR) * MR * KC;
+
+/// A fully packed `op(A)` operand: every `(k-panel, m-block)` of A in the
+/// exact strip layout the microkernel consumes.
+///
+/// [`gemm`] re-packs A on every call; when the *same* A is multiplied against
+/// many different B matrices — the batched Monte-Carlo forward pass, where
+/// one activation panel meets B perturbed weight realizations — packing once
+/// via [`PackedA::pack`] and calling [`gemm_prepacked`] per B amortizes that
+/// work. Results are **bit-identical** to [`gemm_with_scratch`] (same packed
+/// values, same block traversal, same accumulation order).
+///
+/// The buffer grows monotonically and never shrinks, so steady-state repacks
+/// allocate nothing.
+#[derive(Debug, Default, Clone)]
+pub struct PackedA {
+    m: usize,
+    k: usize,
+    buf: Vec<f32>,
+}
+
+impl PackedA {
+    /// Creates an empty handle; the buffer grows on first [`PackedA::pack`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rows of the packed operand.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Shared (reduction) dimension of the packed operand.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Packs `op(A)` (`[m, k]`, or stored `[k, m]` when `trans_a`) in full.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slice length disagrees with `m * k`.
+    pub fn pack(&mut self, trans_a: bool, a: &[f32], m: usize, k: usize) {
+        assert_eq!(a.len(), m * k, "A must hold m*k elements");
+        self.m = m;
+        self.k = k;
+        let m_blocks = m.div_ceil(MC);
+        let k_panels = k.div_ceil(KC);
+        let buf = uninit_slice(&mut self.buf, m_blocks * k_panels * A_BLOCK_STRIDE);
+        for (pi, pc) in (0..k).step_by(KC).enumerate() {
+            let kc = KC.min(k - pc);
+            for (bi, ic) in (0..m).step_by(MC).enumerate() {
+                let mc = MC.min(m - ic);
+                let slot = &mut buf[(pi * m_blocks + bi) * A_BLOCK_STRIDE..][..A_BLOCK_STRIDE];
+                pack_a(trans_a, a, m, k, ic, mc, pc, kc, slot);
+            }
+        }
+    }
+}
+
+/// [`gemm_with_scratch`] with a pre-packed A operand (see [`PackedA`]):
+/// `C ← α · op(A) · op(B) + β · C` where only B is packed per call, into the
+/// caller's reusable `packed_b` buffer.
+///
+/// Bit-identical to [`gemm`] / [`gemm_with_scratch`] for the same operands.
+///
+/// # Panics
+///
+/// Panics when a slice length disagrees with the packed dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_prepacked(
+    packed_a: &PackedA,
+    trans_b: bool,
+    n: usize,
+    alpha: f32,
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+    packed_b_buf: &mut Vec<f32>,
+) {
+    let (m, k) = (packed_a.m, packed_a.k);
+    assert_eq!(b.len(), k * n, "B must hold k*n elements");
+    assert_eq!(c.len(), m * n, "C must hold m*n elements");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 || alpha == 0.0 {
+        scale_in_place(c, beta);
+        return;
+    }
+    let m_blocks = m.div_ceil(MC);
+    let packed_b = uninit_slice(packed_b_buf, KC * NC.min(n.next_multiple_of(NR)));
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for (pi, pc) in (0..k).step_by(KC).enumerate() {
+            let kc = KC.min(k - pc);
+            pack_b(trans_b, b, k, n, pc, kc, jc, nc, packed_b);
+            let beta_block = if pc == 0 { beta } else { 1.0 };
+            for (bi, ic) in (0..m).step_by(MC).enumerate() {
+                let mc = MC.min(m - ic);
+                let pa = &packed_a.buf[(pi * m_blocks + bi) * A_BLOCK_STRIDE..];
+                block_kernel(pa, packed_b, c, n, ic, mc, jc, nc, kc, alpha, beta_block);
+            }
+        }
+    }
+}
+
 fn check_dims(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     assert_eq!(a.len(), m * k, "A must hold m*k elements");
     assert_eq!(b.len(), k * n, "B must hold k*n elements");
@@ -609,6 +719,94 @@ mod tests {
 
     fn s_total(s: &Scratch) -> usize {
         s.capacity()
+    }
+
+    #[test]
+    fn prepacked_is_bit_identical_to_gemm() {
+        let mut rng = Rng::seed_from(13);
+        let shapes = [
+            (1usize, 1usize, 1usize),
+            (5, 7, 3),
+            (64, 256, 512),
+            (MC + 3, NC + 5, KC + 7),
+            (2 * MC + 1, 9, 2 * KC + 3),
+        ];
+        let mut packed = PackedA::new();
+        let mut packed_b_buf = Vec::new();
+        for &(m, n, k) in &shapes {
+            for &trans_a in &[false, true] {
+                for &trans_b in &[false, true] {
+                    for &(alpha, beta) in &[(1.0f32, 0.0f32), (0.5, 1.0)] {
+                        let a = random_vec(m * k, &mut rng);
+                        let b = random_vec(k * n, &mut rng);
+                        let seed_c = random_vec(m * n, &mut rng);
+                        let mut expected = seed_c.clone();
+                        let mut scratch = Scratch::new();
+                        gemm_with_scratch(
+                            trans_a,
+                            trans_b,
+                            m,
+                            n,
+                            k,
+                            alpha,
+                            &a,
+                            &b,
+                            beta,
+                            &mut expected,
+                            &mut scratch,
+                        );
+                        packed.pack(trans_a, &a, m, k);
+                        assert_eq!((packed.m(), packed.k()), (m, k));
+                        let mut got = seed_c.clone();
+                        gemm_prepacked(
+                            &packed,
+                            trans_b,
+                            n,
+                            alpha,
+                            &b,
+                            beta,
+                            &mut got,
+                            &mut packed_b_buf,
+                        );
+                        let identical = expected
+                            .iter()
+                            .zip(got.iter())
+                            .all(|(x, y)| x.to_bits() == y.to_bits());
+                        assert!(
+                            identical,
+                            "m={m} n={n} k={k} ta={trans_a} tb={trans_b} α={alpha} β={beta}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prepacked_a_is_reusable_across_many_b() {
+        // The batched Monte-Carlo access pattern: one packed activation panel
+        // multiplied against several perturbed weight matrices.
+        let mut rng = Rng::seed_from(14);
+        let (m, n, k) = (33, 17, 300);
+        let a = random_vec(m * k, &mut rng);
+        let mut packed = PackedA::new();
+        packed.pack(false, &a, m, k);
+        let warm = packed.buf.capacity();
+        let mut packed_b_buf = Vec::new();
+        for trial in 0..4 {
+            let b = random_vec(k * n, &mut rng);
+            let mut expected = vec![0.0f32; m * n];
+            gemm(false, true, m, n, k, 1.0, &a, &b, 0.0, &mut expected);
+            let mut got = vec![0.0f32; m * n];
+            gemm_prepacked(&packed, true, n, 1.0, &b, 0.0, &mut got, &mut packed_b_buf);
+            let identical = expected
+                .iter()
+                .zip(got.iter())
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(identical, "trial {trial}");
+        }
+        packed.pack(false, &a, m, k);
+        assert_eq!(packed.buf.capacity(), warm, "repacking must not reallocate");
     }
 
     #[test]

@@ -232,6 +232,112 @@ struct SendPtr(*mut i32);
 unsafe impl Send for SendPtr {}
 unsafe impl Sync for SendPtr {}
 
+/// Fixed slot stride of one packed `(k-panel, m-block)` A block inside a
+/// [`QPackedA`] buffer (`QKC` is a multiple of the k-quad, so a full panel
+/// packs to exactly `QMC'·QKC` codes).
+const QA_BLOCK_STRIDE: usize = QMC.div_ceil(QMR) * QMR * QKC;
+
+/// A fully packed i8 `op(A)` operand in the quad-major strip layout the
+/// quantized microkernel consumes — the integer counterpart of
+/// [`crate::gemm::PackedA`], used by the batched quantized Monte-Carlo path
+/// to pack one activation-code panel once and reuse it against B perturbed
+/// weight-code realizations. Bit-exact vs [`qgemm_with_scratch`].
+#[derive(Debug, Default, Clone)]
+pub struct QPackedA {
+    m: usize,
+    k: usize,
+    buf: Vec<i8>,
+}
+
+impl QPackedA {
+    /// Creates an empty handle; the buffer grows on first [`QPackedA::pack`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rows of the packed operand.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Shared (reduction) dimension of the packed operand.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Packs `op(A)` (`[m, k]` codes, or stored `[k, m]` when `trans_a`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slice length disagrees with `m * k`.
+    pub fn pack(&mut self, trans_a: bool, a: &[i8], m: usize, k: usize) {
+        assert_eq!(a.len(), m * k, "A must hold m*k codes");
+        self.m = m;
+        self.k = k;
+        let m_blocks = m.div_ceil(QMC);
+        let k_panels = k.div_ceil(QKC);
+        let buf = uninit_slice_of(&mut self.buf, m_blocks * k_panels * QA_BLOCK_STRIDE);
+        for (pi, pc) in (0..k).step_by(QKC).enumerate() {
+            let kc = QKC.min(k - pc);
+            for (bi, ic) in (0..m).step_by(QMC).enumerate() {
+                let mc = QMC.min(m - ic);
+                let slot = &mut buf[(pi * m_blocks + bi) * QA_BLOCK_STRIDE..][..QA_BLOCK_STRIDE];
+                pack_a(trans_a, a, m, k, ic, mc, pc, kc, slot);
+            }
+        }
+    }
+}
+
+/// [`qgemm_with_scratch`] with a pre-packed A operand (see [`QPackedA`]):
+/// only B is packed per call, into the caller's reusable `packed_b` buffer.
+/// Bit-exact vs every other kernel variant.
+///
+/// # Panics
+///
+/// Panics when a slice length disagrees with the packed dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn qgemm_prepacked(
+    packed_a: &QPackedA,
+    trans_b: bool,
+    n: usize,
+    b: &[i8],
+    accumulate: bool,
+    c: &mut [i32],
+    packed_b_buf: &mut Vec<i8>,
+) {
+    let (m, k) = (packed_a.m, packed_a.k);
+    assert_eq!(b.len(), k * n, "B must hold k*n codes");
+    assert_eq!(c.len(), m * n, "C must hold m*n accumulators");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        if !accumulate {
+            c.fill(0);
+        }
+        return;
+    }
+    let m_blocks = m.div_ceil(QMC);
+    let kq_panel = QKC / KQ;
+    let packed_b = uninit_slice_of(
+        packed_b_buf,
+        kq_panel * KQ * QNC.min(n.next_multiple_of(QNR)),
+    );
+    for jc in (0..n).step_by(QNC) {
+        let nc = QNC.min(n - jc);
+        for (pi, pc) in (0..k).step_by(QKC).enumerate() {
+            let kc = QKC.min(k - pc);
+            pack_b(trans_b, b, k, n, pc, kc, jc, nc, packed_b);
+            let acc_block = accumulate || pc > 0;
+            for (bi, ic) in (0..m).step_by(QMC).enumerate() {
+                let mc = QMC.min(m - ic);
+                let pa = &packed_a.buf[(pi * m_blocks + bi) * QA_BLOCK_STRIDE..];
+                block_kernel(pa, packed_b, c, n, ic, mc, jc, nc, kc, acc_block);
+            }
+        }
+    }
+}
+
 fn check_dims(m: usize, n: usize, k: usize, a: &[i8], b: &[i8], c: &mut [i32]) {
     assert_eq!(a.len(), m * k, "A must hold m*k codes");
     assert_eq!(b.len(), k * n, "B must hold k*n codes");
@@ -564,6 +670,51 @@ mod tests {
             let mut par = vec![0i32; m * n];
             qgemm_parallel(false, false, m, n, k, &a, &b, false, &mut par, workers);
             assert_eq!(seq, par, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn prepacked_is_bit_exact_and_reusable() {
+        let mut rng = Rng::seed_from(12);
+        let shapes = [
+            (1usize, 1usize, 1usize),
+            (5, 7, 3),
+            (13, 29, 31),
+            (QMC + 3, QNC + 5, QKC + 7),
+            (64, 256, 512),
+        ];
+        let mut packed = QPackedA::new();
+        let mut packed_b_buf = Vec::new();
+        for &(m, n, k) in &shapes {
+            for &trans_a in &[false, true] {
+                for &trans_b in &[false, true] {
+                    let a = random_codes(m * k, &mut rng);
+                    packed.pack(trans_a, &a, m, k);
+                    assert_eq!((packed.m(), packed.k()), (m, k));
+                    // One packed A against several B realizations — the
+                    // batched quantized Monte-Carlo access pattern.
+                    for _ in 0..2 {
+                        let b = random_codes(k * n, &mut rng);
+                        let expected = reference::qmatmul_i8(trans_a, trans_b, m, n, k, &a, &b);
+                        let mut got = vec![0i32; m * n];
+                        qgemm_prepacked(
+                            &packed,
+                            trans_b,
+                            n,
+                            &b,
+                            false,
+                            &mut got,
+                            &mut packed_b_buf,
+                        );
+                        assert_eq!(got, expected, "m={m} n={n} k={k} ta={trans_a} tb={trans_b}");
+                        // Accumulate path.
+                        let mut acc = expected.clone();
+                        qgemm_prepacked(&packed, trans_b, n, &b, true, &mut acc, &mut packed_b_buf);
+                        let doubled: Vec<i32> = expected.iter().map(|&x| 2 * x).collect();
+                        assert_eq!(acc, doubled);
+                    }
+                }
+            }
         }
     }
 
