@@ -167,6 +167,23 @@ fn bench_model<F>(
                 summary.mean
             })
         });
+        // Compiled-plan engine: per-worker plans amortize shape inference,
+        // buffer allocation and weight packing across the whole simulation;
+        // only dirty panels are re-packed between realizations.
+        group.bench_function(format!("{name}_{tag}_planned_t{THREADS}"), |b| {
+            b.iter(|| {
+                let summary = if quantized {
+                    engine
+                        .run_planned_quantized(factory, fault, input, |out| Ok(out.sum()), THREADS)
+                        .unwrap()
+                } else {
+                    engine
+                        .run_planned(factory, fault, input, |out| Ok(out.sum()), THREADS)
+                        .unwrap()
+                };
+                summary.mean
+            })
+        });
     }
 }
 

@@ -151,6 +151,21 @@ impl FaultModel {
         Ok(())
     }
 
+    /// When the model maps **every** weight to `w · factor` for one constant
+    /// factor — retention drift, whose realization draws no randomness —
+    /// returns that factor.
+    ///
+    /// Compiled plans exploit this to apply the realization directly to the
+    /// cached packed-weight panels (packing is a permutation with zero
+    /// padding, and `0 · factor == 0`, so scaling the packed clean operand is
+    /// bit-identical to packing the scaled weights) instead of re-packing.
+    pub fn uniform_scale(&self) -> Option<f32> {
+        match *self {
+            FaultModel::Drift { nu, time_ratio } if self.is_active() => Some(time_ratio.powf(-nu)),
+            _ => None,
+        }
+    }
+
     /// Applies the fault model to a weight tensor, returning the perturbed
     /// tensor. The original is left untouched.
     ///

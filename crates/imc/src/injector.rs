@@ -15,8 +15,9 @@
 use crate::fault::{flip_code_bits, FaultModel};
 use crate::Result;
 use invnorm_nn::layer::{Layer, Mode, Param};
+use invnorm_nn::plan::{PlanArenas, PlanCtx, PlanShape};
 use invnorm_nn::NnError;
-use invnorm_tensor::{Rng, Tensor};
+use invnorm_tensor::{DirtyRows, Rng, Tensor};
 use std::sync::{Arc, RwLock};
 
 /// Minimum total targeted elements before per-parameter perturbation fans
@@ -277,6 +278,105 @@ impl WeightFaultInjector {
         });
         result
     }
+
+    /// Materializes one fault realization into the network's **plan-owned
+    /// faulty weight buffers** (installed by `Layer::plan_compile`), leaving
+    /// the clean parameters untouched, and **reports the touched row
+    /// blocks** through each buffer's dirty set so the plan re-packs only
+    /// dirty panels — the compiled-plan engine's counterpart of
+    /// [`WeightFaultInjector::inject`] + restore.
+    ///
+    /// Parameter `i` draws from the stream `rng.fork(i)` in `visit_params`
+    /// order — exactly the stream the sequential injector forks — so the
+    /// realization is **bit-identical** to what
+    /// [`MonteCarloEngine::run`](crate::MonteCarloEngine::run) would have
+    /// programmed.
+    ///
+    /// Dense fault models (variation, noise, drift, f32 bit flips, which
+    /// rewrite every element) mark every row dirty; the sparse stuck-at
+    /// model marks only rows whose values actually changed, which is what
+    /// removes the per-run weight-pack cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the fault model is invalid, the injector was
+    /// configured with [`WeightFaultInjector::including_vectors`] (plans
+    /// target the default rank ≥ 2 parameter set only), or a faulty buffer
+    /// does not match its parameter.
+    pub fn realize_plan<L: Layer + ?Sized>(&self, network: &mut L, rng: &mut Rng) -> Result<()> {
+        if self.include_vectors {
+            return Err(NnError::Config(
+                "compiled plans support the default (rank >= 2) fault targets only".into(),
+            ));
+        }
+        self.model.validate()?;
+        let model = self.model;
+        if let Some(factor) = model.uniform_scale() {
+            // Retention drift draws no randomness and maps every weight to
+            // `w · factor`: request the layers' uniform-scale fast path
+            // (panels scaled in place — or skipped once the factor is
+            // applied) instead of materializing and re-packing a full
+            // realization. The fork still runs so the parent RNG stream
+            // stays in lockstep with the sequential injector.
+            network.visit_plan_params(&mut |view| {
+                let _ = rng.fork(view.index as u64);
+                *view.scale = Some(factor);
+            });
+            return Ok(());
+        }
+        let mut result: Result<()> = Ok(());
+        network.visit_plan_params(&mut |view| {
+            if result.is_err() {
+                return;
+            }
+            let mut stream = rng.fork(view.index as u64);
+            if let Err(e) = model.perturb_into(view.clean, view.faulty, &mut stream) {
+                result = Err(e);
+                return;
+            }
+            mark_dirty_f32(model, view.clean.data(), view.faulty, view.dirty);
+        });
+        result
+    }
+}
+
+/// Reports which rows of a `[rows, cols]` parameter a realization touched.
+/// Inactive models left the weights bit-identical to clean (nothing to
+/// re-pack); sparse models diff faulty vs clean bits; dense models mark
+/// everything (they rewrite every element, so a diff would find everything
+/// anyway).
+fn mark_dirty_f32(model: FaultModel, clean: &[f32], faulty: &[f32], dirty: &mut DirtyRows) {
+    if !model.is_active() {
+        return;
+    }
+    match model {
+        FaultModel::None => {}
+        FaultModel::StuckAt { .. } => {
+            diff_rows(clean, faulty, dirty, |a, b| a.to_bits() != b.to_bits())
+        }
+        _ => dirty.mark_all(),
+    }
+}
+
+/// Marks every row of `[rows, cols]` buffers where any element differs.
+fn diff_rows<T: Copy>(
+    clean: &[T],
+    faulty: &[T],
+    dirty: &mut DirtyRows,
+    differs: impl Fn(T, T) -> bool,
+) {
+    let rows = dirty.rows();
+    if rows == 0 {
+        return;
+    }
+    let cols = clean.len() / rows;
+    for row in 0..rows {
+        let base = row * cols;
+        let changed = (0..cols).any(|i| differs(clean[base + i], faulty[base + i]));
+        if changed {
+            dirty.mark(row);
+        }
+    }
 }
 
 /// Applies a [`FaultModel`] **directly to the i8 quantization codes** of a
@@ -439,6 +539,31 @@ impl CodeFaultInjector {
         });
         result
     }
+
+    /// Materializes one code-domain fault realization into the network's
+    /// plan-owned faulty code buffers, reporting touched row blocks — the
+    /// code-domain counterpart of [`WeightFaultInjector::realize_plan`],
+    /// with the same bit-identity guarantee against
+    /// [`CodeFaultInjector::inject`].
+    ///
+    /// In the code domain every model is diffed against the clean codes
+    /// (rounding frequently leaves codes unchanged even under dense noise),
+    /// so only rows with actually-changed codes trigger a panel re-pack.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the fault model is invalid.
+    pub fn realize_plan<L: Layer + ?Sized>(&self, network: &mut L, rng: &mut Rng) -> Result<()> {
+        self.model.validate()?;
+        let model = self.model;
+        network.visit_plan_codes(&mut |view| {
+            let mut stream = rng.fork(view.index as u64);
+            view.faulty.copy_from_slice(view.clean);
+            perturb_codes(view.faulty, view.bits, model, &mut stream);
+            diff_rows(view.clean, view.faulty, view.dirty, |a: i8, b: i8| a != b);
+        });
+        Ok(())
+    }
 }
 
 /// Applies a fault model to one slice of `bits`-bit codes, in place.
@@ -576,6 +701,34 @@ impl Layer for ActivationNoise {
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
         Ok(grad_output.clone())
+    }
+
+    fn plan_compile(&mut self, input: &PlanShape, arenas: &mut PlanArenas) -> Result<PlanShape> {
+        Ok(arenas.reserve_like(input))
+    }
+
+    fn plan_forward(
+        &mut self,
+        input: &PlanShape,
+        output: &PlanShape,
+        _ctx: PlanCtx,
+        arenas: &mut PlanArenas,
+    ) -> Result<()> {
+        let model = self.handle.current();
+        if !model.is_active() {
+            // The common planned case: the injection hook is dormant, so the
+            // node is a zero-alloc copy.
+            let [x, y] = arenas.f.many_mut([input.slot, output.slot]);
+            y.copy_from_slice(x);
+            return Ok(());
+        }
+        // Active pre-activation noise is stochastic by design (no
+        // reproducibility guarantee vs the direct path, exactly as with the
+        // layer's ordinary forward); route through the tensor path.
+        let x = Tensor::from_vec(arenas.f.slot(input.slot).to_vec(), &input.dims)?;
+        let y = model.perturb(&x, &mut self.rng)?;
+        arenas.f.slot_mut(output.slot).copy_from_slice(y.data());
+        Ok(())
     }
 
     fn name(&self) -> &'static str {

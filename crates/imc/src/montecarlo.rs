@@ -22,6 +22,7 @@ use crate::fault::FaultModel;
 use crate::injector::{CodeFaultInjector, WeightFaultInjector};
 use crate::Result;
 use invnorm_nn::layer::{Layer, Mode};
+use invnorm_nn::plan::Plan;
 use invnorm_nn::NnError;
 use invnorm_tensor::stats::RunningStats;
 use invnorm_tensor::{Rng, Tensor};
@@ -474,6 +475,197 @@ impl MonteCarloEngine {
         }
         debug_assert_eq!(per_run.len(), runs);
         Ok(MonteCarloSummary::from_runs(fault.label(), per_run))
+    }
+
+    /// Runs the simulation on **compiled inference plans**: each worker
+    /// builds its model once, compiles it into an `invnorm_nn::plan::Plan`
+    /// for the shape of `input` (one-shot shape inference, arena-backed
+    /// buffers, cached packed-weight panels), and then claims chip instances
+    /// exactly like [`MonteCarloEngine::run_parallel`]. Per instance, the
+    /// fault realization lands in the plan's faulty weight buffers (clean
+    /// weights are never touched — no snapshot/restore), **only the packed
+    /// panels covering dirty weight rows are re-packed**, and the forward
+    /// pass runs zero-alloc and pack-free over the arena.
+    ///
+    /// Chip instance `i` perturbs its weights with the same `(seed, i)`
+    /// derived streams as [`MonteCarloEngine::run`] and the planned forward
+    /// is bit-identical to the direct eval path, so per-run metrics are
+    /// **bit-identical** to `run`/`run_parallel` for every thread count and
+    /// all fault models (tested). What planning buys is throughput: the
+    /// direct path re-packs every weight operand and re-derives every shape
+    /// on every run; the plan amortizes all of that across the whole
+    /// simulation — for the paper's linear probe the weight-pack bound
+    /// disappears entirely.
+    ///
+    /// The network must be built from plan-capable layers (the dense, conv,
+    /// quantized, container, activation, pooling, reshape and norm layers);
+    /// a layer with fault-targetable weights but no plan support is rejected
+    /// loudly with `NnError::Unsupported`. Networks that are stochastic at
+    /// evaluation time are not reproducible against the sequential engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when compilation, injection, evaluation or the
+    /// metric fails, or when a metric is non-finite; with several failures,
+    /// the error of the lowest-indexed failing instance is returned.
+    pub fn run_planned<M, F, E>(
+        &self,
+        factory: F,
+        fault: FaultModel,
+        input: &Tensor,
+        metric: E,
+        threads: usize,
+    ) -> Result<MonteCarloSummary>
+    where
+        M: Layer + Send,
+        F: Fn() -> M + Sync,
+        E: Fn(&Tensor) -> Result<f32> + Sync,
+    {
+        self.run_planned_in(
+            BatchedDomain::Weights,
+            factory,
+            fault,
+            input,
+            metric,
+            threads,
+        )
+    }
+
+    /// The **quantized** counterpart of [`MonteCarloEngine::run_planned`]:
+    /// fault realizations land directly in each layer's plan-owned i8 code
+    /// buffers (via [`CodeFaultInjector`] streams), dirty code rows drive
+    /// the panel re-packing, and the planned forward stays in the integer
+    /// domain. Per-run metrics are bit-identical to
+    /// [`MonteCarloEngine::run_quantized`] evaluating
+    /// `metric(network.forward(input))`.
+    ///
+    /// # Errors
+    ///
+    /// See [`MonteCarloEngine::run_planned`].
+    pub fn run_planned_quantized<M, F, E>(
+        &self,
+        factory: F,
+        fault: FaultModel,
+        input: &Tensor,
+        metric: E,
+        threads: usize,
+    ) -> Result<MonteCarloSummary>
+    where
+        M: Layer + Send,
+        F: Fn() -> M + Sync,
+        E: Fn(&Tensor) -> Result<f32> + Sync,
+    {
+        self.run_planned_in(BatchedDomain::Codes, factory, fault, input, metric, threads)
+    }
+
+    fn run_planned_in<M, F, E>(
+        &self,
+        domain: BatchedDomain,
+        factory: F,
+        fault: FaultModel,
+        input: &Tensor,
+        metric: E,
+        threads: usize,
+    ) -> Result<MonteCarloSummary>
+    where
+        M: Layer + Send,
+        F: Fn() -> M + Sync,
+        E: Fn(&Tensor) -> Result<f32> + Sync,
+    {
+        fault.validate()?;
+        let runs = self.runs;
+        let seed = self.seed;
+        let threads = threads.clamp(1, runs);
+        let n_chunks = runs.div_ceil(Self::CHUNK);
+        let next_chunk = AtomicUsize::new(0);
+        let collected: Mutex<Vec<(usize, Result<f32>)>> = Mutex::new(Vec::with_capacity(runs));
+        rayon::scope(|s| {
+            for _ in 0..threads {
+                let next_chunk = &next_chunk;
+                let collected = &collected;
+                let factory = &factory;
+                let metric = &metric;
+                s.spawn(move || {
+                    let mut model = factory();
+                    // Compile lazily on the first claimed chunk so a
+                    // compilation failure is attributed to a concrete run.
+                    let mut plan: Option<Plan> = None;
+                    let mut local: Vec<(usize, Result<f32>)> = Vec::new();
+                    'steal: loop {
+                        let chunk = next_chunk.fetch_add(1, Ordering::Relaxed);
+                        if chunk >= n_chunks {
+                            break;
+                        }
+                        let start = chunk * Self::CHUNK;
+                        let end = (start + Self::CHUNK).min(runs);
+                        if plan.is_none() {
+                            match Plan::compile(&mut model, input) {
+                                Ok(p) => plan = Some(p),
+                                Err(e) => {
+                                    local.push((start, Err(e)));
+                                    break 'steal;
+                                }
+                            }
+                        }
+                        let plan = plan.as_mut().expect("plan compiled above");
+                        for run in start..end {
+                            local.push((
+                                run,
+                                Self::simulate_planned(
+                                    &mut model, plan, domain, fault, seed, run, metric,
+                                ),
+                            ));
+                        }
+                    }
+                    model.plan_end();
+                    collected
+                        .lock()
+                        .expect("monte-carlo result lock poisoned")
+                        .append(&mut local);
+                });
+            }
+        });
+        let mut collected = collected
+            .into_inner()
+            .expect("monte-carlo result lock poisoned");
+        collected.sort_by_key(|(run, _)| *run);
+        let mut per_run = Vec::with_capacity(runs);
+        for (run, metric) in collected {
+            let metric = metric?;
+            if !metric.is_finite() {
+                return Err(NnError::Config(format!(
+                    "evaluation returned a non-finite metric ({metric}) on run {run}"
+                )));
+            }
+            per_run.push(metric);
+        }
+        debug_assert_eq!(per_run.len(), runs);
+        Ok(MonteCarloSummary::from_runs(fault.label(), per_run))
+    }
+
+    /// Injects one realization into the plan's faulty buffers, runs the
+    /// planned forward and scores it — the inner step of the planned engine.
+    /// Depends only on `(seed, run)`, not on which thread executes it.
+    fn simulate_planned<M: Layer + ?Sized>(
+        model: &mut M,
+        plan: &mut Plan,
+        domain: BatchedDomain,
+        fault: FaultModel,
+        seed: u64,
+        run: usize,
+        metric: &impl Fn(&Tensor) -> Result<f32>,
+    ) -> Result<f32> {
+        let mut rng = Self::run_rng(seed, run);
+        match domain {
+            BatchedDomain::Weights => {
+                WeightFaultInjector::new(fault).realize_plan(model, &mut rng)?;
+            }
+            BatchedDomain::Codes => {
+                CodeFaultInjector::new(fault).realize_plan(model, &mut rng)?;
+            }
+        }
+        let out = plan.forward(model)?;
+        metric(out)
     }
 
     /// Injects, evaluates and scores one batch of chip instances (whose
@@ -1088,6 +1280,190 @@ mod tests {
                 assert!(identical, "{fault:?} batch={batch} threads={threads}");
             }
         }
+    }
+
+    #[test]
+    fn planned_is_bit_identical_to_sequential_for_all_fault_models() {
+        let x = Tensor::randn(&[6, 8], 0.0, 1.0, &mut Rng::seed_from(150));
+        let engine = MonteCarloEngine::new(10, 1234);
+        for fault in all_fault_models() {
+            let mut net = mlp_with_norm(151);
+            let xc = x.clone();
+            let sequential = engine
+                .run(&mut net, fault, |n| Ok(n.forward(&xc, Mode::Eval)?.sum()))
+                .unwrap();
+            for threads in [1usize, 4] {
+                let planned = engine
+                    .run_planned(
+                        || mlp_with_norm(151),
+                        fault,
+                        &x,
+                        |out| Ok(out.sum()),
+                        threads,
+                    )
+                    .unwrap();
+                assert_eq!(planned.runs(), sequential.runs());
+                let identical = sequential
+                    .per_run
+                    .iter()
+                    .zip(planned.per_run.iter())
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(
+                    identical,
+                    "{fault:?} threads={threads}: {:?} vs {:?}",
+                    sequential.per_run, planned.per_run
+                );
+                assert_eq!(planned.mean.to_bits(), sequential.mean.to_bits());
+                assert_eq!(planned.std.to_bits(), sequential.std.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn planned_cnn_and_residual_are_bit_identical_to_sequential() {
+        let x = Tensor::randn(&[3, 2, 8, 8], 0.0, 1.0, &mut Rng::seed_from(160));
+        let engine = MonteCarloEngine::new(9, 77);
+        for fault in [
+            FaultModel::AdditiveVariation { sigma: 0.2 },
+            FaultModel::StuckAt { rate: 0.1 },
+        ] {
+            let mut net = small_cnn(161);
+            let xc = x.clone();
+            let sequential = engine
+                .run(&mut net, fault, |n| {
+                    Ok(n.forward(&xc, Mode::Eval)?.abs().mean())
+                })
+                .unwrap();
+            for threads in [1usize, 4] {
+                let planned = engine
+                    .run_planned(
+                        || small_cnn(161),
+                        fault,
+                        &x,
+                        |out| Ok(out.abs().mean()),
+                        threads,
+                    )
+                    .unwrap();
+                let identical = sequential
+                    .per_run
+                    .iter()
+                    .zip(planned.per_run.iter())
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(identical, "{fault:?} threads={threads}");
+            }
+        }
+
+        // Residual block with projection-free skip + post activation.
+        use invnorm_nn::activation::Relu;
+        use invnorm_nn::Residual;
+        let build = |seed: u64| -> Sequential {
+            let mut rng = Rng::seed_from(seed);
+            let main = Sequential::new()
+                .with(Box::new(Linear::new(6, 6, &mut rng)))
+                .with(Box::new(Relu::new()));
+            Sequential::new()
+                .with(Box::new(
+                    Residual::new(main).with_post(Box::new(Relu::new())),
+                ))
+                .with(Box::new(Linear::new(6, 2, &mut rng)))
+        };
+        let x = Tensor::randn(&[4, 6], 0.0, 1.0, &mut Rng::seed_from(162));
+        let fault = FaultModel::AdditiveVariation { sigma: 0.25 };
+        let engine = MonteCarloEngine::new(8, 99);
+        let mut net = build(163);
+        let xc = x.clone();
+        let sequential = engine
+            .run(&mut net, fault, |n| Ok(n.forward(&xc, Mode::Eval)?.sum()))
+            .unwrap();
+        let planned = engine
+            .run_planned(|| build(163), fault, &x, |out| Ok(out.sum()), 2)
+            .unwrap();
+        let identical = sequential
+            .per_run
+            .iter()
+            .zip(planned.per_run.iter())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(identical, "residual planned diverged");
+    }
+
+    #[test]
+    fn planned_quantized_is_bit_identical_to_sequential_for_all_fault_models() {
+        let x = Tensor::randn(&[5, 12], 0.0, 1.0, &mut Rng::seed_from(170));
+        let engine = MonteCarloEngine::new(10, 4321);
+        for fault in all_fault_models() {
+            let mut net = quantized_net(171);
+            let xc = x.clone();
+            let sequential = engine
+                .run_quantized(&mut net, fault, |n| Ok(n.forward(&xc, Mode::Eval)?.sum()))
+                .unwrap();
+            for threads in [1usize, 4] {
+                let planned = engine
+                    .run_planned_quantized(
+                        || quantized_net(171),
+                        fault,
+                        &x,
+                        |out| Ok(out.sum()),
+                        threads,
+                    )
+                    .unwrap();
+                let identical = sequential
+                    .per_run
+                    .iter()
+                    .zip(planned.per_run.iter())
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(identical, "{fault:?} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn planned_rejects_unsupported_layers_loudly() {
+        use invnorm_nn::lstm::Lstm;
+        let build = || -> Sequential {
+            let mut rng = Rng::seed_from(180);
+            Sequential::new().with(Box::new(Lstm::new(4, 6, false, &mut rng)))
+        };
+        let x = Tensor::randn(&[2, 5, 4], 0.0, 1.0, &mut Rng::seed_from(181));
+        let engine = MonteCarloEngine::new(4, 7);
+        let err = engine
+            .run_planned(
+                build,
+                FaultModel::AdditiveVariation { sigma: 0.1 },
+                &x,
+                |out| Ok(out.sum()),
+                1,
+            )
+            .unwrap_err()
+            .to_string();
+        assert!(
+            err.contains("compiled plans") && err.contains("Lstm"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn planned_metric_errors_and_non_finite_metrics_are_reported() {
+        let engine = MonteCarloEngine::new(6, 5);
+        let x = Tensor::randn(&[4, 8], 0.0, 1.0, &mut Rng::seed_from(190));
+        let result = engine.run_planned(
+            || mlp_with_norm(191),
+            FaultModel::None,
+            &x,
+            |_out| Err(NnError::Config("boom".into())),
+            2,
+        );
+        assert!(result.is_err());
+        let err = engine
+            .run_planned(
+                || mlp_with_norm(191),
+                FaultModel::AdditiveVariation { sigma: 0.1 },
+                &x,
+                |_out| Ok(f32::NAN),
+                2,
+            )
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("on run 0"), "unexpected error: {err}");
     }
 
     #[test]

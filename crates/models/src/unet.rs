@@ -26,6 +26,7 @@ use invnorm_imc::injector::{ActivationNoise, NoiseHandle};
 use invnorm_nn::activation::Relu;
 use invnorm_nn::conv::Conv2d;
 use invnorm_nn::layer::{Layer, Mode, Param};
+use invnorm_nn::plan::{PlanArenas, PlanCodeView, PlanCtx, PlanParamView, PlanShape};
 use invnorm_nn::pool::MaxPool2d;
 use invnorm_nn::upsample::Upsample2d;
 use invnorm_nn::NnError;
@@ -76,6 +77,19 @@ pub struct MicroUNet {
     up: Upsample2d,
     reduce: Sequential,
     fuse: Sequential,
+    plan: Option<UNetPlan>,
+}
+
+/// Compiled-plan state: the output edge of every stage plus the additive
+/// skip-fusion edge.
+struct UNetPlan {
+    e1: PlanShape,
+    pooled: PlanShape,
+    e2: PlanShape,
+    upsampled: PlanShape,
+    decoded: PlanShape,
+    fused: PlanShape,
+    out: PlanShape,
 }
 
 impl std::fmt::Debug for MicroUNet {
@@ -158,6 +172,7 @@ pub fn build(config: &MicroUNetConfig, variant: NormVariant) -> Result<BuiltMode
         up: Upsample2d::new(2),
         reduce,
         fuse,
+        plan: None,
     };
 
     Ok(BuiltModel {
@@ -212,6 +227,129 @@ impl Layer for MicroUNet {
         self.enc2.visit_params(visitor);
         self.reduce.visit_params(visitor);
         self.fuse.visit_params(visitor);
+    }
+
+    fn plan_compile(&mut self, input: &PlanShape, arenas: &mut PlanArenas) -> Result<PlanShape> {
+        let d = &input.dims;
+        if d.len() != 4 || d[1] != 1 {
+            return Err(NnError::Config(format!(
+                "MicroUNet expects [N, 1, H, W], got {d:?}"
+            )));
+        }
+        if !d[2].is_multiple_of(2) || !d[3].is_multiple_of(2) {
+            return Err(NnError::Config(
+                "MicroUNet needs even spatial dimensions".into(),
+            ));
+        }
+        let e1 = self.enc1.plan_compile(input, arenas)?;
+        let pooled = self.pool.plan_compile(&e1, arenas)?;
+        let e2 = self.enc2.plan_compile(&pooled, arenas)?;
+        let upsampled = self.up.plan_compile(&e2, arenas)?;
+        let decoded = self.reduce.plan_compile(&upsampled, arenas)?;
+        if decoded.dims != e1.dims {
+            return Err(NnError::Config(format!(
+                "decoder output {:?} does not match skip {:?}",
+                decoded.dims, e1.dims
+            )));
+        }
+        let fused = arenas.reserve_like(&decoded);
+        let out = self.fuse.plan_compile(&fused, arenas)?;
+        let shape = out.clone();
+        self.plan = Some(UNetPlan {
+            e1,
+            pooled,
+            e2,
+            upsampled,
+            decoded,
+            fused,
+            out,
+        });
+        Ok(shape)
+    }
+
+    fn plan_forward(
+        &mut self,
+        input: &PlanShape,
+        _output: &PlanShape,
+        ctx: PlanCtx,
+        arenas: &mut PlanArenas,
+    ) -> Result<()> {
+        let state = self.plan.take().ok_or_else(|| {
+            NnError::Config("MicroUNet::plan_forward called without plan_compile".into())
+        })?;
+        let mut run = || -> Result<()> {
+            self.enc1
+                .plan_forward(input, &state.e1, ctx.child(true), arenas)?;
+            self.pool
+                .plan_forward(&state.e1, &state.pooled, ctx.child(false), arenas)?;
+            self.enc2
+                .plan_forward(&state.pooled, &state.e2, ctx.child(false), arenas)?;
+            self.up
+                .plan_forward(&state.e2, &state.upsampled, ctx.child(false), arenas)?;
+            self.reduce
+                .plan_forward(&state.upsampled, &state.decoded, ctx.child(false), arenas)?;
+            // Additive skip fusion in `Tensor::add` order.
+            let [a, b, s] =
+                arenas
+                    .f
+                    .many_mut([state.decoded.slot, state.e1.slot, state.fused.slot]);
+            for ((d, &x), &y) in s.iter_mut().zip(a.iter()).zip(b.iter()) {
+                *d = x + y;
+            }
+            self.fuse
+                .plan_forward(&state.fused, &state.out, ctx.child(false), arenas)
+        };
+        let result = run();
+        self.plan = Some(state);
+        result
+    }
+
+    fn plan_end(&mut self) {
+        self.plan = None;
+        self.enc1.plan_end();
+        self.pool.plan_end();
+        self.enc2.plan_end();
+        self.up.plan_end();
+        self.reduce.plan_end();
+        self.fuse.plan_end();
+    }
+
+    fn visit_plan_params(&mut self, visitor: &mut dyn FnMut(PlanParamView<'_>)) {
+        // Stage order and index re-basing mirror `visit_params` (the pool
+        // and upsample stages hold no parameters).
+        let mut base = 0usize;
+        let stage =
+            |layer: &mut Sequential, base: &mut usize, v: &mut dyn FnMut(PlanParamView<'_>)| {
+                layer.visit_plan_params(&mut |mut view| {
+                    view.index += *base;
+                    v(view);
+                });
+                let mut params = 0usize;
+                layer.visit_params(&mut |_| params += 1);
+                *base += params;
+            };
+        stage(&mut self.enc1, &mut base, visitor);
+        stage(&mut self.enc2, &mut base, visitor);
+        stage(&mut self.reduce, &mut base, visitor);
+        stage(&mut self.fuse, &mut base, visitor);
+    }
+
+    fn visit_plan_codes(&mut self, visitor: &mut dyn FnMut(PlanCodeView<'_>)) {
+        let mut base = 0usize;
+        let stage =
+            |layer: &mut Sequential, base: &mut usize, v: &mut dyn FnMut(PlanCodeView<'_>)| {
+                layer.visit_plan_codes(&mut |mut view| {
+                    view.index += *base;
+                    v(view);
+                });
+                let mut codes = 0usize;
+                layer.visit_codes(&mut |_| codes += 1);
+                *base += codes;
+            };
+        stage(&mut self.enc1, &mut base, visitor);
+        stage(&mut self.enc2, &mut base, visitor);
+        stage(&mut self.reduce, &mut base, visitor);
+        stage(&mut self.fuse, &mut base, visitor);
     }
 
     fn name(&self) -> &'static str {

@@ -6,8 +6,11 @@ use invnorm_core::inverted_norm::{InvNormConfig, InvertedNorm};
 use invnorm_imc::injector::{ActivationNoise, NoiseHandle};
 use invnorm_nn::activation::{Relu, SignSte};
 use invnorm_nn::dropout::{Dropout, SpatialDropout};
-use invnorm_nn::layer::{BoxedLayer, Layer, Mode, Param};
+use invnorm_nn::layer::{
+    BatchedCodeView, BatchedParamView, BoxedLayer, CodeView, Layer, Mode, Param,
+};
 use invnorm_nn::norm::BatchNorm;
+use invnorm_nn::plan::{PlanArenas, PlanCodeView, PlanCtx, PlanParamView, PlanShape};
 use invnorm_quant::QuantConfig;
 use invnorm_tensor::{Rng, Tensor};
 use serde::{Deserialize, Serialize};
@@ -171,6 +174,62 @@ impl Layer for BuiltModel {
 
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
         self.network.visit_params(visitor);
+    }
+
+    fn visit_codes(&mut self, visitor: &mut dyn FnMut(CodeView<'_>)) {
+        self.network.visit_codes(visitor);
+    }
+
+    fn begin_batched(&mut self, batch: usize) -> Result<()> {
+        self.network.begin_batched(batch)
+    }
+
+    fn end_batched(&mut self) {
+        self.network.end_batched();
+    }
+
+    fn visit_batched(&mut self, visitor: &mut dyn FnMut(BatchedParamView<'_>)) {
+        self.network.visit_batched(visitor);
+    }
+
+    fn visit_batched_codes(&mut self, visitor: &mut dyn FnMut(BatchedCodeView<'_>)) {
+        self.network.visit_batched_codes(visitor);
+    }
+
+    fn forward_batched(
+        &mut self,
+        input: &Tensor,
+        shared: bool,
+        batch: usize,
+        mode: Mode,
+    ) -> Result<(Tensor, bool)> {
+        self.network.forward_batched(input, shared, batch, mode)
+    }
+
+    fn plan_compile(&mut self, input: &PlanShape, arenas: &mut PlanArenas) -> Result<PlanShape> {
+        self.network.plan_compile(input, arenas)
+    }
+
+    fn plan_forward(
+        &mut self,
+        input: &PlanShape,
+        output: &PlanShape,
+        ctx: PlanCtx,
+        arenas: &mut PlanArenas,
+    ) -> Result<()> {
+        self.network.plan_forward(input, output, ctx, arenas)
+    }
+
+    fn plan_end(&mut self) {
+        self.network.plan_end();
+    }
+
+    fn visit_plan_params(&mut self, visitor: &mut dyn FnMut(PlanParamView<'_>)) {
+        self.network.visit_plan_params(visitor);
+    }
+
+    fn visit_plan_codes(&mut self, visitor: &mut dyn FnMut(PlanCodeView<'_>)) {
+        self.network.visit_plan_codes(visitor);
     }
 
     fn name(&self) -> &'static str {

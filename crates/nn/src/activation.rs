@@ -7,8 +7,49 @@
 
 use crate::error::NnError;
 use crate::layer::{Layer, Mode};
+use crate::plan::{PlanArenas, PlanCtx, PlanShape};
 use crate::Result;
 use invnorm_tensor::Tensor;
+
+/// Shared planned-execution body for element-wise activations: apply `f`
+/// from the input edge to the output edge, zero-alloc, in the same element
+/// order as the tensor `map` the direct path uses (bit-identical results).
+fn plan_elementwise(
+    input: &PlanShape,
+    output: &PlanShape,
+    arenas: &mut PlanArenas,
+    f: impl Fn(f32) -> f32,
+) -> Result<()> {
+    let [x, y] = arenas.f.many_mut([input.slot, output.slot]);
+    for (d, &s) in y.iter_mut().zip(x.iter()) {
+        *d = f(s);
+    }
+    Ok(())
+}
+
+/// Implements the plan protocol for an element-wise activation: the output
+/// edge mirrors the input dims and the forward applies the given scalar map.
+macro_rules! planned_elementwise {
+    ($f:expr) => {
+        fn plan_compile(
+            &mut self,
+            input: &PlanShape,
+            arenas: &mut PlanArenas,
+        ) -> Result<PlanShape> {
+            Ok(arenas.reserve_like(input))
+        }
+
+        fn plan_forward(
+            &mut self,
+            input: &PlanShape,
+            output: &PlanShape,
+            _ctx: PlanCtx,
+            arenas: &mut PlanArenas,
+        ) -> Result<()> {
+            plan_elementwise(input, output, arenas, $f)
+        }
+    };
+}
 
 /// Rectified linear unit, `max(0, x)`.
 #[derive(Debug, Default)]
@@ -47,6 +88,8 @@ impl Layer for Relu {
         }
         Ok(out)
     }
+
+    planned_elementwise!(|x: f32| x.max(0.0));
 
     fn name(&self) -> &'static str {
         "Relu"
@@ -89,6 +132,32 @@ impl Layer for LeakyRelu {
         Ok(out)
     }
 
+    fn plan_compile(&mut self, input: &PlanShape, arenas: &mut PlanArenas) -> Result<PlanShape> {
+        Ok(arenas.reserve_like(input))
+    }
+
+    fn plan_forward(
+        &mut self,
+        input: &PlanShape,
+        output: &PlanShape,
+        _ctx: PlanCtx,
+        arenas: &mut PlanArenas,
+    ) -> Result<()> {
+        let slope = self.slope;
+        plan_elementwise(
+            input,
+            output,
+            arenas,
+            |x| {
+                if x > 0.0 {
+                    x
+                } else {
+                    slope * x
+                }
+            },
+        )
+    }
+
     fn name(&self) -> &'static str {
         "LeakyRelu"
     }
@@ -121,6 +190,8 @@ impl Layer for Tanh {
             .ok_or(NnError::BackwardBeforeForward("Tanh"))?;
         Ok(grad_output.zip_map(y, |g, y| g * (1.0 - y * y))?)
     }
+
+    planned_elementwise!(f32::tanh);
 
     fn name(&self) -> &'static str {
         "Tanh"
@@ -160,6 +231,8 @@ impl Layer for Sigmoid {
         Ok(grad_output.zip_map(y, |g, y| g * y * (1.0 - y))?)
     }
 
+    planned_elementwise!(sigmoid);
+
     fn name(&self) -> &'static str {
         "Sigmoid"
     }
@@ -198,6 +271,8 @@ impl Layer for Hardtanh {
         }
         Ok(out)
     }
+
+    planned_elementwise!(|x: f32| x.clamp(-1.0, 1.0));
 
     fn name(&self) -> &'static str {
         "Hardtanh"
@@ -244,6 +319,8 @@ impl Layer for SignSte {
         }
         Ok(out)
     }
+
+    planned_elementwise!(|x: f32| if x >= 0.0 { 1.0 } else { -1.0 });
 
     fn name(&self) -> &'static str {
         "SignSte"

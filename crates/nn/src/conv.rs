@@ -3,10 +3,11 @@
 
 use crate::error::NnError;
 use crate::layer::{BatchedParam, BatchedParamView, Layer, Mode, Param};
+use crate::plan::{PlanArenas, PlanCtx, PlanParamView, PlanShape, PlannedWeight};
 use crate::Result;
-use invnorm_tensor::conv::{self, Conv2dSpec};
-use invnorm_tensor::gemm::PackedA;
-use invnorm_tensor::{Rng, Scratch, Tensor};
+use invnorm_tensor::conv::{self, conv_out_shape, Conv2dSpec};
+use invnorm_tensor::gemm::{gemm_prepacked_ab, gemm_prepacked_b, PackedA};
+use invnorm_tensor::{ArenaSlot, Rng, Scratch, Tensor};
 
 /// 2-D convolution layer over `[N, C, H, W]` activations.
 ///
@@ -28,6 +29,21 @@ pub struct Conv2d {
     cached_input_dims: Option<Vec<usize>>,
     scratch: Scratch,
     batched: Option<Conv2dBatched>,
+    plan: Option<Conv2dPlan>,
+}
+
+/// Compiled-plan state: arena slots for the im2col patch matrix and the
+/// GEMM staging buffer, the cached packed kernel operand with realization
+/// bookkeeping, and the cached packed patch panel for frozen
+/// (run-invariant) inputs.
+#[derive(Debug)]
+struct Conv2dPlan {
+    cols: ArenaSlot,
+    om: ArenaSlot,
+    weight: PlannedWeight,
+    packed_a: PackedA,
+    a_gen: u64,
+    plan_scratch: Scratch,
 }
 
 /// Batched-eval state: stacked kernel realizations plus the reusable packed
@@ -90,6 +106,7 @@ impl Conv2d {
             cached_input_dims: None,
             scratch: Scratch::new(),
             batched: None,
+            plan: None,
         }
     }
 
@@ -250,6 +267,91 @@ impl Layer for Conv2d {
         Ok((out, false))
     }
 
+    fn plan_compile(&mut self, input: &PlanShape, arenas: &mut PlanArenas) -> Result<PlanShape> {
+        if input.dims.len() != 4 || input.dims[1] != self.in_channels {
+            return Err(NnError::Config(format!(
+                "Conv2d expects [N, {}, H, W], got {:?}",
+                self.in_channels, input.dims
+            )));
+        }
+        let shape = conv_out_shape(&input.dims, &self.spec)?;
+        let oc = self.out_channels;
+        self.plan = Some(Conv2dPlan {
+            cols: arenas.f.reserve(shape.rows * shape.patch),
+            om: arenas.f.reserve(shape.rows * oc),
+            weight: PlannedWeight::pack(self.weight.value.data(), shape.patch, oc),
+            packed_a: PackedA::new(),
+            a_gen: 0,
+            plan_scratch: Scratch::new(),
+        });
+        Ok(PlanShape {
+            slot: arenas.f.reserve(shape.output_dims(oc).iter().product()),
+            dims: shape.output_dims(oc).to_vec(),
+        })
+    }
+
+    fn plan_forward(
+        &mut self,
+        input: &PlanShape,
+        output: &PlanShape,
+        ctx: PlanCtx,
+        arenas: &mut PlanArenas,
+    ) -> Result<()> {
+        let state = self.plan.as_mut().ok_or_else(|| {
+            NnError::Config("Conv2d::plan_forward called without plan_compile".into())
+        })?;
+        let shape = conv_out_shape(&input.dims, &self.spec)?;
+        let oc = self.out_channels;
+        // Bring the cached packed operand up to date with this realization
+        // (dirty-row re-packing / uniform-scale fast path).
+        let packed_w = state.weight.refresh();
+        let [x, cols, om, out] = arenas
+            .f
+            .many_mut([input.slot, state.cols, state.om, output.slot]);
+        if ctx.frozen {
+            // Frozen plan input: unfold + pack the patch panel once per
+            // `load_input`, then reuse it for every realization.
+            if state.a_gen != ctx.input_gen {
+                conv::im2col_slice_into(x, &input.dims, &self.spec, cols)?;
+                state.packed_a.pack(false, cols, shape.rows, shape.patch);
+                state.a_gen = ctx.input_gen;
+            }
+            gemm_prepacked_ab(&state.packed_a, packed_w, 1.0, 0.0, om);
+        } else {
+            conv::im2col_slice_into(x, &input.dims, &self.spec, cols)?;
+            gemm_prepacked_b(
+                false,
+                shape.rows,
+                1.0,
+                cols,
+                packed_w,
+                0.0,
+                om,
+                &mut state.plan_scratch,
+            );
+        }
+        conv::relayout_nchw_into(
+            om,
+            self.bias.as_ref().map(|b| &b.value),
+            shape.n,
+            oc,
+            shape.oh,
+            shape.ow,
+            out,
+        );
+        Ok(())
+    }
+
+    fn plan_end(&mut self) {
+        self.plan = None;
+    }
+
+    fn visit_plan_params(&mut self, visitor: &mut dyn FnMut(PlanParamView<'_>)) {
+        if let Some(state) = &mut self.plan {
+            visitor(state.weight.view(0, &self.weight.value));
+        }
+    }
+
     fn name(&self) -> &'static str {
         "Conv2d"
     }
@@ -261,6 +363,15 @@ impl Layer for Conv2d {
 pub struct Conv1d {
     inner: Conv2d,
     pad_width: usize,
+    plan: Option<Conv1dPlan>,
+}
+
+/// Compiled-plan state: the lifted, padded input edge feeding the inner 2-D
+/// convolution, and the inner convolution's output edge.
+#[derive(Debug)]
+struct Conv1dPlan {
+    padded: PlanShape,
+    inner_out: PlanShape,
 }
 
 impl Conv1d {
@@ -305,6 +416,7 @@ impl Conv1d {
         Self {
             inner,
             pad_width: pad,
+            plan: None,
         }
     }
 
@@ -386,6 +498,66 @@ impl Layer for Conv1d {
 
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
         self.inner.visit_params(visitor);
+    }
+
+    fn plan_compile(&mut self, input: &PlanShape, arenas: &mut PlanArenas) -> Result<PlanShape> {
+        if input.dims.len() != 3 {
+            return Err(NnError::Config(format!(
+                "Conv1d expects [N, C, L], got {:?}",
+                input.dims
+            )));
+        }
+        let (n, c, l) = (input.dims[0], input.dims[1], input.dims[2]);
+        let padded_l = l + 2 * self.pad_width;
+        // The padded, lifted `[N, C, 1, L']` edge feeding the inner conv.
+        // Padding positions stay at the arena's zero initialization forever;
+        // forwards only rewrite the interior.
+        let padded = PlanShape {
+            slot: arenas.f.reserve(n * c * padded_l),
+            dims: vec![n, c, 1, padded_l],
+        };
+        let inner_out = self.inner.plan_compile(&padded, arenas)?;
+        let d = inner_out.dims.clone();
+        let squeezed = PlanShape {
+            slot: inner_out.slot,
+            dims: vec![d[0], d[1], d[3]],
+        };
+        self.plan = Some(Conv1dPlan { padded, inner_out });
+        Ok(squeezed)
+    }
+
+    fn plan_forward(
+        &mut self,
+        input: &PlanShape,
+        _output: &PlanShape,
+        ctx: PlanCtx,
+        arenas: &mut PlanArenas,
+    ) -> Result<()> {
+        let state = self.plan.as_ref().ok_or_else(|| {
+            NnError::Config("Conv1d::plan_forward called without plan_compile".into())
+        })?;
+        let (n, c, l) = (input.dims[0], input.dims[1], input.dims[2]);
+        let padded_l = l + 2 * self.pad_width;
+        {
+            let [x, padded_buf] = arenas.f.many_mut([input.slot, state.padded.slot]);
+            for nc in 0..n * c {
+                padded_buf[nc * padded_l + self.pad_width..][..l]
+                    .copy_from_slice(&x[nc * l..(nc + 1) * l]);
+            }
+        }
+        // The padded edge is a pure copy of the plan input, so the frozen
+        // property carries through to the inner convolution's caches.
+        self.inner
+            .plan_forward(&state.padded, &state.inner_out, ctx, arenas)
+    }
+
+    fn plan_end(&mut self) {
+        self.plan = None;
+        self.inner.plan_end();
+    }
+
+    fn visit_plan_params(&mut self, visitor: &mut dyn FnMut(PlanParamView<'_>)) {
+        self.inner.visit_plan_params(visitor);
     }
 
     fn name(&self) -> &'static str {

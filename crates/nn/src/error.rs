@@ -19,6 +19,23 @@ pub enum NnError {
         /// Number of targets.
         targets: usize,
     },
+    /// A layer was asked to perform an operation it does not implement
+    /// (batched evaluation, compiled plans, backward on an inference-only
+    /// layer, ...). Replaces the scattered ad-hoc `Config` messages so every
+    /// "unsupported" failure names the layer and the operation uniformly.
+    Unsupported {
+        /// Human-readable layer name (from [`crate::Layer::name`]).
+        layer: &'static str,
+        /// The unsupported operation, e.g. `"batched evaluation"`.
+        op: &'static str,
+    },
+}
+
+impl NnError {
+    /// Convenience constructor for [`NnError::Unsupported`].
+    pub fn unsupported(layer: &'static str, op: &'static str) -> Self {
+        NnError::Unsupported { layer, op }
+    }
 }
 
 impl fmt::Display for NnError {
@@ -36,6 +53,9 @@ impl fmt::Display for NnError {
                 f,
                 "loss received {predictions} predictions but {targets} targets"
             ),
+            NnError::Unsupported { layer, op } => {
+                write!(f, "layer {layer} does not support {op}")
+            }
         }
     }
 }
@@ -68,6 +88,11 @@ mod tests {
         assert!(NnError::BackwardBeforeForward("Linear")
             .to_string()
             .contains("Linear"));
+        let e = NnError::unsupported("Lstm", "batched evaluation");
+        assert_eq!(
+            e.to_string(),
+            "layer Lstm does not support batched evaluation"
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The [`Layer`] trait, learnable [`Param`] storage and execution [`Mode`].
 
 use crate::error::NnError;
+use crate::plan::{self, PlanArenas, PlanCodeView, PlanCtx, PlanParamView, PlanShape};
 use crate::Result;
 use invnorm_tensor::Tensor;
 
@@ -289,10 +290,7 @@ pub trait Layer {
         self.visit_params(&mut |p| needs_support |= p.value.rank() >= 2);
         self.visit_codes(&mut |_| needs_support = true);
         if needs_support {
-            return Err(NnError::Config(format!(
-                "{} does not support batched evaluation",
-                self.name()
-            )));
+            return Err(NnError::unsupported(self.name(), "batched evaluation"));
         }
         Ok(())
     }
@@ -340,6 +338,64 @@ pub trait Layer {
     ) -> Result<(Tensor, bool)> {
         let _ = batch;
         Ok((self.forward(input, mode)?, shared))
+    }
+
+    /// Compiles this layer into an inference plan for a concrete input
+    /// shape: records shapes, reserves arena buffers, and packs weights into
+    /// cached panels. Returns the output edge (see [`crate::plan`]).
+    ///
+    /// The default implementation is the *fallback* protocol for layers
+    /// without fault-targetable state: it discovers the output shape by
+    /// forwarding zeros once and reserves an output slot;
+    /// [`Layer::plan_forward`]'s default then routes through `forward`.
+    /// Layers with rank ≥ 2 parameters or quantization codes must override
+    /// the protocol — the default rejects them with
+    /// [`NnError::Unsupported`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the layer cannot be planned or the input shape
+    /// is incompatible.
+    fn plan_compile(&mut self, input: &PlanShape, arenas: &mut PlanArenas) -> Result<PlanShape> {
+        plan::fallback_compile(self, input, arenas)
+    }
+
+    /// Executes this layer's node of a compiled plan: reads the input slot,
+    /// writes the output slot reserved by [`Layer::plan_compile`]. Planned
+    /// layers run zero-alloc on arena buffers; the default fallback routes
+    /// through `forward` (correct for weightless layers, at the cost of the
+    /// allocations `forward` makes).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when called without a prior [`Layer::plan_compile`]
+    /// or on a shape mismatch.
+    fn plan_forward(
+        &mut self,
+        input: &PlanShape,
+        output: &PlanShape,
+        ctx: PlanCtx,
+        arenas: &mut PlanArenas,
+    ) -> Result<()> {
+        let _ = ctx;
+        plan::fallback_forward(self, input, output, arenas)
+    }
+
+    /// Releases any state installed by [`Layer::plan_compile`]. Containers
+    /// recurse.
+    fn plan_end(&mut self) {}
+
+    /// Visits every fault-targetable (rank ≥ 2) parameter's plan state
+    /// (clean value, faulty buffer, dirty-row set). Only meaningful between
+    /// [`Layer::plan_compile`] and [`Layer::plan_end`].
+    fn visit_plan_params(&mut self, visitor: &mut dyn FnMut(PlanParamView<'_>)) {
+        let _ = visitor;
+    }
+
+    /// Visits every quantized parameter's plan state — the code-domain
+    /// analogue of [`Layer::visit_plan_params`].
+    fn visit_plan_codes(&mut self, visitor: &mut dyn FnMut(PlanCodeView<'_>)) {
+        let _ = visitor;
     }
 
     /// Human-readable layer name for diagnostics.

@@ -17,6 +17,9 @@
 //!   ([`quantized::QuantizedLinear`], [`quantized::QuantizedConv2d`]) whose
 //!   i8 weight codes feed the blocked i8 GEMM and are exposed to code-domain
 //!   fault injection via [`Layer::visit_codes`].
+//! * [`plan`] — compiled inference plans: one-shot shape inference,
+//!   arena-backed buffers and cached packed-weight panels with dirty-row
+//!   re-packing, driven by the Monte-Carlo engine's planned execution paths.
 //! * [`sequential`] — [`Sequential`] container plus the [`Residual`]
 //!   combinator used by the residual CNN topology.
 //! * [`loss`] — cross-entropy, mean-squared-error and binary-cross-entropy
@@ -57,6 +60,7 @@ pub mod lstm;
 pub mod metrics;
 pub mod norm;
 pub mod optim;
+pub mod plan;
 pub mod pool;
 pub mod quantized;
 pub mod reshape;
@@ -66,6 +70,7 @@ pub mod upsample;
 
 pub use error::NnError;
 pub use layer::{CodeView, Layer, Mode, Param};
+pub use plan::Plan;
 pub use quantized::{QuantizedConv2d, QuantizedLinear};
 pub use sequential::{Residual, Sequential};
 

@@ -15,6 +15,7 @@
 
 use crate::error::NnError;
 use crate::layer::{Layer, Mode, Param};
+use crate::plan::{PlanArenas, PlanCtx, PlanShape};
 use crate::Result;
 use invnorm_tensor::Tensor;
 
@@ -23,7 +24,11 @@ pub const NORM_EPS: f32 = 1e-5;
 
 /// Views an activation tensor as `[N, C, S]`, returning `(n, c, s)`.
 fn ncs_dims(input: &Tensor) -> Result<(usize, usize, usize)> {
-    let d = input.dims();
+    ncs_of(input.dims())
+}
+
+/// [`ncs_dims`] over raw dims (shared with the planned execution path).
+fn ncs_of(d: &[usize]) -> Result<(usize, usize, usize)> {
     match d.len() {
         2 => Ok((d[0], d[1], 1)),
         3 => Ok((d[0], d[1], d[2])),
@@ -189,6 +194,45 @@ impl Layer for BatchNorm {
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
         visitor(&mut self.gamma);
         visitor(&mut self.beta);
+    }
+
+    fn plan_compile(&mut self, input: &PlanShape, arenas: &mut PlanArenas) -> Result<PlanShape> {
+        let (_, c, _) = ncs_of(&input.dims)?;
+        if c != self.channels {
+            return Err(NnError::Config(format!(
+                "BatchNorm configured for {} channels, input has {c}",
+                self.channels
+            )));
+        }
+        Ok(arenas.reserve_like(input))
+    }
+
+    fn plan_forward(
+        &mut self,
+        input: &PlanShape,
+        output: &PlanShape,
+        _ctx: PlanCtx,
+        arenas: &mut PlanArenas,
+    ) -> Result<()> {
+        // Evaluation-mode normalization from the running statistics, in the
+        // exact arithmetic order of `forward` (bit-identical results).
+        let (n, c, s) = ncs_of(&input.dims)?;
+        let [data, out] = arenas.f.many_mut([input.slot, output.slot]);
+        for ci in 0..c {
+            let mean = self.running_mean.data()[ci];
+            let var = self.running_var.data()[ci];
+            let inv_std = 1.0 / (var + NORM_EPS).sqrt();
+            let g = self.gamma.value.data()[ci];
+            let b = self.beta.value.data()[ci];
+            for ni in 0..n {
+                let base = (ni * c + ci) * s;
+                for i in 0..s {
+                    let xh = (data[base + i] - mean) * inv_std;
+                    out[base + i] = g * xh + b;
+                }
+            }
+        }
+        Ok(())
     }
 
     fn name(&self) -> &'static str {
@@ -385,6 +429,64 @@ impl Layer for GroupNorm {
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
         visitor(&mut self.gamma);
         visitor(&mut self.beta);
+    }
+
+    fn plan_compile(&mut self, input: &PlanShape, arenas: &mut PlanArenas) -> Result<PlanShape> {
+        let (_, c, _) = ncs_of(&input.dims)?;
+        if c != self.channels {
+            return Err(NnError::Config(format!(
+                "GroupNorm configured for {} channels, input has {c}",
+                self.channels
+            )));
+        }
+        Ok(arenas.reserve_like(input))
+    }
+
+    fn plan_forward(
+        &mut self,
+        input: &PlanShape,
+        output: &PlanShape,
+        _ctx: PlanCtx,
+        arenas: &mut PlanArenas,
+    ) -> Result<()> {
+        // Per-(sample, group) statistics in the exact accumulation order of
+        // `forward` (bit-identical results); no backward cache is retained.
+        let (n, c, s) = ncs_of(&input.dims)?;
+        let cpg = c / self.groups;
+        let group_count = (cpg * s) as f32;
+        let [data, out] = arenas.f.many_mut([input.slot, output.slot]);
+        for ni in 0..n {
+            for gi in 0..self.groups {
+                let mut mean = 0.0f32;
+                for cc in 0..cpg {
+                    let base = (ni * c + gi * cpg + cc) * s;
+                    for i in 0..s {
+                        mean += data[base + i];
+                    }
+                }
+                mean /= group_count;
+                let mut var = 0.0f32;
+                for cc in 0..cpg {
+                    let base = (ni * c + gi * cpg + cc) * s;
+                    for i in 0..s {
+                        var += (data[base + i] - mean).powi(2);
+                    }
+                }
+                var /= group_count;
+                let inv_std = 1.0 / (var + NORM_EPS).sqrt();
+                for cc in 0..cpg {
+                    let ci = gi * cpg + cc;
+                    let g = self.gamma.value.data()[ci];
+                    let b = self.beta.value.data()[ci];
+                    let base = (ni * c + ci) * s;
+                    for i in 0..s {
+                        let xh = (data[base + i] - mean) * inv_std;
+                        out[base + i] = g * xh + b;
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     fn name(&self) -> &'static str {

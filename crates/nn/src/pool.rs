@@ -2,6 +2,7 @@
 
 use crate::error::NnError;
 use crate::layer::{Layer, Mode};
+use crate::plan::{PlanArenas, PlanCtx, PlanShape};
 use crate::Result;
 use invnorm_tensor::pool::{self, Pool2dSpec};
 use invnorm_tensor::Tensor;
@@ -43,6 +44,32 @@ impl Layer for MaxPool2d {
             .as_ref()
             .ok_or(NnError::BackwardBeforeForward("MaxPool2d"))?;
         Ok(pool::maxpool2d_backward(grad_output, argmax, dims)?)
+    }
+
+    fn plan_compile(&mut self, input: &PlanShape, arenas: &mut PlanArenas) -> Result<PlanShape> {
+        if input.dims.len() != 4 {
+            return Err(NnError::Config(format!(
+                "MaxPool2d expects [N, C, H, W], got {:?}",
+                input.dims
+            )));
+        }
+        let (n, c) = (input.dims[0], input.dims[1]);
+        let (oh, ow) = self.spec.output_hw(input.dims[2], input.dims[3])?;
+        Ok(PlanShape {
+            slot: arenas.f.reserve(n * c * oh * ow),
+            dims: vec![n, c, oh, ow],
+        })
+    }
+
+    fn plan_forward(
+        &mut self,
+        input: &PlanShape,
+        output: &PlanShape,
+        _ctx: PlanCtx,
+        arenas: &mut PlanArenas,
+    ) -> Result<()> {
+        let [x, y] = arenas.f.many_mut([input.slot, output.slot]);
+        Ok(pool::maxpool2d_eval_into(x, &input.dims, &self.spec, y)?)
     }
 
     fn name(&self) -> &'static str {
@@ -134,6 +161,53 @@ impl Layer for MaxPool1d {
         Ok(grad_input)
     }
 
+    fn plan_compile(&mut self, input: &PlanShape, arenas: &mut PlanArenas) -> Result<PlanShape> {
+        if input.dims.len() != 3 {
+            return Err(NnError::Config(format!(
+                "MaxPool1d expects [N, C, L], got {:?}",
+                input.dims
+            )));
+        }
+        let (n, c, l) = (input.dims[0], input.dims[1], input.dims[2]);
+        if l % self.kernel != 0 {
+            return Err(NnError::Config(format!(
+                "MaxPool1d kernel {} must divide length {l}",
+                self.kernel
+            )));
+        }
+        Ok(PlanShape {
+            slot: arenas.f.reserve(n * c * (l / self.kernel)),
+            dims: vec![n, c, l / self.kernel],
+        })
+    }
+
+    fn plan_forward(
+        &mut self,
+        input: &PlanShape,
+        output: &PlanShape,
+        _ctx: PlanCtx,
+        arenas: &mut PlanArenas,
+    ) -> Result<()> {
+        let (n, c, l) = (input.dims[0], input.dims[1], input.dims[2]);
+        let out_l = l / self.kernel;
+        let [x, y] = arenas.f.many_mut([input.slot, output.slot]);
+        // Same max-selection order as `forward`, so results are
+        // bit-identical; no argmax is recorded (plans are inference-only).
+        for nc in 0..n * c {
+            for o in 0..out_l {
+                let mut best = f32::NEG_INFINITY;
+                for k in 0..self.kernel {
+                    let v = x[nc * l + o * self.kernel + k];
+                    if v > best {
+                        best = v;
+                    }
+                }
+                y[nc * out_l + o] = best;
+            }
+        }
+        Ok(())
+    }
+
     fn name(&self) -> &'static str {
         "MaxPool1d"
     }
@@ -171,6 +245,32 @@ impl Layer for AvgPool2d {
         Ok(pool::avgpool2d_backward(grad_output, dims, &self.spec)?)
     }
 
+    fn plan_compile(&mut self, input: &PlanShape, arenas: &mut PlanArenas) -> Result<PlanShape> {
+        if input.dims.len() != 4 {
+            return Err(NnError::Config(format!(
+                "AvgPool2d expects [N, C, H, W], got {:?}",
+                input.dims
+            )));
+        }
+        let (n, c) = (input.dims[0], input.dims[1]);
+        let (oh, ow) = self.spec.output_hw(input.dims[2], input.dims[3])?;
+        Ok(PlanShape {
+            slot: arenas.f.reserve(n * c * oh * ow),
+            dims: vec![n, c, oh, ow],
+        })
+    }
+
+    fn plan_forward(
+        &mut self,
+        input: &PlanShape,
+        output: &PlanShape,
+        _ctx: PlanCtx,
+        arenas: &mut PlanArenas,
+    ) -> Result<()> {
+        let [x, y] = arenas.f.many_mut([input.slot, output.slot]);
+        Ok(pool::avgpool2d_into(x, &input.dims, &self.spec, y)?)
+    }
+
     fn name(&self) -> &'static str {
         "AvgPool2d"
     }
@@ -202,6 +302,30 @@ impl Layer for GlobalAvgPool2d {
             .as_ref()
             .ok_or(NnError::BackwardBeforeForward("GlobalAvgPool2d"))?;
         Ok(pool::global_avgpool2d_backward(grad_output, dims)?)
+    }
+
+    fn plan_compile(&mut self, input: &PlanShape, arenas: &mut PlanArenas) -> Result<PlanShape> {
+        if input.dims.len() != 4 {
+            return Err(NnError::Config(format!(
+                "GlobalAvgPool2d expects [N, C, H, W], got {:?}",
+                input.dims
+            )));
+        }
+        Ok(PlanShape {
+            slot: arenas.f.reserve(input.dims[0] * input.dims[1]),
+            dims: vec![input.dims[0], input.dims[1]],
+        })
+    }
+
+    fn plan_forward(
+        &mut self,
+        input: &PlanShape,
+        output: &PlanShape,
+        _ctx: PlanCtx,
+        arenas: &mut PlanArenas,
+    ) -> Result<()> {
+        let [x, y] = arenas.f.many_mut([input.slot, output.slot]);
+        Ok(pool::global_avgpool2d_into(x, &input.dims, y)?)
     }
 
     fn name(&self) -> &'static str {
@@ -244,6 +368,31 @@ impl Layer for GlobalAvgPool1d {
         let lifted_dims = [dims[0], dims[1], 1, dims[2]];
         let grad = pool::global_avgpool2d_backward(grad_output, &lifted_dims)?;
         Ok(invnorm_tensor::conv::squeeze_1d(&grad)?)
+    }
+
+    fn plan_compile(&mut self, input: &PlanShape, arenas: &mut PlanArenas) -> Result<PlanShape> {
+        if input.dims.len() != 3 {
+            return Err(NnError::Config(format!(
+                "GlobalAvgPool1d expects [N, C, L], got {:?}",
+                input.dims
+            )));
+        }
+        Ok(PlanShape {
+            slot: arenas.f.reserve(input.dims[0] * input.dims[1]),
+            dims: vec![input.dims[0], input.dims[1]],
+        })
+    }
+
+    fn plan_forward(
+        &mut self,
+        input: &PlanShape,
+        output: &PlanShape,
+        _ctx: PlanCtx,
+        arenas: &mut PlanArenas,
+    ) -> Result<()> {
+        let lifted = [input.dims[0], input.dims[1], 1, input.dims[2]];
+        let [x, y] = arenas.f.many_mut([input.slot, output.slot]);
+        Ok(pool::global_avgpool2d_into(x, &lifted, y)?)
     }
 
     fn name(&self) -> &'static str {

@@ -27,11 +27,12 @@
 
 use crate::error::NnError;
 use crate::layer::{BatchedCodeView, BatchedCodes, CodeView, Layer, Mode};
+use crate::plan::{PlanArenas, PlanCodeView, PlanCtx, PlanShape, PlannedCodes};
 use crate::Result;
-use invnorm_tensor::conv::{im2col_codes_into, Conv2dSpec};
-use invnorm_tensor::qgemm::{qgemm_prepacked, QPackedA};
+use invnorm_tensor::conv::{conv_out_shape, im2col_codes_into, im2col_slice_into, Conv2dSpec};
+use invnorm_tensor::qgemm::{qgemm_prepacked, qgemm_prepacked_ab, qgemm_prepacked_b, QPackedA};
 use invnorm_tensor::scratch::uninit_slice_of;
-use invnorm_tensor::{qgemm, Scratch, Tensor};
+use invnorm_tensor::{qgemm, ArenaSlot, Scratch, Tensor};
 
 /// Largest i8 code magnitude; also the fixed bit-width ceiling of the packed
 /// storage.
@@ -119,6 +120,7 @@ pub struct QuantizedLinear {
     acc: Vec<i32>,
     scratch: Scratch,
     batched: Option<QuantizedBatched>,
+    plan: Option<QuantizedPlan>,
 }
 
 /// Batched-eval state shared by both quantized layers: stacked code
@@ -128,6 +130,23 @@ struct QuantizedBatched {
     codes: BatchedCodes,
     packed: QPackedA,
     packed_b: Vec<i8>,
+}
+
+/// Compiled-plan state shared by both quantized layers: arena slots for the
+/// activation codes / patch matrix / i32 accumulators, the cached packed
+/// code operand with realization bookkeeping, and the cached packed
+/// activation panel (plus its quantization scale) for frozen inputs.
+#[derive(Debug)]
+struct QuantizedPlan {
+    qin: ArenaSlot,
+    /// Patch matrix of unfolded codes (conv only; empty slot for linear).
+    cols: ArenaSlot,
+    acc: ArenaSlot,
+    codes: PlannedCodes,
+    packed_a: QPackedA,
+    a_gen: u64,
+    a_scale: f32,
+    plan_scratch: Scratch,
 }
 
 impl QuantizedLinear {
@@ -155,6 +174,7 @@ impl QuantizedLinear {
             acc: Vec::new(),
             scratch: Scratch::new(),
             batched: None,
+            plan: None,
         })
     }
 
@@ -267,8 +287,9 @@ impl Layer for QuantizedLinear {
     }
 
     fn backward(&mut self, _grad_output: &Tensor) -> Result<Tensor> {
-        Err(NnError::Config(
-            "QuantizedLinear is inference-only; train the float model and re-quantize".into(),
+        Err(NnError::unsupported(
+            "QuantizedLinear",
+            "backward (inference-only; train the float model and re-quantize)",
         ))
     }
 
@@ -412,6 +433,89 @@ impl Layer for QuantizedLinear {
         Ok((Tensor::from_vec(out, &[batch * n, fout])?, false))
     }
 
+    fn plan_compile(&mut self, input: &PlanShape, arenas: &mut PlanArenas) -> Result<PlanShape> {
+        if input.dims.len() != 2 || input.dims[1] != self.in_features {
+            return Err(NnError::Config(format!(
+                "QuantizedLinear expects input [N, {}], got {:?}",
+                self.in_features, input.dims
+            )));
+        }
+        let n = input.dims[0];
+        let (fin, fout) = (self.in_features, self.out_features);
+        self.plan = Some(QuantizedPlan {
+            qin: arenas.q.reserve(n * fin),
+            cols: arenas.q.reserve(0),
+            acc: arenas.acc.reserve(n * fout),
+            codes: PlannedCodes::pack(&self.codes, fin, fout),
+            packed_a: QPackedA::new(),
+            a_gen: 0,
+            a_scale: 1.0,
+            plan_scratch: Scratch::new(),
+        });
+        Ok(PlanShape {
+            slot: arenas.f.reserve(n * fout),
+            dims: vec![n, fout],
+        })
+    }
+
+    fn plan_forward(
+        &mut self,
+        input: &PlanShape,
+        output: &PlanShape,
+        ctx: PlanCtx,
+        arenas: &mut PlanArenas,
+    ) -> Result<()> {
+        let state = self.plan.as_mut().ok_or_else(|| {
+            NnError::Config("QuantizedLinear::plan_forward called without plan_compile".into())
+        })?;
+        let n = input.dims[0];
+        let (fin, fout) = (self.in_features, self.out_features);
+        // Bring the cached packed operand up to date with this realization
+        // (dirty-row re-packing).
+        let packed_w = state.codes.refresh();
+        let [x, out] = arenas.f.many_mut([input.slot, output.slot]);
+        let qin = arenas.q.slot_mut(state.qin);
+        let acc = arenas.acc.slot_mut(state.acc);
+        let sx = if ctx.frozen {
+            // Frozen plan input: quantize + pack the activation codes once
+            // per `load_input` (the scale depends only on the input).
+            if state.a_gen != ctx.input_gen {
+                state.a_scale = quantize_activations(x, self.act_scale, qin);
+                state.packed_a.pack(false, qin, n, fin);
+                state.a_gen = ctx.input_gen;
+            }
+            state.a_scale
+        } else {
+            quantize_activations(x, self.act_scale, qin)
+        };
+        if ctx.frozen {
+            qgemm_prepacked_ab(&state.packed_a, packed_w, false, acc);
+        } else {
+            qgemm_prepacked_b(false, n, qin, packed_w, false, acc, &mut state.plan_scratch);
+        }
+        let bias = self.bias.as_ref().map(Tensor::data);
+        for i in 0..n {
+            for j in 0..fout {
+                let mut v = acc[i * fout + j] as f32 * sx * self.scales[j];
+                if let Some(b) = bias {
+                    v += b[j];
+                }
+                out[i * fout + j] = v;
+            }
+        }
+        Ok(())
+    }
+
+    fn plan_end(&mut self) {
+        self.plan = None;
+    }
+
+    fn visit_plan_codes(&mut self, visitor: &mut dyn FnMut(PlanCodeView<'_>)) {
+        if let Some(state) = &mut self.plan {
+            visitor(state.codes.view(0, &self.codes, self.bits));
+        }
+    }
+
     fn name(&self) -> &'static str {
         "QuantizedLinear"
     }
@@ -437,6 +541,7 @@ pub struct QuantizedConv2d {
     acc: Vec<i32>,
     scratch: Scratch,
     batched: Option<QuantizedBatched>,
+    plan: Option<QuantizedPlan>,
 }
 
 impl QuantizedConv2d {
@@ -463,6 +568,7 @@ impl QuantizedConv2d {
             acc: Vec::new(),
             scratch: Scratch::new(),
             batched: None,
+            plan: None,
         })
     }
 
@@ -532,10 +638,8 @@ impl Layer for QuantizedConv2d {
             )));
         }
         let d = input.dims().to_vec();
-        let (n, h, w) = (d[0], d[2], d[3]);
-        let (oh, ow) = self.spec.output_hw(h, w)?;
-        let patch = self.in_channels * self.spec.kh * self.spec.kw;
-        let rows = n * oh * ow;
+        let shape = conv_out_shape(&d, &self.spec)?;
+        let (n, oh, ow, patch, rows) = (shape.n, shape.oh, shape.ow, shape.patch, shape.rows);
         let oc = self.out_channels;
 
         // Quantize the input once, then unfold the codes.
@@ -580,8 +684,9 @@ impl Layer for QuantizedConv2d {
     }
 
     fn backward(&mut self, _grad_output: &Tensor) -> Result<Tensor> {
-        Err(NnError::Config(
-            "QuantizedConv2d is inference-only; train the float model and re-quantize".into(),
+        Err(NnError::unsupported(
+            "QuantizedConv2d",
+            "backward (inference-only; train the float model and re-quantize)",
         ))
     }
 
@@ -754,6 +859,108 @@ impl Layer for QuantizedConv2d {
             }
         }
         Ok((Tensor::from_vec(out, &[batch * n_per, oc, oh, ow])?, false))
+    }
+
+    fn plan_compile(&mut self, input: &PlanShape, arenas: &mut PlanArenas) -> Result<PlanShape> {
+        if input.dims.len() != 4 || input.dims[1] != self.in_channels {
+            return Err(NnError::Config(format!(
+                "QuantizedConv2d expects [N, {}, H, W], got {:?}",
+                self.in_channels, input.dims
+            )));
+        }
+        let shape = conv_out_shape(&input.dims, &self.spec)?;
+        let oc = self.out_channels;
+        self.plan = Some(QuantizedPlan {
+            qin: arenas.q.reserve(input.numel()),
+            cols: arenas.q.reserve(shape.rows * shape.patch),
+            acc: arenas.acc.reserve(shape.rows * oc),
+            codes: PlannedCodes::pack(&self.codes, shape.patch, oc),
+            packed_a: QPackedA::new(),
+            a_gen: 0,
+            a_scale: 1.0,
+            plan_scratch: Scratch::new(),
+        });
+        Ok(PlanShape {
+            slot: arenas.f.reserve(shape.output_dims(oc).iter().product()),
+            dims: shape.output_dims(oc).to_vec(),
+        })
+    }
+
+    fn plan_forward(
+        &mut self,
+        input: &PlanShape,
+        output: &PlanShape,
+        ctx: PlanCtx,
+        arenas: &mut PlanArenas,
+    ) -> Result<()> {
+        let state = self.plan.as_mut().ok_or_else(|| {
+            NnError::Config("QuantizedConv2d::plan_forward called without plan_compile".into())
+        })?;
+        let shape = conv_out_shape(&input.dims, &self.spec)?;
+        let oc = self.out_channels;
+        // Bring the cached packed operand up to date with this realization
+        // (dirty-row re-packing).
+        let packed_w = state.codes.refresh();
+        let [x, out] = arenas.f.many_mut([input.slot, output.slot]);
+        let [qin, cols] = arenas.q.many_mut([state.qin, state.cols]);
+        let acc = arenas.acc.slot_mut(state.acc);
+        let sx = if ctx.frozen {
+            // Frozen plan input: quantize + unfold + pack the patch panel
+            // once per `load_input`.
+            if state.a_gen != ctx.input_gen {
+                state.a_scale = quantize_activations(x, self.act_scale, qin);
+                im2col_slice_into(qin, &input.dims, &self.spec, cols)?;
+                state.packed_a.pack(false, cols, shape.rows, shape.patch);
+                state.a_gen = ctx.input_gen;
+            }
+            state.a_scale
+        } else {
+            let sx = quantize_activations(x, self.act_scale, qin);
+            im2col_slice_into(qin, &input.dims, &self.spec, cols)?;
+            sx
+        };
+        if ctx.frozen {
+            qgemm_prepacked_ab(&state.packed_a, packed_w, false, acc);
+        } else {
+            qgemm_prepacked_b(
+                false,
+                shape.rows,
+                cols,
+                packed_w,
+                false,
+                acc,
+                &mut state.plan_scratch,
+            );
+        }
+        // Dequantize during the NCHW re-layout; bias is digital f32 — the
+        // exact loop of the direct forward.
+        let (n, oh, ow) = (shape.n, shape.oh, shape.ow);
+        let bias = self.bias.as_ref().map(Tensor::data);
+        for ni in 0..n {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row = (ni * oh + oy) * ow + ox;
+                    for co in 0..oc {
+                        let mut v = acc[row * oc + co] as f32 * sx * self.scales[co];
+                        if let Some(b) = bias {
+                            v += b[co];
+                        }
+                        out[((ni * oc + co) * oh + oy) * ow + ox] = v;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn plan_end(&mut self) {
+        self.plan = None;
+    }
+
+    fn visit_plan_codes(&mut self, visitor: &mut dyn FnMut(PlanCodeView<'_>)) {
+        if let Some(state) = &mut self.plan {
+            visitor(state.codes.view(0, &self.codes, self.bits));
+        }
     }
 
     fn name(&self) -> &'static str {

@@ -2,8 +2,17 @@
 
 use crate::error::NnError;
 use crate::layer::{Layer, Mode};
+use crate::plan::{PlanArenas, PlanCtx, PlanShape};
 use crate::Result;
 use invnorm_tensor::Tensor;
+
+/// Planned execution of a pure reshape: copy the input edge into the output
+/// edge (dims change, data order does not).
+fn plan_copy(input: &PlanShape, output: &PlanShape, arenas: &mut PlanArenas) -> Result<()> {
+    let [x, y] = arenas.f.many_mut([input.slot, output.slot]);
+    y.copy_from_slice(x);
+    Ok(())
+}
 
 /// Flattens all dimensions after the batch dimension: `[N, ...]` → `[N, F]`.
 #[derive(Debug, Default)]
@@ -38,6 +47,31 @@ impl Layer for Flatten {
             .as_ref()
             .ok_or(NnError::BackwardBeforeForward("Flatten"))?;
         Ok(grad_output.reshape(dims)?)
+    }
+
+    fn plan_compile(&mut self, input: &PlanShape, arenas: &mut PlanArenas) -> Result<PlanShape> {
+        if input.dims.len() < 2 {
+            return Err(NnError::Config(format!(
+                "Flatten expects rank >= 2 input, got {:?}",
+                input.dims
+            )));
+        }
+        let n = input.dims[0];
+        let rest: usize = input.dims[1..].iter().product();
+        Ok(PlanShape {
+            slot: arenas.f.reserve(n * rest),
+            dims: vec![n, rest],
+        })
+    }
+
+    fn plan_forward(
+        &mut self,
+        input: &PlanShape,
+        output: &PlanShape,
+        _ctx: PlanCtx,
+        arenas: &mut PlanArenas,
+    ) -> Result<()> {
+        plan_copy(input, output, arenas)
     }
 
     fn name(&self) -> &'static str {
@@ -81,6 +115,34 @@ impl Layer for Reshape {
             .as_ref()
             .ok_or(NnError::BackwardBeforeForward("Reshape"))?;
         Ok(grad_output.reshape(dims)?)
+    }
+
+    fn plan_compile(&mut self, input: &PlanShape, arenas: &mut PlanArenas) -> Result<PlanShape> {
+        if input.dims.is_empty() {
+            return Err(NnError::Config("Reshape expects batched input".into()));
+        }
+        let mut dims = vec![input.dims[0]];
+        dims.extend_from_slice(&self.target);
+        if dims.iter().product::<usize>() != input.numel() {
+            return Err(NnError::Config(format!(
+                "Reshape target {:?} incompatible with input {:?}",
+                self.target, input.dims
+            )));
+        }
+        Ok(PlanShape {
+            slot: arenas.f.reserve(input.numel()),
+            dims,
+        })
+    }
+
+    fn plan_forward(
+        &mut self,
+        input: &PlanShape,
+        output: &PlanShape,
+        _ctx: PlanCtx,
+        arenas: &mut PlanArenas,
+    ) -> Result<()> {
+        plan_copy(input, output, arenas)
     }
 
     fn name(&self) -> &'static str {

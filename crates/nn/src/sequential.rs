@@ -3,6 +3,7 @@
 
 use crate::error::NnError;
 use crate::layer::{BatchedCodeView, BatchedParamView, BoxedLayer, CodeView, Layer, Mode, Param};
+use crate::plan::{PlanArenas, PlanCodeView, PlanCtx, PlanParamView, PlanShape};
 use crate::Result;
 use invnorm_tensor::Tensor;
 
@@ -50,12 +51,21 @@ fn tile_realizations(t: &Tensor, batch: usize) -> Result<Tensor> {
 #[derive(Default)]
 pub struct Sequential {
     layers: Vec<BoxedLayer>,
+    plan: Option<SeqPlan>,
+}
+
+/// Compiled-plan state: every child's output edge, in chain order.
+struct SeqPlan {
+    shapes: Vec<PlanShape>,
 }
 
 impl Sequential {
     /// Creates an empty container.
     pub fn new() -> Self {
-        Self { layers: Vec::new() }
+        Self {
+            layers: Vec::new(),
+            plan: None,
+        }
     }
 
     /// Appends a layer.
@@ -183,6 +193,76 @@ impl Layer for Sequential {
         Ok((x, sh))
     }
 
+    fn plan_compile(&mut self, input: &PlanShape, arenas: &mut PlanArenas) -> Result<PlanShape> {
+        let mut shapes = Vec::with_capacity(self.layers.len());
+        let mut cur = input.clone();
+        for layer in &mut self.layers {
+            cur = layer.plan_compile(&cur, arenas)?;
+            shapes.push(cur.clone());
+        }
+        self.plan = Some(SeqPlan { shapes });
+        Ok(cur)
+    }
+
+    fn plan_forward(
+        &mut self,
+        input: &PlanShape,
+        _output: &PlanShape,
+        ctx: PlanCtx,
+        arenas: &mut PlanArenas,
+    ) -> Result<()> {
+        let state = self.plan.take().ok_or_else(|| {
+            NnError::Config("Sequential::plan_forward called without plan_compile".into())
+        })?;
+        let mut prev = input;
+        let mut result = Ok(());
+        for (i, (layer, shape)) in self.layers.iter_mut().zip(&state.shapes).enumerate() {
+            result = layer.plan_forward(prev, shape, ctx.child(i == 0), arenas);
+            if result.is_err() {
+                break;
+            }
+            prev = shape;
+        }
+        self.plan = Some(state);
+        result
+    }
+
+    fn plan_end(&mut self) {
+        self.plan = None;
+        for layer in &mut self.layers {
+            layer.plan_end();
+        }
+    }
+
+    fn visit_plan_params(&mut self, visitor: &mut dyn FnMut(PlanParamView<'_>)) {
+        // Re-base each layer's local parameter indices onto the container's
+        // global `visit_params` order, exactly like `visit_batched`, so the
+        // injector's RNG stream forking matches the sequential engine.
+        let mut base = 0usize;
+        for layer in &mut self.layers {
+            layer.visit_plan_params(&mut |mut view| {
+                view.index += base;
+                visitor(view);
+            });
+            let mut params = 0usize;
+            layer.visit_params(&mut |_| params += 1);
+            base += params;
+        }
+    }
+
+    fn visit_plan_codes(&mut self, visitor: &mut dyn FnMut(PlanCodeView<'_>)) {
+        let mut base = 0usize;
+        for layer in &mut self.layers {
+            layer.visit_plan_codes(&mut |mut view| {
+                view.index += base;
+                visitor(view);
+            });
+            let mut codes = 0usize;
+            layer.visit_codes(&mut |_| codes += 1);
+            base += codes;
+        }
+    }
+
     fn name(&self) -> &'static str {
         "Sequential"
     }
@@ -198,6 +278,16 @@ pub struct Residual {
     main: Sequential,
     shortcut: Option<Sequential>,
     post: Option<BoxedLayer>,
+    plan: Option<ResidualPlan>,
+}
+
+/// Compiled-plan state: the two branch output edges, the sum edge, and the
+/// post-layer output edge.
+struct ResidualPlan {
+    main_out: PlanShape,
+    skip_out: PlanShape,
+    sum: PlanShape,
+    post_out: Option<PlanShape>,
 }
 
 impl Residual {
@@ -207,6 +297,7 @@ impl Residual {
             main,
             shortcut: None,
             post: None,
+            plan: None,
         }
     }
 
@@ -216,6 +307,7 @@ impl Residual {
             main,
             shortcut: Some(shortcut),
             post: None,
+            plan: None,
         }
     }
 
@@ -395,6 +487,143 @@ impl Layer for Residual {
         match &mut self.post {
             Some(post) => post.forward_batched(&summed, sum_sh, batch, mode),
             None => Ok((summed, sum_sh)),
+        }
+    }
+
+    fn plan_compile(&mut self, input: &PlanShape, arenas: &mut PlanArenas) -> Result<PlanShape> {
+        let main_out = self.main.plan_compile(input, arenas)?;
+        let skip_out = match &mut self.shortcut {
+            Some(shortcut) => shortcut.plan_compile(input, arenas)?,
+            None => input.clone(),
+        };
+        if main_out.dims != skip_out.dims {
+            return Err(NnError::Config(format!(
+                "residual branch output {:?} does not match shortcut output {:?}",
+                main_out.dims, skip_out.dims
+            )));
+        }
+        let sum = PlanShape {
+            slot: arenas.f.reserve(main_out.numel()),
+            dims: main_out.dims.clone(),
+        };
+        let post_out = match &mut self.post {
+            Some(post) => Some(post.plan_compile(&sum, arenas)?),
+            None => None,
+        };
+        let out = post_out.clone().unwrap_or_else(|| sum.clone());
+        self.plan = Some(ResidualPlan {
+            main_out,
+            skip_out,
+            sum,
+            post_out,
+        });
+        Ok(out)
+    }
+
+    fn plan_forward(
+        &mut self,
+        input: &PlanShape,
+        _output: &PlanShape,
+        ctx: PlanCtx,
+        arenas: &mut PlanArenas,
+    ) -> Result<()> {
+        let state = self.plan.take().ok_or_else(|| {
+            NnError::Config("Residual::plan_forward called without plan_compile".into())
+        })?;
+        let mut run = || -> Result<()> {
+            self.main
+                .plan_forward(input, &state.main_out, ctx.child(true), arenas)?;
+            if let Some(shortcut) = &mut self.shortcut {
+                shortcut.plan_forward(input, &state.skip_out, ctx.child(true), arenas)?;
+            }
+            // Elementwise sum in `Tensor::add` order, into the sum edge. An
+            // empty main chain would alias both branch slots to the input;
+            // fold that degenerate case into a doubling.
+            if state.main_out.slot == state.skip_out.slot {
+                let [a, s] = arenas.f.many_mut([state.main_out.slot, state.sum.slot]);
+                for (d, &x) in s.iter_mut().zip(a.iter()) {
+                    *d = x + x;
+                }
+            } else {
+                let [a, b, s] =
+                    arenas
+                        .f
+                        .many_mut([state.main_out.slot, state.skip_out.slot, state.sum.slot]);
+                for ((d, &x), &y) in s.iter_mut().zip(a.iter()).zip(b.iter()) {
+                    *d = x + y;
+                }
+            }
+            if let (Some(post), Some(post_out)) = (&mut self.post, &state.post_out) {
+                post.plan_forward(&state.sum, post_out, ctx.child(false), arenas)?;
+            }
+            Ok(())
+        };
+        let result = run();
+        self.plan = Some(state);
+        result
+    }
+
+    fn plan_end(&mut self) {
+        self.plan = None;
+        self.main.plan_end();
+        if let Some(shortcut) = &mut self.shortcut {
+            shortcut.plan_end();
+        }
+        if let Some(post) = &mut self.post {
+            post.plan_end();
+        }
+    }
+
+    fn visit_plan_params(&mut self, visitor: &mut dyn FnMut(PlanParamView<'_>)) {
+        // Branch order and index re-basing mirror `visit_params`.
+        let mut base = 0usize;
+        self.main.visit_plan_params(&mut |mut view| {
+            view.index += base;
+            visitor(view);
+        });
+        let mut params = 0usize;
+        self.main.visit_params(&mut |_| params += 1);
+        base += params;
+        if let Some(shortcut) = &mut self.shortcut {
+            shortcut.visit_plan_params(&mut |mut view| {
+                view.index += base;
+                visitor(view);
+            });
+            let mut params = 0usize;
+            shortcut.visit_params(&mut |_| params += 1);
+            base += params;
+        }
+        if let Some(post) = &mut self.post {
+            post.visit_plan_params(&mut |mut view| {
+                view.index += base;
+                visitor(view);
+            });
+        }
+    }
+
+    fn visit_plan_codes(&mut self, visitor: &mut dyn FnMut(PlanCodeView<'_>)) {
+        let mut base = 0usize;
+        self.main.visit_plan_codes(&mut |mut view| {
+            view.index += base;
+            visitor(view);
+        });
+        let mut codes = 0usize;
+        self.main.visit_codes(&mut |_| codes += 1);
+        base += codes;
+        if let Some(shortcut) = &mut self.shortcut {
+            shortcut.visit_plan_codes(&mut |mut view| {
+                view.index += base;
+                visitor(view);
+            });
+            let mut codes = 0usize;
+            shortcut.visit_codes(&mut |_| codes += 1);
+            base += codes;
+        }
+        if let Some(post) = &mut self.post {
+            post.visit_plan_codes(&mut |mut view| {
+                view.index += base;
+                visitor(view);
+            });
         }
     }
 

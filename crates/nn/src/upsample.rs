@@ -2,6 +2,7 @@
 
 use crate::error::NnError;
 use crate::layer::{Layer, Mode};
+use crate::plan::{PlanArenas, PlanCtx, PlanShape};
 use crate::Result;
 use invnorm_tensor::Tensor;
 
@@ -82,6 +83,42 @@ impl Layer for Upsample2d {
             }
         }
         Ok(grad_input)
+    }
+
+    fn plan_compile(&mut self, input: &PlanShape, arenas: &mut PlanArenas) -> Result<PlanShape> {
+        if input.dims.len() != 4 {
+            return Err(NnError::Config(format!(
+                "Upsample2d expects [N, C, H, W], got {:?}",
+                input.dims
+            )));
+        }
+        let (n, c, h, w) = (input.dims[0], input.dims[1], input.dims[2], input.dims[3]);
+        let f = self.factor;
+        Ok(PlanShape {
+            slot: arenas.f.reserve(n * c * h * f * w * f),
+            dims: vec![n, c, h * f, w * f],
+        })
+    }
+
+    fn plan_forward(
+        &mut self,
+        input: &PlanShape,
+        output: &PlanShape,
+        _ctx: PlanCtx,
+        arenas: &mut PlanArenas,
+    ) -> Result<()> {
+        let (n, c, h, w) = (input.dims[0], input.dims[1], input.dims[2], input.dims[3]);
+        let f = self.factor;
+        let (oh, ow) = (h * f, w * f);
+        let [src, out] = arenas.f.many_mut([input.slot, output.slot]);
+        for nc in 0..n * c {
+            for y in 0..oh {
+                for x in 0..ow {
+                    out[(nc * oh + y) * ow + x] = src[(nc * h + y / f) * w + x / f];
+                }
+            }
+        }
+        Ok(())
     }
 
     fn name(&self) -> &'static str {

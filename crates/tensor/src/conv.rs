@@ -65,6 +65,65 @@ impl Conv2dSpec {
     }
 }
 
+/// The derived geometry of one 2-D convolution applied to a concrete input
+/// shape — the single source of truth for the im2col output-shape arithmetic
+/// that used to be recomputed ad hoc at every call site (tensor kernels,
+/// `invnorm_nn` layers, the plan compiler).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvShape {
+    /// Batch size.
+    pub n: usize,
+    /// Input channels.
+    pub c: usize,
+    /// Input height.
+    pub h: usize,
+    /// Input width.
+    pub w: usize,
+    /// Output height.
+    pub oh: usize,
+    /// Output width.
+    pub ow: usize,
+    /// im2col patch length `C·KH·KW` (the GEMM reduction dimension).
+    pub patch: usize,
+    /// im2col row count `N·OH·OW` (the GEMM m dimension).
+    pub rows: usize,
+}
+
+impl ConvShape {
+    /// Output dims `[N, OC, OH, OW]` for `oc` output channels.
+    pub fn output_dims(&self, oc: usize) -> [usize; 4] {
+        [self.n, oc, self.oh, self.ow]
+    }
+}
+
+/// Computes the im2col/output geometry of `spec` applied to an
+/// `[N, C, H, W]` input.
+///
+/// # Errors
+///
+/// Returns an error when `input_dims` is not rank-4 or the geometry is
+/// invalid (kernel larger than the padded input, zero stride).
+pub fn conv_out_shape(input_dims: &[usize], spec: &Conv2dSpec) -> Result<ConvShape> {
+    if input_dims.len() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: input_dims.len(),
+        });
+    }
+    let (n, c, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
+    let (oh, ow) = spec.output_hw(h, w)?;
+    Ok(ConvShape {
+        n,
+        c,
+        h,
+        w,
+        oh,
+        ow,
+        patch: c * spec.kh * spec.kw,
+        rows: n * oh * ow,
+    })
+}
+
 /// Unfolds an `[N, C, H, W]` input into a `[N*OH*OW, C*KH*KW]` matrix of
 /// receptive-field patches (zero padded).
 ///
@@ -72,13 +131,10 @@ impl Conv2dSpec {
 ///
 /// Returns an error when the input is not rank-4 or the geometry is invalid.
 pub fn im2col(input: &Tensor, spec: &Conv2dSpec) -> Result<Tensor> {
-    let (n, c, h, w) = as_nchw(input)?;
-    let (oh, ow) = spec.output_hw(h, w)?;
-    let patch = c * spec.kh * spec.kw;
-    let rows = n * oh * ow;
-    let mut cols = vec![0.0f32; rows * patch];
+    let shape = conv_out_shape(input.dims(), spec)?;
+    let mut cols = vec![0.0f32; shape.rows * shape.patch];
     im2col_into(input, spec, &mut cols)?;
-    Tensor::from_vec(cols, &[rows, patch])
+    Tensor::from_vec(cols, &[shape.rows, shape.patch])
 }
 
 /// [`im2col`] into a caller-provided buffer of exactly
@@ -124,6 +180,36 @@ pub fn im2col_codes_into(
         });
     }
     im2col_generic(codes, n, c, h, w, spec, cols)
+}
+
+/// [`im2col_into`] over a raw element slice in NCHW layout — the entry point
+/// compiled plans use to unfold activations living in arena buffers without
+/// materializing a tensor. Element-type generic (f32 activations, i8 codes).
+///
+/// # Errors
+///
+/// Returns an error when `dims` is not rank-4, the geometry is invalid or a
+/// buffer length is wrong.
+pub fn im2col_slice_into<T: Copy + Default>(
+    data: &[T],
+    dims: &[usize],
+    spec: &Conv2dSpec,
+    cols: &mut [T],
+) -> Result<()> {
+    if dims.len() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: dims.len(),
+        });
+    }
+    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    if data.len() != n * c * h * w {
+        return Err(TensorError::ShapeMismatch {
+            lhs: dims.to_vec(),
+            rhs: vec![data.len()],
+        });
+    }
+    im2col_generic(data, n, c, h, w, spec, cols)
 }
 
 /// Element-type-generic patch unfolding shared by the f32 and i8 paths.
@@ -327,7 +413,7 @@ pub fn conv2d_forward_with_scratch(
     spec: &Conv2dSpec,
     scratch: &mut Scratch,
 ) -> Result<Tensor> {
-    let (n, c, h, w) = as_nchw(input)?;
+    let (n, c, _, _) = as_nchw(input)?;
     let wd = weight.dims();
     if wd.len() != 4 {
         return Err(TensorError::RankMismatch {
@@ -342,9 +428,13 @@ pub fn conv2d_forward_with_scratch(
             spec.kh, spec.kw
         )));
     }
-    let (oh, ow) = spec.output_hw(h, w)?;
-    let patch = c * spec.kh * spec.kw;
-    let rows = n * oh * ow;
+    let ConvShape {
+        oh,
+        ow,
+        patch,
+        rows,
+        ..
+    } = conv_out_shape(input.dims(), spec)?;
     let cols = uninit_slice(&mut scratch.cols, rows * patch);
     im2col_into(input, spec, cols)?;
     // [rows, patch] @ [oc, patch]ᵀ -> [rows, oc]
@@ -381,8 +471,10 @@ fn relayout_nchw(
 }
 
 /// [`relayout_nchw`] into a caller-provided slice of exactly `N*OC*OH*OW`
-/// elements (every element is overwritten).
-fn relayout_nchw_into(
+/// elements (every element is overwritten), adding the per-channel bias on
+/// the way. Public so compiled plans can re-layout GEMM results straight
+/// into arena buffers.
+pub fn relayout_nchw_into(
     om: &[f32],
     bias: Option<&Tensor>,
     n: usize,
@@ -460,7 +552,7 @@ pub fn conv2d_forward_batched(
     packed: &mut PackedA,
     scratch: &mut Scratch,
 ) -> Result<Tensor> {
-    let (n_total, c, h, w) = as_nchw(input)?;
+    let (n_total, c, _, _) = as_nchw(input)?;
     if weight_dims.len() != 4 {
         return Err(TensorError::RankMismatch {
             expected: 4,
@@ -501,8 +593,7 @@ pub fn conv2d_forward_batched(
         }
         n_total / batch
     };
-    let (oh, ow) = spec.output_hw(h, w)?;
-    let patch = c * spec.kh * spec.kw;
+    let ConvShape { oh, ow, patch, .. } = conv_out_shape(input.dims(), spec)?;
     let rows_per = n_per * oh * ow;
     let per_out = n_per * oc * oh * ow;
     let mut out = vec![0.0f32; batch * per_out];

@@ -25,6 +25,7 @@
 //! k-accumulation order — results are therefore **bit-identical** for every
 //! thread count and schedule.
 
+use crate::arena::DirtyRows;
 use crate::scratch::{uninit_slice, Scratch};
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -353,6 +354,263 @@ pub fn gemm_prepacked(
                 let mc = MC.min(m - ic);
                 let pa = &packed_a.buf[(pi * m_blocks + bi) * A_BLOCK_STRIDE..];
                 block_kernel(pa, packed_b, c, n, ic, mc, jc, nc, kc, alpha, beta_block);
+            }
+        }
+    }
+}
+
+/// A fully packed `op(B)` operand: every `(n-panel, k-panel)` of B in the
+/// exact NR-strip layout the microkernel consumes — the weight-side
+/// counterpart of [`PackedA`].
+///
+/// This is the cache a compiled inference plan keeps per weighted layer: the
+/// clean weight matrix is packed **once** at plan-compile time, and between
+/// Monte-Carlo fault realizations only the strips covering rows the injector
+/// actually touched are re-packed ([`PackedB::repack_rows`]). For sparse
+/// fault models that removes the dominant per-run re-packing cost of the
+/// direct path, which packs the full weight operand on every forward.
+///
+/// Panels are stored in fixed-stride slots, so offsets are index arithmetic,
+/// and results through [`gemm_prepacked_b`] / [`gemm_prepacked_ab`] are
+/// **bit-identical** to [`gemm_with_scratch`] (same packed values, same block
+/// traversal, same accumulation order).
+#[derive(Debug, Default, Clone)]
+pub struct PackedB {
+    k: usize,
+    n: usize,
+    trans_b: bool,
+    k_panels: usize,
+    slot: usize,
+    buf: Vec<f32>,
+}
+
+impl PackedB {
+    /// Creates an empty handle; the buffer grows on first [`PackedB::pack`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Shared (reduction) dimension of the packed operand.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Columns of the packed operand (rows of the stored matrix when
+    /// `trans_b` — e.g. output features of a `[out, in]` weight).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Packs `op(B)` (`[k, n]`, or stored `[n, k]` when `trans_b`) in full.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slice length disagrees with `k * n`.
+    pub fn pack(&mut self, trans_b: bool, b: &[f32], k: usize, n: usize) {
+        assert_eq!(b.len(), k * n, "B must hold k*n elements");
+        self.k = k;
+        self.n = n;
+        self.trans_b = trans_b;
+        self.k_panels = k.div_ceil(KC).max(1);
+        // Fixed slot stride: a full (NC, KC) panel packs to NC-padded × KC
+        // elements; edge panels use a prefix of their slot.
+        self.slot = KC * NC.min(n.next_multiple_of(NR)).max(NR);
+        let n_panels = n.div_ceil(NC).max(1);
+        let buf = uninit_slice(&mut self.buf, n_panels * self.k_panels * self.slot);
+        for (ji, jc) in (0..n).step_by(NC).enumerate() {
+            let nc = NC.min(n - jc);
+            for (pi, pc) in (0..k).step_by(KC).enumerate() {
+                let kc = KC.min(k - pc);
+                let slot = &mut buf[(ji * self.k_panels + pi) * self.slot..][..self.slot];
+                pack_b(trans_b, b, k, n, pc, kc, jc, nc, slot);
+            }
+        }
+    }
+
+    /// The packed panel for n-panel `ji` and k-panel `pi`.
+    fn panel(&self, ji: usize, pi: usize) -> &[f32] {
+        &self.buf[(ji * self.k_panels + pi) * self.slot..][..self.slot]
+    }
+
+    /// Overwrites this operand with `src` scaled by a constant `factor`.
+    ///
+    /// Because packing is a pure permutation with zero padding (and
+    /// `0.0 · factor == 0.0`), the result is bit-identical to packing a
+    /// weight matrix whose every element was multiplied by `factor` — the
+    /// retention-drift realization, applied without touching the unpacked
+    /// weights at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two operands were packed with different dimensions.
+    pub fn scale_from(&mut self, src: &PackedB, factor: f32) {
+        assert_eq!(
+            (self.k, self.n, self.trans_b),
+            (src.k, src.n, src.trans_b),
+            "packed operands disagree on shape"
+        );
+        let len = self.packed_len();
+        for (d, &s) in self.buf[..len].iter_mut().zip(&src.buf[..len]) {
+            *d = s * factor;
+        }
+    }
+
+    /// Packed elements covering the current dimensions.
+    fn packed_len(&self) -> usize {
+        self.n.div_ceil(NC).max(1) * self.k_panels * self.slot
+    }
+
+    /// Overwrites this operand with a copy of `src` (used when a plan leaves
+    /// the uniformly-scaled regime and must restore the clean panels before
+    /// sparse re-packing).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two operands were packed with different dimensions.
+    pub fn copy_from(&mut self, src: &PackedB) {
+        assert_eq!(
+            (self.k, self.n, self.trans_b),
+            (src.k, src.n, src.trans_b),
+            "packed operands disagree on shape"
+        );
+        let len = self.packed_len();
+        self.buf[..len].copy_from_slice(&src.buf[..len]);
+    }
+
+    /// Re-packs only the NR-strips covering rows marked in `dirty` from the
+    /// (updated) source matrix `b` — rows meaning columns of `op(B)`, i.e.
+    /// rows of the stored `[n, k]` weight when `trans_b`.
+    ///
+    /// After the call the packed operand equals `pack(trans_b, b, k, n)`
+    /// **provided** every column that changed since the last pack/repack is
+    /// marked (callers union the previous realization's dirty set so
+    /// reverted rows are restored too).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `b` or `dirty` disagree with the packed dimensions.
+    pub fn repack_rows(&mut self, b: &[f32], dirty: &DirtyRows) {
+        assert_eq!(b.len(), self.k * self.n, "B must hold k*n elements");
+        assert_eq!(dirty.rows(), self.n, "dirty set must track n rows");
+        let (k, n, trans_b) = (self.k, self.n, self.trans_b);
+        for (ji, jc) in (0..n).step_by(NC).enumerate() {
+            let nc = NC.min(n - jc);
+            for jr in (0..nc).step_by(NR) {
+                let j0 = jc + jr;
+                if !dirty.any_in(j0, (j0 + NR).min(n)) {
+                    continue;
+                }
+                let cols = NR.min(nc - jr);
+                for (pi, pc) in (0..k).step_by(KC).enumerate() {
+                    let kc = KC.min(k - pc);
+                    let slot = (ji * self.k_panels + pi) * self.slot;
+                    let strip = &mut self.buf[slot + (jr / NR) * (kc * NR)..][..kc * NR];
+                    let mut dst = 0;
+                    for p in 0..kc {
+                        for j in 0..NR {
+                            strip[dst] = if j < cols {
+                                if trans_b {
+                                    b[(j0 + j) * k + pc + p]
+                                } else {
+                                    b[(pc + p) * n + j0 + j]
+                                }
+                            } else {
+                                0.0
+                            };
+                            dst += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// GEMM with a cached pre-packed B operand (see [`PackedB`]):
+/// `C ← α · op(A) · op(B) + β · C` where only A is packed per call, blockwise
+/// into the caller's [`Scratch`].
+///
+/// Bit-identical to [`gemm`] / [`gemm_with_scratch`] for the same operands.
+///
+/// # Panics
+///
+/// Panics when a slice length disagrees with the packed dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_prepacked_b(
+    trans_a: bool,
+    m: usize,
+    alpha: f32,
+    a: &[f32],
+    packed_b: &PackedB,
+    beta: f32,
+    c: &mut [f32],
+    scratch: &mut Scratch,
+) {
+    let (k, n) = (packed_b.k, packed_b.n);
+    assert_eq!(a.len(), m * k, "A must hold m*k elements");
+    assert_eq!(c.len(), m * n, "C must hold m*n elements");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 || alpha == 0.0 {
+        scale_in_place(c, beta);
+        return;
+    }
+    let packed_a = uninit_slice(&mut scratch.packed_a, MC.next_multiple_of(MR) * KC);
+    for (ji, jc) in (0..n).step_by(NC).enumerate() {
+        let nc = NC.min(n - jc);
+        for (pi, pc) in (0..k).step_by(KC).enumerate() {
+            let kc = KC.min(k - pc);
+            let pb = packed_b.panel(ji, pi);
+            let beta_block = if pc == 0 { beta } else { 1.0 };
+            for ic in (0..m).step_by(MC) {
+                let mc = MC.min(m - ic);
+                pack_a(trans_a, a, m, k, ic, mc, pc, kc, packed_a);
+                block_kernel(packed_a, pb, c, n, ic, mc, jc, nc, kc, alpha, beta_block);
+            }
+        }
+    }
+}
+
+/// GEMM with **both** operands pre-packed ([`PackedA`] × [`PackedB`]): the
+/// fully amortized steady state of a compiled plan whose input activation is
+/// constant across Monte-Carlo runs — per call, no packing happens at all.
+///
+/// Bit-identical to [`gemm`] / [`gemm_with_scratch`] for the same operands.
+///
+/// # Panics
+///
+/// Panics when the packed reduction dimensions disagree or `c` has the wrong
+/// length.
+pub fn gemm_prepacked_ab(
+    packed_a: &PackedA,
+    packed_b: &PackedB,
+    alpha: f32,
+    beta: f32,
+    c: &mut [f32],
+) {
+    let (m, k) = (packed_a.m, packed_a.k);
+    let n = packed_b.n;
+    assert_eq!(k, packed_b.k, "packed operands disagree on k");
+    assert_eq!(c.len(), m * n, "C must hold m*n elements");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 || alpha == 0.0 {
+        scale_in_place(c, beta);
+        return;
+    }
+    let m_blocks = m.div_ceil(MC);
+    for (ji, jc) in (0..n).step_by(NC).enumerate() {
+        let nc = NC.min(n - jc);
+        for (pi, pc) in (0..k).step_by(KC).enumerate() {
+            let kc = KC.min(k - pc);
+            let pb = packed_b.panel(ji, pi);
+            let beta_block = if pc == 0 { beta } else { 1.0 };
+            for (bi, ic) in (0..m).step_by(MC).enumerate() {
+                let mc = MC.min(m - ic);
+                let pa = &packed_a.buf[(pi * m_blocks + bi) * A_BLOCK_STRIDE..];
+                block_kernel(pa, pb, c, n, ic, mc, jc, nc, kc, alpha, beta_block);
             }
         }
     }
@@ -810,6 +1068,136 @@ mod tests {
     }
 
     #[test]
+    fn prepacked_b_is_bit_identical_to_gemm() {
+        let mut rng = Rng::seed_from(15);
+        let shapes = [
+            (1usize, 1usize, 1usize),
+            (5, 7, 3),
+            (64, 256, 512),
+            (MC + 3, NC + 5, KC + 7),
+            (9, 2 * NC + 1, 2 * KC + 3),
+        ];
+        let mut packed = PackedB::new();
+        let mut scratch = Scratch::new();
+        for &(m, n, k) in &shapes {
+            for &trans_a in &[false, true] {
+                for &trans_b in &[false, true] {
+                    for &(alpha, beta) in &[(1.0f32, 0.0f32), (0.5, 1.0)] {
+                        let a = random_vec(m * k, &mut rng);
+                        let b = random_vec(k * n, &mut rng);
+                        let seed_c = random_vec(m * n, &mut rng);
+                        let mut expected = seed_c.clone();
+                        gemm_with_scratch(
+                            trans_a,
+                            trans_b,
+                            m,
+                            n,
+                            k,
+                            alpha,
+                            &a,
+                            &b,
+                            beta,
+                            &mut expected,
+                            &mut Scratch::new(),
+                        );
+                        packed.pack(trans_b, &b, k, n);
+                        assert_eq!((packed.k(), packed.n()), (k, n));
+                        let mut got = seed_c.clone();
+                        gemm_prepacked_b(
+                            trans_a,
+                            m,
+                            alpha,
+                            &a,
+                            &packed,
+                            beta,
+                            &mut got,
+                            &mut scratch,
+                        );
+                        let identical = expected
+                            .iter()
+                            .zip(got.iter())
+                            .all(|(x, y)| x.to_bits() == y.to_bits());
+                        assert!(
+                            identical,
+                            "prepacked_b m={m} n={n} k={k} ta={trans_a} tb={trans_b}"
+                        );
+                        // Fully prepacked path.
+                        let mut pa = PackedA::new();
+                        pa.pack(trans_a, &a, m, k);
+                        let mut got_ab = seed_c.clone();
+                        gemm_prepacked_ab(&pa, &packed, alpha, beta, &mut got_ab);
+                        let identical = expected
+                            .iter()
+                            .zip(got_ab.iter())
+                            .all(|(x, y)| x.to_bits() == y.to_bits());
+                        assert!(
+                            identical,
+                            "prepacked_ab m={m} n={n} k={k} ta={trans_a} tb={trans_b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repack_rows_restores_dirty_panels_exactly() {
+        // The plan's access pattern: pack clean weights once, perturb a few
+        // rows, repack only those rows, multiply; then revert some rows and
+        // dirty others, repack the union, multiply again.
+        let mut rng = Rng::seed_from(16);
+        for &(n, k) in &[(7usize, 5usize), (NC + 9, KC + 3), (300, 40)] {
+            let m = 13;
+            let clean = random_vec(k * n, &mut rng);
+            let a = random_vec(m * k, &mut rng);
+            let mut packed = PackedB::new();
+            packed.pack(true, &clean, k, n); // [n, k] weight layout
+            let mut faulty = clean.clone();
+            let mut dirty = DirtyRows::new(n);
+            for row in [0usize, n / 2, n - 1] {
+                for v in &mut faulty[row * k..(row + 1) * k] {
+                    *v += 1.0;
+                }
+                dirty.mark(row);
+            }
+            packed.repack_rows(&faulty, &dirty);
+            let mut reference = PackedB::new();
+            reference.pack(true, &faulty, k, n);
+            let mut got = vec![0.0f32; m * n];
+            let mut want = vec![0.0f32; m * n];
+            let mut scratch = Scratch::new();
+            gemm_prepacked_b(false, m, 1.0, &a, &packed, 0.0, &mut got, &mut scratch);
+            gemm_prepacked_b(false, m, 1.0, &a, &reference, 0.0, &mut want, &mut scratch);
+            assert!(
+                got.iter()
+                    .zip(&want)
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "n={n} k={k} dirty repack diverged"
+            );
+            // Revert row 0, dirty row 1: repacking the union must restore
+            // the clean values of row 0 and pick up row 1.
+            let mut next = clean.clone();
+            for v in &mut next[k..2 * k] {
+                *v -= 2.0;
+            }
+            let mut union = DirtyRows::new(n);
+            union.merge(&dirty); // previously-faulty rows must be restored
+            union.mark(1);
+            packed.repack_rows(&next, &union);
+            let mut reference = PackedB::new();
+            reference.pack(true, &next, k, n);
+            gemm_prepacked_b(false, m, 1.0, &a, &packed, 0.0, &mut got, &mut scratch);
+            gemm_prepacked_b(false, m, 1.0, &a, &reference, 0.0, &mut want, &mut scratch);
+            assert!(
+                got.iter()
+                    .zip(&want)
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "n={n} k={k} union repack diverged"
+            );
+        }
+    }
+
+    #[test]
     fn accumulation_order_is_thread_count_invariant() {
         // The sequential and parallel paths must agree bit-for-bit: same
         // k-accumulation order per element, only the (disjoint) row-block
@@ -844,5 +1232,46 @@ mod tests {
             identical,
             "parallel GEMM must be bit-identical to sequential"
         );
+    }
+
+    mod packed_b_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        // Round-trip property: repacking an arbitrary dirty subset of rows
+        // from an updated matrix leaves the cached operand bit-identical to
+        // a from-scratch pack of that matrix.
+        proptest! {
+            #[test]
+            fn prop_repack_matches_direct_pack(
+                n in 1usize..40,
+                k in 1usize..20,
+                seed in 0u32..1000,
+                dirty_rows in proptest::collection::vec(0usize..40, 0..8),
+            ) {
+                let mut rng = Rng::seed_from(u64::from(seed));
+                let clean: Vec<f32> = (0..k * n).map(|_| rng.normal(0.0, 1.0)).collect();
+                let mut packed = PackedB::new();
+                packed.pack(true, &clean, k, n);
+                let mut faulty = clean.clone();
+                let mut dirty = DirtyRows::new(n);
+                for &row in dirty_rows.iter().filter(|&&r| r < n) {
+                    for v in &mut faulty[row * k..(row + 1) * k] {
+                        *v = -*v + 0.5;
+                    }
+                    dirty.mark(row);
+                }
+                packed.repack_rows(&faulty, &dirty);
+                let mut direct = PackedB::new();
+                direct.pack(true, &faulty, k, n);
+                prop_assert_eq!(packed.buf.len(), direct.buf.len());
+                let identical = packed
+                    .buf
+                    .iter()
+                    .zip(direct.buf.iter())
+                    .all(|(x, y)| x.to_bits() == y.to_bits());
+                prop_assert!(identical, "cached repack diverged from direct pack");
+            }
+        }
     }
 }

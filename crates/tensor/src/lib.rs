@@ -40,6 +40,7 @@
 
 #![deny(missing_docs)]
 
+pub mod arena;
 pub mod conv;
 pub mod error;
 pub mod gemm;
@@ -52,6 +53,7 @@ pub mod shape;
 pub mod stats;
 pub mod tensor;
 
+pub use arena::{Arena, ArenaSlot, DirtyRows};
 pub use error::TensorError;
 pub use rng::Rng;
 pub use scratch::Scratch;

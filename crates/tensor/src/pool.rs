@@ -97,6 +97,123 @@ pub fn maxpool2d_forward(input: &Tensor, spec: &Pool2dSpec) -> Result<MaxPool2dF
     })
 }
 
+/// Evaluation-only [`maxpool2d_forward`] over a raw NCHW slice into a
+/// caller-provided buffer — the zero-alloc entry point compiled plans use.
+/// No argmax is recorded (plans are inference-only); the max-selection order
+/// is identical to [`maxpool2d_forward`], so results are bit-identical.
+///
+/// # Errors
+///
+/// Returns an error when `dims` is not rank-4, the window does not fit, or a
+/// buffer length is wrong.
+pub fn maxpool2d_eval_into(
+    input: &[f32],
+    dims: &[usize],
+    spec: &Pool2dSpec,
+    out: &mut [f32],
+) -> Result<()> {
+    let (n, c, h, w) = dims_nchw(dims)?;
+    let (oh, ow) = spec.output_hw(h, w)?;
+    if input.len() != n * c * h * w || out.len() != n * c * oh * ow {
+        return Err(TensorError::ShapeMismatch {
+            lhs: vec![n * c * h * w, n * c * oh * ow],
+            rhs: vec![input.len(), out.len()],
+        });
+    }
+    for nc in 0..n * c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                for ky in 0..spec.kernel {
+                    for kx in 0..spec.kernel {
+                        let iy = oy * spec.stride + ky;
+                        let ix = ox * spec.stride + kx;
+                        let v = input[(nc * h + iy) * w + ix];
+                        if v > best {
+                            best = v;
+                        }
+                    }
+                }
+                out[(nc * oh + oy) * ow + ox] = best;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// [`avgpool2d_forward`] over a raw NCHW slice into a caller-provided buffer
+/// (same accumulation order — bit-identical results).
+///
+/// # Errors
+///
+/// Returns an error when `dims` is not rank-4, the window does not fit, or a
+/// buffer length is wrong.
+pub fn avgpool2d_into(
+    input: &[f32],
+    dims: &[usize],
+    spec: &Pool2dSpec,
+    out: &mut [f32],
+) -> Result<()> {
+    let (n, c, h, w) = dims_nchw(dims)?;
+    let (oh, ow) = spec.output_hw(h, w)?;
+    if input.len() != n * c * h * w || out.len() != n * c * oh * ow {
+        return Err(TensorError::ShapeMismatch {
+            lhs: vec![n * c * h * w, n * c * oh * ow],
+            rhs: vec![input.len(), out.len()],
+        });
+    }
+    let norm = (spec.kernel * spec.kernel) as f32;
+    for nc in 0..n * c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0f32;
+                for ky in 0..spec.kernel {
+                    for kx in 0..spec.kernel {
+                        let iy = oy * spec.stride + ky;
+                        let ix = ox * spec.stride + kx;
+                        acc += input[(nc * h + iy) * w + ix];
+                    }
+                }
+                out[(nc * oh + oy) * ow + ox] = acc / norm;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// [`global_avgpool2d`] over a raw NCHW slice into a caller-provided `[N*C]`
+/// buffer (same summation order — bit-identical results). 1-D callers pass
+/// `[N, C, 1, L]`.
+///
+/// # Errors
+///
+/// Returns an error when `dims` is not rank-4 or a buffer length is wrong.
+pub fn global_avgpool2d_into(input: &[f32], dims: &[usize], out: &mut [f32]) -> Result<()> {
+    let (n, c, h, w) = dims_nchw(dims)?;
+    if input.len() != n * c * h * w || out.len() != n * c {
+        return Err(TensorError::ShapeMismatch {
+            lhs: vec![n * c * h * w, n * c],
+            rhs: vec![input.len(), out.len()],
+        });
+    }
+    let norm = (h * w) as f32;
+    for nc in 0..n * c {
+        let base = nc * h * w;
+        out[nc] = input[base..base + h * w].iter().sum::<f32>() / norm;
+    }
+    Ok(())
+}
+
+fn dims_nchw(dims: &[usize]) -> Result<(usize, usize, usize, usize)> {
+    if dims.len() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: dims.len(),
+        });
+    }
+    Ok((dims[0], dims[1], dims[2], dims[3]))
+}
+
 /// Backward pass for max pooling: routes each output gradient back to the
 /// input position that won the max.
 ///

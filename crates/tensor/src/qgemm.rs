@@ -22,6 +22,7 @@
 //! `k ≤ 133 152`, far beyond any layer in the workspace; the entry points
 //! debug-assert it.
 
+use crate::arena::DirtyRows;
 use crate::scratch::{uninit_slice_of, Scratch};
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -333,6 +334,207 @@ pub fn qgemm_prepacked(
                 let mc = QMC.min(m - ic);
                 let pa = &packed_a.buf[(pi * m_blocks + bi) * QA_BLOCK_STRIDE..];
                 block_kernel(pa, packed_b, c, n, ic, mc, jc, nc, kc, acc_block);
+            }
+        }
+    }
+}
+
+/// A fully packed i8 `op(B)` operand in the quad-major strip layout the
+/// quantized microkernel consumes — the integer counterpart of
+/// [`crate::gemm::PackedB`], cached by compiled plans for quantized layers
+/// and re-packed only where a code-domain fault realization marked rows
+/// dirty ([`QPackedB::repack_rows`]). Bit-exact vs [`qgemm_with_scratch`].
+#[derive(Debug, Default, Clone)]
+pub struct QPackedB {
+    k: usize,
+    n: usize,
+    trans_b: bool,
+    k_panels: usize,
+    slot: usize,
+    buf: Vec<i8>,
+}
+
+impl QPackedB {
+    /// Creates an empty handle; the buffer grows on first [`QPackedB::pack`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Shared (reduction) dimension of the packed operand.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Columns of the packed operand.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Packs `op(B)` (`[k, n]` codes, or stored `[n, k]` when `trans_b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slice length disagrees with `k * n`.
+    pub fn pack(&mut self, trans_b: bool, b: &[i8], k: usize, n: usize) {
+        assert_eq!(b.len(), k * n, "B must hold k*n codes");
+        self.k = k;
+        self.n = n;
+        self.trans_b = trans_b;
+        self.k_panels = k.div_ceil(QKC).max(1);
+        self.slot = QKC * QNC.min(n.next_multiple_of(QNR)).max(QNR);
+        let n_panels = n.div_ceil(QNC).max(1);
+        let buf = uninit_slice_of(&mut self.buf, n_panels * self.k_panels * self.slot);
+        for (ji, jc) in (0..n).step_by(QNC).enumerate() {
+            let nc = QNC.min(n - jc);
+            for (pi, pc) in (0..k).step_by(QKC).enumerate() {
+                let kc = QKC.min(k - pc);
+                let slot = &mut buf[(ji * self.k_panels + pi) * self.slot..][..self.slot];
+                pack_b(trans_b, b, k, n, pc, kc, jc, nc, slot);
+            }
+        }
+    }
+
+    /// The packed panel for n-panel `ji` and k-panel `pi`.
+    fn panel(&self, ji: usize, pi: usize) -> &[i8] {
+        &self.buf[(ji * self.k_panels + pi) * self.slot..][..self.slot]
+    }
+
+    /// Re-packs only the QNR-strips covering rows marked in `dirty` from the
+    /// updated code matrix `b` (see [`crate::gemm::PackedB::repack_rows`] for
+    /// the contract — every column changed since the last pack must be
+    /// marked).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `b` or `dirty` disagree with the packed dimensions.
+    pub fn repack_rows(&mut self, b: &[i8], dirty: &DirtyRows) {
+        assert_eq!(b.len(), self.k * self.n, "B must hold k*n codes");
+        assert_eq!(dirty.rows(), self.n, "dirty set must track n rows");
+        let (k, n, trans_b) = (self.k, self.n, self.trans_b);
+        for (ji, jc) in (0..n).step_by(QNC).enumerate() {
+            let nc = QNC.min(n - jc);
+            for jr in (0..nc).step_by(QNR) {
+                let j0 = jc + jr;
+                if !dirty.any_in(j0, (j0 + QNR).min(n)) {
+                    continue;
+                }
+                let cols = QNR.min(nc - jr);
+                for (pi, pc) in (0..k).step_by(QKC).enumerate() {
+                    let kc = QKC.min(k - pc);
+                    let quads = kc.div_ceil(KQ);
+                    let slot = (ji * self.k_panels + pi) * self.slot;
+                    let strip =
+                        &mut self.buf[slot + (jr / QNR) * (quads * KQ * QNR)..][..quads * KQ * QNR];
+                    let mut dst = 0;
+                    for q in 0..quads {
+                        for j in 0..QNR {
+                            for kk in 0..KQ {
+                                let p = q * KQ + kk;
+                                strip[dst] = if j < cols && p < kc {
+                                    if trans_b {
+                                        b[(j0 + j) * k + pc + p]
+                                    } else {
+                                        b[(pc + p) * n + j0 + j]
+                                    }
+                                } else {
+                                    0
+                                };
+                                dst += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Integer GEMM with a cached pre-packed B operand (see [`QPackedB`]): only
+/// A is packed per call, blockwise into the caller's [`Scratch`]. Bit-exact
+/// vs every other kernel variant.
+///
+/// # Panics
+///
+/// Panics when a slice length disagrees with the packed dimensions.
+pub fn qgemm_prepacked_b(
+    trans_a: bool,
+    m: usize,
+    a: &[i8],
+    packed_b: &QPackedB,
+    accumulate: bool,
+    c: &mut [i32],
+    scratch: &mut Scratch,
+) {
+    let (k, n) = (packed_b.k, packed_b.n);
+    assert_eq!(a.len(), m * k, "A must hold m*k codes");
+    assert_eq!(c.len(), m * n, "C must hold m*n accumulators");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        if !accumulate {
+            c.fill(0);
+        }
+        return;
+    }
+    let kq_panel = QKC / KQ;
+    let packed_a = uninit_slice_of(
+        &mut scratch.packed_a_i8,
+        QMC.next_multiple_of(QMR) * kq_panel * KQ,
+    );
+    for (ji, jc) in (0..n).step_by(QNC).enumerate() {
+        let nc = QNC.min(n - jc);
+        for (pi, pc) in (0..k).step_by(QKC).enumerate() {
+            let kc = QKC.min(k - pc);
+            let pb = packed_b.panel(ji, pi);
+            let acc_block = accumulate || pc > 0;
+            for ic in (0..m).step_by(QMC) {
+                let mc = QMC.min(m - ic);
+                pack_a(trans_a, a, m, k, ic, mc, pc, kc, packed_a);
+                block_kernel(packed_a, pb, c, n, ic, mc, jc, nc, kc, acc_block);
+            }
+        }
+    }
+}
+
+/// Integer GEMM with **both** operands pre-packed ([`QPackedA`] ×
+/// [`QPackedB`]): per call, no packing happens at all. Bit-exact vs every
+/// other kernel variant.
+///
+/// # Panics
+///
+/// Panics when the packed reduction dimensions disagree or `c` has the wrong
+/// length.
+pub fn qgemm_prepacked_ab(
+    packed_a: &QPackedA,
+    packed_b: &QPackedB,
+    accumulate: bool,
+    c: &mut [i32],
+) {
+    let (m, k) = (packed_a.m, packed_a.k);
+    let n = packed_b.n;
+    assert_eq!(k, packed_b.k, "packed operands disagree on k");
+    assert_eq!(c.len(), m * n, "C must hold m*n accumulators");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        if !accumulate {
+            c.fill(0);
+        }
+        return;
+    }
+    let m_blocks = m.div_ceil(QMC);
+    for (ji, jc) in (0..n).step_by(QNC).enumerate() {
+        let nc = QNC.min(n - jc);
+        for (pi, pc) in (0..k).step_by(QKC).enumerate() {
+            let kc = QKC.min(k - pc);
+            let pb = packed_b.panel(ji, pi);
+            let acc_block = accumulate || pc > 0;
+            for (bi, ic) in (0..m).step_by(QMC).enumerate() {
+                let mc = QMC.min(m - ic);
+                let pa = &packed_a.buf[(pi * m_blocks + bi) * QA_BLOCK_STRIDE..];
+                block_kernel(pa, pb, c, n, ic, mc, jc, nc, kc, acc_block);
             }
         }
     }
@@ -736,6 +938,53 @@ mod tests {
             cap,
             "repeat calls must not grow scratch"
         );
+    }
+
+    #[test]
+    fn prepacked_b_is_bit_exact_and_repacks_dirty_rows() {
+        let mut rng = Rng::seed_from(21);
+        let mut scratch = Scratch::new();
+        for &(m, n, k) in &[
+            (1usize, 1usize, 1usize),
+            (5, 19, 300),
+            (33, QNC + 5, QKC + 7),
+        ] {
+            let a = random_codes(m * k, &mut rng);
+            let b = random_codes(k * n, &mut rng);
+            // Weight-style layout [n, k] with trans_b.
+            let expected = reference::qmatmul_i8(false, true, m, n, k, &a, &b);
+            let mut packed = QPackedB::new();
+            packed.pack(true, &b, k, n);
+            assert_eq!((packed.k(), packed.n()), (k, n));
+            let mut got = vec![0i32; m * n];
+            qgemm_prepacked_b(false, m, &a, &packed, false, &mut got, &mut scratch);
+            assert_eq!(got, expected, "qgemm_prepacked_b m={m} n={n} k={k}");
+            let mut pa = QPackedA::new();
+            pa.pack(false, &a, m, k);
+            let mut got_ab = vec![0i32; m * n];
+            qgemm_prepacked_ab(&pa, &packed, false, &mut got_ab);
+            assert_eq!(got_ab, expected, "qgemm_prepacked_ab m={m} n={n} k={k}");
+
+            // Perturb a few weight rows, repack only those, and check the
+            // cached operand behaves like a from-scratch pack.
+            let mut faulty = b.clone();
+            let mut dirty = DirtyRows::new(n);
+            for row in [0usize, n / 2, n - 1] {
+                for c in &mut faulty[row * k..(row + 1) * k] {
+                    *c = c.wrapping_add(3).clamp(-127, 127);
+                }
+                dirty.mark(row);
+            }
+            packed.repack_rows(&faulty, &dirty);
+            let expected = reference::qmatmul_i8(false, true, m, n, k, &a, &faulty);
+            qgemm_prepacked_b(false, m, &a, &packed, false, &mut got, &mut scratch);
+            assert_eq!(got, expected, "dirty repack m={m} n={n} k={k}");
+            // Reverting the rows (union-marked) restores the clean product.
+            packed.repack_rows(&b, &dirty);
+            let expected = reference::qmatmul_i8(false, true, m, n, k, &a, &b);
+            qgemm_prepacked_b(false, m, &a, &packed, false, &mut got, &mut scratch);
+            assert_eq!(got, expected, "revert repack m={m} n={n} k={k}");
+        }
     }
 
     proptest! {

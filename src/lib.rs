@@ -79,7 +79,7 @@ pub mod prelude {
     pub use invnorm_nn::linear::Linear;
     pub use invnorm_nn::optim::{Adam, Optimizer, Sgd};
     pub use invnorm_nn::quantized::{QuantizedConv2d, QuantizedLinear};
-    pub use invnorm_nn::{NnError, Residual, Sequential};
+    pub use invnorm_nn::{NnError, Plan, Residual, Sequential};
     pub use invnorm_quant::{QuantConfig, QuantizedTensor};
     pub use invnorm_tensor::{Rng, Shape, Tensor};
 }
