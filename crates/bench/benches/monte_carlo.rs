@@ -184,6 +184,41 @@ fn bench_model<F>(
                 summary.mean
             })
         });
+        // Fused planned-batched engine: B stacked realizations per planned
+        // forward — the batched wide-GEMM win and the compiled-plan win in
+        // one path (frozen activation panels streamed against B cached
+        // weight panels; sparse stuck-at lands in the panels cell by cell).
+        group.bench_function(
+            format!("{name}_{tag}_planned_batched_b{BATCH}_t{THREADS}"),
+            |b| {
+                b.iter(|| {
+                    let summary = if quantized {
+                        engine
+                            .run_planned_batched_quantized(
+                                factory,
+                                fault,
+                                input,
+                                |out| Ok(out.sum()),
+                                BATCH,
+                                THREADS,
+                            )
+                            .unwrap()
+                    } else {
+                        engine
+                            .run_planned_batched(
+                                factory,
+                                fault,
+                                input,
+                                |out| Ok(out.sum()),
+                                BATCH,
+                                THREADS,
+                            )
+                            .unwrap()
+                    };
+                    summary.mean
+                })
+            },
+        );
     }
 }
 

@@ -60,9 +60,17 @@ fn main() -> ExitCode {
         );
         return ExitCode::from(2);
     }
-    if outcome.regressions.is_empty() {
-        println!("bench_gate: no regressions");
-        return ExitCode::SUCCESS;
+    // Report every finding before deciding the exit code, so one run
+    // surfaces both a degenerate mean and a genuine regression elsewhere.
+    for d in &outcome.degenerate {
+        // A zero/NaN mean cannot anchor a ratio; a committed baseline like
+        // that silently disables the gate for the benchmark, so it is a
+        // misconfiguration failure, not a pass.
+        eprintln!(
+            "bench_gate: DEGENERATE {}::{} — {} mean is {} ns (zero, negative or \
+             non-finite); re-record the report",
+            d.file, d.name, d.side, d.mean_ns
+        );
     }
     for r in &outcome.regressions {
         println!(
@@ -73,6 +81,13 @@ fn main() -> ExitCode {
             r.fresh_ns,
             r.ratio()
         );
+    }
+    if !outcome.degenerate.is_empty() {
+        return ExitCode::from(2);
+    }
+    if outcome.regressions.is_empty() {
+        println!("bench_gate: no regressions");
+        return ExitCode::SUCCESS;
     }
     ExitCode::FAILURE
 }

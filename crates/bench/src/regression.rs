@@ -40,6 +40,23 @@ impl Regression {
     }
 }
 
+/// A benchmark whose recorded mean cannot anchor a regression ratio: zero,
+/// negative, NaN or infinite. A committed baseline like this would make the
+/// ratio `fresh / baseline` meaningless (divide-by-zero, NaN comparisons are
+/// always false), silently disabling the gate for that benchmark — so the
+/// gate reports it as a hard failure instead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegenerateMean {
+    /// Report file name.
+    pub file: String,
+    /// Benchmark name within the group.
+    pub name: String,
+    /// Which side carries the degenerate value (`"baseline"` or `"fresh"`).
+    pub side: &'static str,
+    /// The offending mean.
+    pub mean_ns: f64,
+}
+
 /// Outcome of gating one pair of report directories.
 #[derive(Debug, Default)]
 pub struct GateOutcome {
@@ -49,11 +66,18 @@ pub struct GateOutcome {
     pub files: usize,
     /// Regressions beyond the threshold, worst first.
     pub regressions: Vec<Regression>,
+    /// Benchmarks whose baseline or fresh mean is unusable (zero, negative
+    /// or non-finite) — a misconfiguration, reported loudly instead of
+    /// silently passing.
+    pub degenerate: Vec<DegenerateMean>,
 }
 
 /// Extracts `(name, mean_ns)` pairs from a `BENCH_*.json` report produced by
 /// the criterion shim. Unparseable input yields an empty map (the gate then
-/// simply has nothing to compare).
+/// simply has nothing to compare). An entry whose `mean_ns` is missing or
+/// unparsable is recorded as NaN — visibly degenerate — instead of being
+/// dropped (dropping it would silently shrink the compared set, and an
+/// earlier version even stopped scanning there, hiding every later entry).
 pub fn parse_bench_means(json: &str) -> BenchMeans {
     let mut means = BenchMeans::new();
     // Each benchmark entry is emitted on one line as
@@ -66,38 +90,74 @@ pub fn parse_bench_means(json: &str) -> BenchMeans {
         let Some(close) = after.find('"') else { break };
         let name = &after[..close];
         rest = &after[close + 1..];
-        let Some(mpos) = rest.find("\"mean_ns\":") else {
-            break;
+        // The mean must belong to THIS entry: stop at the next entry's
+        // "name" key if one appears first.
+        let next_name = rest.find("\"name\":").unwrap_or(rest.len());
+        let Some(mpos) = rest[..next_name].find("\"mean_ns\":") else {
+            means.insert(name.to_string(), f64::NAN);
+            continue;
         };
         let after_mean = rest[mpos + "\"mean_ns\":".len()..].trim_start();
         let end = after_mean
-            .find(|c: char| c != '.' && c != '-' && c != '+' && c != 'e' && !c.is_ascii_digit())
+            .find(|c: char| {
+                c != '.'
+                    && c != '-'
+                    && c != '+'
+                    && c != 'e'
+                    && c != 'N'
+                    && c != 'a'
+                    && c != 'i'
+                    && c != 'n'
+                    && c != 'f'
+                    && !c.is_ascii_digit()
+            })
             .unwrap_or(after_mean.len());
-        if let Ok(mean) = after_mean[..end].trim().parse::<f64>() {
-            means.insert(name.to_string(), mean);
-        }
+        let mean = after_mean[..end].trim().parse::<f64>().unwrap_or(f64::NAN);
+        means.insert(name.to_string(), mean);
         rest = &after_mean[end..];
     }
     means
 }
 
+/// Whether a recorded mean can anchor a regression ratio.
+fn usable_mean(mean: f64) -> bool {
+    mean.is_finite() && mean > 0.0
+}
+
 /// Compares one baseline report against its fresh counterpart, returning the
-/// regressions beyond `threshold` (fractional slowdown, e.g. `0.25` = 25 %)
+/// regressions beyond `threshold` (fractional slowdown, e.g. `0.25` = 25 %),
+/// the degenerate entries (zero/NaN/non-finite means on either side, which
+/// would otherwise yield a bogus ratio or silently disable the comparison),
 /// and the number of benchmarks compared.
 pub fn compare_reports(
     file: &str,
     baseline: &BenchMeans,
     fresh: &BenchMeans,
     threshold: f64,
-) -> (Vec<Regression>, usize) {
+) -> (Vec<Regression>, Vec<DegenerateMean>, usize) {
     let mut regressions = Vec::new();
+    let mut degenerate = Vec::new();
     let mut compared = 0usize;
     for (name, &base) in baseline {
         let Some(&new) = fresh.get(name) else {
             continue;
         };
         compared += 1;
-        if base > 0.0 && new > base * (1.0 + threshold) {
+        let mut flag = |side: &'static str, mean_ns: f64| {
+            degenerate.push(DegenerateMean {
+                file: file.to_string(),
+                name: name.clone(),
+                side,
+                mean_ns,
+            });
+        };
+        if !usable_mean(base) {
+            flag("baseline", base);
+        }
+        if !usable_mean(new) {
+            flag("fresh", new);
+        }
+        if usable_mean(base) && usable_mean(new) && new > base * (1.0 + threshold) {
             regressions.push(Regression {
                 file: file.to_string(),
                 name: name.clone(),
@@ -106,7 +166,7 @@ pub fn compare_reports(
             });
         }
     }
-    (regressions, compared)
+    (regressions, degenerate, compared)
 }
 
 /// Lists the `BENCH_*.json` report files directly inside `dir`.
@@ -147,11 +207,12 @@ pub fn gate_dirs(baseline: &Path, fresh: &Path, threshold: f64) -> std::io::Resu
         }
         let base_means = parse_bench_means(&std::fs::read_to_string(&base_path)?);
         let fresh_means = parse_bench_means(&std::fs::read_to_string(&fresh_path)?);
-        let (mut regressions, compared) =
+        let (mut regressions, mut degenerate, compared) =
             compare_reports(&file, &base_means, &fresh_means, threshold);
         outcome.files += 1;
         outcome.compared += compared;
         outcome.regressions.append(&mut regressions);
+        outcome.degenerate.append(&mut degenerate);
     }
     outcome
         .regressions
@@ -188,17 +249,17 @@ mod tests {
         let mut fresh = baseline.clone();
         // 20% slower: inside a 25% gate.
         fresh.insert("gemm_64".into(), 1200.0);
-        let (regs, compared) = compare_reports("f", &baseline, &fresh, 0.25);
-        assert_eq!((regs.len(), compared), (0, 2));
+        let (regs, degen, compared) = compare_reports("f", &baseline, &fresh, 0.25);
+        assert_eq!((regs.len(), degen.len(), compared), (0, 0, 2));
         // 30% slower: flagged.
         fresh.insert("gemm_64".into(), 1300.0);
-        let (regs, _) = compare_reports("f", &baseline, &fresh, 0.25);
+        let (regs, _, _) = compare_reports("f", &baseline, &fresh, 0.25);
         assert_eq!(regs.len(), 1);
         assert_eq!(regs[0].name, "gemm_64");
         assert!((regs[0].ratio() - 1.3).abs() < 1e-9);
         // Speedups never flag.
         fresh.insert("gemm_64".into(), 10.0);
-        let (regs, _) = compare_reports("f", &baseline, &fresh, 0.25);
+        let (regs, _, _) = compare_reports("f", &baseline, &fresh, 0.25);
         assert!(regs.is_empty());
     }
 
@@ -208,8 +269,67 @@ mod tests {
         let mut fresh = BenchMeans::new();
         fresh.insert("brand_new_bench".into(), 1.0);
         fresh.insert("gemm_64".into(), 1001.0);
-        let (regs, compared) = compare_reports("f", &baseline, &fresh, 0.25);
-        assert_eq!((regs.len(), compared), (0, 1));
+        let (regs, degen, compared) = compare_reports("f", &baseline, &fresh, 0.25);
+        assert_eq!((regs.len(), degen.len(), compared), (0, 0, 1));
+    }
+
+    #[test]
+    fn degenerate_means_are_flagged_not_silently_passed() {
+        // A zero baseline mean previously disabled the comparison for that
+        // benchmark (`base > 0.0` guard) and a NaN on either side made every
+        // comparison false — both silently passing the gate. They are now
+        // hard findings.
+        let mut baseline = parse_bench_means(SAMPLE);
+        let mut fresh = baseline.clone();
+        baseline.insert("gemm_64".into(), 0.0);
+        let (regs, degen, compared) = compare_reports("f", &baseline, &fresh, 0.25);
+        assert_eq!((regs.len(), compared), (0, 2));
+        assert_eq!(degen.len(), 1);
+        assert_eq!(
+            (degen[0].name.as_str(), degen[0].side, degen[0].mean_ns),
+            ("gemm_64", "baseline", 0.0)
+        );
+        // NaN fresh mean (e.g. a zero-sample run) is flagged on the fresh
+        // side; a regression elsewhere is still detected.
+        baseline.insert("gemm_64".into(), 1000.0);
+        fresh.insert("gemm_64".into(), f64::NAN);
+        fresh.insert("conv_fwd".into(), 5000.0);
+        let (regs, degen, _) = compare_reports("f", &baseline, &fresh, 0.25);
+        assert_eq!(degen.len(), 1);
+        assert_eq!(degen[0].side, "fresh");
+        assert!(degen[0].mean_ns.is_nan());
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].name, "conv_fwd");
+        // Negative and infinite means are equally unusable.
+        baseline.insert("conv_fwd".into(), -3.0);
+        fresh.insert("gemm_64".into(), f64::INFINITY);
+        let (_, degen, _) = compare_reports("f", &baseline, &fresh, 0.25);
+        assert_eq!(degen.len(), 2);
+    }
+
+    #[test]
+    fn missing_mean_parses_as_nan_without_dropping_later_entries() {
+        // An entry without a usable mean_ns must not hide the entries after
+        // it (the old scanner stopped at the first malformed entry).
+        let broken = r#"{"benchmarks": [
+            {"name": "first", "samples": 0},
+            {"name": "second", "mean_ns": 12.5}
+        ]}"#;
+        let means = parse_bench_means(broken);
+        assert_eq!(means.len(), 2);
+        assert!(means["first"].is_nan());
+        assert_eq!(means["second"], 12.5);
+        // And a NaN literal in the report parses as NaN, not as a dropped
+        // entry.
+        let nan = r#"{"benchmarks": [{"name": "zero_samples", "mean_ns": NaN}]}"#;
+        let means = parse_bench_means(nan);
+        assert!(means["zero_samples"].is_nan());
+        // A degenerate committed baseline therefore fails the gate loudly.
+        let fresh =
+            parse_bench_means(r#"{"benchmarks": [{"name": "zero_samples", "mean_ns": 10.0}]}"#);
+        let (_, degen, _) = compare_reports("f", &means, &fresh, 0.25);
+        assert_eq!(degen.len(), 1);
+        assert_eq!(degen[0].side, "baseline");
     }
 
     #[test]

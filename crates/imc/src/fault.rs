@@ -288,8 +288,7 @@ impl FaultModel {
                 }
             }
             FaultModel::StuckAt { rate } => {
-                let lo = src.iter().copied().fold(f32::INFINITY, f32::min);
-                let hi = src.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let (lo, hi) = stuck_levels(src);
                 for (d, &s) in dst.iter_mut().zip(src) {
                     *d = if rng.bernoulli(rate) {
                         if rng.bernoulli(0.5) {
@@ -319,6 +318,17 @@ impl FaultModel {
         }
         Ok(())
     }
+}
+
+/// The two stuck-cell levels of a weight slice (its minimum and maximum
+/// value) — shared by [`FaultModel::perturb_into`] and the sparse
+/// packed-domain stuck-at path in [`crate::injector`] so the two realization
+/// paths cannot diverge. `(+inf, -inf)` for an empty slice, which no caller
+/// ever writes anywhere (there are no cells to stick).
+pub(crate) fn stuck_levels(src: &[f32]) -> (f32, f32) {
+    let lo = src.iter().copied().fold(f32::INFINITY, f32::min);
+    let hi = src.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    (lo, hi)
 }
 
 /// Flips each bit of each quantized code independently with probability
@@ -565,6 +575,86 @@ mod tests {
         assert!(FaultModel::None
             .perturb_into(&w, &mut short, &mut Rng::seed_from(1))
             .is_err());
+    }
+
+    #[test]
+    fn edge_rates_are_consistent_across_realization_paths() {
+        // rate = 0.0 (inactive) and rate = 1.0 (every cell fires) must be
+        // handled identically by the allocating and the zero-alloc paths —
+        // including the RNG stream they leave behind.
+        let (w, _) = sample_weights(21);
+        let models = [
+            FaultModel::StuckAt { rate: 0.0 },
+            FaultModel::StuckAt { rate: 1.0 },
+            FaultModel::BitFlip { rate: 1.0, bits: 8 },
+            FaultModel::BinaryBitFlip { rate: 1.0 },
+            FaultModel::AdditiveVariation { sigma: 0.0 },
+            FaultModel::UniformNoise { strength: 0.0 },
+            FaultModel::Drift {
+                nu: 0.0,
+                time_ratio: 100.0,
+            },
+            FaultModel::Drift {
+                nu: 0.1,
+                time_ratio: 1.0,
+            },
+        ];
+        for model in models {
+            model.validate().unwrap();
+            let mut rng_a = Rng::seed_from(99);
+            let mut rng_b = Rng::seed_from(99);
+            let allocated = model.perturb(&w, &mut rng_a).unwrap();
+            let mut dst = vec![0.0f32; w.numel()];
+            model.perturb_into(&w, &mut dst, &mut rng_b).unwrap();
+            let identical = allocated
+                .data()
+                .iter()
+                .zip(dst.iter())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(identical, "{model:?} paths diverged at an edge rate");
+            assert_eq!(rng_a.next_u64(), rng_b.next_u64(), "{model:?} rng state");
+        }
+        // rate = 1.0 stuck-at pins every cell to an extreme.
+        let mut rng = Rng::seed_from(100);
+        let p = FaultModel::StuckAt { rate: 1.0 }
+            .perturb(&w, &mut rng)
+            .unwrap();
+        let (lo, hi) = (w.min(), w.max());
+        assert!(p.data().iter().all(|&v| v == lo || v == hi));
+        // Drift with time_ratio = 1 or nu = 0 is exactly the identity.
+        let d = FaultModel::Drift {
+            nu: 0.1,
+            time_ratio: 1.0,
+        };
+        assert!(!d.is_active() && d.uniform_scale().is_none());
+    }
+
+    #[test]
+    fn zero_length_parameters_are_harmless() {
+        // A degenerate rank-1/rank-2 parameter with zero elements must not
+        // panic or draw from the stream differently across paths.
+        let w = Tensor::zeros(&[0]);
+        for model in [
+            FaultModel::AdditiveVariation { sigma: 0.5 },
+            FaultModel::MultiplicativeVariation { sigma: 0.5 },
+            FaultModel::UniformNoise { strength: 0.5 },
+            FaultModel::StuckAt { rate: 0.7 },
+            FaultModel::Drift {
+                nu: 0.05,
+                time_ratio: 10.0,
+            },
+            FaultModel::None,
+        ] {
+            let mut rng_a = Rng::seed_from(7);
+            let mut rng_b = Rng::seed_from(7);
+            let p = model.perturb(&w, &mut rng_a).unwrap();
+            assert_eq!(p.numel(), 0, "{model:?}");
+            let mut dst: Vec<f32> = Vec::new();
+            model.perturb_into(&w, &mut dst, &mut rng_b).unwrap();
+            assert_eq!(rng_a.next_u64(), rng_b.next_u64(), "{model:?} rng state");
+        }
+        let (lo, hi) = stuck_levels(&[]);
+        assert!(lo.is_infinite() && hi.is_infinite());
     }
 
     #[test]

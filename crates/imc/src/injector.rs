@@ -12,10 +12,10 @@
 //!   this layer at that point and experiments turn it on through the shared
 //!   [`NoiseHandle`].
 
-use crate::fault::{flip_code_bits, FaultModel};
+use crate::fault::{flip_code_bits, stuck_levels, FaultModel};
 use crate::Result;
 use invnorm_nn::layer::{Layer, Mode, Param};
-use invnorm_nn::plan::{PlanArenas, PlanCtx, PlanShape};
+use invnorm_nn::plan::{PlanArenas, PlanCtx, PlanParamView, PlanShape};
 use invnorm_nn::NnError;
 use invnorm_tensor::{DirtyRows, Rng, Tensor};
 use std::sync::{Arc, RwLock};
@@ -325,56 +325,229 @@ impl WeightFaultInjector {
             return Ok(());
         }
         let mut result: Result<()> = Ok(());
-        network.visit_plan_params(&mut |view| {
+        network.visit_plan_params(&mut |mut view| {
             if result.is_err() {
                 return;
             }
+            if view.faulty.len() != view.clean.numel() {
+                result = Err(NnError::Config(format!(
+                    "plan staged {} faulty elements for a parameter of {} (was the plan \
+                     compiled batched? use realize_plan_batch)",
+                    view.faulty.len(),
+                    view.clean.numel()
+                )));
+                return;
+            }
+            let rows = view.dirty.rows();
             let mut stream = rng.fork(view.index as u64);
-            if let Err(e) = model.perturb_into(view.clean, view.faulty, &mut stream) {
+            if let Err(e) = realize_one_f32(&mut view, model, 0, rows, None, &mut stream) {
+                result = Err(e);
+            }
+        });
+        result
+    }
+
+    /// Materializes one fault realization **per entry of `rngs`** into a
+    /// batched plan's stacked faulty weight buffers (compiled by
+    /// `Plan::compile_batched`), reporting per-realization dirty rows — the
+    /// fusion of [`WeightFaultInjector::realize_plan`] (plan-owned buffers,
+    /// dirty-row bookkeeping, uniform-scale and sparse packed-domain fast
+    /// paths) with [`WeightFaultInjector::realize_batch`]'s stacked
+    /// semantics.
+    ///
+    /// Realization `b` of parameter `i` draws from the stream
+    /// `rngs[b].fork(i)` in `visit_params` order — exactly the stream the
+    /// sequential injector forks on chip instance `b` — so every stacked
+    /// realization is **bit-identical** to what
+    /// [`MonteCarloEngine::run`](crate::MonteCarloEngine::run) would have
+    /// programmed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the fault model is invalid, the injector was
+    /// configured with [`WeightFaultInjector::including_vectors`], `rngs` is
+    /// empty, or a staged buffer does not match the batch size.
+    pub fn realize_plan_batch<L: Layer + ?Sized>(
+        &self,
+        network: &mut L,
+        rngs: &mut [Rng],
+    ) -> Result<()> {
+        if self.include_vectors {
+            return Err(NnError::Config(
+                "compiled plans support the default (rank >= 2) fault targets only".into(),
+            ));
+        }
+        self.model.validate()?;
+        let model = self.model;
+        let batch = rngs.len();
+        if batch == 0 {
+            return Err(NnError::Config(
+                "realize_plan_batch needs at least one RNG stream".into(),
+            ));
+        }
+        let check_staged = |view: &PlanParamView<'_>| -> Result<()> {
+            let numel = view.clean.numel();
+            if view.faulty.len() != batch * numel || !view.dirty.rows().is_multiple_of(batch) {
+                return Err(NnError::Config(format!(
+                    "plan staged {} faulty elements / {} dirty rows for a parameter of {} \
+                     elements, expected batch {batch}",
+                    view.faulty.len(),
+                    view.dirty.rows(),
+                    numel
+                )));
+            }
+            Ok(())
+        };
+        if let Some(factor) = model.uniform_scale() {
+            // Drift's factor is deterministic, so every realization of the
+            // stack shares it: one scale request covers all panels. The
+            // forks still run to keep every per-instance stream in lockstep
+            // with the sequential injector, and the staged-buffer check
+            // still runs so a batch mismatch is as loud as on every other
+            // model.
+            let mut result: Result<()> = Ok(());
+            network.visit_plan_params(&mut |view| {
+                if result.is_err() {
+                    return;
+                }
+                if let Err(e) = check_staged(&view) {
+                    result = Err(e);
+                    return;
+                }
+                for parent in rngs.iter_mut() {
+                    let _ = parent.fork(view.index as u64);
+                }
+                *view.scale = Some(factor);
+            });
+            return result;
+        }
+        let mut result: Result<()> = Ok(());
+        network.visit_plan_params(&mut |mut view| {
+            if result.is_err() {
+                return;
+            }
+            if let Err(e) = check_staged(&view) {
                 result = Err(e);
                 return;
             }
-            mark_dirty_f32(model, view.clean.data(), view.faulty, view.dirty);
+            let rows = view.dirty.rows() / batch;
+            let levels = matches!(model, FaultModel::StuckAt { .. })
+                .then(|| stuck_levels(view.clean.data()));
+            for (b, parent) in rngs.iter_mut().enumerate() {
+                let mut stream = parent.fork(view.index as u64);
+                if let Err(e) = realize_one_f32(&mut view, model, b, rows, levels, &mut stream) {
+                    result = Err(e);
+                    return;
+                }
+            }
         });
         result
     }
 }
 
-/// Reports which rows of a `[rows, cols]` parameter a realization touched.
+/// Materializes realization `b` of one parameter into its slice of the
+/// plan-owned faulty buffer, with per-realization dirty-row reporting.
+///
+/// Stuck-at takes the **sparse packed-domain path**: the previous
+/// realization's cells are reverted through the exact cell list (falling
+/// back to a full clean copy when unknown), fired cells are written
+/// individually, and the list is handed to the plan so the refresh scatters
+/// the cells straight into the packed panels. Every other model realizes
+/// densely via [`FaultModel::perturb_into`]. Both draw exactly the random
+/// variates of the sequential injector, in the same order.
+fn realize_one_f32(
+    view: &mut PlanParamView<'_>,
+    model: FaultModel,
+    b: usize,
+    rows: usize,
+    levels: Option<(f32, f32)>,
+    stream: &mut Rng,
+) -> Result<()> {
+    let numel = view.clean.numel();
+    let base = b * rows;
+    let faulty_b = &mut view.faulty[b * numel..][..numel];
+    if let FaultModel::StuckAt { rate } = model {
+        if rate > 0.0 && rows > 0 && numel > 0 {
+            let clean = view.clean.data();
+            // Revert the previous realization's cells (exact when known,
+            // full copy otherwise), then record this realization exactly.
+            match view.cells.faulty_cells(b) {
+                Some(cells) => {
+                    for &i in cells {
+                        faulty_b[i as usize] = clean[i as usize];
+                    }
+                }
+                None => faulty_b.copy_from_slice(clean),
+            }
+            view.cells.reset_faulty(b);
+            let cols = numel / rows;
+            // The stuck levels depend only on the clean weights; the caller
+            // computes them once per parameter, not once per realization.
+            let (lo, hi) = levels.unwrap_or_else(|| stuck_levels(clean));
+            for (idx, cell) in faulty_b.iter_mut().enumerate() {
+                if stream.bernoulli(rate) {
+                    *cell = if stream.bernoulli(0.5) { lo } else { hi };
+                    view.dirty.mark(base + idx / cols);
+                    view.cells.push_faulty(b, idx);
+                }
+            }
+            view.cells.mark_pending(b);
+            return Ok(());
+        }
+        // rate == 0.0 falls through to the dense (inactive → copy) path so
+        // the realization protocol stays uniform.
+    }
+    model.perturb_into(view.clean, faulty_b, stream)?;
+    view.cells.invalidate_faulty(b);
+    mark_dirty_f32(model, view.clean.data(), faulty_b, view.dirty, base, rows);
+    Ok(())
+}
+
+/// Reports which rows of a `[rows, cols]` parameter a realization touched,
+/// marking into `[base, base + rows)` of a (possibly stacked) dirty set.
 /// Inactive models left the weights bit-identical to clean (nothing to
 /// re-pack); sparse models diff faulty vs clean bits; dense models mark
 /// everything (they rewrite every element, so a diff would find everything
 /// anyway).
-fn mark_dirty_f32(model: FaultModel, clean: &[f32], faulty: &[f32], dirty: &mut DirtyRows) {
+fn mark_dirty_f32(
+    model: FaultModel,
+    clean: &[f32],
+    faulty: &[f32],
+    dirty: &mut DirtyRows,
+    base: usize,
+    rows: usize,
+) {
     if !model.is_active() {
         return;
     }
     match model {
         FaultModel::None => {}
-        FaultModel::StuckAt { .. } => {
-            diff_rows(clean, faulty, dirty, |a, b| a.to_bits() != b.to_bits())
-        }
-        _ => dirty.mark_all(),
+        FaultModel::StuckAt { .. } => diff_rows(clean, faulty, dirty, base, rows, |a, b| {
+            a.to_bits() != b.to_bits()
+        }),
+        _ => dirty.mark_range(base, base + rows),
     }
 }
 
-/// Marks every row of `[rows, cols]` buffers where any element differs.
+/// Marks every row of `[rows, cols]` buffers where any element differs,
+/// into `[base, base + rows)` of the dirty set.
 fn diff_rows<T: Copy>(
     clean: &[T],
     faulty: &[T],
     dirty: &mut DirtyRows,
+    base: usize,
+    rows: usize,
     differs: impl Fn(T, T) -> bool,
 ) {
-    let rows = dirty.rows();
     if rows == 0 {
         return;
     }
     let cols = clean.len() / rows;
     for row in 0..rows {
-        let base = row * cols;
-        let changed = (0..cols).any(|i| differs(clean[base + i], faulty[base + i]));
+        let start = row * cols;
+        let changed = (0..cols).any(|i| differs(clean[start + i], faulty[start + i]));
         if changed {
-            dirty.mark(row);
+            dirty.mark(base + row);
         }
     }
 }
@@ -556,13 +729,94 @@ impl CodeFaultInjector {
     pub fn realize_plan<L: Layer + ?Sized>(&self, network: &mut L, rng: &mut Rng) -> Result<()> {
         self.model.validate()?;
         let model = self.model;
+        let mut result: Result<()> = Ok(());
         network.visit_plan_codes(&mut |view| {
+            if result.is_err() {
+                return;
+            }
+            if view.faulty.len() != view.clean.len() {
+                result = Err(NnError::Config(format!(
+                    "plan staged {} faulty codes for a parameter of {} (was the plan \
+                     compiled batched? use realize_plan_batch)",
+                    view.faulty.len(),
+                    view.clean.len()
+                )));
+                return;
+            }
+            let rows = view.dirty.rows();
             let mut stream = rng.fork(view.index as u64);
             view.faulty.copy_from_slice(view.clean);
             perturb_codes(view.faulty, view.bits, model, &mut stream);
-            diff_rows(view.clean, view.faulty, view.dirty, |a: i8, b: i8| a != b);
+            diff_rows(
+                view.clean,
+                view.faulty,
+                view.dirty,
+                0,
+                rows,
+                |a: i8, b: i8| a != b,
+            );
         });
-        Ok(())
+        result
+    }
+
+    /// Materializes one code-domain fault realization **per entry of `rngs`**
+    /// into a batched plan's stacked faulty code buffers, reporting
+    /// per-realization dirty rows — the code-domain counterpart of
+    /// [`WeightFaultInjector::realize_plan_batch`], with the same
+    /// bit-identity guarantee against [`CodeFaultInjector::inject`]:
+    /// realization `b` of quantized parameter `i` uses the stream
+    /// `rngs[b].fork(i)` in `visit_codes` order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the fault model is invalid, `rngs` is empty, or
+    /// a staged buffer does not match the batch size.
+    pub fn realize_plan_batch<L: Layer + ?Sized>(
+        &self,
+        network: &mut L,
+        rngs: &mut [Rng],
+    ) -> Result<()> {
+        self.model.validate()?;
+        let model = self.model;
+        let batch = rngs.len();
+        if batch == 0 {
+            return Err(NnError::Config(
+                "realize_plan_batch needs at least one RNG stream".into(),
+            ));
+        }
+        let mut result: Result<()> = Ok(());
+        network.visit_plan_codes(&mut |view| {
+            if result.is_err() {
+                return;
+            }
+            let numel = view.clean.len();
+            if view.faulty.len() != batch * numel || !view.dirty.rows().is_multiple_of(batch) {
+                result = Err(NnError::Config(format!(
+                    "plan staged {} faulty codes / {} dirty rows for a parameter of {} codes, \
+                     expected batch {batch}",
+                    view.faulty.len(),
+                    view.dirty.rows(),
+                    numel
+                )));
+                return;
+            }
+            let rows = view.dirty.rows() / batch;
+            for (b, parent) in rngs.iter_mut().enumerate() {
+                let mut stream = parent.fork(view.index as u64);
+                let faulty_b = &mut view.faulty[b * numel..][..numel];
+                faulty_b.copy_from_slice(view.clean);
+                perturb_codes(faulty_b, view.bits, model, &mut stream);
+                diff_rows(
+                    view.clean,
+                    faulty_b,
+                    view.dirty,
+                    b * rows,
+                    rows,
+                    |a: i8, b: i8| a != b,
+                );
+            }
+        });
+        result
     }
 }
 
@@ -907,6 +1161,171 @@ mod tests {
             .realize_batch(&mut net, &mut rngs)
             .is_err());
         net.end_batched();
+    }
+
+    #[test]
+    fn realize_plan_matches_sequential_injection_across_rank1_layers() {
+        // The planned counterpart of the batched re-basing test: a rank-1
+        // (norm affine) layer sits between the two Linears, shifting the
+        // global parameter indices; realize_plan must fork the same streams
+        // the sequential injector does.
+        use invnorm_nn::plan::Plan;
+        let mut build = Rng::seed_from(50);
+        let mut net = network(&mut build);
+        let x = Tensor::randn(&[2, 8], 0.0, 1.0, &mut Rng::seed_from(51));
+        for fault in [
+            FaultModel::AdditiveVariation { sigma: 0.3 },
+            FaultModel::StuckAt { rate: 0.4 },
+            FaultModel::BitFlip { rate: 0.1, bits: 8 },
+        ] {
+            // Sequential realization of chip instance 7.
+            let mut rng = Rng::seed_from(7000);
+            let mut injector = WeightFaultInjector::new(fault);
+            injector.inject(&mut net, &mut rng).unwrap();
+            let mut expected = Vec::new();
+            net.visit_params(&mut |p| {
+                if p.value.rank() >= 2 {
+                    expected.extend_from_slice(p.value.data());
+                }
+            });
+            injector.restore(&mut net).unwrap();
+            // Planned realization from the same stream.
+            let _plan = Plan::compile(&mut net, &x).unwrap();
+            let mut rng = Rng::seed_from(7000);
+            WeightFaultInjector::new(fault)
+                .realize_plan(&mut net, &mut rng)
+                .unwrap();
+            let mut got = Vec::new();
+            net.visit_plan_params(&mut |view| got.extend_from_slice(view.faulty));
+            net.plan_end();
+            let identical = expected
+                .iter()
+                .zip(got.iter())
+                .all(|(e, g)| e.to_bits() == g.to_bits());
+            assert!(
+                identical && expected.len() == got.len(),
+                "{fault:?} planned realization diverged from sequential"
+            );
+        }
+    }
+
+    #[test]
+    fn realize_plan_batch_matches_sequential_injection_per_instance() {
+        // Realization b of the stacked batch must equal what `inject` with
+        // the same chip-instance RNG would have programmed — including
+        // across the rank-1 norm layer that shifts global parameter indices.
+        use invnorm_nn::plan::Plan;
+        let mut build = Rng::seed_from(60);
+        let mut net = network(&mut build);
+        let x = Tensor::randn(&[2, 8], 0.0, 1.0, &mut Rng::seed_from(61));
+        let batch = 3usize;
+        for fault in [
+            FaultModel::AdditiveVariation { sigma: 0.3 },
+            FaultModel::StuckAt { rate: 0.4 },
+            FaultModel::StuckAt { rate: 1.0 },
+            FaultModel::UniformNoise { strength: 0.2 },
+        ] {
+            let mut expected: Vec<Vec<f32>> = Vec::new();
+            for b in 0..batch {
+                let mut rng = Rng::seed_from(8000 + b as u64);
+                let mut injector = WeightFaultInjector::new(fault);
+                injector.inject(&mut net, &mut rng).unwrap();
+                let mut faulty = Vec::new();
+                net.visit_params(&mut |p| {
+                    if p.value.rank() >= 2 {
+                        faulty.extend_from_slice(p.value.data());
+                    }
+                });
+                injector.restore(&mut net).unwrap();
+                expected.push(faulty);
+            }
+            let _plan = Plan::compile_batched(&mut net, &x, batch).unwrap();
+            // Two realization rounds (different streams first) so the sparse
+            // stuck-at path exercises its revert-previous-cells bookkeeping.
+            for base_seed in [8100u64, 8000] {
+                let mut rngs: Vec<Rng> = (0..batch)
+                    .map(|b| Rng::seed_from(base_seed + b as u64))
+                    .collect();
+                WeightFaultInjector::new(fault)
+                    .realize_plan_batch(&mut net, &mut rngs)
+                    .unwrap();
+            }
+            let mut got: Vec<Vec<f32>> = vec![Vec::new(); batch];
+            net.visit_plan_params(&mut |view| {
+                let numel = view.clean.numel();
+                for (b, dst) in got.iter_mut().enumerate() {
+                    dst.extend_from_slice(&view.faulty[b * numel..][..numel]);
+                }
+            });
+            net.plan_end();
+            for b in 0..batch {
+                let identical = expected[b]
+                    .iter()
+                    .zip(got[b].iter())
+                    .all(|(e, g)| e.to_bits() == g.to_bits());
+                assert!(
+                    identical && expected[b].len() == got[b].len(),
+                    "{fault:?} stacked realization {b} diverged"
+                );
+            }
+        }
+        // including_vectors stays unsupported on the planned paths.
+        let _plan = Plan::compile_batched(&mut net, &x, batch).unwrap();
+        let mut rngs: Vec<Rng> = (0..batch).map(|b| Rng::seed_from(b as u64)).collect();
+        assert!(WeightFaultInjector::new(FaultModel::StuckAt { rate: 0.1 })
+            .including_vectors()
+            .realize_plan_batch(&mut net, &mut rngs)
+            .is_err());
+        // Batch mismatch between the plan and the stream count is loud —
+        // including on the drift fast path, which skips materialization but
+        // not validation.
+        let mut rngs: Vec<Rng> = (0..batch + 1).map(|b| Rng::seed_from(b as u64)).collect();
+        assert!(WeightFaultInjector::new(FaultModel::StuckAt { rate: 0.1 })
+            .realize_plan_batch(&mut net, &mut rngs)
+            .is_err());
+        assert!(WeightFaultInjector::new(FaultModel::Drift {
+            nu: 0.05,
+            time_ratio: 100.0
+        })
+        .realize_plan_batch(&mut net, &mut rngs)
+        .is_err());
+        net.plan_end();
+    }
+
+    #[test]
+    fn code_realize_plan_batch_matches_sequential_code_injection() {
+        use invnorm_nn::plan::Plan;
+        let mut build = Rng::seed_from(70);
+        let mut net = quantized_network(&mut build);
+        let x = Tensor::randn(&[2, 8], 0.0, 1.0, &mut Rng::seed_from(71));
+        let batch = 3usize;
+        let fault = FaultModel::BitFlip { rate: 0.1, bits: 8 };
+        let mut expected: Vec<Vec<i8>> = Vec::new();
+        for b in 0..batch {
+            let mut rng = Rng::seed_from(9000 + b as u64);
+            let mut injector = CodeFaultInjector::new(fault);
+            injector.inject(&mut net, &mut rng).unwrap();
+            expected.push(codes_of(&mut net));
+            injector.restore(&mut net).unwrap();
+        }
+        let _plan = Plan::compile_batched(&mut net, &x, batch).unwrap();
+        let mut rngs: Vec<Rng> = (0..batch)
+            .map(|b| Rng::seed_from(9000 + b as u64))
+            .collect();
+        CodeFaultInjector::new(fault)
+            .realize_plan_batch(&mut net, &mut rngs)
+            .unwrap();
+        let mut got: Vec<Vec<i8>> = vec![Vec::new(); batch];
+        net.visit_plan_codes(&mut |view| {
+            let numel = view.clean.len();
+            for (b, dst) in got.iter_mut().enumerate() {
+                dst.extend_from_slice(&view.faulty[b * numel..][..numel]);
+            }
+        });
+        net.plan_end();
+        for b in 0..batch {
+            assert_eq!(expected[b], got[b], "stacked code realization {b} diverged");
+        }
     }
 
     #[test]

@@ -643,6 +643,264 @@ impl MonteCarloEngine {
         Ok(MonteCarloSummary::from_runs(fault.label(), per_run))
     }
 
+    /// Runs the simulation with **compiled plans and B fused fault
+    /// realizations per forward pass** — the composition of
+    /// [`MonteCarloEngine::run_planned`] (one-shot shape inference,
+    /// arena-backed buffers, cached packed panels, dirty-row re-packing)
+    /// and [`MonteCarloEngine::run_batched`] (stacked realizations sharing
+    /// each forward's input-derived work).
+    ///
+    /// Each worker builds its model once and compiles it into a **batched
+    /// plan** (`Plan::compile_batched`): every weighted layer owns `batch`
+    /// stacked faulty buffers and per-realization cached packed panels, all
+    /// reserved at compile time. Per batch of chip instances, the injector
+    /// materializes the realizations from the sequential per-instance RNG
+    /// streams straight into the stacked buffers
+    /// ([`WeightFaultInjector::realize_plan_batch`]) — sparse stuck-at
+    /// realizations land in the packed panels cell by cell, drift scales
+    /// the whole panel stack in place, dense models re-pack only dirty rows
+    /// — and ONE planned forward evaluates the whole stack, with the cached
+    /// activation panels (packed/unfolded/quantized once per simulation,
+    /// not once per batch) streamed against every realization's weight
+    /// panel.
+    ///
+    /// Chip instance `i` perturbs its weights with the same `(seed, i)`
+    /// derived streams as [`MonteCarloEngine::run`], and realization `b`'s
+    /// rows of the stacked output are arithmetically identical to a
+    /// single-realization planned forward on its faulty weights, so the
+    /// per-run metrics are **bit-identical** to the sequential engine — for
+    /// every batch size and thread count (tested for all eight fault
+    /// models).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when compilation, injection, evaluation or the
+    /// metric fails, or when a metric is non-finite; with several failures,
+    /// the error of the lowest-indexed failing batch is returned.
+    pub fn run_planned_batched<M, F, E>(
+        &self,
+        factory: F,
+        fault: FaultModel,
+        input: &Tensor,
+        metric: E,
+        batch: usize,
+        threads: usize,
+    ) -> Result<MonteCarloSummary>
+    where
+        M: Layer + Send,
+        F: Fn() -> M + Sync,
+        E: Fn(&Tensor) -> Result<f32> + Sync,
+    {
+        self.run_planned_batched_in(
+            BatchedDomain::Weights,
+            factory,
+            fault,
+            input,
+            metric,
+            batch,
+            threads,
+        )
+    }
+
+    /// The **quantized** counterpart of
+    /// [`MonteCarloEngine::run_planned_batched`]: realizations land directly
+    /// in the batched plan's stacked i8 code buffers (via
+    /// [`CodeFaultInjector::realize_plan_batch`] streams), per-realization
+    /// dirty code rows drive the panel re-packing, and the fused planned
+    /// forward stays in the integer domain. Per-run metrics are
+    /// bit-identical to [`MonteCarloEngine::run_quantized`].
+    ///
+    /// # Errors
+    ///
+    /// See [`MonteCarloEngine::run_planned_batched`].
+    pub fn run_planned_batched_quantized<M, F, E>(
+        &self,
+        factory: F,
+        fault: FaultModel,
+        input: &Tensor,
+        metric: E,
+        batch: usize,
+        threads: usize,
+    ) -> Result<MonteCarloSummary>
+    where
+        M: Layer + Send,
+        F: Fn() -> M + Sync,
+        E: Fn(&Tensor) -> Result<f32> + Sync,
+    {
+        self.run_planned_batched_in(
+            BatchedDomain::Codes,
+            factory,
+            fault,
+            input,
+            metric,
+            batch,
+            threads,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_planned_batched_in<M, F, E>(
+        &self,
+        domain: BatchedDomain,
+        factory: F,
+        fault: FaultModel,
+        input: &Tensor,
+        metric: E,
+        batch: usize,
+        threads: usize,
+    ) -> Result<MonteCarloSummary>
+    where
+        M: Layer + Send,
+        F: Fn() -> M + Sync,
+        E: Fn(&Tensor) -> Result<f32> + Sync,
+    {
+        fault.validate()?;
+        let runs = self.runs;
+        let seed = self.seed;
+        // Cap the stack size so every worker gets at least one batch:
+        // per-run metrics depend only on `(seed, run)`, so regrouping runs
+        // into smaller stacks is bit-identical — but leaving workers idle
+        // is pure wall-clock loss.
+        let batch = batch
+            .clamp(1, runs)
+            .min(runs.div_ceil(threads.max(1)))
+            .max(1);
+        let n_batches = runs.div_ceil(batch);
+        let threads = threads.clamp(1, n_batches);
+        let next_batch = AtomicUsize::new(0);
+        type BatchResult = (usize, Result<Vec<f32>>);
+        let collected: Mutex<Vec<BatchResult>> = Mutex::new(Vec::with_capacity(n_batches));
+        rayon::scope(|s| {
+            for _ in 0..threads {
+                let next_batch = &next_batch;
+                let collected = &collected;
+                let factory = &factory;
+                let metric = &metric;
+                s.spawn(move || {
+                    let mut model = factory();
+                    // Compiled lazily on the first claimed batch so a
+                    // compilation failure is attributed to a concrete run;
+                    // recompiled (at most once per worker in practice) when
+                    // a tail batch arrives with a smaller size.
+                    let mut plan: Option<Plan> = None;
+                    let mut rngs: Vec<Rng> = Vec::with_capacity(batch);
+                    // Reusable per-worker staging for one realization's
+                    // slice of the stacked output, so scoring metrics does
+                    // not allocate per run.
+                    let mut realization: Option<Tensor> = None;
+                    let mut local: Vec<BatchResult> = Vec::new();
+                    loop {
+                        let bi = next_batch.fetch_add(1, Ordering::Relaxed);
+                        if bi >= n_batches {
+                            break;
+                        }
+                        let start = bi * batch;
+                        let bsize = batch.min(runs - start);
+                        if plan.as_ref().is_none_or(|p| p.batch() != bsize) {
+                            model.plan_end();
+                            match Plan::compile_batched(&mut model, input, bsize) {
+                                Ok(p) => plan = Some(p),
+                                Err(e) => {
+                                    local.push((start, Err(e)));
+                                    break;
+                                }
+                            }
+                        }
+                        let plan = plan.as_mut().expect("plan compiled above");
+                        rngs.clear();
+                        rngs.extend((0..bsize).map(|i| Self::run_rng(seed, start + i)));
+                        local.push((
+                            start,
+                            Self::simulate_planned_batch(
+                                &mut model,
+                                plan,
+                                domain,
+                                fault,
+                                &mut rngs,
+                                &mut realization,
+                                metric,
+                            ),
+                        ));
+                    }
+                    model.plan_end();
+                    collected
+                        .lock()
+                        .expect("monte-carlo result lock poisoned")
+                        .append(&mut local);
+                });
+            }
+        });
+        let mut collected = collected
+            .into_inner()
+            .expect("monte-carlo result lock poisoned");
+        collected.sort_by_key(|(start, _)| *start);
+        let mut per_run = Vec::with_capacity(runs);
+        for (start, metrics) in collected {
+            let metrics = metrics?;
+            for (offset, metric) in metrics.into_iter().enumerate() {
+                let run = start + offset;
+                if !metric.is_finite() {
+                    return Err(NnError::Config(format!(
+                        "evaluation returned a non-finite metric ({metric}) on run {run}"
+                    )));
+                }
+                per_run.push(metric);
+            }
+        }
+        debug_assert_eq!(per_run.len(), runs);
+        Ok(MonteCarloSummary::from_runs(fault.label(), per_run))
+    }
+
+    /// Injects one batch of realizations into the batched plan's stacked
+    /// faulty buffers, runs ONE fused planned forward, and scores each
+    /// realization's rows of the stacked output — the inner step of the
+    /// planned-batched engine. Depends only on the streams in `rngs`, not
+    /// on which thread executes it.
+    #[allow(clippy::too_many_arguments)]
+    fn simulate_planned_batch<M: Layer + ?Sized>(
+        model: &mut M,
+        plan: &mut Plan,
+        domain: BatchedDomain,
+        fault: FaultModel,
+        rngs: &mut [Rng],
+        realization: &mut Option<Tensor>,
+        metric: &impl Fn(&Tensor) -> Result<f32>,
+    ) -> Result<Vec<f32>> {
+        let bsize = rngs.len();
+        match domain {
+            BatchedDomain::Weights => {
+                WeightFaultInjector::new(fault).realize_plan_batch(model, rngs)?;
+            }
+            BatchedDomain::Codes => {
+                CodeFaultInjector::new(fault).realize_plan_batch(model, rngs)?;
+            }
+        }
+        let out = plan.forward(model)?;
+        let d0 = out.dims()[0];
+        if !d0.is_multiple_of(bsize) {
+            return Err(NnError::Config(format!(
+                "stacked output rows {d0} not divisible by batch {bsize}"
+            )));
+        }
+        let per = out.numel() / bsize;
+        let mut dims = out.dims().to_vec();
+        dims[0] = d0 / bsize;
+        // (Re)shape the worker's staging tensor only when the
+        // per-realization shape changes (first batch, or a tail batch).
+        if realization.as_ref().map(Tensor::dims) != Some(dims.as_slice()) {
+            *realization = Some(Tensor::zeros(&dims));
+        }
+        let stage = realization.as_mut().expect("staging tensor initialized");
+        let mut metrics = Vec::with_capacity(bsize);
+        for b in 0..bsize {
+            stage
+                .data_mut()
+                .copy_from_slice(&out.data()[b * per..(b + 1) * per]);
+            metrics.push(metric(stage)?);
+        }
+        Ok(metrics)
+    }
+
     /// Injects one realization into the plan's faulty buffers, runs the
     /// planned forward and scores it — the inner step of the planned engine.
     /// Depends only on `(seed, run)`, not on which thread executes it.
@@ -1414,6 +1672,204 @@ mod tests {
                 assert!(identical, "{fault:?} threads={threads}");
             }
         }
+    }
+
+    #[test]
+    fn planned_batched_is_bit_identical_to_sequential_for_all_fault_models() {
+        let x = Tensor::randn(&[6, 8], 0.0, 1.0, &mut Rng::seed_from(250));
+        let engine = MonteCarloEngine::new(10, 1234);
+        for fault in all_fault_models() {
+            let mut net = mlp_with_norm(251);
+            let xc = x.clone();
+            let sequential = engine
+                .run(&mut net, fault, |n| Ok(n.forward(&xc, Mode::Eval)?.sum()))
+                .unwrap();
+            // batch = runs exercises the single-batch case; 3 leaves a tail
+            // batch of 1 (per-worker plan recompilation); 1 degenerates to
+            // the planned engine.
+            for batch in [1usize, 3, 10] {
+                for threads in [1usize, 4] {
+                    let fused = engine
+                        .run_planned_batched(
+                            || mlp_with_norm(251),
+                            fault,
+                            &x,
+                            |out| Ok(out.sum()),
+                            batch,
+                            threads,
+                        )
+                        .unwrap();
+                    assert_eq!(fused.runs(), sequential.runs());
+                    let identical = sequential
+                        .per_run
+                        .iter()
+                        .zip(fused.per_run.iter())
+                        .all(|(a, b)| a.to_bits() == b.to_bits());
+                    assert!(
+                        identical,
+                        "{fault:?} batch={batch} threads={threads}: {:?} vs {:?}",
+                        sequential.per_run, fused.per_run
+                    );
+                    assert_eq!(fused.mean.to_bits(), sequential.mean.to_bits());
+                    assert_eq!(fused.std.to_bits(), sequential.std.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn planned_batched_cnn_and_residual_are_bit_identical_to_sequential() {
+        let x = Tensor::randn(&[3, 2, 8, 8], 0.0, 1.0, &mut Rng::seed_from(260));
+        let engine = MonteCarloEngine::new(9, 77);
+        for fault in [
+            FaultModel::AdditiveVariation { sigma: 0.2 },
+            FaultModel::StuckAt { rate: 0.1 },
+            FaultModel::Drift {
+                nu: 0.05,
+                time_ratio: 100.0,
+            },
+        ] {
+            let mut net = small_cnn(261);
+            let xc = x.clone();
+            let sequential = engine
+                .run(&mut net, fault, |n| {
+                    Ok(n.forward(&xc, Mode::Eval)?.abs().mean())
+                })
+                .unwrap();
+            for (batch, threads) in [(4usize, 1usize), (3, 4), (9, 2)] {
+                let fused = engine
+                    .run_planned_batched(
+                        || small_cnn(261),
+                        fault,
+                        &x,
+                        |out| Ok(out.abs().mean()),
+                        batch,
+                        threads,
+                    )
+                    .unwrap();
+                let identical = sequential
+                    .per_run
+                    .iter()
+                    .zip(fused.per_run.iter())
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(identical, "{fault:?} batch={batch} threads={threads}");
+            }
+        }
+
+        // Residual block (identity skip + post activation) on the stacked
+        // edges.
+        use invnorm_nn::activation::Relu;
+        use invnorm_nn::Residual;
+        let build = |seed: u64| -> Sequential {
+            let mut rng = Rng::seed_from(seed);
+            let main = Sequential::new()
+                .with(Box::new(Linear::new(6, 6, &mut rng)))
+                .with(Box::new(Relu::new()));
+            Sequential::new()
+                .with(Box::new(
+                    Residual::new(main).with_post(Box::new(Relu::new())),
+                ))
+                .with(Box::new(Linear::new(6, 2, &mut rng)))
+        };
+        let x = Tensor::randn(&[4, 6], 0.0, 1.0, &mut Rng::seed_from(262));
+        let fault = FaultModel::AdditiveVariation { sigma: 0.25 };
+        let engine = MonteCarloEngine::new(8, 99);
+        let mut net = build(263);
+        let xc = x.clone();
+        let sequential = engine
+            .run(&mut net, fault, |n| Ok(n.forward(&xc, Mode::Eval)?.sum()))
+            .unwrap();
+        let fused = engine
+            .run_planned_batched(|| build(263), fault, &x, |out| Ok(out.sum()), 3, 2)
+            .unwrap();
+        let identical = sequential
+            .per_run
+            .iter()
+            .zip(fused.per_run.iter())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(identical, "residual planned-batched diverged");
+    }
+
+    #[test]
+    fn planned_batched_quantized_is_bit_identical_to_sequential_for_all_fault_models() {
+        let x = Tensor::randn(&[5, 12], 0.0, 1.0, &mut Rng::seed_from(270));
+        let engine = MonteCarloEngine::new(10, 4321);
+        for fault in all_fault_models() {
+            let mut net = quantized_net(271);
+            let xc = x.clone();
+            let sequential = engine
+                .run_quantized(&mut net, fault, |n| Ok(n.forward(&xc, Mode::Eval)?.sum()))
+                .unwrap();
+            for (batch, threads) in [(1usize, 1usize), (3, 4), (10, 2)] {
+                let fused = engine
+                    .run_planned_batched_quantized(
+                        || quantized_net(271),
+                        fault,
+                        &x,
+                        |out| Ok(out.sum()),
+                        batch,
+                        threads,
+                    )
+                    .unwrap();
+                let identical = sequential
+                    .per_run
+                    .iter()
+                    .zip(fused.per_run.iter())
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(identical, "{fault:?} batch={batch} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn planned_batched_errors_are_reported_like_the_other_engines() {
+        use invnorm_nn::lstm::Lstm;
+        let engine = MonteCarloEngine::new(6, 5);
+        let x = Tensor::randn(&[4, 8], 0.0, 1.0, &mut Rng::seed_from(280));
+        // Metric failure.
+        let result = engine.run_planned_batched(
+            || mlp_with_norm(281),
+            FaultModel::None,
+            &x,
+            |_out| Err(NnError::Config("boom".into())),
+            2,
+            2,
+        );
+        assert!(result.is_err());
+        // Non-finite metric names the lowest failing run.
+        let err = engine
+            .run_planned_batched(
+                || mlp_with_norm(281),
+                FaultModel::AdditiveVariation { sigma: 0.1 },
+                &x,
+                |_out| Ok(f32::NAN),
+                2,
+                2,
+            )
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("on run 0"), "unexpected error: {err}");
+        // Unsupported layers are rejected loudly at compile.
+        let build = || -> Sequential {
+            let mut rng = Rng::seed_from(282);
+            Sequential::new().with(Box::new(Lstm::new(4, 6, false, &mut rng)))
+        };
+        let xl = Tensor::randn(&[2, 5, 4], 0.0, 1.0, &mut Rng::seed_from(283));
+        let err = engine
+            .run_planned_batched(
+                build,
+                FaultModel::AdditiveVariation { sigma: 0.1 },
+                &xl,
+                |out| Ok(out.sum()),
+                2,
+                1,
+            )
+            .unwrap_err()
+            .to_string();
+        assert!(
+            err.contains("compiled plans") && err.contains("Lstm"),
+            "unexpected error: {err}"
+        );
     }
 
     #[test]

@@ -34,8 +34,8 @@ pub struct Conv2d {
 
 /// Compiled-plan state: arena slots for the im2col patch matrix and the
 /// GEMM staging buffer, the cached packed kernel operand with realization
-/// bookkeeping, and the cached packed patch panel for frozen
-/// (run-invariant) inputs.
+/// bookkeeping (one panel per stacked realization for batched plans), and
+/// the cached packed patch panel for frozen (run-invariant) inputs.
 #[derive(Debug)]
 struct Conv2dPlan {
     cols: ArenaSlot,
@@ -44,6 +44,11 @@ struct Conv2dPlan {
     packed_a: PackedA,
     a_gen: u64,
     plan_scratch: Scratch,
+    /// Stacked realizations per forward (1 for ordinary plans).
+    batch: usize,
+    /// Dims of one realization's tile of the stacked input edge (frozen
+    /// inputs unfold only the first tile — every tile is identical).
+    tile_dims: Vec<usize>,
 }
 
 /// Batched-eval state: stacked kernel realizations plus the reusable packed
@@ -268,21 +273,32 @@ impl Layer for Conv2d {
     }
 
     fn plan_compile(&mut self, input: &PlanShape, arenas: &mut PlanArenas) -> Result<PlanShape> {
-        if input.dims.len() != 4 || input.dims[1] != self.in_channels {
+        let batch = arenas.batch();
+        if input.dims.len() != 4
+            || input.dims[1] != self.in_channels
+            || !input.dims[0].is_multiple_of(batch)
+        {
             return Err(NnError::Config(format!(
-                "Conv2d expects [N, {}, H, W], got {:?}",
+                "Conv2d expects [N, {}, H, W] (N divisible by the plan batch {batch}), got {:?}",
                 self.in_channels, input.dims
             )));
         }
         let shape = conv_out_shape(&input.dims, &self.spec)?;
         let oc = self.out_channels;
+        let mut tile_dims = input.dims.clone();
+        tile_dims[0] /= batch;
         self.plan = Some(Conv2dPlan {
             cols: arenas.f.reserve(shape.rows * shape.patch),
-            om: arenas.f.reserve(shape.rows * oc),
-            weight: PlannedWeight::pack(self.weight.value.data(), shape.patch, oc),
+            // GEMM staging: sized for the fused wide `[rows/B, B·oc]`
+            // product of a frozen layer; the per-realization path reuses
+            // its `[rows/B, oc]` prefix across the stack.
+            om: arenas.f.reserve(shape.rows / batch * oc * batch),
+            weight: PlannedWeight::pack_batched(self.weight.value.data(), shape.patch, oc, batch),
             packed_a: PackedA::new(),
             a_gen: 0,
             plan_scratch: Scratch::new(),
+            batch,
+            tile_dims,
         });
         Ok(PlanShape {
             slot: arenas.f.reserve(shape.output_dims(oc).iter().product()),
@@ -302,9 +318,54 @@ impl Layer for Conv2d {
         })?;
         let shape = conv_out_shape(&input.dims, &self.spec)?;
         let oc = self.out_channels;
-        // Bring the cached packed operand up to date with this realization
-        // (dirty-row re-packing / uniform-scale fast path).
-        let packed_w = state.weight.refresh();
+        let batch = state.batch;
+        let n_per = shape.n / batch;
+        let rows_per = shape.rows / batch;
+        let per_out = n_per * oc * shape.oh * shape.ow;
+        if ctx.frozen && batch > 1 {
+            // Fused wide product for the frozen first layer: the stacked
+            // input tiles are identical, so ONE cached patch panel meets the
+            // wide stacked kernel operand in a single `[rows, B·oc]` GEMM;
+            // the strided columns are then re-laid out per realization.
+            let wide_w = state.weight.refresh_wide();
+            let [x, cols, om, out] =
+                arenas
+                    .f
+                    .many_mut([input.slot, state.cols, state.om, output.slot]);
+            if state.a_gen != ctx.input_gen {
+                conv::im2col_slice_into(
+                    &x[..state.tile_dims.iter().product()],
+                    &state.tile_dims,
+                    &self.spec,
+                    &mut cols[..rows_per * shape.patch],
+                )?;
+                state.packed_a.pack(
+                    false,
+                    &cols[..rows_per * shape.patch],
+                    rows_per,
+                    shape.patch,
+                );
+                state.a_gen = ctx.input_gen;
+            }
+            gemm_prepacked_ab(&state.packed_a, wide_w, 1.0, 0.0, om);
+            for b in 0..batch {
+                conv::relayout_nchw_strided(
+                    om,
+                    batch * oc,
+                    b * oc,
+                    self.bias.as_ref().map(|bias| &bias.value),
+                    n_per,
+                    oc,
+                    shape.oh,
+                    shape.ow,
+                    &mut out[b * per_out..][..per_out],
+                );
+            }
+            return Ok(());
+        }
+        // Bring the cached packed operands up to date with this realization
+        // batch (cell scatter / dirty-row re-packing / uniform-scale).
+        state.weight.refresh_all();
         let [x, cols, om, out] = arenas
             .f
             .many_mut([input.slot, state.cols, state.om, output.slot]);
@@ -312,33 +373,66 @@ impl Layer for Conv2d {
             // Frozen plan input: unfold + pack the patch panel once per
             // `load_input`, then reuse it for every realization.
             if state.a_gen != ctx.input_gen {
-                conv::im2col_slice_into(x, &input.dims, &self.spec, cols)?;
-                state.packed_a.pack(false, cols, shape.rows, shape.patch);
+                conv::im2col_slice_into(
+                    &x[..state.tile_dims.iter().product()],
+                    &state.tile_dims,
+                    &self.spec,
+                    &mut cols[..rows_per * shape.patch],
+                )?;
+                state.packed_a.pack(
+                    false,
+                    &cols[..rows_per * shape.patch],
+                    rows_per,
+                    shape.patch,
+                );
                 state.a_gen = ctx.input_gen;
             }
-            gemm_prepacked_ab(&state.packed_a, packed_w, 1.0, 0.0, om);
+            for b in 0..batch {
+                gemm_prepacked_ab(
+                    &state.packed_a,
+                    state.weight.panel(b),
+                    1.0,
+                    0.0,
+                    &mut om[..rows_per * oc],
+                );
+                conv::relayout_nchw_into(
+                    &om[..rows_per * oc],
+                    self.bias.as_ref().map(|bias| &bias.value),
+                    n_per,
+                    oc,
+                    shape.oh,
+                    shape.ow,
+                    &mut out[b * per_out..][..per_out],
+                );
+            }
         } else {
+            // Per-realization inputs: one unfold of the whole stacked batch
+            // (im2col is per-sample, so this equals per-realization
+            // unfolds), then each realization multiplies its own row block
+            // against its own cached panel.
             conv::im2col_slice_into(x, &input.dims, &self.spec, cols)?;
-            gemm_prepacked_b(
-                false,
-                shape.rows,
-                1.0,
-                cols,
-                packed_w,
-                0.0,
-                om,
-                &mut state.plan_scratch,
-            );
+            for b in 0..batch {
+                gemm_prepacked_b(
+                    false,
+                    rows_per,
+                    1.0,
+                    &cols[b * rows_per * shape.patch..][..rows_per * shape.patch],
+                    state.weight.panel(b),
+                    0.0,
+                    &mut om[..rows_per * oc],
+                    &mut state.plan_scratch,
+                );
+                conv::relayout_nchw_into(
+                    &om[..rows_per * oc],
+                    self.bias.as_ref().map(|bias| &bias.value),
+                    n_per,
+                    oc,
+                    shape.oh,
+                    shape.ow,
+                    &mut out[b * per_out..][..per_out],
+                );
+            }
         }
-        conv::relayout_nchw_into(
-            om,
-            self.bias.as_ref().map(|b| &b.value),
-            shape.n,
-            oc,
-            shape.oh,
-            shape.ow,
-            out,
-        );
         Ok(())
     }
 

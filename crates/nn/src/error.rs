@@ -29,12 +29,33 @@ pub enum NnError {
         /// The unsupported operation, e.g. `"batched evaluation"`.
         op: &'static str,
     },
+    /// An activation handed to a compiled plan does not match the shape the
+    /// plan was compiled for. Typed (rather than a formatted `Config`
+    /// string) so the Monte-Carlo engines and callers can distinguish a
+    /// recompile-needed situation from genuine misconfiguration.
+    ShapeMismatch {
+        /// Where the mismatch was detected (layer or plan entry point).
+        context: &'static str,
+        /// The dims the plan was compiled for.
+        expected: Vec<usize>,
+        /// The dims the caller provided.
+        got: Vec<usize>,
+    },
 }
 
 impl NnError {
     /// Convenience constructor for [`NnError::Unsupported`].
     pub fn unsupported(layer: &'static str, op: &'static str) -> Self {
         NnError::Unsupported { layer, op }
+    }
+
+    /// Convenience constructor for [`NnError::ShapeMismatch`].
+    pub fn shape_mismatch(context: &'static str, expected: &[usize], got: &[usize]) -> Self {
+        NnError::ShapeMismatch {
+            context,
+            expected: expected.to_vec(),
+            got: got.to_vec(),
+        }
     }
 }
 
@@ -56,6 +77,14 @@ impl fmt::Display for NnError {
             NnError::Unsupported { layer, op } => {
                 write!(f, "layer {layer} does not support {op}")
             }
+            NnError::ShapeMismatch {
+                context,
+                expected,
+                got,
+            } => write!(
+                f,
+                "{context}: plan compiled for shape {expected:?}, got {got:?}"
+            ),
         }
     }
 }

@@ -5,7 +5,7 @@ use crate::layer::{BatchedParam, BatchedParamView, Layer, Mode, Param};
 use crate::plan::{PlanArenas, PlanCtx, PlanParamView, PlanShape, PlannedWeight};
 use crate::Result;
 use invnorm_tensor::gemm::{gemm_prepacked, gemm_prepacked_ab, gemm_prepacked_b, PackedA};
-use invnorm_tensor::{ops, Rng, Scratch, Tensor};
+use invnorm_tensor::{ops, ArenaSlot, Rng, Scratch, Tensor};
 
 /// A fully connected layer computing `y = x Wᵀ + b` for `x: [N, in]`,
 /// `W: [out, in]`, `b: [out]`.
@@ -41,14 +41,22 @@ pub struct Linear {
 }
 
 /// Compiled-plan state: the cached packed weight operand with realization
-/// bookkeeping, and the cached packed activation panel for frozen
-/// (run-invariant) inputs.
+/// bookkeeping (one panel per stacked realization for batched plans), and
+/// the cached packed activation panel for frozen (run-invariant) inputs.
 #[derive(Debug)]
 struct LinearPlan {
     weight: PlannedWeight,
     packed_a: PackedA,
     a_gen: u64,
     scratch: Scratch,
+    /// Stacked realizations per forward (1 for ordinary plans).
+    batch: usize,
+    /// Staging for the fused wide `[N, B·out]` product of frozen batched
+    /// layers, re-strided into per-realization stacking afterwards. Whether
+    /// a layer runs frozen is only known at forward time, so every batched
+    /// Linear reserves this one output-edge-sized slot even though only a
+    /// frozen first layer uses it.
+    wide_stage: ArenaSlot,
 }
 
 /// Batched-eval state: stacked weight realizations plus the reusable GEMM
@@ -303,19 +311,25 @@ impl Layer for Linear {
     }
 
     fn plan_compile(&mut self, input: &PlanShape, arenas: &mut PlanArenas) -> Result<PlanShape> {
-        if input.dims.len() != 2 || input.dims[1] != self.in_features {
+        let batch = arenas.batch();
+        if input.dims.len() != 2
+            || input.dims[1] != self.in_features
+            || !input.dims[0].is_multiple_of(batch)
+        {
             return Err(NnError::Config(format!(
-                "Linear expects input [N, {}], got {:?}",
+                "Linear expects input [N, {}] (N divisible by the plan batch {batch}), got {:?}",
                 self.in_features, input.dims
             )));
         }
         let n = input.dims[0];
         let (fin, fout) = (self.in_features, self.out_features);
         self.plan = Some(LinearPlan {
-            weight: PlannedWeight::pack(self.weight.value.data(), fin, fout),
+            weight: PlannedWeight::pack_batched(self.weight.value.data(), fin, fout, batch),
             packed_a: PackedA::new(),
             a_gen: 0,
             scratch: Scratch::new(),
+            batch,
+            wide_stage: arenas.f.reserve(if batch > 1 { n * fout } else { 0 }),
         });
         Ok(PlanShape {
             slot: arenas.f.reserve(n * fout),
@@ -333,28 +347,83 @@ impl Layer for Linear {
         let state = self.plan.as_mut().ok_or_else(|| {
             NnError::Config("Linear::plan_forward called without plan_compile".into())
         })?;
-        let n = input.dims[0];
         let (fin, fout) = (self.in_features, self.out_features);
-        // Bring the cached packed operand up to date with this realization
-        // (dirty-row re-packing / uniform-scale fast path).
-        let packed_w = state.weight.refresh();
-        let [x, out] = arenas.f.many_mut([input.slot, output.slot]);
-        if ctx.frozen {
-            // The plan input is constant across Monte-Carlo runs: pack the
-            // activation panel once per `load_input` and reuse it.
+        let batch = state.batch;
+        // Realization b owns rows [b·n, (b+1)·n) of the stacked edges.
+        let n = input.dims[0] / batch;
+        if ctx.frozen && batch > 1 {
+            // Fused wide product: the plan input is constant across runs —
+            // and its stacked realizations are tiles of the same activation
+            // — so ONE packed panel of the first tile meets the wide stacked
+            // weight operand in a single `[N, B·out]` GEMM (full microkernel
+            // width, the activation panel streamed once), then the columns
+            // are re-strided into per-realization stacking.
+            let wide_w = state.weight.refresh_wide();
+            let [x, stage, out] = arenas
+                .f
+                .many_mut([input.slot, state.wide_stage, output.slot]);
             if state.a_gen != ctx.input_gen {
-                state.packed_a.pack(false, x, n, fin);
+                state.packed_a.pack(false, &x[..n * fin], n, fin);
                 state.a_gen = ctx.input_gen;
             }
-            gemm_prepacked_ab(&state.packed_a, packed_w, 1.0, 0.0, out);
+            gemm_prepacked_ab(&state.packed_a, wide_w, 1.0, 0.0, stage);
+            let ld = batch * fout;
+            for b in 0..batch {
+                let out_b = &mut out[b * n * fout..][..n * fout];
+                for i in 0..n {
+                    out_b[i * fout..(i + 1) * fout]
+                        .copy_from_slice(&stage[i * ld + b * fout..][..fout]);
+                }
+            }
+            if let Some(bias) = &self.bias {
+                let bd = bias.value.data();
+                for row in out.chunks_exact_mut(fout) {
+                    for (o, &bv) in row.iter_mut().zip(bd) {
+                        *o += bv;
+                    }
+                }
+            }
+            return Ok(());
+        }
+        // Bring the cached packed operands up to date with this realization
+        // batch (cell scatter / dirty-row re-packing / uniform-scale).
+        state.weight.refresh_all();
+        let [x, out] = arenas.f.many_mut([input.slot, output.slot]);
+        if ctx.frozen {
+            // Single-realization frozen plan: one cached activation panel,
+            // one cached weight panel.
+            if state.a_gen != ctx.input_gen {
+                state.packed_a.pack(false, &x[..n * fin], n, fin);
+                state.a_gen = ctx.input_gen;
+            }
+            for b in 0..batch {
+                gemm_prepacked_ab(
+                    &state.packed_a,
+                    state.weight.panel(b),
+                    1.0,
+                    0.0,
+                    &mut out[b * n * fout..][..n * fout],
+                );
+            }
         } else {
-            gemm_prepacked_b(false, n, 1.0, x, packed_w, 0.0, out, &mut state.scratch);
+            for b in 0..batch {
+                gemm_prepacked_b(
+                    false,
+                    n,
+                    1.0,
+                    &x[b * n * fin..][..n * fin],
+                    state.weight.panel(b),
+                    0.0,
+                    &mut out[b * n * fout..][..n * fout],
+                    &mut state.scratch,
+                );
+            }
         }
         if let Some(bias) = &self.bias {
             let bd = bias.value.data();
-            for i in 0..n {
-                for j in 0..fout {
-                    out[i * fout + j] += bd[j];
+            for row in out.chunks_exact_mut(fout) {
+                for (o, &bv) in row.iter_mut().zip(bd) {
+                    *o += bv;
                 }
             }
         }

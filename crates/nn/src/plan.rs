@@ -44,7 +44,7 @@ use invnorm_tensor::{Arena, ArenaSlot, DirtyRows, Tensor};
 
 /// The per-plan buffer arenas, one per element type so f32 activations, i8
 /// quantization codes and i32 accumulators each live in a single allocation.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct PlanArenas {
     /// f32 activations, im2col patch matrices and GEMM staging.
     pub f: Arena<f32>,
@@ -52,12 +52,33 @@ pub struct PlanArenas {
     pub q: Arena<i8>,
     /// i32 integer-GEMM accumulators.
     pub acc: Arena<i32>,
+    /// Fault realizations fused per forward pass (see [`Plan::compile_batched`]).
+    /// Weighted layers consult this during `plan_compile` to size their
+    /// stacked faulty buffers and per-realization packed panels; `1` for
+    /// ordinary plans.
+    batch: usize,
+}
+
+impl Default for PlanArenas {
+    fn default() -> Self {
+        Self {
+            f: Arena::new(),
+            q: Arena::new(),
+            acc: Arena::new(),
+            batch: 1,
+        }
+    }
 }
 
 impl PlanArenas {
     /// Creates empty arenas in the build phase.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Fault realizations fused per forward pass (1 for ordinary plans).
+    pub fn batch(&self) -> usize {
+        self.batch
     }
 
     /// Seals all three arenas (performs the backing allocations).
@@ -123,6 +144,11 @@ impl PlanCtx {
 /// [`Layer::visit_plan_params`] visitors: the clean value, the faulty buffer
 /// the next forward will consume, and the dirty-row set driving panel
 /// re-packing.
+///
+/// For a **batched** plan ([`Plan::compile_batched`]) the faulty buffer
+/// stacks `batch` realizations (`faulty[b·numel..(b+1)·numel]` is
+/// realization `b`) and `dirty` tracks `batch · rows` rows, realization `b`
+/// owning rows `[b·rows, (b+1)·rows)`.
 #[derive(Debug)]
 pub struct PlanParamView<'a> {
     /// Index of this parameter in [`Layer::visit_params`] order — the fault
@@ -130,7 +156,8 @@ pub struct PlanParamView<'a> {
     pub index: usize,
     /// The clean parameter value (never touched by planned injection).
     pub clean: &'a Tensor,
-    /// The faulty weight buffer the plan's packed panels are refreshed from.
+    /// The faulty weight buffer the plan's packed panels are refreshed from
+    /// (stacked per realization for batched plans).
     pub faulty: &'a mut [f32],
     /// Rows (leading-dimension indices) the injector perturbed; the plan
     /// re-packs only the panels covering these rows.
@@ -140,7 +167,14 @@ pub struct PlanParamView<'a> {
     /// instead of writing `faulty` — the layer then scales its cached packed
     /// panels directly (bit-identical to re-packing scaled weights) and
     /// skips the realization entirely once the factor is already applied.
+    /// Batched plans apply the factor to every realization's panel (drift
+    /// draws no randomness, so all realizations share the factor).
     pub scale: &'a mut Option<f32>,
+    /// Sparse packed-domain realization bookkeeping: injectors whose
+    /// realization touches few cells (stuck-at) record the exact touched
+    /// cells here, and the refresh writes those cells straight into the
+    /// packed panels instead of re-packing every dirty row.
+    pub cells: &'a mut SparseCells,
 }
 
 /// The code-domain analogue of [`PlanParamView`], handed to
@@ -160,81 +194,390 @@ pub struct PlanCodeView<'a> {
     pub dirty: &'a mut DirtyRows,
 }
 
+/// Exact-cell realization bookkeeping for sparse packed-domain injection.
+///
+/// Per realization, two cell lists are tracked against the clean weight:
+/// the cells where the **faulty buffer** differs (written by the sparse
+/// injector) and the cells where the **live packed panel** differs
+/// (maintained by [`PlannedWeight`]'s refresh). While both lists are exact,
+/// a refresh reverts the panel's previous cells and scatters the new ones
+/// through `PackedB::write_cell` — O(cells) instead of re-packing every
+/// dirty row's full k extent. A list overflowing its capacity (a dense
+/// realization) degrades to "unknown", and the refresh falls back to the
+/// row-granular re-pack; exactness is re-established by the next sparse
+/// realization.
+#[derive(Debug)]
+pub struct SparseCells {
+    faulty: Vec<CellList>,
+    panel: Vec<CellList>,
+    pending: Vec<bool>,
+    cap: usize,
+}
+
+#[derive(Debug, Clone)]
+struct CellList {
+    idx: Vec<u32>,
+    exact: bool,
+}
+
+impl CellList {
+    fn set_unknown(&mut self) {
+        self.idx.clear();
+        self.exact = false;
+    }
+
+    fn set_empty_exact(&mut self) {
+        self.idx.clear();
+        self.exact = true;
+    }
+}
+
+impl SparseCells {
+    fn new(batch: usize, numel: usize) -> Self {
+        // Cap the exact lists at numel/8 cells: beyond that the row-granular
+        // re-pack is competitive anyway, and capacity is reserved up front so
+        // steady-state realizations never allocate.
+        let cap = (numel / 8).max(64).min(numel.max(1));
+        let list = || CellList {
+            idx: Vec::with_capacity(cap),
+            exact: false,
+        };
+        Self {
+            faulty: (0..batch).map(|_| list()).collect(),
+            panel: (0..batch).map(|_| list()).collect(),
+            pending: vec![false; batch],
+            cap,
+        }
+    }
+
+    /// Number of realizations tracked.
+    pub fn batch(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Exact-cell capacity per realization.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// The exact faulty-vs-clean cell list of realization `b`, when known.
+    pub fn faulty_cells(&self, b: usize) -> Option<&[u32]> {
+        self.faulty[b].exact.then(|| self.faulty[b].idx.as_slice())
+    }
+
+    /// Begins a fresh exact recording of realization `b`'s faulty cells
+    /// (the caller has just reverted the faulty buffer to clean).
+    pub fn reset_faulty(&mut self, b: usize) {
+        self.faulty[b].set_empty_exact();
+    }
+
+    /// Records that the sparse injector wrote cell `idx` of realization `b`;
+    /// on overflow the list degrades to unknown (dense fallback).
+    pub fn push_faulty(&mut self, b: usize, idx: usize) {
+        let list = &mut self.faulty[b];
+        if !list.exact {
+            return;
+        }
+        if list.idx.len() == self.cap {
+            list.set_unknown();
+        } else {
+            list.idx.push(idx as u32);
+        }
+    }
+
+    /// Declares realization `b`'s faulty buffer densely rewritten (the exact
+    /// cell list no longer describes it).
+    pub fn invalidate_faulty(&mut self, b: usize) {
+        self.faulty[b].set_unknown();
+    }
+
+    /// Marks realization `b` as written by the sparse injector since the
+    /// last refresh, which is what entitles the refresh to trust the lists.
+    pub fn mark_pending(&mut self, b: usize) {
+        self.pending[b] = true;
+    }
+}
+
 /// Cached packed f32 weight operand with per-realization bookkeeping — the
 /// shared plan state of the dense layers (`Linear`, `Conv2d`).
 ///
-/// Three realization regimes are tracked:
+/// An ordinary plan tracks one realization; a **batched** plan
+/// ([`Plan::compile_batched`]) stacks `batch` of them: the faulty buffer
+/// holds `batch` copies of the weight, the dirty/stale sets track
+/// `batch · rows` rows, and each realization owns its own cached packed
+/// panel, so B fused forward passes share one clean reference pack.
 ///
-/// * **Sparse** ([`PlanParamView::dirty`]): the injector rewrote `faulty`
-///   and marked the touched rows; only panels covering the union of those
-///   rows and the previous realization's rows are re-packed.
+/// Four realization regimes are tracked per panel:
+///
+/// * **Sparse rows** ([`PlanParamView::dirty`]): the injector rewrote the
+///   realization's faulty slice and marked the touched rows; only panels
+///   covering the union of those rows and the previous realization's rows
+///   are re-packed.
+/// * **Sparse cells** ([`PlanParamView::cells`]): the injector recorded the
+///   exact touched cells; they are written straight into the packed panel
+///   (packed-domain injection, O(cells)).
 /// * **Uniform scale** ([`PlanParamView::scale`]): the realization is
-///   `clean · factor` (retention drift); the packed clean operand is scaled
-///   directly — and skipped entirely when the factor is already applied.
-/// * **Clean**: nothing marked; the packed operand is already exact.
+///   `clean · factor` (retention drift); every packed panel is scaled from
+///   the clean operand directly — and skipped entirely when the factor is
+///   already applied.
+/// * **Clean**: nothing marked; the packed operands are already exact.
 #[derive(Debug)]
 pub struct PlannedWeight {
     packed_clean: PackedB,
-    packed: PackedB,
-    /// The faulty weight buffer sparse realizations write.
+    panels: Vec<PackedB>,
+    clean: Vec<f32>,
+    /// The stacked faulty weight buffer sparse realizations write
+    /// (`batch × numel`).
     pub faulty: Vec<f32>,
-    /// Rows the current realization touched.
+    /// Rows the current realization batch touched (`batch · rows` rows).
     pub dirty: DirtyRows,
-    /// Rows where `packed` still differs from the clean operand (from the
-    /// previous realization).
+    /// Rows where the panels still differ from the clean operand (from the
+    /// previous realization batch).
     stale: DirtyRows,
     /// Pending uniform-scale request for the next refresh.
     pub scale_req: Option<f32>,
     applied_scale: Option<f32>,
+    cells: SparseCells,
+    batch: usize,
+    rows: usize,
+    cols: usize,
+    /// Wide representation: ONE packed operand over the whole stacked
+    /// `[batch · rows, cols]` faulty matrix, used by frozen layers to drive
+    /// a single `[N, batch · rows]` wide GEMM per forward (full microkernel
+    /// width, the cached activation panel streamed once). Materialized
+    /// lazily on first use — a layer consistently uses either the wide or
+    /// the per-realization representation, never both.
+    wide: PackedB,
+    wide_clean: PackedB,
+    wide_stale: DirtyRows,
+    wide_applied: Option<f32>,
 }
 
 impl PlannedWeight {
-    /// Packs the clean `[n, k]` (row-major, `trans_b`) weight matrix twice:
-    /// once as the immutable clean reference, once as the live operand.
+    /// Packs the clean `[n, k]` (row-major, `trans_b`) weight matrix for a
+    /// single-realization plan.
     pub fn pack(weight: &[f32], k: usize, n: usize) -> Self {
+        Self::pack_batched(weight, k, n, 1)
+    }
+
+    /// Packs the clean `[n, k]` weight matrix once as the immutable clean
+    /// reference and stages the stacked faulty buffer with `batch` clean
+    /// copies. The live packed operands (per-realization panels or the wide
+    /// stacked operand) are materialized lazily on first refresh.
+    pub fn pack_batched(weight: &[f32], k: usize, n: usize, batch: usize) -> Self {
+        let batch = batch.max(1);
         let mut packed_clean = PackedB::new();
         packed_clean.pack(true, weight, k, n);
-        let packed = packed_clean.clone();
+        let mut faulty = Vec::with_capacity(batch * weight.len());
+        for _ in 0..batch {
+            faulty.extend_from_slice(weight);
+        }
         Self {
             packed_clean,
-            packed,
-            faulty: weight.to_vec(),
-            dirty: DirtyRows::new(n),
-            stale: DirtyRows::new(n),
+            panels: Vec::new(),
+            clean: weight.to_vec(),
+            faulty,
+            dirty: DirtyRows::new(batch * n),
+            stale: DirtyRows::new(batch * n),
             scale_req: None,
             applied_scale: None,
+            cells: SparseCells::new(batch, weight.len()),
+            batch,
+            rows: n,
+            cols: k,
+            wide: PackedB::new(),
+            wide_clean: PackedB::new(),
+            wide_stale: DirtyRows::new(batch * n),
+            wide_applied: None,
         }
     }
 
-    /// Brings the live packed operand up to date with the realization the
-    /// injector recorded (dirty rows, uniform scale, or nothing), returning
-    /// it ready for the GEMM.
+    /// Number of stacked realizations.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Realization `b`'s live packed operand (call
+    /// [`PlannedWeight::refresh_all`] first).
+    pub fn panel(&self, b: usize) -> &PackedB {
+        &self.panels[b]
+    }
+
+    /// Single-realization convenience: refreshes and returns panel 0.
     pub fn refresh(&mut self) -> &PackedB {
+        self.refresh_all();
+        &self.panels[0]
+    }
+
+    /// Brings the **wide stacked operand** (`[batch · rows, cols]`, one
+    /// panel over every realization) up to date with the realization the
+    /// injector recorded and returns it ready for the fused `[N, B·out]`
+    /// GEMM. The stacked faulty buffer *is* the wide source matrix, so the
+    /// dirty-row, uniform-scale and sparse-cell bookkeeping apply
+    /// unchanged, with realization `b` owning rows `[b·rows, (b+1)·rows)`.
+    /// Allocation-free once materialized.
+    pub fn refresh_wide(&mut self) -> &PackedB {
+        let nw = self.batch * self.rows;
+        let numel = self.rows * self.cols;
+        if self.wide_clean.n() != nw {
+            // Lazy materialization (first forward of a frozen layer): pack
+            // the tiled clean stack once.
+            let mut tiled = Vec::with_capacity(self.batch * numel);
+            for _ in 0..self.batch {
+                tiled.extend_from_slice(&self.clean);
+            }
+            self.wide_clean.pack(true, &tiled, self.cols, nw);
+            self.wide = self.wide_clean.clone();
+        }
         if let Some(factor) = self.scale_req.take() {
-            // Uniform-scale regime: `packed = packed_clean · factor`,
+            if self.wide_applied != Some(factor) || self.dirty.any() {
+                self.wide.scale_from(&self.wide_clean, factor);
+                self.wide_applied = Some(factor);
+                self.dirty.clear();
+                self.wide_stale.clear();
+                for b in 0..self.batch {
+                    self.cells.panel[b].set_unknown();
+                }
+            }
+            self.cells.pending.fill(false);
+            return &self.wide;
+        }
+        if self.wide_applied.take().is_some() {
+            self.wide.copy_from(&self.wide_clean);
+            self.wide_stale.clear();
+            for b in 0..self.batch {
+                self.cells.panel[b].set_empty_exact();
+            }
+        }
+        let all_sparse = (0..self.batch).all(|b| {
+            self.cells.pending[b] && self.cells.panel[b].exact && self.cells.faulty[b].exact
+        });
+        if all_sparse {
+            // Packed-domain cell update over the stacked operand: revert
+            // every realization's previous cells, scatter the new ones.
+            for b in 0..self.batch {
+                let row0 = b * self.rows;
+                let fb = &self.faulty[b * numel..][..numel];
+                for &i in &self.cells.panel[b].idx {
+                    let i = i as usize;
+                    self.wide
+                        .write_cell(row0 + i / self.cols, i % self.cols, self.clean[i]);
+                }
+                for &i in &self.cells.faulty[b].idx {
+                    let i = i as usize;
+                    self.wide
+                        .write_cell(row0 + i / self.cols, i % self.cols, fb[i]);
+                }
+                let SparseCells { faulty, panel, .. } = &mut self.cells;
+                panel[b].idx.clone_from(&faulty[b].idx);
+                panel[b].exact = true;
+            }
+            std::mem::swap(&mut self.wide_stale, &mut self.dirty);
+            self.dirty.clear();
+        } else if self.dirty.any() || self.wide_stale.any() {
+            self.wide_stale.merge(&self.dirty);
+            self.wide.repack_rows(&self.faulty, &self.wide_stale, 0);
+            std::mem::swap(&mut self.wide_stale, &mut self.dirty);
+            self.dirty.clear();
+            for b in 0..self.batch {
+                if self.cells.pending[b] {
+                    let SparseCells { faulty, panel, .. } = &mut self.cells;
+                    panel[b].idx.clone_from(&faulty[b].idx);
+                    panel[b].exact = faulty[b].exact;
+                } else {
+                    self.cells.panel[b].set_unknown();
+                    self.cells.faulty[b].set_unknown();
+                }
+            }
+        }
+        self.cells.pending.fill(false);
+        &self.wide
+    }
+
+    /// Brings every per-realization packed panel up to date with the
+    /// realization the injector recorded (sparse cells, dirty rows, uniform
+    /// scale, or nothing), ready for the per-realization GEMMs.
+    /// Allocation-free once materialized.
+    pub fn refresh_all(&mut self) {
+        let numel = self.rows * self.cols;
+        if self.panels.is_empty() {
+            // Lazy materialization (first forward): every panel starts as
+            // the clean operand; the bookkeeping below applies the pending
+            // realization on top.
+            self.panels = vec![self.packed_clean.clone(); self.batch];
+        }
+        if let Some(factor) = self.scale_req.take() {
+            // Uniform-scale regime: `panel = packed_clean · factor`,
             // bit-identical to packing scaled weights. Skip when the exact
             // factor is already applied and nothing else touched the panels.
             if self.applied_scale != Some(factor) || self.dirty.any() {
-                self.packed.scale_from(&self.packed_clean, factor);
+                for (b, panel) in self.panels.iter_mut().enumerate() {
+                    panel.scale_from(&self.packed_clean, factor);
+                    self.cells.panel[b].set_unknown();
+                }
                 self.applied_scale = Some(factor);
                 self.dirty.clear();
                 self.stale.clear();
             }
-        } else {
-            if self.applied_scale.take().is_some() {
-                // Leaving the scaled regime: restore the clean panels, then
-                // apply this realization's dirty rows below.
-                self.packed.copy_from(&self.packed_clean);
-                self.stale.clear();
+            self.cells.pending.fill(false);
+            return;
+        }
+        if self.applied_scale.take().is_some() {
+            // Leaving the scaled regime: restore the clean panels, then
+            // apply this realization's dirty rows/cells below.
+            for (b, panel) in self.panels.iter_mut().enumerate() {
+                panel.copy_from(&self.packed_clean);
+                self.cells.panel[b].set_empty_exact();
             }
-            if self.dirty.any() || self.stale.any() {
-                self.stale.merge(&self.dirty);
-                self.packed.repack_rows(&self.faulty, &self.stale);
-                std::mem::swap(&mut self.stale, &mut self.dirty);
-                self.dirty.clear();
+            self.stale.clear();
+        }
+        for b in 0..self.batch {
+            let (lo, hi) = (b * self.rows, (b + 1) * self.rows);
+            let faulty_b = &self.faulty[b * numel..][..numel];
+            let panel = &mut self.panels[b];
+            let pending = std::mem::replace(&mut self.cells.pending[b], false);
+            if pending && self.cells.panel[b].exact && self.cells.faulty[b].exact {
+                // Packed-domain cell update: revert the previous
+                // realization's cells to clean, scatter this realization's
+                // cells — O(cells), no row re-pack. Bit-identical to a
+                // re-pack of the same faulty matrix.
+                for &i in &self.cells.panel[b].idx {
+                    let i = i as usize;
+                    panel.write_cell(i / self.cols, i % self.cols, self.clean[i]);
+                }
+                for &i in &self.cells.faulty[b].idx {
+                    let i = i as usize;
+                    panel.write_cell(i / self.cols, i % self.cols, faulty_b[i]);
+                }
+                // The panel now equals the faulty buffer exactly.
+                let (panel_list, faulty_list) = (&mut self.cells.panel[b], &self.cells.faulty[b]);
+                panel_list.idx.clone_from(&faulty_list.idx);
+                panel_list.exact = true;
+                self.stale.copy_range(&self.dirty, lo, hi);
+                self.dirty.clear_range(lo, hi);
+            } else if self.dirty.any_in(lo, hi) || self.stale.any_in(lo, hi) {
+                // Row-granular re-pack of the union of this realization's
+                // dirty rows and the panel's stale rows.
+                self.stale.merge_range(&self.dirty, lo, hi);
+                panel.repack_rows(faulty_b, &self.stale, lo);
+                self.stale.copy_range(&self.dirty, lo, hi);
+                self.dirty.clear_range(lo, hi);
+                if pending {
+                    // Sparse injector wrote the buffer (panel list was
+                    // merely unknown): panel == faulty now, adopt its list.
+                    // `clone_from` reuses the reserved capacity, so even
+                    // this recovery transition allocates nothing.
+                    let SparseCells { faulty, panel, .. } = &mut self.cells;
+                    panel[b].idx.clone_from(&faulty[b].idx);
+                    panel[b].exact = faulty[b].exact;
+                } else {
+                    // A dense realization (or a caller writing `faulty`
+                    // directly) — the exact lists no longer describe it.
+                    self.cells.panel[b].set_unknown();
+                    self.cells.faulty[b].set_unknown();
+                }
             }
         }
-        &self.packed
     }
 
     /// The injector-facing view of this weight's plan state.
@@ -245,49 +588,126 @@ impl PlannedWeight {
             faulty: &mut self.faulty,
             dirty: &mut self.dirty,
             scale: &mut self.scale_req,
+            cells: &mut self.cells,
         }
     }
 }
 
 /// Cached packed i8 code operand with per-realization bookkeeping — the
-/// quantized layers' counterpart of [`PlannedWeight`]. There is no
-/// uniform-scale regime in the code domain (drift rounds per code), so only
-/// the sparse dirty-row and clean regimes are tracked, with the same
-/// merge → repack → swap contract.
+/// quantized layers' counterpart of [`PlannedWeight`], likewise stacking
+/// `batch` realizations for batched plans. There is no uniform-scale regime
+/// in the code domain (drift rounds per code) and no packed-domain cell path
+/// (the quad-interleaved packing makes single-cell writes unprofitable), so
+/// only the sparse dirty-row and clean regimes are tracked, with the same
+/// merge → repack → swap contract per realization range.
 #[derive(Debug)]
 pub struct PlannedCodes {
-    packed: QPackedB,
-    /// The faulty code buffer realizations write.
+    packed_clean: QPackedB,
+    panels: Vec<QPackedB>,
+    clean: Vec<i8>,
+    /// The stacked faulty code buffer realizations write (`batch × numel`).
     pub faulty: Vec<i8>,
-    /// Rows the current realization touched.
+    /// Rows the current realization batch touched (`batch · rows` rows).
     pub dirty: DirtyRows,
-    /// Rows where `packed` still differs from the clean operand.
+    /// Rows where the panels still differ from the clean operand.
     stale: DirtyRows,
+    batch: usize,
+    rows: usize,
+    /// Wide representation over the whole stacked `[batch · rows, k]` code
+    /// matrix (see [`PlannedWeight`]); lazily materialized for frozen
+    /// layers.
+    wide: QPackedB,
+    wide_stale: DirtyRows,
 }
 
 impl PlannedCodes {
-    /// Packs the clean `[n, k]` (row-major, `trans_b`) code matrix.
+    /// Packs the clean `[n, k]` (row-major, `trans_b`) code matrix for a
+    /// single-realization plan.
     pub fn pack(codes: &[i8], k: usize, n: usize) -> Self {
+        Self::pack_batched(codes, k, n, 1)
+    }
+
+    /// Packs the clean `[n, k]` code matrix once as the clean reference and
+    /// stages the stacked faulty buffer; live panels are materialized
+    /// lazily.
+    pub fn pack_batched(codes: &[i8], k: usize, n: usize, batch: usize) -> Self {
+        let batch = batch.max(1);
         let mut packed = QPackedB::new();
         packed.pack(true, codes, k, n);
+        let mut faulty = Vec::with_capacity(batch * codes.len());
+        for _ in 0..batch {
+            faulty.extend_from_slice(codes);
+        }
         Self {
-            packed,
-            faulty: codes.to_vec(),
-            dirty: DirtyRows::new(n),
-            stale: DirtyRows::new(n),
+            packed_clean: packed,
+            panels: Vec::new(),
+            clean: codes.to_vec(),
+            faulty,
+            dirty: DirtyRows::new(batch * n),
+            stale: DirtyRows::new(batch * n),
+            batch,
+            rows: n,
+            wide: QPackedB::new(),
+            wide_stale: DirtyRows::new(batch * n),
         }
     }
 
-    /// Brings the live packed operand up to date with the realization the
-    /// injector recorded (see [`PlannedWeight::refresh`]).
+    /// Number of stacked realizations.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Realization `b`'s live packed operand (call
+    /// [`PlannedCodes::refresh_all`] first).
+    pub fn panel(&self, b: usize) -> &QPackedB {
+        &self.panels[b]
+    }
+
+    /// Single-realization convenience: refreshes and returns panel 0.
     pub fn refresh(&mut self) -> &QPackedB {
-        if self.dirty.any() || self.stale.any() {
-            self.stale.merge(&self.dirty);
-            self.packed.repack_rows(&self.faulty, &self.stale);
-            std::mem::swap(&mut self.stale, &mut self.dirty);
+        self.refresh_all();
+        &self.panels[0]
+    }
+
+    /// Brings the wide stacked operand up to date and returns it ready for
+    /// the fused `[N, B·out]` integer GEMM (see
+    /// [`PlannedWeight::refresh_wide`]; the code domain has no
+    /// uniform-scale or cell regime).
+    pub fn refresh_wide(&mut self) -> &QPackedB {
+        let nw = self.batch * self.rows;
+        let k = self.clean.len().checked_div(self.rows).unwrap_or(0);
+        if self.wide.n() != nw {
+            let mut tiled = Vec::with_capacity(self.batch * self.clean.len());
+            for _ in 0..self.batch {
+                tiled.extend_from_slice(&self.clean);
+            }
+            self.wide.pack(true, &tiled, k, nw);
+        }
+        if self.dirty.any() || self.wide_stale.any() {
+            self.wide_stale.merge(&self.dirty);
+            self.wide.repack_rows(&self.faulty, &self.wide_stale, 0);
+            std::mem::swap(&mut self.wide_stale, &mut self.dirty);
             self.dirty.clear();
         }
-        &self.packed
+        &self.wide
+    }
+
+    /// Brings every live packed panel up to date with the realization the
+    /// injector recorded (see [`PlannedWeight::refresh_all`]).
+    pub fn refresh_all(&mut self) {
+        if self.panels.is_empty() {
+            self.panels = vec![self.packed_clean.clone(); self.batch];
+        }
+        let numel = self.faulty.len() / self.batch;
+        for b in 0..self.batch {
+            let (lo, hi) = (b * self.rows, (b + 1) * self.rows);
+            if self.dirty.any_in(lo, hi) || self.stale.any_in(lo, hi) {
+                self.stale.merge_range(&self.dirty, lo, hi);
+                self.panels[b].repack_rows(&self.faulty[b * numel..][..numel], &self.stale, lo);
+                self.stale.copy_range(&self.dirty, lo, hi);
+                self.dirty.clear_range(lo, hi);
+            }
+        }
     }
 
     /// The injector-facing view of this code operand's plan state.
@@ -315,6 +735,10 @@ pub struct Plan {
     output: PlanShape,
     out_tensor: Tensor,
     gen: u64,
+    batch: usize,
+    /// Per-realization input dims (`input.dims` with the leading dimension
+    /// divided by `batch`) — the shape [`Plan::load_input`] accepts.
+    per_dims: Vec<usize>,
 }
 
 impl Plan {
@@ -327,10 +751,47 @@ impl Plan {
     /// implement the plan protocol ([`NnError::Unsupported`]) or a shape is
     /// inconsistent.
     pub fn compile<M: Layer + ?Sized>(model: &mut M, example: &Tensor) -> Result<Self> {
+        Self::compile_batched(model, example, 1)
+    }
+
+    /// Compiles `model` for **`batch` fused fault realizations** of the
+    /// shape of `example`, and loads `example` as the (shared) plan input.
+    ///
+    /// The plan's activation edges carry all realizations stacked along the
+    /// leading dimension: the input edge holds `batch` tiled copies of the
+    /// example (written once per [`Plan::load_input`], so frozen-input
+    /// caches — packed activation panels, unfolded patches, quantized codes
+    /// — are still computed once per input), and every weighted layer owns
+    /// `batch` stacked faulty buffers plus per-realization cached packed
+    /// panels. One [`Plan::forward`] then evaluates every realization, with
+    /// realization `b` owning rows `[b·N, (b+1)·N)` of the output's leading
+    /// dimension — each bit-identical to a single-realization planned (and
+    /// therefore direct) forward on its faulty weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a layer with fault-targetable state does not
+    /// implement the plan protocol, the example has no leading batch
+    /// dimension, or a shape is inconsistent.
+    pub fn compile_batched<M: Layer + ?Sized>(
+        model: &mut M,
+        example: &Tensor,
+        batch: usize,
+    ) -> Result<Self> {
+        let batch = batch.max(1);
+        if example.rank() == 0 {
+            return Err(NnError::Config(
+                "plan input must have a leading batch dimension".into(),
+            ));
+        }
         let mut arenas = PlanArenas::new();
+        arenas.batch = batch;
+        let per_dims = example.dims().to_vec();
+        let mut dims = per_dims.clone();
+        dims[0] *= batch;
         let input = PlanShape {
-            slot: arenas.f.reserve(example.numel()),
-            dims: example.dims().to_vec(),
+            slot: arenas.f.reserve(example.numel() * batch),
+            dims,
         };
         let output = model.plan_compile(&input, &mut arenas)?;
         arenas.seal();
@@ -341,31 +802,41 @@ impl Plan {
             output,
             out_tensor,
             gen: 0,
+            batch,
+            per_dims,
         };
         plan.load_input(example)?;
         Ok(plan)
     }
 
-    /// Loads a new input activation (same shape as the compile-time
-    /// example), invalidating input-derived caches.
+    /// Loads a new input activation (same per-realization shape as the
+    /// compile-time example), invalidating input-derived caches. Batched
+    /// plans tile the input across every stacked realization.
     ///
     /// # Errors
     ///
-    /// Returns an error when the dims differ from the compiled input shape.
+    /// Returns [`NnError::ShapeMismatch`] when the dims differ from the
+    /// compiled per-realization input shape.
     pub fn load_input(&mut self, input: &Tensor) -> Result<()> {
-        if input.dims() != self.input.dims.as_slice() {
-            return Err(NnError::Config(format!(
-                "plan compiled for input {:?}, got {:?}",
-                self.input.dims,
-                input.dims()
-            )));
+        if input.dims() != self.per_dims.as_slice() {
+            return Err(NnError::shape_mismatch(
+                "Plan::load_input",
+                &self.per_dims,
+                input.dims(),
+            ));
         }
-        self.arenas
-            .f
-            .slot_mut(self.input.slot)
-            .copy_from_slice(input.data());
+        let slot = self.arenas.f.slot_mut(self.input.slot);
+        let per = input.numel();
+        for b in 0..self.batch {
+            slot[b * per..(b + 1) * per].copy_from_slice(input.data());
+        }
         self.gen += 1;
         Ok(())
+    }
+
+    /// Fault realizations fused per forward pass (1 for ordinary plans).
+    pub fn batch(&self) -> usize {
+        self.batch
     }
 
     /// Runs one planned forward pass over the loaded input, consuming each
@@ -545,8 +1016,113 @@ mod tests {
         let mut net = Sequential::new().with(Box::new(Linear::new(4, 2, &mut rng)));
         let x = Tensor::randn(&[2, 4], 0.0, 1.0, &mut rng);
         let mut plan = Plan::compile(&mut net, &x).unwrap();
-        assert!(plan.load_input(&Tensor::zeros(&[3, 4])).is_err());
+        // Shape mismatches at forward time are the typed `ShapeMismatch`
+        // error, carrying both shapes, not a panic or a formatted string.
+        let err = plan.load_input(&Tensor::zeros(&[3, 4])).unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                NnError::ShapeMismatch { context, expected, got }
+                    if *context == "Plan::load_input"
+                        && expected == &vec![2, 4]
+                        && got == &vec![3, 4]
+            ),
+            "unexpected error: {err}"
+        );
+        let err = plan.load_input(&Tensor::zeros(&[2, 5])).unwrap_err();
+        assert!(matches!(err, NnError::ShapeMismatch { .. }));
+        let err = plan.load_input(&Tensor::zeros(&[2, 4, 1])).unwrap_err();
+        assert!(matches!(err, NnError::ShapeMismatch { .. }));
         assert!(plan.load_input(&x).is_ok());
         net.plan_end();
+        // Wrong-rank compile inputs are rejected, not misread.
+        let mut conv_net =
+            Sequential::new().with(Box::new(crate::conv::Conv2d::new(2, 3, 3, 1, 1, &mut rng)));
+        assert!(Plan::compile(&mut conv_net, &Tensor::zeros(&[2, 4])).is_err());
+        assert!(Plan::compile(&mut net, &Tensor::from_vec(vec![0.0], &[]).unwrap()).is_err());
+    }
+
+    #[test]
+    fn batched_plan_stacks_realizations_and_loads_tiled_input() {
+        let mut rng = Rng::seed_from(10);
+        let mut net = Sequential::new()
+            .with(Box::new(Linear::new(5, 7, &mut rng)))
+            .with(Box::new(Relu::new()))
+            .with(Box::new(Linear::new(7, 3, &mut rng)));
+        let x = Tensor::randn(&[4, 5], 0.0, 1.0, &mut rng);
+        let direct = net.forward(&x, Mode::Eval).unwrap();
+        let batch = 3usize;
+        let mut plan = Plan::compile_batched(&mut net, &x, batch).unwrap();
+        assert_eq!(plan.batch(), batch);
+        assert_eq!(plan.input_dims(), &[batch * 4, 5]);
+        assert_eq!(plan.output_dims(), &[batch * 4, 3]);
+        // Clean stacked forward: every realization's rows equal the direct
+        // output bit-for-bit.
+        let out = plan.forward(&mut net).unwrap();
+        for b in 0..batch {
+            let rows = &out.data()[b * direct.numel()..][..direct.numel()];
+            let identical = rows
+                .iter()
+                .zip(direct.data().iter())
+                .all(|(a, c)| a.to_bits() == c.to_bits());
+            assert!(identical, "clean realization {b} diverged");
+        }
+        // Perturb realization 1's first weight only; realizations 0 and 2
+        // must stay clean.
+        net.visit_plan_params(&mut |view| {
+            if view.index == 0 {
+                let numel = view.clean.numel();
+                for v in &mut view.faulty[numel..][..5] {
+                    *v += 1.0;
+                }
+                view.dirty.mark(7); // realization 1, row 0 (7 rows each)
+            }
+        });
+        let out = plan.forward(&mut net).unwrap().clone();
+        for b in [0usize, 2] {
+            let rows = &out.data()[b * direct.numel()..][..direct.numel()];
+            let identical = rows
+                .iter()
+                .zip(direct.data().iter())
+                .all(|(a, c)| a.to_bits() == c.to_bits());
+            assert!(identical, "untouched realization {b} was perturbed");
+        }
+        let mid = &out.data()[direct.numel()..][..direct.numel()];
+        assert!(mid.iter().zip(direct.data().iter()).any(|(a, c)| a != c));
+        net.plan_end();
+    }
+
+    #[test]
+    fn batched_plan_rejects_non_divisible_leading_dim() {
+        // A layer seeing a stacked edge whose leading dimension is not a
+        // multiple of the plan batch must fail at compile time.
+        let mut rng = Rng::seed_from(11);
+        let mut net = Sequential::new()
+            .with(Box::new(Shrinker))
+            .with(Box::new(Linear::new(4, 2, &mut rng)));
+        let x = Tensor::randn(&[3, 4], 0.0, 1.0, &mut rng);
+        // Tiled input [6, 4] shrinks to [3, 4]: not divisible by batch 2.
+        assert!(Plan::compile_batched(&mut net, &x, 2).is_err());
+    }
+
+    /// A pathological layer that halves the leading dimension, breaking the
+    /// per-realization stacking invariant.
+    struct Shrinker;
+
+    impl Layer for Shrinker {
+        fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+            let d = input.dims();
+            let rows = d[0] / 2;
+            Ok(Tensor::from_vec(
+                input.data()[..rows * d[1]].to_vec(),
+                &[rows, d[1]],
+            )?)
+        }
+        fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+            Ok(grad_output.clone())
+        }
+        fn name(&self) -> &'static str {
+            "Shrinker"
+        }
     }
 }

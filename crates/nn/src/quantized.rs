@@ -134,8 +134,9 @@ struct QuantizedBatched {
 
 /// Compiled-plan state shared by both quantized layers: arena slots for the
 /// activation codes / patch matrix / i32 accumulators, the cached packed
-/// code operand with realization bookkeeping, and the cached packed
-/// activation panel (plus its quantization scale) for frozen inputs.
+/// code operand with realization bookkeeping (one panel per stacked
+/// realization for batched plans), and the cached packed activation panel
+/// (plus its quantization scale) for frozen inputs.
 #[derive(Debug)]
 struct QuantizedPlan {
     qin: ArenaSlot,
@@ -147,6 +148,14 @@ struct QuantizedPlan {
     a_gen: u64,
     a_scale: f32,
     plan_scratch: Scratch,
+    /// Stacked realizations per forward (1 for ordinary plans).
+    batch: usize,
+    /// Dims of one realization's tile of the stacked input edge (conv only).
+    tile_dims: Vec<usize>,
+    /// Per-realization dynamic activation scales of the current forward
+    /// (conv only; capacity reserved at compile so steady state allocates
+    /// nothing).
+    sx_buf: Vec<f32>,
 }
 
 impl QuantizedLinear {
@@ -434,23 +443,35 @@ impl Layer for QuantizedLinear {
     }
 
     fn plan_compile(&mut self, input: &PlanShape, arenas: &mut PlanArenas) -> Result<PlanShape> {
-        if input.dims.len() != 2 || input.dims[1] != self.in_features {
+        let batch = arenas.batch();
+        if input.dims.len() != 2
+            || input.dims[1] != self.in_features
+            || !input.dims[0].is_multiple_of(batch)
+        {
             return Err(NnError::Config(format!(
-                "QuantizedLinear expects input [N, {}], got {:?}",
+                "QuantizedLinear expects input [N, {}] (N divisible by the plan batch {batch}), got {:?}",
                 self.in_features, input.dims
             )));
         }
         let n = input.dims[0];
+        let n_per = n / batch;
         let (fin, fout) = (self.in_features, self.out_features);
         self.plan = Some(QuantizedPlan {
-            qin: arenas.q.reserve(n * fin),
+            // One realization's activation codes, reused across the stack;
+            // the accumulators are sized for the fused wide `[N, B·out]`
+            // product of a frozen layer (the per-realization path reuses
+            // the `[N, out]` prefix).
+            qin: arenas.q.reserve(n_per * fin),
             cols: arenas.q.reserve(0),
-            acc: arenas.acc.reserve(n * fout),
-            codes: PlannedCodes::pack(&self.codes, fin, fout),
+            acc: arenas.acc.reserve(n_per * fout * batch),
+            codes: PlannedCodes::pack_batched(&self.codes, fin, fout, batch),
             packed_a: QPackedA::new(),
             a_gen: 0,
             a_scale: 1.0,
             plan_scratch: Scratch::new(),
+            batch,
+            tile_dims: Vec::new(),
+            sx_buf: Vec::new(),
         });
         Ok(PlanShape {
             slot: arenas.f.reserve(n * fout),
@@ -468,39 +489,78 @@ impl Layer for QuantizedLinear {
         let state = self.plan.as_mut().ok_or_else(|| {
             NnError::Config("QuantizedLinear::plan_forward called without plan_compile".into())
         })?;
-        let n = input.dims[0];
         let (fin, fout) = (self.in_features, self.out_features);
-        // Bring the cached packed operand up to date with this realization
-        // (dirty-row re-packing).
-        let packed_w = state.codes.refresh();
+        let batch = state.batch;
+        let n = input.dims[0] / batch;
         let [x, out] = arenas.f.many_mut([input.slot, output.slot]);
         let qin = arenas.q.slot_mut(state.qin);
         let acc = arenas.acc.slot_mut(state.acc);
-        let sx = if ctx.frozen {
-            // Frozen plan input: quantize + pack the activation codes once
-            // per `load_input` (the scale depends only on the input).
+        let bias = self.bias.as_ref().map(Tensor::data);
+        if ctx.frozen && batch > 1 {
+            // Fused wide product: one cached panel of the first tile's
+            // quantized codes meets the wide stacked code operand in a
+            // single `[N, B·out]` integer GEMM; realization b dequantizes
+            // its own column block.
+            let wide_w = state.codes.refresh_wide();
             if state.a_gen != ctx.input_gen {
-                state.a_scale = quantize_activations(x, self.act_scale, qin);
+                state.a_scale = quantize_activations(&x[..n * fin], self.act_scale, qin);
                 state.packed_a.pack(false, qin, n, fin);
                 state.a_gen = ctx.input_gen;
             }
-            state.a_scale
-        } else {
-            quantize_activations(x, self.act_scale, qin)
-        };
-        if ctx.frozen {
-            qgemm_prepacked_ab(&state.packed_a, packed_w, false, acc);
-        } else {
-            qgemm_prepacked_b(false, n, qin, packed_w, false, acc, &mut state.plan_scratch);
-        }
-        let bias = self.bias.as_ref().map(Tensor::data);
-        for i in 0..n {
-            for j in 0..fout {
-                let mut v = acc[i * fout + j] as f32 * sx * self.scales[j];
-                if let Some(b) = bias {
-                    v += b[j];
+            qgemm_prepacked_ab(&state.packed_a, wide_w, false, acc);
+            let sx = state.a_scale;
+            let ld = batch * fout;
+            for b in 0..batch {
+                let out_b = &mut out[b * n * fout..][..n * fout];
+                for i in 0..n {
+                    for j in 0..fout {
+                        let mut v = acc[i * ld + b * fout + j] as f32 * sx * self.scales[j];
+                        if let Some(bd) = bias {
+                            v += bd[j];
+                        }
+                        out_b[i * fout + j] = v;
+                    }
                 }
-                out[i * fout + j] = v;
+            }
+            return Ok(());
+        }
+        // Bring the cached packed operands up to date with this realization
+        // batch (dirty-row re-packing).
+        state.codes.refresh_all();
+        for b in 0..batch {
+            let out_b = &mut out[b * n * fout..][..n * fout];
+            let acc = &mut acc[..n * fout];
+            let sx = if ctx.frozen {
+                // Single-realization frozen plan: quantize + pack the codes
+                // once per `load_input` and reuse the panel.
+                if state.a_gen != ctx.input_gen {
+                    state.a_scale = quantize_activations(&x[..n * fin], self.act_scale, qin);
+                    state.packed_a.pack(false, qin, n, fin);
+                    state.a_gen = ctx.input_gen;
+                }
+                qgemm_prepacked_ab(&state.packed_a, state.codes.panel(b), false, acc);
+                state.a_scale
+            } else {
+                let sx = quantize_activations(&x[b * n * fin..][..n * fin], self.act_scale, qin);
+                qgemm_prepacked_b(
+                    false,
+                    n,
+                    qin,
+                    state.codes.panel(b),
+                    false,
+                    acc,
+                    &mut state.plan_scratch,
+                );
+                sx
+            };
+            for i in 0..n {
+                for j in 0..fout {
+                    let mut v = acc[i * fout + j] as f32 * sx * self.scales[j];
+                    if let Some(bd) = bias {
+                        v += bd[j];
+                    }
+                    out_b[i * fout + j] = v;
+                }
             }
         }
         Ok(())
@@ -862,23 +922,37 @@ impl Layer for QuantizedConv2d {
     }
 
     fn plan_compile(&mut self, input: &PlanShape, arenas: &mut PlanArenas) -> Result<PlanShape> {
-        if input.dims.len() != 4 || input.dims[1] != self.in_channels {
+        let batch = arenas.batch();
+        if input.dims.len() != 4
+            || input.dims[1] != self.in_channels
+            || !input.dims[0].is_multiple_of(batch)
+        {
             return Err(NnError::Config(format!(
-                "QuantizedConv2d expects [N, {}, H, W], got {:?}",
+                "QuantizedConv2d expects [N, {}, H, W] (N divisible by the plan batch {batch}), got {:?}",
                 self.in_channels, input.dims
             )));
         }
         let shape = conv_out_shape(&input.dims, &self.spec)?;
         let oc = self.out_channels;
+        let mut tile_dims = input.dims.clone();
+        tile_dims[0] /= batch;
         self.plan = Some(QuantizedPlan {
+            // The whole stacked batch of codes is quantized/unfolded (each
+            // realization's tile with its own dynamic scale); the i32
+            // accumulators are sized for the fused wide `[rows/B, B·oc]`
+            // product of a frozen layer (the per-realization path reuses
+            // the `[rows/B, oc]` prefix).
             qin: arenas.q.reserve(input.numel()),
             cols: arenas.q.reserve(shape.rows * shape.patch),
-            acc: arenas.acc.reserve(shape.rows * oc),
-            codes: PlannedCodes::pack(&self.codes, shape.patch, oc),
+            acc: arenas.acc.reserve(shape.rows / batch * oc * batch),
+            codes: PlannedCodes::pack_batched(&self.codes, shape.patch, oc, batch),
             packed_a: QPackedA::new(),
             a_gen: 0,
             a_scale: 1.0,
             plan_scratch: Scratch::new(),
+            batch,
+            tile_dims,
+            sx_buf: Vec::with_capacity(batch),
         });
         Ok(PlanShape {
             slot: arenas.f.reserve(shape.output_dims(oc).iter().product()),
@@ -898,54 +972,131 @@ impl Layer for QuantizedConv2d {
         })?;
         let shape = conv_out_shape(&input.dims, &self.spec)?;
         let oc = self.out_channels;
-        // Bring the cached packed operand up to date with this realization
-        // (dirty-row re-packing).
-        let packed_w = state.codes.refresh();
+        let batch = state.batch;
+        let n_per = shape.n / batch;
+        let rows_per = shape.rows / batch;
+        let per_in = input.numel() / batch;
+        let per_out = n_per * oc * shape.oh * shape.ow;
         let [x, out] = arenas.f.many_mut([input.slot, output.slot]);
         let [qin, cols] = arenas.q.many_mut([state.qin, state.cols]);
         let acc = arenas.acc.slot_mut(state.acc);
-        let sx = if ctx.frozen {
-            // Frozen plan input: quantize + unfold + pack the patch panel
-            // once per `load_input`.
+        if ctx.frozen && batch > 1 {
+            // Fused wide product: one cached patch panel of the first
+            // tile's codes meets the wide stacked kernel operand in a
+            // single `[rows, B·oc]` integer GEMM; realization b
+            // dequantizes its strided column block during the NCHW
+            // re-layout.
+            let wide_w = state.codes.refresh_wide();
             if state.a_gen != ctx.input_gen {
-                state.a_scale = quantize_activations(x, self.act_scale, qin);
-                im2col_slice_into(qin, &input.dims, &self.spec, cols)?;
-                state.packed_a.pack(false, cols, shape.rows, shape.patch);
+                state.a_scale =
+                    quantize_activations(&x[..per_in], self.act_scale, &mut qin[..per_in]);
+                im2col_slice_into(
+                    &qin[..per_in],
+                    &state.tile_dims,
+                    &self.spec,
+                    &mut cols[..rows_per * shape.patch],
+                )?;
+                state.packed_a.pack(
+                    false,
+                    &cols[..rows_per * shape.patch],
+                    rows_per,
+                    shape.patch,
+                );
                 state.a_gen = ctx.input_gen;
             }
-            state.a_scale
-        } else {
-            let sx = quantize_activations(x, self.act_scale, qin);
-            im2col_slice_into(qin, &input.dims, &self.spec, cols)?;
-            sx
-        };
-        if ctx.frozen {
-            qgemm_prepacked_ab(&state.packed_a, packed_w, false, acc);
-        } else {
-            qgemm_prepacked_b(
-                false,
-                shape.rows,
-                cols,
-                packed_w,
-                false,
-                acc,
-                &mut state.plan_scratch,
-            );
-        }
-        // Dequantize during the NCHW re-layout; bias is digital f32 — the
-        // exact loop of the direct forward.
-        let (n, oh, ow) = (shape.n, shape.oh, shape.ow);
-        let bias = self.bias.as_ref().map(Tensor::data);
-        for ni in 0..n {
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let row = (ni * oh + oy) * ow + ox;
-                    for co in 0..oc {
-                        let mut v = acc[row * oc + co] as f32 * sx * self.scales[co];
-                        if let Some(b) = bias {
-                            v += b[co];
+            qgemm_prepacked_ab(&state.packed_a, wide_w, false, acc);
+            let sx = state.a_scale;
+            let ld = batch * oc;
+            let bias = self.bias.as_ref().map(Tensor::data);
+            for b in 0..batch {
+                let out_b = &mut out[b * per_out..][..per_out];
+                for ni in 0..n_per {
+                    for oy in 0..shape.oh {
+                        for ox in 0..shape.ow {
+                            let row = (ni * shape.oh + oy) * shape.ow + ox;
+                            for co in 0..oc {
+                                let mut v =
+                                    acc[row * ld + b * oc + co] as f32 * sx * self.scales[co];
+                                if let Some(bd) = bias {
+                                    v += bd[co];
+                                }
+                                out_b[((ni * oc + co) * shape.oh + oy) * shape.ow + ox] = v;
+                            }
                         }
-                        out[((ni * oc + co) * oh + oy) * ow + ox] = v;
+                    }
+                }
+            }
+            return Ok(());
+        }
+        // Bring the cached packed operands up to date with this realization
+        // batch (dirty-row re-packing).
+        state.codes.refresh_all();
+        if ctx.frozen {
+            // Single-realization frozen plan: quantize + unfold + pack the
+            // patch panel once per `load_input`.
+            if state.a_gen != ctx.input_gen {
+                state.a_scale =
+                    quantize_activations(&x[..per_in], self.act_scale, &mut qin[..per_in]);
+                im2col_slice_into(
+                    &qin[..per_in],
+                    &state.tile_dims,
+                    &self.spec,
+                    &mut cols[..rows_per * shape.patch],
+                )?;
+                state.packed_a.pack(
+                    false,
+                    &cols[..rows_per * shape.patch],
+                    rows_per,
+                    shape.patch,
+                );
+                state.a_gen = ctx.input_gen;
+            }
+        } else {
+            // Per-realization inputs: quantize each realization's tile over
+            // its own slice (the sequential per-instance scale semantics),
+            // then unfold the whole stacked batch of codes in one call.
+            state.sx_buf.clear();
+            for b in 0..batch {
+                state.sx_buf.push(quantize_activations(
+                    &x[b * per_in..][..per_in],
+                    self.act_scale,
+                    &mut qin[b * per_in..][..per_in],
+                ));
+            }
+            im2col_slice_into(qin, &input.dims, &self.spec, cols)?;
+        }
+        let bias = self.bias.as_ref().map(Tensor::data);
+        for b in 0..batch {
+            let acc = &mut acc[..rows_per * oc];
+            let sx = if ctx.frozen {
+                qgemm_prepacked_ab(&state.packed_a, state.codes.panel(b), false, acc);
+                state.a_scale
+            } else {
+                qgemm_prepacked_b(
+                    false,
+                    rows_per,
+                    &cols[b * rows_per * shape.patch..][..rows_per * shape.patch],
+                    state.codes.panel(b),
+                    false,
+                    acc,
+                    &mut state.plan_scratch,
+                );
+                state.sx_buf[b]
+            };
+            // Dequantize during the NCHW re-layout; bias is digital f32 —
+            // the exact loop of the direct forward, per realization.
+            let out_b = &mut out[b * per_out..][..per_out];
+            for ni in 0..n_per {
+                for oy in 0..shape.oh {
+                    for ox in 0..shape.ow {
+                        let row = (ni * shape.oh + oy) * shape.ow + ox;
+                        for co in 0..oc {
+                            let mut v = acc[row * oc + co] as f32 * sx * self.scales[co];
+                            if let Some(bd) = bias {
+                                v += bd[co];
+                            }
+                            out_b[((ni * oc + co) * shape.oh + oy) * shape.ow + ox] = v;
+                        }
                     }
                 }
             }

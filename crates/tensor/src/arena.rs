@@ -219,6 +219,76 @@ impl DirtyRows {
     pub fn count(&self) -> usize {
         self.bits.iter().map(|w| w.count_ones() as usize).sum()
     }
+
+    /// Marks every row in `[lo, hi)` dirty.
+    pub fn mark_range(&mut self, lo: usize, hi: usize) {
+        for (w, mask) in range_words(self.rows, lo, hi) {
+            self.bits[w] |= mask;
+        }
+    }
+
+    /// Clears every mark in `[lo, hi)`.
+    pub fn clear_range(&mut self, lo: usize, hi: usize) {
+        for (w, mask) in range_words(self.rows, lo, hi) {
+            self.bits[w] &= !mask;
+        }
+    }
+
+    /// Set union restricted to `[lo, hi)`: marks every row of that range
+    /// that is marked in `other`, leaving rows outside the range untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two sets track a different number of rows.
+    pub fn merge_range(&mut self, other: &DirtyRows, lo: usize, hi: usize) {
+        assert_eq!(self.rows, other.rows, "DirtyRows size mismatch");
+        for (w, mask) in range_words(self.rows, lo, hi) {
+            self.bits[w] |= other.bits[w] & mask;
+        }
+    }
+
+    /// Overwrites `[lo, hi)` with `other`'s marks for that range, leaving
+    /// rows outside the range untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two sets track a different number of rows.
+    pub fn copy_range(&mut self, other: &DirtyRows, lo: usize, hi: usize) {
+        assert_eq!(self.rows, other.rows, "DirtyRows size mismatch");
+        for (w, mask) in range_words(self.rows, lo, hi) {
+            self.bits[w] = (self.bits[w] & !mask) | (other.bits[w] & mask);
+        }
+    }
+
+    /// Number of marked rows in `[lo, hi)`.
+    pub fn count_in(&self, lo: usize, hi: usize) -> usize {
+        range_words(self.rows, lo, hi)
+            .map(|(w, mask)| (self.bits[w] & mask).count_ones() as usize)
+            .sum()
+    }
+}
+
+/// Iterates the `(word_index, mask)` pairs covering bit range `[lo, hi)` of a
+/// bitset over `rows` bits, clamping to the tracked rows. Allocation-free —
+/// the range methods above run inside steady-state plan refreshes.
+fn range_words(rows: usize, lo: usize, hi: usize) -> impl Iterator<Item = (usize, u64)> {
+    let hi = hi.min(rows);
+    let (wl, wh) = if lo >= hi {
+        (1, 0) // empty
+    } else {
+        (lo / 64, (hi - 1) / 64)
+    };
+    (wl..=wh).map(move |w| {
+        let lo_bit = if w == wl { lo % 64 } else { 0 };
+        let hi_bit = if w == wh { (hi - 1) % 64 + 1 } else { 64 };
+        let width = hi_bit - lo_bit;
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            ((1u64 << width) - 1) << lo_bit
+        };
+        (w, mask)
+    })
 }
 
 #[cfg(test)]
@@ -274,6 +344,50 @@ mod tests {
         let a = arena.reserve(4);
         arena.seal();
         let _ = arena.many_mut([a, a]);
+    }
+
+    #[test]
+    fn dirty_rows_range_operations() {
+        // Ranges crossing word boundaries (rows 60..70 span two u64 words).
+        let mut d = DirtyRows::new(200);
+        d.mark_range(60, 70);
+        assert_eq!(d.count(), 10);
+        assert_eq!(d.count_in(60, 70), 10);
+        assert_eq!(d.count_in(0, 60), 0);
+        assert!(d.is_marked(60) && d.is_marked(69) && !d.is_marked(70));
+        d.clear_range(64, 66);
+        assert_eq!(d.count(), 8);
+        assert!(!d.is_marked(64) && !d.is_marked(65) && d.is_marked(66));
+
+        let mut other = DirtyRows::new(200);
+        other.mark_range(0, 200);
+        let mut m = DirtyRows::new(200);
+        m.merge_range(&other, 100, 130);
+        assert_eq!(m.count(), 30);
+        assert_eq!(m.count_in(100, 130), 30);
+
+        // copy_range overwrites the range (clears what other lacks).
+        let mut c = DirtyRows::new(200);
+        c.mark_range(0, 200);
+        let sparse = {
+            let mut s = DirtyRows::new(200);
+            s.mark(110);
+            s
+        };
+        c.copy_range(&sparse, 100, 130);
+        assert_eq!(c.count_in(100, 130), 1);
+        assert!(c.is_marked(110) && c.is_marked(99) && c.is_marked(130));
+        assert_eq!(c.count(), 200 - 30 + 1);
+
+        // Degenerate ranges are no-ops.
+        let before = c.count();
+        c.mark_range(50, 50);
+        c.clear_range(10, 10);
+        assert_eq!(c.count(), before);
+        // Ranges are clamped to the tracked rows.
+        let mut e = DirtyRows::new(70);
+        e.mark_range(64, 1000);
+        assert_eq!(e.count(), 6);
     }
 
     #[test]

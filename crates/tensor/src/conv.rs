@@ -489,9 +489,10 @@ pub fn relayout_nchw_into(
 /// [`relayout_nchw_into`] reading a `[N*OH*OW, ld]` GEMM result at column
 /// offset `col0` — the extraction step of the batch-fused wide GEMM, where
 /// realization `b` owns columns `[b·OC, (b+1)·OC)` of one `[rows, B·OC]`
-/// product.
+/// product. Public so batched compiled plans can extract realizations
+/// straight into arena buffers.
 #[allow(clippy::too_many_arguments)]
-fn relayout_nchw_strided(
+pub fn relayout_nchw_strided(
     om: &[f32],
     ld: usize,
     col0: usize,

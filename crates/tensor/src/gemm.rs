@@ -481,6 +481,12 @@ impl PackedB {
     /// (updated) source matrix `b` — rows meaning columns of `op(B)`, i.e.
     /// rows of the stored `[n, k]` weight when `trans_b`.
     ///
+    /// `base` offsets the lookup into `dirty`: row `j` of this operand
+    /// consults mark `base + j`, so one dirty set over `batch · n` rows can
+    /// drive the per-realization panels of a stacked batched plan (each
+    /// realization passes its own `base = b · n`). Single-operand callers
+    /// pass `0`.
+    ///
     /// After the call the packed operand equals `pack(trans_b, b, k, n)`
     /// **provided** every column that changed since the last pack/repack is
     /// marked (callers union the previous realization's dirty set so
@@ -489,15 +495,15 @@ impl PackedB {
     /// # Panics
     ///
     /// Panics when `b` or `dirty` disagree with the packed dimensions.
-    pub fn repack_rows(&mut self, b: &[f32], dirty: &DirtyRows) {
+    pub fn repack_rows(&mut self, b: &[f32], dirty: &DirtyRows, base: usize) {
         assert_eq!(b.len(), self.k * self.n, "B must hold k*n elements");
-        assert_eq!(dirty.rows(), self.n, "dirty set must track n rows");
+        assert!(dirty.rows() >= base + self.n, "dirty set must cover n rows");
         let (k, n, trans_b) = (self.k, self.n, self.trans_b);
         for (ji, jc) in (0..n).step_by(NC).enumerate() {
             let nc = NC.min(n - jc);
             for jr in (0..nc).step_by(NR) {
                 let j0 = jc + jr;
-                if !dirty.any_in(j0, (j0 + NR).min(n)) {
+                if !dirty.any_in(base + j0, base + (j0 + NR).min(n)) {
                     continue;
                 }
                 let cols = NR.min(nc - jr);
@@ -523,6 +529,38 @@ impl PackedB {
                 }
             }
         }
+    }
+
+    /// Writes a single element of the packed operand in place: stored row
+    /// `row` (an output feature of a `[n, k]` weight packed with `trans_b`),
+    /// reduction index `kidx`.
+    ///
+    /// This is the packed-domain injection primitive for sparse fault
+    /// models: a stuck-at realization touching a handful of cells lands
+    /// straight in the panels in O(1) per cell, instead of re-packing every
+    /// dirty row's full k extent through [`PackedB::repack_rows`]. Writing
+    /// the same value this way is bit-identical to a re-pack (packing is a
+    /// pure permutation).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the operand was not packed with `trans_b`, or the indices
+    /// are out of range.
+    pub fn write_cell(&mut self, row: usize, kidx: usize, value: f32) {
+        assert!(self.trans_b, "write_cell addresses trans_b packed operands");
+        assert!(row < self.n && kidx < self.k, "cell out of range");
+        let ji = row / NC;
+        let jc = ji * NC;
+        let jr = ((row - jc) / NR) * NR;
+        let pi = kidx / KC;
+        let pc = pi * KC;
+        let kc = KC.min(self.k - pc);
+        let p = kidx - pc;
+        let pos = (ji * self.k_panels + pi) * self.slot  // panel slot
+            + (jr / NR) * (kc * NR)                      // NR-strip within it
+            + p * NR                                     // k step within strip
+            + (row - jc - jr);
+        self.buf[pos] = value;
     }
 }
 
@@ -1160,7 +1198,7 @@ mod tests {
                 }
                 dirty.mark(row);
             }
-            packed.repack_rows(&faulty, &dirty);
+            packed.repack_rows(&faulty, &dirty, 0);
             let mut reference = PackedB::new();
             reference.pack(true, &faulty, k, n);
             let mut got = vec![0.0f32; m * n];
@@ -1183,7 +1221,7 @@ mod tests {
             let mut union = DirtyRows::new(n);
             union.merge(&dirty); // previously-faulty rows must be restored
             union.mark(1);
-            packed.repack_rows(&next, &union);
+            packed.repack_rows(&next, &union, 0);
             let mut reference = PackedB::new();
             reference.pack(true, &next, k, n);
             gemm_prepacked_b(false, m, 1.0, &a, &packed, 0.0, &mut got, &mut scratch);
@@ -1194,6 +1232,102 @@ mod tests {
                     .all(|(x, y)| x.to_bits() == y.to_bits()),
                 "n={n} k={k} union repack diverged"
             );
+        }
+    }
+
+    #[test]
+    fn write_cell_matches_full_repack() {
+        // The packed-domain injection primitive: scattering individual cell
+        // values must leave the operand bit-identical to a full pack of the
+        // same matrix, across interior cells, strip edges and panel edges.
+        let mut rng = Rng::seed_from(61);
+        for &(n, k) in &[(7usize, 5usize), (NC + 9, KC + 3), (300, 40)] {
+            let clean = random_vec(k * n, &mut rng);
+            let mut packed = PackedB::new();
+            packed.pack(true, &clean, k, n);
+            let mut faulty = clean.clone();
+            let cells = [
+                (0usize, 0usize),
+                (n - 1, k - 1),
+                (n / 2, k / 2),
+                (NR.min(n - 1), 0),
+                (n - 1, KC.min(k - 1)),
+            ];
+            for &(row, kidx) in &cells {
+                let v = faulty[row * k + kidx] + 3.5;
+                faulty[row * k + kidx] = v;
+                packed.write_cell(row, kidx, v);
+            }
+            let mut reference = PackedB::new();
+            reference.pack(true, &faulty, k, n);
+            assert_eq!(packed.packed_len(), reference.packed_len());
+            let identical = packed.buf[..packed.packed_len()]
+                .iter()
+                .zip(&reference.buf[..reference.packed_len()])
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(identical, "n={n} k={k} write_cell diverged from pack");
+        }
+    }
+
+    #[test]
+    fn repack_rows_with_base_offset_addresses_stacked_dirty_sets() {
+        // One dirty set over batch·n rows drives per-realization panels.
+        let mut rng = Rng::seed_from(62);
+        let (n, k, m) = (10usize, 6usize, 4usize);
+        let clean = random_vec(k * n, &mut rng);
+        let a = random_vec(m * k, &mut rng);
+        let mut faulty = clean.clone();
+        for v in &mut faulty[3 * k..4 * k] {
+            *v += 1.0;
+        }
+        let mut stacked = DirtyRows::new(3 * n);
+        stacked.mark(2 * n + 3); // realization 2, row 3
+        let mut packed = PackedB::new();
+        packed.pack(true, &clean, k, n);
+        // Base 0 and n see no marks — nothing repacked.
+        packed.repack_rows(&faulty, &stacked, 0);
+        packed.repack_rows(&faulty, &stacked, n);
+        let mut want = vec![0.0f32; m * n];
+        let mut got = vec![0.0f32; m * n];
+        let mut scratch = Scratch::new();
+        let mut reference = PackedB::new();
+        reference.pack(true, &clean, k, n);
+        gemm_prepacked_b(false, m, 1.0, &a, &packed, 0.0, &mut got, &mut scratch);
+        gemm_prepacked_b(false, m, 1.0, &a, &reference, 0.0, &mut want, &mut scratch);
+        assert!(got
+            .iter()
+            .zip(&want)
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
+        // Base 2n sees the mark — row 3 repacked.
+        packed.repack_rows(&faulty, &stacked, 2 * n);
+        reference.pack(true, &faulty, k, n);
+        gemm_prepacked_b(false, m, 1.0, &a, &packed, 0.0, &mut got, &mut scratch);
+        gemm_prepacked_b(false, m, 1.0, &a, &reference, 0.0, &mut want, &mut scratch);
+        // Only row 3 of the faulty matrix was marked, so columns j != 3 of
+        // the product still match the clean reference; column 3 matches the
+        // faulty one.
+        let mut clean_ref = PackedB::new();
+        clean_ref.pack(true, &clean, k, n);
+        let mut clean_want = vec![0.0f32; m * n];
+        gemm_prepacked_b(
+            false,
+            m,
+            1.0,
+            &a,
+            &clean_ref,
+            0.0,
+            &mut clean_want,
+            &mut scratch,
+        );
+        for i in 0..m {
+            for j in 0..n {
+                let expect = if j == 3 {
+                    want[i * n + j]
+                } else {
+                    clean_want[i * n + j]
+                };
+                assert_eq!(got[i * n + j].to_bits(), expect.to_bits(), "({i},{j})");
+            }
         }
     }
 
@@ -1261,7 +1395,7 @@ mod tests {
                     }
                     dirty.mark(row);
                 }
-                packed.repack_rows(&faulty, &dirty);
+                packed.repack_rows(&faulty, &dirty, 0);
                 let mut direct = PackedB::new();
                 direct.pack(true, &faulty, k, n);
                 prop_assert_eq!(packed.buf.len(), direct.buf.len());

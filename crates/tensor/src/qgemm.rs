@@ -402,20 +402,22 @@ impl QPackedB {
     /// Re-packs only the QNR-strips covering rows marked in `dirty` from the
     /// updated code matrix `b` (see [`crate::gemm::PackedB::repack_rows`] for
     /// the contract — every column changed since the last pack must be
-    /// marked).
+    /// marked). `base` offsets the lookup into `dirty`, so one dirty set over
+    /// `batch · n` rows can drive the per-realization panels of a stacked
+    /// batched plan; single-operand callers pass `0`.
     ///
     /// # Panics
     ///
     /// Panics when `b` or `dirty` disagree with the packed dimensions.
-    pub fn repack_rows(&mut self, b: &[i8], dirty: &DirtyRows) {
+    pub fn repack_rows(&mut self, b: &[i8], dirty: &DirtyRows, base: usize) {
         assert_eq!(b.len(), self.k * self.n, "B must hold k*n codes");
-        assert_eq!(dirty.rows(), self.n, "dirty set must track n rows");
+        assert!(dirty.rows() >= base + self.n, "dirty set must cover n rows");
         let (k, n, trans_b) = (self.k, self.n, self.trans_b);
         for (ji, jc) in (0..n).step_by(QNC).enumerate() {
             let nc = QNC.min(n - jc);
             for jr in (0..nc).step_by(QNR) {
                 let j0 = jc + jr;
-                if !dirty.any_in(j0, (j0 + QNR).min(n)) {
+                if !dirty.any_in(base + j0, base + (j0 + QNR).min(n)) {
                     continue;
                 }
                 let cols = QNR.min(nc - jr);
@@ -975,12 +977,12 @@ mod tests {
                 }
                 dirty.mark(row);
             }
-            packed.repack_rows(&faulty, &dirty);
+            packed.repack_rows(&faulty, &dirty, 0);
             let expected = reference::qmatmul_i8(false, true, m, n, k, &a, &faulty);
             qgemm_prepacked_b(false, m, &a, &packed, false, &mut got, &mut scratch);
             assert_eq!(got, expected, "dirty repack m={m} n={n} k={k}");
             // Reverting the rows (union-marked) restores the clean product.
-            packed.repack_rows(&b, &dirty);
+            packed.repack_rows(&b, &dirty, 0);
             let expected = reference::qmatmul_i8(false, true, m, n, k, &a, &b);
             qgemm_prepacked_b(false, m, &a, &packed, false, &mut got, &mut scratch);
             assert_eq!(got, expected, "revert repack m={m} n={n} k={k}");

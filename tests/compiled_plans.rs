@@ -69,8 +69,9 @@ fn model_faults() -> [FaultModel; 4] {
     ]
 }
 
-/// Asserts `run_planned` reproduces the sequential engine bit-for-bit on a
-/// deterministic model factory, across fault models and thread counts.
+/// Asserts `run_planned` and `run_planned_batched` reproduce the sequential
+/// engine bit-for-bit on a deterministic model factory, across fault models,
+/// batch sizes and thread counts.
 fn assert_planned_matches_run<F>(factory: F, x: &Tensor)
 where
     F: Fn() -> BuiltModel + Sync,
@@ -100,6 +101,33 @@ where
                 factory().name(),
                 sequential.per_run,
                 planned.per_run
+            );
+        }
+        // Fused planned-batched engine: batch 3 leaves a tail batch of 2
+        // (per-worker recompilation), batch 8 is one full stack.
+        for (batch, threads) in [(3usize, 2usize), (8, 1)] {
+            let fused = engine
+                .run_planned_batched(
+                    &factory,
+                    fault,
+                    x,
+                    |out| Ok(out.abs().mean()),
+                    batch,
+                    threads,
+                )
+                .unwrap();
+            assert_eq!(fused.runs(), sequential.runs());
+            let identical = sequential
+                .per_run
+                .iter()
+                .zip(fused.per_run.iter())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(
+                identical,
+                "{} {fault:?} batch={batch} threads={threads}: {:?} vs {:?}",
+                factory().name(),
+                sequential.per_run,
+                fused.per_run
             );
         }
     }
@@ -193,7 +221,97 @@ fn quantized_cnn_planned_is_bit_identical_to_run_quantized() {
                 .all(|(a, b)| a.to_bits() == b.to_bits());
             assert!(identical, "{fault:?} threads={threads}");
         }
+        for (batch, threads) in [(3usize, 2usize), (8, 1)] {
+            let fused = engine
+                .run_planned_batched_quantized(
+                    || quantized_cnn(6),
+                    fault,
+                    &x,
+                    |out| Ok(out.sum()),
+                    batch,
+                    threads,
+                )
+                .unwrap();
+            let identical = sequential
+                .per_run
+                .iter()
+                .zip(fused.per_run.iter())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(identical, "{fault:?} batch={batch} threads={threads}");
+        }
     }
+}
+
+#[test]
+fn steady_state_planned_batched_forward_allocates_nothing() {
+    // The batched-plan acceptance criterion: realizing B stacked fault
+    // realizations into the plan-owned buffers and running the fused
+    // forward must not touch the heap once warm — stacked faulty buffers,
+    // per-realization packed panels, sparse cell lists and dirty sets are
+    // all reserved at compile time.
+    let mut rng = Rng::seed_from(17);
+    let mut net = Sequential::new()
+        .with(Box::new(Conv2d::new(2, 4, 3, 1, 1, &mut rng)))
+        .with(Box::new(Relu::new()))
+        .with(Box::new(MaxPool2d::new(2)))
+        .with(Box::new(Flatten::new()))
+        .with(Box::new(Linear::new(4 * 4 * 4, 3, &mut rng)));
+    let x = Tensor::randn(&[2, 2, 8, 8], 0.0, 1.0, &mut rng);
+    let direct = net.forward(&x, Mode::Eval).unwrap();
+    let batch = 4usize;
+    let mut plan = Plan::compile_batched(&mut net, &x, batch).unwrap();
+    assert_eq!(plan.batch(), batch);
+
+    // Pre-seeded per-realization RNG streams, refilled in place so the
+    // steady-state loop below draws fresh realizations without allocating.
+    let mut rngs: Vec<Rng> = (0..batch).map(|b| Rng::seed_from(b as u64)).collect();
+
+    // Warm up: sparse stuck-at injection, dirty re-packing, frozen-input
+    // caches and the packed-domain cell lists all reach steady state.
+    let injector = WeightFaultInjector::new(FaultModel::StuckAt { rate: 0.1 });
+    for round in 0..3u64 {
+        for (b, slot) in rngs.iter_mut().enumerate() {
+            *slot = Rng::seed_from(100 * round + b as u64);
+        }
+        injector.realize_plan_batch(&mut net, &mut rngs).unwrap();
+        plan.forward(&mut net).unwrap();
+    }
+
+    // Steady state: batched injection + fused forward, zero heap traffic.
+    let before = thread_allocations();
+    for round in 3..6u64 {
+        for (b, slot) in rngs.iter_mut().enumerate() {
+            *slot = Rng::seed_from(100 * round + b as u64);
+        }
+        injector.realize_plan_batch(&mut net, &mut rngs).unwrap();
+        plan.forward(&mut net).unwrap();
+    }
+    let allocations = thread_allocations() - before;
+    assert_eq!(
+        allocations, 0,
+        "steady-state planned-batched forwards must perform zero heap allocations"
+    );
+
+    // Reverting every realization to clean restores the direct output in
+    // every stacked slot.
+    net.visit_plan_params(&mut |view| {
+        let numel = view.clean.numel();
+        for b in 0..batch {
+            view.faulty[b * numel..][..numel].copy_from_slice(view.clean.data());
+        }
+        view.dirty.mark_all();
+    });
+    let out = plan.forward(&mut net).unwrap();
+    let per = direct.numel();
+    for b in 0..batch {
+        let rows = &out.data()[b * per..][..per];
+        let identical = rows
+            .iter()
+            .zip(direct.data().iter())
+            .all(|(a, c)| a.to_bits() == c.to_bits());
+        assert!(identical, "clean stacked realization {b} diverged");
+    }
+    net.plan_end();
 }
 
 #[test]
