@@ -17,7 +17,7 @@ fn bench_fig1(c: &mut Criterion) {
     group.bench_function("bitflip_inject_and_forward", |b| {
         b.iter(|| {
             let fault = invnorm_bench::faults::bitflip_for(&model, 0.1);
-            let mut injector = WeightFaultInjector::new(fault);
+            let mut injector = WeightFaultInjector::new(fault).expect("valid fault model");
             let mut rng = Rng::seed_from(1);
             injector.inject(&mut model, &mut rng).unwrap();
             let out = model

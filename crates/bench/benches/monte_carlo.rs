@@ -16,8 +16,9 @@
 //! work, not approximations.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use invnorm_imc::fault::FaultModel;
+use invnorm_imc::fault::{FaultModel, LineOrientation};
 use invnorm_imc::montecarlo::MonteCarloEngine;
+use invnorm_imc::TileShape;
 use invnorm_nn::activation::Relu;
 use invnorm_nn::conv::Conv2d;
 use invnorm_nn::layer::{Layer, Mode};
@@ -82,14 +83,29 @@ fn quantized_cnn_model(seed: u64) -> Sequential {
 }
 
 /// The fault models of the benchmark sweep: the paper's conductance
-/// variation, a programming-fault model and retention drift.
-fn sweep_faults() -> [FaultModel; 3] {
+/// variation, a programming-fault model, retention drift, and the two
+/// structured topologies (whole stuck crossbar lines, per-tile correlated
+/// drift) whose sparse packed-domain realizations stress a different path
+/// than the dense per-cell models.
+fn sweep_faults() -> [FaultModel; 5] {
+    let tile = TileShape { rows: 64, cols: 64 };
     [
         FaultModel::AdditiveVariation { sigma: 0.1 },
         FaultModel::StuckAt { rate: 0.05 },
         FaultModel::Drift {
             nu: 0.05,
             time_ratio: 100.0,
+        },
+        FaultModel::LineDefect {
+            orientation: LineOrientation::Row,
+            rate: 0.02,
+            tile,
+        },
+        FaultModel::CorrelatedDrift {
+            nu: 0.05,
+            time_ratio: 100.0,
+            sigma_nu: 0.3,
+            tile,
         },
     ]
 }
@@ -109,6 +125,8 @@ fn bench_model<F>(
             FaultModel::AdditiveVariation { .. } => "additive",
             FaultModel::StuckAt { .. } => "stuckat",
             FaultModel::Drift { .. } => "drift",
+            FaultModel::LineDefect { .. } => "linedefect",
+            FaultModel::CorrelatedDrift { .. } => "corrdrift",
             _ => "other",
         };
         // Sequential reference engine.

@@ -81,7 +81,7 @@ fn collect_outputs(
 ) -> Result<Vec<f32>> {
     let mut rng = Rng::seed_from(seed);
     if fault.is_active() {
-        let mut injector = invnorm_imc::injector::WeightFaultInjector::new(fault);
+        let mut injector = invnorm_imc::injector::WeightFaultInjector::new(fault)?;
         injector.inject(model, &mut rng)?;
         let out = model.forward(&task.split.test_inputs, Mode::Eval)?;
         injector.restore(model)?;

@@ -80,7 +80,7 @@ where
                 let mut rng = invnorm_tensor::Rng::seed_from(
                     seed ^ (run as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                 );
-                let mut injector = invnorm_imc::injector::WeightFaultInjector::new(fault);
+                let mut injector = invnorm_imc::injector::WeightFaultInjector::new(fault)?;
                 injector.inject(model, &mut rng)?;
                 let value = metric(model);
                 injector.restore(model)?;

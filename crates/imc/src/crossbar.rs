@@ -19,6 +19,20 @@ use invnorm_quant::uniform::QuantizedTensor;
 use invnorm_tensor::{ops, Rng, Tensor};
 use serde::{Deserialize, Serialize};
 
+/// Physical tile extents of a crossbar: the granularity at which line
+/// defects and correlated drift act. A weight matrix larger than one tile is
+/// partitioned into `⌈rows/tile.rows⌉ × ⌈cols/tile.cols⌉` tiles (the last
+/// tile row/column may be ragged); a whole word line or bit line failing
+/// takes out the corresponding weight-matrix segment within one tile, not
+/// the full matrix extent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TileShape {
+    /// Word lines per tile (weight-matrix rows).
+    pub rows: usize,
+    /// Bit lines per tile (weight-matrix columns).
+    pub cols: usize,
+}
+
 /// Device and converter parameters of a crossbar tile.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct CrossbarConfig {
@@ -35,6 +49,10 @@ pub struct CrossbarConfig {
     pub dac_bits: u8,
     /// ADC resolution in bits for the output currents.
     pub adc_bits: u8,
+    /// Word lines per physical tile (structured-fault granularity).
+    pub tile_rows: usize,
+    /// Bit lines per physical tile (structured-fault granularity).
+    pub tile_cols: usize,
 }
 
 impl Default for CrossbarConfig {
@@ -46,16 +64,27 @@ impl Default for CrossbarConfig {
             programming_sigma: 0.0,
             dac_bits: 8,
             adc_bits: 8,
+            tile_rows: 64,
+            tile_cols: 64,
         }
     }
 }
 
 impl CrossbarConfig {
+    /// The physical tile extents (structured-fault granularity).
+    pub fn tile(&self) -> TileShape {
+        TileShape {
+            rows: self.tile_rows,
+            cols: self.tile_cols,
+        }
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
     ///
-    /// Returns an error for non-physical parameter values.
+    /// Returns an error for non-physical parameter values, including
+    /// degenerate (zero-extent) tile geometry.
     pub fn validate(&self) -> Result<()> {
         if self.conductance_levels < 2 {
             return Err(NnError::Config(
@@ -75,6 +104,12 @@ impl CrossbarConfig {
             return Err(NnError::Config(
                 "DAC/ADC resolution must be between 2 and 16 bits".into(),
             ));
+        }
+        if self.tile_rows == 0 || self.tile_cols == 0 {
+            return Err(NnError::Config(format!(
+                "degenerate crossbar tile geometry {}x{}: a tile needs at least one word line and one bit line",
+                self.tile_rows, self.tile_cols
+            )));
         }
         Ok(())
     }
@@ -151,6 +186,12 @@ impl CrossbarArray {
             ));
         }
         let (rows, cols) = (dims[0], dims[1]);
+        if config.tile_rows > rows || config.tile_cols > cols {
+            return Err(NnError::Config(format!(
+                "crossbar tile {}x{} exceeds the {rows}x{cols} weight matrix; shrink the tile to the matrix extents",
+                config.tile_rows, config.tile_cols
+            )));
+        }
         let qmax = QuantizedTensor::qmax_for(q.bits());
         let zp = q.zero_point();
         // Largest effective |code - zp| the representable range can produce.
@@ -262,6 +303,51 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_tile_geometry_is_rejected() {
+        // Zero-extent tiles are caught by validation with a typed error.
+        for (tr, tc) in [(0usize, 64usize), (64, 0), (0, 0)] {
+            let config = CrossbarConfig {
+                tile_rows: tr,
+                tile_cols: tc,
+                ..Default::default()
+            };
+            let err = config.validate().unwrap_err();
+            assert!(
+                matches!(&err, NnError::Config(msg) if msg.contains("tile")),
+                "unexpected error for tile {tr}x{tc}: {err}"
+            );
+        }
+        // A tile larger than the programmed matrix is rejected at program
+        // time (the matrix extents are only known there).
+        let mut rng = Rng::seed_from(30);
+        let w = Tensor::randn(&[4, 4], 0.0, 0.5, &mut rng);
+        let config = CrossbarConfig {
+            tile_rows: 8,
+            tile_cols: 4,
+            ..Default::default()
+        };
+        assert_eq!(config.tile(), TileShape { rows: 8, cols: 4 });
+        let err = CrossbarArray::program(&w, config, &mut rng).unwrap_err();
+        assert!(
+            matches!(&err, NnError::Config(msg) if msg.contains("exceeds")),
+            "unexpected error: {err}"
+        );
+        let config = CrossbarConfig {
+            tile_rows: 4,
+            tile_cols: 5,
+            ..Default::default()
+        };
+        assert!(CrossbarArray::program(&w, config, &mut rng).is_err());
+        // A tile matching the matrix exactly is fine.
+        let config = CrossbarConfig {
+            tile_rows: 4,
+            tile_cols: 4,
+            ..Default::default()
+        };
+        assert!(CrossbarArray::program(&w, config, &mut rng).is_ok());
+    }
+
+    #[test]
     fn ideal_crossbar_approximates_dense_matmul() {
         let mut rng = Rng::seed_from(1);
         let w = Tensor::randn(&[6, 4], 0.0, 0.5, &mut rng);
@@ -270,6 +356,8 @@ mod tests {
             dac_bits: 12,
             adc_bits: 12,
             programming_sigma: 0.0,
+            tile_rows: 2,
+            tile_cols: 2,
             ..Default::default()
         };
         let array = CrossbarArray::program(&w, config, &mut rng).unwrap();
@@ -295,6 +383,8 @@ mod tests {
                 dac_bits: 12,
                 adc_bits: 12,
                 programming_sigma: sigma,
+                tile_rows: 4,
+                tile_cols: 4,
                 ..Default::default()
             };
             let mut rng = Rng::seed_from(3);
@@ -314,12 +404,14 @@ mod tests {
     fn input_width_mismatch_is_rejected() {
         let mut rng = Rng::seed_from(4);
         let w = Tensor::randn(&[5, 3], 0.0, 0.5, &mut rng);
-        let array = CrossbarArray::program(&w, CrossbarConfig::default(), &mut rng).unwrap();
+        let config = CrossbarConfig {
+            tile_rows: 5,
+            tile_cols: 3,
+            ..Default::default()
+        };
+        let array = CrossbarArray::program(&w, config, &mut rng).unwrap();
         assert!(array.matvec(&Tensor::zeros(&[2, 4])).is_err());
-        assert!(
-            CrossbarArray::program(&Tensor::zeros(&[5]), CrossbarConfig::default(), &mut rng)
-                .is_err()
-        );
+        assert!(CrossbarArray::program(&Tensor::zeros(&[5]), config, &mut rng).is_err());
     }
 
     #[test]
@@ -329,6 +421,8 @@ mod tests {
         let config = CrossbarConfig {
             conductance_levels: 256,
             programming_sigma: 0.0,
+            tile_rows: 2,
+            tile_cols: 2,
             ..Default::default()
         };
         let via_weights = CrossbarArray::program(&w, config, &mut Rng::seed_from(7)).unwrap();
@@ -351,6 +445,8 @@ mod tests {
         let config = CrossbarConfig {
             conductance_levels: 256,
             programming_sigma: 0.0,
+            tile_rows: 1,
+            tile_cols: 1,
             ..Default::default()
         };
         let array = CrossbarArray::program_codes(&q, config, &mut rng).unwrap();
@@ -378,6 +474,8 @@ mod tests {
         let config = CrossbarConfig {
             conductance_levels: 256,
             programming_sigma: 0.0,
+            tile_rows: 3,
+            tile_cols: 3,
             ..Default::default()
         };
         let mut q = QuantizedTensor::quantize(&w, 8).unwrap();
@@ -402,6 +500,8 @@ mod tests {
         let config = CrossbarConfig {
             conductance_levels: 256,
             programming_sigma: 0.0,
+            tile_rows: 2,
+            tile_cols: 2,
             ..Default::default()
         };
         let array = CrossbarArray::program(&w, config, &mut rng).unwrap();

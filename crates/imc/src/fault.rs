@@ -14,13 +14,73 @@
 //!   programmable value.
 //! * **Retention drift**: magnitudes decay by a factor `(t/t₀)^(-ν)`, the
 //!   standard phase-change-memory drift law.
+//! * **Structured topologies**: whole word/bit lines of a crossbar tile stuck
+//!   ([`FaultModel::LineDefect`]) and per-tile drift-exponent variation
+//!   ([`FaultModel::CorrelatedDrift`]), both mapped through the
+//!   [`crate::crossbar::CrossbarConfig`] tile geometry instead of striking
+//!   cells i.i.d.
+//!
+//! Orthogonal to *what* strikes is *when* it is drawn: a [`FaultSpec`] pairs
+//! a model with a [`FaultLifetime`] — `Static` programming-time defects are
+//! realized once per simulated chip instance, `PerInference` read noise is
+//! re-drawn before every forward pass.
 
+use crate::crossbar::{CrossbarConfig, TileShape};
 use crate::Result;
 use invnorm_nn::NnError;
 use invnorm_quant::binary::BinaryTensor;
 use invnorm_quant::uniform::QuantizedTensor;
 use invnorm_tensor::{Rng, Tensor};
 use serde::{Deserialize, Serialize};
+
+pub use invnorm_nn::plan::FaultLifetime;
+
+/// Which crossbar lines a [`FaultModel::LineDefect`] takes out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LineOrientation {
+    /// Word lines: one defect sticks a whole weight-matrix row segment
+    /// within a tile (`1 × tile.cols` cells).
+    Row,
+    /// Bit lines: one defect sticks a whole weight-matrix column segment
+    /// within a tile (`tile.rows × 1` cells).
+    Col,
+}
+
+/// A complete fault specification: *what* perturbation strikes
+/// ([`FaultModel`]) and *when* its realization is drawn ([`FaultLifetime`]).
+///
+/// `FaultSpec` converts from a bare [`FaultModel`] (static lifetime), so
+/// engine entry points accepting `impl Into<FaultSpec>` keep working with
+/// plain models.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// The perturbation model.
+    pub model: FaultModel,
+    /// When realizations are drawn relative to the inference stream.
+    pub lifetime: FaultLifetime,
+}
+
+impl FaultSpec {
+    /// A spec with an explicit lifetime.
+    pub fn new(model: FaultModel, lifetime: FaultLifetime) -> Self {
+        Self { model, lifetime }
+    }
+
+    /// Convenience: `model` as transient read noise, re-drawn before every
+    /// forward pass.
+    pub fn per_inference(model: FaultModel) -> Self {
+        Self::new(model, FaultLifetime::PerInference)
+    }
+}
+
+impl From<FaultModel> for FaultSpec {
+    fn from(model: FaultModel) -> Self {
+        Self {
+            model,
+            lifetime: FaultLifetime::Static,
+        }
+    }
+}
 
 /// A parameterized NVM non-ideality model.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -67,12 +127,68 @@ pub enum FaultModel {
         /// Normalized elapsed time `t/t₀ ≥ 1`.
         time_ratio: f32,
     },
+    /// Whole crossbar lines stuck: each word/bit-line segment of each tile
+    /// fails independently with probability `rate`, sticking every cell on
+    /// the line at the layer's minimum or maximum weight value (chosen with
+    /// equal probability per line, matching [`FaultModel::StuckAt`]'s level
+    /// convention). Tile geometry comes from
+    /// [`crate::crossbar::CrossbarConfig`] via [`FaultModel::line_defect`].
+    LineDefect {
+        /// Which lines fail (word lines stick row segments, bit lines stick
+        /// column segments).
+        orientation: LineOrientation,
+        /// Per-line failure probability.
+        rate: f32,
+        /// Physical tile extents the matrix is partitioned into.
+        tile: TileShape,
+    },
+    /// Spatially correlated retention drift: every tile draws its own drift
+    /// exponent `ν_t = ν · (1 + N(0, σ_ν))` (clamped at zero) and all cells
+    /// of the tile decay by the shared factor `(t/t₀)^(-ν_t)` — tiles age
+    /// coherently, unlike the i.i.d. [`FaultModel::Drift`] abstraction whose
+    /// factor is global.
+    CorrelatedDrift {
+        /// Nominal drift exponent ν.
+        nu: f32,
+        /// Normalized elapsed time `t/t₀ ≥ 1`.
+        time_ratio: f32,
+        /// Relative per-tile variation of the drift exponent.
+        sigma_nu: f32,
+        /// Physical tile extents the matrix is partitioned into.
+        tile: TileShape,
+    },
     /// No fault (baseline). Useful to keep sweep code uniform.
     #[default]
     None,
 }
 
 impl FaultModel {
+    /// A [`FaultModel::LineDefect`] whose tile geometry is taken from a
+    /// crossbar configuration.
+    pub fn line_defect(orientation: LineOrientation, rate: f32, config: &CrossbarConfig) -> Self {
+        FaultModel::LineDefect {
+            orientation,
+            rate,
+            tile: config.tile(),
+        }
+    }
+
+    /// A [`FaultModel::CorrelatedDrift`] whose tile geometry is taken from a
+    /// crossbar configuration.
+    pub fn correlated_drift(
+        nu: f32,
+        time_ratio: f32,
+        sigma_nu: f32,
+        config: &CrossbarConfig,
+    ) -> Self {
+        FaultModel::CorrelatedDrift {
+            nu,
+            time_ratio,
+            sigma_nu,
+            tile: config.tile(),
+        }
+    }
+
     /// A short human-readable label used in experiment tables.
     pub fn label(&self) -> String {
         match self {
@@ -85,6 +201,31 @@ impl FaultModel {
             FaultModel::BinaryBitFlip { rate } => format!("sign-flip {:.1}%", rate * 100.0),
             FaultModel::StuckAt { rate } => format!("stuck-at {:.1}%", rate * 100.0),
             FaultModel::Drift { nu, time_ratio } => format!("drift ν={nu} t/t₀={time_ratio}"),
+            FaultModel::LineDefect {
+                orientation,
+                rate,
+                tile,
+            } => {
+                let lines = match orientation {
+                    LineOrientation::Row => "rows",
+                    LineOrientation::Col => "cols",
+                };
+                format!(
+                    "line-defect {lines} {:.1}% ({}x{} tile)",
+                    rate * 100.0,
+                    tile.rows,
+                    tile.cols
+                )
+            }
+            FaultModel::CorrelatedDrift {
+                nu,
+                time_ratio,
+                sigma_nu,
+                tile,
+            } => format!(
+                "corr-drift ν={nu}±{sigma_nu} t/t₀={time_ratio} ({}x{} tile)",
+                tile.rows, tile.cols
+            ),
             FaultModel::None => "fault-free".to_string(),
         }
     }
@@ -99,6 +240,8 @@ impl FaultModel {
             FaultModel::BinaryBitFlip { rate } => rate > 0.0,
             FaultModel::StuckAt { rate } => rate > 0.0,
             FaultModel::Drift { nu, time_ratio } => nu > 0.0 && time_ratio > 1.0,
+            FaultModel::LineDefect { rate, .. } => rate > 0.0,
+            FaultModel::CorrelatedDrift { nu, time_ratio, .. } => nu > 0.0 && time_ratio > 1.0,
             FaultModel::None => false,
         }
     }
@@ -107,21 +250,33 @@ impl FaultModel {
     ///
     /// # Errors
     ///
-    /// Returns an error for negative magnitudes, probabilities outside
-    /// `[0, 1]`, invalid bit widths or a drift time ratio below one.
+    /// Returns an error for non-finite or negative magnitudes, probabilities
+    /// outside `[0, 1]`, invalid bit widths, a drift time ratio below one or
+    /// degenerate (zero-extent) tile geometry.
     pub fn validate(&self) -> Result<()> {
         let fail = |msg: String| Err(NnError::Config(msg));
+        let tile_ok = |tile: TileShape| -> Result<()> {
+            if tile.rows == 0 || tile.cols == 0 {
+                return Err(NnError::Config(format!(
+                    "degenerate fault tile geometry {}x{}: a tile needs at least one word line and one bit line",
+                    tile.rows, tile.cols
+                )));
+            }
+            Ok(())
+        };
         match *self {
             FaultModel::AdditiveVariation { sigma }
             | FaultModel::MultiplicativeVariation { sigma } => {
-                if sigma < 0.0 {
-                    return fail(format!("variation sigma must be >= 0, got {sigma}"));
+                if !sigma.is_finite() || sigma < 0.0 {
+                    return fail(format!(
+                        "variation sigma must be finite and >= 0, got {sigma}"
+                    ));
                 }
             }
             FaultModel::UniformNoise { strength } => {
-                if strength < 0.0 {
+                if !strength.is_finite() || strength < 0.0 {
                     return fail(format!(
-                        "uniform noise strength must be >= 0, got {strength}"
+                        "uniform noise strength must be finite and >= 0, got {strength}"
                     ));
                 }
             }
@@ -139,12 +294,41 @@ impl FaultModel {
                 }
             }
             FaultModel::Drift { nu, time_ratio } => {
-                if nu < 0.0 {
-                    return fail(format!("drift exponent must be >= 0, got {nu}"));
+                if !nu.is_finite() || nu < 0.0 {
+                    return fail(format!("drift exponent must be finite and >= 0, got {nu}"));
                 }
-                if time_ratio < 1.0 {
-                    return fail(format!("drift time ratio must be >= 1, got {time_ratio}"));
+                if !time_ratio.is_finite() || time_ratio < 1.0 {
+                    return fail(format!(
+                        "drift time ratio must be finite and >= 1, got {time_ratio}"
+                    ));
                 }
+            }
+            FaultModel::LineDefect { rate, tile, .. } => {
+                if !(0.0..=1.0).contains(&rate) {
+                    return fail(format!("line-defect rate must be in [0, 1], got {rate}"));
+                }
+                tile_ok(tile)?;
+            }
+            FaultModel::CorrelatedDrift {
+                nu,
+                time_ratio,
+                sigma_nu,
+                tile,
+            } => {
+                if !nu.is_finite() || nu < 0.0 {
+                    return fail(format!("drift exponent must be finite and >= 0, got {nu}"));
+                }
+                if !time_ratio.is_finite() || time_ratio < 1.0 {
+                    return fail(format!(
+                        "drift time ratio must be finite and >= 1, got {time_ratio}"
+                    ));
+                }
+                if !sigma_nu.is_finite() || sigma_nu < 0.0 {
+                    return fail(format!(
+                        "drift exponent variation must be finite and >= 0, got {sigma_nu}"
+                    ));
+                }
+                tile_ok(tile)?;
             }
             FaultModel::None => {}
         }
@@ -227,6 +411,60 @@ impl FaultModel {
                 let factor = time_ratio.powf(-nu);
                 Ok(weights.scale(factor))
             }
+            FaultModel::LineDefect {
+                orientation,
+                rate,
+                tile,
+            } => {
+                let (rows, cols) = matrix_dims(weights);
+                let (lo, hi) = stuck_levels(weights.data());
+                let mut out = weights.clone();
+                let data = out.data_mut();
+                for_each_fired_line(
+                    rows,
+                    cols,
+                    orientation,
+                    rate,
+                    tile,
+                    rng,
+                    |rr, cc, pick_lo| {
+                        let level = if pick_lo { lo } else { hi };
+                        for r in rr {
+                            for c in cc.clone() {
+                                data[r * cols + c] = level;
+                            }
+                        }
+                    },
+                );
+                Ok(out)
+            }
+            FaultModel::CorrelatedDrift {
+                nu,
+                time_ratio,
+                sigma_nu,
+                tile,
+            } => {
+                let (rows, cols) = matrix_dims(weights);
+                let mut out = weights.clone();
+                let data = out.data_mut();
+                for_each_drift_tile(
+                    rows,
+                    cols,
+                    nu,
+                    time_ratio,
+                    sigma_nu,
+                    tile,
+                    rng,
+                    |rr, cc, factor| {
+                        for r in rr {
+                            for c in cc.clone() {
+                                data[r * cols + c] *= factor;
+                            }
+                        }
+                    },
+                );
+                Ok(out)
+            }
             FaultModel::None => Ok(weights.clone()),
         }
     }
@@ -307,6 +545,58 @@ impl FaultModel {
                     *d = s * factor;
                 }
             }
+            FaultModel::LineDefect {
+                orientation,
+                rate,
+                tile,
+            } => {
+                // Same line iteration and draw order as `perturb`, applied
+                // in place over a clean copy.
+                let (rows, cols) = matrix_dims(weights);
+                let (lo, hi) = stuck_levels(src);
+                dst.copy_from_slice(src);
+                for_each_fired_line(
+                    rows,
+                    cols,
+                    orientation,
+                    rate,
+                    tile,
+                    rng,
+                    |rr, cc, pick_lo| {
+                        let level = if pick_lo { lo } else { hi };
+                        for r in rr {
+                            for c in cc.clone() {
+                                dst[r * cols + c] = level;
+                            }
+                        }
+                    },
+                );
+            }
+            FaultModel::CorrelatedDrift {
+                nu,
+                time_ratio,
+                sigma_nu,
+                tile,
+            } => {
+                let (rows, cols) = matrix_dims(weights);
+                dst.copy_from_slice(src);
+                for_each_drift_tile(
+                    rows,
+                    cols,
+                    nu,
+                    time_ratio,
+                    sigma_nu,
+                    tile,
+                    rng,
+                    |rr, cc, factor| {
+                        for r in rr {
+                            for c in cc.clone() {
+                                dst[r * cols + c] *= factor;
+                            }
+                        }
+                    },
+                );
+            }
             FaultModel::BitFlip { .. } | FaultModel::BinaryBitFlip { .. } => {
                 // These route through the quantizer representations; reuse
                 // the allocating path verbatim so the realization stays
@@ -329,6 +619,101 @@ pub(crate) fn stuck_levels(src: &[f32]) -> (f32, f32) {
     let lo = src.iter().copied().fold(f32::INFINITY, f32::min);
     let hi = src.iter().copied().fold(f32::NEG_INFINITY, f32::max);
     (lo, hi)
+}
+
+/// The crossbar-matrix interpretation of a parameter tensor: rank ≥ 2
+/// tensors map their leading dimension to word lines and everything else to
+/// bit lines (`[out, in·kh·kw]` for conv weights, exactly the row-major
+/// layout the packed operands use); rank-0/1 tensors are a single column.
+/// Shared by every structured-fault realization path so dense, sparse and
+/// code-domain realizations partition the same geometry.
+pub(crate) fn matrix_dims(t: &Tensor) -> (usize, usize) {
+    if t.rank() >= 2 {
+        let rows = t.dims()[0];
+        let cols = t.numel().checked_div(rows).unwrap_or(0);
+        (rows, cols)
+    } else {
+        (t.numel(), 1)
+    }
+}
+
+/// The canonical line-defect iteration: partitions a `[rows, cols]` matrix
+/// into `tile`-sized crossbar tiles and fires each word/bit-line segment
+/// independently with probability `rate`, invoking `fired(row_range,
+/// col_range, pick_lo)` for every failed line. **Every** realization path —
+/// dense [`FaultModel::perturb`]/[`FaultModel::perturb_into`], the sparse
+/// packed-domain injector and the code-domain injector — routes through this
+/// function, so the draw order (and therefore the realization) cannot
+/// diverge between paths: per line, one Bernoulli(rate) for failure, then
+/// one Bernoulli(0.5) for the stuck level (low on success), matching
+/// [`FaultModel::StuckAt`]'s convention.
+pub(crate) fn for_each_fired_line(
+    rows: usize,
+    cols: usize,
+    orientation: LineOrientation,
+    rate: f32,
+    tile: TileShape,
+    rng: &mut Rng,
+    mut fired: impl FnMut(std::ops::Range<usize>, std::ops::Range<usize>, bool),
+) {
+    if rows == 0 || cols == 0 {
+        return;
+    }
+    match orientation {
+        LineOrientation::Row => {
+            for r in 0..rows {
+                for c0 in (0..cols).step_by(tile.cols) {
+                    if rng.bernoulli(rate) {
+                        let pick_lo = rng.bernoulli(0.5);
+                        fired(r..r + 1, c0..(c0 + tile.cols).min(cols), pick_lo);
+                    }
+                }
+            }
+        }
+        LineOrientation::Col => {
+            for r0 in (0..rows).step_by(tile.rows) {
+                for c in 0..cols {
+                    if rng.bernoulli(rate) {
+                        let pick_lo = rng.bernoulli(0.5);
+                        fired(r0..(r0 + tile.rows).min(rows), c..c + 1, pick_lo);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The canonical correlated-drift iteration: walks the `tile` partition of a
+/// `[rows, cols]` matrix in row-major tile order, draws each tile's drift
+/// exponent `ν_t = ν · (1 + N(0, σ_ν))` (clamped at zero — a cell cannot
+/// un-age), and invokes `apply(row_range, col_range, (t/t₀)^(-ν_t))`. Shared
+/// by every realization path for the same reason as
+/// [`for_each_fired_line`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn for_each_drift_tile(
+    rows: usize,
+    cols: usize,
+    nu: f32,
+    time_ratio: f32,
+    sigma_nu: f32,
+    tile: TileShape,
+    rng: &mut Rng,
+    mut apply: impl FnMut(std::ops::Range<usize>, std::ops::Range<usize>, f32),
+) {
+    if rows == 0 || cols == 0 {
+        return;
+    }
+    for r0 in (0..rows).step_by(tile.rows) {
+        for c0 in (0..cols).step_by(tile.cols) {
+            let nu_t = (nu * (1.0 + rng.normal(0.0, sigma_nu))).max(0.0);
+            let factor = time_ratio.powf(-nu_t);
+            apply(
+                r0..(r0 + tile.rows).min(rows),
+                c0..(c0 + tile.cols).min(cols),
+                factor,
+            );
+        }
+    }
 }
 
 /// Flips each bit of each quantized code independently with probability
@@ -384,6 +769,69 @@ mod tests {
         assert!(!FaultModel::AdditiveVariation { sigma: 0.0 }.is_active());
         assert!(FaultModel::AdditiveVariation { sigma: 0.1 }.is_active());
         assert!(FaultModel::default() == FaultModel::None);
+        let tile = TileShape { rows: 8, cols: 16 };
+        let line = FaultModel::LineDefect {
+            orientation: LineOrientation::Row,
+            rate: 0.05,
+            tile,
+        };
+        assert!(line.label().contains("line-defect rows"));
+        assert!(line.label().contains("8x16"));
+        assert!(line.is_active());
+        assert!(!FaultModel::LineDefect {
+            orientation: LineOrientation::Col,
+            rate: 0.0,
+            tile,
+        }
+        .is_active());
+        let cd = FaultModel::CorrelatedDrift {
+            nu: 0.05,
+            time_ratio: 100.0,
+            sigma_nu: 0.3,
+            tile,
+        };
+        assert!(cd.label().contains("corr-drift"));
+        assert!(cd.is_active());
+        assert!(
+            cd.uniform_scale().is_none(),
+            "per-tile drift is not uniform"
+        );
+        assert!(!FaultModel::CorrelatedDrift {
+            nu: 0.0,
+            time_ratio: 100.0,
+            sigma_nu: 0.3,
+            tile,
+        }
+        .is_active());
+        // Constructors pick the tile geometry up from the crossbar config.
+        let config = CrossbarConfig {
+            tile_rows: 4,
+            tile_cols: 2,
+            ..Default::default()
+        };
+        match FaultModel::line_defect(LineOrientation::Col, 0.1, &config) {
+            FaultModel::LineDefect { tile, .. } => {
+                assert_eq!(tile, TileShape { rows: 4, cols: 2 });
+            }
+            other => panic!("unexpected model {other:?}"),
+        }
+        match FaultModel::correlated_drift(0.05, 10.0, 0.2, &config) {
+            FaultModel::CorrelatedDrift { tile, .. } => {
+                assert_eq!(tile, config.tile());
+            }
+            other => panic!("unexpected model {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_spec_defaults_to_static_lifetime() {
+        let spec: FaultSpec = FaultModel::StuckAt { rate: 0.1 }.into();
+        assert_eq!(spec.lifetime, FaultLifetime::Static);
+        assert_eq!(spec.model, FaultModel::StuckAt { rate: 0.1 });
+        let spec = FaultSpec::per_inference(FaultModel::AdditiveVariation { sigma: 0.1 });
+        assert_eq!(spec.lifetime, FaultLifetime::PerInference);
+        assert_eq!(FaultSpec::default().model, FaultModel::None);
+        assert_eq!(FaultSpec::default().lifetime, FaultLifetime::Static);
     }
 
     #[test]
@@ -414,6 +862,78 @@ mod tests {
             .validate()
             .is_err());
         assert!(FaultModel::None.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_non_finite_parameters() {
+        // NaN slips past a plain `< 0.0` comparison; every magnitude
+        // parameter must be checked for finiteness explicitly.
+        for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            assert!(
+                FaultModel::AdditiveVariation { sigma: bad }
+                    .validate()
+                    .is_err(),
+                "additive sigma {bad} accepted"
+            );
+            assert!(FaultModel::MultiplicativeVariation { sigma: bad }
+                .validate()
+                .is_err());
+            assert!(FaultModel::UniformNoise { strength: bad }
+                .validate()
+                .is_err());
+            assert!(FaultModel::BitFlip { rate: bad, bits: 8 }
+                .validate()
+                .is_err());
+            assert!(FaultModel::StuckAt { rate: bad }.validate().is_err());
+            assert!(FaultModel::Drift {
+                nu: bad,
+                time_ratio: 2.0
+            }
+            .validate()
+            .is_err());
+            assert!(FaultModel::Drift {
+                nu: 0.05,
+                time_ratio: bad
+            }
+            .validate()
+            .is_err());
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_structured_parameters() {
+        let tile = TileShape { rows: 4, cols: 4 };
+        let line = |rate, tile| FaultModel::LineDefect {
+            orientation: LineOrientation::Row,
+            rate,
+            tile,
+        };
+        assert!(line(0.1, tile).validate().is_ok());
+        assert!(line(-0.1, tile).validate().is_err());
+        assert!(line(1.5, tile).validate().is_err());
+        assert!(line(f32::NAN, tile).validate().is_err());
+        assert!(line(0.1, TileShape { rows: 0, cols: 4 })
+            .validate()
+            .is_err());
+        assert!(line(0.1, TileShape { rows: 4, cols: 0 })
+            .validate()
+            .is_err());
+        let cd = |nu, time_ratio, sigma_nu, tile| FaultModel::CorrelatedDrift {
+            nu,
+            time_ratio,
+            sigma_nu,
+            tile,
+        };
+        assert!(cd(0.05, 10.0, 0.2, tile).validate().is_ok());
+        assert!(cd(-0.05, 10.0, 0.2, tile).validate().is_err());
+        assert!(cd(f32::NAN, 10.0, 0.2, tile).validate().is_err());
+        assert!(cd(0.05, 0.5, 0.2, tile).validate().is_err());
+        assert!(cd(0.05, f32::INFINITY, 0.2, tile).validate().is_err());
+        assert!(cd(0.05, 10.0, -0.2, tile).validate().is_err());
+        assert!(cd(0.05, 10.0, f32::NAN, tile).validate().is_err());
+        assert!(cd(0.05, 10.0, 0.2, TileShape { rows: 0, cols: 0 })
+            .validate()
+            .is_err());
     }
 
     #[test]
@@ -536,6 +1056,111 @@ mod tests {
     }
 
     #[test]
+    fn line_defects_stick_whole_tile_lines() {
+        // Re-walk the canonical line iteration with a cloned RNG: the dense
+        // realization must equal exactly the expected matrix (fired segments
+        // at their stuck level, everything else untouched), and every fired
+        // segment must span a full tile line clipped to the matrix.
+        let mut rng = Rng::seed_from(40);
+        let (rows, cols) = (10usize, 13usize);
+        let tile = TileShape { rows: 4, cols: 5 };
+        let w = Tensor::randn(&[rows, cols], 0.0, 1.0, &mut rng);
+        for orientation in [LineOrientation::Row, LineOrientation::Col] {
+            let model = FaultModel::LineDefect {
+                orientation,
+                rate: 0.3,
+                tile,
+            };
+            let mut rng_a = Rng::seed_from(41);
+            let mut rng_b = Rng::seed_from(41);
+            let p = model.perturb(&w, &mut rng_a).unwrap();
+            let (lo, hi) = stuck_levels(w.data());
+            let mut expected = w.clone();
+            for_each_fired_line(
+                rows,
+                cols,
+                orientation,
+                0.3,
+                tile,
+                &mut rng_b,
+                |rr, cc, pick_lo| {
+                    // A fired segment is one full tile line clipped to the
+                    // matrix: unit extent across the line, tile extent along
+                    // it, starting on a tile boundary.
+                    match orientation {
+                        LineOrientation::Row => {
+                            assert_eq!(rr.len(), 1);
+                            assert_eq!(cc.start % tile.cols, 0);
+                            assert!(cc.len() == tile.cols || cc.end == cols);
+                        }
+                        LineOrientation::Col => {
+                            assert_eq!(cc.len(), 1);
+                            assert_eq!(rr.start % tile.rows, 0);
+                            assert!(rr.len() == tile.rows || rr.end == rows);
+                        }
+                    }
+                    let level = if pick_lo { lo } else { hi };
+                    for r in rr {
+                        for c in cc.clone() {
+                            expected.data_mut()[r * cols + c] = level;
+                        }
+                    }
+                },
+            );
+            let identical = p
+                .data()
+                .iter()
+                .zip(expected.data().iter())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(
+                identical,
+                "{orientation:?} defects diverged from the canonical lines"
+            );
+            assert!(!p.approx_eq(&w, 1e-9), "rate 0.3 should fire some line");
+        }
+    }
+
+    #[test]
+    fn correlated_drift_is_coherent_within_tiles() {
+        // On an all-ones matrix the output *is* the per-tile factor: cells
+        // of one tile must share it exactly, and with a generous σ_ν tiles
+        // must disagree.
+        let rows = 8usize;
+        let cols = 8usize;
+        let tile = TileShape { rows: 4, cols: 4 };
+        let w = Tensor::from_vec(vec![1.0; rows * cols], &[rows, cols]).unwrap();
+        let mut rng = Rng::seed_from(42);
+        let p = FaultModel::CorrelatedDrift {
+            nu: 0.1,
+            time_ratio: 100.0,
+            sigma_nu: 0.5,
+            tile,
+        }
+        .perturb(&w, &mut rng)
+        .unwrap();
+        let mut factors = Vec::new();
+        for r0 in (0..rows).step_by(tile.rows) {
+            for c0 in (0..cols).step_by(tile.cols) {
+                let f = p.data()[r0 * cols + c0];
+                for r in r0..r0 + tile.rows {
+                    for c in c0..c0 + tile.cols {
+                        assert_eq!(
+                            p.data()[r * cols + c].to_bits(),
+                            f.to_bits(),
+                            "tile ({r0},{c0}) is not coherent at ({r},{c})"
+                        );
+                    }
+                }
+                assert!(f > 0.0 && f <= 1.0, "factor {f} cannot grow magnitudes");
+                factors.push(f.to_bits());
+            }
+        }
+        factors.sort_unstable();
+        factors.dedup();
+        assert!(factors.len() > 1, "tiles drew identical factors");
+    }
+
+    #[test]
     fn perturb_into_is_bit_identical_to_perturb() {
         let (w, _) = sample_weights(20);
         let models = [
@@ -552,6 +1177,22 @@ mod tests {
             FaultModel::Drift {
                 nu: 0.05,
                 time_ratio: 50.0,
+            },
+            FaultModel::LineDefect {
+                orientation: LineOrientation::Row,
+                rate: 0.1,
+                tile: TileShape { rows: 8, cols: 8 },
+            },
+            FaultModel::LineDefect {
+                orientation: LineOrientation::Col,
+                rate: 0.1,
+                tile: TileShape { rows: 8, cols: 8 },
+            },
+            FaultModel::CorrelatedDrift {
+                nu: 0.05,
+                time_ratio: 50.0,
+                sigma_nu: 0.5,
+                tile: TileShape { rows: 8, cols: 8 },
             },
         ];
         for model in models {
@@ -643,6 +1284,17 @@ mod tests {
                 nu: 0.05,
                 time_ratio: 10.0,
             },
+            FaultModel::LineDefect {
+                orientation: LineOrientation::Row,
+                rate: 0.5,
+                tile: TileShape { rows: 4, cols: 4 },
+            },
+            FaultModel::CorrelatedDrift {
+                nu: 0.05,
+                time_ratio: 10.0,
+                sigma_nu: 0.5,
+                tile: TileShape { rows: 4, cols: 4 },
+            },
             FaultModel::None,
         ] {
             let mut rng_a = Rng::seed_from(7);
@@ -679,9 +1331,71 @@ mod tests {
                 FaultModel::UniformNoise { strength: 0.0 },
                 FaultModel::BinaryBitFlip { rate: 0.0 },
                 FaultModel::StuckAt { rate: 0.0 },
+                FaultModel::LineDefect {
+                    orientation: LineOrientation::Row,
+                    rate: 0.0,
+                    tile: TileShape { rows: 4, cols: 4 },
+                },
+                FaultModel::CorrelatedDrift {
+                    nu: 0.0,
+                    time_ratio: 100.0,
+                    sigma_nu: 0.5,
+                    tile: TileShape { rows: 4, cols: 4 },
+                },
             ] {
                 let p = model.perturb(&w, &mut rng).unwrap();
                 prop_assert!(p.approx_eq(&w, 0.0));
+            }
+        }
+
+        #[test]
+        fn prop_line_defect_cells_cover_exactly_whole_lines(
+            rows in 1usize..12,
+            cols in 1usize..12,
+            tr in 1usize..6,
+            tc in 1usize..6,
+            rate in 0.0f32..1.0,
+            row_lines in 0u32..2,
+            seed in 0u32..1_000,
+        ) {
+            // The set of cells the dense realization may touch is exactly
+            // the union of whole (clipped) tile lines the canonical
+            // iteration fires — no partial lines, no stray cells.
+            let seed = u64::from(seed);
+            let tile = TileShape { rows: tr, cols: tc };
+            let orientation = if row_lines == 1 { LineOrientation::Row } else { LineOrientation::Col };
+            let mut init = Rng::seed_from(seed ^ 0xABCD);
+            let w = Tensor::randn(&[rows, cols], 0.0, 1.0, &mut init);
+            let model = FaultModel::LineDefect { orientation, rate, tile };
+            let mut rng_a = Rng::seed_from(seed);
+            let mut rng_b = Rng::seed_from(seed);
+            let p = model.perturb(&w, &mut rng_a).unwrap();
+            let (lo, hi) = stuck_levels(w.data());
+            let mut fired = vec![false; rows * cols];
+            let mut expected = w.data().to_vec();
+            let mut segments = Vec::new();
+            for_each_fired_line(rows, cols, orientation, rate, tile, &mut rng_b, |rr, cc, pick_lo| {
+                segments.push((rr, cc, pick_lo));
+            });
+            for (rr, cc, pick_lo) in segments {
+                prop_assert!(match orientation {
+                    LineOrientation::Row => rr.len() == 1 && cc.start % tile.cols == 0
+                        && (cc.len() == tile.cols || cc.end == cols),
+                    LineOrientation::Col => cc.len() == 1 && rr.start % tile.rows == 0
+                        && (rr.len() == tile.rows || rr.end == rows),
+                });
+                for r in rr {
+                    for c in cc.clone() {
+                        fired[r * cols + c] = true;
+                        expected[r * cols + c] = if pick_lo { lo } else { hi };
+                    }
+                }
+            }
+            for (i, (&got, &want)) in p.data().iter().zip(expected.iter()).enumerate() {
+                prop_assert_eq!(got.to_bits(), want.to_bits());
+                if !fired[i] {
+                    prop_assert_eq!(got.to_bits(), w.data()[i].to_bits());
+                }
             }
         }
 

@@ -12,10 +12,12 @@
 //!   this layer at that point and experiments turn it on through the shared
 //!   [`NoiseHandle`].
 
-use crate::fault::{flip_code_bits, stuck_levels, FaultModel};
+use crate::fault::{
+    flip_code_bits, for_each_drift_tile, for_each_fired_line, stuck_levels, FaultModel,
+};
 use crate::Result;
 use invnorm_nn::layer::{Layer, Mode, Param};
-use invnorm_nn::plan::{PlanArenas, PlanCtx, PlanParamView, PlanShape};
+use invnorm_nn::plan::{PlanArenas, PlanCodeView, PlanCtx, PlanParamView, PlanShape};
 use invnorm_nn::NnError;
 use invnorm_tensor::{DirtyRows, Rng, Tensor};
 use std::sync::{Arc, RwLock};
@@ -44,8 +46,24 @@ pub struct WeightFaultInjector {
 }
 
 impl WeightFaultInjector {
-    /// Creates an injector for the given fault model.
-    pub fn new(model: FaultModel) -> Self {
+    /// Creates an injector for the given fault model, validating it up
+    /// front.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Config`] when the model's parameters are invalid
+    /// (see [`FaultModel::validate`]): NaN or negative magnitudes, rates
+    /// outside `[0, 1]`, non-finite drift parameters, or a zero-extent tile.
+    /// Rejecting bad models at construction keeps every sweep loud at its
+    /// source instead of deep inside a Monte-Carlo loop.
+    pub fn new(model: FaultModel) -> Result<Self> {
+        model.validate()?;
+        Ok(Self::new_unchecked(model))
+    }
+
+    /// Constructs without re-validating — for engine inner loops whose entry
+    /// point already validated the model.
+    pub(crate) fn new_unchecked(model: FaultModel) -> Self {
         Self {
             model,
             include_vectors: false,
@@ -70,13 +88,16 @@ impl WeightFaultInjector {
     ///
     /// # Errors
     ///
-    /// Returns an error if called between `inject` and `restore`.
+    /// Returns an error if called between `inject` and `restore`, or when
+    /// the new model fails [`FaultModel::validate`]; on error the configured
+    /// model is unchanged.
     pub fn set_model(&mut self, model: FaultModel) -> Result<()> {
         if self.snapshot.is_some() {
             return Err(NnError::Config(
                 "cannot change fault model while faults are injected; call restore() first".into(),
             ));
         }
+        model.validate()?;
         self.model = model;
         Ok(())
     }
@@ -431,8 +452,11 @@ impl WeightFaultInjector {
                 return;
             }
             let rows = view.dirty.rows() / batch;
-            let levels = matches!(model, FaultModel::StuckAt { .. })
-                .then(|| stuck_levels(view.clean.data()));
+            let levels = matches!(
+                model,
+                FaultModel::StuckAt { .. } | FaultModel::LineDefect { .. }
+            )
+            .then(|| stuck_levels(view.clean.data()));
             for (b, parent) in rngs.iter_mut().enumerate() {
                 let mut stream = parent.fork(view.index as u64);
                 if let Err(e) = realize_one_f32(&mut view, model, b, rows, levels, &mut stream) {
@@ -448,13 +472,15 @@ impl WeightFaultInjector {
 /// Materializes realization `b` of one parameter into its slice of the
 /// plan-owned faulty buffer, with per-realization dirty-row reporting.
 ///
-/// Stuck-at takes the **sparse packed-domain path**: the previous
-/// realization's cells are reverted through the exact cell list (falling
-/// back to a full clean copy when unknown), fired cells are written
+/// Stuck-at and line defects take the **sparse packed-domain path**: the
+/// previous realization's cells are reverted through the exact cell list
+/// (falling back to a full clean copy when unknown), fired cells are written
 /// individually, and the list is handed to the plan so the refresh scatters
-/// the cells straight into the packed panels. Every other model realizes
-/// densely via [`FaultModel::perturb_into`]. Both draw exactly the random
-/// variates of the sequential injector, in the same order.
+/// the cells straight into the packed panels. Line defects route through the
+/// same canonical tile iteration as the dense perturbation
+/// ([`for_each_fired_line`]), so both draw exactly the random variates of
+/// the sequential injector, in the same order. Every other model realizes
+/// densely via [`FaultModel::perturb_into`].
 fn realize_one_f32(
     view: &mut PlanParamView<'_>,
     model: FaultModel,
@@ -497,6 +523,49 @@ fn realize_one_f32(
         // rate == 0.0 falls through to the dense (inactive → copy) path so
         // the realization protocol stays uniform.
     }
+    if let FaultModel::LineDefect {
+        orientation,
+        rate,
+        tile,
+    } = model
+    {
+        if rate > 0.0 && rows > 0 && numel > 0 {
+            let clean = view.clean.data();
+            match view.cells.faulty_cells(b) {
+                Some(cells) => {
+                    for &i in cells {
+                        faulty_b[i as usize] = clean[i as usize];
+                    }
+                }
+                None => faulty_b.copy_from_slice(clean),
+            }
+            view.cells.reset_faulty(b);
+            let cols = numel / rows;
+            let (lo, hi) = levels.unwrap_or_else(|| stuck_levels(clean));
+            let (dirty, cells) = (&mut *view.dirty, &mut *view.cells);
+            for_each_fired_line(
+                rows,
+                cols,
+                orientation,
+                rate,
+                tile,
+                stream,
+                |rr, cc, pick_lo| {
+                    let level = if pick_lo { lo } else { hi };
+                    for r in rr {
+                        dirty.mark(base + r);
+                        for c in cc.clone() {
+                            let idx = r * cols + c;
+                            faulty_b[idx] = level;
+                            cells.push_faulty(b, idx);
+                        }
+                    }
+                },
+            );
+            cells.mark_pending(b);
+            return Ok(());
+        }
+    }
     model.perturb_into(view.clean, faulty_b, stream)?;
     view.cells.invalidate_faulty(b);
     mark_dirty_f32(model, view.clean.data(), faulty_b, view.dirty, base, rows);
@@ -522,9 +591,11 @@ fn mark_dirty_f32(
     }
     match model {
         FaultModel::None => {}
-        FaultModel::StuckAt { .. } => diff_rows(clean, faulty, dirty, base, rows, |a, b| {
-            a.to_bits() != b.to_bits()
-        }),
+        FaultModel::StuckAt { .. } | FaultModel::LineDefect { .. } => {
+            diff_rows(clean, faulty, dirty, base, rows, |a, b| {
+                a.to_bits() != b.to_bits()
+            })
+        }
         _ => dirty.mark_range(base, base + rows),
     }
 }
@@ -577,8 +648,21 @@ pub struct CodeFaultInjector {
 }
 
 impl CodeFaultInjector {
-    /// Creates an injector for the given fault model.
-    pub fn new(model: FaultModel) -> Self {
+    /// Creates an injector for the given fault model, validating it up
+    /// front (see [`WeightFaultInjector::new`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Config`] when the model fails
+    /// [`FaultModel::validate`].
+    pub fn new(model: FaultModel) -> Result<Self> {
+        model.validate()?;
+        Ok(Self::new_unchecked(model))
+    }
+
+    /// Constructs without re-validating — for engine inner loops whose entry
+    /// point already validated the model.
+    pub(crate) fn new_unchecked(model: FaultModel) -> Self {
         Self {
             model,
             snapshot: None,
@@ -595,13 +679,16 @@ impl CodeFaultInjector {
     ///
     /// # Errors
     ///
-    /// Returns an error if called between `inject` and `restore`.
+    /// Returns an error if called between `inject` and `restore`, or when
+    /// the new model fails [`FaultModel::validate`]; on error the configured
+    /// model is unchanged.
     pub fn set_model(&mut self, model: FaultModel) -> Result<()> {
         if self.snapshot.is_some() {
             return Err(NnError::Config(
                 "cannot change fault model while faults are injected; call restore() first".into(),
             ));
         }
+        model.validate()?;
         self.model = model;
         Ok(())
     }
@@ -627,7 +714,7 @@ impl CodeFaultInjector {
         network.visit_codes(&mut |view| {
             snapshot.push(view.codes.to_vec());
             let mut stream = rng.fork(snapshot.len() as u64 - 1);
-            perturb_codes(view.codes, view.bits, model, &mut stream);
+            perturb_codes(view.codes, view.bits, view.rows, model, &mut stream);
         });
         self.snapshot = Some(snapshot);
         Ok(())
@@ -707,7 +794,7 @@ impl CodeFaultInjector {
                 let mut stream = parent.fork(view.index as u64);
                 let slot = view.stacked.realization_mut(b);
                 slot.copy_from_slice(view.clean);
-                perturb_codes(slot, view.bits, model, &mut stream);
+                perturb_codes(slot, view.bits, view.rows, model, &mut stream);
             }
         });
         result
@@ -719,9 +806,11 @@ impl CodeFaultInjector {
     /// with the same bit-identity guarantee against
     /// [`CodeFaultInjector::inject`].
     ///
-    /// In the code domain every model is diffed against the clean codes
-    /// (rounding frequently leaves codes unchanged even under dense noise),
-    /// so only rows with actually-changed codes trigger a panel re-pack.
+    /// In the code domain every dense model is diffed against the clean
+    /// codes (rounding frequently leaves codes unchanged even under dense
+    /// noise), so only rows with actually-changed codes trigger a panel
+    /// re-pack; line defects additionally record their exact fired cells so
+    /// the plan scatters them straight into the packed panels.
     ///
     /// # Errors
     ///
@@ -730,7 +819,7 @@ impl CodeFaultInjector {
         self.model.validate()?;
         let model = self.model;
         let mut result: Result<()> = Ok(());
-        network.visit_plan_codes(&mut |view| {
+        network.visit_plan_codes(&mut |mut view| {
             if result.is_err() {
                 return;
             }
@@ -745,16 +834,7 @@ impl CodeFaultInjector {
             }
             let rows = view.dirty.rows();
             let mut stream = rng.fork(view.index as u64);
-            view.faulty.copy_from_slice(view.clean);
-            perturb_codes(view.faulty, view.bits, model, &mut stream);
-            diff_rows(
-                view.clean,
-                view.faulty,
-                view.dirty,
-                0,
-                rows,
-                |a: i8, b: i8| a != b,
-            );
+            realize_one_codes(&mut view, model, 0, rows, &mut stream);
         });
         result
     }
@@ -785,7 +865,7 @@ impl CodeFaultInjector {
             ));
         }
         let mut result: Result<()> = Ok(());
-        network.visit_plan_codes(&mut |view| {
+        network.visit_plan_codes(&mut |mut view| {
             if result.is_err() {
                 return;
             }
@@ -803,29 +883,100 @@ impl CodeFaultInjector {
             let rows = view.dirty.rows() / batch;
             for (b, parent) in rngs.iter_mut().enumerate() {
                 let mut stream = parent.fork(view.index as u64);
-                let faulty_b = &mut view.faulty[b * numel..][..numel];
-                faulty_b.copy_from_slice(view.clean);
-                perturb_codes(faulty_b, view.bits, model, &mut stream);
-                diff_rows(
-                    view.clean,
-                    faulty_b,
-                    view.dirty,
-                    b * rows,
-                    rows,
-                    |a: i8, b: i8| a != b,
-                );
+                realize_one_codes(&mut view, model, b, rows, &mut stream);
             }
         });
         result
     }
 }
 
+/// Materializes realization `b` of one quantized parameter's codes into its
+/// slice of the plan-owned faulty buffer — the code-domain counterpart of
+/// [`realize_one_f32`]. Line defects take the sparse packed-domain path
+/// (revert previous cells, fire whole tile lines, record the exact cell
+/// list for the plan's [`QPackedB::write_cell`] scatter); every other model
+/// realizes densely through [`perturb_codes`] and is diffed row by row.
+/// Both routes draw exactly the variates of [`CodeFaultInjector::inject`],
+/// in the same order.
+///
+/// [`QPackedB::write_cell`]: invnorm_tensor::QPackedB::write_cell
+fn realize_one_codes(
+    view: &mut PlanCodeView<'_>,
+    model: FaultModel,
+    b: usize,
+    rows: usize,
+    stream: &mut Rng,
+) {
+    let numel = view.clean.len();
+    let base = b * rows;
+    let faulty_b = &mut view.faulty[b * numel..][..numel];
+    if let FaultModel::LineDefect {
+        orientation,
+        rate,
+        tile,
+    } = model
+    {
+        if rate > 0.0 && rows > 0 && numel > 0 {
+            let clean = view.clean;
+            match view.cells.faulty_cells(b) {
+                Some(cells) => {
+                    for &i in cells {
+                        faulty_b[i as usize] = clean[i as usize];
+                    }
+                }
+                None => faulty_b.copy_from_slice(clean),
+            }
+            view.cells.reset_faulty(b);
+            let cols = numel / rows;
+            // Same stuck-level convention as the dense code arm: a failed
+            // line saturates at ±qmax, low on `pick_lo`.
+            let qmax = (((1i32 << (view.bits - 1)) - 1).min(127)) as i8;
+            let (dirty, cells) = (&mut *view.dirty, &mut *view.cells);
+            for_each_fired_line(
+                rows,
+                cols,
+                orientation,
+                rate,
+                tile,
+                stream,
+                |rr, cc, pick_lo| {
+                    let level = if pick_lo { -qmax } else { qmax };
+                    for r in rr {
+                        dirty.mark(base + r);
+                        for c in cc.clone() {
+                            let idx = r * cols + c;
+                            faulty_b[idx] = level;
+                            cells.push_faulty(b, idx);
+                        }
+                    }
+                },
+            );
+            cells.mark_pending(b);
+            return;
+        }
+    }
+    faulty_b.copy_from_slice(view.clean);
+    perturb_codes(faulty_b, view.bits, rows, model, stream);
+    view.cells.invalidate_faulty(b);
+    diff_rows(
+        view.clean,
+        faulty_b,
+        view.dirty,
+        base,
+        rows,
+        |a: i8, b: i8| a != b,
+    );
+}
+
 /// Applies a fault model to one slice of `bits`-bit codes, in place.
 /// Infallible for validated models; [`FaultModel::BitFlip`]'s `bits` field is
-/// ignored in favour of the layer's actual width.
-fn perturb_codes(codes: &mut [i8], bits: u8, model: FaultModel, rng: &mut Rng) {
+/// ignored in favour of the layer's actual width. `rows` is the leading
+/// (output) dimension of the code matrix — the axis the structured tile
+/// topologies map crossbar lines onto; element-i.i.d. models ignore it.
+fn perturb_codes(codes: &mut [i8], bits: u8, rows: usize, model: FaultModel, rng: &mut Rng) {
     let qmax = ((1i32 << (bits - 1)) - 1).min(127);
     let clamp = |v: i32| v.clamp(-qmax, qmax) as i8;
+    let cols = codes.len().checked_div(rows).unwrap_or(0);
     match model {
         FaultModel::None => {}
         FaultModel::AdditiveVariation { sigma } => {
@@ -887,6 +1038,56 @@ fn perturb_codes(codes: &mut [i8], bits: u8, model: FaultModel, rng: &mut Rng) {
             for c in codes {
                 *c = clamp((f32::from(*c) * factor).round() as i32);
             }
+        }
+        FaultModel::LineDefect {
+            orientation,
+            rate,
+            tile,
+        } => {
+            if rate > 0.0 {
+                for_each_fired_line(
+                    rows,
+                    cols,
+                    orientation,
+                    rate,
+                    tile,
+                    rng,
+                    |rr, cc, pick_lo| {
+                        // A failed line saturates at the code extremes, matching
+                        // the element-i.i.d. stuck-at convention above.
+                        let level = if pick_lo { clamp(-qmax) } else { clamp(qmax) };
+                        for r in rr {
+                            for c in cc.clone() {
+                                codes[r * cols + c] = level;
+                            }
+                        }
+                    },
+                );
+            }
+        }
+        FaultModel::CorrelatedDrift {
+            nu,
+            time_ratio,
+            sigma_nu,
+            tile,
+        } => {
+            for_each_drift_tile(
+                rows,
+                cols,
+                nu,
+                time_ratio,
+                sigma_nu,
+                tile,
+                rng,
+                |rr, cc, factor| {
+                    for r in rr {
+                        for c in cc.clone() {
+                            let v = &mut codes[r * cols + c];
+                            *v = clamp((f32::from(*v) * factor).round() as i32);
+                        }
+                    }
+                },
+            );
         }
     }
 }
@@ -993,6 +1194,8 @@ impl Layer for ActivationNoise {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::crossbar::TileShape;
+    use crate::fault::LineOrientation;
     use invnorm_nn::linear::Linear;
     use invnorm_nn::norm::GroupNorm;
     use invnorm_nn::Sequential;
@@ -1016,7 +1219,8 @@ mod tests {
         let mut rng = Rng::seed_from(1);
         let mut net = network(&mut rng);
         let clean = weights_of(&mut net);
-        let mut injector = WeightFaultInjector::new(FaultModel::AdditiveVariation { sigma: 0.5 });
+        let mut injector =
+            WeightFaultInjector::new(FaultModel::AdditiveVariation { sigma: 0.5 }).unwrap();
         injector.inject(&mut net, &mut rng).unwrap();
         assert!(injector.is_injected());
         let faulty = weights_of(&mut net);
@@ -1038,7 +1242,7 @@ mod tests {
             }
         });
         let mut injector =
-            WeightFaultInjector::new(FaultModel::MultiplicativeVariation { sigma: 0.5 });
+            WeightFaultInjector::new(FaultModel::MultiplicativeVariation { sigma: 0.5 }).unwrap();
         injector.inject(&mut net, &mut rng).unwrap();
         let mut rank1_after = Vec::new();
         net.visit_params(&mut |p| {
@@ -1051,6 +1255,7 @@ mod tests {
 
         // With including_vectors the rank-1 params are perturbed too.
         let mut injector = WeightFaultInjector::new(FaultModel::AdditiveVariation { sigma: 0.5 })
+            .unwrap()
             .including_vectors();
         injector.inject(&mut net, &mut rng).unwrap();
         let mut rank1_now = Vec::new();
@@ -1067,7 +1272,8 @@ mod tests {
     fn double_inject_and_bare_restore_error() {
         let mut rng = Rng::seed_from(3);
         let mut net = network(&mut rng);
-        let mut injector = WeightFaultInjector::new(FaultModel::AdditiveVariation { sigma: 0.1 });
+        let mut injector =
+            WeightFaultInjector::new(FaultModel::AdditiveVariation { sigma: 0.1 }).unwrap();
         assert!(injector.restore(&mut net).is_err());
         injector.inject(&mut net, &mut rng).unwrap();
         assert!(injector.inject(&mut net, &mut rng).is_err());
@@ -1093,7 +1299,7 @@ mod tests {
         let realize = |net: &mut Sequential| {
             let mut rng = Rng::seed_from(777);
             let mut injector =
-                WeightFaultInjector::new(FaultModel::AdditiveVariation { sigma: 0.2 });
+                WeightFaultInjector::new(FaultModel::AdditiveVariation { sigma: 0.2 }).unwrap();
             injector.inject(net, &mut rng).unwrap();
             let faulty = weights_of(net);
             injector.restore(net).unwrap();
@@ -1117,7 +1323,7 @@ mod tests {
         let mut expected: Vec<Vec<f32>> = Vec::new();
         for b in 0..batch {
             let mut rng = Rng::seed_from(1000 + b as u64);
-            let mut injector = WeightFaultInjector::new(fault);
+            let mut injector = WeightFaultInjector::new(fault).unwrap();
             injector.inject(&mut net, &mut rng).unwrap();
             let mut faulty = Vec::new();
             net.visit_params(&mut |p| {
@@ -1134,6 +1340,7 @@ mod tests {
             .map(|b| Rng::seed_from(1000 + b as u64))
             .collect();
         WeightFaultInjector::new(fault)
+            .unwrap()
             .realize_batch(&mut net, &mut rngs)
             .unwrap();
         let mut got: Vec<Vec<f32>> = vec![Vec::new(); batch];
@@ -1157,6 +1364,7 @@ mod tests {
         net.begin_batched(batch).unwrap();
         let mut rngs: Vec<Rng> = (0..batch).map(|b| Rng::seed_from(b as u64)).collect();
         assert!(WeightFaultInjector::new(fault)
+            .unwrap()
             .including_vectors()
             .realize_batch(&mut net, &mut rngs)
             .is_err());
@@ -1177,10 +1385,21 @@ mod tests {
             FaultModel::AdditiveVariation { sigma: 0.3 },
             FaultModel::StuckAt { rate: 0.4 },
             FaultModel::BitFlip { rate: 0.1, bits: 8 },
+            FaultModel::LineDefect {
+                orientation: LineOrientation::Row,
+                rate: 0.3,
+                tile: TileShape { rows: 4, cols: 4 },
+            },
+            FaultModel::CorrelatedDrift {
+                nu: 0.1,
+                time_ratio: 100.0,
+                sigma_nu: 0.3,
+                tile: TileShape { rows: 4, cols: 4 },
+            },
         ] {
             // Sequential realization of chip instance 7.
             let mut rng = Rng::seed_from(7000);
-            let mut injector = WeightFaultInjector::new(fault);
+            let mut injector = WeightFaultInjector::new(fault).unwrap();
             injector.inject(&mut net, &mut rng).unwrap();
             let mut expected = Vec::new();
             net.visit_params(&mut |p| {
@@ -1193,6 +1412,7 @@ mod tests {
             let _plan = Plan::compile(&mut net, &x).unwrap();
             let mut rng = Rng::seed_from(7000);
             WeightFaultInjector::new(fault)
+                .unwrap()
                 .realize_plan(&mut net, &mut rng)
                 .unwrap();
             let mut got = Vec::new();
@@ -1224,11 +1444,27 @@ mod tests {
             FaultModel::StuckAt { rate: 0.4 },
             FaultModel::StuckAt { rate: 1.0 },
             FaultModel::UniformNoise { strength: 0.2 },
+            FaultModel::LineDefect {
+                orientation: LineOrientation::Row,
+                rate: 0.5,
+                tile: TileShape { rows: 2, cols: 3 },
+            },
+            FaultModel::LineDefect {
+                orientation: LineOrientation::Col,
+                rate: 0.5,
+                tile: TileShape { rows: 3, cols: 2 },
+            },
+            FaultModel::CorrelatedDrift {
+                nu: 0.1,
+                time_ratio: 100.0,
+                sigma_nu: 0.3,
+                tile: TileShape { rows: 4, cols: 4 },
+            },
         ] {
             let mut expected: Vec<Vec<f32>> = Vec::new();
             for b in 0..batch {
                 let mut rng = Rng::seed_from(8000 + b as u64);
-                let mut injector = WeightFaultInjector::new(fault);
+                let mut injector = WeightFaultInjector::new(fault).unwrap();
                 injector.inject(&mut net, &mut rng).unwrap();
                 let mut faulty = Vec::new();
                 net.visit_params(&mut |p| {
@@ -1247,6 +1483,7 @@ mod tests {
                     .map(|b| Rng::seed_from(base_seed + b as u64))
                     .collect();
                 WeightFaultInjector::new(fault)
+                    .unwrap()
                     .realize_plan_batch(&mut net, &mut rngs)
                     .unwrap();
             }
@@ -1273,6 +1510,7 @@ mod tests {
         let _plan = Plan::compile_batched(&mut net, &x, batch).unwrap();
         let mut rngs: Vec<Rng> = (0..batch).map(|b| Rng::seed_from(b as u64)).collect();
         assert!(WeightFaultInjector::new(FaultModel::StuckAt { rate: 0.1 })
+            .unwrap()
             .including_vectors()
             .realize_plan_batch(&mut net, &mut rngs)
             .is_err());
@@ -1281,12 +1519,14 @@ mod tests {
         // not validation.
         let mut rngs: Vec<Rng> = (0..batch + 1).map(|b| Rng::seed_from(b as u64)).collect();
         assert!(WeightFaultInjector::new(FaultModel::StuckAt { rate: 0.1 })
+            .unwrap()
             .realize_plan_batch(&mut net, &mut rngs)
             .is_err());
         assert!(WeightFaultInjector::new(FaultModel::Drift {
             nu: 0.05,
             time_ratio: 100.0
         })
+        .unwrap()
         .realize_plan_batch(&mut net, &mut rngs)
         .is_err());
         net.plan_end();
@@ -1299,32 +1539,60 @@ mod tests {
         let mut net = quantized_network(&mut build);
         let x = Tensor::randn(&[2, 8], 0.0, 1.0, &mut Rng::seed_from(71));
         let batch = 3usize;
-        let fault = FaultModel::BitFlip { rate: 0.1, bits: 8 };
-        let mut expected: Vec<Vec<i8>> = Vec::new();
-        for b in 0..batch {
-            let mut rng = Rng::seed_from(9000 + b as u64);
-            let mut injector = CodeFaultInjector::new(fault);
-            injector.inject(&mut net, &mut rng).unwrap();
-            expected.push(codes_of(&mut net));
-            injector.restore(&mut net).unwrap();
-        }
-        let _plan = Plan::compile_batched(&mut net, &x, batch).unwrap();
-        let mut rngs: Vec<Rng> = (0..batch)
-            .map(|b| Rng::seed_from(9000 + b as u64))
-            .collect();
-        CodeFaultInjector::new(fault)
-            .realize_plan_batch(&mut net, &mut rngs)
-            .unwrap();
-        let mut got: Vec<Vec<i8>> = vec![Vec::new(); batch];
-        net.visit_plan_codes(&mut |view| {
-            let numel = view.clean.len();
-            for (b, dst) in got.iter_mut().enumerate() {
-                dst.extend_from_slice(&view.faulty[b * numel..][..numel]);
+        for fault in [
+            FaultModel::BitFlip { rate: 0.1, bits: 8 },
+            FaultModel::LineDefect {
+                orientation: LineOrientation::Row,
+                rate: 0.5,
+                tile: TileShape { rows: 2, cols: 3 },
+            },
+            FaultModel::LineDefect {
+                orientation: LineOrientation::Col,
+                rate: 0.5,
+                tile: TileShape { rows: 3, cols: 2 },
+            },
+            FaultModel::CorrelatedDrift {
+                nu: 0.1,
+                time_ratio: 1000.0,
+                sigma_nu: 0.3,
+                tile: TileShape { rows: 4, cols: 4 },
+            },
+        ] {
+            let mut expected: Vec<Vec<i8>> = Vec::new();
+            for b in 0..batch {
+                let mut rng = Rng::seed_from(9000 + b as u64);
+                let mut injector = CodeFaultInjector::new(fault).unwrap();
+                injector.inject(&mut net, &mut rng).unwrap();
+                expected.push(codes_of(&mut net));
+                injector.restore(&mut net).unwrap();
             }
-        });
-        net.plan_end();
-        for b in 0..batch {
-            assert_eq!(expected[b], got[b], "stacked code realization {b} diverged");
+            let _plan = Plan::compile_batched(&mut net, &x, batch).unwrap();
+            // Two realization rounds (different streams first) so the sparse
+            // line-defect path exercises its revert-previous-cells
+            // bookkeeping.
+            for base_seed in [9100u64, 9000] {
+                let mut rngs: Vec<Rng> = (0..batch)
+                    .map(|b| Rng::seed_from(base_seed + b as u64))
+                    .collect();
+                CodeFaultInjector::new(fault)
+                    .unwrap()
+                    .realize_plan_batch(&mut net, &mut rngs)
+                    .unwrap();
+            }
+            let mut got: Vec<Vec<i8>> = vec![Vec::new(); batch];
+            net.visit_plan_codes(&mut |view| {
+                let numel = view.clean.len();
+                for (b, dst) in got.iter_mut().enumerate() {
+                    dst.extend_from_slice(&view.faulty[b * numel..][..numel]);
+                }
+            });
+            net.plan_end();
+            for b in 0..batch {
+                assert_eq!(
+                    expected[b], got[b],
+                    "{fault:?} stacked code realization {b} diverged"
+                );
+            }
         }
     }
 
@@ -1333,41 +1601,61 @@ mod tests {
         let mut build = Rng::seed_from(41);
         let mut net = quantized_network(&mut build);
         let batch = 3usize;
-        let fault = FaultModel::BitFlip { rate: 0.1, bits: 8 };
-        let mut expected: Vec<Vec<i8>> = Vec::new();
-        for b in 0..batch {
-            let mut rng = Rng::seed_from(2000 + b as u64);
-            let mut injector = CodeFaultInjector::new(fault);
-            injector.inject(&mut net, &mut rng).unwrap();
-            expected.push(codes_of(&mut net));
-            injector.restore(&mut net).unwrap();
-        }
-        net.begin_batched(batch).unwrap();
-        let mut rngs: Vec<Rng> = (0..batch)
-            .map(|b| Rng::seed_from(2000 + b as u64))
-            .collect();
-        CodeFaultInjector::new(fault)
-            .realize_batch(&mut net, &mut rngs)
-            .unwrap();
-        let mut got: Vec<Vec<i8>> = vec![Vec::new(); batch];
-        net.visit_batched_codes(&mut |view| {
-            for (b, dst) in got.iter_mut().enumerate() {
-                dst.extend_from_slice(view.stacked.realization(b));
+        for fault in [
+            FaultModel::BitFlip { rate: 0.1, bits: 8 },
+            FaultModel::LineDefect {
+                orientation: LineOrientation::Col,
+                rate: 0.5,
+                tile: TileShape { rows: 3, cols: 2 },
+            },
+            FaultModel::CorrelatedDrift {
+                nu: 0.1,
+                time_ratio: 1000.0,
+                sigma_nu: 0.3,
+                tile: TileShape { rows: 4, cols: 4 },
+            },
+        ] {
+            let mut expected: Vec<Vec<i8>> = Vec::new();
+            for b in 0..batch {
+                let mut rng = Rng::seed_from(2000 + b as u64);
+                let mut injector = CodeFaultInjector::new(fault).unwrap();
+                injector.inject(&mut net, &mut rng).unwrap();
+                expected.push(codes_of(&mut net));
+                injector.restore(&mut net).unwrap();
             }
-        });
-        net.end_batched();
-        for b in 0..batch {
-            assert_eq!(expected[b], got[b], "code realization {b} diverged");
+            net.begin_batched(batch).unwrap();
+            let mut rngs: Vec<Rng> = (0..batch)
+                .map(|b| Rng::seed_from(2000 + b as u64))
+                .collect();
+            CodeFaultInjector::new(fault)
+                .unwrap()
+                .realize_batch(&mut net, &mut rngs)
+                .unwrap();
+            let mut got: Vec<Vec<i8>> = vec![Vec::new(); batch];
+            net.visit_batched_codes(&mut |view| {
+                for (b, dst) in got.iter_mut().enumerate() {
+                    dst.extend_from_slice(view.stacked.realization(b));
+                }
+            });
+            net.end_batched();
+            for b in 0..batch {
+                assert_eq!(
+                    expected[b], got[b],
+                    "{fault:?} code realization {b} diverged"
+                );
+            }
         }
     }
 
     #[test]
-    fn invalid_model_is_rejected_at_injection() {
-        let mut rng = Rng::seed_from(4);
-        let mut net = network(&mut rng);
-        let mut injector = WeightFaultInjector::new(FaultModel::BitFlip { rate: 2.0, bits: 8 });
-        assert!(injector.inject(&mut net, &mut rng).is_err());
-        assert!(!injector.is_injected());
+    fn invalid_model_is_rejected_at_construction() {
+        assert!(WeightFaultInjector::new(FaultModel::BitFlip { rate: 2.0, bits: 8 }).is_err());
+        let mut injector = WeightFaultInjector::new(FaultModel::None).unwrap();
+        assert!(injector
+            .set_model(FaultModel::AdditiveVariation { sigma: -1.0 })
+            .is_err());
+        // A rejected set_model leaves the configured model unchanged.
+        assert!(matches!(injector.model(), FaultModel::None));
     }
 
     fn quantized_network(rng: &mut Rng) -> Sequential {
@@ -1393,7 +1681,8 @@ mod tests {
         let mut rng = Rng::seed_from(30);
         let mut net = quantized_network(&mut rng);
         let clean = codes_of(&mut net);
-        let mut injector = CodeFaultInjector::new(FaultModel::BitFlip { rate: 0.1, bits: 8 });
+        let mut injector =
+            CodeFaultInjector::new(FaultModel::BitFlip { rate: 0.1, bits: 8 }).unwrap();
         injector.inject(&mut net, &mut rng).unwrap();
         assert!(injector.is_injected());
         let faulty = codes_of(&mut net);
@@ -1413,7 +1702,7 @@ mod tests {
         let realize = |net: &mut Sequential| {
             let mut rng = Rng::seed_from(555);
             let mut injector =
-                CodeFaultInjector::new(FaultModel::AdditiveVariation { sigma: 0.05 });
+                CodeFaultInjector::new(FaultModel::AdditiveVariation { sigma: 0.05 }).unwrap();
             injector.inject(net, &mut rng).unwrap();
             let faulty = codes_of(net);
             injector.restore(net).unwrap();
@@ -1438,9 +1727,20 @@ mod tests {
                 nu: 0.1,
                 time_ratio: 1000.0,
             },
+            FaultModel::LineDefect {
+                orientation: LineOrientation::Row,
+                rate: 0.5,
+                tile: TileShape { rows: 3, cols: 3 },
+            },
+            FaultModel::CorrelatedDrift {
+                nu: 0.1,
+                time_ratio: 1000.0,
+                sigma_nu: 0.3,
+                tile: TileShape { rows: 4, cols: 4 },
+            },
         ];
         for model in models {
-            let mut injector = CodeFaultInjector::new(model);
+            let mut injector = CodeFaultInjector::new(model).unwrap();
             injector.inject(&mut net, &mut rng).unwrap();
             let faulty = codes_of(&mut net);
             assert_ne!(clean, faulty, "{model:?} must perturb codes");
@@ -1457,18 +1757,21 @@ mod tests {
     fn code_injector_guards_mirror_weight_injector() {
         let mut rng = Rng::seed_from(33);
         let mut net = quantized_network(&mut rng);
-        let mut injector = CodeFaultInjector::new(FaultModel::AdditiveVariation { sigma: 0.1 });
+        let mut injector =
+            CodeFaultInjector::new(FaultModel::AdditiveVariation { sigma: 0.1 }).unwrap();
         assert!(injector.restore(&mut net).is_err());
         injector.inject(&mut net, &mut rng).unwrap();
         assert!(injector.inject(&mut net, &mut rng).is_err());
         assert!(injector.set_model(FaultModel::None).is_err());
         injector.restore(&mut net).unwrap();
         assert!(injector.set_model(FaultModel::None).is_ok());
-        // Invalid models are rejected without touching the codes.
-        let mut bad = CodeFaultInjector::new(FaultModel::BitFlip { rate: 2.0, bits: 8 });
-        assert!(bad.inject(&mut net, &mut rng).is_err());
-        assert!(!bad.is_injected());
-        assert!(matches!(bad.model(), FaultModel::BitFlip { .. }));
+        // Invalid models are rejected at construction and at set_model,
+        // leaving the configured model unchanged.
+        assert!(CodeFaultInjector::new(FaultModel::BitFlip { rate: 2.0, bits: 8 }).is_err());
+        assert!(injector
+            .set_model(FaultModel::BitFlip { rate: 2.0, bits: 8 })
+            .is_err());
+        assert!(matches!(injector.model(), FaultModel::None));
     }
 
     #[test]
@@ -1476,7 +1779,8 @@ mod tests {
         let mut rng = Rng::seed_from(34);
         let mut net = network(&mut rng); // all-float layers
         let before = weights_of(&mut net);
-        let mut injector = CodeFaultInjector::new(FaultModel::BitFlip { rate: 0.5, bits: 8 });
+        let mut injector =
+            CodeFaultInjector::new(FaultModel::BitFlip { rate: 0.5, bits: 8 }).unwrap();
         injector.inject(&mut net, &mut rng).unwrap();
         assert_eq!(before, weights_of(&mut net));
         injector.restore(&mut net).unwrap();
@@ -1488,7 +1792,7 @@ mod tests {
         let mut net = quantized_network(&mut rng);
         let x = Tensor::randn(&[4, 8], 0.0, 1.0, &mut rng);
         let clean = net.forward(&x, Mode::Eval).unwrap();
-        let mut injector = CodeFaultInjector::new(FaultModel::StuckAt { rate: 0.3 });
+        let mut injector = CodeFaultInjector::new(FaultModel::StuckAt { rate: 0.3 }).unwrap();
         injector.inject(&mut net, &mut rng).unwrap();
         let faulty = net.forward(&x, Mode::Eval).unwrap();
         assert!(!clean.approx_eq(&faulty, 1e-6));

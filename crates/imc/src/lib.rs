@@ -11,7 +11,11 @@
 //!
 //! * [`fault`] — the [`fault::FaultModel`] catalogue (additive /
 //!   multiplicative conductance variation, uniform noise, bit flips on
-//!   quantized or binary weights, stuck-at faults, retention drift).
+//!   quantized or binary weights, stuck-at faults, retention drift, and the
+//!   structured topologies: whole stuck crossbar lines and per-tile
+//!   correlated drift), plus [`fault::FaultSpec`] pairing a model with a
+//!   [`fault::FaultLifetime`] (static per chip instance vs. re-drawn per
+//!   inference).
 //! * [`injector`] — [`injector::WeightFaultInjector`]: applies a fault model
 //!   to every weight of a network (with save/restore so Monte-Carlo runs are
 //!   independent); [`injector::CodeFaultInjector`]: the code-domain variant
@@ -24,7 +28,9 @@
 //! * [`montecarlo`] — the Monte-Carlo fault-simulation engine that evaluates
 //!   a metric over `N` simulated chip instances and reports mean ± std, the
 //!   protocol behind every robustness figure in the paper
-//!   (`run_quantized` drives the same protocol over code-domain faults).
+//!   (`run_quantized` drives the same protocol over code-domain faults;
+//!   `run_auto` picks the fastest engine that supports the configuration
+//!   and degrades gracefully down the engine ladder with typed reasons).
 //! * [`crossbar`] — a differential-pair crossbar model with DAC/ADC
 //!   quantization and conductance variation, demonstrating the full
 //!   weight-programming / analog-MVM path (`program_codes` programs a tile
@@ -47,7 +53,7 @@
 //! let x = Tensor::randn(&[2, 8], 0.0, 1.0, &mut rng);
 //! let clean = net.forward(&x, Mode::Eval)?;
 //!
-//! let mut injector = WeightFaultInjector::new(FaultModel::AdditiveVariation { sigma: 0.3 });
+//! let mut injector = WeightFaultInjector::new(FaultModel::AdditiveVariation { sigma: 0.3 })?;
 //! injector.inject(&mut net, &mut Rng::seed_from(1))?;
 //! let faulty = net.forward(&x, Mode::Eval)?;
 //! injector.restore(&mut net)?;
@@ -66,9 +72,13 @@ pub mod fault;
 pub mod injector;
 pub mod montecarlo;
 
-pub use fault::FaultModel;
+pub use crossbar::TileShape;
+pub use fault::{FaultLifetime, FaultModel, FaultSpec, LineOrientation};
 pub use injector::{ActivationNoise, CodeFaultInjector, NoiseHandle, WeightFaultInjector};
-pub use montecarlo::{MonteCarloEngine, MonteCarloSummary};
+pub use montecarlo::{
+    DegradationPolicy, EngineKind, FallbackReason, FallbackStep, LadderOutcome, MonteCarloEngine,
+    MonteCarloSummary,
+};
 
 /// Convenience result alias re-using the NN error type.
 pub type Result<T> = std::result::Result<T, invnorm_nn::NnError>;

@@ -18,7 +18,7 @@
 //! sequential [`MonteCarloEngine::run`] regardless of thread count or
 //! scheduling order.
 
-use crate::fault::FaultModel;
+use crate::fault::{FaultLifetime, FaultModel, FaultSpec};
 use crate::injector::{CodeFaultInjector, WeightFaultInjector};
 use crate::Result;
 use invnorm_nn::layer::{Layer, Mode};
@@ -75,6 +75,108 @@ impl MonteCarloSummary {
     }
 }
 
+/// One rung of the Monte-Carlo engine ladder, fastest first. Used by
+/// [`MonteCarloEngine::run_auto`] to report which engine actually produced a
+/// summary and which rungs were skipped on the way down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EngineKind {
+    /// [`MonteCarloEngine::run_planned_batched`]: compiled plans with fused
+    /// realization stacks.
+    PlannedBatched,
+    /// [`MonteCarloEngine::run_planned`]: compiled plans, one realization per
+    /// forward.
+    Planned,
+    /// [`MonteCarloEngine::run_batched`]: stacked batched buffers on the
+    /// direct eval path.
+    Batched,
+    /// [`MonteCarloEngine::run_parallel`]: per-instance snapshot/restore on
+    /// the direct eval path — supports every layer.
+    Parallel,
+}
+
+impl EngineKind {
+    /// The engine entry-point name, as used in error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::PlannedBatched => "MonteCarloEngine::run_planned_batched",
+            EngineKind::Planned => "MonteCarloEngine::run_planned",
+            EngineKind::Batched => "MonteCarloEngine::run_batched",
+            EngineKind::Parallel => "MonteCarloEngine::run_parallel",
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How [`MonteCarloEngine::run_auto`] reacts when a fault configuration and
+/// an engine do not fit together.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DegradationPolicy {
+    /// Fall down the engine ladder (`run_planned_batched` → `run_planned` →
+    /// `run_batched` → `run_parallel`), recording a typed reason per skipped
+    /// rung. Per-run metrics are bit-identical across rungs wherever two
+    /// engines both support the configuration, so degrading never changes
+    /// the statistics — only the throughput.
+    #[default]
+    Graceful,
+    /// No fallback: run the fastest engine and propagate its error loudly.
+    Strict,
+}
+
+/// Why [`MonteCarloEngine::run_auto`] stepped past an engine.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FallbackReason {
+    /// The engine has no fault-lifetime model: its realizations outlive a
+    /// single forward pass (snapshot/restore brackets, staged stacked
+    /// buffers), so it cannot honor a per-inference fault lifetime.
+    Lifetime,
+    /// A layer rejected the engine's evaluation protocol
+    /// (from [`NnError::Unsupported`]).
+    Unsupported {
+        /// The offending layer's name.
+        layer: &'static str,
+        /// The operation the layer does not support.
+        op: &'static str,
+    },
+}
+
+impl std::fmt::Display for FallbackReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FallbackReason::Lifetime => f.write_str("no per-inference fault lifetime model"),
+            FallbackReason::Unsupported { layer, op } => {
+                write!(f, "layer {layer} does not support {op}")
+            }
+        }
+    }
+}
+
+/// One skipped rung of the ladder: which engine was bypassed and why.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FallbackStep {
+    /// The engine that was skipped.
+    pub engine: EngineKind,
+    /// Why it could not run this configuration.
+    pub reason: FallbackReason,
+}
+
+/// Result of [`MonteCarloEngine::run_auto`]: the summary plus a report of
+/// which engine produced it and every rung skipped on the way down.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LadderOutcome {
+    /// The aggregated Monte-Carlo summary.
+    pub summary: MonteCarloSummary,
+    /// The engine that produced the summary.
+    pub engine: EngineKind,
+    /// The rungs skipped before `engine`, in ladder order (empty when the
+    /// fastest engine ran).
+    pub fallbacks: Vec<FallbackStep>,
+}
+
 /// Monte-Carlo fault-simulation engine.
 #[derive(Debug, Clone, Copy)]
 pub struct MonteCarloEngine {
@@ -109,27 +211,48 @@ impl MonteCarloEngine {
         Rng::seed_from(seed ^ (run as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
+    /// Validates the model of `spec` and rejects a per-inference lifetime on
+    /// behalf of an engine whose realizations outlive a single forward pass
+    /// (snapshot/restore brackets, staged stacked buffers). Returns the bare
+    /// model for engines that realize once per run.
+    fn require_static(spec: FaultSpec, engine: &'static str) -> Result<FaultModel> {
+        spec.model.validate()?;
+        if spec.lifetime == FaultLifetime::PerInference {
+            return Err(NnError::fault_unsupported(
+                engine,
+                "per-inference fault lifetime",
+            ));
+        }
+        Ok(spec.model)
+    }
+
     /// Runs the simulation on a single network, injecting and restoring
     /// faults around every evaluation.
     ///
     /// `evaluate` receives the faulty network and returns the metric of
     /// interest (accuracy, mIoU, RMSE, NLL, ...).
     ///
+    /// Accepts a [`FaultModel`] or a [`FaultSpec`]; the snapshot/restore
+    /// bracket holds each realization fixed across the whole `evaluate`
+    /// call, so a per-inference fault lifetime is rejected with
+    /// [`NnError::FaultUnsupported`] — use the planned engines for that.
+    ///
     /// # Errors
     ///
-    /// Returns an error when injection, evaluation or restoration fails; the
+    /// Returns an error when the fault configuration is invalid or
+    /// unsupported, or when injection, evaluation or restoration fails; the
     /// network is restored to its clean weights before the error is returned
     /// whenever possible.
     pub fn run<F>(
         &self,
         network: &mut dyn Layer,
-        fault: FaultModel,
+        fault: impl Into<FaultSpec>,
         mut evaluate: F,
     ) -> Result<MonteCarloSummary>
     where
         F: FnMut(&mut dyn Layer) -> Result<f32>,
     {
-        fault.validate()?;
+        let fault = Self::require_static(fault.into(), "MonteCarloEngine::run")?;
         let mut per_run = Vec::with_capacity(self.runs);
         for run in 0..self.runs {
             // Kept in lockstep with `simulate_one` (the run_parallel inner
@@ -138,7 +261,7 @@ impl MonteCarloEngine {
             // (diagonal higher-ranked lifetime). Any divergence is caught by
             // the `parallel_*_bit_identical*` tests below.
             let mut rng = Self::run_rng(self.seed, run);
-            let mut injector = WeightFaultInjector::new(fault);
+            let mut injector = WeightFaultInjector::new_unchecked(fault);
             injector.inject(network, &mut rng)?;
             let result = evaluate(network);
             // Always restore, even if evaluation failed.
@@ -178,7 +301,7 @@ impl MonteCarloEngine {
     pub fn run_parallel<M, F, E>(
         &self,
         factory: F,
-        fault: FaultModel,
+        fault: impl Into<FaultSpec>,
         evaluate: E,
         threads: usize,
     ) -> Result<MonteCarloSummary>
@@ -187,7 +310,7 @@ impl MonteCarloEngine {
         F: Fn() -> M + Sync,
         E: Fn(&mut M) -> Result<f32> + Sync,
     {
-        fault.validate()?;
+        let fault = Self::require_static(fault.into(), "MonteCarloEngine::run_parallel")?;
         let threads = threads.clamp(1, self.runs);
         let n_chunks = self.runs.div_ceil(Self::CHUNK);
         let seed = self.seed;
@@ -267,17 +390,17 @@ impl MonteCarloEngine {
     pub fn run_quantized<F>(
         &self,
         network: &mut dyn Layer,
-        fault: FaultModel,
+        fault: impl Into<FaultSpec>,
         mut evaluate: F,
     ) -> Result<MonteCarloSummary>
     where
         F: FnMut(&mut dyn Layer) -> Result<f32>,
     {
-        fault.validate()?;
+        let fault = Self::require_static(fault.into(), "MonteCarloEngine::run_quantized")?;
         let mut per_run = Vec::with_capacity(self.runs);
         for run in 0..self.runs {
             let mut rng = Self::run_rng(self.seed, run);
-            let mut injector = CodeFaultInjector::new(fault);
+            let mut injector = CodeFaultInjector::new_unchecked(fault);
             injector.inject(network, &mut rng)?;
             let result = evaluate(network);
             // Always restore, even if evaluation failed.
@@ -330,7 +453,7 @@ impl MonteCarloEngine {
     pub fn run_batched<M, F, E>(
         &self,
         factory: F,
-        fault: FaultModel,
+        fault: impl Into<FaultSpec>,
         input: &Tensor,
         metric: E,
         batch: usize,
@@ -341,6 +464,7 @@ impl MonteCarloEngine {
         F: Fn() -> M + Sync,
         E: Fn(&Tensor) -> Result<f32> + Sync,
     {
+        let fault = Self::require_static(fault.into(), "MonteCarloEngine::run_batched")?;
         self.run_batched_in(
             BatchedDomain::Weights,
             factory,
@@ -366,7 +490,7 @@ impl MonteCarloEngine {
     pub fn run_batched_quantized<M, F, E>(
         &self,
         factory: F,
-        fault: FaultModel,
+        fault: impl Into<FaultSpec>,
         input: &Tensor,
         metric: E,
         batch: usize,
@@ -377,6 +501,7 @@ impl MonteCarloEngine {
         F: Fn() -> M + Sync,
         E: Fn(&Tensor) -> Result<f32> + Sync,
     {
+        let fault = Self::require_static(fault.into(), "MonteCarloEngine::run_batched_quantized")?;
         self.run_batched_in(
             BatchedDomain::Codes,
             factory,
@@ -503,6 +628,15 @@ impl MonteCarloEngine {
     /// loudly with `NnError::Unsupported`. Networks that are stochastic at
     /// evaluation time are not reproducible against the sequential engine.
     ///
+    /// Both fault lifetimes are supported: pass a
+    /// [`FaultSpec`] with [`FaultLifetime::PerInference`] (e.g. transient
+    /// read noise) and the plan re-realizes before every forward and
+    /// disables its frozen-input caching, so each forward sees a fresh
+    /// realization. Since this engine runs exactly one forward per chip
+    /// instance, per-run metrics remain bit-identical to the static
+    /// lifetime — the lifetime only changes behavior for callers driving
+    /// several forwards per realization.
+    ///
     /// # Errors
     ///
     /// Returns an error when compilation, injection, evaluation or the
@@ -511,7 +645,7 @@ impl MonteCarloEngine {
     pub fn run_planned<M, F, E>(
         &self,
         factory: F,
-        fault: FaultModel,
+        fault: impl Into<FaultSpec>,
         input: &Tensor,
         metric: E,
         threads: usize,
@@ -524,7 +658,7 @@ impl MonteCarloEngine {
         self.run_planned_in(
             BatchedDomain::Weights,
             factory,
-            fault,
+            fault.into(),
             input,
             metric,
             threads,
@@ -545,7 +679,7 @@ impl MonteCarloEngine {
     pub fn run_planned_quantized<M, F, E>(
         &self,
         factory: F,
-        fault: FaultModel,
+        fault: impl Into<FaultSpec>,
         input: &Tensor,
         metric: E,
         threads: usize,
@@ -555,14 +689,21 @@ impl MonteCarloEngine {
         F: Fn() -> M + Sync,
         E: Fn(&Tensor) -> Result<f32> + Sync,
     {
-        self.run_planned_in(BatchedDomain::Codes, factory, fault, input, metric, threads)
+        self.run_planned_in(
+            BatchedDomain::Codes,
+            factory,
+            fault.into(),
+            input,
+            metric,
+            threads,
+        )
     }
 
     fn run_planned_in<M, F, E>(
         &self,
         domain: BatchedDomain,
         factory: F,
-        fault: FaultModel,
+        spec: FaultSpec,
         input: &Tensor,
         metric: E,
         threads: usize,
@@ -572,7 +713,9 @@ impl MonteCarloEngine {
         F: Fn() -> M + Sync,
         E: Fn(&Tensor) -> Result<f32> + Sync,
     {
-        fault.validate()?;
+        spec.model.validate()?;
+        let fault = spec.model;
+        let lifetime = spec.lifetime;
         let runs = self.runs;
         let seed = self.seed;
         let threads = threads.clamp(1, runs);
@@ -600,7 +743,10 @@ impl MonteCarloEngine {
                         let end = (start + Self::CHUNK).min(runs);
                         if plan.is_none() {
                             match Plan::compile(&mut model, input) {
-                                Ok(p) => plan = Some(p),
+                                Ok(mut p) => {
+                                    p.set_fault_lifetime(lifetime);
+                                    plan = Some(p);
+                                }
                                 Err(e) => {
                                     local.push((start, Err(e)));
                                     break 'steal;
@@ -680,7 +826,7 @@ impl MonteCarloEngine {
     pub fn run_planned_batched<M, F, E>(
         &self,
         factory: F,
-        fault: FaultModel,
+        fault: impl Into<FaultSpec>,
         input: &Tensor,
         metric: E,
         batch: usize,
@@ -694,7 +840,7 @@ impl MonteCarloEngine {
         self.run_planned_batched_in(
             BatchedDomain::Weights,
             factory,
-            fault,
+            fault.into(),
             input,
             metric,
             batch,
@@ -716,7 +862,7 @@ impl MonteCarloEngine {
     pub fn run_planned_batched_quantized<M, F, E>(
         &self,
         factory: F,
-        fault: FaultModel,
+        fault: impl Into<FaultSpec>,
         input: &Tensor,
         metric: E,
         batch: usize,
@@ -730,7 +876,7 @@ impl MonteCarloEngine {
         self.run_planned_batched_in(
             BatchedDomain::Codes,
             factory,
-            fault,
+            fault.into(),
             input,
             metric,
             batch,
@@ -743,7 +889,7 @@ impl MonteCarloEngine {
         &self,
         domain: BatchedDomain,
         factory: F,
-        fault: FaultModel,
+        spec: FaultSpec,
         input: &Tensor,
         metric: E,
         batch: usize,
@@ -754,7 +900,9 @@ impl MonteCarloEngine {
         F: Fn() -> M + Sync,
         E: Fn(&Tensor) -> Result<f32> + Sync,
     {
-        fault.validate()?;
+        spec.model.validate()?;
+        let fault = spec.model;
+        let lifetime = spec.lifetime;
         let runs = self.runs;
         let seed = self.seed;
         // Cap the stack size so every worker gets at least one batch:
@@ -799,7 +947,10 @@ impl MonteCarloEngine {
                         if plan.as_ref().is_none_or(|p| p.batch() != bsize) {
                             model.plan_end();
                             match Plan::compile_batched(&mut model, input, bsize) {
-                                Ok(p) => plan = Some(p),
+                                Ok(mut p) => {
+                                    p.set_fault_lifetime(lifetime);
+                                    plan = Some(p);
+                                }
                                 Err(e) => {
                                     local.push((start, Err(e)));
                                     break;
@@ -869,10 +1020,10 @@ impl MonteCarloEngine {
         let bsize = rngs.len();
         match domain {
             BatchedDomain::Weights => {
-                WeightFaultInjector::new(fault).realize_plan_batch(model, rngs)?;
+                WeightFaultInjector::new_unchecked(fault).realize_plan_batch(model, rngs)?;
             }
             BatchedDomain::Codes => {
-                CodeFaultInjector::new(fault).realize_plan_batch(model, rngs)?;
+                CodeFaultInjector::new_unchecked(fault).realize_plan_batch(model, rngs)?;
             }
         }
         let out = plan.forward(model)?;
@@ -916,10 +1067,10 @@ impl MonteCarloEngine {
         let mut rng = Self::run_rng(seed, run);
         match domain {
             BatchedDomain::Weights => {
-                WeightFaultInjector::new(fault).realize_plan(model, &mut rng)?;
+                WeightFaultInjector::new_unchecked(fault).realize_plan(model, &mut rng)?;
             }
             BatchedDomain::Codes => {
-                CodeFaultInjector::new(fault).realize_plan(model, &mut rng)?;
+                CodeFaultInjector::new_unchecked(fault).realize_plan(model, &mut rng)?;
             }
         }
         let out = plan.forward(model)?;
@@ -944,10 +1095,10 @@ impl MonteCarloEngine {
         let mut rngs: Vec<Rng> = (0..bsize).map(|i| Self::run_rng(seed, start + i)).collect();
         match domain {
             BatchedDomain::Weights => {
-                WeightFaultInjector::new(fault).realize_batch(model, &mut rngs)?;
+                WeightFaultInjector::new_unchecked(fault).realize_batch(model, &mut rngs)?;
             }
             BatchedDomain::Codes => {
-                CodeFaultInjector::new(fault).realize_batch(model, &mut rngs)?;
+                CodeFaultInjector::new_unchecked(fault).realize_batch(model, &mut rngs)?;
             }
         }
         let (out, shared) = model.forward_batched(input, true, bsize, Mode::Eval)?;
@@ -989,7 +1140,7 @@ impl MonteCarloEngine {
         evaluate: impl FnOnce(&mut M) -> Result<f32>,
     ) -> Result<f32> {
         let mut rng = Self::run_rng(seed, run);
-        let mut injector = WeightFaultInjector::new(fault);
+        let mut injector = WeightFaultInjector::new_unchecked(fault);
         injector.inject(model, &mut rng)?;
         let result = evaluate(model);
         // Always restore, even if evaluation failed.
@@ -1018,6 +1169,129 @@ impl MonteCarloEngine {
             .iter()
             .map(|&fault| self.run(network, fault, &mut evaluate))
             .collect()
+    }
+
+    /// Runs the simulation on the fastest engine that supports the fault
+    /// configuration and the network, degrading gracefully down the ladder
+    /// `run_planned_batched` → `run_planned` → `run_batched` →
+    /// `run_parallel` and reporting every skipped rung with a typed reason.
+    ///
+    /// Two kinds of capability gaps trigger a fallback:
+    ///
+    /// - **Lifetime**: a per-inference fault lifetime is only honored by the
+    ///   planned engines (the plan re-realizes before every forward and
+    ///   disables frozen-input caching); the direct batched and parallel
+    ///   engines are skipped pre-flight with [`FallbackReason::Lifetime`].
+    /// - **Layer support**: a layer that rejects compiled plans or batched
+    ///   evaluation surfaces as [`NnError::Unsupported`], recorded as
+    ///   [`FallbackReason::Unsupported`]; the ladder continues downward.
+    ///   `run_parallel` at the bottom supports every layer.
+    ///
+    /// Per-run metrics are **bit-identical** across all rungs for every
+    /// configuration two engines both support, so degrading never changes
+    /// the reported statistics — only throughput. Under
+    /// [`DegradationPolicy::Strict`] no fallback happens: the fastest engine
+    /// runs and any error propagates loudly, preserving the pre-ladder
+    /// behavior.
+    ///
+    /// # Errors
+    ///
+    /// Returns the fastest engine's error under `Strict`; under `Graceful`,
+    /// propagates the first non-capability error immediately, and returns
+    /// [`NnError::FaultUnsupported`] listing every rung's reason when the
+    /// whole ladder is exhausted (e.g. an unplannable layer combined with a
+    /// per-inference lifetime). Also fails when the fault model itself is
+    /// invalid, or when any metric is non-finite.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_auto<M, F, E>(
+        &self,
+        factory: F,
+        fault: impl Into<FaultSpec>,
+        input: &Tensor,
+        metric: E,
+        batch: usize,
+        threads: usize,
+        policy: DegradationPolicy,
+    ) -> Result<LadderOutcome>
+    where
+        M: Layer + Send,
+        F: Fn() -> M + Sync,
+        E: Fn(&Tensor) -> Result<f32> + Sync,
+    {
+        let spec = fault.into();
+        spec.model.validate()?;
+        if policy == DegradationPolicy::Strict {
+            let summary = self.run_planned_batched(factory, spec, input, metric, batch, threads)?;
+            return Ok(LadderOutcome {
+                summary,
+                engine: EngineKind::PlannedBatched,
+                fallbacks: Vec::new(),
+            });
+        }
+        let mut fallbacks: Vec<FallbackStep> = Vec::new();
+        for engine in [
+            EngineKind::PlannedBatched,
+            EngineKind::Planned,
+            EngineKind::Batched,
+            EngineKind::Parallel,
+        ] {
+            // Pre-flight: the direct engines have no fault-lifetime model
+            // (their realizations outlive a forward pass), so a
+            // per-inference lifetime cannot reach them.
+            if spec.lifetime == FaultLifetime::PerInference
+                && matches!(engine, EngineKind::Batched | EngineKind::Parallel)
+            {
+                fallbacks.push(FallbackStep {
+                    engine,
+                    reason: FallbackReason::Lifetime,
+                });
+                continue;
+            }
+            let result = match engine {
+                EngineKind::PlannedBatched => {
+                    self.run_planned_batched(&factory, spec, input, &metric, batch, threads)
+                }
+                EngineKind::Planned => self.run_planned(&factory, spec, input, &metric, threads),
+                EngineKind::Batched => {
+                    self.run_batched(&factory, spec, input, &metric, batch, threads)
+                }
+                EngineKind::Parallel => self.run_parallel(
+                    &factory,
+                    spec,
+                    |m: &mut M| {
+                        let out = m.forward(input, Mode::Eval)?;
+                        metric(&out)
+                    },
+                    threads,
+                ),
+            };
+            match result {
+                Ok(summary) => {
+                    return Ok(LadderOutcome {
+                        summary,
+                        engine,
+                        fallbacks,
+                    })
+                }
+                // A capability gap, not a failure: record it and degrade.
+                Err(NnError::Unsupported { layer, op }) => {
+                    fallbacks.push(FallbackStep {
+                        engine,
+                        reason: FallbackReason::Unsupported { layer, op },
+                    });
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let reasons = fallbacks
+            .iter()
+            .map(|step| format!("{} ({})", step.engine.name(), step.reason))
+            .collect::<Vec<_>>()
+            .join(", ");
+        Err(NnError::fault_unsupported(
+            "MonteCarloEngine::run_auto",
+            format!("the fault configuration on any engine: {reasons}"),
+        ))
     }
 }
 
@@ -1980,5 +2254,486 @@ mod tests {
         assert_eq!(MonteCarloEngine::new(0, 1).runs(), 1);
         assert_eq!(MonteCarloEngine::paper_default().runs(), 100);
         assert_eq!(MonteCarloEngine::default().runs(), 100);
+    }
+
+    fn structured_fault_models() -> [FaultModel; 3] {
+        use crate::crossbar::TileShape;
+        use crate::fault::LineOrientation;
+        [
+            FaultModel::LineDefect {
+                orientation: LineOrientation::Row,
+                rate: 0.25,
+                tile: TileShape { rows: 4, cols: 4 },
+            },
+            FaultModel::LineDefect {
+                orientation: LineOrientation::Col,
+                rate: 0.25,
+                tile: TileShape { rows: 3, cols: 5 },
+            },
+            FaultModel::CorrelatedDrift {
+                nu: 0.08,
+                time_ratio: 100.0,
+                sigma_nu: 0.4,
+                tile: TileShape { rows: 4, cols: 4 },
+            },
+        ]
+    }
+
+    /// The tentpole guarantee: structured topologies (whole stuck lines,
+    /// per-tile correlated drift) run on every engine of the ladder with
+    /// per-run metrics bit-identical to the sequential reference, for every
+    /// thread count — on a norm-bearing MLP and a CNN.
+    #[test]
+    fn structured_faults_are_bit_identical_across_all_engines() {
+        type NetCase = (fn(u64) -> Sequential, u64, &'static [usize]);
+        let engine = MonteCarloEngine::new(8, 2024);
+        let nets: [NetCase; 2] = [
+            (mlp_with_norm, 211, &[5, 8]),
+            (small_cnn, 212, &[2, 2, 8, 8]),
+        ];
+        for (build, seed, dims) in nets {
+            let x = Tensor::randn(dims, 0.0, 1.0, &mut Rng::seed_from(seed ^ 0xF00D));
+            for fault in structured_fault_models() {
+                let mut net = build(seed);
+                let xc = x.clone();
+                let sequential = engine
+                    .run(&mut net, fault, |n| Ok(n.forward(&xc, Mode::Eval)?.sum()))
+                    .unwrap();
+                for threads in [1usize, 4] {
+                    let xc = x.clone();
+                    let parallel = engine
+                        .run_parallel(
+                            || build(seed),
+                            fault,
+                            |m: &mut Sequential| Ok(m.forward(&xc, Mode::Eval)?.sum()),
+                            threads,
+                        )
+                        .unwrap();
+                    let batched = engine
+                        .run_batched(|| build(seed), fault, &x, |out| Ok(out.sum()), 3, threads)
+                        .unwrap();
+                    let planned = engine
+                        .run_planned(|| build(seed), fault, &x, |out| Ok(out.sum()), threads)
+                        .unwrap();
+                    let planned_batched = engine
+                        .run_planned_batched(
+                            || build(seed),
+                            fault,
+                            &x,
+                            |out| Ok(out.sum()),
+                            3,
+                            threads,
+                        )
+                        .unwrap();
+                    for (name, summary) in [
+                        ("run_parallel", &parallel),
+                        ("run_batched", &batched),
+                        ("run_planned", &planned),
+                        ("run_planned_batched", &planned_batched),
+                    ] {
+                        let identical = sequential
+                            .per_run
+                            .iter()
+                            .zip(summary.per_run.iter())
+                            .all(|(a, b)| a.to_bits() == b.to_bits());
+                        assert!(
+                            identical,
+                            "{fault:?} {name} threads={threads}: {:?} vs {:?}",
+                            sequential.per_run, summary.per_run
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Code-domain counterpart: structured faults land on the i8 codes and
+    /// the quantized engines stay bit-identical to `run_quantized`.
+    #[test]
+    fn structured_code_faults_are_bit_identical_across_quantized_engines() {
+        let x = Tensor::randn(&[5, 12], 0.0, 1.0, &mut Rng::seed_from(221));
+        let engine = MonteCarloEngine::new(8, 4025);
+        for fault in structured_fault_models() {
+            let mut net = quantized_net(222);
+            let xc = x.clone();
+            let sequential = engine
+                .run_quantized(&mut net, fault, |n| Ok(n.forward(&xc, Mode::Eval)?.sum()))
+                .unwrap();
+            for threads in [1usize, 4] {
+                let batched = engine
+                    .run_batched_quantized(
+                        || quantized_net(222),
+                        fault,
+                        &x,
+                        |out| Ok(out.sum()),
+                        3,
+                        threads,
+                    )
+                    .unwrap();
+                let planned = engine
+                    .run_planned_quantized(
+                        || quantized_net(222),
+                        fault,
+                        &x,
+                        |out| Ok(out.sum()),
+                        threads,
+                    )
+                    .unwrap();
+                let planned_batched = engine
+                    .run_planned_batched_quantized(
+                        || quantized_net(222),
+                        fault,
+                        &x,
+                        |out| Ok(out.sum()),
+                        3,
+                        threads,
+                    )
+                    .unwrap();
+                for (name, summary) in [
+                    ("run_batched_quantized", &batched),
+                    ("run_planned_quantized", &planned),
+                    ("run_planned_batched_quantized", &planned_batched),
+                ] {
+                    let identical = sequential
+                        .per_run
+                        .iter()
+                        .zip(summary.per_run.iter())
+                        .all(|(a, b)| a.to_bits() == b.to_bits());
+                    assert!(identical, "{fault:?} {name} threads={threads}");
+                }
+            }
+        }
+    }
+
+    /// The lifetime protocol at the plan level: under `PerInference` the
+    /// harness re-realizes before every forward from one continuing stream,
+    /// so consecutive forwards of the same chip instance differ; under
+    /// `Static` one realization is evaluated repeatedly and every forward is
+    /// bit-identical.
+    #[test]
+    fn per_inference_lifetime_redraws_noise_between_forwards() {
+        let fault = FaultModel::AdditiveVariation { sigma: 0.2 };
+        let x = Tensor::randn(&[4, 8], 0.0, 1.0, &mut Rng::seed_from(231));
+
+        let mut net = mlp_with_norm(232);
+        let mut plan = Plan::compile(&mut net, &x).unwrap();
+        plan.set_fault_lifetime(FaultLifetime::PerInference);
+        assert_eq!(plan.fault_lifetime(), FaultLifetime::PerInference);
+        let mut rng = Rng::seed_from(7);
+        WeightFaultInjector::new_unchecked(fault)
+            .realize_plan(&mut net, &mut rng)
+            .unwrap();
+        let out1 = plan.forward(&mut net).unwrap().clone();
+        WeightFaultInjector::new_unchecked(fault)
+            .realize_plan(&mut net, &mut rng)
+            .unwrap();
+        let out2 = plan.forward(&mut net).unwrap().clone();
+        net.plan_end();
+        assert!(
+            !out1.approx_eq(&out2, 1e-6),
+            "per-inference realizations must differ between forwards"
+        );
+
+        let mut net = mlp_with_norm(232);
+        let mut plan = Plan::compile(&mut net, &x).unwrap();
+        assert_eq!(plan.fault_lifetime(), FaultLifetime::Static);
+        let mut rng = Rng::seed_from(7);
+        WeightFaultInjector::new_unchecked(fault)
+            .realize_plan(&mut net, &mut rng)
+            .unwrap();
+        let a = plan.forward(&mut net).unwrap().clone();
+        let b = plan.forward(&mut net).unwrap().clone();
+        net.plan_end();
+        let identical = a
+            .data()
+            .iter()
+            .zip(b.data().iter())
+            .all(|(p, q)| p.to_bits() == q.to_bits());
+        assert!(identical, "static realizations must repeat bit-identically");
+    }
+
+    /// The documented reproducibility boundary: the Monte-Carlo engines run
+    /// exactly one forward per chip instance, so a per-inference lifetime
+    /// yields per-run metrics bit-identical to the static lifetime on the
+    /// planned engines — and the non-frozen execution path it switches on is
+    /// bit-identical to the frozen one.
+    #[test]
+    fn per_inference_matches_static_for_single_forward_metrics() {
+        let x = Tensor::randn(&[6, 8], 0.0, 1.0, &mut Rng::seed_from(241));
+        let engine = MonteCarloEngine::new(8, 3003);
+        for fault in [
+            FaultModel::AdditiveVariation { sigma: 0.3 },
+            structured_fault_models()[0],
+            structured_fault_models()[2],
+        ] {
+            let per_inference = FaultSpec::per_inference(fault);
+            for threads in [1usize, 4] {
+                let st = engine
+                    .run_planned(|| mlp_with_norm(242), fault, &x, |o| Ok(o.sum()), threads)
+                    .unwrap();
+                let pi = engine
+                    .run_planned(
+                        || mlp_with_norm(242),
+                        per_inference,
+                        &x,
+                        |o| Ok(o.sum()),
+                        threads,
+                    )
+                    .unwrap();
+                let st_b = engine
+                    .run_planned_batched(
+                        || mlp_with_norm(242),
+                        fault,
+                        &x,
+                        |o| Ok(o.sum()),
+                        3,
+                        threads,
+                    )
+                    .unwrap();
+                let pi_b = engine
+                    .run_planned_batched(
+                        || mlp_with_norm(242),
+                        per_inference,
+                        &x,
+                        |o| Ok(o.sum()),
+                        3,
+                        threads,
+                    )
+                    .unwrap();
+                for (name, a, b) in [
+                    ("run_planned", &st, &pi),
+                    ("run_planned_batched", &st_b, &pi_b),
+                    ("static planned vs planned_batched", &st, &st_b),
+                ] {
+                    let identical = a
+                        .per_run
+                        .iter()
+                        .zip(b.per_run.iter())
+                        .all(|(p, q)| p.to_bits() == q.to_bits());
+                    assert!(identical, "{fault:?} {name} threads={threads}");
+                }
+            }
+        }
+    }
+
+    /// The direct engines have no fault-lifetime model: a per-inference
+    /// spec is rejected loudly with a typed `FaultUnsupported`, naming the
+    /// engine entry point.
+    #[test]
+    fn direct_engines_reject_per_inference_lifetime() {
+        let engine = MonteCarloEngine::new(4, 9);
+        let spec = FaultSpec::per_inference(FaultModel::AdditiveVariation { sigma: 0.1 });
+        let x = Tensor::randn(&[3, 8], 0.0, 1.0, &mut Rng::seed_from(251));
+
+        let mut net = mlp_with_norm(252);
+        let xc = x.clone();
+        let err = engine
+            .run(&mut net, spec, |n| Ok(n.forward(&xc, Mode::Eval)?.sum()))
+            .unwrap_err();
+        assert!(
+            matches!(err, NnError::FaultUnsupported { .. }),
+            "unexpected error: {err}"
+        );
+        assert_eq!(
+            err.to_string(),
+            "MonteCarloEngine::run does not support per-inference fault lifetime"
+        );
+
+        let xc = x.clone();
+        let err = engine
+            .run_parallel(
+                || mlp_with_norm(252),
+                spec,
+                |m: &mut Sequential| Ok(m.forward(&xc, Mode::Eval)?.sum()),
+                2,
+            )
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("MonteCarloEngine::run_parallel"), "{err}");
+
+        let err = engine
+            .run_batched(|| mlp_with_norm(252), spec, &x, |o| Ok(o.sum()), 2, 2)
+            .unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "MonteCarloEngine::run_batched does not support per-inference fault lifetime"
+        );
+
+        let xq = Tensor::randn(&[3, 12], 0.0, 1.0, &mut Rng::seed_from(253));
+        let mut qnet = quantized_net(254);
+        let xc = xq.clone();
+        let err = engine
+            .run_quantized(&mut qnet, spec, |n| Ok(n.forward(&xc, Mode::Eval)?.sum()))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("MonteCarloEngine::run_quantized"), "{err}");
+        let err = engine
+            .run_batched_quantized(|| quantized_net(254), spec, &xq, |o| Ok(o.sum()), 2, 2)
+            .unwrap_err()
+            .to_string();
+        assert!(
+            err.contains("MonteCarloEngine::run_batched_quantized"),
+            "{err}"
+        );
+    }
+
+    /// The ladder on a fully-capable network: the fastest engine wins, no
+    /// fallbacks are recorded, and the outcome matches the sequential
+    /// reference bit for bit.
+    #[test]
+    fn run_auto_uses_fastest_engine_when_supported() {
+        let x = Tensor::randn(&[5, 8], 0.0, 1.0, &mut Rng::seed_from(261));
+        let engine = MonteCarloEngine::new(8, 777);
+        let fault = structured_fault_models()[0];
+        let mut net = mlp_with_norm(262);
+        let xc = x.clone();
+        let sequential = engine
+            .run(&mut net, fault, |n| Ok(n.forward(&xc, Mode::Eval)?.sum()))
+            .unwrap();
+        for policy in [DegradationPolicy::Graceful, DegradationPolicy::Strict] {
+            let outcome = engine
+                .run_auto(
+                    || mlp_with_norm(262),
+                    fault,
+                    &x,
+                    |o| Ok(o.sum()),
+                    3,
+                    2,
+                    policy,
+                )
+                .unwrap();
+            assert_eq!(outcome.engine, EngineKind::PlannedBatched);
+            assert!(outcome.fallbacks.is_empty());
+            let identical = sequential
+                .per_run
+                .iter()
+                .zip(outcome.summary.per_run.iter())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(identical, "{policy:?}");
+        }
+    }
+
+    /// An unplannable, unbatchable layer (Lstm) degrades all the way to
+    /// `run_parallel` under the graceful policy, with one typed reason per
+    /// skipped rung — and still reproduces the sequential reference.
+    #[test]
+    fn run_auto_degrades_to_parallel_for_unsupported_layers() {
+        use invnorm_nn::lstm::Lstm;
+        let build = || -> Sequential {
+            let mut rng = Rng::seed_from(271);
+            Sequential::new().with(Box::new(Lstm::new(4, 6, false, &mut rng)))
+        };
+        let x = Tensor::randn(&[2, 5, 4], 0.0, 1.0, &mut Rng::seed_from(272));
+        let engine = MonteCarloEngine::new(5, 31);
+        let fault = FaultModel::AdditiveVariation { sigma: 0.1 };
+        let mut net = build();
+        let xc = x.clone();
+        let sequential = engine
+            .run(&mut net, fault, |n| Ok(n.forward(&xc, Mode::Eval)?.sum()))
+            .unwrap();
+        let outcome = engine
+            .run_auto(
+                build,
+                fault,
+                &x,
+                |o| Ok(o.sum()),
+                2,
+                1,
+                DegradationPolicy::Graceful,
+            )
+            .unwrap();
+        assert_eq!(outcome.engine, EngineKind::Parallel);
+        assert_eq!(outcome.fallbacks.len(), 3);
+        for (step, expected_engine) in outcome.fallbacks.iter().zip([
+            EngineKind::PlannedBatched,
+            EngineKind::Planned,
+            EngineKind::Batched,
+        ]) {
+            assert_eq!(step.engine, expected_engine);
+            match &step.reason {
+                FallbackReason::Unsupported { layer, .. } => assert_eq!(*layer, "Lstm"),
+                other => panic!("expected a layer-support reason, got {other:?}"),
+            }
+        }
+        let identical = sequential
+            .per_run
+            .iter()
+            .zip(outcome.summary.per_run.iter())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(identical);
+
+        // Strict mode keeps today's loud failure instead of degrading.
+        let err = engine
+            .run_auto(
+                build,
+                fault,
+                &x,
+                |o| Ok(o.sum()),
+                2,
+                1,
+                DegradationPolicy::Strict,
+            )
+            .unwrap_err()
+            .to_string();
+        assert!(
+            err.contains("compiled plans") && err.contains("Lstm"),
+            "unexpected error: {err}"
+        );
+    }
+
+    /// A per-inference lifetime rules out the direct engines pre-flight; an
+    /// unplannable layer rules out the planned ones. Together they exhaust
+    /// the ladder, and the error lists every rung's reason.
+    #[test]
+    fn run_auto_reports_exhausted_ladder() {
+        use invnorm_nn::lstm::Lstm;
+        let build = || -> Sequential {
+            let mut rng = Rng::seed_from(281);
+            Sequential::new().with(Box::new(Lstm::new(4, 6, false, &mut rng)))
+        };
+        let x = Tensor::randn(&[2, 5, 4], 0.0, 1.0, &mut Rng::seed_from(282));
+        let engine = MonteCarloEngine::new(4, 13);
+        let spec = FaultSpec::per_inference(FaultModel::AdditiveVariation { sigma: 0.1 });
+        let err = engine
+            .run_auto(
+                build,
+                spec,
+                &x,
+                |o| Ok(o.sum()),
+                2,
+                1,
+                DegradationPolicy::Graceful,
+            )
+            .unwrap_err();
+        assert!(matches!(err, NnError::FaultUnsupported { .. }));
+        let msg = err.to_string();
+        for part in [
+            "MonteCarloEngine::run_auto",
+            "run_planned_batched",
+            "run_planned",
+            "run_batched",
+            "run_parallel",
+            "Lstm",
+            "no per-inference fault lifetime model",
+        ] {
+            assert!(msg.contains(part), "missing {part:?} in: {msg}");
+        }
+
+        // A per-inference lifetime alone (plannable network) still runs —
+        // on the fastest rung, with no fallbacks.
+        let x = Tensor::randn(&[4, 8], 0.0, 1.0, &mut Rng::seed_from(283));
+        let outcome = engine
+            .run_auto(
+                || mlp_with_norm(284),
+                spec,
+                &x,
+                |o| Ok(o.sum()),
+                2,
+                1,
+                DegradationPolicy::Graceful,
+            )
+            .unwrap();
+        assert_eq!(outcome.engine, EngineKind::PlannedBatched);
+        assert!(outcome.fallbacks.is_empty());
     }
 }

@@ -29,6 +29,17 @@ pub enum NnError {
         /// The unsupported operation, e.g. `"batched evaluation"`.
         op: &'static str,
     },
+    /// An execution engine cannot honor the requested fault configuration
+    /// (e.g. a per-inference fault lifetime on a path that realizes faults
+    /// once per run). Typed so graceful-degradation policies can distinguish
+    /// a capability gap — fall down the engine ladder — from a genuine
+    /// failure that must propagate.
+    FaultUnsupported {
+        /// The engine entry point that rejected the configuration.
+        engine: &'static str,
+        /// What about the fault configuration is unsupported.
+        reason: String,
+    },
     /// An activation handed to a compiled plan does not match the shape the
     /// plan was compiled for. Typed (rather than a formatted `Config`
     /// string) so the Monte-Carlo engines and callers can distinguish a
@@ -47,6 +58,14 @@ impl NnError {
     /// Convenience constructor for [`NnError::Unsupported`].
     pub fn unsupported(layer: &'static str, op: &'static str) -> Self {
         NnError::Unsupported { layer, op }
+    }
+
+    /// Convenience constructor for [`NnError::FaultUnsupported`].
+    pub fn fault_unsupported(engine: &'static str, reason: impl Into<String>) -> Self {
+        NnError::FaultUnsupported {
+            engine,
+            reason: reason.into(),
+        }
     }
 
     /// Convenience constructor for [`NnError::ShapeMismatch`].
@@ -76,6 +95,9 @@ impl fmt::Display for NnError {
             ),
             NnError::Unsupported { layer, op } => {
                 write!(f, "layer {layer} does not support {op}")
+            }
+            NnError::FaultUnsupported { engine, reason } => {
+                write!(f, "{engine} does not support {reason}")
             }
             NnError::ShapeMismatch {
                 context,
@@ -121,6 +143,14 @@ mod tests {
         assert_eq!(
             e.to_string(),
             "layer Lstm does not support batched evaluation"
+        );
+        let e = NnError::fault_unsupported(
+            "MonteCarloEngine::run_batched",
+            "per-inference fault lifetime",
+        );
+        assert_eq!(
+            e.to_string(),
+            "MonteCarloEngine::run_batched does not support per-inference fault lifetime"
         );
     }
 

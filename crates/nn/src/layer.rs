@@ -88,6 +88,9 @@ pub struct CodeView<'a> {
     pub codes: &'a mut [i8],
     /// Bit width of the quantized representation (≤ 8).
     pub bits: u8,
+    /// Leading (output) dimension of the code matrix — the row count
+    /// structured tile topologies map crossbar lines onto.
+    pub rows: usize,
 }
 
 /// Stacked per-realization storage for one fault-targetable parameter,
@@ -232,6 +235,9 @@ pub struct BatchedCodeView<'a> {
     pub clean: &'a [i8],
     /// Bit width of the quantized representation (≤ 8).
     pub bits: u8,
+    /// Leading (output) dimension of one realization's code matrix — the
+    /// row count structured tile topologies map crossbar lines onto.
+    pub rows: usize,
     /// The stacked realizations staged by [`Layer::begin_batched`].
     pub stacked: &'a mut BatchedCodes,
 }

@@ -41,6 +41,33 @@ use crate::Result;
 use invnorm_tensor::gemm::PackedB;
 use invnorm_tensor::qgemm::QPackedB;
 use invnorm_tensor::{Arena, ArenaSlot, DirtyRows, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// When a fault realization is drawn relative to the inference stream — the
+/// **lifetime** axis of a fault specification.
+///
+/// `Static` faults are programming-time defects: one realization per chip
+/// instance, persisting across every forward pass of that instance. To honor
+/// `PerInference` faults — transient read noise, re-drawn before every
+/// forward pass — the caller re-realizes before each [`Plan::forward`], and
+/// the plan must not reuse realization-coupled state between passes. A
+/// [`Plan`] models the lifetime explicitly ([`Plan::set_fault_lifetime`]):
+/// under `PerInference` it stops asserting the frozen-input property, so
+/// first-layer caches keyed on a run-invariant input edge (packed activation
+/// panels, the fused wide-GEMM path) are bypassed and every pass re-derives
+/// its input-side operands. The frozen and non-frozen execution paths are
+/// bit-identical for the same realization (the caching is a pure
+/// optimization), so the lifetime controls *when noise is drawn*, never the
+/// arithmetic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultLifetime {
+    /// Drawn once per chip instance; the realization persists across every
+    /// forward pass of that instance's run.
+    #[default]
+    Static,
+    /// Re-drawn before every forward pass (transient read noise).
+    PerInference,
+}
 
 /// The per-plan buffer arenas, one per element type so f32 activations, i8
 /// quantization codes and i32 accumulators each live in a single allocation.
@@ -188,10 +215,18 @@ pub struct PlanCodeView<'a> {
     pub clean: &'a [i8],
     /// Bit width of the quantized representation (≤ 8).
     pub bits: u8,
+    /// Leading (output) dimension of one realization's code matrix — the
+    /// row count structured tile topologies map crossbar lines onto.
+    pub rows: usize,
     /// The faulty code buffer the packed panels are refreshed from.
     pub faulty: &'a mut [i8],
     /// Rows the injector perturbed.
     pub dirty: &'a mut DirtyRows,
+    /// Sparse packed-domain realization bookkeeping (see
+    /// [`PlanParamView::cells`]): injectors recording exact fired cells let
+    /// the refresh scatter them through [`QPackedB::write_cell`] instead of
+    /// re-packing whole dirty rows.
+    pub cells: &'a mut SparseCells,
 }
 
 /// Exact-cell realization bookkeeping for sparse packed-domain injection.
@@ -596,10 +631,13 @@ impl PlannedWeight {
 /// Cached packed i8 code operand with per-realization bookkeeping — the
 /// quantized layers' counterpart of [`PlannedWeight`], likewise stacking
 /// `batch` realizations for batched plans. There is no uniform-scale regime
-/// in the code domain (drift rounds per code) and no packed-domain cell path
-/// (the quad-interleaved packing makes single-cell writes unprofitable), so
-/// only the sparse dirty-row and clean regimes are tracked, with the same
-/// merge → repack → swap contract per realization range.
+/// in the code domain (drift rounds per code), so three regimes are tracked:
+/// sparse dirty rows, exact sparse cells and clean, with the same
+/// merge → repack → swap contract per realization range. The cell regime
+/// scatters through [`QPackedB::write_cell`] — per-cell writes into the
+/// quad-interleaved packing are unprofitable for i.i.d. scatter, but
+/// structured line defects fire whole tile lines whose exact cell lists stay
+/// far below the row-granular re-pack cost.
 #[derive(Debug)]
 pub struct PlannedCodes {
     packed_clean: QPackedB,
@@ -611,6 +649,7 @@ pub struct PlannedCodes {
     pub dirty: DirtyRows,
     /// Rows where the panels still differ from the clean operand.
     stale: DirtyRows,
+    cells: SparseCells,
     batch: usize,
     rows: usize,
     /// Wide representation over the whole stacked `[batch · rows, k]` code
@@ -645,6 +684,7 @@ impl PlannedCodes {
             faulty,
             dirty: DirtyRows::new(batch * n),
             stale: DirtyRows::new(batch * n),
+            cells: SparseCells::new(batch, codes.len()),
             batch,
             rows: n,
             wide: QPackedB::new(),
@@ -672,10 +712,11 @@ impl PlannedCodes {
     /// Brings the wide stacked operand up to date and returns it ready for
     /// the fused `[N, B·out]` integer GEMM (see
     /// [`PlannedWeight::refresh_wide`]; the code domain has no
-    /// uniform-scale or cell regime).
+    /// uniform-scale regime).
     pub fn refresh_wide(&mut self) -> &QPackedB {
         let nw = self.batch * self.rows;
         let k = self.clean.len().checked_div(self.rows).unwrap_or(0);
+        let numel = self.clean.len();
         if self.wide.n() != nw {
             let mut tiled = Vec::with_capacity(self.batch * self.clean.len());
             for _ in 0..self.batch {
@@ -683,12 +724,47 @@ impl PlannedCodes {
             }
             self.wide.pack(true, &tiled, k, nw);
         }
-        if self.dirty.any() || self.wide_stale.any() {
+        let all_sparse = (0..self.batch).all(|b| {
+            self.cells.pending[b] && self.cells.panel[b].exact && self.cells.faulty[b].exact
+        });
+        if all_sparse {
+            // Packed-domain cell update over the stacked operand (see
+            // [`PlannedWeight::refresh_wide`]): revert every realization's
+            // previous cells, scatter the new ones.
+            for b in 0..self.batch {
+                let row0 = b * self.rows;
+                let fb = &self.faulty[b * numel..][..numel];
+                for &i in &self.cells.panel[b].idx {
+                    let i = i as usize;
+                    self.wide.write_cell(row0 + i / k, i % k, self.clean[i]);
+                }
+                for &i in &self.cells.faulty[b].idx {
+                    let i = i as usize;
+                    self.wide.write_cell(row0 + i / k, i % k, fb[i]);
+                }
+                let SparseCells { faulty, panel, .. } = &mut self.cells;
+                panel[b].idx.clone_from(&faulty[b].idx);
+                panel[b].exact = true;
+            }
+            std::mem::swap(&mut self.wide_stale, &mut self.dirty);
+            self.dirty.clear();
+        } else if self.dirty.any() || self.wide_stale.any() {
             self.wide_stale.merge(&self.dirty);
             self.wide.repack_rows(&self.faulty, &self.wide_stale, 0);
             std::mem::swap(&mut self.wide_stale, &mut self.dirty);
             self.dirty.clear();
+            for b in 0..self.batch {
+                if self.cells.pending[b] {
+                    let SparseCells { faulty, panel, .. } = &mut self.cells;
+                    panel[b].idx.clone_from(&faulty[b].idx);
+                    panel[b].exact = faulty[b].exact;
+                } else {
+                    self.cells.panel[b].set_unknown();
+                    self.cells.faulty[b].set_unknown();
+                }
+            }
         }
+        self.cells.pending.fill(false);
         &self.wide
     }
 
@@ -699,13 +775,42 @@ impl PlannedCodes {
             self.panels = vec![self.packed_clean.clone(); self.batch];
         }
         let numel = self.faulty.len() / self.batch;
+        let k = numel.checked_div(self.rows).unwrap_or(0);
         for b in 0..self.batch {
             let (lo, hi) = (b * self.rows, (b + 1) * self.rows);
-            if self.dirty.any_in(lo, hi) || self.stale.any_in(lo, hi) {
-                self.stale.merge_range(&self.dirty, lo, hi);
-                self.panels[b].repack_rows(&self.faulty[b * numel..][..numel], &self.stale, lo);
+            let faulty_b = &self.faulty[b * numel..][..numel];
+            let panel = &mut self.panels[b];
+            let pending = std::mem::replace(&mut self.cells.pending[b], false);
+            if pending && self.cells.panel[b].exact && self.cells.faulty[b].exact {
+                // Packed-domain cell update (see
+                // [`PlannedWeight::refresh_all`]): revert the previous
+                // realization's cells to clean, scatter this realization's.
+                for &i in &self.cells.panel[b].idx {
+                    let i = i as usize;
+                    panel.write_cell(i / k, i % k, self.clean[i]);
+                }
+                for &i in &self.cells.faulty[b].idx {
+                    let i = i as usize;
+                    panel.write_cell(i / k, i % k, faulty_b[i]);
+                }
+                let (panel_list, faulty_list) = (&mut self.cells.panel[b], &self.cells.faulty[b]);
+                panel_list.idx.clone_from(&faulty_list.idx);
+                panel_list.exact = true;
                 self.stale.copy_range(&self.dirty, lo, hi);
                 self.dirty.clear_range(lo, hi);
+            } else if self.dirty.any_in(lo, hi) || self.stale.any_in(lo, hi) {
+                self.stale.merge_range(&self.dirty, lo, hi);
+                panel.repack_rows(faulty_b, &self.stale, lo);
+                self.stale.copy_range(&self.dirty, lo, hi);
+                self.dirty.clear_range(lo, hi);
+                if pending {
+                    let SparseCells { faulty, panel, .. } = &mut self.cells;
+                    panel[b].idx.clone_from(&faulty[b].idx);
+                    panel[b].exact = faulty[b].exact;
+                } else {
+                    self.cells.panel[b].set_unknown();
+                    self.cells.faulty[b].set_unknown();
+                }
             }
         }
     }
@@ -716,8 +821,10 @@ impl PlannedCodes {
             index,
             clean,
             bits,
+            rows: self.rows,
             faulty: &mut self.faulty,
             dirty: &mut self.dirty,
+            cells: &mut self.cells,
         }
     }
 }
@@ -739,6 +846,7 @@ pub struct Plan {
     /// Per-realization input dims (`input.dims` with the leading dimension
     /// divided by `batch`) — the shape [`Plan::load_input`] accepts.
     per_dims: Vec<usize>,
+    lifetime: FaultLifetime,
 }
 
 impl Plan {
@@ -804,6 +912,7 @@ impl Plan {
             gen: 0,
             batch,
             per_dims,
+            lifetime: FaultLifetime::Static,
         };
         plan.load_input(example)?;
         Ok(plan)
@@ -839,6 +948,21 @@ impl Plan {
         self.batch
     }
 
+    /// Declares the fault lifetime subsequent forwards run under (see
+    /// [`FaultLifetime`]). Under [`FaultLifetime::PerInference`] the plan
+    /// stops asserting the frozen-input property, so input-derived caches
+    /// (packed activation panels, the fused wide-GEMM path) are bypassed and
+    /// every pass consumes the freshly realized operands; setting
+    /// [`FaultLifetime::Static`] back restores the caching.
+    pub fn set_fault_lifetime(&mut self, lifetime: FaultLifetime) {
+        self.lifetime = lifetime;
+    }
+
+    /// The fault lifetime this plan currently models.
+    pub fn fault_lifetime(&self) -> FaultLifetime {
+        self.lifetime
+    }
+
     /// Runs one planned forward pass over the loaded input, consuming each
     /// layer's faulty weight buffers (re-packing dirty panels on the way),
     /// and returns the output. Steady-state calls perform zero heap
@@ -851,7 +975,10 @@ impl Plan {
     pub fn forward<M: Layer + ?Sized>(&mut self, model: &mut M) -> Result<&Tensor> {
         let ctx = PlanCtx {
             input_gen: self.gen,
-            frozen: true,
+            // A per-inference fault lifetime voids the frozen-input
+            // property: caches keyed on a run-invariant input edge must not
+            // serve this pass.
+            frozen: self.lifetime == FaultLifetime::Static,
         };
         model.plan_forward(&self.input, &self.output, ctx, &mut self.arenas)?;
         self.out_tensor

@@ -306,6 +306,7 @@ impl Layer for QuantizedLinear {
         visitor(CodeView {
             codes: &mut self.codes,
             bits: self.bits,
+            rows: self.out_features,
         });
     }
 
@@ -325,6 +326,7 @@ impl Layer for QuantizedLinear {
                 index: 0,
                 clean: &self.codes,
                 bits: self.bits,
+                rows: self.out_features,
                 stacked: &mut state.codes,
             });
         }
@@ -754,6 +756,7 @@ impl Layer for QuantizedConv2d {
         visitor(CodeView {
             codes: &mut self.codes,
             bits: self.bits,
+            rows: self.out_channels,
         });
     }
 
@@ -773,6 +776,7 @@ impl Layer for QuantizedConv2d {
                 index: 0,
                 clean: &self.codes,
                 bits: self.bits,
+                rows: self.out_channels,
                 stacked: &mut state.codes,
             });
         }

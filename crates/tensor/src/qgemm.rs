@@ -449,6 +449,42 @@ impl QPackedB {
             }
         }
     }
+
+    /// Writes a single code of the packed operand in place: stored row `row`
+    /// (an output feature of a `[n, k]` code matrix packed with `trans_b`),
+    /// reduction index `kidx`.
+    ///
+    /// The integer-domain counterpart of
+    /// [`crate::gemm::PackedB::write_cell`]: the packed-domain injection
+    /// primitive for structured sparse fault models, whose exact fired-cell
+    /// lists (whole crossbar lines, stuck cells) land straight in the
+    /// quad-interleaved panels in O(1) per code instead of re-packing every
+    /// dirty row's full k extent through [`QPackedB::repack_rows`]. Writing
+    /// the same value this way is bit-identical to a re-pack (packing is a
+    /// pure permutation with zero padding).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the operand was not packed with `trans_b`, or the indices
+    /// are out of range.
+    pub fn write_cell(&mut self, row: usize, kidx: usize, value: i8) {
+        assert!(self.trans_b, "write_cell addresses trans_b packed operands");
+        assert!(row < self.n && kidx < self.k, "cell out of range");
+        let ji = row / QNC;
+        let jc = ji * QNC;
+        let jr = ((row - jc) / QNR) * QNR;
+        let pi = kidx / QKC;
+        let pc = pi * QKC;
+        let kc = QKC.min(self.k - pc);
+        let quads = kc.div_ceil(KQ);
+        let p = kidx - pc;
+        let pos = (ji * self.k_panels + pi) * self.slot // panel slot
+            + (jr / QNR) * (quads * KQ * QNR)           // QNR-strip within it
+            + (p / KQ) * (QNR * KQ)                     // quad step within strip
+            + (row - jc - jr) * KQ                      // row within quad block
+            + p % KQ; // code within quad
+        self.buf[pos] = value;
+    }
 }
 
 /// Integer GEMM with a cached pre-packed B operand (see [`QPackedB`]): only
@@ -986,6 +1022,41 @@ mod tests {
             let expected = reference::qmatmul_i8(false, true, m, n, k, &a, &b);
             qgemm_prepacked_b(false, m, &a, &packed, false, &mut got, &mut scratch);
             assert_eq!(got, expected, "revert repack m={m} n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn write_cell_is_bit_identical_to_repack() {
+        // Scattering individual codes through `write_cell` must leave the
+        // packed operand exactly as a from-scratch pack of the same matrix —
+        // across quad, strip and panel boundaries.
+        let mut rng = Rng::seed_from(33);
+        let mut scratch = Scratch::new();
+        for &(m, n, k) in &[
+            (1usize, 1usize, 1usize),
+            (4, 7, 9),
+            (5, QNR + 3, KQ * 5 + 2),
+            (9, QNC + 5, QKC + 7),
+        ] {
+            let a = random_codes(m * k, &mut rng);
+            let b = random_codes(k * n, &mut rng);
+            let mut faulty = b.clone();
+            let mut packed = QPackedB::new();
+            packed.pack(true, &b, k, n);
+            // Touch a spread of cells, including the four corners.
+            let mut cells = vec![(0usize, 0usize), (n - 1, 0), (0, k - 1), (n - 1, k - 1)];
+            for i in 0..(n * k).min(37) {
+                cells.push(((i * 7) % n, (i * 13) % k));
+            }
+            for &(row, kidx) in &cells {
+                let v = faulty[row * k + kidx].wrapping_add(5).clamp(-127, 127);
+                faulty[row * k + kidx] = v;
+                packed.write_cell(row, kidx, v);
+            }
+            let expected = reference::qmatmul_i8(false, true, m, n, k, &a, &faulty);
+            let mut got = vec![0i32; m * n];
+            qgemm_prepacked_b(false, m, &a, &packed, false, &mut got, &mut scratch);
+            assert_eq!(got, expected, "write_cell scatter m={m} n={n} k={k}");
         }
     }
 

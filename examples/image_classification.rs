@@ -80,7 +80,7 @@ fn main() -> Result<(), NnError> {
 
         // Bit-flip robustness: flip each binary weight's sign with rate r.
         for rate in [0.05f32, 0.15, 0.30] {
-            let mut injector = WeightFaultInjector::new(FaultModel::BinaryBitFlip { rate });
+            let mut injector = WeightFaultInjector::new(FaultModel::BinaryBitFlip { rate })?;
             let mut accuracies = Vec::new();
             for run in 0..10u64 {
                 let mut rng = Rng::seed_from(1000 + run);

@@ -268,7 +268,7 @@ fn steady_state_planned_batched_forward_allocates_nothing() {
 
     // Warm up: sparse stuck-at injection, dirty re-packing, frozen-input
     // caches and the packed-domain cell lists all reach steady state.
-    let injector = WeightFaultInjector::new(FaultModel::StuckAt { rate: 0.1 });
+    let injector = WeightFaultInjector::new(FaultModel::StuckAt { rate: 0.1 }).unwrap();
     for round in 0..3u64 {
         for (b, slot) in rngs.iter_mut().enumerate() {
             *slot = Rng::seed_from(100 * round + b as u64);
@@ -329,7 +329,7 @@ fn steady_state_planned_forward_allocates_nothing() {
 
     // Warm up: a couple of realizations exercise injection, dirty re-packing
     // and the frozen-input caches.
-    let injector = WeightFaultInjector::new(FaultModel::StuckAt { rate: 0.1 });
+    let injector = WeightFaultInjector::new(FaultModel::StuckAt { rate: 0.1 }).unwrap();
     for seed in 0..3u64 {
         injector
             .realize_plan(&mut net, &mut Rng::seed_from(seed))

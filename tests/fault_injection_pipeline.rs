@@ -87,7 +87,8 @@ fn bit_flips_on_quantized_weights_round_trip_through_injection() {
     };
     let clean_weights = weights_of(&mut net);
 
-    let mut injector = WeightFaultInjector::new(FaultModel::BitFlip { rate: 0.2, bits: 8 });
+    let mut injector =
+        WeightFaultInjector::new(FaultModel::BitFlip { rate: 0.2, bits: 8 }).unwrap();
     injector.inject(&mut net, &mut rng).unwrap();
     let faulty_weights = weights_of(&mut net);
     injector.restore(&mut net).unwrap();
@@ -138,6 +139,9 @@ fn crossbar_deployment_approximates_digital_layer() {
             dac_bits: 12,
             adc_bits: 12,
             programming_sigma: 0.0,
+            // The default 64x64 tile would exceed this 12x8 matrix.
+            tile_rows: 12,
+            tile_cols: 8,
             ..CrossbarConfig::default()
         },
         &mut rng,
@@ -159,6 +163,8 @@ fn crossbar_deployment_approximates_digital_layer() {
             dac_bits: 12,
             adc_bits: 12,
             programming_sigma: 0.4,
+            tile_rows: 12,
+            tile_cols: 8,
             ..CrossbarConfig::default()
         },
         &mut rng,
