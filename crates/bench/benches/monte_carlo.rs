@@ -18,6 +18,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use invnorm_imc::fault::{FaultModel, LineOrientation};
 use invnorm_imc::montecarlo::MonteCarloEngine;
+use invnorm_imc::telemetry::Telemetry;
 use invnorm_imc::TileShape;
 use invnorm_nn::activation::Relu;
 use invnorm_nn::conv::Conv2d;
@@ -265,6 +266,77 @@ fn bench_monte_carlo(c: &mut Criterion) {
     );
 
     group.finish();
+    emit_telemetry_artifacts();
+}
+
+/// Mirrors the criterion shim's `BENCH_JSON_DIR` resolution so the telemetry
+/// artifacts land next to `BENCH_monte_carlo.json`.
+fn json_dir() -> std::path::PathBuf {
+    if let Ok(dir) = std::env::var("BENCH_JSON_DIR") {
+        return dir.into();
+    }
+    let cwd = std::env::current_dir().unwrap_or_else(|_| ".".into());
+    for candidate in [cwd.clone(), cwd.join(".."), cwd.join("../..")] {
+        if candidate.join("Cargo.toml").exists() && candidate.join("crates").is_dir() {
+            return candidate;
+        }
+    }
+    cwd
+}
+
+/// One untimed, telemetry-enabled engine invocation per model family after
+/// the timed samples: dumps the chrome trace (`TRACE_monte_carlo.json`) and
+/// the per-run counter/phase report (`TELEMETRY_monte_carlo.json`) so every
+/// benchmark run ships a profile of where the engine time and cache behavior
+/// went. The timed samples above all run with telemetry disabled, so the
+/// numbers in `BENCH_monte_carlo.json` are unaffected.
+fn emit_telemetry_artifacts() {
+    let engine = MonteCarloEngine::new(RUNS, 0xC0FFEE);
+    let fault = FaultModel::StuckAt { rate: 0.05 };
+    Telemetry::reset();
+    Telemetry::enable();
+    let cnn = engine
+        .run_planned_batched(
+            || cnn_model(2),
+            fault,
+            &cnn_input(),
+            |out| Ok(out.sum()),
+            BATCH,
+            THREADS,
+        )
+        .expect("telemetry cnn pass");
+    let linear = engine
+        .run_planned_batched(
+            || linear_model(1),
+            fault,
+            &linear_input(),
+            |out| Ok(out.sum()),
+            BATCH,
+            THREADS,
+        )
+        .expect("telemetry linear pass");
+    Telemetry::disable();
+
+    let dir = json_dir();
+    let trace_path = dir.join("TRACE_monte_carlo.json");
+    match Telemetry::write_chrome_trace(&trace_path) {
+        Ok(()) => println!("wrote {}", trace_path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", trace_path.display()),
+    }
+    let report_path = dir.join("TELEMETRY_monte_carlo.json");
+    let mut report = String::from("{\n  \"group\": \"monte_carlo\",\n");
+    for (name, summary) in [("cnn_f32", &cnn), ("linear_f32", &linear)] {
+        let telemetry = summary
+            .telemetry
+            .as_ref()
+            .expect("enabled run must attach telemetry");
+        report.push_str(&format!("  \"{name}\": {},\n", telemetry.to_json()));
+    }
+    report.push_str("  \"fault\": \"stuck-at 5%\"\n}\n");
+    match std::fs::write(&report_path, report) {
+        Ok(()) => println!("wrote {}", report_path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", report_path.display()),
+    }
 }
 
 criterion_group!(benches, bench_monte_carlo);

@@ -46,11 +46,11 @@ fn main() -> ExitCode {
     };
     println!(
         "bench_gate: compared {} benchmarks across {} report file(s) at a {:.0}% threshold",
-        outcome.compared,
+        outcome.counts.compared,
         outcome.files,
         threshold * 100.0
     );
-    if outcome.files == 0 || outcome.compared == 0 {
+    if outcome.files == 0 || outcome.counts.compared == 0 {
         // A gate that checked nothing is a misconfiguration (wrong
         // directory, renamed reports), not a pass.
         eprintln!(
@@ -86,7 +86,13 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
     if outcome.regressions.is_empty() {
-        println!("bench_gate: no regressions");
+        // One-line coverage summary on success, so green CI logs still show
+        // what the gate actually checked (and what it could not).
+        println!(
+            "bench_gate: OK — {} compared, {} skipped (baseline-only), {} new (fresh-only); \
+             no regressions",
+            outcome.counts.compared, outcome.counts.skipped, outcome.counts.new
+        );
         return ExitCode::SUCCESS;
     }
     ExitCode::FAILURE

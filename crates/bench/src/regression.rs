@@ -57,11 +57,31 @@ pub struct DegenerateMean {
     pub mean_ns: f64,
 }
 
+/// Per-report comparison coverage: how many benchmark names landed on both
+/// sides versus only one.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CompareCounts {
+    /// Names present in both baseline and fresh (actually gated).
+    pub compared: usize,
+    /// Baseline-only names (retired benchmarks, skipped).
+    pub skipped: usize,
+    /// Fresh-only names (newly added benchmarks, nothing to gate against).
+    pub new: usize,
+}
+
+impl CompareCounts {
+    fn add(&mut self, other: CompareCounts) {
+        self.compared += other.compared;
+        self.skipped += other.skipped;
+        self.new += other.new;
+    }
+}
+
 /// Outcome of gating one pair of report directories.
 #[derive(Debug, Default)]
 pub struct GateOutcome {
-    /// Benchmarks compared (name present in both baseline and fresh).
-    pub compared: usize,
+    /// Benchmark-name coverage summed over all compared report files.
+    pub counts: CompareCounts,
     /// Report files compared.
     pub files: usize,
     /// Regressions beyond the threshold, worst first.
@@ -128,21 +148,23 @@ fn usable_mean(mean: f64) -> bool {
 /// regressions beyond `threshold` (fractional slowdown, e.g. `0.25` = 25 %),
 /// the degenerate entries (zero/NaN/non-finite means on either side, which
 /// would otherwise yield a bogus ratio or silently disable the comparison),
-/// and the number of benchmarks compared.
+/// and the comparison coverage (compared / baseline-only / fresh-only
+/// counts).
 pub fn compare_reports(
     file: &str,
     baseline: &BenchMeans,
     fresh: &BenchMeans,
     threshold: f64,
-) -> (Vec<Regression>, Vec<DegenerateMean>, usize) {
+) -> (Vec<Regression>, Vec<DegenerateMean>, CompareCounts) {
     let mut regressions = Vec::new();
     let mut degenerate = Vec::new();
-    let mut compared = 0usize;
+    let mut counts = CompareCounts::default();
     for (name, &base) in baseline {
         let Some(&new) = fresh.get(name) else {
+            counts.skipped += 1;
             continue;
         };
-        compared += 1;
+        counts.compared += 1;
         let mut flag = |side: &'static str, mean_ns: f64| {
             degenerate.push(DegenerateMean {
                 file: file.to_string(),
@@ -166,7 +188,8 @@ pub fn compare_reports(
             });
         }
     }
-    (regressions, degenerate, compared)
+    counts.new = fresh.len() - counts.compared;
+    (regressions, degenerate, counts)
 }
 
 /// Lists the `BENCH_*.json` report files directly inside `dir`.
@@ -207,10 +230,10 @@ pub fn gate_dirs(baseline: &Path, fresh: &Path, threshold: f64) -> std::io::Resu
         }
         let base_means = parse_bench_means(&std::fs::read_to_string(&base_path)?);
         let fresh_means = parse_bench_means(&std::fs::read_to_string(&fresh_path)?);
-        let (mut regressions, mut degenerate, compared) =
+        let (mut regressions, mut degenerate, counts) =
             compare_reports(&file, &base_means, &fresh_means, threshold);
         outcome.files += 1;
-        outcome.compared += compared;
+        outcome.counts.add(counts);
         outcome.regressions.append(&mut regressions);
         outcome.degenerate.append(&mut degenerate);
     }
@@ -249,8 +272,8 @@ mod tests {
         let mut fresh = baseline.clone();
         // 20% slower: inside a 25% gate.
         fresh.insert("gemm_64".into(), 1200.0);
-        let (regs, degen, compared) = compare_reports("f", &baseline, &fresh, 0.25);
-        assert_eq!((regs.len(), degen.len(), compared), (0, 0, 2));
+        let (regs, degen, counts) = compare_reports("f", &baseline, &fresh, 0.25);
+        assert_eq!((regs.len(), degen.len(), counts.compared), (0, 0, 2));
         // 30% slower: flagged.
         fresh.insert("gemm_64".into(), 1300.0);
         let (regs, _, _) = compare_reports("f", &baseline, &fresh, 0.25);
@@ -264,13 +287,22 @@ mod tests {
     }
 
     #[test]
-    fn names_on_only_one_side_are_ignored() {
+    fn names_on_only_one_side_are_ignored_but_counted() {
         let baseline = parse_bench_means(SAMPLE);
         let mut fresh = BenchMeans::new();
         fresh.insert("brand_new_bench".into(), 1.0);
         fresh.insert("gemm_64".into(), 1001.0);
-        let (regs, degen, compared) = compare_reports("f", &baseline, &fresh, 0.25);
-        assert_eq!((regs.len(), degen.len(), compared), (0, 0, 1));
+        let (regs, degen, counts) = compare_reports("f", &baseline, &fresh, 0.25);
+        assert_eq!((regs.len(), degen.len()), (0, 0));
+        // gemm_64 on both sides; conv_fwd retired; brand_new_bench added.
+        assert_eq!(
+            counts,
+            CompareCounts {
+                compared: 1,
+                skipped: 1,
+                new: 1,
+            }
+        );
     }
 
     #[test]
@@ -282,8 +314,8 @@ mod tests {
         let mut baseline = parse_bench_means(SAMPLE);
         let mut fresh = baseline.clone();
         baseline.insert("gemm_64".into(), 0.0);
-        let (regs, degen, compared) = compare_reports("f", &baseline, &fresh, 0.25);
-        assert_eq!((regs.len(), compared), (0, 2));
+        let (regs, degen, counts) = compare_reports("f", &baseline, &fresh, 0.25);
+        assert_eq!((regs.len(), counts.compared), (0, 2));
         assert_eq!(degen.len(), 1);
         assert_eq!(
             (degen[0].name.as_str(), degen[0].side, degen[0].mean_ns),
@@ -349,7 +381,14 @@ mod tests {
         std::fs::write(base_dir.join("notes.txt"), "hi").unwrap();
         let outcome = gate_dirs(&base_dir, &fresh_dir, 0.25).unwrap();
         assert_eq!(outcome.files, 1);
-        assert_eq!(outcome.compared, 2);
+        assert_eq!(
+            outcome.counts,
+            CompareCounts {
+                compared: 2,
+                skipped: 0,
+                new: 0,
+            }
+        );
         assert_eq!(outcome.regressions.len(), 1);
         assert_eq!(outcome.regressions[0].name, "conv_fwd");
         std::fs::remove_dir_all(&root).ok();

@@ -51,6 +51,7 @@ pub use affine_dropout::{AffineDropout, DropGranularity};
 pub use bayesian::{BayesianPredictor, ClassificationPrediction, RegressionPrediction};
 pub use init::AffineInit;
 pub use inverted_norm::{InvNormConfig, InvertedNorm};
+pub use invnorm_nn::telemetry;
 pub use ood::OodDetector;
 
 /// Convenience result alias re-using the NN error type.

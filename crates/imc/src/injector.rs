@@ -19,6 +19,7 @@ use crate::Result;
 use invnorm_nn::layer::{Layer, Mode, Param};
 use invnorm_nn::plan::{PlanArenas, PlanCodeView, PlanCtx, PlanParamView, PlanShape};
 use invnorm_nn::NnError;
+use invnorm_tensor::telemetry;
 use invnorm_tensor::{DirtyRows, Rng, Tensor};
 use std::sync::{Arc, RwLock};
 
@@ -122,6 +123,7 @@ impl WeightFaultInjector {
     /// injected (call [`WeightFaultInjector::restore`] first); on error the
     /// network is left untouched.
     pub fn inject<L: Layer + ?Sized>(&mut self, network: &mut L, rng: &mut Rng) -> Result<()> {
+        let _span = telemetry::span(telemetry::Phase::Inject);
         if self.snapshot.is_some() {
             return Err(NnError::Config(
                 "faults already injected; call restore() before injecting again".into(),
@@ -207,6 +209,7 @@ impl WeightFaultInjector {
     /// Returns an error when no snapshot is available or the network's
     /// parameter count changed in between.
     pub fn restore<L: Layer + ?Sized>(&mut self, network: &mut L) -> Result<()> {
+        let _span = telemetry::span(telemetry::Phase::Inject);
         let snapshot = self
             .snapshot
             .take()
@@ -264,6 +267,7 @@ impl WeightFaultInjector {
         network: &mut L,
         rngs: &mut [Rng],
     ) -> Result<()> {
+        let _span = telemetry::span(telemetry::Phase::Inject);
         if self.include_vectors {
             return Err(NnError::Config(
                 "batched evaluation supports the default (rank >= 2) fault targets only".into(),
@@ -325,6 +329,7 @@ impl WeightFaultInjector {
     /// target the default rank ≥ 2 parameter set only), or a faulty buffer
     /// does not match its parameter.
     pub fn realize_plan<L: Layer + ?Sized>(&self, network: &mut L, rng: &mut Rng) -> Result<()> {
+        let _span = telemetry::span(telemetry::Phase::Inject);
         if self.include_vectors {
             return Err(NnError::Config(
                 "compiled plans support the default (rank >= 2) fault targets only".into(),
@@ -393,6 +398,7 @@ impl WeightFaultInjector {
         network: &mut L,
         rngs: &mut [Rng],
     ) -> Result<()> {
+        let _span = telemetry::span(telemetry::Phase::Inject);
         if self.include_vectors {
             return Err(NnError::Config(
                 "compiled plans support the default (rank >= 2) fault targets only".into(),
@@ -701,6 +707,7 @@ impl CodeFaultInjector {
     /// Returns an error when the fault model is invalid or faults are
     /// already injected; on error the network is left untouched.
     pub fn inject<L: Layer + ?Sized>(&mut self, network: &mut L, rng: &mut Rng) -> Result<()> {
+        let _span = telemetry::span(telemetry::Phase::Inject);
         if self.snapshot.is_some() {
             return Err(NnError::Config(
                 "faults already injected; call restore() before injecting again".into(),
@@ -728,6 +735,7 @@ impl CodeFaultInjector {
     /// Returns an error when no snapshot is available or the network's
     /// quantized-parameter count changed in between.
     pub fn restore<L: Layer + ?Sized>(&mut self, network: &mut L) -> Result<()> {
+        let _span = telemetry::span(telemetry::Phase::Inject);
         let snapshot = self
             .snapshot
             .take()
@@ -772,6 +780,7 @@ impl CodeFaultInjector {
         network: &mut L,
         rngs: &mut [Rng],
     ) -> Result<()> {
+        let _span = telemetry::span(telemetry::Phase::Inject);
         self.model.validate()?;
         let model = self.model;
         let batch = rngs.len();
@@ -816,6 +825,7 @@ impl CodeFaultInjector {
     ///
     /// Returns an error when the fault model is invalid.
     pub fn realize_plan<L: Layer + ?Sized>(&self, network: &mut L, rng: &mut Rng) -> Result<()> {
+        let _span = telemetry::span(telemetry::Phase::Inject);
         self.model.validate()?;
         let model = self.model;
         let mut result: Result<()> = Ok(());
@@ -856,6 +866,7 @@ impl CodeFaultInjector {
         network: &mut L,
         rngs: &mut [Rng],
     ) -> Result<()> {
+        let _span = telemetry::span(telemetry::Phase::Inject);
         self.model.validate()?;
         let model = self.model;
         let batch = rngs.len();

@@ -75,6 +75,7 @@ pub mod montecarlo;
 pub use crossbar::TileShape;
 pub use fault::{FaultLifetime, FaultModel, FaultSpec, LineOrientation};
 pub use injector::{ActivationNoise, CodeFaultInjector, NoiseHandle, WeightFaultInjector};
+pub use invnorm_tensor::telemetry;
 pub use montecarlo::{
     DegradationPolicy, EngineKind, FallbackReason, FallbackStep, LadderOutcome, MonteCarloEngine,
     MonteCarloSummary,

@@ -25,6 +25,7 @@ use invnorm_nn::layer::{Layer, Mode};
 use invnorm_nn::plan::Plan;
 use invnorm_nn::NnError;
 use invnorm_tensor::stats::RunningStats;
+use invnorm_tensor::telemetry::{self, RunScope, RunTelemetry};
 use invnorm_tensor::{Rng, Tensor};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -53,6 +54,11 @@ pub struct MonteCarloSummary {
     pub min: f32,
     /// Largest observed metric.
     pub max: f32,
+    /// Per-engine-invocation telemetry (phase breakdown, counter deltas and
+    /// the convergence stream). `Some` only when the run executed while
+    /// [`telemetry::Telemetry::enabled`] was on; always `None` otherwise, so
+    /// the statistics above stay bit-identical either way.
+    pub telemetry: Option<RunTelemetry>,
 }
 
 impl MonteCarloSummary {
@@ -66,6 +72,7 @@ impl MonteCarloSummary {
             min: stats.min(),
             max: stats.max(),
             per_run,
+            telemetry: None,
         }
     }
 
@@ -164,6 +171,12 @@ pub struct FallbackStep {
     pub reason: FallbackReason,
 }
 
+impl std::fmt::Display for FallbackStep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "skipped {}: {}", self.engine, self.reason)
+    }
+}
+
 /// Result of [`MonteCarloEngine::run_auto`]: the summary plus a report of
 /// which engine produced it and every rung skipped on the way down.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -175,6 +188,26 @@ pub struct LadderOutcome {
     /// The rungs skipped before `engine`, in ladder order (empty when the
     /// fastest engine ran).
     pub fallbacks: Vec<FallbackStep>,
+}
+
+impl std::fmt::Display for LadderOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} [{}]: {} runs, mean {:.6} ± {:.6} (min {:.6}, max {:.6})",
+            self.summary.fault_label,
+            self.engine,
+            self.summary.runs(),
+            self.summary.mean,
+            self.summary.std,
+            self.summary.min,
+            self.summary.max,
+        )?;
+        for step in &self.fallbacks {
+            write!(f, "\n  {step}")?;
+        }
+        Ok(())
+    }
 }
 
 /// Monte-Carlo fault-simulation engine.
@@ -253,6 +286,7 @@ impl MonteCarloEngine {
         F: FnMut(&mut dyn Layer) -> Result<f32>,
     {
         let fault = Self::require_static(fault.into(), "MonteCarloEngine::run")?;
+        let scope = RunScope::begin();
         let mut per_run = Vec::with_capacity(self.runs);
         for run in 0..self.runs {
             // Kept in lockstep with `simulate_one` (the run_parallel inner
@@ -263,7 +297,11 @@ impl MonteCarloEngine {
             let mut rng = Self::run_rng(self.seed, run);
             let mut injector = WeightFaultInjector::new_unchecked(fault);
             injector.inject(network, &mut rng)?;
-            let result = evaluate(network);
+            // The user closure fuses forward and metric; span both together.
+            let result = {
+                let _span = telemetry::span(telemetry::Phase::Forward);
+                evaluate(network)
+            };
             // Always restore, even if evaluation failed.
             let restore_result = injector.restore(network);
             let metric = result?;
@@ -275,7 +313,9 @@ impl MonteCarloEngine {
             }
             per_run.push(metric);
         }
-        Ok(MonteCarloSummary::from_runs(fault.label(), per_run))
+        let mut summary = MonteCarloSummary::from_runs(fault.label(), per_run);
+        summary.telemetry = scope.finish(&summary.per_run);
+        Ok(summary)
     }
 
     /// Runs the simulation with per-worker model copies built by `factory`,
@@ -311,6 +351,7 @@ impl MonteCarloEngine {
         E: Fn(&mut M) -> Result<f32> + Sync,
     {
         let fault = Self::require_static(fault.into(), "MonteCarloEngine::run_parallel")?;
+        let scope = RunScope::begin();
         let threads = threads.clamp(1, self.runs);
         let n_chunks = self.runs.div_ceil(Self::CHUNK);
         let seed = self.seed;
@@ -362,7 +403,9 @@ impl MonteCarloEngine {
             }
             per_run.push(metric);
         }
-        Ok(MonteCarloSummary::from_runs(fault.label(), per_run))
+        let mut summary = MonteCarloSummary::from_runs(fault.label(), per_run);
+        summary.telemetry = scope.finish(&summary.per_run);
+        Ok(summary)
     }
 
     /// Number of chip instances a worker claims per steal. Small enough to
@@ -397,12 +440,17 @@ impl MonteCarloEngine {
         F: FnMut(&mut dyn Layer) -> Result<f32>,
     {
         let fault = Self::require_static(fault.into(), "MonteCarloEngine::run_quantized")?;
+        let scope = RunScope::begin();
         let mut per_run = Vec::with_capacity(self.runs);
         for run in 0..self.runs {
             let mut rng = Self::run_rng(self.seed, run);
             let mut injector = CodeFaultInjector::new_unchecked(fault);
             injector.inject(network, &mut rng)?;
-            let result = evaluate(network);
+            // The user closure fuses forward and metric; span both together.
+            let result = {
+                let _span = telemetry::span(telemetry::Phase::Forward);
+                evaluate(network)
+            };
             // Always restore, even if evaluation failed.
             let restore_result = injector.restore(network);
             let metric = result?;
@@ -414,7 +462,9 @@ impl MonteCarloEngine {
             }
             per_run.push(metric);
         }
-        Ok(MonteCarloSummary::from_runs(fault.label(), per_run))
+        let mut summary = MonteCarloSummary::from_runs(fault.label(), per_run);
+        summary.telemetry = scope.finish(&summary.per_run);
+        Ok(summary)
     }
 
     /// Runs the simulation with **B fault realizations fused into each
@@ -530,6 +580,7 @@ impl MonteCarloEngine {
         E: Fn(&Tensor) -> Result<f32> + Sync,
     {
         fault.validate()?;
+        let scope = RunScope::begin();
         let runs = self.runs;
         let seed = self.seed;
         let batch = batch.clamp(1, runs);
@@ -599,7 +650,9 @@ impl MonteCarloEngine {
             }
         }
         debug_assert_eq!(per_run.len(), runs);
-        Ok(MonteCarloSummary::from_runs(fault.label(), per_run))
+        let mut summary = MonteCarloSummary::from_runs(fault.label(), per_run);
+        summary.telemetry = scope.finish(&summary.per_run);
+        Ok(summary)
     }
 
     /// Runs the simulation on **compiled inference plans**: each worker
@@ -714,6 +767,7 @@ impl MonteCarloEngine {
         E: Fn(&Tensor) -> Result<f32> + Sync,
     {
         spec.model.validate()?;
+        let scope = RunScope::begin();
         let fault = spec.model;
         let lifetime = spec.lifetime;
         let runs = self.runs;
@@ -786,7 +840,9 @@ impl MonteCarloEngine {
             per_run.push(metric);
         }
         debug_assert_eq!(per_run.len(), runs);
-        Ok(MonteCarloSummary::from_runs(fault.label(), per_run))
+        let mut summary = MonteCarloSummary::from_runs(fault.label(), per_run);
+        summary.telemetry = scope.finish(&summary.per_run);
+        Ok(summary)
     }
 
     /// Runs the simulation with **compiled plans and B fused fault
@@ -901,6 +957,7 @@ impl MonteCarloEngine {
         E: Fn(&Tensor) -> Result<f32> + Sync,
     {
         spec.model.validate()?;
+        let scope = RunScope::begin();
         let fault = spec.model;
         let lifetime = spec.lifetime;
         let runs = self.runs;
@@ -945,6 +1002,11 @@ impl MonteCarloEngine {
                         let start = bi * batch;
                         let bsize = batch.min(runs - start);
                         if plan.as_ref().is_none_or(|p| p.batch() != bsize) {
+                            // The first compile is unavoidable; only a
+                            // size-mismatched tail batch counts as a recompile.
+                            if plan.is_some() {
+                                telemetry::count(telemetry::Counter::TailRecompiles, 1);
+                            }
                             model.plan_end();
                             match Plan::compile_batched(&mut model, input, bsize) {
                                 Ok(mut p) => {
@@ -999,7 +1061,9 @@ impl MonteCarloEngine {
             }
         }
         debug_assert_eq!(per_run.len(), runs);
-        Ok(MonteCarloSummary::from_runs(fault.label(), per_run))
+        let mut summary = MonteCarloSummary::from_runs(fault.label(), per_run);
+        summary.telemetry = scope.finish(&summary.per_run);
+        Ok(summary)
     }
 
     /// Injects one batch of realizations into the batched plan's stacked
@@ -1026,7 +1090,10 @@ impl MonteCarloEngine {
                 CodeFaultInjector::new_unchecked(fault).realize_plan_batch(model, rngs)?;
             }
         }
-        let out = plan.forward(model)?;
+        let out = {
+            let _span = telemetry::span(telemetry::Phase::Forward);
+            plan.forward(model)?
+        };
         let d0 = out.dims()[0];
         if !d0.is_multiple_of(bsize) {
             return Err(NnError::Config(format!(
@@ -1042,6 +1109,7 @@ impl MonteCarloEngine {
             *realization = Some(Tensor::zeros(&dims));
         }
         let stage = realization.as_mut().expect("staging tensor initialized");
+        let _span = telemetry::span(telemetry::Phase::Metric);
         let mut metrics = Vec::with_capacity(bsize);
         for b in 0..bsize {
             stage
@@ -1073,7 +1141,11 @@ impl MonteCarloEngine {
                 CodeFaultInjector::new_unchecked(fault).realize_plan(model, &mut rng)?;
             }
         }
-        let out = plan.forward(model)?;
+        let out = {
+            let _span = telemetry::span(telemetry::Phase::Forward);
+            plan.forward(model)?
+        };
+        let _span = telemetry::span(telemetry::Phase::Metric);
         metric(out)
     }
 
@@ -1101,7 +1173,11 @@ impl MonteCarloEngine {
                 CodeFaultInjector::new_unchecked(fault).realize_batch(model, &mut rngs)?;
             }
         }
-        let (out, shared) = model.forward_batched(input, true, bsize, Mode::Eval)?;
+        let (out, shared) = {
+            let _span = telemetry::span(telemetry::Phase::Forward);
+            model.forward_batched(input, true, bsize, Mode::Eval)?
+        };
+        let _span = telemetry::span(telemetry::Phase::Metric);
         let mut metrics = Vec::with_capacity(bsize);
         if shared {
             // Degenerate case: no weighted layer diverged the realizations,
@@ -1142,7 +1218,11 @@ impl MonteCarloEngine {
         let mut rng = Self::run_rng(seed, run);
         let mut injector = WeightFaultInjector::new_unchecked(fault);
         injector.inject(model, &mut rng)?;
-        let result = evaluate(model);
+        // The user closure fuses forward and metric; span both together.
+        let result = {
+            let _span = telemetry::span(telemetry::Phase::Forward);
+            evaluate(model)
+        };
         // Always restore, even if evaluation failed.
         let restore_result = injector.restore(model);
         let metric = result?;
@@ -1241,6 +1321,7 @@ impl MonteCarloEngine {
             if spec.lifetime == FaultLifetime::PerInference
                 && matches!(engine, EngineKind::Batched | EngineKind::Parallel)
             {
+                telemetry::count(telemetry::Counter::LadderFallbacks, 1);
                 fallbacks.push(FallbackStep {
                     engine,
                     reason: FallbackReason::Lifetime,
@@ -1275,6 +1356,7 @@ impl MonteCarloEngine {
                 }
                 // A capability gap, not a failure: record it and degrade.
                 Err(NnError::Unsupported { layer, op }) => {
+                    telemetry::count(telemetry::Counter::LadderFallbacks, 1);
                     fallbacks.push(FallbackStep {
                         engine,
                         reason: FallbackReason::Unsupported { layer, op },

@@ -7,6 +7,7 @@ use crate::plan::{PlanArenas, PlanCtx, PlanParamView, PlanShape, PlannedWeight};
 use crate::Result;
 use invnorm_tensor::conv::{self, conv_out_shape, Conv2dSpec};
 use invnorm_tensor::gemm::{gemm_prepacked_ab, gemm_prepacked_b, PackedA};
+use invnorm_tensor::telemetry;
 use invnorm_tensor::{ArenaSlot, Rng, Scratch, Tensor};
 
 /// 2-D convolution layer over `[N, C, H, W]` activations.
@@ -333,6 +334,7 @@ impl Layer for Conv2d {
                     .f
                     .many_mut([input.slot, state.cols, state.om, output.slot]);
             if state.a_gen != ctx.input_gen {
+                telemetry::count(telemetry::Counter::FrozenInputMisses, 1);
                 conv::im2col_slice_into(
                     &x[..state.tile_dims.iter().product()],
                     &state.tile_dims,
@@ -346,7 +348,10 @@ impl Layer for Conv2d {
                     shape.patch,
                 );
                 state.a_gen = ctx.input_gen;
+            } else {
+                telemetry::count(telemetry::Counter::FrozenInputHits, 1);
             }
+            telemetry::count(telemetry::Counter::WideGemms, 1);
             gemm_prepacked_ab(&state.packed_a, wide_w, 1.0, 0.0, om);
             for b in 0..batch {
                 conv::relayout_nchw_strided(
@@ -373,6 +378,7 @@ impl Layer for Conv2d {
             // Frozen plan input: unfold + pack the patch panel once per
             // `load_input`, then reuse it for every realization.
             if state.a_gen != ctx.input_gen {
+                telemetry::count(telemetry::Counter::FrozenInputMisses, 1);
                 conv::im2col_slice_into(
                     &x[..state.tile_dims.iter().product()],
                     &state.tile_dims,
@@ -386,6 +392,8 @@ impl Layer for Conv2d {
                     shape.patch,
                 );
                 state.a_gen = ctx.input_gen;
+            } else {
+                telemetry::count(telemetry::Counter::FrozenInputHits, 1);
             }
             for b in 0..batch {
                 gemm_prepacked_ab(

@@ -69,6 +69,7 @@ pub mod train;
 pub mod upsample;
 
 pub use error::NnError;
+pub use invnorm_tensor::telemetry;
 pub use layer::{CodeView, Layer, Mode, Param};
 pub use plan::Plan;
 pub use quantized::{QuantizedConv2d, QuantizedLinear};

@@ -5,6 +5,7 @@ use crate::layer::{BatchedParam, BatchedParamView, Layer, Mode, Param};
 use crate::plan::{PlanArenas, PlanCtx, PlanParamView, PlanShape, PlannedWeight};
 use crate::Result;
 use invnorm_tensor::gemm::{gemm_prepacked, gemm_prepacked_ab, gemm_prepacked_b, PackedA};
+use invnorm_tensor::telemetry;
 use invnorm_tensor::{ops, ArenaSlot, Rng, Scratch, Tensor};
 
 /// A fully connected layer computing `y = x Wᵀ + b` for `x: [N, in]`,
@@ -363,9 +364,13 @@ impl Layer for Linear {
                 .f
                 .many_mut([input.slot, state.wide_stage, output.slot]);
             if state.a_gen != ctx.input_gen {
+                telemetry::count(telemetry::Counter::FrozenInputMisses, 1);
                 state.packed_a.pack(false, &x[..n * fin], n, fin);
                 state.a_gen = ctx.input_gen;
+            } else {
+                telemetry::count(telemetry::Counter::FrozenInputHits, 1);
             }
+            telemetry::count(telemetry::Counter::WideGemms, 1);
             gemm_prepacked_ab(&state.packed_a, wide_w, 1.0, 0.0, stage);
             let ld = batch * fout;
             for b in 0..batch {
@@ -393,8 +398,11 @@ impl Layer for Linear {
             // Single-realization frozen plan: one cached activation panel,
             // one cached weight panel.
             if state.a_gen != ctx.input_gen {
+                telemetry::count(telemetry::Counter::FrozenInputMisses, 1);
                 state.packed_a.pack(false, &x[..n * fin], n, fin);
                 state.a_gen = ctx.input_gen;
+            } else {
+                telemetry::count(telemetry::Counter::FrozenInputHits, 1);
             }
             for b in 0..batch {
                 gemm_prepacked_ab(

@@ -40,6 +40,7 @@ use crate::layer::{Layer, Mode};
 use crate::Result;
 use invnorm_tensor::gemm::PackedB;
 use invnorm_tensor::qgemm::QPackedB;
+use invnorm_tensor::telemetry;
 use invnorm_tensor::{Arena, ArenaSlot, DirtyRows, Tensor};
 use serde::{Deserialize, Serialize};
 
@@ -886,6 +887,7 @@ impl Plan {
         example: &Tensor,
         batch: usize,
     ) -> Result<Self> {
+        let _span = telemetry::span(telemetry::Phase::Compile);
         let batch = batch.max(1);
         if example.rank() == 0 {
             return Err(NnError::Config(

@@ -32,6 +32,7 @@ use crate::Result;
 use invnorm_tensor::conv::{conv_out_shape, im2col_codes_into, im2col_slice_into, Conv2dSpec};
 use invnorm_tensor::qgemm::{qgemm_prepacked, qgemm_prepacked_ab, qgemm_prepacked_b, QPackedA};
 use invnorm_tensor::scratch::uninit_slice_of;
+use invnorm_tensor::telemetry;
 use invnorm_tensor::{qgemm, ArenaSlot, Scratch, Tensor};
 
 /// Largest i8 code magnitude; also the fixed bit-width ceiling of the packed
@@ -505,10 +506,14 @@ impl Layer for QuantizedLinear {
             // its own column block.
             let wide_w = state.codes.refresh_wide();
             if state.a_gen != ctx.input_gen {
+                telemetry::count(telemetry::Counter::FrozenInputMisses, 1);
                 state.a_scale = quantize_activations(&x[..n * fin], self.act_scale, qin);
                 state.packed_a.pack(false, qin, n, fin);
                 state.a_gen = ctx.input_gen;
+            } else {
+                telemetry::count(telemetry::Counter::FrozenInputHits, 1);
             }
+            telemetry::count(telemetry::Counter::WideGemms, 1);
             qgemm_prepacked_ab(&state.packed_a, wide_w, false, acc);
             let sx = state.a_scale;
             let ld = batch * fout;
@@ -536,9 +541,12 @@ impl Layer for QuantizedLinear {
                 // Single-realization frozen plan: quantize + pack the codes
                 // once per `load_input` and reuse the panel.
                 if state.a_gen != ctx.input_gen {
+                    telemetry::count(telemetry::Counter::FrozenInputMisses, 1);
                     state.a_scale = quantize_activations(&x[..n * fin], self.act_scale, qin);
                     state.packed_a.pack(false, qin, n, fin);
                     state.a_gen = ctx.input_gen;
+                } else {
+                    telemetry::count(telemetry::Counter::FrozenInputHits, 1);
                 }
                 qgemm_prepacked_ab(&state.packed_a, state.codes.panel(b), false, acc);
                 state.a_scale
@@ -992,6 +1000,7 @@ impl Layer for QuantizedConv2d {
             // re-layout.
             let wide_w = state.codes.refresh_wide();
             if state.a_gen != ctx.input_gen {
+                telemetry::count(telemetry::Counter::FrozenInputMisses, 1);
                 state.a_scale =
                     quantize_activations(&x[..per_in], self.act_scale, &mut qin[..per_in]);
                 im2col_slice_into(
@@ -1007,7 +1016,10 @@ impl Layer for QuantizedConv2d {
                     shape.patch,
                 );
                 state.a_gen = ctx.input_gen;
+            } else {
+                telemetry::count(telemetry::Counter::FrozenInputHits, 1);
             }
+            telemetry::count(telemetry::Counter::WideGemms, 1);
             qgemm_prepacked_ab(&state.packed_a, wide_w, false, acc);
             let sx = state.a_scale;
             let ld = batch * oc;
@@ -1039,6 +1051,7 @@ impl Layer for QuantizedConv2d {
             // Single-realization frozen plan: quantize + unfold + pack the
             // patch panel once per `load_input`.
             if state.a_gen != ctx.input_gen {
+                telemetry::count(telemetry::Counter::FrozenInputMisses, 1);
                 state.a_scale =
                     quantize_activations(&x[..per_in], self.act_scale, &mut qin[..per_in]);
                 im2col_slice_into(
@@ -1054,6 +1067,8 @@ impl Layer for QuantizedConv2d {
                     shape.patch,
                 );
                 state.a_gen = ctx.input_gen;
+            } else {
+                telemetry::count(telemetry::Counter::FrozenInputHits, 1);
             }
         } else {
             // Per-realization inputs: quantize each realization's tile over

@@ -13,6 +13,7 @@ use crate::error::TensorError;
 use crate::gemm::{gemm_prepacked, PackedA};
 use crate::ops;
 use crate::scratch::{uninit_slice, Scratch};
+use crate::telemetry;
 use crate::tensor::Tensor;
 use crate::Result;
 
@@ -222,6 +223,7 @@ fn im2col_generic<T: Copy + Default>(
     spec: &Conv2dSpec,
     cols: &mut [T],
 ) -> Result<()> {
+    let _span = telemetry::span(telemetry::Phase::Im2col);
     let (oh, ow) = spec.output_hw(h, w)?;
     let patch = c * spec.kh * spec.kw;
     let rows = n * oh * ow;

@@ -27,6 +27,7 @@
 
 use crate::arena::DirtyRows;
 use crate::scratch::{uninit_slice, Scratch};
+use crate::telemetry;
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -108,6 +109,7 @@ pub fn gemm(
     beta: f32,
     c: &mut [f32],
 ) {
+    let _span = telemetry::span(telemetry::Phase::Gemm);
     check_dims(m, n, k, a, b, c);
     if m == 0 || n == 0 {
         return;
@@ -122,7 +124,7 @@ pub fn gemm(
         gemm_parallel(trans_a, trans_b, m, n, k, alpha, a, b, beta, c, workers);
     } else {
         LOCAL_SCRATCH.with(|s| {
-            gemm_with_scratch(
+            gemm_with_scratch_impl(
                 trans_a,
                 trans_b,
                 m,
@@ -143,6 +145,26 @@ pub fn gemm(
 /// that manage buffer reuse themselves (layers, the conv path).
 #[allow(clippy::too_many_arguments)]
 pub fn gemm_with_scratch(
+    trans_a: bool,
+    trans_b: bool,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+    scratch: &mut Scratch,
+) {
+    let _span = telemetry::span(telemetry::Phase::Gemm);
+    gemm_with_scratch_impl(trans_a, trans_b, m, n, k, alpha, a, b, beta, c, scratch);
+}
+
+/// Shared body of [`gemm`]'s single-threaded path and [`gemm_with_scratch`],
+/// so each public entry opens exactly one telemetry span.
+#[allow(clippy::too_many_arguments)]
+fn gemm_with_scratch_impl(
     trans_a: bool,
     trans_b: bool,
     m: usize,
@@ -295,6 +317,7 @@ impl PackedA {
     ///
     /// Panics when the slice length disagrees with `m * k`.
     pub fn pack(&mut self, trans_a: bool, a: &[f32], m: usize, k: usize) {
+        let _span = telemetry::span(telemetry::Phase::Pack);
         assert_eq!(a.len(), m * k, "A must hold m*k elements");
         self.m = m;
         self.k = k;
@@ -332,6 +355,7 @@ pub fn gemm_prepacked(
     c: &mut [f32],
     packed_b_buf: &mut Vec<f32>,
 ) {
+    let _span = telemetry::span(telemetry::Phase::Gemm);
     let (m, k) = (packed_a.m, packed_a.k);
     assert_eq!(b.len(), k * n, "B must hold k*n elements");
     assert_eq!(c.len(), m * n, "C must hold m*n elements");
@@ -407,6 +431,7 @@ impl PackedB {
     ///
     /// Panics when the slice length disagrees with `k * n`.
     pub fn pack(&mut self, trans_b: bool, b: &[f32], k: usize, n: usize) {
+        let _span = telemetry::span(telemetry::Phase::Pack);
         assert_eq!(b.len(), k * n, "B must hold k*n elements");
         self.k = k;
         self.n = n;
@@ -444,6 +469,8 @@ impl PackedB {
     ///
     /// Panics when the two operands were packed with different dimensions.
     pub fn scale_from(&mut self, src: &PackedB, factor: f32) {
+        let _span = telemetry::span(telemetry::Phase::Repack);
+        telemetry::count(telemetry::Counter::UniformScales, 1);
         assert_eq!(
             (self.k, self.n, self.trans_b),
             (src.k, src.n, src.trans_b),
@@ -496,9 +523,11 @@ impl PackedB {
     ///
     /// Panics when `b` or `dirty` disagree with the packed dimensions.
     pub fn repack_rows(&mut self, b: &[f32], dirty: &DirtyRows, base: usize) {
+        let _span = telemetry::span(telemetry::Phase::Repack);
         assert_eq!(b.len(), self.k * self.n, "B must hold k*n elements");
         assert!(dirty.rows() >= base + self.n, "dirty set must cover n rows");
         let (k, n, trans_b) = (self.k, self.n, self.trans_b);
+        let mut repacked_rows = 0u64;
         for (ji, jc) in (0..n).step_by(NC).enumerate() {
             let nc = NC.min(n - jc);
             for jr in (0..nc).step_by(NR) {
@@ -507,6 +536,7 @@ impl PackedB {
                     continue;
                 }
                 let cols = NR.min(nc - jr);
+                repacked_rows += cols as u64;
                 for (pi, pc) in (0..k).step_by(KC).enumerate() {
                     let kc = KC.min(k - pc);
                     let slot = (ji * self.k_panels + pi) * self.slot;
@@ -529,6 +559,7 @@ impl PackedB {
                 }
             }
         }
+        telemetry::count(telemetry::Counter::RowsRepacked, repacked_rows);
     }
 
     /// Writes a single element of the packed operand in place: stored row
@@ -547,6 +578,7 @@ impl PackedB {
     /// Panics when the operand was not packed with `trans_b`, or the indices
     /// are out of range.
     pub fn write_cell(&mut self, row: usize, kidx: usize, value: f32) {
+        telemetry::count(telemetry::Counter::CellScatters, 1);
         assert!(self.trans_b, "write_cell addresses trans_b packed operands");
         assert!(row < self.n && kidx < self.k, "cell out of range");
         let ji = row / NC;
@@ -584,6 +616,7 @@ pub fn gemm_prepacked_b(
     c: &mut [f32],
     scratch: &mut Scratch,
 ) {
+    let _span = telemetry::span(telemetry::Phase::Gemm);
     let (k, n) = (packed_b.k, packed_b.n);
     assert_eq!(a.len(), m * k, "A must hold m*k elements");
     assert_eq!(c.len(), m * n, "C must hold m*n elements");
@@ -627,6 +660,7 @@ pub fn gemm_prepacked_ab(
     beta: f32,
     c: &mut [f32],
 ) {
+    let _span = telemetry::span(telemetry::Phase::Gemm);
     let (m, k) = (packed_a.m, packed_a.k);
     let n = packed_b.n;
     assert_eq!(k, packed_b.k, "packed operands disagree on k");

@@ -26,6 +26,8 @@
 //! * [`pool`] — max/average pooling kernels with argmax bookkeeping.
 //! * [`rng`] — seeded random number utilities (uniform, Gaussian via
 //!   Box–Muller, Bernoulli masks) so every experiment is reproducible.
+//! * [`telemetry`] — opt-in, zero-steady-state-allocation phase spans,
+//!   engine counters and chrome-trace export shared by the whole workspace.
 //!
 //! # Example
 //!
@@ -51,6 +53,7 @@ pub mod rng;
 pub mod scratch;
 pub mod shape;
 pub mod stats;
+pub mod telemetry;
 pub mod tensor;
 
 pub use arena::{Arena, ArenaSlot, DirtyRows};
@@ -58,6 +61,7 @@ pub use error::TensorError;
 pub use rng::Rng;
 pub use scratch::Scratch;
 pub use shape::Shape;
+pub use telemetry::{RunTelemetry, Telemetry};
 pub use tensor::Tensor;
 
 /// Convenience result alias used across the crate.

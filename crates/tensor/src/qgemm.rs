@@ -24,6 +24,7 @@
 
 use crate::arena::DirtyRows;
 use crate::scratch::{uninit_slice_of, Scratch};
+use crate::telemetry;
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -86,6 +87,7 @@ pub fn qgemm(
     accumulate: bool,
     c: &mut [i32],
 ) {
+    let _span = telemetry::span(telemetry::Phase::Gemm);
     check_dims(m, n, k, a, b, c);
     if m == 0 || n == 0 {
         return;
@@ -102,7 +104,7 @@ pub fn qgemm(
         qgemm_parallel(trans_a, trans_b, m, n, k, a, b, accumulate, c, workers);
     } else {
         LOCAL_SCRATCH.with(|s| {
-            qgemm_with_scratch(
+            qgemm_with_scratch_impl(
                 trans_a,
                 trans_b,
                 m,
@@ -122,6 +124,26 @@ pub fn qgemm(
 /// that manage buffer reuse themselves (the quantized layers).
 #[allow(clippy::too_many_arguments)]
 pub fn qgemm_with_scratch(
+    trans_a: bool,
+    trans_b: bool,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[i8],
+    b: &[i8],
+    accumulate: bool,
+    c: &mut [i32],
+    scratch: &mut Scratch,
+) {
+    let _span = telemetry::span(telemetry::Phase::Gemm);
+    qgemm_with_scratch_impl(trans_a, trans_b, m, n, k, a, b, accumulate, c, scratch);
+}
+
+/// Shared body of [`qgemm`]'s single-threaded path and
+/// [`qgemm_with_scratch`], so each public entry opens exactly one telemetry
+/// span.
+#[allow(clippy::too_many_arguments)]
+fn qgemm_with_scratch_impl(
     trans_a: bool,
     trans_b: bool,
     m: usize,
@@ -272,6 +294,7 @@ impl QPackedA {
     ///
     /// Panics when the slice length disagrees with `m * k`.
     pub fn pack(&mut self, trans_a: bool, a: &[i8], m: usize, k: usize) {
+        let _span = telemetry::span(telemetry::Phase::Pack);
         assert_eq!(a.len(), m * k, "A must hold m*k codes");
         self.m = m;
         self.k = k;
@@ -306,6 +329,7 @@ pub fn qgemm_prepacked(
     c: &mut [i32],
     packed_b_buf: &mut Vec<i8>,
 ) {
+    let _span = telemetry::span(telemetry::Phase::Gemm);
     let (m, k) = (packed_a.m, packed_a.k);
     assert_eq!(b.len(), k * n, "B must hold k*n codes");
     assert_eq!(c.len(), m * n, "C must hold m*n accumulators");
@@ -376,6 +400,7 @@ impl QPackedB {
     ///
     /// Panics when the slice length disagrees with `k * n`.
     pub fn pack(&mut self, trans_b: bool, b: &[i8], k: usize, n: usize) {
+        let _span = telemetry::span(telemetry::Phase::Pack);
         assert_eq!(b.len(), k * n, "B must hold k*n codes");
         self.k = k;
         self.n = n;
@@ -410,9 +435,11 @@ impl QPackedB {
     ///
     /// Panics when `b` or `dirty` disagree with the packed dimensions.
     pub fn repack_rows(&mut self, b: &[i8], dirty: &DirtyRows, base: usize) {
+        let _span = telemetry::span(telemetry::Phase::Repack);
         assert_eq!(b.len(), self.k * self.n, "B must hold k*n codes");
         assert!(dirty.rows() >= base + self.n, "dirty set must cover n rows");
         let (k, n, trans_b) = (self.k, self.n, self.trans_b);
+        let mut repacked_rows = 0u64;
         for (ji, jc) in (0..n).step_by(QNC).enumerate() {
             let nc = QNC.min(n - jc);
             for jr in (0..nc).step_by(QNR) {
@@ -421,6 +448,7 @@ impl QPackedB {
                     continue;
                 }
                 let cols = QNR.min(nc - jr);
+                repacked_rows += cols as u64;
                 for (pi, pc) in (0..k).step_by(QKC).enumerate() {
                     let kc = QKC.min(k - pc);
                     let quads = kc.div_ceil(KQ);
@@ -448,6 +476,7 @@ impl QPackedB {
                 }
             }
         }
+        telemetry::count(telemetry::Counter::RowsRepacked, repacked_rows);
     }
 
     /// Writes a single code of the packed operand in place: stored row `row`
@@ -468,6 +497,7 @@ impl QPackedB {
     /// Panics when the operand was not packed with `trans_b`, or the indices
     /// are out of range.
     pub fn write_cell(&mut self, row: usize, kidx: usize, value: i8) {
+        telemetry::count(telemetry::Counter::CellScatters, 1);
         assert!(self.trans_b, "write_cell addresses trans_b packed operands");
         assert!(row < self.n && kidx < self.k, "cell out of range");
         let ji = row / QNC;
@@ -503,6 +533,7 @@ pub fn qgemm_prepacked_b(
     c: &mut [i32],
     scratch: &mut Scratch,
 ) {
+    let _span = telemetry::span(telemetry::Phase::Gemm);
     let (k, n) = (packed_b.k, packed_b.n);
     assert_eq!(a.len(), m * k, "A must hold m*k codes");
     assert_eq!(c.len(), m * n, "C must hold m*n accumulators");
@@ -549,6 +580,7 @@ pub fn qgemm_prepacked_ab(
     accumulate: bool,
     c: &mut [i32],
 ) {
+    let _span = telemetry::span(telemetry::Phase::Gemm);
     let (m, k) = (packed_a.m, packed_a.k);
     let n = packed_b.n;
     assert_eq!(k, packed_b.k, "packed operands disagree on k");

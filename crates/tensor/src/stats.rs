@@ -87,6 +87,21 @@ impl RunningStats {
         self.variance().sqrt()
     }
 
+    /// Sample (Bessel-corrected) variance — the unbiased estimator used for
+    /// confidence intervals (0 when fewer than two observations).
+    pub fn sample_variance(&self) -> f32 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.count - 1) as f64) as f32
+        }
+    }
+
+    /// Sample standard deviation (see [`RunningStats::sample_variance`]).
+    pub fn sample_std(&self) -> f32 {
+        self.sample_variance().sqrt()
+    }
+
     /// Smallest observation (`+inf` when empty).
     pub fn min(&self) -> f32 {
         self.min as f32
@@ -220,6 +235,9 @@ mod tests {
         assert_eq!(s.count(), 8);
         assert!((s.mean() - 5.0).abs() < 1e-6);
         assert!((s.std() - 2.0).abs() < 1e-6);
+        // Bessel-corrected: m2 = 32, n-1 = 7.
+        assert!((s.sample_variance() - 32.0 / 7.0).abs() < 1e-6);
+        assert!((s.sample_std() - (32.0f32 / 7.0).sqrt()).abs() < 1e-6);
         assert_eq!(s.min(), 2.0);
         assert_eq!(s.max(), 9.0);
     }

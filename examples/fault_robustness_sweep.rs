@@ -62,9 +62,11 @@ fn main() -> Result<(), NnError> {
         print!(" {:>16}", variant.label());
     }
     println!();
+    let mut clean_acc = vec![0.0f32; models.len()];
+    let mut worst_acc = vec![1.0f32; models.len()];
     for &sigma in &sigmas {
         print!("{sigma:>6.2}");
-        for model in models.iter_mut() {
+        for (vi, model) in models.iter_mut().enumerate() {
             let accuracy = if sigma == 0.0 {
                 evaluate(model, &split)?
             } else {
@@ -79,11 +81,30 @@ fn main() -> Result<(), NnError> {
                     })?
                     .mean
             };
+            if sigma == 0.0 {
+                clean_acc[vi] = accuracy;
+            }
+            worst_acc[vi] = worst_acc[vi].min(accuracy);
             print!(" {:>16.2}", 100.0 * accuracy);
         }
         println!();
     }
     println!("\nExpected shape: the Proposed column stays high the longest as σ grows.");
+    // Self-verification: every variant must learn the task well above the
+    // 1/6 chance level fault-free, and the sweep must actually degrade it.
+    for (vi, variant) in variants.iter().enumerate() {
+        assert!(
+            clean_acc[vi] > 0.5,
+            "{}: fault-free accuracy {:.3} barely above chance",
+            variant.label(),
+            clean_acc[vi]
+        );
+        assert!(
+            worst_acc[vi] < clean_acc[vi],
+            "{}: conductance variation did not degrade accuracy",
+            variant.label()
+        );
+    }
     Ok(())
 }
 

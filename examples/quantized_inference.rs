@@ -55,10 +55,8 @@ fn main() -> Result<(), NnError> {
             ..TrainConfig::default()
         },
     )?;
-    println!(
-        "float model accuracy:      {:.2}%",
-        100.0 * accuracy(&mut net, &inputs, &labels)?
-    );
+    let float_acc = accuracy(&mut net, &inputs, &labels)?;
+    println!("float model accuracy:      {:.2}%", 100.0 * float_acc);
 
     // -------------------------------------- quantize to integer inference
     // Rebuild the quantized twin from the trained layers: weights become
@@ -80,14 +78,21 @@ fn main() -> Result<(), NnError> {
         qnet.push(Box::new(Relu::new()));
         qnet.push(Box::new(QuantizedLinear::from_linear(&fl2, 8)?));
     }
-    println!(
-        "8-bit integer accuracy:    {:.2}%",
-        100.0 * accuracy(&mut qnet, &inputs, &labels)?
+    let quant_acc = accuracy(&mut qnet, &inputs, &labels)?;
+    println!("8-bit integer accuracy:    {:.2}%", 100.0 * quant_acc);
+    // Self-verification: the separable blobs must be learned nearly
+    // perfectly, and 8-bit quantization must not cost more than 5 points.
+    assert!(float_acc > 0.9, "float accuracy {float_acc:.3} too low");
+    assert!(
+        quant_acc >= float_acc - 0.05,
+        "quantization lost too much accuracy ({float_acc:.3} -> {quant_acc:.3})"
     );
 
     // ------------------------- fault robustness: f32 vs code-domain path
     let engine = MonteCarloEngine::new(25, 7);
     println!("bit-flip robustness, {} chip instances:", engine.runs());
+    let mut prev_float = 1.0f32;
+    let mut prev_quant = 1.0f32;
     for rate in [0.05f32, 0.15, 0.30] {
         let fault = FaultModel::BitFlip { rate, bits: 8 };
         let (inputs_ref, labels_ref) = (&inputs, &labels);
@@ -105,6 +110,14 @@ fn main() -> Result<(), NnError> {
             100.0 * quant_summary.mean,
             100.0 * quant_summary.std,
         );
+        // Self-verification: raising the flip rate must keep degrading both
+        // protocols (allowing a small Monte-Carlo wobble).
+        assert!(
+            float_summary.mean < prev_float + 0.02 && quant_summary.mean < prev_quant + 0.02,
+            "bit-flip rate {rate} did not degrade accuracy"
+        );
+        prev_float = float_summary.mean;
+        prev_quant = quant_summary.mean;
     }
     Ok(())
 }

@@ -52,11 +52,19 @@ fn main() -> Result<(), NnError> {
         let passes = if variant.is_bayesian() { 16 } else { 1 };
         let prediction =
             BayesianPredictor::new(passes).predict_regression(&mut model, &split.test_inputs)?;
+        let clean_rmse = prediction.rmse(&split.test_targets)?;
         println!(
             "\n[{}] clean test RMSE: {:.4} (normalized), mean predictive std: {:.4}",
             variant.label(),
-            prediction.rmse(&split.test_targets)?,
+            clean_rmse,
             prediction.mean_uncertainty()
+        );
+        // Self-verification: the forecaster must beat a trivial predictor on
+        // the normalized series by a wide margin.
+        assert!(
+            clean_rmse < 0.5,
+            "[{}] clean RMSE {clean_rmse:.4} did not learn the series",
+            variant.label()
         );
 
         // Robustness to multiplicative conductance variation (Fig. 6b, right).
@@ -77,6 +85,14 @@ fn main() -> Result<(), NnError> {
                 variant.label(),
                 summary.mean,
                 summary.std
+            );
+            // Self-verification: faulted RMSE stays finite and never beats
+            // the clean model by more than Monte-Carlo wobble.
+            assert!(
+                summary.mean.is_finite() && summary.mean > clean_rmse - 0.05,
+                "[{}] σ={sigma:.1} produced an implausible RMSE {:.4}",
+                variant.label(),
+                summary.mean
             );
         }
     }

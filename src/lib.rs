@@ -11,7 +11,8 @@
 //! `use` line:
 //!
 //! * [`tensor`] ([`invnorm_tensor`]) — N-d `f32` tensors, convolution and
-//!   pooling kernels, RNG, statistics.
+//!   pooling kernels, RNG, statistics, and the zero-alloc telemetry layer
+//!   (phase spans, engine counters, chrome-trace export).
 //! * [`nn`] ([`invnorm_nn`]) — layers, losses, optimizers, training loops.
 //! * [`quant`] ([`invnorm_quant`]) — uniform quantization, binarization,
 //!   activation fake-quantization.
@@ -71,8 +72,8 @@ pub mod prelude {
         AffineDropout, AffineInit, DropGranularity, InvNormConfig, InvertedNorm, OodDetector,
     };
     pub use invnorm_imc::{
-        CodeFaultInjector, FaultModel, MonteCarloEngine, MonteCarloSummary, NoiseHandle,
-        WeightFaultInjector,
+        CodeFaultInjector, DegradationPolicy, EngineKind, FallbackStep, FaultModel, LadderOutcome,
+        MonteCarloEngine, MonteCarloSummary, NoiseHandle, WeightFaultInjector,
     };
     pub use invnorm_models::{BuiltModel, NormVariant};
     pub use invnorm_nn::layer::{Layer, Mode, Param};
@@ -81,6 +82,7 @@ pub mod prelude {
     pub use invnorm_nn::quantized::{QuantizedConv2d, QuantizedLinear};
     pub use invnorm_nn::{NnError, Plan, Residual, Sequential};
     pub use invnorm_quant::{QuantConfig, QuantizedTensor};
+    pub use invnorm_tensor::telemetry::{Counter, Phase, RunTelemetry, Telemetry};
     pub use invnorm_tensor::{Rng, Shape, Tensor};
 }
 

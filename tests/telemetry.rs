@@ -1,0 +1,336 @@
+//! Cross-crate integration tests of the telemetry layer: enabling
+//! instrumentation must not change a single output bit on any engine, must
+//! not allocate in the steady state (verified with a counting global
+//! allocator), and the chrome-trace export must be well-formed with balanced
+//! begin/end events.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::Mutex;
+
+use invnorm::prelude::*;
+use invnorm_imc::{LineOrientation, TileShape};
+use invnorm_nn::activation::Relu;
+use invnorm_nn::conv::Conv2d;
+use invnorm_nn::pool::MaxPool2d;
+use invnorm_nn::reshape::Flatten;
+
+/// A pass-through allocator counting this thread's allocations, so the
+/// "telemetry is allocation-free in the steady state" claim is enforced by
+/// the test harness rather than asserted by inspection.
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOCATIONS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn thread_allocations() -> usize {
+    ALLOCATIONS.with(|c| c.get())
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// The telemetry enable flag, accumulators and rings are process-global, and
+/// the test harness runs `#[test]`s concurrently — every test that toggles
+/// or reads telemetry state holds this lock for its whole body.
+static TELEMETRY_LOCK: Mutex<()> = Mutex::new(());
+
+fn telemetry_lock() -> std::sync::MutexGuard<'static, ()> {
+    TELEMETRY_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Restores the disabled default even when a test panics, so one failure
+/// does not cascade into bit-identity failures elsewhere.
+struct DisableOnDrop;
+
+impl Drop for DisableOnDrop {
+    fn drop(&mut self) {
+        Telemetry::disable();
+        Telemetry::reset();
+    }
+}
+
+/// All eight fault models applicable to f32 weights (BinaryBitFlip needs a
+/// binarized network and is covered by the imc crate's own tests).
+fn all_faults() -> [FaultModel; 8] {
+    let tile = TileShape { rows: 4, cols: 4 };
+    [
+        FaultModel::AdditiveVariation { sigma: 0.2 },
+        FaultModel::MultiplicativeVariation { sigma: 0.15 },
+        FaultModel::UniformNoise { strength: 0.1 },
+        FaultModel::BitFlip {
+            rate: 0.05,
+            bits: 8,
+        },
+        FaultModel::StuckAt { rate: 0.1 },
+        FaultModel::Drift {
+            nu: 0.05,
+            time_ratio: 10.0,
+        },
+        FaultModel::LineDefect {
+            orientation: LineOrientation::Row,
+            rate: 0.2,
+            tile,
+        },
+        FaultModel::CorrelatedDrift {
+            nu: 0.05,
+            time_ratio: 10.0,
+            sigma_nu: 0.3,
+            tile,
+        },
+    ]
+}
+
+/// A small CNN exercising conv (im2col + pack), pooling and a dense head.
+fn cnn(seed: u64) -> Sequential {
+    let mut rng = Rng::seed_from(seed);
+    Sequential::new()
+        .with(Box::new(Conv2d::new(2, 4, 3, 1, 1, &mut rng)))
+        .with(Box::new(Relu::new()))
+        .with(Box::new(MaxPool2d::new(2)))
+        .with(Box::new(Flatten::new()))
+        .with(Box::new(Linear::new(4 * 4 * 4, 3, &mut rng)))
+}
+
+fn assert_bits_equal(baseline: &[f32], instrumented: &[f32], what: &str) {
+    assert_eq!(baseline.len(), instrumented.len(), "{what}: run count");
+    let identical = baseline
+        .iter()
+        .zip(instrumented.iter())
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(identical, "{what}: {baseline:?} vs {instrumented:?}");
+}
+
+#[test]
+fn telemetry_is_bit_invisible_on_all_five_engines() {
+    let _guard = telemetry_lock();
+    let _restore = DisableOnDrop;
+    let x = Tensor::randn(&[2, 2, 8, 8], 0.0, 1.0, &mut Rng::seed_from(11));
+    let engine = MonteCarloEngine::new(6, 0xD1CE);
+    let metric = |out: &Tensor| Ok(out.abs().mean());
+    for fault in all_faults() {
+        // One pass per engine with telemetry disabled, then the exact same
+        // simulation instrumented; per-run metrics must match bit for bit.
+        let mut results: [Option<[Vec<f32>; 5]>; 2] = [None, None];
+        for (slot, enabled) in [(0usize, false), (1usize, true)] {
+            if enabled {
+                Telemetry::reset();
+                Telemetry::enable();
+            } else {
+                Telemetry::disable();
+            }
+            let xc = x.clone();
+            let mut net = cnn(23);
+            let sequential = engine
+                .run(&mut net, fault, |n| {
+                    Ok(n.forward(&xc, Mode::Eval)?.abs().mean())
+                })
+                .unwrap();
+            let parallel = engine
+                .run_parallel(
+                    || cnn(23),
+                    fault,
+                    |m: &mut Sequential| Ok(m.forward(&x, Mode::Eval)?.abs().mean()),
+                    2,
+                )
+                .unwrap();
+            let batched = engine
+                .run_batched(|| cnn(23), fault, &x, metric, 4, 2)
+                .unwrap();
+            let planned = engine
+                .run_planned(|| cnn(23), fault, &x, metric, 2)
+                .unwrap();
+            let fused = engine
+                .run_planned_batched(|| cnn(23), fault, &x, metric, 4, 2)
+                .unwrap();
+            assert_eq!(sequential.telemetry.is_some(), enabled);
+            assert_eq!(fused.telemetry.is_some(), enabled);
+            results[slot] = Some([
+                sequential.per_run,
+                parallel.per_run,
+                batched.per_run,
+                planned.per_run,
+                fused.per_run,
+            ]);
+            if enabled {
+                Telemetry::disable();
+            }
+        }
+        let [baseline, instrumented] = results;
+        let (baseline, instrumented) = (baseline.unwrap(), instrumented.unwrap());
+        for (i, name) in [
+            "run",
+            "run_parallel",
+            "run_batched",
+            "run_planned",
+            "run_planned_batched",
+        ]
+        .iter()
+        .enumerate()
+        {
+            assert_bits_equal(&baseline[i], &instrumented[i], &format!("{name} {fault:?}"));
+        }
+    }
+}
+
+#[test]
+fn enabled_telemetry_is_allocation_free_in_steady_state() {
+    let _guard = telemetry_lock();
+    let _restore = DisableOnDrop;
+    let mut net = cnn(17);
+    let x = Tensor::randn(&[2, 2, 8, 8], 0.0, 1.0, &mut Rng::seed_from(18));
+    let batch = 4usize;
+    let mut plan = Plan::compile_batched(&mut net, &x, batch).unwrap();
+    let mut rngs: Vec<Rng> = (0..batch).map(|b| Rng::seed_from(b as u64)).collect();
+    let injector = WeightFaultInjector::new(FaultModel::StuckAt { rate: 0.1 }).unwrap();
+
+    Telemetry::reset();
+    Telemetry::enable();
+    // Warm up with instrumentation live: the calling thread's span ring is
+    // materialized (its one-time allocation happens here) and the plan's
+    // caches reach steady state.
+    for round in 0..3u64 {
+        for (b, slot) in rngs.iter_mut().enumerate() {
+            *slot = Rng::seed_from(100 * round + b as u64);
+        }
+        injector.realize_plan_batch(&mut net, &mut rngs).unwrap();
+        plan.forward(&mut net).unwrap();
+    }
+
+    // Steady state: spans (Repack/Gemm/Im2col inside the planned forward,
+    // Inject inside the injector) and counters keep firing on every round,
+    // and none of it may touch the heap.
+    let before = thread_allocations();
+    for round in 3..6u64 {
+        for (b, slot) in rngs.iter_mut().enumerate() {
+            *slot = Rng::seed_from(100 * round + b as u64);
+        }
+        injector.realize_plan_batch(&mut net, &mut rngs).unwrap();
+        plan.forward(&mut net).unwrap();
+    }
+    let allocations = thread_allocations() - before;
+    Telemetry::disable();
+    assert_eq!(
+        allocations, 0,
+        "steady-state planned-batched forwards with telemetry enabled must \
+         perform zero heap allocations"
+    );
+    // The instrumentation did observe the loop (spans recorded, cells
+    // scattered by the sparse stuck-at realizations).
+    assert!(Telemetry::phase_ns(Phase::Inject) > 0);
+    assert!(Telemetry::counter(Counter::CellScatters) > 0);
+    net.plan_end();
+}
+
+#[test]
+fn chrome_trace_export_is_well_formed_and_balanced() {
+    let _guard = telemetry_lock();
+    let _restore = DisableOnDrop;
+    Telemetry::reset();
+    Telemetry::enable();
+    let x = Tensor::randn(&[2, 2, 8, 8], 0.0, 1.0, &mut Rng::seed_from(31));
+    let engine = MonteCarloEngine::new(6, 0xACE);
+    let summary = engine
+        .run_planned_batched(
+            || cnn(29),
+            FaultModel::AdditiveVariation { sigma: 0.2 },
+            &x,
+            |out| Ok(out.abs().mean()),
+            4,
+            1,
+        )
+        .unwrap();
+    Telemetry::disable();
+    let trace = Telemetry::chrome_trace();
+
+    assert!(trace.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+    assert!(trace.ends_with("]}"));
+    let begins = trace.matches("\"ph\":\"B\"").count();
+    let ends = trace.matches("\"ph\":\"E\"").count();
+    assert!(begins > 0, "trace recorded no spans");
+    assert_eq!(begins, ends, "unbalanced B/E events");
+    for name in ["compile", "inject", "forward", "gemm", "metric"] {
+        assert!(
+            trace.contains(&format!("\"name\":\"{name}\"")),
+            "trace missing phase {name}"
+        );
+    }
+
+    // The engine attached a run report: the wall clock covers the phases it
+    // brackets, the convergence stream has one point per chip instance, and
+    // the rendered table/JSON mention every phase.
+    let report = summary
+        .telemetry
+        .expect("enabled run must attach telemetry");
+    assert!(report.wall_ns > 0);
+    assert!(report.phase_ns(Phase::Forward) > 0);
+    assert!(report.phase_count(Phase::Forward) > 0);
+    assert_eq!(report.convergence.len(), summary.per_run.len());
+    let last = report.convergence.last().unwrap();
+    assert_eq!(last.runs, summary.per_run.len() as u64);
+    assert!((last.mean - summary.mean).abs() <= 1e-6 * summary.mean.abs().max(1.0));
+    let table = report.to_string();
+    let json = report.to_json();
+    for phase in invnorm_tensor::telemetry::PHASES {
+        assert!(table.contains(phase.name()), "table missing {phase}");
+        assert!(json.contains(phase.name()), "json missing {phase}");
+    }
+}
+
+#[test]
+fn ladder_outcome_display_reports_engine_and_fallbacks() {
+    let _guard = telemetry_lock();
+    let _restore = DisableOnDrop;
+    Telemetry::reset();
+    Telemetry::enable();
+    let x = Tensor::randn(&[2, 2, 8, 8], 0.0, 1.0, &mut Rng::seed_from(41));
+    // A per-inference lifetime forces the direct engines to be skipped with
+    // a typed reason if the ladder ever degrades past the planned rungs;
+    // with a plannable CNN the fastest rung runs and no fallback fires.
+    let outcome = MonteCarloEngine::new(4, 7)
+        .run_auto(
+            || cnn(37),
+            FaultModel::AdditiveVariation { sigma: 0.1 },
+            &x,
+            |out| Ok(out.abs().mean()),
+            2,
+            1,
+            DegradationPolicy::Graceful,
+        )
+        .unwrap();
+    Telemetry::disable();
+    assert_eq!(outcome.engine, EngineKind::PlannedBatched);
+    let rendered = outcome.to_string();
+    assert!(rendered.contains("run_planned_batched"), "{rendered}");
+    assert!(rendered.contains("4 runs"), "{rendered}");
+    // And a synthetic fallback renders with its reason.
+    let step = FallbackStep {
+        engine: EngineKind::Batched,
+        reason: invnorm_imc::FallbackReason::Lifetime,
+    };
+    let line = step.to_string();
+    assert!(line.contains("run_batched"), "{line}");
+    assert!(line.contains("lifetime"), "{line}");
+}
