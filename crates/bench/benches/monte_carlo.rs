@@ -19,7 +19,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use invnorm_imc::fault::{FaultModel, LineOrientation};
 use invnorm_imc::montecarlo::MonteCarloEngine;
 use invnorm_imc::telemetry::Telemetry;
-use invnorm_imc::TileShape;
+use invnorm_imc::{SweepControl, TileShape};
 use invnorm_nn::activation::Relu;
 use invnorm_nn::conv::Conv2d;
 use invnorm_nn::layer::{Layer, Mode};
@@ -241,6 +241,56 @@ fn bench_model<F>(
     }
 }
 
+/// Supervision parity: the `*_supervised` entry points with a default
+/// [`SweepControl`] (unbounded budget, no resume) must cost the same as the
+/// legacy wrappers — the budget check is one relaxed atomic load per chip
+/// instance and the ledger records on the main thread only. Benched against
+/// the matching legacy names above, the gate turns any creep into a failure.
+fn bench_supervised_parity(group: &mut criterion::BenchmarkGroup<'_>) {
+    let engine = MonteCarloEngine::new(RUNS, 0xC0FFEE);
+    let x = linear_input();
+    let control = SweepControl::new();
+    group.bench_function(
+        format!("linear_f32_additive_planned_batched_supervised_b{BATCH}_t{THREADS}"),
+        |b| {
+            b.iter(|| {
+                engine
+                    .run_planned_batched_supervised(
+                        || linear_model(1),
+                        FaultModel::AdditiveVariation { sigma: 0.1 },
+                        &x,
+                        |out| Ok(out.sum()),
+                        BATCH,
+                        THREADS,
+                        &control,
+                    )
+                    .unwrap()
+                    .summary()
+                    .mean
+            })
+        },
+    );
+    group.bench_function(
+        format!("linear_f32_additive_parallel_supervised_t{THREADS}"),
+        |b| {
+            b.iter(|| {
+                let xc = x.clone();
+                engine
+                    .run_parallel_supervised(
+                        || linear_model(1),
+                        FaultModel::AdditiveVariation { sigma: 0.1 },
+                        move |n: &mut Sequential| Ok(n.forward(&xc, Mode::Eval)?.sum()),
+                        THREADS,
+                        &control,
+                    )
+                    .unwrap()
+                    .summary()
+                    .mean
+            })
+        },
+    );
+}
+
 fn bench_monte_carlo(c: &mut Criterion) {
     let mut group = c.benchmark_group("monte_carlo");
     group.sample_size(10);
@@ -264,6 +314,8 @@ fn bench_monte_carlo(c: &mut Criterion) {
         &x,
         true,
     );
+
+    bench_supervised_parity(&mut group);
 
     group.finish();
     emit_telemetry_artifacts();

@@ -35,6 +35,11 @@
 //!   quantization and conductance variation, demonstrating the full
 //!   weight-programming / analog-MVM path (`program_codes` programs a tile
 //!   straight from quantized integer codes).
+//! * [`supervise`] — hardened-sweep supervision: [`supervise::RunBudget`]
+//!   deadlines and cooperative [`supervise::CancelToken`]s, panic / non-finite
+//!   quarantine with typed [`supervise::QuarantinedRun`] diagnostics, and
+//!   bit-identical checkpoint/resume via [`supervise::SweepCheckpoint`] —
+//!   driven through the `*_supervised` engine entry points.
 //!
 //! # Example: perturb a network and measure the damage
 //!
@@ -71,6 +76,7 @@ pub mod crossbar;
 pub mod fault;
 pub mod injector;
 pub mod montecarlo;
+pub mod supervise;
 
 pub use crossbar::TileShape;
 pub use fault::{FaultLifetime, FaultModel, FaultSpec, LineOrientation};
@@ -78,7 +84,11 @@ pub use injector::{ActivationNoise, CodeFaultInjector, NoiseHandle, WeightFaultI
 pub use invnorm_tensor::telemetry;
 pub use montecarlo::{
     DegradationPolicy, EngineKind, FallbackReason, FallbackStep, LadderOutcome, MonteCarloEngine,
-    MonteCarloSummary,
+    MonteCarloSummary, SupervisedLadderOutcome,
+};
+pub use supervise::{
+    CancelToken, InterruptCause, QuarantineCause, QuarantinedRun, RunBudget, SweepCheckpoint,
+    SweepControl, SweepDomain, SweepOutcome,
 };
 
 /// Convenience result alias re-using the NN error type.

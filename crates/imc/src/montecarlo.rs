@@ -20,14 +20,19 @@
 
 use crate::fault::{FaultLifetime, FaultModel, FaultSpec};
 use crate::injector::{CodeFaultInjector, WeightFaultInjector};
+use crate::supervise::{
+    panic_message, QuarantineCause, QuarantinedRun, RunLedger, SweepControl, SweepDomain,
+    SweepOutcome,
+};
 use crate::Result;
 use invnorm_nn::layer::{Layer, Mode};
 use invnorm_nn::plan::Plan;
-use invnorm_nn::NnError;
+use invnorm_nn::{CheckpointFault, NnError};
 use invnorm_tensor::stats::RunningStats;
 use invnorm_tensor::telemetry::{self, RunScope, RunTelemetry};
 use invnorm_tensor::{Rng, Tensor};
 use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -62,7 +67,7 @@ pub struct MonteCarloSummary {
 }
 
 impl MonteCarloSummary {
-    fn from_runs(fault_label: String, per_run: Vec<f32>) -> Self {
+    pub(crate) fn from_runs(fault_label: String, per_run: Vec<f32>) -> Self {
         let mut stats = RunningStats::new();
         stats.extend_from_slice(&per_run);
         Self {
@@ -99,6 +104,11 @@ pub enum EngineKind {
     /// [`MonteCarloEngine::run_parallel`]: per-instance snapshot/restore on
     /// the direct eval path — supports every layer.
     Parallel,
+    /// [`MonteCarloEngine::run`] / [`MonteCarloEngine::run_quantized`]: the
+    /// single-threaded reference engine. Never chosen by the ladder (it is
+    /// `run_parallel` with one worker, minus the pool); appears in
+    /// supervised-sweep checkpoints taken from the sequential entry points.
+    Sequential,
 }
 
 impl EngineKind {
@@ -109,6 +119,7 @@ impl EngineKind {
             EngineKind::Planned => "MonteCarloEngine::run_planned",
             EngineKind::Batched => "MonteCarloEngine::run_batched",
             EngineKind::Parallel => "MonteCarloEngine::run_parallel",
+            EngineKind::Sequential => "MonteCarloEngine::run",
         }
     }
 }
@@ -210,6 +221,64 @@ impl std::fmt::Display for LadderOutcome {
     }
 }
 
+/// Result of [`MonteCarloEngine::run_auto_supervised`]: the supervised sweep
+/// outcome plus the ladder report.
+#[derive(Debug, Clone)]
+pub struct SupervisedLadderOutcome {
+    /// The (complete or interrupted) sweep outcome.
+    pub outcome: SweepOutcome,
+    /// The engine that produced it.
+    pub engine: EngineKind,
+    /// The rungs skipped before `engine`, in ladder order (always empty when
+    /// resuming from a checkpoint — resume pins the engine).
+    pub fallbacks: Vec<FallbackStep>,
+}
+
+/// What one worker attempt at a chip instance produced. `Panicked` only
+/// occurs on the supervised paths (the legacy entry points let panics
+/// propagate, preserving their pre-supervision behavior).
+enum Attempt {
+    Metric(Result<f32>),
+    Panicked(String),
+}
+
+/// Per-batch counterpart of [`Attempt`]: a fused forward is a fused failure
+/// domain, so a panic quarantines the whole batch.
+enum BatchAttempt {
+    Metrics(Result<Vec<f32>>),
+    Panicked(String),
+}
+
+/// Injector dispatch shared by the sequential supervised body, so the f32
+/// and code-domain loops are literally the same code.
+enum AnyInjector {
+    Weights(WeightFaultInjector),
+    Codes(CodeFaultInjector),
+}
+
+impl AnyInjector {
+    fn new(domain: SweepDomain, fault: FaultModel) -> Self {
+        match domain {
+            SweepDomain::Weights => AnyInjector::Weights(WeightFaultInjector::new_unchecked(fault)),
+            SweepDomain::Codes => AnyInjector::Codes(CodeFaultInjector::new_unchecked(fault)),
+        }
+    }
+
+    fn inject<L: Layer + ?Sized>(&mut self, network: &mut L, rng: &mut Rng) -> Result<()> {
+        match self {
+            AnyInjector::Weights(i) => i.inject(network, rng),
+            AnyInjector::Codes(i) => i.inject(network, rng),
+        }
+    }
+
+    fn restore<L: Layer + ?Sized>(&mut self, network: &mut L) -> Result<()> {
+        match self {
+            AnyInjector::Weights(i) => i.restore(network),
+            AnyInjector::Codes(i) => i.restore(network),
+        }
+    }
+}
+
 /// Monte-Carlo fault-simulation engine.
 #[derive(Debug, Clone, Copy)]
 pub struct MonteCarloEngine {
@@ -280,42 +349,162 @@ impl MonteCarloEngine {
         &self,
         network: &mut dyn Layer,
         fault: impl Into<FaultSpec>,
-        mut evaluate: F,
+        evaluate: F,
     ) -> Result<MonteCarloSummary>
     where
         F: FnMut(&mut dyn Layer) -> Result<f32>,
     {
-        let fault = Self::require_static(fault.into(), "MonteCarloEngine::run")?;
+        let outcome = self.run_seq_impl(
+            network,
+            fault.into(),
+            evaluate,
+            SweepDomain::Weights,
+            &SweepControl::default(),
+            false,
+        )?;
+        Self::unwrap_legacy(outcome)
+    }
+
+    /// The supervised counterpart of [`MonteCarloEngine::run`]: honors the
+    /// control's [`crate::supervise::RunBudget`] between chip instances,
+    /// quarantines panicking and non-finite runs instead of failing the
+    /// sweep, and resumes from the control's checkpoint when one is given.
+    /// See [`crate::supervise`] for the full semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the fault configuration is invalid or
+    /// unsupported, when a resume checkpoint does not match this sweep, or
+    /// when injection, evaluation or restoration fails *with a genuine
+    /// error* (an `Err` from `evaluate` still propagates — only panics and
+    /// non-finite metrics are quarantined).
+    pub fn run_supervised<F>(
+        &self,
+        network: &mut dyn Layer,
+        fault: impl Into<FaultSpec>,
+        evaluate: F,
+        control: &SweepControl,
+    ) -> Result<SweepOutcome>
+    where
+        F: FnMut(&mut dyn Layer) -> Result<f32>,
+    {
+        self.run_seq_impl(
+            network,
+            fault.into(),
+            evaluate,
+            SweepDomain::Weights,
+            control,
+            true,
+        )
+    }
+
+    /// Shared body of the sequential engines (`run` / `run_quantized` and
+    /// their supervised variants). `catch` is true only on the supervised
+    /// paths: the legacy entry points keep their pre-supervision panic
+    /// semantics (propagate) and map the lowest quarantined run back to the
+    /// historical error message via [`MonteCarloEngine::unwrap_legacy`].
+    fn run_seq_impl<F>(
+        &self,
+        network: &mut dyn Layer,
+        spec: FaultSpec,
+        mut evaluate: F,
+        domain: SweepDomain,
+        control: &SweepControl,
+        catch: bool,
+    ) -> Result<SweepOutcome>
+    where
+        F: FnMut(&mut dyn Layer) -> Result<f32>,
+    {
+        let entry = match domain {
+            SweepDomain::Weights => "MonteCarloEngine::run",
+            SweepDomain::Codes => "MonteCarloEngine::run_quantized",
+        };
+        let fault = Self::require_static(spec, entry)?;
         let scope = RunScope::begin();
-        let mut per_run = Vec::with_capacity(self.runs);
+        let mut ledger = RunLedger::new(
+            EngineKind::Sequential,
+            domain,
+            self.seed,
+            self.runs,
+            fault.label(),
+            control.resume.as_ref(),
+        )?;
         for run in 0..self.runs {
+            if ledger.is_done(run) {
+                continue;
+            }
+            if control.budget.interrupted().is_some() {
+                break;
+            }
             // Kept in lockstep with `simulate_one` (the run_parallel inner
             // step); they cannot share code because the `&mut dyn Layer` in
             // `F`'s bound cannot unify with a `?Sized` type parameter
             // (diagonal higher-ranked lifetime). Any divergence is caught by
             // the `parallel_*_bit_identical*` tests below.
             let mut rng = Self::run_rng(self.seed, run);
-            let mut injector = WeightFaultInjector::new_unchecked(fault);
+            let mut injector = AnyInjector::new(domain, fault);
             injector.inject(network, &mut rng)?;
             // The user closure fuses forward and metric; span both together.
             let result = {
                 let _span = telemetry::span(telemetry::Phase::Forward);
-                evaluate(network)
+                if catch {
+                    match catch_unwind(AssertUnwindSafe(|| evaluate(network))) {
+                        Ok(r) => Attempt::Metric(r),
+                        Err(payload) => Attempt::Panicked(panic_message(payload)),
+                    }
+                } else {
+                    Attempt::Metric(evaluate(network))
+                }
             };
-            // Always restore, even if evaluation failed.
+            // Always restore, even if evaluation failed or panicked: the
+            // injector's snapshot is intact either way.
             let restore_result = injector.restore(network);
-            let metric = result?;
-            restore_result?;
-            if !metric.is_finite() {
-                return Err(NnError::Config(format!(
-                    "evaluation returned a non-finite metric ({metric}) on run {run}"
-                )));
+            match result {
+                Attempt::Metric(Ok(metric)) => {
+                    restore_result?;
+                    ledger.record(run, metric);
+                }
+                // A genuine evaluation error takes precedence over a
+                // restore failure, matching the historical ordering.
+                Attempt::Metric(Err(e)) => return Err(e),
+                Attempt::Panicked(message) => {
+                    restore_result?;
+                    ledger.record_panic(run, message);
+                }
             }
-            per_run.push(metric);
         }
-        let mut summary = MonteCarloSummary::from_runs(fault.label(), per_run);
-        summary.telemetry = scope.finish(&summary.per_run);
-        Ok(summary)
+        Ok(ledger.finish(scope, &control.budget))
+    }
+
+    /// Maps a supervised outcome back onto the legacy contract: a complete,
+    /// quarantine-free sweep returns its summary, and the lowest quarantined
+    /// run reproduces the historical non-finite error message. Interrupts
+    /// cannot occur (legacy calls pass an unbounded default control).
+    fn unwrap_legacy(outcome: SweepOutcome) -> Result<MonteCarloSummary> {
+        match outcome {
+            SweepOutcome::Complete {
+                summary,
+                quarantined,
+            } => match quarantined.into_iter().min_by_key(|q| q.run) {
+                None => Ok(summary),
+                Some(q) => Err(Self::legacy_quarantine_error(&q)),
+            },
+            SweepOutcome::Interrupted { .. } => Err(NnError::Config(
+                "sweep interrupted under an unbounded budget (internal error)".into(),
+            )),
+        }
+    }
+
+    fn legacy_quarantine_error(q: &QuarantinedRun) -> NnError {
+        match &q.cause {
+            QuarantineCause::NonFinite { value } => NnError::Config(format!(
+                "evaluation returned a non-finite metric ({value}) on run {}",
+                q.run
+            )),
+            QuarantineCause::Panic { message } => {
+                NnError::Config(format!("evaluation panicked ({message}) on run {}", q.run))
+            }
+        }
     }
 
     /// Runs the simulation with per-worker model copies built by `factory`,
@@ -350,24 +539,87 @@ impl MonteCarloEngine {
         F: Fn() -> M + Sync,
         E: Fn(&mut M) -> Result<f32> + Sync,
     {
-        let fault = Self::require_static(fault.into(), "MonteCarloEngine::run_parallel")?;
+        let outcome = self.run_parallel_impl(
+            factory,
+            fault.into(),
+            evaluate,
+            threads,
+            &SweepControl::default(),
+            false,
+        )?;
+        Self::unwrap_legacy(outcome)
+    }
+
+    /// The supervised counterpart of [`MonteCarloEngine::run_parallel`]:
+    /// workers honor the control's budget between chip instances, a
+    /// panicking run is quarantined (the worker rebuilds its model from the
+    /// factory and keeps claiming work — the pool survives), non-finite
+    /// metrics are quarantined at record time, and the control's checkpoint
+    /// resumes only the missing instances. See [`crate::supervise`].
+    ///
+    /// # Errors
+    ///
+    /// See [`MonteCarloEngine::run_supervised`]; with several genuine
+    /// errors, the lowest-indexed failing instance is reported.
+    pub fn run_parallel_supervised<M, F, E>(
+        &self,
+        factory: F,
+        fault: impl Into<FaultSpec>,
+        evaluate: E,
+        threads: usize,
+        control: &SweepControl,
+    ) -> Result<SweepOutcome>
+    where
+        M: Layer + Send,
+        F: Fn() -> M + Sync,
+        E: Fn(&mut M) -> Result<f32> + Sync,
+    {
+        self.run_parallel_impl(factory, fault.into(), evaluate, threads, control, true)
+    }
+
+    fn run_parallel_impl<M, F, E>(
+        &self,
+        factory: F,
+        spec: FaultSpec,
+        evaluate: E,
+        threads: usize,
+        control: &SweepControl,
+        catch: bool,
+    ) -> Result<SweepOutcome>
+    where
+        M: Layer + Send,
+        F: Fn() -> M + Sync,
+        E: Fn(&mut M) -> Result<f32> + Sync,
+    {
+        let fault = Self::require_static(spec, "MonteCarloEngine::run_parallel")?;
         let scope = RunScope::begin();
+        let mut ledger = RunLedger::new(
+            EngineKind::Parallel,
+            SweepDomain::Weights,
+            self.seed,
+            self.runs,
+            fault.label(),
+            control.resume.as_ref(),
+        )?;
+        let done = ledger.done_mask();
+        let budget = &control.budget;
         let threads = threads.clamp(1, self.runs);
         let n_chunks = self.runs.div_ceil(Self::CHUNK);
         let seed = self.seed;
         let runs = self.runs;
         let next_chunk = AtomicUsize::new(0);
-        let collected: Mutex<Vec<(usize, Result<f32>)>> = Mutex::new(Vec::with_capacity(runs));
+        let collected: Mutex<Vec<(usize, Attempt)>> = Mutex::new(Vec::with_capacity(runs));
         rayon::scope(|s| {
             for _ in 0..threads {
                 let next_chunk = &next_chunk;
                 let collected = &collected;
                 let factory = &factory;
                 let evaluate = &evaluate;
+                let done = &done;
                 s.spawn(move || {
                     let mut model = factory();
-                    let mut local: Vec<(usize, Result<f32>)> = Vec::new();
-                    loop {
+                    let mut local: Vec<(usize, Attempt)> = Vec::new();
+                    'steal: loop {
                         let chunk = next_chunk.fetch_add(1, Ordering::Relaxed);
                         if chunk >= n_chunks {
                             break;
@@ -375,10 +627,33 @@ impl MonteCarloEngine {
                         let start = chunk * Self::CHUNK;
                         let end = (start + Self::CHUNK).min(runs);
                         for run in start..end {
-                            local.push((
-                                run,
-                                Self::simulate_one(&mut model, fault, seed, run, evaluate),
-                            ));
+                            if done[run] {
+                                continue;
+                            }
+                            if budget.interrupted().is_some() {
+                                break 'steal;
+                            }
+                            if catch {
+                                match catch_unwind(AssertUnwindSafe(|| {
+                                    Self::simulate_one(&mut model, fault, seed, run, evaluate)
+                                })) {
+                                    Ok(r) => local.push((run, Attempt::Metric(r))),
+                                    Err(payload) => {
+                                        local
+                                            .push((run, Attempt::Panicked(panic_message(payload))));
+                                        // The panic left the model in an
+                                        // unknown state; rebuild it.
+                                        model = factory();
+                                    }
+                                }
+                            } else {
+                                local.push((
+                                    run,
+                                    Attempt::Metric(Self::simulate_one(
+                                        &mut model, fault, seed, run, evaluate,
+                                    )),
+                                ));
+                            }
                         }
                     }
                     collected
@@ -392,20 +667,15 @@ impl MonteCarloEngine {
             .into_inner()
             .expect("monte-carlo result lock poisoned");
         collected.sort_by_key(|(run, _)| *run);
-        debug_assert_eq!(collected.len(), runs);
-        let mut per_run = Vec::with_capacity(runs);
-        for (run, metric) in collected {
-            let metric = metric?;
-            if !metric.is_finite() {
-                return Err(NnError::Config(format!(
-                    "evaluation returned a non-finite metric ({metric}) on run {run}"
-                )));
+        for (run, attempt) in collected {
+            match attempt {
+                Attempt::Metric(Ok(metric)) => ledger.record(run, metric),
+                // Lowest-indexed genuine error wins (the drain is sorted).
+                Attempt::Metric(Err(e)) => return Err(e),
+                Attempt::Panicked(message) => ledger.record_panic(run, message),
             }
-            per_run.push(metric);
         }
-        let mut summary = MonteCarloSummary::from_runs(fault.label(), per_run);
-        summary.telemetry = scope.finish(&summary.per_run);
-        Ok(summary)
+        Ok(ledger.finish(scope, budget))
     }
 
     /// Number of chip instances a worker claims per steal. Small enough to
@@ -434,37 +704,47 @@ impl MonteCarloEngine {
         &self,
         network: &mut dyn Layer,
         fault: impl Into<FaultSpec>,
-        mut evaluate: F,
+        evaluate: F,
     ) -> Result<MonteCarloSummary>
     where
         F: FnMut(&mut dyn Layer) -> Result<f32>,
     {
-        let fault = Self::require_static(fault.into(), "MonteCarloEngine::run_quantized")?;
-        let scope = RunScope::begin();
-        let mut per_run = Vec::with_capacity(self.runs);
-        for run in 0..self.runs {
-            let mut rng = Self::run_rng(self.seed, run);
-            let mut injector = CodeFaultInjector::new_unchecked(fault);
-            injector.inject(network, &mut rng)?;
-            // The user closure fuses forward and metric; span both together.
-            let result = {
-                let _span = telemetry::span(telemetry::Phase::Forward);
-                evaluate(network)
-            };
-            // Always restore, even if evaluation failed.
-            let restore_result = injector.restore(network);
-            let metric = result?;
-            restore_result?;
-            if !metric.is_finite() {
-                return Err(NnError::Config(format!(
-                    "evaluation returned a non-finite metric ({metric}) on run {run}"
-                )));
-            }
-            per_run.push(metric);
-        }
-        let mut summary = MonteCarloSummary::from_runs(fault.label(), per_run);
-        summary.telemetry = scope.finish(&summary.per_run);
-        Ok(summary)
+        let outcome = self.run_seq_impl(
+            network,
+            fault.into(),
+            evaluate,
+            SweepDomain::Codes,
+            &SweepControl::default(),
+            false,
+        )?;
+        Self::unwrap_legacy(outcome)
+    }
+
+    /// The supervised counterpart of [`MonteCarloEngine::run_quantized`]:
+    /// same code-domain protocol, plus budgets, quarantine and resume — see
+    /// [`MonteCarloEngine::run_supervised`] and [`crate::supervise`].
+    ///
+    /// # Errors
+    ///
+    /// See [`MonteCarloEngine::run_supervised`].
+    pub fn run_quantized_supervised<F>(
+        &self,
+        network: &mut dyn Layer,
+        fault: impl Into<FaultSpec>,
+        evaluate: F,
+        control: &SweepControl,
+    ) -> Result<SweepOutcome>
+    where
+        F: FnMut(&mut dyn Layer) -> Result<f32>,
+    {
+        self.run_seq_impl(
+            network,
+            fault.into(),
+            evaluate,
+            SweepDomain::Codes,
+            control,
+            true,
+        )
     }
 
     /// Runs the simulation with **B fault realizations fused into each
@@ -515,6 +795,47 @@ impl MonteCarloEngine {
         E: Fn(&Tensor) -> Result<f32> + Sync,
     {
         let fault = Self::require_static(fault.into(), "MonteCarloEngine::run_batched")?;
+        let outcome = self.run_batched_in(
+            BatchedDomain::Weights,
+            factory,
+            fault,
+            input,
+            metric,
+            batch,
+            threads,
+            &SweepControl::default(),
+            false,
+        )?;
+        Self::unwrap_legacy(outcome)
+    }
+
+    /// The supervised counterpart of [`MonteCarloEngine::run_batched`]:
+    /// workers honor the budget between batches, a panicking batch is
+    /// quarantined whole (a fused forward is a fused failure domain; the
+    /// worker rebuilds its model and stacked buffers), and resume re-runs
+    /// any batch with missing instances — deterministic streams make the
+    /// replayed values identical. See [`crate::supervise`].
+    ///
+    /// # Errors
+    ///
+    /// See [`MonteCarloEngine::run_supervised`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_batched_supervised<M, F, E>(
+        &self,
+        factory: F,
+        fault: impl Into<FaultSpec>,
+        input: &Tensor,
+        metric: E,
+        batch: usize,
+        threads: usize,
+        control: &SweepControl,
+    ) -> Result<SweepOutcome>
+    where
+        M: Layer + Send,
+        F: Fn() -> M + Sync,
+        E: Fn(&Tensor) -> Result<f32> + Sync,
+    {
+        let fault = Self::require_static(fault.into(), "MonteCarloEngine::run_batched")?;
         self.run_batched_in(
             BatchedDomain::Weights,
             factory,
@@ -523,6 +844,8 @@ impl MonteCarloEngine {
             metric,
             batch,
             threads,
+            control,
+            true,
         )
     }
 
@@ -552,6 +875,44 @@ impl MonteCarloEngine {
         E: Fn(&Tensor) -> Result<f32> + Sync,
     {
         let fault = Self::require_static(fault.into(), "MonteCarloEngine::run_batched_quantized")?;
+        let outcome = self.run_batched_in(
+            BatchedDomain::Codes,
+            factory,
+            fault,
+            input,
+            metric,
+            batch,
+            threads,
+            &SweepControl::default(),
+            false,
+        )?;
+        Self::unwrap_legacy(outcome)
+    }
+
+    /// The supervised counterpart of
+    /// [`MonteCarloEngine::run_batched_quantized`] — see
+    /// [`MonteCarloEngine::run_batched_supervised`].
+    ///
+    /// # Errors
+    ///
+    /// See [`MonteCarloEngine::run_supervised`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_batched_quantized_supervised<M, F, E>(
+        &self,
+        factory: F,
+        fault: impl Into<FaultSpec>,
+        input: &Tensor,
+        metric: E,
+        batch: usize,
+        threads: usize,
+        control: &SweepControl,
+    ) -> Result<SweepOutcome>
+    where
+        M: Layer + Send,
+        F: Fn() -> M + Sync,
+        E: Fn(&Tensor) -> Result<f32> + Sync,
+    {
+        let fault = Self::require_static(fault.into(), "MonteCarloEngine::run_batched_quantized")?;
         self.run_batched_in(
             BatchedDomain::Codes,
             factory,
@@ -560,6 +921,8 @@ impl MonteCarloEngine {
             metric,
             batch,
             threads,
+            control,
+            true,
         )
     }
 
@@ -573,7 +936,9 @@ impl MonteCarloEngine {
         metric: E,
         batch: usize,
         threads: usize,
-    ) -> Result<MonteCarloSummary>
+        control: &SweepControl,
+        catch: bool,
+    ) -> Result<SweepOutcome>
     where
         M: Layer + Send,
         F: Fn() -> M + Sync,
@@ -583,21 +948,35 @@ impl MonteCarloEngine {
         let scope = RunScope::begin();
         let runs = self.runs;
         let seed = self.seed;
+        let mut ledger = RunLedger::new(
+            EngineKind::Batched,
+            match domain {
+                BatchedDomain::Weights => SweepDomain::Weights,
+                BatchedDomain::Codes => SweepDomain::Codes,
+            },
+            seed,
+            runs,
+            fault.label(),
+            control.resume.as_ref(),
+        )?;
+        let done = ledger.done_mask();
+        let budget = &control.budget;
         let batch = batch.clamp(1, runs);
         let n_batches = runs.div_ceil(batch);
         let threads = threads.clamp(1, n_batches);
         let next_batch = AtomicUsize::new(0);
-        type BatchResult = (usize, Result<Vec<f32>>);
-        let collected: Mutex<Vec<BatchResult>> = Mutex::new(Vec::with_capacity(n_batches));
+        type BatchEntry = (usize, usize, BatchAttempt);
+        let collected: Mutex<Vec<BatchEntry>> = Mutex::new(Vec::with_capacity(n_batches));
         rayon::scope(|s| {
             for _ in 0..threads {
                 let next_batch = &next_batch;
                 let collected = &collected;
                 let factory = &factory;
                 let metric = &metric;
+                let done = &done;
                 s.spawn(move || {
                     let mut model = factory();
-                    let mut local: Vec<BatchResult> = Vec::new();
+                    let mut local: Vec<BatchEntry> = Vec::new();
                     // Clean weights are staged into the stacked buffers once
                     // per worker (targeted slots are fully overwritten by
                     // every realization pass, untargeted slots stay clean),
@@ -610,19 +989,52 @@ impl MonteCarloEngine {
                         }
                         let start = bi * batch;
                         let bsize = batch.min(runs - start);
+                        // A batch whose every instance is already accounted
+                        // for (resume) costs nothing; a partially-done batch
+                        // re-runs whole — the replayed values are identical
+                        // and the ledger ignores re-records.
+                        if done[start..start + bsize].iter().all(|d| *d) {
+                            continue;
+                        }
+                        if budget.interrupted().is_some() {
+                            break;
+                        }
                         if staged != bsize {
                             if let Err(e) = model.begin_batched(bsize) {
-                                local.push((start, Err(e)));
+                                local.push((start, bsize, BatchAttempt::Metrics(Err(e))));
                                 break;
                             }
                             staged = bsize;
                         }
-                        local.push((
-                            start,
-                            Self::simulate_batch(
-                                &mut model, domain, fault, seed, start, bsize, input, metric,
-                            ),
-                        ));
+                        if catch {
+                            match catch_unwind(AssertUnwindSafe(|| {
+                                Self::simulate_batch(
+                                    &mut model, domain, fault, seed, start, bsize, input, metric,
+                                )
+                            })) {
+                                Ok(r) => local.push((start, bsize, BatchAttempt::Metrics(r))),
+                                Err(payload) => {
+                                    local.push((
+                                        start,
+                                        bsize,
+                                        BatchAttempt::Panicked(panic_message(payload)),
+                                    ));
+                                    // The panic left the model and its
+                                    // stacked buffers in an unknown state;
+                                    // rebuild both.
+                                    model = factory();
+                                    staged = 0;
+                                }
+                            }
+                        } else {
+                            local.push((
+                                start,
+                                bsize,
+                                BatchAttempt::Metrics(Self::simulate_batch(
+                                    &mut model, domain, fault, seed, start, bsize, input, metric,
+                                )),
+                            ));
+                        }
                     }
                     model.end_batched();
                     collected
@@ -635,24 +1047,24 @@ impl MonteCarloEngine {
         let mut collected = collected
             .into_inner()
             .expect("monte-carlo result lock poisoned");
-        collected.sort_by_key(|(start, _)| *start);
-        let mut per_run = Vec::with_capacity(runs);
-        for (start, metrics) in collected {
-            let metrics = metrics?;
-            for (offset, metric) in metrics.into_iter().enumerate() {
-                let run = start + offset;
-                if !metric.is_finite() {
-                    return Err(NnError::Config(format!(
-                        "evaluation returned a non-finite metric ({metric}) on run {run}"
-                    )));
+        collected.sort_by_key(|(start, _, _)| *start);
+        for (start, bsize, attempt) in collected {
+            match attempt {
+                BatchAttempt::Metrics(Ok(metrics)) => {
+                    for (offset, metric) in metrics.into_iter().enumerate() {
+                        ledger.record(start + offset, metric);
+                    }
                 }
-                per_run.push(metric);
+                // Lowest-indexed genuine error wins (the drain is sorted).
+                BatchAttempt::Metrics(Err(e)) => return Err(e),
+                BatchAttempt::Panicked(message) => {
+                    for run in start..start + bsize {
+                        ledger.record_panic(run, message.clone());
+                    }
+                }
             }
         }
-        debug_assert_eq!(per_run.len(), runs);
-        let mut summary = MonteCarloSummary::from_runs(fault.label(), per_run);
-        summary.telemetry = scope.finish(&summary.per_run);
-        Ok(summary)
+        Ok(ledger.finish(scope, budget))
     }
 
     /// Runs the simulation on **compiled inference plans**: each worker
@@ -708,6 +1120,42 @@ impl MonteCarloEngine {
         F: Fn() -> M + Sync,
         E: Fn(&Tensor) -> Result<f32> + Sync,
     {
+        let outcome = self.run_planned_in(
+            BatchedDomain::Weights,
+            factory,
+            fault.into(),
+            input,
+            metric,
+            threads,
+            &SweepControl::default(),
+            false,
+        )?;
+        Self::unwrap_legacy(outcome)
+    }
+
+    /// The supervised counterpart of [`MonteCarloEngine::run_planned`]:
+    /// workers honor the budget between chip instances, a panicking run is
+    /// quarantined (the worker drops its plan, rebuilds its model and
+    /// recompiles — the pool survives), and the control's checkpoint resumes
+    /// only the missing instances. See [`crate::supervise`].
+    ///
+    /// # Errors
+    ///
+    /// See [`MonteCarloEngine::run_supervised`].
+    pub fn run_planned_supervised<M, F, E>(
+        &self,
+        factory: F,
+        fault: impl Into<FaultSpec>,
+        input: &Tensor,
+        metric: E,
+        threads: usize,
+        control: &SweepControl,
+    ) -> Result<SweepOutcome>
+    where
+        M: Layer + Send,
+        F: Fn() -> M + Sync,
+        E: Fn(&Tensor) -> Result<f32> + Sync,
+    {
         self.run_planned_in(
             BatchedDomain::Weights,
             factory,
@@ -715,6 +1163,8 @@ impl MonteCarloEngine {
             input,
             metric,
             threads,
+            control,
+            true,
         )
     }
 
@@ -742,6 +1192,40 @@ impl MonteCarloEngine {
         F: Fn() -> M + Sync,
         E: Fn(&Tensor) -> Result<f32> + Sync,
     {
+        let outcome = self.run_planned_in(
+            BatchedDomain::Codes,
+            factory,
+            fault.into(),
+            input,
+            metric,
+            threads,
+            &SweepControl::default(),
+            false,
+        )?;
+        Self::unwrap_legacy(outcome)
+    }
+
+    /// The supervised counterpart of
+    /// [`MonteCarloEngine::run_planned_quantized`] — see
+    /// [`MonteCarloEngine::run_planned_supervised`].
+    ///
+    /// # Errors
+    ///
+    /// See [`MonteCarloEngine::run_supervised`].
+    pub fn run_planned_quantized_supervised<M, F, E>(
+        &self,
+        factory: F,
+        fault: impl Into<FaultSpec>,
+        input: &Tensor,
+        metric: E,
+        threads: usize,
+        control: &SweepControl,
+    ) -> Result<SweepOutcome>
+    where
+        M: Layer + Send,
+        F: Fn() -> M + Sync,
+        E: Fn(&Tensor) -> Result<f32> + Sync,
+    {
         self.run_planned_in(
             BatchedDomain::Codes,
             factory,
@@ -749,9 +1233,12 @@ impl MonteCarloEngine {
             input,
             metric,
             threads,
+            control,
+            true,
         )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_planned_in<M, F, E>(
         &self,
         domain: BatchedDomain,
@@ -760,7 +1247,9 @@ impl MonteCarloEngine {
         input: &Tensor,
         metric: E,
         threads: usize,
-    ) -> Result<MonteCarloSummary>
+        control: &SweepControl,
+        catch: bool,
+    ) -> Result<SweepOutcome>
     where
         M: Layer + Send,
         F: Fn() -> M + Sync,
@@ -772,22 +1261,36 @@ impl MonteCarloEngine {
         let lifetime = spec.lifetime;
         let runs = self.runs;
         let seed = self.seed;
+        let mut ledger = RunLedger::new(
+            EngineKind::Planned,
+            match domain {
+                BatchedDomain::Weights => SweepDomain::Weights,
+                BatchedDomain::Codes => SweepDomain::Codes,
+            },
+            seed,
+            runs,
+            fault.label(),
+            control.resume.as_ref(),
+        )?;
+        let done = ledger.done_mask();
+        let budget = &control.budget;
         let threads = threads.clamp(1, runs);
         let n_chunks = runs.div_ceil(Self::CHUNK);
         let next_chunk = AtomicUsize::new(0);
-        let collected: Mutex<Vec<(usize, Result<f32>)>> = Mutex::new(Vec::with_capacity(runs));
+        let collected: Mutex<Vec<(usize, Attempt)>> = Mutex::new(Vec::with_capacity(runs));
         rayon::scope(|s| {
             for _ in 0..threads {
                 let next_chunk = &next_chunk;
                 let collected = &collected;
                 let factory = &factory;
                 let metric = &metric;
+                let done = &done;
                 s.spawn(move || {
                     let mut model = factory();
                     // Compile lazily on the first claimed chunk so a
                     // compilation failure is attributed to a concrete run.
                     let mut plan: Option<Plan> = None;
-                    let mut local: Vec<(usize, Result<f32>)> = Vec::new();
+                    let mut local: Vec<(usize, Attempt)> = Vec::new();
                     'steal: loop {
                         let chunk = next_chunk.fetch_add(1, Ordering::Relaxed);
                         if chunk >= n_chunks {
@@ -795,6 +1298,11 @@ impl MonteCarloEngine {
                         }
                         let start = chunk * Self::CHUNK;
                         let end = (start + Self::CHUNK).min(runs);
+                        // Resumed chunks with no pending instance must not
+                        // force a compile.
+                        if (start..end).all(|run| done[run]) {
+                            continue;
+                        }
                         if plan.is_none() {
                             match Plan::compile(&mut model, input) {
                                 Ok(mut p) => {
@@ -802,19 +1310,53 @@ impl MonteCarloEngine {
                                     plan = Some(p);
                                 }
                                 Err(e) => {
-                                    local.push((start, Err(e)));
+                                    local.push((start, Attempt::Metric(Err(e))));
                                     break 'steal;
                                 }
                             }
                         }
-                        let plan = plan.as_mut().expect("plan compiled above");
                         for run in start..end {
-                            local.push((
-                                run,
-                                Self::simulate_planned(
-                                    &mut model, plan, domain, fault, seed, run, metric,
-                                ),
-                            ));
+                            if done[run] {
+                                continue;
+                            }
+                            if budget.interrupted().is_some() {
+                                break 'steal;
+                            }
+                            let plan_ref = plan.as_mut().expect("plan compiled above");
+                            if catch {
+                                match catch_unwind(AssertUnwindSafe(|| {
+                                    Self::simulate_planned(
+                                        &mut model, plan_ref, domain, fault, seed, run, metric,
+                                    )
+                                })) {
+                                    Ok(r) => local.push((run, Attempt::Metric(r))),
+                                    Err(payload) => {
+                                        local
+                                            .push((run, Attempt::Panicked(panic_message(payload))));
+                                        // The panic left the model and its
+                                        // plan buffers in an unknown state;
+                                        // rebuild both.
+                                        model = factory();
+                                        match Plan::compile(&mut model, input) {
+                                            Ok(mut p) => {
+                                                p.set_fault_lifetime(lifetime);
+                                                plan = Some(p);
+                                            }
+                                            Err(e) => {
+                                                local.push((run, Attempt::Metric(Err(e))));
+                                                break 'steal;
+                                            }
+                                        }
+                                    }
+                                }
+                            } else {
+                                local.push((
+                                    run,
+                                    Attempt::Metric(Self::simulate_planned(
+                                        &mut model, plan_ref, domain, fault, seed, run, metric,
+                                    )),
+                                ));
+                            }
                         }
                     }
                     model.plan_end();
@@ -829,20 +1371,15 @@ impl MonteCarloEngine {
             .into_inner()
             .expect("monte-carlo result lock poisoned");
         collected.sort_by_key(|(run, _)| *run);
-        let mut per_run = Vec::with_capacity(runs);
-        for (run, metric) in collected {
-            let metric = metric?;
-            if !metric.is_finite() {
-                return Err(NnError::Config(format!(
-                    "evaluation returned a non-finite metric ({metric}) on run {run}"
-                )));
+        for (run, attempt) in collected {
+            match attempt {
+                Attempt::Metric(Ok(metric)) => ledger.record(run, metric),
+                // Lowest-indexed genuine error wins (the drain is sorted).
+                Attempt::Metric(Err(e)) => return Err(e),
+                Attempt::Panicked(message) => ledger.record_panic(run, message),
             }
-            per_run.push(metric);
         }
-        debug_assert_eq!(per_run.len(), runs);
-        let mut summary = MonteCarloSummary::from_runs(fault.label(), per_run);
-        summary.telemetry = scope.finish(&summary.per_run);
-        Ok(summary)
+        Ok(ledger.finish(scope, budget))
     }
 
     /// Runs the simulation with **compiled plans and B fused fault
@@ -893,6 +1430,46 @@ impl MonteCarloEngine {
         F: Fn() -> M + Sync,
         E: Fn(&Tensor) -> Result<f32> + Sync,
     {
+        let outcome = self.run_planned_batched_in(
+            BatchedDomain::Weights,
+            factory,
+            fault.into(),
+            input,
+            metric,
+            batch,
+            threads,
+            &SweepControl::default(),
+            false,
+        )?;
+        Self::unwrap_legacy(outcome)
+    }
+
+    /// The supervised counterpart of
+    /// [`MonteCarloEngine::run_planned_batched`] — honors the
+    /// [`SweepControl`] budget/resume and quarantines panicking or
+    /// non-finite batches. Because a panicking batch shares one fused
+    /// forward, the whole batch is its failure domain: every instance in
+    /// it is quarantined.
+    ///
+    /// # Errors
+    ///
+    /// See [`MonteCarloEngine::run_supervised`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_planned_batched_supervised<M, F, E>(
+        &self,
+        factory: F,
+        fault: impl Into<FaultSpec>,
+        input: &Tensor,
+        metric: E,
+        batch: usize,
+        threads: usize,
+        control: &SweepControl,
+    ) -> Result<SweepOutcome>
+    where
+        M: Layer + Send,
+        F: Fn() -> M + Sync,
+        E: Fn(&Tensor) -> Result<f32> + Sync,
+    {
         self.run_planned_batched_in(
             BatchedDomain::Weights,
             factory,
@@ -901,6 +1478,8 @@ impl MonteCarloEngine {
             metric,
             batch,
             threads,
+            control,
+            true,
         )
     }
 
@@ -929,6 +1508,43 @@ impl MonteCarloEngine {
         F: Fn() -> M + Sync,
         E: Fn(&Tensor) -> Result<f32> + Sync,
     {
+        let outcome = self.run_planned_batched_in(
+            BatchedDomain::Codes,
+            factory,
+            fault.into(),
+            input,
+            metric,
+            batch,
+            threads,
+            &SweepControl::default(),
+            false,
+        )?;
+        Self::unwrap_legacy(outcome)
+    }
+
+    /// The supervised counterpart of
+    /// [`MonteCarloEngine::run_planned_batched_quantized`] — see
+    /// [`MonteCarloEngine::run_planned_batched_supervised`].
+    ///
+    /// # Errors
+    ///
+    /// See [`MonteCarloEngine::run_supervised`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_planned_batched_quantized_supervised<M, F, E>(
+        &self,
+        factory: F,
+        fault: impl Into<FaultSpec>,
+        input: &Tensor,
+        metric: E,
+        batch: usize,
+        threads: usize,
+        control: &SweepControl,
+    ) -> Result<SweepOutcome>
+    where
+        M: Layer + Send,
+        F: Fn() -> M + Sync,
+        E: Fn(&Tensor) -> Result<f32> + Sync,
+    {
         self.run_planned_batched_in(
             BatchedDomain::Codes,
             factory,
@@ -937,6 +1553,8 @@ impl MonteCarloEngine {
             metric,
             batch,
             threads,
+            control,
+            true,
         )
     }
 
@@ -950,7 +1568,9 @@ impl MonteCarloEngine {
         metric: E,
         batch: usize,
         threads: usize,
-    ) -> Result<MonteCarloSummary>
+        control: &SweepControl,
+        catch: bool,
+    ) -> Result<SweepOutcome>
     where
         M: Layer + Send,
         F: Fn() -> M + Sync,
@@ -962,6 +1582,19 @@ impl MonteCarloEngine {
         let lifetime = spec.lifetime;
         let runs = self.runs;
         let seed = self.seed;
+        let mut ledger = RunLedger::new(
+            EngineKind::PlannedBatched,
+            match domain {
+                BatchedDomain::Weights => SweepDomain::Weights,
+                BatchedDomain::Codes => SweepDomain::Codes,
+            },
+            seed,
+            runs,
+            fault.label(),
+            control.resume.as_ref(),
+        )?;
+        let done = ledger.done_mask();
+        let budget = &control.budget;
         // Cap the stack size so every worker gets at least one batch:
         // per-run metrics depend only on `(seed, run)`, so regrouping runs
         // into smaller stacks is bit-identical — but leaving workers idle
@@ -973,14 +1606,15 @@ impl MonteCarloEngine {
         let n_batches = runs.div_ceil(batch);
         let threads = threads.clamp(1, n_batches);
         let next_batch = AtomicUsize::new(0);
-        type BatchResult = (usize, Result<Vec<f32>>);
-        let collected: Mutex<Vec<BatchResult>> = Mutex::new(Vec::with_capacity(n_batches));
+        type BatchEntry = (usize, usize, BatchAttempt);
+        let collected: Mutex<Vec<BatchEntry>> = Mutex::new(Vec::with_capacity(n_batches));
         rayon::scope(|s| {
             for _ in 0..threads {
                 let next_batch = &next_batch;
                 let collected = &collected;
                 let factory = &factory;
                 let metric = &metric;
+                let done = &done;
                 s.spawn(move || {
                     let mut model = factory();
                     // Compiled lazily on the first claimed batch so a
@@ -993,7 +1627,7 @@ impl MonteCarloEngine {
                     // slice of the stacked output, so scoring metrics does
                     // not allocate per run.
                     let mut realization: Option<Tensor> = None;
-                    let mut local: Vec<BatchResult> = Vec::new();
+                    let mut local: Vec<BatchEntry> = Vec::new();
                     loop {
                         let bi = next_batch.fetch_add(1, Ordering::Relaxed);
                         if bi >= n_batches {
@@ -1001,6 +1635,16 @@ impl MonteCarloEngine {
                         }
                         let start = bi * batch;
                         let bsize = batch.min(runs - start);
+                        // Skip fully-accounted batches (resume) before any
+                        // compile work; a partially-done batch re-runs whole
+                        // — the replayed values are identical and the ledger
+                        // ignores re-records.
+                        if done[start..start + bsize].iter().all(|d| *d) {
+                            continue;
+                        }
+                        if budget.interrupted().is_some() {
+                            break;
+                        }
                         if plan.as_ref().is_none_or(|p| p.batch() != bsize) {
                             // The first compile is unavoidable; only a
                             // size-mismatched tail batch counts as a recompile.
@@ -1014,26 +1658,57 @@ impl MonteCarloEngine {
                                     plan = Some(p);
                                 }
                                 Err(e) => {
-                                    local.push((start, Err(e)));
+                                    local.push((start, bsize, BatchAttempt::Metrics(Err(e))));
                                     break;
                                 }
                             }
                         }
-                        let plan = plan.as_mut().expect("plan compiled above");
+                        let plan_ref = plan.as_mut().expect("plan compiled above");
                         rngs.clear();
                         rngs.extend((0..bsize).map(|i| Self::run_rng(seed, start + i)));
-                        local.push((
-                            start,
-                            Self::simulate_planned_batch(
-                                &mut model,
-                                plan,
-                                domain,
-                                fault,
-                                &mut rngs,
-                                &mut realization,
-                                metric,
-                            ),
-                        ));
+                        if catch {
+                            match catch_unwind(AssertUnwindSafe(|| {
+                                Self::simulate_planned_batch(
+                                    &mut model,
+                                    plan_ref,
+                                    domain,
+                                    fault,
+                                    &mut rngs,
+                                    &mut realization,
+                                    metric,
+                                )
+                            })) {
+                                Ok(r) => local.push((start, bsize, BatchAttempt::Metrics(r))),
+                                Err(payload) => {
+                                    local.push((
+                                        start,
+                                        bsize,
+                                        BatchAttempt::Panicked(panic_message(payload)),
+                                    ));
+                                    // The panic left the model, its plan and
+                                    // the staging tensor in an unknown state;
+                                    // rebuild everything (the next claimed
+                                    // batch recompiles lazily).
+                                    plan = None;
+                                    model = factory();
+                                    realization = None;
+                                }
+                            }
+                        } else {
+                            local.push((
+                                start,
+                                bsize,
+                                BatchAttempt::Metrics(Self::simulate_planned_batch(
+                                    &mut model,
+                                    plan_ref,
+                                    domain,
+                                    fault,
+                                    &mut rngs,
+                                    &mut realization,
+                                    metric,
+                                )),
+                            ));
+                        }
                     }
                     model.plan_end();
                     collected
@@ -1046,24 +1721,24 @@ impl MonteCarloEngine {
         let mut collected = collected
             .into_inner()
             .expect("monte-carlo result lock poisoned");
-        collected.sort_by_key(|(start, _)| *start);
-        let mut per_run = Vec::with_capacity(runs);
-        for (start, metrics) in collected {
-            let metrics = metrics?;
-            for (offset, metric) in metrics.into_iter().enumerate() {
-                let run = start + offset;
-                if !metric.is_finite() {
-                    return Err(NnError::Config(format!(
-                        "evaluation returned a non-finite metric ({metric}) on run {run}"
-                    )));
+        collected.sort_by_key(|(start, _, _)| *start);
+        for (start, bsize, attempt) in collected {
+            match attempt {
+                BatchAttempt::Metrics(Ok(metrics)) => {
+                    for (offset, metric) in metrics.into_iter().enumerate() {
+                        ledger.record(start + offset, metric);
+                    }
                 }
-                per_run.push(metric);
+                // Lowest-indexed genuine error wins (the drain is sorted).
+                BatchAttempt::Metrics(Err(e)) => return Err(e),
+                BatchAttempt::Panicked(message) => {
+                    for run in start..start + bsize {
+                        ledger.record_panic(run, message.clone());
+                    }
+                }
             }
         }
-        debug_assert_eq!(per_run.len(), runs);
-        let mut summary = MonteCarloSummary::from_runs(fault.label(), per_run);
-        summary.telemetry = scope.finish(&summary.per_run);
-        Ok(summary)
+        Ok(ledger.finish(scope, budget))
     }
 
     /// Injects one batch of realizations into the batched plan's stacked
@@ -1345,11 +2020,185 @@ impl MonteCarloEngine {
                     },
                     threads,
                 ),
+                EngineKind::Sequential => unreachable!("the ladder never visits run"),
             };
             match result {
                 Ok(summary) => {
                     return Ok(LadderOutcome {
                         summary,
+                        engine,
+                        fallbacks,
+                    })
+                }
+                // A capability gap, not a failure: record it and degrade.
+                Err(NnError::Unsupported { layer, op }) => {
+                    telemetry::count(telemetry::Counter::LadderFallbacks, 1);
+                    fallbacks.push(FallbackStep {
+                        engine,
+                        reason: FallbackReason::Unsupported { layer, op },
+                    });
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let reasons = fallbacks
+            .iter()
+            .map(|step| format!("{} ({})", step.engine.name(), step.reason))
+            .collect::<Vec<_>>()
+            .join(", ");
+        Err(NnError::fault_unsupported(
+            "MonteCarloEngine::run_auto",
+            format!("the fault configuration on any engine: {reasons}"),
+        ))
+    }
+
+    /// The supervised counterpart of [`MonteCarloEngine::run_auto`]: the same
+    /// graceful-degradation ladder, but every rung honors the
+    /// [`SweepControl`] budget (deadline / cancellation), quarantines
+    /// panicking or non-finite runs instead of aborting the sweep, and an
+    /// interrupted sweep returns a [`SweepCheckpoint`] in
+    /// [`SweepOutcome::Interrupted`].
+    ///
+    /// When `control.resume` carries a checkpoint, the ladder is **not**
+    /// consulted: the checkpoint pins the engine that produced it (resuming
+    /// on a different rung would be answering a different question about
+    /// which engine's failure domains quarantined which runs), so the sweep
+    /// resumes directly on `checkpoint.engine` with an empty fallback
+    /// report. A checkpoint taken from one of the sequential entry points is
+    /// rejected with [`CheckpointFault::Mismatch`] — `run_auto_supervised`
+    /// never produces one, so being handed one is a caller bug.
+    ///
+    /// # Errors
+    ///
+    /// See [`MonteCarloEngine::run_auto`]; additionally fails with a typed
+    /// [`NnError::Checkpoint`] when the resume checkpoint does not match the
+    /// sweep configuration.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_auto_supervised<M, F, E>(
+        &self,
+        factory: F,
+        fault: impl Into<FaultSpec>,
+        input: &Tensor,
+        metric: E,
+        batch: usize,
+        threads: usize,
+        policy: DegradationPolicy,
+        control: &SweepControl,
+    ) -> Result<SupervisedLadderOutcome>
+    where
+        M: Layer + Send,
+        F: Fn() -> M + Sync,
+        E: Fn(&Tensor) -> Result<f32> + Sync,
+    {
+        let spec = fault.into();
+        spec.model.validate()?;
+        if let Some(checkpoint) = control.resume.as_ref() {
+            let engine = checkpoint.engine;
+            let outcome = match engine {
+                EngineKind::PlannedBatched => match checkpoint.domain {
+                    SweepDomain::Weights => self.run_planned_batched_supervised(
+                        factory, spec, input, metric, batch, threads, control,
+                    )?,
+                    SweepDomain::Codes => self.run_planned_batched_quantized_supervised(
+                        factory, spec, input, metric, batch, threads, control,
+                    )?,
+                },
+                EngineKind::Planned => match checkpoint.domain {
+                    SweepDomain::Weights => {
+                        self.run_planned_supervised(factory, spec, input, metric, threads, control)?
+                    }
+                    SweepDomain::Codes => self.run_planned_quantized_supervised(
+                        factory, spec, input, metric, threads, control,
+                    )?,
+                },
+                EngineKind::Batched => match checkpoint.domain {
+                    SweepDomain::Weights => self.run_batched_supervised(
+                        factory, spec, input, metric, batch, threads, control,
+                    )?,
+                    SweepDomain::Codes => self.run_batched_quantized_supervised(
+                        factory, spec, input, metric, batch, threads, control,
+                    )?,
+                },
+                EngineKind::Parallel => self.run_parallel_supervised(
+                    factory,
+                    spec,
+                    |m: &mut M| {
+                        let out = m.forward(input, Mode::Eval)?;
+                        metric(&out)
+                    },
+                    threads,
+                    control,
+                )?,
+                EngineKind::Sequential => {
+                    return Err(NnError::Checkpoint(CheckpointFault::Mismatch {
+                        field: "engine",
+                        expected: "a ladder engine (run_auto_supervised never runs \
+                                   the sequential engine)"
+                            .into(),
+                        got: engine.name().into(),
+                    }))
+                }
+            };
+            return Ok(SupervisedLadderOutcome {
+                outcome,
+                engine,
+                fallbacks: Vec::new(),
+            });
+        }
+        if policy == DegradationPolicy::Strict {
+            let outcome = self.run_planned_batched_supervised(
+                factory, spec, input, metric, batch, threads, control,
+            )?;
+            return Ok(SupervisedLadderOutcome {
+                outcome,
+                engine: EngineKind::PlannedBatched,
+                fallbacks: Vec::new(),
+            });
+        }
+        let mut fallbacks: Vec<FallbackStep> = Vec::new();
+        for engine in [
+            EngineKind::PlannedBatched,
+            EngineKind::Planned,
+            EngineKind::Batched,
+            EngineKind::Parallel,
+        ] {
+            // Pre-flight: same lifetime capability gaps as the legacy ladder.
+            if spec.lifetime == FaultLifetime::PerInference
+                && matches!(engine, EngineKind::Batched | EngineKind::Parallel)
+            {
+                telemetry::count(telemetry::Counter::LadderFallbacks, 1);
+                fallbacks.push(FallbackStep {
+                    engine,
+                    reason: FallbackReason::Lifetime,
+                });
+                continue;
+            }
+            let result = match engine {
+                EngineKind::PlannedBatched => self.run_planned_batched_supervised(
+                    &factory, spec, input, &metric, batch, threads, control,
+                ),
+                EngineKind::Planned => {
+                    self.run_planned_supervised(&factory, spec, input, &metric, threads, control)
+                }
+                EngineKind::Batched => self.run_batched_supervised(
+                    &factory, spec, input, &metric, batch, threads, control,
+                ),
+                EngineKind::Parallel => self.run_parallel_supervised(
+                    &factory,
+                    spec,
+                    |m: &mut M| {
+                        let out = m.forward(input, Mode::Eval)?;
+                        metric(&out)
+                    },
+                    threads,
+                    control,
+                ),
+                EngineKind::Sequential => unreachable!("the ladder never visits run"),
+            };
+            match result {
+                Ok(outcome) => {
+                    return Ok(SupervisedLadderOutcome {
+                        outcome,
                         engine,
                         fallbacks,
                     })

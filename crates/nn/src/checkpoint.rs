@@ -8,11 +8,79 @@
 //! property the experiment harness relies on when it rebuilds a model from a
 //! factory on another thread.
 
-use crate::error::NnError;
+use crate::error::{CheckpointFault, NnError};
 use crate::layer::Layer;
 use crate::Result;
 use invnorm_tensor::Tensor;
 use serde::{Deserialize, Serialize};
+
+/// Format magic prefixed to every serialized [`Checkpoint`].
+const MAGIC: [u8; 4] = *b"INCK";
+/// Current serialization format version. Bump on any layout change; readers
+/// reject other versions with [`CheckpointFault::VersionSkew`].
+const VERSION: u32 = 1;
+
+/// FNV-1a 64-bit hash, used as the content checksum of serialized
+/// checkpoints (both the model checkpoints here and the Monte-Carlo sweep
+/// checkpoints in `invnorm-imc`). Not cryptographic — it detects storage and
+/// transit corruption, not tampering.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Splits `bytes` into the integrity header and payload, verifying magic,
+/// version and checksum. Shared by [`Checkpoint::from_bytes`] and the sweep
+/// checkpoints in `invnorm-imc`.
+///
+/// # Errors
+///
+/// Returns a typed [`NnError::Checkpoint`] on truncation, wrong magic,
+/// version skew or checksum mismatch.
+pub fn verify_frame(bytes: &[u8], magic: [u8; 4], version: u32) -> Result<&[u8]> {
+    const HEADER: usize = 4 + 4 + 8;
+    if bytes.len() < HEADER {
+        return Err(NnError::Checkpoint(CheckpointFault::Truncated {
+            needed: HEADER - bytes.len(),
+            available: 0,
+        }));
+    }
+    if bytes[..4] != magic {
+        return Err(NnError::Checkpoint(CheckpointFault::BadMagic));
+    }
+    let got_version = u32::from_le_bytes(bytes[4..8].try_into().expect("4-byte slice"));
+    if got_version != version {
+        return Err(NnError::Checkpoint(CheckpointFault::VersionSkew {
+            expected: version,
+            got: got_version,
+        }));
+    }
+    let expected = u64::from_le_bytes(bytes[8..16].try_into().expect("8-byte slice"));
+    let payload = &bytes[HEADER..];
+    let got = fnv1a64(payload);
+    if got != expected {
+        return Err(NnError::Checkpoint(CheckpointFault::ChecksumMismatch {
+            expected,
+            got,
+        }));
+    }
+    Ok(payload)
+}
+
+/// Prepends the integrity header (magic, version, FNV-1a checksum) to a
+/// serialized payload. The inverse of [`verify_frame`].
+pub fn frame(payload: Vec<u8>, magic: [u8; 4], version: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + payload.len());
+    out.extend_from_slice(&magic);
+    out.extend_from_slice(&version.to_le_bytes());
+    out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
 
 /// A serializable snapshot of every learnable parameter of a network.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -42,8 +110,10 @@ impl Checkpoint {
         self.entries.iter().map(|e| e.data.len()).sum()
     }
 
-    /// Serializes the checkpoint to a compact little-endian byte buffer
-    /// (format: entry count, then per entry the rank, dims and f32 data).
+    /// Serializes the checkpoint to a compact little-endian byte buffer:
+    /// an integrity header (`INCK` magic, format version, FNV-1a payload
+    /// checksum) followed by the payload (entry count, then per entry the
+    /// rank, dims and f32 data).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(&(self.entries.len() as u64).to_le_bytes());
@@ -57,55 +127,64 @@ impl Checkpoint {
                 out.extend_from_slice(&v.to_le_bytes());
             }
         }
-        out
+        frame(out, MAGIC, VERSION)
     }
 
-    /// Parses a checkpoint previously produced by [`Checkpoint::to_bytes`].
+    /// Parses a checkpoint previously produced by [`Checkpoint::to_bytes`],
+    /// verifying the integrity header before trusting any of the payload.
     ///
     /// # Errors
     ///
-    /// Returns an error when the buffer is truncated or internally
-    /// inconsistent.
+    /// Returns a typed [`NnError::Checkpoint`] when the buffer is truncated,
+    /// carries the wrong magic or format version, fails its checksum, or is
+    /// internally inconsistent.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let payload = verify_frame(bytes, MAGIC, VERSION)?;
         let mut cursor = 0usize;
-        let read_u64 = |bytes: &[u8], cursor: &mut usize| -> Result<u64> {
+        let truncated = |cursor: usize, needed: usize| {
+            NnError::Checkpoint(CheckpointFault::Truncated {
+                needed,
+                available: payload.len().saturating_sub(cursor),
+            })
+        };
+        let read_u64 = |cursor: &mut usize| -> Result<u64> {
             let end = *cursor + 8;
-            let slice = bytes
-                .get(*cursor..end)
-                .ok_or_else(|| NnError::Config("checkpoint buffer truncated".into()))?;
+            let slice = payload.get(*cursor..end).ok_or(truncated(*cursor, 8))?;
             *cursor = end;
             Ok(u64::from_le_bytes(slice.try_into().expect("8-byte slice")))
         };
-        let entry_count = read_u64(bytes, &mut cursor)? as usize;
-        let mut entries = Vec::with_capacity(entry_count);
+        let entry_count = read_u64(&mut cursor)? as usize;
+        let mut entries = Vec::with_capacity(entry_count.min(1024));
         for _ in 0..entry_count {
-            let rank = read_u64(bytes, &mut cursor)? as usize;
-            let mut dims = Vec::with_capacity(rank);
+            let rank = read_u64(&mut cursor)? as usize;
+            let mut dims = Vec::with_capacity(rank.min(16));
             for _ in 0..rank {
-                dims.push(read_u64(bytes, &mut cursor)? as usize);
+                dims.push(read_u64(&mut cursor)? as usize);
             }
-            let len = read_u64(bytes, &mut cursor)? as usize;
+            let len = read_u64(&mut cursor)? as usize;
             let expected: usize = dims.iter().product();
             if expected != len {
-                return Err(NnError::Config(format!(
-                    "checkpoint entry claims {len} values but shape {dims:?} implies {expected}"
-                )));
+                return Err(NnError::Checkpoint(CheckpointFault::Mismatch {
+                    field: "entry length",
+                    expected: format!("{expected} (shape {dims:?})"),
+                    got: len.to_string(),
+                }));
             }
             let mut data = Vec::with_capacity(len);
             for _ in 0..len {
                 let end = cursor + 4;
-                let slice = bytes
-                    .get(cursor..end)
-                    .ok_or_else(|| NnError::Config("checkpoint buffer truncated".into()))?;
+                let slice = payload.get(cursor..end).ok_or(truncated(cursor, 4))?;
                 cursor = end;
                 data.push(f32::from_le_bytes(slice.try_into().expect("4-byte slice")));
             }
             entries.push(CheckpointEntry { dims, data });
         }
-        if cursor != bytes.len() {
-            return Err(NnError::Config(
-                "trailing bytes after checkpoint payload".into(),
-            ));
+        if cursor != payload.len() {
+            return Err(NnError::Checkpoint(CheckpointFault::Mismatch {
+                field: "payload length",
+                expected: cursor.to_string(),
+                got: payload.len().to_string(),
+            }));
         }
         Ok(Self { entries })
     }
@@ -254,6 +333,77 @@ mod tests {
         extended.extend_from_slice(&[0, 1, 2, 3]);
         assert!(Checkpoint::from_bytes(&extended).is_err());
         assert!(Checkpoint::from_bytes(&[1, 2]).is_err());
+    }
+
+    #[test]
+    fn bit_flips_anywhere_in_the_payload_are_detected() {
+        use crate::error::CheckpointFault;
+        let mut net = network(8);
+        let bytes = save(&mut net).to_bytes();
+        // Flip one bit in several payload positions (past the 16-byte
+        // header); every one must be caught by the content checksum.
+        for pos in [16, 24, bytes.len() / 2, bytes.len() - 1] {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 0x10;
+            match Checkpoint::from_bytes(&corrupt) {
+                Err(NnError::Checkpoint(CheckpointFault::ChecksumMismatch { .. })) => {}
+                other => panic!("bit flip at {pos} not caught by checksum: {other:?}"),
+            }
+        }
+        // A flipped checksum byte itself is also a mismatch.
+        let mut corrupt = bytes.clone();
+        corrupt[8] ^= 0x01;
+        assert!(matches!(
+            Checkpoint::from_bytes(&corrupt),
+            Err(NnError::Checkpoint(
+                CheckpointFault::ChecksumMismatch { .. }
+            ))
+        ));
+    }
+
+    #[test]
+    fn truncation_magic_and_version_skew_are_typed() {
+        use crate::error::CheckpointFault;
+        let mut net = network(9);
+        let bytes = save(&mut net).to_bytes();
+        // Header-level truncation.
+        assert!(matches!(
+            Checkpoint::from_bytes(&bytes[..10]),
+            Err(NnError::Checkpoint(CheckpointFault::Truncated { .. }))
+        ));
+        // Payload-level truncation: checksum recomputed over the shorter
+        // payload cannot match the header.
+        assert!(matches!(
+            Checkpoint::from_bytes(&bytes[..bytes.len() - 5]),
+            Err(NnError::Checkpoint(
+                CheckpointFault::ChecksumMismatch { .. }
+            ))
+        ));
+        // Wrong magic.
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] = b'X';
+        assert!(matches!(
+            Checkpoint::from_bytes(&wrong_magic),
+            Err(NnError::Checkpoint(CheckpointFault::BadMagic))
+        ));
+        // Future format version.
+        let mut future = bytes.clone();
+        future[4..8].copy_from_slice(&7u32.to_le_bytes());
+        match Checkpoint::from_bytes(&future) {
+            Err(NnError::Checkpoint(CheckpointFault::VersionSkew { expected, got })) => {
+                assert_eq!(expected, 1);
+                assert_eq!(got, 7);
+            }
+            other => panic!("version skew not detected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
     }
 
     #[test]

@@ -40,6 +40,12 @@ pub enum NnError {
         /// What about the fault configuration is unsupported.
         reason: String,
     },
+    /// A serialized checkpoint (model parameters or Monte-Carlo sweep state)
+    /// failed validation before any of its payload was trusted. Typed so
+    /// callers can distinguish a stale format (re-export), a corrupted blob
+    /// (discard) and a mismatched target (caller bug) without string
+    /// matching.
+    Checkpoint(CheckpointFault),
     /// An activation handed to a compiled plan does not match the shape the
     /// plan was compiled for. Typed (rather than a formatted `Config`
     /// string) so the Monte-Carlo engines and callers can distinguish a
@@ -52,6 +58,74 @@ pub enum NnError {
         /// The dims the caller provided.
         got: Vec<usize>,
     },
+}
+
+/// Why a serialized checkpoint was rejected (see [`NnError::Checkpoint`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckpointFault {
+    /// The buffer ends before the declared content does.
+    Truncated {
+        /// Bytes needed to finish the read in progress.
+        needed: usize,
+        /// Bytes actually available from the read position.
+        available: usize,
+    },
+    /// The buffer does not start with the expected format magic — it is not
+    /// a checkpoint of this kind at all.
+    BadMagic,
+    /// The checkpoint was written by a different (incompatible) format
+    /// version.
+    VersionSkew {
+        /// The version this build reads and writes.
+        expected: u32,
+        /// The version found in the buffer.
+        got: u32,
+    },
+    /// The payload checksum does not match the header — the bytes were
+    /// corrupted in storage or transit.
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        expected: u64,
+        /// Checksum of the payload as received.
+        got: u64,
+    },
+    /// The payload parsed but is internally inconsistent, or does not match
+    /// the target it is being applied to (wrong engine, seed, shape, ...).
+    Mismatch {
+        /// Which field disagreed.
+        field: &'static str,
+        /// The value the target expects.
+        expected: String,
+        /// The value the checkpoint carries.
+        got: String,
+    },
+}
+
+impl fmt::Display for CheckpointFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointFault::Truncated { needed, available } => write!(
+                f,
+                "truncated: needed {needed} more bytes but only {available} remain"
+            ),
+            CheckpointFault::BadMagic => f.write_str("bad magic: not a checkpoint of this format"),
+            CheckpointFault::VersionSkew { expected, got } => {
+                write!(
+                    f,
+                    "version skew: this build reads v{expected}, found v{got}"
+                )
+            }
+            CheckpointFault::ChecksumMismatch { expected, got } => write!(
+                f,
+                "checksum mismatch: header says {expected:#018x}, payload hashes to {got:#018x}"
+            ),
+            CheckpointFault::Mismatch {
+                field,
+                expected,
+                got,
+            } => write!(f, "{field} mismatch: expected {expected}, found {got}"),
+        }
+    }
 }
 
 impl NnError {
@@ -99,6 +173,7 @@ impl fmt::Display for NnError {
             NnError::FaultUnsupported { engine, reason } => {
                 write!(f, "{engine} does not support {reason}")
             }
+            NnError::Checkpoint(fault) => write!(f, "invalid checkpoint: {fault}"),
             NnError::ShapeMismatch {
                 context,
                 expected,
@@ -152,6 +227,47 @@ mod tests {
             e.to_string(),
             "MonteCarloEngine::run_batched does not support per-inference fault lifetime"
         );
+    }
+
+    #[test]
+    fn checkpoint_fault_display() {
+        let cases: [(CheckpointFault, &str); 5] = [
+            (
+                CheckpointFault::Truncated {
+                    needed: 8,
+                    available: 3,
+                },
+                "needed 8 more bytes",
+            ),
+            (CheckpointFault::BadMagic, "bad magic"),
+            (
+                CheckpointFault::VersionSkew {
+                    expected: 1,
+                    got: 9,
+                },
+                "reads v1, found v9",
+            ),
+            (
+                CheckpointFault::ChecksumMismatch {
+                    expected: 1,
+                    got: 2,
+                },
+                "checksum mismatch",
+            ),
+            (
+                CheckpointFault::Mismatch {
+                    field: "seed",
+                    expected: "1".into(),
+                    got: "2".into(),
+                },
+                "seed mismatch",
+            ),
+        ];
+        for (fault, needle) in cases {
+            let msg = NnError::Checkpoint(fault).to_string();
+            assert!(msg.starts_with("invalid checkpoint:"), "{msg}");
+            assert!(msg.contains(needle), "{msg}");
+        }
     }
 
     #[test]

@@ -68,7 +68,7 @@ pub mod sequential;
 pub mod train;
 pub mod upsample;
 
-pub use error::NnError;
+pub use error::{CheckpointFault, NnError};
 pub use invnorm_tensor::telemetry;
 pub use layer::{CodeView, Layer, Mode, Param};
 pub use plan::Plan;

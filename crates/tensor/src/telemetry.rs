@@ -133,10 +133,19 @@ pub enum Counter {
     /// Batched-plan recompilations triggered by a tail batch smaller than
     /// the steady-state stack.
     TailRecompiles = 7,
+    /// Chip instances left unexecuted when a sweep was interrupted by its
+    /// `RunBudget` (deadline expiry or cooperative cancellation).
+    CancelledRuns = 8,
+    /// Chip instances quarantined out of the aggregate (panicking worker or
+    /// non-finite per-run metric).
+    QuarantinedRuns = 9,
+    /// Chip instances skipped on resume because a `SweepCheckpoint` already
+    /// carried their metric.
+    ResumeSkips = 10,
 }
 
 /// Number of [`Counter`] variants.
-pub const COUNTER_COUNT: usize = 8;
+pub const COUNTER_COUNT: usize = 11;
 
 /// Every counter, in `repr` order.
 pub const COUNTERS: [Counter; COUNTER_COUNT] = [
@@ -148,6 +157,9 @@ pub const COUNTERS: [Counter; COUNTER_COUNT] = [
     Counter::WideGemms,
     Counter::LadderFallbacks,
     Counter::TailRecompiles,
+    Counter::CancelledRuns,
+    Counter::QuarantinedRuns,
+    Counter::ResumeSkips,
 ];
 
 impl Counter {
@@ -162,6 +174,9 @@ impl Counter {
             Counter::WideGemms => "wide_gemms",
             Counter::LadderFallbacks => "ladder_fallbacks",
             Counter::TailRecompiles => "tail_recompiles",
+            Counter::CancelledRuns => "cancelled_runs",
+            Counter::QuarantinedRuns => "quarantined_runs",
+            Counter::ResumeSkips => "resume_skips",
         }
     }
 }

@@ -72,8 +72,9 @@ pub mod prelude {
         AffineDropout, AffineInit, DropGranularity, InvNormConfig, InvertedNorm, OodDetector,
     };
     pub use invnorm_imc::{
-        CodeFaultInjector, DegradationPolicy, EngineKind, FallbackStep, FaultModel, LadderOutcome,
-        MonteCarloEngine, MonteCarloSummary, NoiseHandle, WeightFaultInjector,
+        CancelToken, CodeFaultInjector, DegradationPolicy, EngineKind, FallbackStep, FaultModel,
+        LadderOutcome, MonteCarloEngine, MonteCarloSummary, NoiseHandle, RunBudget,
+        SupervisedLadderOutcome, SweepCheckpoint, SweepControl, SweepOutcome, WeightFaultInjector,
     };
     pub use invnorm_models::{BuiltModel, NormVariant};
     pub use invnorm_nn::layer::{Layer, Mode, Param};
