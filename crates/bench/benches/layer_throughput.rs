@@ -8,7 +8,10 @@
 //! root (see the README's "Benchmarks" section); the `gemm_*` /
 //! `naive_gemm_*` pairs track the blocked kernel's speedup and the
 //! `qgemm_*` / `gemm_*` and `q*_forward_*` / `*_forward_*` pairs track the
-//! integer path across PRs.
+//! integer path across PRs. The `gemm_dispatched_*` / `gemm_pinned_*` pairs
+//! check that runtime kernel dispatch costs nothing over pinning a tier, and
+//! the `elementwise` group tracks the vectorized `vecmath` kernels against
+//! the scalar loops they replaced.
 use criterion::{criterion_group, criterion_main, Criterion};
 use invnorm_core::bayesian::BayesianPredictor;
 use invnorm_core::{InvNormConfig, InvertedNorm};
@@ -19,7 +22,8 @@ use invnorm_nn::linear::Linear;
 use invnorm_nn::norm::BatchNorm;
 use invnorm_nn::quantized::{QuantizedConv2d, QuantizedLinear};
 use invnorm_nn::Sequential;
-use invnorm_tensor::{ops, Rng, Tensor};
+use invnorm_tensor::dispatch::{self, KernelTier};
+use invnorm_tensor::{ops, vecmath, Rng, Tensor};
 
 /// Square-GEMM sizes the blocked kernel is tracked on. 256 is the
 /// acceptance-criterion size; 64/512 bracket it to expose cache-regime
@@ -64,6 +68,30 @@ fn bench_gemm(c: &mut Criterion) {
                 qc[0]
             })
         });
+    }
+
+    // Runtime dispatch vs pinned kernel tiers at the acceptance-criterion
+    // size. `gemm_dispatched_*` must match `gemm_pinned_avx2_*` (same kernel,
+    // one cached atomic load of overhead); the portable pin quantifies what
+    // the SIMD tiers buy. Tiers the host lacks are skipped.
+    {
+        let size = 256;
+        let a = Tensor::randn(&[size, size], 0.0, 1.0, &mut rng);
+        let b = Tensor::randn(&[size, size], 0.0, 1.0, &mut rng);
+        group.bench_function(format!("gemm_dispatched_{size}"), |bch| {
+            bch.iter(|| ops::matmul(&a, &b).unwrap().sum())
+        });
+        let detected = dispatch::detected();
+        for tier in [KernelTier::Portable, KernelTier::Avx2, KernelTier::Avx512] {
+            if tier > detected {
+                continue;
+            }
+            dispatch::force(tier);
+            group.bench_function(format!("gemm_pinned_{}_{size}", tier.name()), |bch| {
+                bch.iter(|| ops::matmul(&a, &b).unwrap().sum())
+            });
+        }
+        dispatch::reset();
     }
 
     // The transposed-product form used by Linear forward and the backward
@@ -117,6 +145,107 @@ fn bench_gemm(c: &mut Criterion) {
     group.finish();
 }
 
+/// Elementwise kernels through the runtime dispatcher vs the scalar
+/// libm-based loops they replaced. The `*_vecmath_*` / `*_scalar_*` pairs
+/// track what SIMD dispatch buys on memory-bound (relu, normalize) and
+/// transcendental-bound (sigmoid, tanh, softmax) elementwise work.
+fn bench_elementwise(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(7);
+    let mut group = c.benchmark_group("elementwise");
+    group.sample_size(20);
+
+    const N: usize = 1 << 14;
+    let src: Vec<f32> = (0..N).map(|_| rng.normal(0.0, 2.0)).collect();
+    let mut dst = vec![0.0f32; N];
+
+    group.bench_function("relu_vecmath_16k", |b| {
+        b.iter(|| {
+            vecmath::relu(&src, &mut dst);
+            dst[0]
+        })
+    });
+    group.bench_function("relu_scalar_16k", |b| {
+        b.iter(|| {
+            for (d, &s) in dst.iter_mut().zip(src.iter()) {
+                *d = s.max(0.0);
+            }
+            dst[0]
+        })
+    });
+
+    group.bench_function("sigmoid_vecmath_16k", |b| {
+        b.iter(|| {
+            vecmath::sigmoid(&src, &mut dst);
+            dst[0]
+        })
+    });
+    group.bench_function("sigmoid_scalar_16k", |b| {
+        b.iter(|| {
+            for (d, &s) in dst.iter_mut().zip(src.iter()) {
+                *d = 1.0 / (1.0 + (-s).exp());
+            }
+            dst[0]
+        })
+    });
+
+    group.bench_function("tanh_vecmath_16k", |b| {
+        b.iter(|| {
+            vecmath::tanh(&src, &mut dst);
+            dst[0]
+        })
+    });
+    group.bench_function("tanh_scalar_16k", |b| {
+        b.iter(|| {
+            for (d, &s) in dst.iter_mut().zip(src.iter()) {
+                *d = s.tanh();
+            }
+            dst[0]
+        })
+    });
+
+    group.bench_function("normalize_affine_vecmath_16k", |b| {
+        b.iter(|| {
+            vecmath::normalize_affine(&src, &mut dst, 0.1, 0.9, 1.2, -0.3);
+            dst[0]
+        })
+    });
+    group.bench_function("normalize_affine_scalar_16k", |b| {
+        b.iter(|| {
+            for (d, &s) in dst.iter_mut().zip(src.iter()) {
+                *d = (s - 0.1) * 0.9 * 1.2 + -0.3;
+            }
+            dst[0]
+        })
+    });
+
+    // Full softmax over a classifier-sized logit matrix: the vectorized
+    // exp/divide passes vs the all-scalar row loop it replaced.
+    let logits = Tensor::randn(&[64, 256], 0.0, 3.0, &mut rng);
+    group.bench_function("softmax_rows_vecmath_64x256", |b| {
+        b.iter(|| ops::softmax_rows(&logits).unwrap().sum())
+    });
+    group.bench_function("softmax_rows_scalar_64x256", |b| {
+        b.iter(|| {
+            let ld = logits.data();
+            let mut out = vec![0.0f32; 64 * 256];
+            for (row, orow) in ld.chunks_exact(256).zip(out.chunks_exact_mut(256)) {
+                let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+                let mut denom = 0.0f32;
+                for (o, &v) in orow.iter_mut().zip(row.iter()) {
+                    *o = (v - max).exp();
+                    denom += *o;
+                }
+                for o in orow.iter_mut() {
+                    *o /= denom;
+                }
+            }
+            out[0]
+        })
+    });
+
+    group.finish();
+}
+
 fn bench_layers(c: &mut Criterion) {
     let mut rng = Rng::seed_from(0);
     let x = Tensor::randn(&[8, 32, 16, 16], 0.0, 1.0, &mut rng);
@@ -165,5 +294,5 @@ fn bench_layers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_gemm, bench_layers);
+criterion_group!(benches, bench_gemm, bench_elementwise, bench_layers);
 criterion_main!(benches);

@@ -114,6 +114,7 @@ fn summary_from(label: String, per_run: Vec<f32>) -> MonteCarloSummary {
         min: stats.min(),
         max: stats.max(),
         per_run,
+        kernel_tier: invnorm_tensor::dispatch::active().name(),
         telemetry: None,
     }
 }

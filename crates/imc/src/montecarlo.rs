@@ -59,6 +59,11 @@ pub struct MonteCarloSummary {
     pub min: f32,
     /// Largest observed metric.
     pub max: f32,
+    /// The SIMD kernel tier the sweep executed under (see
+    /// `invnorm_tensor::dispatch`) — the reproducibility boundary of the f32
+    /// metrics: results are bit-identical across engines, fault models,
+    /// batch sizes and thread counts *within* a tier.
+    pub kernel_tier: &'static str,
     /// Per-engine-invocation telemetry (phase breakdown, counter deltas and
     /// the convergence stream). `Some` only when the run executed while
     /// [`telemetry::Telemetry::enabled`] was on; always `None` otherwise, so
@@ -77,6 +82,7 @@ impl MonteCarloSummary {
             min: stats.min(),
             max: stats.max(),
             per_run,
+            kernel_tier: invnorm_tensor::dispatch::active().name(),
             telemetry: None,
         }
     }

@@ -9,26 +9,26 @@ use crate::error::NnError;
 use crate::layer::{Layer, Mode};
 use crate::plan::{PlanArenas, PlanCtx, PlanShape};
 use crate::Result;
-use invnorm_tensor::Tensor;
+use invnorm_tensor::{vecmath, Tensor};
 
-/// Shared planned-execution body for element-wise activations: apply `f`
-/// from the input edge to the output edge, zero-alloc, in the same element
-/// order as the tensor `map` the direct path uses (bit-identical results).
+/// Shared planned-execution body for element-wise activations: apply the
+/// slice kernel `f` from the input edge to the output edge, zero-alloc. The
+/// direct (`forward`) paths use the same [`vecmath`] kernels, so planned and
+/// direct execution stay bit-identical.
 fn plan_elementwise(
     input: &PlanShape,
     output: &PlanShape,
     arenas: &mut PlanArenas,
-    f: impl Fn(f32) -> f32,
+    f: impl Fn(&[f32], &mut [f32]),
 ) -> Result<()> {
     let [x, y] = arenas.f.many_mut([input.slot, output.slot]);
-    for (d, &s) in y.iter_mut().zip(x.iter()) {
-        *d = f(s);
-    }
+    f(x, y);
     Ok(())
 }
 
 /// Implements the plan protocol for an element-wise activation: the output
-/// edge mirrors the input dims and the forward applies the given scalar map.
+/// edge mirrors the input dims and the forward applies the given
+/// tier-dispatched slice kernel.
 macro_rules! planned_elementwise {
     ($f:expr) => {
         fn plan_compile(
@@ -67,7 +67,9 @@ impl Relu {
 impl Layer for Relu {
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
         self.mask = Some(input.data().iter().map(|&x| x > 0.0).collect());
-        Ok(input.map(|x| x.max(0.0)))
+        let mut out = input.clone();
+        vecmath::relu_mut(out.data_mut());
+        Ok(out)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
@@ -89,7 +91,7 @@ impl Layer for Relu {
         Ok(out)
     }
 
-    planned_elementwise!(|x: f32| x.max(0.0));
+    planned_elementwise!(vecmath::relu);
 
     fn name(&self) -> &'static str {
         "Relu"
@@ -114,8 +116,9 @@ impl LeakyRelu {
 impl Layer for LeakyRelu {
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
         self.mask = Some(input.data().iter().map(|&x| x > 0.0).collect());
-        let slope = self.slope;
-        Ok(input.map(|x| if x > 0.0 { x } else { slope * x }))
+        let mut out = input.clone();
+        vecmath::leaky_relu_mut(out.data_mut(), self.slope);
+        Ok(out)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
@@ -144,18 +147,9 @@ impl Layer for LeakyRelu {
         arenas: &mut PlanArenas,
     ) -> Result<()> {
         let slope = self.slope;
-        plan_elementwise(
-            input,
-            output,
-            arenas,
-            |x| {
-                if x > 0.0 {
-                    x
-                } else {
-                    slope * x
-                }
-            },
-        )
+        plan_elementwise(input, output, arenas, |src, dst| {
+            vecmath::leaky_relu(src, dst, slope)
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -178,7 +172,8 @@ impl Tanh {
 
 impl Layer for Tanh {
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
-        let out = input.map(f32::tanh);
+        let mut out = input.clone();
+        vecmath::tanh_mut(out.data_mut());
         self.cached_output = Some(out.clone());
         Ok(out)
     }
@@ -191,7 +186,7 @@ impl Layer for Tanh {
         Ok(grad_output.zip_map(y, |g, y| g * (1.0 - y * y))?)
     }
 
-    planned_elementwise!(f32::tanh);
+    planned_elementwise!(vecmath::tanh);
 
     fn name(&self) -> &'static str {
         "Tanh"
@@ -211,14 +206,17 @@ impl Sigmoid {
     }
 }
 
-/// Scalar sigmoid, exposed for use in LSTM gates and losses.
+/// Scalar sigmoid, exposed for use in LSTM gates and losses. Delegates to
+/// the [`vecmath`] per-lane body, so scalar call sites compute exactly what
+/// the vectorized [`Sigmoid`] layer computes.
 pub fn sigmoid(x: f32) -> f32 {
-    1.0 / (1.0 + (-x).exp())
+    vecmath::sigmoid_scalar(x)
 }
 
 impl Layer for Sigmoid {
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
-        let out = input.map(sigmoid);
+        let mut out = input.clone();
+        vecmath::sigmoid_mut(out.data_mut());
         self.cached_output = Some(out.clone());
         Ok(out)
     }
@@ -231,7 +229,7 @@ impl Layer for Sigmoid {
         Ok(grad_output.zip_map(y, |g, y| g * y * (1.0 - y))?)
     }
 
-    planned_elementwise!(sigmoid);
+    planned_elementwise!(vecmath::sigmoid);
 
     fn name(&self) -> &'static str {
         "Sigmoid"
@@ -255,7 +253,9 @@ impl Hardtanh {
 impl Layer for Hardtanh {
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
         self.mask = Some(input.data().iter().map(|&x| x.abs() <= 1.0).collect());
-        Ok(input.clamp(-1.0, 1.0))
+        let mut out = input.clone();
+        vecmath::hardtanh(input.data(), out.data_mut());
+        Ok(out)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
@@ -272,7 +272,7 @@ impl Layer for Hardtanh {
         Ok(out)
     }
 
-    planned_elementwise!(|x: f32| x.clamp(-1.0, 1.0));
+    planned_elementwise!(vecmath::hardtanh);
 
     fn name(&self) -> &'static str {
         "Hardtanh"
@@ -303,7 +303,9 @@ impl SignSte {
 impl Layer for SignSte {
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
         self.mask = Some(input.data().iter().map(|&x| x.abs() <= 1.0).collect());
-        Ok(input.map(|x| if x >= 0.0 { 1.0 } else { -1.0 }))
+        let mut out = input.clone();
+        vecmath::sign_ste(input.data(), out.data_mut());
+        Ok(out)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
@@ -320,7 +322,7 @@ impl Layer for SignSte {
         Ok(out)
     }
 
-    planned_elementwise!(|x: f32| if x >= 0.0 { 1.0 } else { -1.0 });
+    planned_elementwise!(vecmath::sign_ste);
 
     fn name(&self) -> &'static str {
         "SignSte"

@@ -5,7 +5,7 @@ use crate::error::NnError;
 use crate::layer::{Layer, Mode, Param};
 use crate::Result;
 use invnorm_tensor::scratch::uninit_slice;
-use invnorm_tensor::{ops, Rng, Scratch, Tensor};
+use invnorm_tensor::{ops, vecmath, Rng, Scratch, Tensor};
 
 /// Gate activations cached for one timestep.
 #[derive(Debug, Clone)]
@@ -103,8 +103,13 @@ impl Lstm {
         self.return_sequences
     }
 
-    fn sigmoid(x: f32) -> f32 {
-        1.0 / (1.0 + (-x).exp())
+    /// Applies the gate nonlinearities to one staged pre-activation row
+    /// `[i | f | g | o]` in place through the tier-dispatched vectorized
+    /// kernels: `i`, `f` (contiguous) and `o` are sigmoids, `g` is tanh.
+    fn activate_gates(zrow: &mut [f32], h: usize) {
+        vecmath::sigmoid_mut(&mut zrow[..2 * h]);
+        vecmath::tanh_mut(&mut zrow[2 * h..3 * h]);
+        vecmath::sigmoid_mut(&mut zrow[3 * h..]);
     }
 }
 
@@ -142,14 +147,12 @@ impl Lstm {
                 for (zv, bv) in zrow.iter_mut().zip(bd.iter()) {
                     *zv += bv;
                 }
+                Self::activate_gates(zrow, h);
                 for hi in 0..h {
-                    let i = Self::sigmoid(zrow[hi]);
-                    let f = Self::sigmoid(zrow[h + hi]);
-                    let g = zrow[2 * h + hi].tanh();
-                    let o = Self::sigmoid(zrow[3 * h + hi]);
+                    let (i, f, g, o) = (zrow[hi], zrow[h + hi], zrow[2 * h + hi], zrow[3 * h + hi]);
                     let c = f * c_prev[ni * h + hi] + i * g;
                     c_prev[ni * h + hi] = c;
-                    h_prev[ni * h + hi] = o * c.tanh();
+                    h_prev[ni * h + hi] = o * vecmath::tanh_scalar(c);
                 }
                 if self.return_sequences {
                     let dst = (ni * t + ti) * h;
@@ -245,13 +248,12 @@ impl Layer for Lstm {
                 for (zv, bv) in zrow.iter_mut().zip(bd.iter()) {
                     *zv += bv;
                 }
+                Self::activate_gates(zrow, h);
                 for hi in 0..h {
-                    let iv = Self::sigmoid(zrow[hi]);
-                    let fv = Self::sigmoid(zrow[h + hi]);
-                    let gv = zrow[2 * h + hi].tanh();
-                    let ov = Self::sigmoid(zrow[3 * h + hi]);
+                    let (iv, fv, gv, ov) =
+                        (zrow[hi], zrow[h + hi], zrow[2 * h + hi], zrow[3 * h + hi]);
                     let c = fv * c_state[ni * h + hi] + iv * gv;
-                    let tc = c.tanh();
+                    let tc = vecmath::tanh_scalar(c);
                     idata[ni * h + hi] = iv;
                     fdata[ni * h + hi] = fv;
                     gdata[ni * h + hi] = gv;

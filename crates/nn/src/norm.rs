@@ -17,7 +17,7 @@ use crate::error::NnError;
 use crate::layer::{Layer, Mode, Param};
 use crate::plan::{PlanArenas, PlanCtx, PlanShape};
 use crate::Result;
-use invnorm_tensor::Tensor;
+use invnorm_tensor::{vecmath, Tensor};
 
 /// Small constant added to variances for numerical stability.
 pub const NORM_EPS: f32 = 1e-5;
@@ -132,11 +132,15 @@ impl Layer for BatchNorm {
             let b = self.beta.value.data()[ci];
             for ni in 0..n {
                 let base = (ni * c + ci) * s;
-                for i in 0..s {
-                    let xh = (data[base + i] - mean) * inv_std;
-                    x_hat.data_mut()[base + i] = xh;
-                    out.data_mut()[base + i] = g * xh + b;
-                }
+                vecmath::normalize_affine2(
+                    &data[base..base + s],
+                    &mut x_hat.data_mut()[base..base + s],
+                    &mut out.data_mut()[base..base + s],
+                    mean,
+                    inv_std,
+                    g,
+                    b,
+                );
             }
         }
         if mode.is_train() {
@@ -226,10 +230,14 @@ impl Layer for BatchNorm {
             let b = self.beta.value.data()[ci];
             for ni in 0..n {
                 let base = (ni * c + ci) * s;
-                for i in 0..s {
-                    let xh = (data[base + i] - mean) * inv_std;
-                    out[base + i] = g * xh + b;
-                }
+                vecmath::normalize_affine(
+                    &data[base..base + s],
+                    &mut out[base..base + s],
+                    mean,
+                    inv_std,
+                    g,
+                    b,
+                );
             }
         }
         Ok(())
@@ -342,11 +350,15 @@ impl Layer for GroupNorm {
                     let g = self.gamma.value.data()[ci];
                     let b = self.beta.value.data()[ci];
                     let base = (ni * c + ci) * s;
-                    for i in 0..s {
-                        let xh = (data[base + i] - mean) * inv_std;
-                        x_hat.data_mut()[base + i] = xh;
-                        out.data_mut()[base + i] = g * xh + b;
-                    }
+                    vecmath::normalize_affine2(
+                        &data[base..base + s],
+                        &mut x_hat.data_mut()[base..base + s],
+                        &mut out.data_mut()[base..base + s],
+                        mean,
+                        inv_std,
+                        g,
+                        b,
+                    );
                 }
             }
         }
@@ -479,10 +491,14 @@ impl Layer for GroupNorm {
                     let g = self.gamma.value.data()[ci];
                     let b = self.beta.value.data()[ci];
                     let base = (ni * c + ci) * s;
-                    for i in 0..s {
-                        let xh = (data[base + i] - mean) * inv_std;
-                        out[base + i] = g * xh + b;
-                    }
+                    vecmath::normalize_affine(
+                        &data[base..base + s],
+                        &mut out[base..base + s],
+                        mean,
+                        inv_std,
+                        g,
+                        b,
+                    );
                 }
             }
         }

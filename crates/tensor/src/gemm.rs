@@ -8,10 +8,17 @@
 //!   stays resident in L1 while the microkernel streams over it;
 //! * the m-dimension is split into blocks of [`MC`] so the packed A block
 //!   stays resident in L2;
-//! * the innermost microkernel computes an `MR × NR` tile of C entirely in
+//! * the innermost microkernel computes an `mr × nr` tile of C entirely in
 //!   registers — branch-free, with no loads or stores of C inside the k-loop
 //!   (the naive kernel's biggest cost after its data-dependent sparsity
 //!   branch).
+//!
+//! The microkernel (and with it the `mr × nr` register-tile geometry) is
+//! selected **at runtime** through [`crate::dispatch`]: a portable 4×8
+//! scalar kernel that works everywhere, a 6×16 AVX2+FMA kernel, and a 14×32
+//! AVX-512 kernel. The tier is resolved once per process; packed operands
+//! remember the tier they were laid out for, so prepacked multiplies stay
+//! coherent even if tests pin a different tier afterwards.
 //!
 //! Both operands are packed into contiguous, tile-major buffers before the
 //! microkernel runs, with edge tiles zero-padded so the microkernel never
@@ -23,49 +30,20 @@
 //! threads claim row blocks from an atomic counter (work stealing) and each
 //! element of C is written by exactly one worker with a fixed, sequential
 //! k-accumulation order — results are therefore **bit-identical** for every
-//! thread count and schedule.
+//! thread count and schedule. Across kernel tiers, the AVX2 and AVX-512
+//! kernels share the same per-element FMA accumulation order and produce
+//! bit-identical results; only the portable tier (separate multiply + add
+//! roundings) diverges. The active tier is thus the sole reproducibility
+//! boundary, and it is surfaced via telemetry.
 
 use crate::arena::DirtyRows;
+use crate::dispatch::{self, KernelTier};
 use crate::scratch::{uninit_slice, Scratch};
 use crate::telemetry;
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Rows of C computed per microkernel tile.
-///
-/// The AVX2+FMA kernel uses a 6×16 tile: 12 independent 256-bit FMA
-/// accumulator chains — enough to cover FMA latency at two FMAs per cycle.
-/// On baseline SSE2 that tile would spill (24 xmm accumulators), so the
-/// portable kernel uses 4×8 instead.
-#[cfg(all(
-    target_arch = "x86_64",
-    target_feature = "avx2",
-    target_feature = "fma"
-))]
-pub const MR: usize = 6;
-/// Columns of C computed per microkernel tile (two 256-bit vectors of f32).
-#[cfg(all(
-    target_arch = "x86_64",
-    target_feature = "avx2",
-    target_feature = "fma"
-))]
-pub const NR: usize = 16;
-
-/// Rows of C computed per microkernel tile (portable configuration).
-#[cfg(not(all(
-    target_arch = "x86_64",
-    target_feature = "avx2",
-    target_feature = "fma"
-)))]
-pub const MR: usize = 4;
-/// Columns of C computed per microkernel tile (two 128-bit vectors of f32).
-#[cfg(not(all(
-    target_arch = "x86_64",
-    target_feature = "avx2",
-    target_feature = "fma"
-)))]
-pub const NR: usize = 8;
-/// k-panel size: a KC×NR strip of packed B (8 KiB) stays L1-resident.
+/// k-panel size: a KC×nr strip of packed B stays L1-resident.
 pub const KC: usize = 256;
 /// m-block size: an MC×KC block of packed A (128 KiB) stays L2-resident.
 pub const MC: usize = 128;
@@ -75,6 +53,71 @@ pub const NC: usize = 256;
 /// Minimum `m·n·k` before the row-block loop is parallelized; below this the
 /// fork/steal overhead outweighs the work.
 const PARALLEL_FLOP_THRESHOLD: usize = 1 << 21;
+
+/// Elements in the largest microkernel tile (AVX-512's 14×32); sizes the
+/// stack accumulator every tier writes a prefix of.
+const MAX_TILE: usize = 14 * 32;
+
+/// A microkernel: computes the full `mr × nr` register tile over one packed
+/// k-panel and writes it row-major (leading dimension `nr`) into `acc`,
+/// overwriting the `mr * nr` prefix.
+///
+/// # Safety
+///
+/// The callee may use the SIMD features of the tier it belongs to; callers
+/// must only invoke kernels obtained from [`f32_kernel`] with a tier the
+/// host supports. Slice bounds are asserted by each kernel.
+type MicrokernelF32 = unsafe fn(kc: usize, pa: &[f32], pb: &[f32], acc: &mut [f32]);
+
+/// One tier's f32 GEMM kernel: its register-tile geometry plus the
+/// microkernel that fills such a tile.
+#[derive(Clone, Copy)]
+pub(crate) struct F32Kernel {
+    /// Rows of C computed per microkernel tile.
+    pub(crate) mr: usize,
+    /// Columns of C computed per microkernel tile.
+    pub(crate) nr: usize,
+    micro: MicrokernelF32,
+}
+
+/// Portable 4×8 kernel: small enough not to spill on baseline SSE2.
+const PORTABLE_F32: F32Kernel = F32Kernel {
+    mr: 4,
+    nr: 8,
+    micro: microkernel_portable,
+};
+
+/// AVX2+FMA 6×16 kernel: twelve independent 256-bit FMA accumulator chains —
+/// enough to cover FMA latency at two FMAs per cycle.
+#[cfg(target_arch = "x86_64")]
+const AVX2_F32: F32Kernel = F32Kernel {
+    mr: 6,
+    nr: 16,
+    micro: microkernel_avx2,
+};
+
+/// AVX-512 14×32 kernel: 28 of the 32 zmm registers hold accumulators, the
+/// rest stream packed B and the scalar broadcast.
+#[cfg(target_arch = "x86_64")]
+const AVX512_F32: F32Kernel = F32Kernel {
+    mr: 14,
+    nr: 32,
+    micro: microkernel_avx512,
+};
+
+/// The f32 GEMM kernel for a dispatch tier.
+pub(crate) fn f32_kernel(tier: KernelTier) -> F32Kernel {
+    match tier {
+        KernelTier::Portable => PORTABLE_F32,
+        #[cfg(target_arch = "x86_64")]
+        KernelTier::Avx2 => AVX2_F32,
+        #[cfg(target_arch = "x86_64")]
+        KernelTier::Avx512 => AVX512_F32,
+        // Non-x86 hosts never detect (nor may they force) the SIMD tiers.
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => PORTABLE_F32,
+    }
+}
 
 thread_local! {
     static LOCAL_SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new());
@@ -118,13 +161,17 @@ pub fn gemm(
         scale_in_place(c, beta);
         return;
     }
+    let kern = f32_kernel(dispatch::active());
     let row_blocks = m.div_ceil(MC);
     let workers = rayon::current_num_threads().min(row_blocks);
     if workers > 1 && m * n * k >= PARALLEL_FLOP_THRESHOLD {
-        gemm_parallel(trans_a, trans_b, m, n, k, alpha, a, b, beta, c, workers);
+        gemm_parallel(
+            &kern, trans_a, trans_b, m, n, k, alpha, a, b, beta, c, workers,
+        );
     } else {
         LOCAL_SCRATCH.with(|s| {
             gemm_with_scratch_impl(
+                &kern,
                 trans_a,
                 trans_b,
                 m,
@@ -158,13 +205,17 @@ pub fn gemm_with_scratch(
     scratch: &mut Scratch,
 ) {
     let _span = telemetry::span(telemetry::Phase::Gemm);
-    gemm_with_scratch_impl(trans_a, trans_b, m, n, k, alpha, a, b, beta, c, scratch);
+    let kern = f32_kernel(dispatch::active());
+    gemm_with_scratch_impl(
+        &kern, trans_a, trans_b, m, n, k, alpha, a, b, beta, c, scratch,
+    );
 }
 
 /// Shared body of [`gemm`]'s single-threaded path and [`gemm_with_scratch`],
 /// so each public entry opens exactly one telemetry span.
 #[allow(clippy::too_many_arguments)]
 fn gemm_with_scratch_impl(
+    kern: &F32Kernel,
     trans_a: bool,
     trans_b: bool,
     m: usize,
@@ -185,19 +236,20 @@ fn gemm_with_scratch_impl(
         scale_in_place(c, beta);
         return;
     }
-    let packed_b = uninit_slice(&mut scratch.packed_b, KC * NC.min(n.next_multiple_of(NR)));
-    let packed_a = uninit_slice(&mut scratch.packed_a, MC.next_multiple_of(MR) * KC);
+    let (mr, nr) = (kern.mr, kern.nr);
+    let packed_b = uninit_slice(&mut scratch.packed_b, KC * NC.min(n.next_multiple_of(nr)));
+    let packed_a = uninit_slice(&mut scratch.packed_a, MC.next_multiple_of(mr) * KC);
     for jc in (0..n).step_by(NC) {
         let nc = NC.min(n - jc);
         for pc in (0..k).step_by(KC) {
             let kc = KC.min(k - pc);
-            pack_b(trans_b, b, k, n, pc, kc, jc, nc, packed_b);
+            pack_b(nr, trans_b, b, k, n, pc, kc, jc, nc, packed_b);
             let beta_block = if pc == 0 { beta } else { 1.0 };
             for ic in (0..m).step_by(MC) {
                 let mc = MC.min(m - ic);
-                pack_a(trans_a, a, m, k, ic, mc, pc, kc, packed_a);
+                pack_a(mr, trans_a, a, m, k, ic, mc, pc, kc, packed_a);
                 block_kernel(
-                    packed_a, packed_b, c, n, ic, mc, jc, nc, kc, alpha, beta_block,
+                    kern, packed_a, packed_b, c, n, ic, mc, jc, nc, kc, alpha, beta_block,
                 );
             }
         }
@@ -209,6 +261,7 @@ fn gemm_with_scratch_impl(
 /// the current `(jc, pc)` stage is shared read-only across workers.
 #[allow(clippy::too_many_arguments)]
 fn gemm_parallel(
+    kern: &F32Kernel,
     trans_a: bool,
     trans_b: bool,
     m: usize,
@@ -221,14 +274,15 @@ fn gemm_parallel(
     c: &mut [f32],
     workers: usize,
 ) {
+    let (mr, nr) = (kern.mr, kern.nr);
     let row_blocks = m.div_ceil(MC);
-    let mut packed_b_buf = vec![0.0f32; KC * NC.min(n.next_multiple_of(NR))];
+    let mut packed_b_buf = vec![0.0f32; KC * NC.min(n.next_multiple_of(nr))];
     let c_ptr = SendPtr(c.as_mut_ptr());
     for jc in (0..n).step_by(NC) {
         let nc = NC.min(n - jc);
         for pc in (0..k).step_by(KC) {
             let kc = KC.min(k - pc);
-            pack_b(trans_b, b, k, n, pc, kc, jc, nc, &mut packed_b_buf);
+            pack_b(nr, trans_b, b, k, n, pc, kc, jc, nc, &mut packed_b_buf);
             let packed_b = &packed_b_buf;
             let beta_block = if pc == 0 { beta } else { 1.0 };
             let next = AtomicUsize::new(0);
@@ -236,8 +290,9 @@ fn gemm_parallel(
                 for _ in 0..workers {
                     let next = &next;
                     let c_ptr = &c_ptr;
+                    let kern = *kern;
                     s.spawn(move || {
-                        let mut packed_a = vec![0.0f32; MC.next_multiple_of(MR) * KC];
+                        let mut packed_a = vec![0.0f32; MC.next_multiple_of(mr) * KC];
                         loop {
                             let blk = next.fetch_add(1, Ordering::Relaxed);
                             if blk >= row_blocks {
@@ -245,7 +300,7 @@ fn gemm_parallel(
                             }
                             let ic = blk * MC;
                             let mc = MC.min(m - ic);
-                            pack_a(trans_a, a, m, k, ic, mc, pc, kc, &mut packed_a);
+                            pack_a(mr, trans_a, a, m, k, ic, mc, pc, kc, &mut packed_a);
                             // SAFETY: each row block `[ic, ic+mc)` is claimed
                             // by exactly one worker (atomic counter), so the
                             // C rows written here are disjoint between
@@ -254,7 +309,7 @@ fn gemm_parallel(
                                 std::slice::from_raw_parts_mut(c_ptr.0.add(ic * n), mc * n)
                             };
                             block_kernel(
-                                &packed_a, packed_b, c_rows, n, 0, mc, jc, nc, kc, alpha,
+                                &kern, &packed_a, packed_b, c_rows, n, 0, mc, jc, nc, kc, alpha,
                                 beta_block,
                             );
                         }
@@ -271,10 +326,13 @@ struct SendPtr(*mut f32);
 unsafe impl Send for SendPtr {}
 unsafe impl Sync for SendPtr {}
 
-/// Bytes-per-block stride of one packed `(k-panel, m-block)` A block inside a
-/// [`PackedA`] buffer: every block occupies a fixed-size slot (edge blocks
-/// use a prefix of theirs) so offsets are index arithmetic.
-const A_BLOCK_STRIDE: usize = MC.div_ceil(MR) * MR * KC;
+/// Elements-per-block stride of one packed `(k-panel, m-block)` A block
+/// inside a [`PackedA`] buffer for a tier with the given `mr`: every block
+/// occupies a fixed-size slot (edge blocks use a prefix of theirs) so
+/// offsets are index arithmetic.
+fn a_block_stride(mr: usize) -> usize {
+    MC.div_ceil(mr) * mr * KC
+}
 
 /// A fully packed `op(A)` operand: every `(k-panel, m-block)` of A in the
 /// exact strip layout the microkernel consumes.
@@ -286,12 +344,17 @@ const A_BLOCK_STRIDE: usize = MC.div_ceil(MR) * MR * KC;
 /// work. Results are **bit-identical** to [`gemm_with_scratch`] (same packed
 /// values, same block traversal, same accumulation order).
 ///
+/// The layout depends on the kernel tier's `mr`, so the operand records the
+/// tier active when it was packed and prepacked multiplies always use that
+/// tier's kernel.
+///
 /// The buffer grows monotonically and never shrinks, so steady-state repacks
 /// allocate nothing.
 #[derive(Debug, Default, Clone)]
 pub struct PackedA {
     m: usize,
     k: usize,
+    tier: KernelTier,
     buf: Vec<f32>,
 }
 
@@ -311,6 +374,11 @@ impl PackedA {
         self.k
     }
 
+    /// The kernel tier whose strip layout this operand was packed for.
+    pub fn tier(&self) -> KernelTier {
+        self.tier
+    }
+
     /// Packs `op(A)` (`[m, k]`, or stored `[k, m]` when `trans_a`) in full.
     ///
     /// # Panics
@@ -321,15 +389,18 @@ impl PackedA {
         assert_eq!(a.len(), m * k, "A must hold m*k elements");
         self.m = m;
         self.k = k;
+        self.tier = dispatch::active();
+        let mr = f32_kernel(self.tier).mr;
+        let stride = a_block_stride(mr);
         let m_blocks = m.div_ceil(MC);
         let k_panels = k.div_ceil(KC);
-        let buf = uninit_slice(&mut self.buf, m_blocks * k_panels * A_BLOCK_STRIDE);
+        let buf = uninit_slice(&mut self.buf, m_blocks * k_panels * stride);
         for (pi, pc) in (0..k).step_by(KC).enumerate() {
             let kc = KC.min(k - pc);
             for (bi, ic) in (0..m).step_by(MC).enumerate() {
                 let mc = MC.min(m - ic);
-                let slot = &mut buf[(pi * m_blocks + bi) * A_BLOCK_STRIDE..][..A_BLOCK_STRIDE];
-                pack_a(trans_a, a, m, k, ic, mc, pc, kc, slot);
+                let slot = &mut buf[(pi * m_blocks + bi) * stride..][..stride];
+                pack_a(mr, trans_a, a, m, k, ic, mc, pc, kc, slot);
             }
         }
     }
@@ -339,7 +410,8 @@ impl PackedA {
 /// `C ← α · op(A) · op(B) + β · C` where only B is packed per call, into the
 /// caller's reusable `packed_b` buffer.
 ///
-/// Bit-identical to [`gemm`] / [`gemm_with_scratch`] for the same operands.
+/// Runs on the kernel tier `packed_a` was packed for. Bit-identical to
+/// [`gemm`] / [`gemm_with_scratch`] on that tier for the same operands.
 ///
 /// # Panics
 ///
@@ -366,25 +438,30 @@ pub fn gemm_prepacked(
         scale_in_place(c, beta);
         return;
     }
+    let kern = f32_kernel(packed_a.tier);
+    let (mr, nr) = (kern.mr, kern.nr);
+    let stride = a_block_stride(mr);
     let m_blocks = m.div_ceil(MC);
-    let packed_b = uninit_slice(packed_b_buf, KC * NC.min(n.next_multiple_of(NR)));
+    let packed_b = uninit_slice(packed_b_buf, KC * NC.min(n.next_multiple_of(nr)));
     for jc in (0..n).step_by(NC) {
         let nc = NC.min(n - jc);
         for (pi, pc) in (0..k).step_by(KC).enumerate() {
             let kc = KC.min(k - pc);
-            pack_b(trans_b, b, k, n, pc, kc, jc, nc, packed_b);
+            pack_b(nr, trans_b, b, k, n, pc, kc, jc, nc, packed_b);
             let beta_block = if pc == 0 { beta } else { 1.0 };
             for (bi, ic) in (0..m).step_by(MC).enumerate() {
                 let mc = MC.min(m - ic);
-                let pa = &packed_a.buf[(pi * m_blocks + bi) * A_BLOCK_STRIDE..];
-                block_kernel(pa, packed_b, c, n, ic, mc, jc, nc, kc, alpha, beta_block);
+                let pa = &packed_a.buf[(pi * m_blocks + bi) * stride..];
+                block_kernel(
+                    &kern, pa, packed_b, c, n, ic, mc, jc, nc, kc, alpha, beta_block,
+                );
             }
         }
     }
 }
 
 /// A fully packed `op(B)` operand: every `(n-panel, k-panel)` of B in the
-/// exact NR-strip layout the microkernel consumes — the weight-side
+/// exact nr-strip layout the microkernel consumes — the weight-side
 /// counterpart of [`PackedA`].
 ///
 /// This is the cache a compiled inference plan keeps per weighted layer: the
@@ -397,12 +474,14 @@ pub fn gemm_prepacked(
 /// Panels are stored in fixed-stride slots, so offsets are index arithmetic,
 /// and results through [`gemm_prepacked_b`] / [`gemm_prepacked_ab`] are
 /// **bit-identical** to [`gemm_with_scratch`] (same packed values, same block
-/// traversal, same accumulation order).
+/// traversal, same accumulation order). Like [`PackedA`], the operand
+/// records the kernel tier whose strip width it was packed for.
 #[derive(Debug, Default, Clone)]
 pub struct PackedB {
     k: usize,
     n: usize,
     trans_b: bool,
+    tier: KernelTier,
     k_panels: usize,
     slot: usize,
     buf: Vec<f32>,
@@ -425,6 +504,11 @@ impl PackedB {
         self.n
     }
 
+    /// The kernel tier whose strip layout this operand was packed for.
+    pub fn tier(&self) -> KernelTier {
+        self.tier
+    }
+
     /// Packs `op(B)` (`[k, n]`, or stored `[n, k]` when `trans_b`) in full.
     ///
     /// # Panics
@@ -436,10 +520,12 @@ impl PackedB {
         self.k = k;
         self.n = n;
         self.trans_b = trans_b;
+        self.tier = dispatch::active();
+        let nr = f32_kernel(self.tier).nr;
         self.k_panels = k.div_ceil(KC).max(1);
         // Fixed slot stride: a full (NC, KC) panel packs to NC-padded × KC
         // elements; edge panels use a prefix of their slot.
-        self.slot = KC * NC.min(n.next_multiple_of(NR)).max(NR);
+        self.slot = KC * NC.min(n.next_multiple_of(nr)).max(nr);
         let n_panels = n.div_ceil(NC).max(1);
         let buf = uninit_slice(&mut self.buf, n_panels * self.k_panels * self.slot);
         for (ji, jc) in (0..n).step_by(NC).enumerate() {
@@ -447,7 +533,7 @@ impl PackedB {
             for (pi, pc) in (0..k).step_by(KC).enumerate() {
                 let kc = KC.min(k - pc);
                 let slot = &mut buf[(ji * self.k_panels + pi) * self.slot..][..self.slot];
-                pack_b(trans_b, b, k, n, pc, kc, jc, nc, slot);
+                pack_b(nr, trans_b, b, k, n, pc, kc, jc, nc, slot);
             }
         }
     }
@@ -467,14 +553,15 @@ impl PackedB {
     ///
     /// # Panics
     ///
-    /// Panics when the two operands were packed with different dimensions.
+    /// Panics when the two operands were packed with different dimensions or
+    /// under different kernel tiers.
     pub fn scale_from(&mut self, src: &PackedB, factor: f32) {
         let _span = telemetry::span(telemetry::Phase::Repack);
         telemetry::count(telemetry::Counter::UniformScales, 1);
         assert_eq!(
-            (self.k, self.n, self.trans_b),
-            (src.k, src.n, src.trans_b),
-            "packed operands disagree on shape"
+            (self.k, self.n, self.trans_b, self.tier),
+            (src.k, src.n, src.trans_b, src.tier),
+            "packed operands disagree on shape or kernel tier"
         );
         let len = self.packed_len();
         for (d, &s) in self.buf[..len].iter_mut().zip(&src.buf[..len]) {
@@ -493,18 +580,19 @@ impl PackedB {
     ///
     /// # Panics
     ///
-    /// Panics when the two operands were packed with different dimensions.
+    /// Panics when the two operands were packed with different dimensions or
+    /// under different kernel tiers.
     pub fn copy_from(&mut self, src: &PackedB) {
         assert_eq!(
-            (self.k, self.n, self.trans_b),
-            (src.k, src.n, src.trans_b),
-            "packed operands disagree on shape"
+            (self.k, self.n, self.trans_b, self.tier),
+            (src.k, src.n, src.trans_b, src.tier),
+            "packed operands disagree on shape or kernel tier"
         );
         let len = self.packed_len();
         self.buf[..len].copy_from_slice(&src.buf[..len]);
     }
 
-    /// Re-packs only the NR-strips covering rows marked in `dirty` from the
+    /// Re-packs only the nr-strips covering rows marked in `dirty` from the
     /// (updated) source matrix `b` — rows meaning columns of `op(B)`, i.e.
     /// rows of the stored `[n, k]` weight when `trans_b`.
     ///
@@ -527,23 +615,24 @@ impl PackedB {
         assert_eq!(b.len(), self.k * self.n, "B must hold k*n elements");
         assert!(dirty.rows() >= base + self.n, "dirty set must cover n rows");
         let (k, n, trans_b) = (self.k, self.n, self.trans_b);
+        let nr = f32_kernel(self.tier).nr;
         let mut repacked_rows = 0u64;
         for (ji, jc) in (0..n).step_by(NC).enumerate() {
             let nc = NC.min(n - jc);
-            for jr in (0..nc).step_by(NR) {
+            for jr in (0..nc).step_by(nr) {
                 let j0 = jc + jr;
-                if !dirty.any_in(base + j0, base + (j0 + NR).min(n)) {
+                if !dirty.any_in(base + j0, base + (j0 + nr).min(n)) {
                     continue;
                 }
-                let cols = NR.min(nc - jr);
+                let cols = nr.min(nc - jr);
                 repacked_rows += cols as u64;
                 for (pi, pc) in (0..k).step_by(KC).enumerate() {
                     let kc = KC.min(k - pc);
                     let slot = (ji * self.k_panels + pi) * self.slot;
-                    let strip = &mut self.buf[slot + (jr / NR) * (kc * NR)..][..kc * NR];
+                    let strip = &mut self.buf[slot + (jr / nr) * (kc * nr)..][..kc * nr];
                     let mut dst = 0;
                     for p in 0..kc {
-                        for j in 0..NR {
+                        for j in 0..nr {
                             strip[dst] = if j < cols {
                                 if trans_b {
                                     b[(j0 + j) * k + pc + p]
@@ -581,16 +670,17 @@ impl PackedB {
         telemetry::count(telemetry::Counter::CellScatters, 1);
         assert!(self.trans_b, "write_cell addresses trans_b packed operands");
         assert!(row < self.n && kidx < self.k, "cell out of range");
+        let nr = f32_kernel(self.tier).nr;
         let ji = row / NC;
         let jc = ji * NC;
-        let jr = ((row - jc) / NR) * NR;
+        let jr = ((row - jc) / nr) * nr;
         let pi = kidx / KC;
         let pc = pi * KC;
         let kc = KC.min(self.k - pc);
         let p = kidx - pc;
         let pos = (ji * self.k_panels + pi) * self.slot  // panel slot
-            + (jr / NR) * (kc * NR)                      // NR-strip within it
-            + p * NR                                     // k step within strip
+            + (jr / nr) * (kc * nr)                      // nr-strip within it
+            + p * nr                                     // k step within strip
             + (row - jc - jr);
         self.buf[pos] = value;
     }
@@ -600,7 +690,8 @@ impl PackedB {
 /// `C ← α · op(A) · op(B) + β · C` where only A is packed per call, blockwise
 /// into the caller's [`Scratch`].
 ///
-/// Bit-identical to [`gemm`] / [`gemm_with_scratch`] for the same operands.
+/// Runs on the kernel tier `packed_b` was packed for. Bit-identical to
+/// [`gemm`] / [`gemm_with_scratch`] on that tier for the same operands.
 ///
 /// # Panics
 ///
@@ -627,7 +718,9 @@ pub fn gemm_prepacked_b(
         scale_in_place(c, beta);
         return;
     }
-    let packed_a = uninit_slice(&mut scratch.packed_a, MC.next_multiple_of(MR) * KC);
+    let kern = f32_kernel(packed_b.tier);
+    let mr = kern.mr;
+    let packed_a = uninit_slice(&mut scratch.packed_a, MC.next_multiple_of(mr) * KC);
     for (ji, jc) in (0..n).step_by(NC).enumerate() {
         let nc = NC.min(n - jc);
         for (pi, pc) in (0..k).step_by(KC).enumerate() {
@@ -636,8 +729,10 @@ pub fn gemm_prepacked_b(
             let beta_block = if pc == 0 { beta } else { 1.0 };
             for ic in (0..m).step_by(MC) {
                 let mc = MC.min(m - ic);
-                pack_a(trans_a, a, m, k, ic, mc, pc, kc, packed_a);
-                block_kernel(packed_a, pb, c, n, ic, mc, jc, nc, kc, alpha, beta_block);
+                pack_a(mr, trans_a, a, m, k, ic, mc, pc, kc, packed_a);
+                block_kernel(
+                    &kern, packed_a, pb, c, n, ic, mc, jc, nc, kc, alpha, beta_block,
+                );
             }
         }
     }
@@ -647,12 +742,13 @@ pub fn gemm_prepacked_b(
 /// fully amortized steady state of a compiled plan whose input activation is
 /// constant across Monte-Carlo runs — per call, no packing happens at all.
 ///
-/// Bit-identical to [`gemm`] / [`gemm_with_scratch`] for the same operands.
+/// Runs on the kernel tier the operands were packed for. Bit-identical to
+/// [`gemm`] / [`gemm_with_scratch`] on that tier for the same operands.
 ///
 /// # Panics
 ///
-/// Panics when the packed reduction dimensions disagree or `c` has the wrong
-/// length.
+/// Panics when the packed reduction dimensions disagree, the operands were
+/// packed under different kernel tiers, or `c` has the wrong length.
 pub fn gemm_prepacked_ab(
     packed_a: &PackedA,
     packed_b: &PackedB,
@@ -664,6 +760,10 @@ pub fn gemm_prepacked_ab(
     let (m, k) = (packed_a.m, packed_a.k);
     let n = packed_b.n;
     assert_eq!(k, packed_b.k, "packed operands disagree on k");
+    assert_eq!(
+        packed_a.tier, packed_b.tier,
+        "packed operands disagree on kernel tier"
+    );
     assert_eq!(c.len(), m * n, "C must hold m*n elements");
     if m == 0 || n == 0 {
         return;
@@ -672,6 +772,8 @@ pub fn gemm_prepacked_ab(
         scale_in_place(c, beta);
         return;
     }
+    let kern = f32_kernel(packed_a.tier);
+    let stride = a_block_stride(kern.mr);
     let m_blocks = m.div_ceil(MC);
     for (ji, jc) in (0..n).step_by(NC).enumerate() {
         let nc = NC.min(n - jc);
@@ -681,8 +783,8 @@ pub fn gemm_prepacked_ab(
             let beta_block = if pc == 0 { beta } else { 1.0 };
             for (bi, ic) in (0..m).step_by(MC).enumerate() {
                 let mc = MC.min(m - ic);
-                let pa = &packed_a.buf[(pi * m_blocks + bi) * A_BLOCK_STRIDE..];
-                block_kernel(pa, pb, c, n, ic, mc, jc, nc, kc, alpha, beta_block);
+                let pa = &packed_a.buf[(pi * m_blocks + bi) * stride..];
+                block_kernel(&kern, pa, pb, c, n, ic, mc, jc, nc, kc, alpha, beta_block);
             }
         }
     }
@@ -704,11 +806,12 @@ fn scale_in_place(c: &mut [f32], beta: f32) {
     }
 }
 
-/// Packs the `mc × kc` block of `op(A)` starting at `(ic, pc)` into MR-row
+/// Packs the `mc × kc` block of `op(A)` starting at `(ic, pc)` into mr-row
 /// strips laid out p-major (`packed[strip][p][r]`), zero-padding the ragged
 /// final strip so the microkernel always reads full tiles.
 #[allow(clippy::too_many_arguments)]
 fn pack_a(
+    mr: usize,
     trans_a: bool,
     a: &[f32],
     m: usize,
@@ -727,10 +830,10 @@ fn pack_a(
         }
     };
     let mut dst = 0;
-    for ir in (0..mc).step_by(MR) {
-        let rows = MR.min(mc - ir);
+    for ir in (0..mc).step_by(mr) {
+        let rows = mr.min(mc - ir);
         for p in 0..kc {
-            for r in 0..MR {
+            for r in 0..mr {
                 packed[dst] = if r < rows {
                     at(ic + ir + r, pc + p)
                 } else {
@@ -742,11 +845,12 @@ fn pack_a(
     }
 }
 
-/// Packs the `kc × nc` block of `op(B)` starting at `(pc, jc)` into NR-column
+/// Packs the `kc × nc` block of `op(B)` starting at `(pc, jc)` into nr-column
 /// strips laid out p-major (`packed[strip][p][j]`), zero-padded like
 /// [`pack_a`].
 #[allow(clippy::too_many_arguments)]
 fn pack_b(
+    nr: usize,
     trans_b: bool,
     b: &[f32],
     k: usize,
@@ -765,10 +869,10 @@ fn pack_b(
         }
     };
     let mut dst = 0;
-    for jr in (0..nc).step_by(NR) {
-        let cols = NR.min(nc - jr);
+    for jr in (0..nc).step_by(nr) {
+        let cols = nr.min(nc - jr);
         for p in 0..kc {
-            for j in 0..NR {
+            for j in 0..nr {
                 packed[dst] = if j < cols {
                     bt(pc + p, jc + jr + j)
                 } else {
@@ -780,11 +884,12 @@ fn pack_b(
     }
 }
 
-/// Runs the microkernel over every `MR × NR` tile of an `mc × nc` block,
+/// Runs the microkernel over every `mr × nr` tile of an `mc × nc` block,
 /// writing into `c` (row-major with leading dimension `n`) at row offset
 /// `ic` and column offset `jc`.
 #[allow(clippy::too_many_arguments)]
 fn block_kernel(
+    kern: &F32Kernel,
     packed_a: &[f32],
     packed_b: &[f32],
     c: &mut [f32],
@@ -797,70 +902,41 @@ fn block_kernel(
     alpha: f32,
     beta: f32,
 ) {
-    for jr in (0..nc).step_by(NR) {
-        let cols = NR.min(nc - jr);
-        let pb = &packed_b[(jr / NR) * (kc * NR)..][..kc * NR];
-        for ir in (0..mc).step_by(MR) {
-            let rows = MR.min(mc - ir);
-            let pa = &packed_a[(ir / MR) * (kc * MR)..][..kc * MR];
-            let acc = microkernel(kc, pa, pb);
-            store_tile(&acc, c, n, ic + ir, jc + jr, rows, cols, alpha, beta);
+    let (mr, nr) = (kern.mr, kern.nr);
+    let mut acc = [0.0f32; MAX_TILE];
+    for jr in (0..nc).step_by(nr) {
+        let cols = nr.min(nc - jr);
+        let pb = &packed_b[(jr / nr) * (kc * nr)..][..kc * nr];
+        for ir in (0..mc).step_by(mr) {
+            let rows = mr.min(mc - ir);
+            let pa = &packed_a[(ir / mr) * (kc * mr)..][..kc * mr];
+            // SAFETY: kernels come from `f32_kernel` with a tier the host
+            // supports ([`dispatch::active`]/[`dispatch::force`] guarantee
+            // that), and the slices cover kc·mr / kc·nr / mr·nr elements.
+            unsafe { (kern.micro)(kc, pa, pb, &mut acc[..mr * nr]) };
+            store_tile(
+                &acc[..mr * nr],
+                nr,
+                c,
+                n,
+                ic + ir,
+                jc + jr,
+                rows,
+                cols,
+                alpha,
+                beta,
+            );
         }
     }
 }
 
-/// The register-resident `MR × NR` tile product: `acc += Ā · B̄` over one
-/// packed k-panel. Branch-free; the accumulators live entirely in vector
-/// registers, so the k-loop touches memory only to stream the packed panels.
-///
-/// Hand-written 6×16 AVX2+FMA variant: twelve ymm accumulators, two packed-B
-/// vector loads and six scalar broadcasts per k-step.
-#[cfg(all(
-    target_arch = "x86_64",
-    target_feature = "avx2",
-    target_feature = "fma"
-))]
-#[inline(always)]
-fn microkernel(kc: usize, pa: &[f32], pb: &[f32]) -> [[f32; NR]; MR] {
-    use core::arch::x86_64::{
-        _mm256_broadcast_ss, _mm256_fmadd_ps, _mm256_loadu_ps, _mm256_setzero_ps, _mm256_storeu_ps,
-    };
-    assert!(pa.len() >= kc * MR && pb.len() >= kc * NR);
-    // SAFETY: the target features are statically enabled (cfg above), and
-    // every pointer read stays inside the asserted slice bounds.
-    unsafe {
-        let mut acc = [_mm256_setzero_ps(); 2 * MR];
-        let mut ap = pa.as_ptr();
-        let mut bp = pb.as_ptr();
-        for _ in 0..kc {
-            let b0 = _mm256_loadu_ps(bp);
-            let b1 = _mm256_loadu_ps(bp.add(8));
-            // Fixed trip count: fully unrolled, `acc` stays in registers.
-            for r in 0..MR {
-                let ar = _mm256_broadcast_ss(&*ap.add(r));
-                acc[2 * r] = _mm256_fmadd_ps(ar, b0, acc[2 * r]);
-                acc[2 * r + 1] = _mm256_fmadd_ps(ar, b1, acc[2 * r + 1]);
-            }
-            ap = ap.add(MR);
-            bp = bp.add(NR);
-        }
-        let mut out = [[0.0f32; NR]; MR];
-        for (r, row) in out.iter_mut().enumerate() {
-            _mm256_storeu_ps(row.as_mut_ptr(), acc[2 * r]);
-            _mm256_storeu_ps(row.as_mut_ptr().add(8), acc[2 * r + 1]);
-        }
-        out
-    }
-}
-
-/// Portable auto-vectorized 4×8 variant of the microkernel.
-#[cfg(not(all(
-    target_arch = "x86_64",
-    target_feature = "avx2",
-    target_feature = "fma"
-)))]
-#[inline(always)]
-fn microkernel(kc: usize, pa: &[f32], pb: &[f32]) -> [[f32; NR]; MR] {
+/// Portable 4×8 microkernel: plain scalar accumulation (separate multiply
+/// and add roundings — the one f32 tier that is *not* bit-identical to the
+/// FMA tiers), auto-vectorized by LLVM where the build target allows.
+unsafe fn microkernel_portable(kc: usize, pa: &[f32], pb: &[f32], acc_out: &mut [f32]) {
+    const MR: usize = 4;
+    const NR: usize = 8;
+    assert!(pa.len() >= kc * MR && pb.len() >= kc * NR && acc_out.len() >= MR * NR);
     let mut acc = [[0.0f32; NR]; MR];
     for p in 0..kc {
         let bv: &[f32; NR] = pb[p * NR..p * NR + NR].try_into().expect("NR panel");
@@ -872,15 +948,98 @@ fn microkernel(kc: usize, pa: &[f32], pb: &[f32]) -> [[f32; NR]; MR] {
             }
         }
     }
-    acc
+    for (r, row) in acc.iter().enumerate() {
+        acc_out[r * NR..(r + 1) * NR].copy_from_slice(row);
+    }
 }
 
-/// Writes one accumulator tile back to C, applying `alpha`/`beta`. `beta ==
-/// 0.0` overwrites without reading C.
+/// Hand-written 6×16 AVX2+FMA microkernel: twelve ymm accumulators, two
+/// packed-B vector loads and six scalar broadcasts per k-step. `acc += Ā · B̄`
+/// over one packed k-panel; branch-free, the accumulators live entirely in
+/// vector registers, so the k-loop touches memory only to stream the packed
+/// panels.
+///
+/// # Safety
+///
+/// The host must support AVX2 and FMA (guaranteed when the kernel is reached
+/// through [`f32_kernel`] with a detected/forced tier).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn microkernel_avx2(kc: usize, pa: &[f32], pb: &[f32], acc_out: &mut [f32]) {
+    use core::arch::x86_64::{
+        _mm256_broadcast_ss, _mm256_fmadd_ps, _mm256_loadu_ps, _mm256_setzero_ps, _mm256_storeu_ps,
+    };
+    const MR: usize = 6;
+    const NR: usize = 16;
+    assert!(pa.len() >= kc * MR && pb.len() >= kc * NR && acc_out.len() >= MR * NR);
+    let mut acc = [_mm256_setzero_ps(); 2 * MR];
+    let mut ap = pa.as_ptr();
+    let mut bp = pb.as_ptr();
+    for _ in 0..kc {
+        let b0 = _mm256_loadu_ps(bp);
+        let b1 = _mm256_loadu_ps(bp.add(8));
+        // Fixed trip count: fully unrolled, `acc` stays in registers.
+        for r in 0..MR {
+            let ar = _mm256_broadcast_ss(&*ap.add(r));
+            acc[2 * r] = _mm256_fmadd_ps(ar, b0, acc[2 * r]);
+            acc[2 * r + 1] = _mm256_fmadd_ps(ar, b1, acc[2 * r + 1]);
+        }
+        ap = ap.add(MR);
+        bp = bp.add(NR);
+    }
+    for r in 0..MR {
+        _mm256_storeu_ps(acc_out.as_mut_ptr().add(r * NR), acc[2 * r]);
+        _mm256_storeu_ps(acc_out.as_mut_ptr().add(r * NR + 8), acc[2 * r + 1]);
+    }
+}
+
+/// Hand-written 14×32 AVX-512 microkernel: 28 zmm accumulators (of 32), two
+/// packed-B vector loads and fourteen scalar broadcasts per k-step. The
+/// per-element accumulation is the same sequential k-order FMA chain as the
+/// AVX2 kernel, so the two SIMD tiers are bit-identical — the wider tile
+/// only changes which elements share a register, not how any element is
+/// computed.
+///
+/// # Safety
+///
+/// The host must support AVX-512F (guaranteed when the kernel is reached
+/// through [`f32_kernel`] with a detected/forced tier).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn microkernel_avx512(kc: usize, pa: &[f32], pb: &[f32], acc_out: &mut [f32]) {
+    use core::arch::x86_64::{
+        _mm512_fmadd_ps, _mm512_loadu_ps, _mm512_set1_ps, _mm512_setzero_ps, _mm512_storeu_ps,
+    };
+    const MR: usize = 14;
+    const NR: usize = 32;
+    assert!(pa.len() >= kc * MR && pb.len() >= kc * NR && acc_out.len() >= MR * NR);
+    let mut acc = [_mm512_setzero_ps(); 2 * MR];
+    let mut ap = pa.as_ptr();
+    let mut bp = pb.as_ptr();
+    for _ in 0..kc {
+        let b0 = _mm512_loadu_ps(bp);
+        let b1 = _mm512_loadu_ps(bp.add(16));
+        for r in 0..MR {
+            let ar = _mm512_set1_ps(*ap.add(r));
+            acc[2 * r] = _mm512_fmadd_ps(ar, b0, acc[2 * r]);
+            acc[2 * r + 1] = _mm512_fmadd_ps(ar, b1, acc[2 * r + 1]);
+        }
+        ap = ap.add(MR);
+        bp = bp.add(NR);
+    }
+    for r in 0..MR {
+        _mm512_storeu_ps(acc_out.as_mut_ptr().add(r * NR), acc[2 * r]);
+        _mm512_storeu_ps(acc_out.as_mut_ptr().add(r * NR + 16), acc[2 * r + 1]);
+    }
+}
+
+/// Writes one accumulator tile (row-major, leading dimension `nr`) back to
+/// C, applying `alpha`/`beta`. `beta == 0.0` overwrites without reading C.
 #[allow(clippy::too_many_arguments)]
 #[inline]
 fn store_tile(
-    acc: &[[f32; NR]; MR],
+    acc: &[f32],
+    nr: usize,
     c: &mut [f32],
     n: usize,
     row0: usize,
@@ -890,7 +1049,8 @@ fn store_tile(
     alpha: f32,
     beta: f32,
 ) {
-    for (r, acc_row) in acc.iter().enumerate().take(rows) {
+    for r in 0..rows {
+        let acc_row = &acc[r * nr..][..cols];
         let out = &mut c[(row0 + r) * n + col0..][..cols];
         if beta == 0.0 {
             for (o, &v) in out.iter_mut().zip(acc_row.iter()) {
@@ -952,8 +1112,9 @@ mod tests {
     #[test]
     fn matches_reference_over_odd_shapes() {
         let mut rng = Rng::seed_from(7);
-        // Deliberately awkward shapes: non-multiples of MR/NR/KC, GEMV-like
-        // m=1 and n=1, k spanning several KC panels, tiny everything.
+        // Deliberately awkward shapes: non-multiples of any tier's mr/nr or
+        // of KC, GEMV-like m=1 and n=1, k spanning several KC panels, tiny
+        // everything.
         let shapes = [
             (1usize, 1usize, 1usize),
             (1, 17, 300),
@@ -1087,6 +1248,7 @@ mod tests {
                         );
                         packed.pack(trans_a, &a, m, k);
                         assert_eq!((packed.m(), packed.k()), (m, k));
+                        assert_eq!(packed.tier(), dispatch::active());
                         let mut got = seed_c.clone();
                         gemm_prepacked(
                             &packed,
@@ -1174,6 +1336,7 @@ mod tests {
                         );
                         packed.pack(trans_b, &b, k, n);
                         assert_eq!((packed.k(), packed.n()), (k, n));
+                        assert_eq!(packed.tier(), dispatch::active());
                         let mut got = seed_c.clone();
                         gemm_prepacked_b(
                             trans_a,
@@ -1275,6 +1438,7 @@ mod tests {
         // values must leave the operand bit-identical to a full pack of the
         // same matrix, across interior cells, strip edges and panel edges.
         let mut rng = Rng::seed_from(61);
+        let nr = f32_kernel(dispatch::active()).nr;
         for &(n, k) in &[(7usize, 5usize), (NC + 9, KC + 3), (300, 40)] {
             let clean = random_vec(k * n, &mut rng);
             let mut packed = PackedB::new();
@@ -1284,7 +1448,7 @@ mod tests {
                 (0usize, 0usize),
                 (n - 1, k - 1),
                 (n / 2, k / 2),
-                (NR.min(n - 1), 0),
+                (nr.min(n - 1), 0),
                 (n - 1, KC.min(k - 1)),
             ];
             for &(row, kidx) in &cells {
@@ -1391,7 +1555,8 @@ mod tests {
             );
         });
         let mut par = vec![0.0f32; m * n];
-        gemm_parallel(false, false, m, n, k, 1.0, &a, &b, 0.0, &mut par, 4);
+        let kern = f32_kernel(dispatch::active());
+        gemm_parallel(&kern, false, false, m, n, k, 1.0, &a, &b, 0.0, &mut par, 4);
         let identical = seq
             .iter()
             .zip(par.iter())

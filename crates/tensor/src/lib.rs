@@ -17,8 +17,13 @@
 //! * [`gemm`] — the cache-blocked, register-tiled, parallel f32 GEMM with
 //!   `alpha`/`beta` accumulation that all matrix products route through.
 //! * [`qgemm`] — the i8×i8→i32 sibling of [`gemm`] for the quantized
-//!   inference path (AVX2 `maddubs` microkernel, bit-exact vs. the integer
-//!   oracle in `ops::reference`).
+//!   inference path (bit-exact vs. the integer oracle in `ops::reference`).
+//! * [`dispatch`] — runtime SIMD kernel-tier selection (portable / AVX2 /
+//!   AVX-512) shared by [`gemm`], [`qgemm`] and [`vecmath`], with an env/
+//!   programmatic override for pinning a tier.
+//! * [`vecmath`] — tier-dispatched vectorized elementwise math (activations,
+//!   exp/softmax passes, normalization) with bit-identical per-lane
+//!   semantics across all tiers.
 //! * [`scratch`] — reusable workspace buffers so hot-path kernels allocate
 //!   nothing in steady state.
 //! * [`conv`] — im2col/col2im based 1-D and 2-D convolution kernels (forward
@@ -44,6 +49,7 @@
 
 pub mod arena;
 pub mod conv;
+pub mod dispatch;
 pub mod error;
 pub mod gemm;
 pub mod ops;
@@ -55,6 +61,7 @@ pub mod shape;
 pub mod stats;
 pub mod telemetry;
 pub mod tensor;
+pub mod vecmath;
 
 pub use arena::{Arena, ArenaSlot, DirtyRows};
 pub use error::TensorError;

@@ -322,6 +322,11 @@ pub fn transpose2d(a: &Tensor) -> Result<Tensor> {
 /// Numerically stable softmax applied independently to each row of a rank-2
 /// tensor `[rows, cols]`.
 ///
+/// The row max and the denominator sum are sequential scalar reductions (so
+/// the result is independent of the kernel tier); the exp and normalization
+/// passes go through the tier-dispatched [`crate::vecmath`] kernels, which
+/// are per-lane and bit-identical across tiers.
+///
 /// # Errors
 ///
 /// Returns an error when the input is not rank-2.
@@ -331,21 +336,19 @@ pub fn softmax_rows(logits: &Tensor) -> Result<Tensor> {
     let mut out = vec![0.0f32; rows * cols];
     for r in 0..rows {
         let row = &ld[r * cols..(r + 1) * cols];
+        let out_row = &mut out[r * cols..(r + 1) * cols];
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut denom = 0.0f32;
-        for (j, &x) in row.iter().enumerate() {
-            let e = (x - max).exp();
-            out[r * cols + j] = e;
-            denom += e;
-        }
-        for j in 0..cols {
-            out[r * cols + j] /= denom;
-        }
+        crate::vecmath::exp_sub(row, out_row, max);
+        let denom = out_row.iter().sum::<f32>();
+        crate::vecmath::div_scalar_mut(out_row, denom);
     }
     Tensor::from_vec(out, &[rows, cols])
 }
 
 /// Numerically stable log-softmax applied independently to each row.
+///
+/// Reductions stay sequential scalar code and the exp pass is the
+/// tier-dispatched [`crate::vecmath`] kernel, as in [`softmax_rows`].
 ///
 /// # Errors
 ///
@@ -356,10 +359,13 @@ pub fn log_softmax_rows(logits: &Tensor) -> Result<Tensor> {
     let mut out = vec![0.0f32; rows * cols];
     for r in 0..rows {
         let row = &ld[r * cols..(r + 1) * cols];
+        let out_row = &mut out[r * cols..(r + 1) * cols];
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let log_denom = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln();
-        for (j, &x) in row.iter().enumerate() {
-            out[r * cols + j] = x - max - log_denom;
+        // Use the output row as scratch for the exp values, then overwrite.
+        crate::vecmath::exp_sub(row, out_row, max);
+        let log_denom = out_row.iter().sum::<f32>().ln();
+        for (o, &x) in out_row.iter_mut().zip(row.iter()) {
+            *o = x - max - log_denom;
         }
     }
     Tensor::from_vec(out, &[rows, cols])

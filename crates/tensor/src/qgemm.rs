@@ -6,37 +6,41 @@
 //! accumulators. It mirrors the blocking structure of the f32 kernel in
 //! [`crate::gemm`] (KC k-panels, MC row blocks, NC column panels, packed
 //! operands, zero-padded edge tiles) with one integer-specific twist: the
-//! k-dimension is packed in **quads of four** codes so the AVX2 microkernel
-//! can consume them with `maddubs`-style pair products.
+//! k-dimension is packed in **quads of four** codes so the SIMD microkernels
+//! can consume them with `maddubs`-pair or `vpdpbusd` quad products.
 //!
-//! The AVX2 microkernel uses the sign-split trick (as in the i8 dot kernels
-//! of llama.cpp and rten): `a·b == |a| · sign(b, a)`, which makes the
-//! unsigned-by-signed `_mm256_maddubs_epi16` applicable to two signed
-//! operands. Because codes are constrained to `[-127, 127]`, each i16 pair
-//! sum is at most `2 · 127² = 32258 < 32767`, so the saturating multiply-add
-//! can never saturate and the result is **bit-exact** — every kernel
-//! (AVX2, portable, parallel, any thread count) returns the same integers as
-//! the naive reference oracle in `ops::reference::qmatmul_i8`.
+//! The microkernel is selected at runtime through [`crate::dispatch`]:
+//!
+//! * **AVX2** uses the sign-split trick (as in the i8 dot kernels of
+//!   llama.cpp and rten): `a·b == |a| · sign(b, a)`, which makes the
+//!   unsigned-by-signed `_mm256_maddubs_epi16` applicable to two signed
+//!   operands. Because codes are constrained to `[-127, 127]`, each i16 pair
+//!   sum is at most `2 · 127² = 32258 < 32767`, so the saturating
+//!   multiply-add can never saturate.
+//! * **AVX-512 VNNI** replaces the `maddubs` + widen pair with a single
+//!   `vpdpbusd` per B vector: the same sign-split feeds the unsigned×signed
+//!   dot accumulate, whose 4-product sums (≤ `4 · 127² = 64516`) land in the
+//!   i32 accumulators without any intermediate saturation at all, over an
+//!   8×32 tile.
+//! * The **portable** kernel is plain scalar quad accumulation.
+//!
+//! Integer arithmetic is exact, so every kernel tier, thread count and
+//! prepacked variant returns the same integers as the naive reference oracle
+//! in `ops::reference::qmatmul_i8` — the quantized path is **bit-exact
+//! across the whole dispatch ladder**, unlike f32 where the portable tier
+//! rounds differently.
 //!
 //! Accumulation depth is bounded: `k · 127² ≤ i32::MAX` requires
 //! `k ≤ 133 152`, far beyond any layer in the workspace; the entry points
 //! debug-assert it.
 
 use crate::arena::DirtyRows;
+use crate::dispatch::{self, KernelTier};
 use crate::scratch::{uninit_slice_of, Scratch};
 use crate::telemetry;
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Rows of C computed per quantized microkernel tile.
-///
-/// 4×16 on AVX2: eight 256-bit i32 accumulators plus the packed-B loads and
-/// the sign/abs temporaries fit the 16 ymm registers without spilling.
-pub const QMR: usize = 4;
-/// Columns of C computed per quantized microkernel tile (two 256-bit vectors
-/// of i32 on AVX2; the portable kernel uses the same tile so the packed
-/// layout — and therefore every intermediate — is identical).
-pub const QNR: usize = 16;
 /// k-panel size (shared with the f32 kernel; the packed i8 strips are 4×
 /// smaller, so they sit even deeper in L1).
 pub const QKC: usize = 256;
@@ -54,6 +58,72 @@ pub const MAX_K: usize = (i32::MAX as usize) / (127 * 127);
 /// Minimum `m·n·k` before the row-block loop is parallelized.
 const PARALLEL_FLOP_THRESHOLD: usize = 1 << 21;
 
+/// Elements in the largest quantized microkernel tile (VNNI's 8×32); sizes
+/// the stack accumulator every tier writes a prefix of.
+const QMAX_TILE: usize = 8 * 32;
+
+/// A quantized microkernel: computes the full `qmr × qnr` register tile over
+/// one packed k-panel (`quads` k-quads) and writes it row-major (leading
+/// dimension `qnr`) into `acc`, overwriting the `qmr * qnr` prefix.
+///
+/// # Safety
+///
+/// The callee may use the SIMD features of the tier it belongs to; callers
+/// must only invoke kernels obtained from [`q_kernel`] with a tier the host
+/// supports. Slice bounds are asserted by each kernel.
+type MicrokernelI8 = unsafe fn(quads: usize, pa: &[i8], pb: &[i8], acc: &mut [i32]);
+
+/// One tier's quantized GEMM kernel: its register-tile geometry plus the
+/// microkernel that fills such a tile.
+#[derive(Clone, Copy)]
+pub(crate) struct QKernel {
+    /// Rows of C computed per microkernel tile.
+    pub(crate) qmr: usize,
+    /// Columns of C computed per microkernel tile.
+    pub(crate) qnr: usize,
+    micro: MicrokernelI8,
+}
+
+/// Portable 4×16 kernel (the AVX2 tile, scalar quad accumulation).
+const PORTABLE_I8: QKernel = QKernel {
+    qmr: 4,
+    qnr: 16,
+    micro: microkernel_portable,
+};
+
+/// AVX2 4×16 `maddubs` sign-split kernel: eight 256-bit i32 accumulators
+/// plus the packed-B loads and the sign/abs temporaries fit the 16 ymm
+/// registers without spilling.
+#[cfg(target_arch = "x86_64")]
+const AVX2_I8: QKernel = QKernel {
+    qmr: 4,
+    qnr: 16,
+    micro: microkernel_avx2,
+};
+
+/// AVX-512 VNNI 8×32 `vpdpbusd` kernel: sixteen zmm accumulators plus the
+/// loads and sign-split temporaries stay within the 32 zmm registers.
+#[cfg(target_arch = "x86_64")]
+const VNNI_I8: QKernel = QKernel {
+    qmr: 8,
+    qnr: 32,
+    micro: microkernel_vnni,
+};
+
+/// The quantized GEMM kernel for a dispatch tier.
+pub(crate) fn q_kernel(tier: KernelTier) -> QKernel {
+    match tier {
+        KernelTier::Portable => PORTABLE_I8,
+        #[cfg(target_arch = "x86_64")]
+        KernelTier::Avx2 => AVX2_I8,
+        #[cfg(target_arch = "x86_64")]
+        KernelTier::Avx512 => VNNI_I8,
+        // Non-x86 hosts never detect (nor may they force) the SIMD tiers.
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => PORTABLE_I8,
+    }
+}
+
 thread_local! {
     static LOCAL_SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new());
 }
@@ -65,7 +135,7 @@ thread_local! {
 /// `trans_a` is set; likewise `op(B)` is `[k, n]` or stored `[n, k]` when
 /// `trans_b` is set. `C` is always `[m, n]` row-major.
 ///
-/// Results are **bit-exact** for every kernel variant and thread count
+/// Results are **bit-exact** for every kernel tier, variant and thread count
 /// (integer arithmetic, fixed per-element accumulation). Large products are
 /// parallelized over row blocks.
 ///
@@ -73,7 +143,7 @@ thread_local! {
 ///
 /// Panics when a slice length disagrees with the given dimensions. Debug
 /// builds also assert `k ≤ MAX_K` and that no code is `-128` (the sign-split
-/// microkernel requires magnitudes ≤ 127; every quantizer in the workspace
+/// microkernels require magnitudes ≤ 127; every quantizer in the workspace
 /// clamps to `[-qmax, qmax]`).
 #[allow(clippy::too_many_arguments)]
 pub fn qgemm(
@@ -98,13 +168,17 @@ pub fn qgemm(
         }
         return;
     }
+    let kern = q_kernel(dispatch::active());
     let row_blocks = m.div_ceil(QMC);
     let workers = rayon::current_num_threads().min(row_blocks);
     if workers > 1 && m * n * k >= PARALLEL_FLOP_THRESHOLD {
-        qgemm_parallel(trans_a, trans_b, m, n, k, a, b, accumulate, c, workers);
+        qgemm_parallel(
+            &kern, trans_a, trans_b, m, n, k, a, b, accumulate, c, workers,
+        );
     } else {
         LOCAL_SCRATCH.with(|s| {
             qgemm_with_scratch_impl(
+                &kern,
                 trans_a,
                 trans_b,
                 m,
@@ -136,7 +210,10 @@ pub fn qgemm_with_scratch(
     scratch: &mut Scratch,
 ) {
     let _span = telemetry::span(telemetry::Phase::Gemm);
-    qgemm_with_scratch_impl(trans_a, trans_b, m, n, k, a, b, accumulate, c, scratch);
+    let kern = q_kernel(dispatch::active());
+    qgemm_with_scratch_impl(
+        &kern, trans_a, trans_b, m, n, k, a, b, accumulate, c, scratch,
+    );
 }
 
 /// Shared body of [`qgemm`]'s single-threaded path and
@@ -144,6 +221,7 @@ pub fn qgemm_with_scratch(
 /// span.
 #[allow(clippy::too_many_arguments)]
 fn qgemm_with_scratch_impl(
+    kern: &QKernel,
     trans_a: bool,
     trans_b: bool,
     m: usize,
@@ -165,25 +243,28 @@ fn qgemm_with_scratch_impl(
         }
         return;
     }
+    let (qmr, qnr) = (kern.qmr, kern.qnr);
     let kq_panel = QKC / KQ; // quads per full k-panel
     let packed_b = uninit_slice_of(
         &mut scratch.packed_b_i8,
-        kq_panel * KQ * QNC.min(n.next_multiple_of(QNR)),
+        kq_panel * KQ * QNC.min(n.next_multiple_of(qnr)),
     );
     let packed_a = uninit_slice_of(
         &mut scratch.packed_a_i8,
-        QMC.next_multiple_of(QMR) * kq_panel * KQ,
+        QMC.next_multiple_of(qmr) * kq_panel * KQ,
     );
     for jc in (0..n).step_by(QNC) {
         let nc = QNC.min(n - jc);
         for pc in (0..k).step_by(QKC) {
             let kc = QKC.min(k - pc);
-            pack_b(trans_b, b, k, n, pc, kc, jc, nc, packed_b);
+            pack_b(qnr, trans_b, b, k, n, pc, kc, jc, nc, packed_b);
             let acc_block = accumulate || pc > 0;
             for ic in (0..m).step_by(QMC) {
                 let mc = QMC.min(m - ic);
-                pack_a(trans_a, a, m, k, ic, mc, pc, kc, packed_a);
-                block_kernel(packed_a, packed_b, c, n, ic, mc, jc, nc, kc, acc_block);
+                pack_a(qmr, trans_a, a, m, k, ic, mc, pc, kc, packed_a);
+                block_kernel(
+                    kern, packed_a, packed_b, c, n, ic, mc, jc, nc, kc, acc_block,
+                );
             }
         }
     }
@@ -194,6 +275,7 @@ fn qgemm_with_scratch_impl(
 /// the packed B panel is shared read-only.
 #[allow(clippy::too_many_arguments)]
 fn qgemm_parallel(
+    kern: &QKernel,
     trans_a: bool,
     trans_b: bool,
     m: usize,
@@ -205,15 +287,16 @@ fn qgemm_parallel(
     c: &mut [i32],
     workers: usize,
 ) {
+    let (qmr, qnr) = (kern.qmr, kern.qnr);
     let row_blocks = m.div_ceil(QMC);
     let kq_panel = QKC / KQ;
-    let mut packed_b_buf = vec![0i8; kq_panel * KQ * QNC.min(n.next_multiple_of(QNR))];
+    let mut packed_b_buf = vec![0i8; kq_panel * KQ * QNC.min(n.next_multiple_of(qnr))];
     let c_ptr = SendPtr(c.as_mut_ptr());
     for jc in (0..n).step_by(QNC) {
         let nc = QNC.min(n - jc);
         for pc in (0..k).step_by(QKC) {
             let kc = QKC.min(k - pc);
-            pack_b(trans_b, b, k, n, pc, kc, jc, nc, &mut packed_b_buf);
+            pack_b(qnr, trans_b, b, k, n, pc, kc, jc, nc, &mut packed_b_buf);
             let packed_b = &packed_b_buf;
             let acc_block = accumulate || pc > 0;
             let next = AtomicUsize::new(0);
@@ -221,8 +304,9 @@ fn qgemm_parallel(
                 for _ in 0..workers {
                     let next = &next;
                     let c_ptr = &c_ptr;
+                    let kern = *kern;
                     s.spawn(move || {
-                        let mut packed_a = vec![0i8; QMC.next_multiple_of(QMR) * kq_panel * KQ];
+                        let mut packed_a = vec![0i8; QMC.next_multiple_of(qmr) * kq_panel * KQ];
                         loop {
                             let blk = next.fetch_add(1, Ordering::Relaxed);
                             if blk >= row_blocks {
@@ -230,7 +314,7 @@ fn qgemm_parallel(
                             }
                             let ic = blk * QMC;
                             let mc = QMC.min(m - ic);
-                            pack_a(trans_a, a, m, k, ic, mc, pc, kc, &mut packed_a);
+                            pack_a(qmr, trans_a, a, m, k, ic, mc, pc, kc, &mut packed_a);
                             // SAFETY: each row block `[ic, ic+mc)` is claimed
                             // by exactly one worker (atomic counter), so the
                             // C rows written here are disjoint between
@@ -239,7 +323,7 @@ fn qgemm_parallel(
                                 std::slice::from_raw_parts_mut(c_ptr.0.add(ic * n), mc * n)
                             };
                             block_kernel(
-                                &packed_a, packed_b, c_rows, n, 0, mc, jc, nc, kc, acc_block,
+                                &kern, &packed_a, packed_b, c_rows, n, 0, mc, jc, nc, kc, acc_block,
                             );
                         }
                     });
@@ -256,19 +340,23 @@ unsafe impl Send for SendPtr {}
 unsafe impl Sync for SendPtr {}
 
 /// Fixed slot stride of one packed `(k-panel, m-block)` A block inside a
-/// [`QPackedA`] buffer (`QKC` is a multiple of the k-quad, so a full panel
-/// packs to exactly `QMC'·QKC` codes).
-const QA_BLOCK_STRIDE: usize = QMC.div_ceil(QMR) * QMR * QKC;
+/// [`QPackedA`] buffer for a tier with the given `qmr` (`QKC` is a multiple
+/// of the k-quad, so a full panel packs to exactly `QMC'·QKC` codes).
+fn qa_block_stride(qmr: usize) -> usize {
+    QMC.div_ceil(qmr) * qmr * QKC
+}
 
 /// A fully packed i8 `op(A)` operand in the quad-major strip layout the
 /// quantized microkernel consumes — the integer counterpart of
 /// [`crate::gemm::PackedA`], used by the batched quantized Monte-Carlo path
 /// to pack one activation-code panel once and reuse it against B perturbed
-/// weight-code realizations. Bit-exact vs [`qgemm_with_scratch`].
+/// weight-code realizations. Bit-exact vs [`qgemm_with_scratch`]. Records
+/// the kernel tier active when packed; prepacked multiplies use that tier.
 #[derive(Debug, Default, Clone)]
 pub struct QPackedA {
     m: usize,
     k: usize,
+    tier: KernelTier,
     buf: Vec<i8>,
 }
 
@@ -288,6 +376,11 @@ impl QPackedA {
         self.k
     }
 
+    /// The kernel tier whose strip layout this operand was packed for.
+    pub fn tier(&self) -> KernelTier {
+        self.tier
+    }
+
     /// Packs `op(A)` (`[m, k]` codes, or stored `[k, m]` when `trans_a`).
     ///
     /// # Panics
@@ -298,15 +391,18 @@ impl QPackedA {
         assert_eq!(a.len(), m * k, "A must hold m*k codes");
         self.m = m;
         self.k = k;
+        self.tier = dispatch::active();
+        let qmr = q_kernel(self.tier).qmr;
+        let stride = qa_block_stride(qmr);
         let m_blocks = m.div_ceil(QMC);
         let k_panels = k.div_ceil(QKC);
-        let buf = uninit_slice_of(&mut self.buf, m_blocks * k_panels * QA_BLOCK_STRIDE);
+        let buf = uninit_slice_of(&mut self.buf, m_blocks * k_panels * stride);
         for (pi, pc) in (0..k).step_by(QKC).enumerate() {
             let kc = QKC.min(k - pc);
             for (bi, ic) in (0..m).step_by(QMC).enumerate() {
                 let mc = QMC.min(m - ic);
-                let slot = &mut buf[(pi * m_blocks + bi) * QA_BLOCK_STRIDE..][..QA_BLOCK_STRIDE];
-                pack_a(trans_a, a, m, k, ic, mc, pc, kc, slot);
+                let slot = &mut buf[(pi * m_blocks + bi) * stride..][..stride];
+                pack_a(qmr, trans_a, a, m, k, ic, mc, pc, kc, slot);
             }
         }
     }
@@ -342,22 +438,25 @@ pub fn qgemm_prepacked(
         }
         return;
     }
+    let kern = q_kernel(packed_a.tier);
+    let (qmr, qnr) = (kern.qmr, kern.qnr);
+    let stride = qa_block_stride(qmr);
     let m_blocks = m.div_ceil(QMC);
     let kq_panel = QKC / KQ;
     let packed_b = uninit_slice_of(
         packed_b_buf,
-        kq_panel * KQ * QNC.min(n.next_multiple_of(QNR)),
+        kq_panel * KQ * QNC.min(n.next_multiple_of(qnr)),
     );
     for jc in (0..n).step_by(QNC) {
         let nc = QNC.min(n - jc);
         for (pi, pc) in (0..k).step_by(QKC).enumerate() {
             let kc = QKC.min(k - pc);
-            pack_b(trans_b, b, k, n, pc, kc, jc, nc, packed_b);
+            pack_b(qnr, trans_b, b, k, n, pc, kc, jc, nc, packed_b);
             let acc_block = accumulate || pc > 0;
             for (bi, ic) in (0..m).step_by(QMC).enumerate() {
                 let mc = QMC.min(m - ic);
-                let pa = &packed_a.buf[(pi * m_blocks + bi) * QA_BLOCK_STRIDE..];
-                block_kernel(pa, packed_b, c, n, ic, mc, jc, nc, kc, acc_block);
+                let pa = &packed_a.buf[(pi * m_blocks + bi) * stride..];
+                block_kernel(&kern, pa, packed_b, c, n, ic, mc, jc, nc, kc, acc_block);
             }
         }
     }
@@ -368,11 +467,13 @@ pub fn qgemm_prepacked(
 /// [`crate::gemm::PackedB`], cached by compiled plans for quantized layers
 /// and re-packed only where a code-domain fault realization marked rows
 /// dirty ([`QPackedB::repack_rows`]). Bit-exact vs [`qgemm_with_scratch`].
+/// Records the kernel tier active when packed.
 #[derive(Debug, Default, Clone)]
 pub struct QPackedB {
     k: usize,
     n: usize,
     trans_b: bool,
+    tier: KernelTier,
     k_panels: usize,
     slot: usize,
     buf: Vec<i8>,
@@ -394,6 +495,11 @@ impl QPackedB {
         self.n
     }
 
+    /// The kernel tier whose strip layout this operand was packed for.
+    pub fn tier(&self) -> KernelTier {
+        self.tier
+    }
+
     /// Packs `op(B)` (`[k, n]` codes, or stored `[n, k]` when `trans_b`).
     ///
     /// # Panics
@@ -405,8 +511,10 @@ impl QPackedB {
         self.k = k;
         self.n = n;
         self.trans_b = trans_b;
+        self.tier = dispatch::active();
+        let qnr = q_kernel(self.tier).qnr;
         self.k_panels = k.div_ceil(QKC).max(1);
-        self.slot = QKC * QNC.min(n.next_multiple_of(QNR)).max(QNR);
+        self.slot = QKC * QNC.min(n.next_multiple_of(qnr)).max(qnr);
         let n_panels = n.div_ceil(QNC).max(1);
         let buf = uninit_slice_of(&mut self.buf, n_panels * self.k_panels * self.slot);
         for (ji, jc) in (0..n).step_by(QNC).enumerate() {
@@ -414,7 +522,7 @@ impl QPackedB {
             for (pi, pc) in (0..k).step_by(QKC).enumerate() {
                 let kc = QKC.min(k - pc);
                 let slot = &mut buf[(ji * self.k_panels + pi) * self.slot..][..self.slot];
-                pack_b(trans_b, b, k, n, pc, kc, jc, nc, slot);
+                pack_b(qnr, trans_b, b, k, n, pc, kc, jc, nc, slot);
             }
         }
     }
@@ -424,7 +532,7 @@ impl QPackedB {
         &self.buf[(ji * self.k_panels + pi) * self.slot..][..self.slot]
     }
 
-    /// Re-packs only the QNR-strips covering rows marked in `dirty` from the
+    /// Re-packs only the qnr-strips covering rows marked in `dirty` from the
     /// updated code matrix `b` (see [`crate::gemm::PackedB::repack_rows`] for
     /// the contract — every column changed since the last pack must be
     /// marked). `base` offsets the lookup into `dirty`, so one dirty set over
@@ -439,25 +547,26 @@ impl QPackedB {
         assert_eq!(b.len(), self.k * self.n, "B must hold k*n codes");
         assert!(dirty.rows() >= base + self.n, "dirty set must cover n rows");
         let (k, n, trans_b) = (self.k, self.n, self.trans_b);
+        let qnr = q_kernel(self.tier).qnr;
         let mut repacked_rows = 0u64;
         for (ji, jc) in (0..n).step_by(QNC).enumerate() {
             let nc = QNC.min(n - jc);
-            for jr in (0..nc).step_by(QNR) {
+            for jr in (0..nc).step_by(qnr) {
                 let j0 = jc + jr;
-                if !dirty.any_in(base + j0, base + (j0 + QNR).min(n)) {
+                if !dirty.any_in(base + j0, base + (j0 + qnr).min(n)) {
                     continue;
                 }
-                let cols = QNR.min(nc - jr);
+                let cols = qnr.min(nc - jr);
                 repacked_rows += cols as u64;
                 for (pi, pc) in (0..k).step_by(QKC).enumerate() {
                     let kc = QKC.min(k - pc);
                     let quads = kc.div_ceil(KQ);
                     let slot = (ji * self.k_panels + pi) * self.slot;
                     let strip =
-                        &mut self.buf[slot + (jr / QNR) * (quads * KQ * QNR)..][..quads * KQ * QNR];
+                        &mut self.buf[slot + (jr / qnr) * (quads * KQ * qnr)..][..quads * KQ * qnr];
                     let mut dst = 0;
                     for q in 0..quads {
-                        for j in 0..QNR {
+                        for j in 0..qnr {
                             for kk in 0..KQ {
                                 let p = q * KQ + kk;
                                 strip[dst] = if j < cols && p < kc {
@@ -500,17 +609,18 @@ impl QPackedB {
         telemetry::count(telemetry::Counter::CellScatters, 1);
         assert!(self.trans_b, "write_cell addresses trans_b packed operands");
         assert!(row < self.n && kidx < self.k, "cell out of range");
+        let qnr = q_kernel(self.tier).qnr;
         let ji = row / QNC;
         let jc = ji * QNC;
-        let jr = ((row - jc) / QNR) * QNR;
+        let jr = ((row - jc) / qnr) * qnr;
         let pi = kidx / QKC;
         let pc = pi * QKC;
         let kc = QKC.min(self.k - pc);
         let quads = kc.div_ceil(KQ);
         let p = kidx - pc;
         let pos = (ji * self.k_panels + pi) * self.slot // panel slot
-            + (jr / QNR) * (quads * KQ * QNR)           // QNR-strip within it
-            + (p / KQ) * (QNR * KQ)                     // quad step within strip
+            + (jr / qnr) * (quads * KQ * qnr)           // qnr-strip within it
+            + (p / KQ) * (qnr * KQ)                     // quad step within strip
             + (row - jc - jr) * KQ                      // row within quad block
             + p % KQ; // code within quad
         self.buf[pos] = value;
@@ -546,10 +656,12 @@ pub fn qgemm_prepacked_b(
         }
         return;
     }
+    let kern = q_kernel(packed_b.tier);
+    let qmr = kern.qmr;
     let kq_panel = QKC / KQ;
     let packed_a = uninit_slice_of(
         &mut scratch.packed_a_i8,
-        QMC.next_multiple_of(QMR) * kq_panel * KQ,
+        QMC.next_multiple_of(qmr) * kq_panel * KQ,
     );
     for (ji, jc) in (0..n).step_by(QNC).enumerate() {
         let nc = QNC.min(n - jc);
@@ -559,8 +671,8 @@ pub fn qgemm_prepacked_b(
             let acc_block = accumulate || pc > 0;
             for ic in (0..m).step_by(QMC) {
                 let mc = QMC.min(m - ic);
-                pack_a(trans_a, a, m, k, ic, mc, pc, kc, packed_a);
-                block_kernel(packed_a, pb, c, n, ic, mc, jc, nc, kc, acc_block);
+                pack_a(qmr, trans_a, a, m, k, ic, mc, pc, kc, packed_a);
+                block_kernel(&kern, packed_a, pb, c, n, ic, mc, jc, nc, kc, acc_block);
             }
         }
     }
@@ -572,8 +684,8 @@ pub fn qgemm_prepacked_b(
 ///
 /// # Panics
 ///
-/// Panics when the packed reduction dimensions disagree or `c` has the wrong
-/// length.
+/// Panics when the packed reduction dimensions disagree, the operands were
+/// packed under different kernel tiers, or `c` has the wrong length.
 pub fn qgemm_prepacked_ab(
     packed_a: &QPackedA,
     packed_b: &QPackedB,
@@ -584,6 +696,10 @@ pub fn qgemm_prepacked_ab(
     let (m, k) = (packed_a.m, packed_a.k);
     let n = packed_b.n;
     assert_eq!(k, packed_b.k, "packed operands disagree on k");
+    assert_eq!(
+        packed_a.tier, packed_b.tier,
+        "packed operands disagree on kernel tier"
+    );
     assert_eq!(c.len(), m * n, "C must hold m*n accumulators");
     if m == 0 || n == 0 {
         return;
@@ -594,6 +710,8 @@ pub fn qgemm_prepacked_ab(
         }
         return;
     }
+    let kern = q_kernel(packed_a.tier);
+    let stride = qa_block_stride(kern.qmr);
     let m_blocks = m.div_ceil(QMC);
     for (ji, jc) in (0..n).step_by(QNC).enumerate() {
         let nc = QNC.min(n - jc);
@@ -603,8 +721,8 @@ pub fn qgemm_prepacked_ab(
             let acc_block = accumulate || pc > 0;
             for (bi, ic) in (0..m).step_by(QMC).enumerate() {
                 let mc = QMC.min(m - ic);
-                let pa = &packed_a.buf[(pi * m_blocks + bi) * QA_BLOCK_STRIDE..];
-                block_kernel(pa, pb, c, n, ic, mc, jc, nc, kc, acc_block);
+                let pa = &packed_a.buf[(pi * m_blocks + bi) * stride..];
+                block_kernel(&kern, pa, pb, c, n, ic, mc, jc, nc, kc, acc_block);
             }
         }
     }
@@ -617,15 +735,16 @@ fn check_dims(m: usize, n: usize, k: usize, a: &[i8], b: &[i8], c: &mut [i32]) {
     debug_assert!(k <= MAX_K, "k={k} exceeds the i32 accumulation bound");
     debug_assert!(
         a.iter().all(|&x| x != i8::MIN) && b.iter().all(|&x| x != i8::MIN),
-        "codes must lie in [-127, 127] (the sign-split microkernel needs |code| ≤ 127)"
+        "codes must lie in [-127, 127] (the sign-split microkernels need |code| ≤ 127)"
     );
 }
 
-/// Packs the `mc × kc` block of `op(A)` starting at `(ic, pc)` into QMR-row
+/// Packs the `mc × kc` block of `op(A)` starting at `(ic, pc)` into qmr-row
 /// strips laid out quad-major (`packed[strip][quad][r][0..4]`), zero-padding
 /// both the ragged final strip and the ragged final k-quad.
 #[allow(clippy::too_many_arguments)]
 fn pack_a(
+    qmr: usize,
     trans_a: bool,
     a: &[i8],
     m: usize,
@@ -645,10 +764,10 @@ fn pack_a(
     };
     let quads = kc.div_ceil(KQ);
     let mut dst = 0;
-    for ir in (0..mc).step_by(QMR) {
-        let rows = QMR.min(mc - ir);
+    for ir in (0..mc).step_by(qmr) {
+        let rows = qmr.min(mc - ir);
         for q in 0..quads {
-            for r in 0..QMR {
+            for r in 0..qmr {
                 for kk in 0..KQ {
                     let p = q * KQ + kk;
                     packed[dst] = if r < rows && p < kc {
@@ -664,10 +783,11 @@ fn pack_a(
 }
 
 /// Packs the `kc × nc` block of `op(B)` starting at `(pc, jc)` into
-/// QNR-column strips laid out quad-major (`packed[strip][quad][j][0..4]`),
+/// qnr-column strips laid out quad-major (`packed[strip][quad][j][0..4]`),
 /// zero-padded like [`pack_a`].
 #[allow(clippy::too_many_arguments)]
 fn pack_b(
+    qnr: usize,
     trans_b: bool,
     b: &[i8],
     k: usize,
@@ -687,10 +807,10 @@ fn pack_b(
     };
     let quads = kc.div_ceil(KQ);
     let mut dst = 0;
-    for jr in (0..nc).step_by(QNR) {
-        let cols = QNR.min(nc - jr);
+    for jr in (0..nc).step_by(qnr) {
+        let cols = qnr.min(nc - jr);
         for q in 0..quads {
-            for j in 0..QNR {
+            for j in 0..qnr {
                 for kk in 0..KQ {
                     let p = q * KQ + kk;
                     packed[dst] = if j < cols && p < kc {
@@ -705,11 +825,12 @@ fn pack_b(
     }
 }
 
-/// Runs the microkernel over every `QMR × QNR` tile of an `mc × nc` block,
+/// Runs the microkernel over every `qmr × qnr` tile of an `mc × nc` block,
 /// writing into `c` (row-major with leading dimension `n`) at row offset
 /// `ic` and column offset `jc`.
 #[allow(clippy::too_many_arguments)]
 fn block_kernel(
+    kern: &QKernel,
     packed_a: &[i8],
     packed_b: &[i8],
     c: &mut [i32],
@@ -721,74 +842,42 @@ fn block_kernel(
     kc: usize,
     accumulate: bool,
 ) {
+    let (qmr, qnr) = (kern.qmr, kern.qnr);
     let quads = kc.div_ceil(KQ);
-    for jr in (0..nc).step_by(QNR) {
-        let cols = QNR.min(nc - jr);
-        let pb = &packed_b[(jr / QNR) * (quads * KQ * QNR)..][..quads * KQ * QNR];
-        for ir in (0..mc).step_by(QMR) {
-            let rows = QMR.min(mc - ir);
-            let pa = &packed_a[(ir / QMR) * (quads * KQ * QMR)..][..quads * KQ * QMR];
-            let acc = microkernel(quads, pa, pb);
-            store_tile(&acc, c, n, ic + ir, jc + jr, rows, cols, accumulate);
+    let mut acc = [0i32; QMAX_TILE];
+    for jr in (0..nc).step_by(qnr) {
+        let cols = qnr.min(nc - jr);
+        let pb = &packed_b[(jr / qnr) * (quads * KQ * qnr)..][..quads * KQ * qnr];
+        for ir in (0..mc).step_by(qmr) {
+            let rows = qmr.min(mc - ir);
+            let pa = &packed_a[(ir / qmr) * (quads * KQ * qmr)..][..quads * KQ * qmr];
+            // SAFETY: kernels come from `q_kernel` with a tier the host
+            // supports ([`dispatch::active`]/[`dispatch::force`] guarantee
+            // that), and the slices cover the asserted extents.
+            unsafe { (kern.micro)(quads, pa, pb, &mut acc[..qmr * qnr]) };
+            store_tile(
+                &acc[..qmr * qnr],
+                qnr,
+                c,
+                n,
+                ic + ir,
+                jc + jr,
+                rows,
+                cols,
+                accumulate,
+            );
         }
     }
 }
 
-/// The register-resident `QMR × QNR` i32 tile product over one packed
-/// k-panel, consuming four codes per k-step.
-///
-/// AVX2 variant: per k-quad, two 256-bit loads of packed B (16 columns × 4
-/// codes) and, per row, one 4-byte broadcast of packed A. The signed×signed
-/// product is computed as `maddubs(|a|, sign(b, a))` (never saturates for
-/// codes in `[-127, 127]`), widened to i32 with `madd(…, 1)` and accumulated.
-#[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
-#[inline(always)]
-fn microkernel(quads: usize, pa: &[i8], pb: &[i8]) -> [[i32; QNR]; QMR] {
-    use core::arch::x86_64::{
-        _mm256_abs_epi8, _mm256_add_epi32, _mm256_loadu_si256, _mm256_madd_epi16,
-        _mm256_maddubs_epi16, _mm256_set1_epi16, _mm256_set1_epi32, _mm256_setzero_si256,
-        _mm256_sign_epi8, _mm256_storeu_si256,
-    };
+/// Portable scalar variant of the quantized microkernel (identical packed
+/// quad layout and — integers being exact — identical results to the SIMD
+/// tiers).
+unsafe fn microkernel_portable(quads: usize, pa: &[i8], pb: &[i8], acc_out: &mut [i32]) {
+    const QMR: usize = 4;
+    const QNR: usize = 16;
     assert!(pa.len() >= quads * KQ * QMR && pb.len() >= quads * KQ * QNR);
-    // SAFETY: AVX2 is statically enabled (cfg above) and every pointer read
-    // stays inside the asserted slice bounds.
-    unsafe {
-        let ones = _mm256_set1_epi16(1);
-        let mut acc = [_mm256_setzero_si256(); 2 * QMR];
-        let mut ap = pa.as_ptr();
-        let mut bp = pb.as_ptr();
-        for _ in 0..quads {
-            let b0 = _mm256_loadu_si256(bp.cast());
-            let b1 = _mm256_loadu_si256(bp.add(32).cast());
-            for r in 0..QMR {
-                // Broadcast the row's 4-code quad across all lanes.
-                let aq = _mm256_set1_epi32(ap.add(r * KQ).cast::<i32>().read_unaligned());
-                let abs_a = _mm256_abs_epi8(aq);
-                let sb0 = _mm256_sign_epi8(b0, aq);
-                let sb1 = _mm256_sign_epi8(b1, aq);
-                // 16 i16 pair sums → 8 i32 quad sums per vector (one per column).
-                let p0 = _mm256_madd_epi16(_mm256_maddubs_epi16(abs_a, sb0), ones);
-                let p1 = _mm256_madd_epi16(_mm256_maddubs_epi16(abs_a, sb1), ones);
-                acc[2 * r] = _mm256_add_epi32(acc[2 * r], p0);
-                acc[2 * r + 1] = _mm256_add_epi32(acc[2 * r + 1], p1);
-            }
-            ap = ap.add(QMR * KQ);
-            bp = bp.add(QNR * KQ);
-        }
-        let mut out = [[0i32; QNR]; QMR];
-        for (r, row) in out.iter_mut().enumerate() {
-            _mm256_storeu_si256(row.as_mut_ptr().cast(), acc[2 * r]);
-            _mm256_storeu_si256(row.as_mut_ptr().add(8).cast(), acc[2 * r + 1]);
-        }
-        out
-    }
-}
-
-/// Portable auto-vectorized variant of the quantized microkernel (identical
-/// packed layout and — integers being exact — identical results).
-#[cfg(not(all(target_arch = "x86_64", target_feature = "avx2")))]
-#[inline(always)]
-fn microkernel(quads: usize, pa: &[i8], pb: &[i8]) -> [[i32; QNR]; QMR] {
+    assert!(acc_out.len() >= QMR * QNR);
     let mut acc = [[0i32; QNR]; QMR];
     for q in 0..quads {
         let aq = &pa[q * QMR * KQ..][..QMR * KQ];
@@ -805,14 +894,125 @@ fn microkernel(quads: usize, pa: &[i8], pb: &[i8]) -> [[i32; QNR]; QMR] {
             }
         }
     }
-    acc
+    for (r, row) in acc.iter().enumerate() {
+        acc_out[r * QNR..(r + 1) * QNR].copy_from_slice(row);
+    }
 }
 
-/// Writes one accumulator tile back to C, overwriting or accumulating.
+/// The register-resident 4×16 AVX2 i32 tile product over one packed k-panel,
+/// consuming four codes per k-step: per k-quad, two 256-bit loads of packed
+/// B (16 columns × 4 codes) and, per row, one 4-byte broadcast of packed A.
+/// The signed×signed product is computed as `maddubs(|a|, sign(b, a))`
+/// (never saturates for codes in `[-127, 127]`), widened to i32 with
+/// `madd(…, 1)` and accumulated.
+///
+/// # Safety
+///
+/// The host must support AVX2 (guaranteed when the kernel is reached through
+/// [`q_kernel`] with a detected/forced tier).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn microkernel_avx2(quads: usize, pa: &[i8], pb: &[i8], acc_out: &mut [i32]) {
+    use core::arch::x86_64::{
+        _mm256_abs_epi8, _mm256_add_epi32, _mm256_loadu_si256, _mm256_madd_epi16,
+        _mm256_maddubs_epi16, _mm256_set1_epi16, _mm256_set1_epi32, _mm256_setzero_si256,
+        _mm256_sign_epi8, _mm256_storeu_si256,
+    };
+    const QMR: usize = 4;
+    const QNR: usize = 16;
+    assert!(pa.len() >= quads * KQ * QMR && pb.len() >= quads * KQ * QNR);
+    assert!(acc_out.len() >= QMR * QNR);
+    let ones = _mm256_set1_epi16(1);
+    let mut acc = [_mm256_setzero_si256(); 2 * QMR];
+    let mut ap = pa.as_ptr();
+    let mut bp = pb.as_ptr();
+    for _ in 0..quads {
+        let b0 = _mm256_loadu_si256(bp.cast());
+        let b1 = _mm256_loadu_si256(bp.add(32).cast());
+        for r in 0..QMR {
+            // Broadcast the row's 4-code quad across all lanes.
+            let aq = _mm256_set1_epi32(ap.add(r * KQ).cast::<i32>().read_unaligned());
+            let abs_a = _mm256_abs_epi8(aq);
+            let sb0 = _mm256_sign_epi8(b0, aq);
+            let sb1 = _mm256_sign_epi8(b1, aq);
+            // 16 i16 pair sums → 8 i32 quad sums per vector (one per column).
+            let p0 = _mm256_madd_epi16(_mm256_maddubs_epi16(abs_a, sb0), ones);
+            let p1 = _mm256_madd_epi16(_mm256_maddubs_epi16(abs_a, sb1), ones);
+            acc[2 * r] = _mm256_add_epi32(acc[2 * r], p0);
+            acc[2 * r + 1] = _mm256_add_epi32(acc[2 * r + 1], p1);
+        }
+        ap = ap.add(QMR * KQ);
+        bp = bp.add(QNR * KQ);
+    }
+    for r in 0..QMR {
+        _mm256_storeu_si256(acc_out.as_mut_ptr().add(r * QNR).cast(), acc[2 * r]);
+        _mm256_storeu_si256(acc_out.as_mut_ptr().add(r * QNR + 8).cast(), acc[2 * r + 1]);
+    }
+}
+
+/// The register-resident 8×32 AVX-512 VNNI i32 tile product over one packed
+/// k-panel: per k-quad, two 512-bit loads of packed B (32 columns × 4 codes)
+/// and, per row, one 4-byte broadcast of packed A. `vpdpbusd` wants an
+/// unsigned left operand, so the sign-split trick reappears in AVX-512 form:
+/// there is no `vpsignb`, so `sign(b, a)` is emulated with a per-byte sign
+/// mask of `a` (`vpmovb2m`) driving a masked subtract-from-zero of `b`. The
+/// single `vpdpbusd` then replaces AVX2's `maddubs` + `madd` widening pair,
+/// and its 4-product sums (≤ `4 · 127² = 64516`) accumulate into i32 lanes
+/// with no intermediate saturation — exact, hence bit-identical to every
+/// other tier.
+///
+/// # Safety
+///
+/// The host must support AVX-512F/BW/VNNI (guaranteed when the kernel is
+/// reached through [`q_kernel`] with a detected/forced tier).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f", enable = "avx512bw", enable = "avx512vnni")]
+unsafe fn microkernel_vnni(quads: usize, pa: &[i8], pb: &[i8], acc_out: &mut [i32]) {
+    use core::arch::x86_64::{
+        _mm512_abs_epi8, _mm512_dpbusd_epi32, _mm512_loadu_si512, _mm512_mask_sub_epi8,
+        _mm512_movepi8_mask, _mm512_set1_epi32, _mm512_setzero_si512, _mm512_storeu_si512,
+    };
+    const QMR: usize = 8;
+    const QNR: usize = 32;
+    assert!(pa.len() >= quads * KQ * QMR && pb.len() >= quads * KQ * QNR);
+    assert!(acc_out.len() >= QMR * QNR);
+    let zero = _mm512_setzero_si512();
+    let mut acc = [_mm512_setzero_si512(); 2 * QMR];
+    let mut ap = pa.as_ptr();
+    let mut bp = pb.as_ptr();
+    for _ in 0..quads {
+        let b0 = _mm512_loadu_si512(bp.cast());
+        let b1 = _mm512_loadu_si512(bp.add(64).cast());
+        for r in 0..QMR {
+            let aq = _mm512_set1_epi32(ap.add(r * KQ).cast::<i32>().read_unaligned());
+            let abs_a = _mm512_abs_epi8(aq);
+            // Negate the b bytes wherever the matching a byte is negative
+            // (a == 0 contributes 0 via |a| regardless).
+            let neg = _mm512_movepi8_mask(aq);
+            let sb0 = _mm512_mask_sub_epi8(b0, neg, zero, b0);
+            let sb1 = _mm512_mask_sub_epi8(b1, neg, zero, b1);
+            acc[2 * r] = _mm512_dpbusd_epi32(acc[2 * r], abs_a, sb0);
+            acc[2 * r + 1] = _mm512_dpbusd_epi32(acc[2 * r + 1], abs_a, sb1);
+        }
+        ap = ap.add(QMR * KQ);
+        bp = bp.add(QNR * KQ);
+    }
+    for r in 0..QMR {
+        _mm512_storeu_si512(acc_out.as_mut_ptr().add(r * QNR).cast(), acc[2 * r]);
+        _mm512_storeu_si512(
+            acc_out.as_mut_ptr().add(r * QNR + 16).cast(),
+            acc[2 * r + 1],
+        );
+    }
+}
+
+/// Writes one accumulator tile (row-major, leading dimension `qnr`) back to
+/// C, overwriting or accumulating.
 #[allow(clippy::too_many_arguments)]
 #[inline]
 fn store_tile(
-    acc: &[[i32; QNR]; QMR],
+    acc: &[i32],
+    qnr: usize,
     c: &mut [i32],
     n: usize,
     row0: usize,
@@ -821,7 +1021,8 @@ fn store_tile(
     cols: usize,
     accumulate: bool,
 ) {
-    for (r, acc_row) in acc.iter().enumerate().take(rows) {
+    for r in 0..rows {
+        let acc_row = &acc[r * qnr..][..cols];
         let out = &mut c[(row0 + r) * n + col0..][..cols];
         if accumulate {
             for (o, &v) in out.iter_mut().zip(acc_row.iter()) {
@@ -851,8 +1052,9 @@ mod tests {
     #[test]
     fn matches_integer_oracle_over_odd_shapes() {
         let mut rng = Rng::seed_from(7);
-        // Awkward shapes: non-multiples of QMR/QNR/KQ/QKC, GEMV-like m=1 and
-        // n=1, k spanning several QKC panels, tiny everything.
+        // Awkward shapes: non-multiples of any tier's qmr/qnr or of KQ/QKC,
+        // GEMV-like m=1 and n=1, k spanning several QKC panels, tiny
+        // everything.
         let shapes = [
             (1usize, 1usize, 1usize),
             (1, 17, 300),
@@ -904,8 +1106,8 @@ mod tests {
 
     #[test]
     fn extreme_codes_do_not_saturate() {
-        // ±127 everywhere maximizes every intermediate the AVX2 kernel
-        // computes; any maddubs saturation would show up immediately.
+        // ±127 everywhere maximizes every intermediate the SIMD kernels
+        // compute; any maddubs/dpbusd saturation would show up immediately.
         let (m, n, k) = (5, 33, 130);
         let a = vec![127i8; m * k];
         let b: Vec<i8> = (0..k * n)
@@ -938,9 +1140,12 @@ mod tests {
                 &mut s.borrow_mut(),
             );
         });
+        let kern = q_kernel(dispatch::active());
         for workers in [2usize, 3, 5, 8] {
             let mut par = vec![0i32; m * n];
-            qgemm_parallel(false, false, m, n, k, &a, &b, false, &mut par, workers);
+            qgemm_parallel(
+                &kern, false, false, m, n, k, &a, &b, false, &mut par, workers,
+            );
             assert_eq!(seq, par, "workers={workers}");
         }
     }
@@ -963,6 +1168,7 @@ mod tests {
                     let a = random_codes(m * k, &mut rng);
                     packed.pack(trans_a, &a, m, k);
                     assert_eq!((packed.m(), packed.k()), (m, k));
+                    assert_eq!(packed.tier(), dispatch::active());
                     // One packed A against several B realizations — the
                     // batched quantized Monte-Carlo access pattern.
                     for _ in 0..2 {
@@ -1026,6 +1232,7 @@ mod tests {
             let mut packed = QPackedB::new();
             packed.pack(true, &b, k, n);
             assert_eq!((packed.k(), packed.n()), (k, n));
+            assert_eq!(packed.tier(), dispatch::active());
             let mut got = vec![0i32; m * n];
             qgemm_prepacked_b(false, m, &a, &packed, false, &mut got, &mut scratch);
             assert_eq!(got, expected, "qgemm_prepacked_b m={m} n={n} k={k}");
@@ -1064,10 +1271,11 @@ mod tests {
         // across quad, strip and panel boundaries.
         let mut rng = Rng::seed_from(33);
         let mut scratch = Scratch::new();
+        let qnr = q_kernel(dispatch::active()).qnr;
         for &(m, n, k) in &[
             (1usize, 1usize, 1usize),
             (4, 7, 9),
-            (5, QNR + 3, KQ * 5 + 2),
+            (5, qnr + 3, KQ * 5 + 2),
             (9, QNC + 5, QKC + 7),
         ] {
             let a = random_codes(m * k, &mut rng);

@@ -568,6 +568,9 @@ pub struct RunTelemetry {
     phase_ns: [u64; PHASE_COUNT],
     phase_hits: [u64; PHASE_COUNT],
     counters: [u64; COUNTER_COUNT],
+    /// The SIMD kernel tier ([`crate::dispatch::active`]) the run executed
+    /// under — the reproducibility boundary of the f32 results.
+    pub kernel_tier: &'static str,
     /// Per-run Welford convergence stream over the metric vector.
     pub convergence: Vec<ConvergencePoint>,
 }
@@ -611,6 +614,7 @@ impl RunTelemetry {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         let _ = writeln!(out, "  \"wall_ns\": {},", self.wall_ns);
+        let _ = writeln!(out, "  \"kernel_tier\": \"{}\",", self.kernel_tier);
         out.push_str("  \"phases\": [\n");
         for (i, p) in self.phases().enumerate() {
             let _ = write!(
@@ -664,7 +668,12 @@ fn fmt_ns(ns: u64) -> String {
 
 impl std::fmt::Display for RunTelemetry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "run telemetry (wall {}):", fmt_ns(self.wall_ns))?;
+        writeln!(
+            f,
+            "run telemetry (wall {}, kernel tier {}):",
+            fmt_ns(self.wall_ns),
+            self.kernel_tier
+        )?;
         writeln!(f, "  {:<10} {:>14} {:>10}", "phase", "total", "spans")?;
         for p in self.phases() {
             if p.count == 0 {
@@ -729,6 +738,7 @@ impl RunScope {
             phase_ns,
             phase_hits,
             counters,
+            kernel_tier: crate::dispatch::active().name(),
             convergence: convergence_stream(per_run),
         })
     }

@@ -1,0 +1,469 @@
+//! Tier-dispatched vectorized elementwise math.
+//!
+//! The activation, softmax and normalization passes are memory-bound loops of
+//! a few FLOPs per element; what keeps them off SIMD units in a generic
+//! `x86-64` build is the codegen target, not the algorithm. Every function
+//! here is written as a **per-lane scalar body** that is monomorphized behind
+//! [`crate::dispatch`]-selected `#[target_feature]` trampolines: the AVX2 and
+//! AVX-512 entry points let LLVM autovectorize the identical body with wider
+//! registers, while the portable entry compiles it for the baseline target.
+//!
+//! ## Bit-identity across tiers
+//!
+//! Unlike the f32 GEMM (where the portable tier rounds differently because it
+//! lacks FMA), every function in this module is **bit-identical across all
+//! kernel tiers**:
+//!
+//! * each output lane depends only on its own input lane(s) — there are no
+//!   cross-lane reductions inside the dispatched bodies (softmax's max and
+//!   sum reductions stay sequential scalar code at the call site), and
+//! * the bodies avoid `mul_add`, and Rust never enables floating-point
+//!   contraction, so `a * b + c` compiles to the same separate multiply and
+//!   add under every `target_feature` set.
+//!
+//! Widening the vectors therefore changes *which register* a lane sits in,
+//! never its rounding. The transcendental functions ([`exp_scalar`],
+//! [`sigmoid_scalar`], [`tanh_scalar`]) use an explicit branch-free
+//! polynomial (Cephes `expf`, the classic SIMD-friendly formulation) instead
+//! of libm, both so the vector tiers can actually vectorize them and so the
+//! scalar fallback computes the exact same thing.
+
+use crate::dispatch::{self, KernelTier};
+
+/// Defines a dispatched elementwise function: the given body is compiled
+/// once per kernel tier behind `#[target_feature]` trampolines and the
+/// wrapper selects a tier with [`dispatch::active`]. Bodies must keep
+/// per-lane semantics (see the module docs) so every tier stays
+/// bit-identical.
+macro_rules! dispatched {
+    (
+        $(#[$meta:meta])*
+        pub fn $name:ident($($arg:ident : $ty:ty),* $(,)?) $body:block
+    ) => {
+        $(#[$meta])*
+        pub fn $name($($arg: $ty),*) {
+            #[inline(always)]
+            #[allow(clippy::too_many_arguments)]
+            fn body($($arg: $ty),*) $body
+            #[cfg(target_arch = "x86_64")]
+            #[target_feature(enable = "avx2")]
+            #[allow(clippy::too_many_arguments)]
+            unsafe fn body_avx2($($arg: $ty),*) {
+                body($($arg),*)
+            }
+            #[cfg(target_arch = "x86_64")]
+            #[target_feature(enable = "avx512f", enable = "avx512bw")]
+            #[allow(clippy::too_many_arguments)]
+            unsafe fn body_avx512($($arg: $ty),*) {
+                body($($arg),*)
+            }
+            match dispatch::active() {
+                // SAFETY: `dispatch::active` (and `force`, which asserts)
+                // never returns a tier the host CPU does not support.
+                #[cfg(target_arch = "x86_64")]
+                KernelTier::Avx2 => unsafe { body_avx2($($arg),*) },
+                #[cfg(target_arch = "x86_64")]
+                KernelTier::Avx512 => unsafe { body_avx512($($arg),*) },
+                _ => body($($arg),*),
+            }
+        }
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Scalar transcendental kernels (shared per-lane bodies).
+// ---------------------------------------------------------------------------
+
+/// Inputs below this produce the smallest normal-range result the polynomial
+/// supports; together with [`EXP_HI`] it keeps the exponent bit-trick in
+/// range (`n ∈ [-126, 127]`).
+const EXP_LO: f32 = -87.336_55;
+/// Inputs above this would overflow the `2^n` scale factor.
+const EXP_HI: f32 = 88.02;
+/// `ln 2` split into a high part exact in f32 and a low correction, so the
+/// range reduction `r = x - n·ln2` is computed in extended effective
+/// precision (Cody–Waite). The published digits are kept verbatim.
+#[allow(clippy::excessive_precision)]
+const LN2_HI: f32 = 0.693_359_375;
+const LN2_LO: f32 = -2.121_944_4e-4;
+/// Degree-5 minimax polynomial for `e^r - 1 - r` on `|r| ≤ ln2/2` (Cephes,
+/// published digits kept verbatim).
+const EXP_P0: f32 = 1.987_569_2e-4;
+const EXP_P1: f32 = 1.398_199_9e-3;
+const EXP_P2: f32 = 8.333_452e-3;
+const EXP_P3: f32 = 4.166_579_6e-2;
+const EXP_P4: f32 = 1.666_666_6e-1;
+#[allow(clippy::excessive_precision)]
+const EXP_P5: f32 = 5.000_000_2e-1;
+
+/// Branch-free polynomial `e^x` (relative error ≲ 1e-7 over the clamped
+/// range; inputs outside `[-87.34, 88.02]` saturate to the boundary values
+/// rather than producing 0/∞).
+///
+/// This is the per-lane body every dispatched exp-family function uses, so
+/// its result is bit-identical across kernel tiers — and it is `pub` so
+/// remaining scalar call sites (LSTM cell tanh, losses) compute the exact
+/// same values as the vectorized paths.
+#[inline(always)]
+pub fn exp_scalar(x: f32) -> f32 {
+    let x = x.clamp(EXP_LO, EXP_HI);
+    // x = n·ln2 + r with n integral and |r| ≤ ln2/2 (+1 ulp of slack).
+    let n = (x * std::f32::consts::LOG2_E).round();
+    let r = x - n * LN2_HI;
+    let r = r - n * LN2_LO;
+    let mut p = EXP_P0;
+    p = p * r + EXP_P1;
+    p = p * r + EXP_P2;
+    p = p * r + EXP_P3;
+    p = p * r + EXP_P4;
+    p = p * r + EXP_P5;
+    let y = p * (r * r) + r + 1.0;
+    // 2^n via exponent bits: n ∈ [-126, 127] after the clamp, so the biased
+    // exponent stays in the normal range.
+    let scale = f32::from_bits((((n as i32) + 127) << 23) as u32);
+    y * scale
+}
+
+/// Logistic sigmoid `1 / (1 + e^{-x})` on the shared [`exp_scalar`] body;
+/// output is always within `[0, 1]`.
+#[inline(always)]
+pub fn sigmoid_scalar(x: f32) -> f32 {
+    1.0 / (1.0 + exp_scalar(-x))
+}
+
+/// Hyperbolic tangent `(e^{2x} - 1) / (e^{2x} + 1)` on the shared
+/// [`exp_scalar`] body; output magnitude never exceeds 1 (the numerator's
+/// magnitude never exceeds the denominator's), which downstream boundedness
+/// arguments (LSTM state bounds) rely on.
+#[inline(always)]
+pub fn tanh_scalar(x: f32) -> f32 {
+    let e = exp_scalar(2.0 * x);
+    (e - 1.0) / (e + 1.0)
+}
+
+// ---------------------------------------------------------------------------
+// Dispatched slice kernels.
+// ---------------------------------------------------------------------------
+
+dispatched! {
+    /// `dst[i] = max(0, src[i])` (compare-select form).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `src` and `dst` lengths differ.
+    pub fn relu(src: &[f32], dst: &mut [f32]) {
+        assert_eq!(src.len(), dst.len());
+        for (d, &s) in dst.iter_mut().zip(src.iter()) {
+            *d = if s > 0.0 { s } else { 0.0 };
+        }
+    }
+}
+
+dispatched! {
+    /// In-place [`relu`].
+    pub fn relu_mut(x: &mut [f32]) {
+        for v in x.iter_mut() {
+            let s = *v;
+            *v = if s > 0.0 { s } else { 0.0 };
+        }
+    }
+}
+
+dispatched! {
+    /// `dst[i] = src[i]` for positive inputs, `slope * src[i]` otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `src` and `dst` lengths differ.
+    pub fn leaky_relu(src: &[f32], dst: &mut [f32], slope: f32) {
+        assert_eq!(src.len(), dst.len());
+        for (d, &s) in dst.iter_mut().zip(src.iter()) {
+            *d = if s > 0.0 { s } else { slope * s };
+        }
+    }
+}
+
+dispatched! {
+    /// In-place [`leaky_relu`].
+    pub fn leaky_relu_mut(x: &mut [f32], slope: f32) {
+        for v in x.iter_mut() {
+            let s = *v;
+            *v = if s > 0.0 { s } else { slope * s };
+        }
+    }
+}
+
+dispatched! {
+    /// `dst[i] = clamp(src[i], -1, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `src` and `dst` lengths differ.
+    pub fn hardtanh(src: &[f32], dst: &mut [f32]) {
+        assert_eq!(src.len(), dst.len());
+        for (d, &s) in dst.iter_mut().zip(src.iter()) {
+            *d = s.clamp(-1.0, 1.0);
+        }
+    }
+}
+
+dispatched! {
+    /// `dst[i] = sign(src[i])` with `sign(0) = +1` — the binarized-network
+    /// forward activation (straight-through gradient lives at the layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `src` and `dst` lengths differ.
+    pub fn sign_ste(src: &[f32], dst: &mut [f32]) {
+        assert_eq!(src.len(), dst.len());
+        for (d, &s) in dst.iter_mut().zip(src.iter()) {
+            *d = if s >= 0.0 { 1.0 } else { -1.0 };
+        }
+    }
+}
+
+dispatched! {
+    /// `dst[i] = sigmoid(src[i])` (see [`sigmoid_scalar`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `src` and `dst` lengths differ.
+    pub fn sigmoid(src: &[f32], dst: &mut [f32]) {
+        assert_eq!(src.len(), dst.len());
+        for (d, &s) in dst.iter_mut().zip(src.iter()) {
+            *d = sigmoid_scalar(s);
+        }
+    }
+}
+
+dispatched! {
+    /// In-place [`sigmoid`].
+    pub fn sigmoid_mut(x: &mut [f32]) {
+        for v in x.iter_mut() {
+            *v = sigmoid_scalar(*v);
+        }
+    }
+}
+
+dispatched! {
+    /// `dst[i] = tanh(src[i])` (see [`tanh_scalar`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `src` and `dst` lengths differ.
+    pub fn tanh(src: &[f32], dst: &mut [f32]) {
+        assert_eq!(src.len(), dst.len());
+        for (d, &s) in dst.iter_mut().zip(src.iter()) {
+            *d = tanh_scalar(s);
+        }
+    }
+}
+
+dispatched! {
+    /// In-place [`tanh`].
+    pub fn tanh_mut(x: &mut [f32]) {
+        for v in x.iter_mut() {
+            *v = tanh_scalar(*v);
+        }
+    }
+}
+
+dispatched! {
+    /// `dst[i] = e^{src[i] - shift}` — the vectorizable pass of a stable
+    /// softmax (the caller supplies the row max as `shift` and keeps the sum
+    /// reduction sequential).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `src` and `dst` lengths differ.
+    pub fn exp_sub(src: &[f32], dst: &mut [f32], shift: f32) {
+        assert_eq!(src.len(), dst.len());
+        for (d, &s) in dst.iter_mut().zip(src.iter()) {
+            *d = exp_scalar(s - shift);
+        }
+    }
+}
+
+dispatched! {
+    /// `x[i] /= denom` — softmax's normalization pass (division per lane, not
+    /// multiplication by a reciprocal, to match the scalar formulation
+    /// exactly).
+    pub fn div_scalar_mut(x: &mut [f32], denom: f32) {
+        for v in x.iter_mut() {
+            *v /= denom;
+        }
+    }
+}
+
+dispatched! {
+    /// `dst[i] = g * ((src[i] - mean) * inv_std) + b` — the per-channel
+    /// normalize-then-affine pass of BatchNorm/GroupNorm, in the exact
+    /// operation order of the scalar formulation (no FMA).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `src` and `dst` lengths differ.
+    pub fn normalize_affine(src: &[f32], dst: &mut [f32], mean: f32, inv_std: f32, g: f32, b: f32) {
+        assert_eq!(src.len(), dst.len());
+        for (d, &s) in dst.iter_mut().zip(src.iter()) {
+            let xh = (s - mean) * inv_std;
+            *d = g * xh + b;
+        }
+    }
+}
+
+dispatched! {
+    /// [`normalize_affine`] that also stores the normalized value `x̂` (the
+    /// training path caches it for the backward pass).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slice lengths differ.
+    pub fn normalize_affine2(
+        src: &[f32],
+        xhat: &mut [f32],
+        out: &mut [f32],
+        mean: f32,
+        inv_std: f32,
+        g: f32,
+        b: f32,
+    ) {
+        assert_eq!(src.len(), xhat.len());
+        assert_eq!(src.len(), out.len());
+        for i in 0..src.len() {
+            let xh = (src[i] - mean) * inv_std;
+            xhat[i] = xh;
+            out[i] = g * xh + b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_inputs() -> Vec<f32> {
+        let mut v: Vec<f32> = (-4000..=4000).map(|i| i as f32 * 0.01).collect();
+        v.extend_from_slice(&[
+            0.0, -0.0, 1e-8, -1e-8, 50.0, -50.0, 87.0, -87.0, 100.0, -100.0, 1e4, -1e4,
+        ]);
+        v
+    }
+
+    #[test]
+    fn exp_matches_libm_to_polynomial_accuracy() {
+        for &x in &sample_inputs() {
+            if !(EXP_LO..=EXP_HI).contains(&x) {
+                continue;
+            }
+            let got = exp_scalar(x);
+            let want = x.exp();
+            let rel = (got - want).abs() / want.max(f32::MIN_POSITIVE);
+            assert!(rel < 5e-7, "exp({x}): got {got}, want {want}, rel {rel}");
+        }
+        // Saturation outside the clamp range: finite, monotone endpoints.
+        assert!(exp_scalar(1e4).is_finite());
+        assert!(exp_scalar(-1e4) > 0.0);
+        assert_eq!(exp_scalar(1e4), exp_scalar(EXP_HI));
+        assert_eq!(exp_scalar(-1e4), exp_scalar(EXP_LO));
+    }
+
+    #[test]
+    fn sigmoid_and_tanh_match_libm_and_stay_bounded() {
+        for &x in &sample_inputs() {
+            let s = sigmoid_scalar(x);
+            assert!((0.0..=1.0).contains(&s), "sigmoid({x}) = {s} out of [0,1]");
+            assert!(
+                (s - 1.0 / (1.0 + (-x).exp())).abs() < 2e-7,
+                "sigmoid({x}) = {s}"
+            );
+            let t = tanh_scalar(x);
+            assert!(t.abs() <= 1.0, "tanh({x}) = {t} exceeds 1 in magnitude");
+            assert!(
+                (t - x.tanh()).abs() < 3e-7,
+                "tanh({x}) = {t} vs {}",
+                x.tanh()
+            );
+        }
+        assert_eq!(tanh_scalar(0.0), 0.0);
+        assert_eq!(tanh_scalar(1e4), 1.0);
+        assert_eq!(tanh_scalar(-1e4), -1.0);
+    }
+
+    #[test]
+    fn slice_ops_match_their_scalar_definitions() {
+        let src = sample_inputs();
+        let n = src.len();
+        let mut dst = vec![0.0f32; n];
+
+        relu(&src, &mut dst);
+        for (i, (&s, &d)) in src.iter().zip(dst.iter()).enumerate() {
+            assert_eq!(d, if s > 0.0 { s } else { 0.0 }, "relu lane {i}");
+        }
+        let mut inplace = src.clone();
+        relu_mut(&mut inplace);
+        assert_eq!(inplace, dst, "relu vs relu_mut");
+
+        leaky_relu(&src, &mut dst, 0.1);
+        let mut inplace = src.clone();
+        leaky_relu_mut(&mut inplace, 0.1);
+        assert_eq!(inplace, dst, "leaky_relu vs leaky_relu_mut");
+
+        sigmoid(&src, &mut dst);
+        for (&s, &d) in src.iter().zip(dst.iter()) {
+            assert_eq!(d, sigmoid_scalar(s));
+        }
+        let mut inplace = src.clone();
+        sigmoid_mut(&mut inplace);
+        assert_eq!(inplace, dst, "sigmoid vs sigmoid_mut");
+
+        tanh(&src, &mut dst);
+        for (&s, &d) in src.iter().zip(dst.iter()) {
+            assert_eq!(d, tanh_scalar(s));
+        }
+        let mut inplace = src.clone();
+        tanh_mut(&mut inplace);
+        assert_eq!(inplace, dst, "tanh vs tanh_mut");
+
+        hardtanh(&src, &mut dst);
+        for (&s, &d) in src.iter().zip(dst.iter()) {
+            assert_eq!(d, s.clamp(-1.0, 1.0));
+        }
+        sign_ste(&src, &mut dst);
+        for (&s, &d) in src.iter().zip(dst.iter()) {
+            assert_eq!(d, if s >= 0.0 { 1.0 } else { -1.0 });
+        }
+    }
+
+    #[test]
+    fn exp_sub_and_div_form_a_stable_softmax() {
+        let row = [1.0f32, 3.0, -2.0, 0.5, 3.0];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut e = [0.0f32; 5];
+        exp_sub(&row, &mut e, max);
+        let denom: f32 = e.iter().sum();
+        div_scalar_mut(&mut e, denom);
+        let sum: f32 = e.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        // The two equal maxima map to equal probabilities, the largest ones.
+        assert_eq!(e[1], e[4]);
+        assert!(e.iter().all(|&p| p <= e[1]));
+    }
+
+    #[test]
+    fn normalize_affine_matches_scalar_order_and_dual_write() {
+        let src = [0.5f32, -1.5, 2.0, 0.0, 7.25];
+        let (mean, inv_std, g, b) = (0.4f32, 1.7f32, 1.3f32, -0.2f32);
+        let mut dst = [0.0f32; 5];
+        normalize_affine(&src, &mut dst, mean, inv_std, g, b);
+        let mut xhat = [0.0f32; 5];
+        let mut out = [0.0f32; 5];
+        normalize_affine2(&src, &mut xhat, &mut out, mean, inv_std, g, b);
+        for i in 0..src.len() {
+            let xh = (src[i] - mean) * inv_std;
+            assert_eq!(xhat[i], xh);
+            assert_eq!(dst[i], g * xh + b);
+            assert_eq!(out[i], dst[i]);
+        }
+    }
+}
