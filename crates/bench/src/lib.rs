@@ -22,6 +22,9 @@
 //! The same experiment entry points are reused by the Criterion benches in
 //! `benches/` (at reduced scale) so `cargo bench` exercises every pipeline.
 
+// This crate must stay free of `unsafe`; all unsafe code in the
+// workspace is confined to `crates/tensor` (lint rule R2).
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod experiments;

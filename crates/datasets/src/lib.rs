@@ -21,6 +21,9 @@
 //! * [`timeseries`] — Keeling-curve CO₂ forecasting (Mauna Loa stand-in).
 //! * [`ood`] — rotation and uniform-noise corruptions for OOD evaluation.
 
+// This crate must stay free of `unsafe`; all unsafe code in the
+// workspace is confined to `crates/tensor` (lint rule R2).
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod audio;

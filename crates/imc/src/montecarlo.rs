@@ -1889,6 +1889,7 @@ impl MonteCarloEngine {
     /// loop body of [`MonteCarloEngine::run`] (see the comment there for why
     /// they cannot literally share code). Depends only on `(seed, run)`, not
     /// on which thread executes it.
+    // lint: no_alloc
     fn simulate_one<M: Layer + ?Sized>(
         model: &mut M,
         fault: FaultModel,

@@ -1,0 +1,215 @@
+//! The checked-in violation allowlist (`lint_allow.toml`).
+//!
+//! Some violations are intentional — e.g. the counting-allocator test
+//! harnesses implement `GlobalAlloc`, which is inherently `unsafe`, outside
+//! `crates/tensor`. Those exceptions live in a reviewed, commented file at
+//! the workspace root rather than in scattered source annotations, so adding
+//! one is a visible diff on a single file.
+//!
+//! The file is a small TOML subset parsed by hand (the workspace has no toml
+//! dependency): `#` comments, `[[allow]]` array-of-table headers, and
+//! `key = "value"` string pairs. Each entry must carry:
+//!
+//! * `rule`   — the rule ID (`R1` … `R5`),
+//! * `path`   — the workspace-relative file the violation is in,
+//! * `reason` — why the exception is sound (free text, for reviewers),
+//!
+//! and may carry `contains`, a substring that must appear in the flagged
+//! source line (narrowing the exception to specific sites instead of the
+//! whole file).
+//!
+//! Entries that match nothing make the lint run **fail**: a stale exception
+//! is a sign the code moved and the allowlist no longer describes reality.
+
+use std::fmt;
+
+/// One `[[allow]]` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    pub rule: String,
+    pub path: String,
+    pub reason: String,
+    /// Optional substring of the flagged source line this entry is scoped to.
+    pub contains: Option<String>,
+    /// Line of the `[[allow]]` header in the allowlist file (diagnostics).
+    pub line: usize,
+}
+
+impl AllowEntry {
+    /// Does this entry suppress a violation of `rule` at `path` whose
+    /// flagged source line is `line_text`?
+    pub fn matches(&self, rule: &str, path: &str, line_text: &str) -> bool {
+        self.rule == rule
+            && self.path == path
+            && self
+                .contains
+                .as_deref()
+                .is_none_or(|c| line_text.contains(c))
+    }
+}
+
+/// Parse failure with the offending line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for AllowParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "allowlist line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AllowParseError {}
+
+/// Parses the TOML-subset allowlist format. See the module docs for the
+/// accepted grammar; anything else is a hard error so typos cannot silently
+/// disable an exception (or worse, silently allow everything).
+pub fn parse(src: &str) -> Result<Vec<AllowEntry>, AllowParseError> {
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    let mut current: Option<AllowEntry> = None;
+
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            finish(&mut entries, current.take(), lineno)?;
+            current = Some(AllowEntry {
+                rule: String::new(),
+                path: String::new(),
+                reason: String::new(),
+                contains: None,
+                line: lineno,
+            });
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(AllowParseError {
+                line: lineno,
+                message: format!("expected `[[allow]]` or `key = \"value\"`, got `{line}`"),
+            });
+        };
+        let key = key.trim();
+        let value = value.trim();
+        let Some(value) = value.strip_prefix('"').and_then(|v| v.strip_suffix('"')) else {
+            return Err(AllowParseError {
+                line: lineno,
+                message: format!("value for `{key}` must be a double-quoted string"),
+            });
+        };
+        let Some(entry) = current.as_mut() else {
+            return Err(AllowParseError {
+                line: lineno,
+                message: "key/value pair before the first [[allow]] header".to_string(),
+            });
+        };
+        match key {
+            "rule" => entry.rule = value.to_string(),
+            "path" => entry.path = value.to_string(),
+            "reason" => entry.reason = value.to_string(),
+            "contains" => entry.contains = Some(value.to_string()),
+            other => {
+                return Err(AllowParseError {
+                    line: lineno,
+                    message: format!("unknown key `{other}` (expected rule/path/reason/contains)"),
+                });
+            }
+        }
+    }
+    let end = src.lines().count();
+    finish(&mut entries, current.take(), end)?;
+    Ok(entries)
+}
+
+fn finish(
+    entries: &mut Vec<AllowEntry>,
+    entry: Option<AllowEntry>,
+    lineno: usize,
+) -> Result<(), AllowParseError> {
+    let Some(entry) = entry else { return Ok(()) };
+    for (field, value) in [
+        ("rule", &entry.rule),
+        ("path", &entry.path),
+        ("reason", &entry.reason),
+    ] {
+        if value.is_empty() {
+            return Err(AllowParseError {
+                line: lineno,
+                message: format!(
+                    "entry starting at line {} is missing required key `{field}`",
+                    entry.line
+                ),
+            });
+        }
+    }
+    entries.push(entry);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_with_comments() {
+        let src = r#"
+# Why this file exists.
+
+[[allow]]
+# test harness
+rule = "R2"
+path = "tests/compiled_plans.rs"
+reason = "counting allocator implements GlobalAlloc"
+
+[[allow]]
+rule = "R3"
+path = "crates/tensor/src/gemm.rs"
+reason = "scratch"
+contains = "packed_b_buf"
+"#;
+        let entries = parse(src).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].rule, "R2");
+        assert!(entries[0].contains.is_none());
+        assert_eq!(entries[1].contains.as_deref(), Some("packed_b_buf"));
+    }
+
+    #[test]
+    fn missing_required_key_is_an_error() {
+        let src = "[[allow]]\nrule = \"R1\"\npath = \"x.rs\"\n";
+        let err = parse(src).unwrap_err();
+        assert!(err.message.contains("reason"), "{err}");
+    }
+
+    #[test]
+    fn unquoted_value_is_an_error() {
+        let src = "[[allow]]\nrule = R1\n";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn unknown_key_is_an_error() {
+        let src = "[[allow]]\nrule = \"R1\"\npath = \"x\"\nreason = \"y\"\nlinez = \"3\"\n";
+        let err = parse(src).unwrap_err();
+        assert!(err.message.contains("unknown key"), "{err}");
+    }
+
+    #[test]
+    fn contains_scopes_matching() {
+        let e = AllowEntry {
+            rule: "R3".into(),
+            path: "a.rs".into(),
+            reason: "r".into(),
+            contains: Some("Vec::new".into()),
+            line: 1,
+        };
+        assert!(e.matches("R3", "a.rs", "let v = Vec::new();"));
+        assert!(!e.matches("R3", "a.rs", "let v = vec![];"));
+        assert!(!e.matches("R3", "b.rs", "let v = Vec::new();"));
+        assert!(!e.matches("R1", "a.rs", "let v = Vec::new();"));
+    }
+}

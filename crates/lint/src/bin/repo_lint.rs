@@ -1,0 +1,111 @@
+//! `repo_lint` — runs the invariant rules (R1–R5) over the workspace and
+//! exits non-zero on any non-allowlisted violation.
+//!
+//! ```text
+//! repo_lint [--root <dir>] [--allow <file>]
+//! ```
+//!
+//! `--root` defaults to the nearest ancestor of the current directory that
+//! contains both `Cargo.toml` and `crates/` (so it works from the workspace
+//! root and from any crate directory). `--allow` defaults to
+//! `<root>/lint_allow.toml`; a missing allowlist means "no exceptions".
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use invnorm_lint::{lint_workspace, load_allowlist};
+
+fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut allow: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--allow" => allow = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                eprintln!("usage: repo_lint [--root <dir>] [--allow <file>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("repo_lint: unknown argument `{other}` (see --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("repo_lint: cannot determine current directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match find_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "repo_lint: no workspace root (Cargo.toml + crates/) found above {}; \
+                         pass --root",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    let allow_path = allow.unwrap_or_else(|| root.join("lint_allow.toml"));
+    let allowlist = match load_allowlist(&allow_path) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("repo_lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match lint_workspace(&root, &allowlist) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("repo_lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for v in &report.violations {
+        println!("{v}");
+    }
+    for e in &report.unused_allow {
+        println!(
+            "lint_allow.toml:{}: stale allowlist entry ({} at {}): it matched no violation — \
+             remove it or fix its `contains`",
+            e.line, e.rule, e.path
+        );
+    }
+    if report.is_clean() {
+        println!(
+            "repo_lint: {} files clean ({} violation(s) allowlisted)",
+            report.files, report.suppressed
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "repo_lint: {} violation(s), {} stale allowlist entr(ies) across {} files",
+            report.violations.len(),
+            report.unused_allow.len(),
+            report.files
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,536 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! The invariant rules ([`crate::rules`]) need to find *keywords* —
+//! `unsafe`, `static`, `fn`, `Ordering::SeqCst` — without being fooled by
+//! the same words appearing inside comments, string literals, or raw
+//! strings, and they need to know which comment text precedes which line of
+//! code. A full parser would be overkill (and the offline-shims constraint
+//! rules out external parser crates), so this module implements exactly the
+//! token classes the rules consume:
+//!
+//! * **identifiers** (keywords included, raw `r#ident` unescaped),
+//! * **punctuation**, one character per token (`::` is two `:` tokens),
+//! * **literals** — strings (with escapes), raw strings (`r"…"`,
+//!   `r#"…"#` with any number of hashes, plus `b`/`br`/`c`/`cr` prefixes),
+//!   char literals (escaped and plain, disambiguated from lifetimes),
+//!   and numbers — whose *content* is deliberately opaque: a string
+//!   containing `unsafe` never produces an `unsafe` token,
+//! * **comments** — line (`//`, `///`, `//!`) and block (`/* … */`,
+//!   nested) — kept separately with their line spans so rules can check
+//!   "is there a `// SAFETY:` comment immediately above this line?".
+//!
+//! Every token and comment carries 1-based line numbers for `file:line`
+//! diagnostics.
+
+/// Token payload. Literal contents are intentionally not retained: the
+/// rules only ever care that "a literal sat here".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`unsafe`, `fn`, `Ordering`, …).
+    Ident(String),
+    /// One punctuation character (`::` lexes as two `:` tokens).
+    Punct(char),
+    /// String / raw-string / char / byte / number literal (content opaque).
+    Literal,
+}
+
+/// One code token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: usize,
+}
+
+impl Token {
+    /// True when this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(&self.tok, Tok::Ident(t) if t == s)
+    }
+
+    /// True when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(&self.tok, Tok::Punct(t) if *t == c)
+    }
+
+    /// The identifier text, if this token is one.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// One comment with its (inclusive) 1-based line span. Block comments may
+/// span several lines; line comments always have `line_start == line_end`.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Raw comment text including the `//` / `/*` sigils.
+    pub text: String,
+    pub line_start: usize,
+    pub line_end: usize,
+    /// True for inner doc comments (`//!` / `/*!`), which document the
+    /// enclosing module — module-level lint markers live in these.
+    pub inner_doc: bool,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+    /// Total number of source lines (1-based line numbers go up to this).
+    pub line_count: usize,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens and comments. Never fails: malformed input
+/// (unterminated strings/comments) is consumed to end-of-file, which is the
+/// right degradation for a linter — rustc will reject the file anyway.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut out = Lexed::default();
+
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i;
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+            let text: String = b[start..i].iter().collect();
+            let inner_doc = text.starts_with("//!");
+            out.comments.push(Comment {
+                text,
+                line_start: line,
+                line_end: line,
+                inner_doc,
+            });
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let start = i;
+            let line_start = line;
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            let text: String = b[start..i].iter().collect();
+            let inner_doc = text.starts_with("/*!");
+            out.comments.push(Comment {
+                text,
+                line_start,
+                line_end: line,
+                inner_doc,
+            });
+            continue;
+        }
+        // String literal.
+        if c == '"' {
+            i = consume_string(&b, i, &mut line);
+            out.tokens.push(Token {
+                tok: Tok::Literal,
+                line,
+            });
+            continue;
+        }
+        // Char literal or lifetime.
+        if c == '\'' {
+            if let Some(next) = consume_char_literal(&b, i) {
+                out.tokens.push(Token {
+                    tok: Tok::Literal,
+                    line,
+                });
+                i = next;
+            } else {
+                // Lifetime: skip the quote and the identifier. No token is
+                // emitted — no rule cares about lifetimes.
+                i += 1;
+                while i < n && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Identifier / keyword / prefixed string / raw identifier.
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            let ident: String = b[start..i].iter().collect();
+            let raw_capable = matches!(ident.as_str(), "r" | "br" | "cr");
+            let str_capable = raw_capable || matches!(ident.as_str(), "b" | "c");
+            if i < n && b[i] == '"' && str_capable {
+                if raw_capable {
+                    i = consume_raw_string(&b, i, 0, &mut line);
+                } else {
+                    i = consume_string(&b, i, &mut line);
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Literal,
+                    line,
+                });
+                continue;
+            }
+            if i < n && b[i] == '#' && raw_capable {
+                // Either a raw string with hashes (`r#"…"#`) or, for plain
+                // `r`, a raw identifier (`r#unsafe`).
+                let mut hashes = 0usize;
+                let mut j = i;
+                while j < n && b[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < n && b[j] == '"' {
+                    i = consume_raw_string(&b, j, hashes, &mut line);
+                    out.tokens.push(Token {
+                        tok: Tok::Literal,
+                        line,
+                    });
+                    continue;
+                }
+                if ident == "r" && hashes == 1 && j < n && is_ident_start(b[j]) {
+                    let rstart = j;
+                    let mut k = j;
+                    while k < n && is_ident_continue(b[k]) {
+                        k += 1;
+                    }
+                    let name: String = b[rstart..k].iter().collect();
+                    out.tokens.push(Token {
+                        tok: Tok::Ident(name),
+                        line,
+                    });
+                    i = k;
+                    continue;
+                }
+            }
+            if i < n && b[i] == '\'' && ident == "b" {
+                // Byte char literal `b'x'`.
+                if let Some(next) = consume_char_literal(&b, i) {
+                    out.tokens.push(Token {
+                        tok: Tok::Literal,
+                        line,
+                    });
+                    i = next;
+                    continue;
+                }
+            }
+            out.tokens.push(Token {
+                tok: Tok::Ident(ident),
+                line,
+            });
+            continue;
+        }
+        // Number literal: digits plus any alphanumeric suffix/hex/underscores
+        // (dots are left to punctuation so ranges like `0..n` lex cleanly).
+        if c.is_ascii_digit() {
+            while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            out.tokens.push(Token {
+                tok: Tok::Literal,
+                line,
+            });
+            continue;
+        }
+        out.tokens.push(Token {
+            tok: Tok::Punct(c),
+            line,
+        });
+        i += 1;
+    }
+    out.line_count = line;
+    out
+}
+
+/// Consumes a `"…"` string starting at the opening quote; returns the index
+/// one past the closing quote. Tracks embedded newlines.
+fn consume_string(b: &[char], mut i: usize, line: &mut usize) -> usize {
+    let n = b.len();
+    i += 1; // opening quote
+    while i < n {
+        match b[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    n
+}
+
+/// Consumes a raw string whose opening quote is at `i` and which closes with
+/// `"` followed by `hashes` `#` characters. Returns the index one past the
+/// closing delimiter.
+fn consume_raw_string(b: &[char], mut i: usize, hashes: usize, line: &mut usize) -> usize {
+    let n = b.len();
+    i += 1; // opening quote
+    while i < n {
+        if b[i] == '\n' {
+            *line += 1;
+            i += 1;
+            continue;
+        }
+        if b[i] == '"' {
+            let mut k = 0usize;
+            while k < hashes && i + 1 + k < n && b[i + 1 + k] == '#' {
+                k += 1;
+            }
+            if k == hashes {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    n
+}
+
+/// Tries to consume a char literal starting at the `'` at index `i`.
+/// Returns `Some(next_index)` for a char literal, `None` when the quote
+/// starts a lifetime instead.
+fn consume_char_literal(b: &[char], i: usize) -> Option<usize> {
+    let n = b.len();
+    if i + 1 >= n {
+        return None;
+    }
+    if b[i + 1] == '\\' {
+        // Escaped char: scan to the closing quote on the same line.
+        let mut j = i + 2;
+        while j < n && b[j] != '\'' && b[j] != '\n' {
+            j += 1;
+        }
+        return if j < n && b[j] == '\'' {
+            Some(j + 1)
+        } else {
+            None
+        };
+    }
+    if i + 2 < n && b[i + 2] == '\'' && b[i + 1] != '\'' {
+        return Some(i + 3);
+    }
+    None
+}
+
+/// One attribute (`#[…]` or `#![…]`) reconstructed from the token stream.
+#[derive(Debug, Clone)]
+pub struct Attr {
+    /// Index of the `#` token in the file's token vector.
+    pub tok_start: usize,
+    /// Index of the closing `]` token (inclusive).
+    pub tok_end: usize,
+    pub line_start: usize,
+    pub line_end: usize,
+    /// `#![…]` (inner) vs `#[…]` (outer).
+    pub inner: bool,
+    /// Every identifier appearing inside the brackets, in order.
+    pub idents: Vec<String>,
+}
+
+impl Attr {
+    /// True when the attribute mentions identifier `name` anywhere.
+    pub fn has_ident(&self, name: &str) -> bool {
+        self.idents.iter().any(|i| i == name)
+    }
+}
+
+/// Reconstructs attribute spans from a token stream.
+pub fn attributes(tokens: &[Token]) -> Vec<Attr> {
+    let mut out = Vec::new();
+    let n = tokens.len();
+    let mut i = 0usize;
+    while i < n {
+        if !tokens[i].is_punct('#') {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut j = i + 1;
+        let inner = j < n && tokens[j].is_punct('!');
+        if inner {
+            j += 1;
+        }
+        if j >= n || !tokens[j].is_punct('[') {
+            i += 1;
+            continue;
+        }
+        let mut depth = 0usize;
+        let mut idents = Vec::new();
+        let mut end = j;
+        while j < n {
+            match &tokens[j].tok {
+                Tok::Punct('[') => depth += 1,
+                Tok::Punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = j;
+                        break;
+                    }
+                }
+                Tok::Ident(t) => idents.push(t.clone()),
+                _ => {}
+            }
+            j += 1;
+        }
+        out.push(Attr {
+            tok_start: start,
+            tok_end: end,
+            line_start: tokens[start].line,
+            line_end: tokens[end.min(n - 1)].line,
+            inner,
+            idents,
+        });
+        i = end.max(start) + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_owned))
+            .collect()
+    }
+
+    #[test]
+    fn keywords_in_strings_and_comments_are_not_tokens() {
+        let src = r##"
+            // unsafe in a line comment
+            /* unsafe in a block /* nested unsafe */ comment */
+            let a = "unsafe { }";
+            let b = r#"unsafe fn"#;
+            let c = 'u';
+        "##;
+        assert!(!idents(src).iter().any(|i| i == "unsafe"));
+    }
+
+    #[test]
+    fn real_unsafe_is_a_token_with_the_right_line() {
+        let src = "fn f() {\n    unsafe { g() }\n}\n";
+        let lexed = lex(src);
+        let tok = lexed.tokens.iter().find(|t| t.is_ident("unsafe")).unwrap();
+        assert_eq!(tok.line, 2);
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let src = "/* a /* b */ c */ unsafe";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("unsafe")));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r####"let s = r##"has "# inside and unsafe"##; static X: u8 = 0;"####;
+        let lexed = lex(src);
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("unsafe")));
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("static")));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let lexed = lex(src);
+        // No literals at all; `a`s from lifetimes are skipped entirely.
+        assert!(!lexed.tokens.iter().any(|t| matches!(t.tok, Tok::Literal)));
+    }
+
+    #[test]
+    fn char_and_byte_literals_are_opaque() {
+        let src = "let a = 'x'; let b = b'y'; let c = '\\n'; let d = '\\'';";
+        let lexed = lex(src);
+        let lits = lexed
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.tok, Tok::Literal))
+            .count();
+        assert_eq!(lits, 4);
+    }
+
+    #[test]
+    fn raw_identifiers_unescape() {
+        let src = "let r#unsafe = 1;";
+        assert!(idents(src).iter().any(|i| i == "unsafe"));
+    }
+
+    #[test]
+    fn comment_line_spans() {
+        let src = "// one\n/* two\nthree */\ncode();\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments[0].line_start, 1);
+        assert_eq!(lexed.comments[1].line_start, 2);
+        assert_eq!(lexed.comments[1].line_end, 3);
+    }
+
+    #[test]
+    fn inner_doc_comments_are_flagged() {
+        let src = "//! module docs\n/// item docs\n// plain\n";
+        let lexed = lex(src);
+        assert!(lexed.comments[0].inner_doc);
+        assert!(!lexed.comments[1].inner_doc);
+        assert!(!lexed.comments[2].inner_doc);
+    }
+
+    #[test]
+    fn attributes_are_reconstructed() {
+        let src =
+            "#![forbid(unsafe_code)]\n#[target_feature(enable = \"avx2\")]\nunsafe fn k() {}\n";
+        let lexed = lex(src);
+        let attrs = attributes(&lexed.tokens);
+        assert_eq!(attrs.len(), 2);
+        assert!(attrs[0].inner);
+        assert!(attrs[0].has_ident("forbid"));
+        assert!(attrs[0].has_ident("unsafe_code"));
+        assert!(!attrs[1].inner);
+        assert!(attrs[1].has_ident("target_feature"));
+    }
+
+    #[test]
+    fn numeric_literals_do_not_eat_ranges() {
+        let src = "for i in 0..n { a[i] = 1.5e-3; }";
+        let lexed = lex(src);
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("n")));
+    }
+}

@@ -1,0 +1,34 @@
+//! The real workspace must lint clean: the same engine `repo_lint` runs in
+//! CI is applied to the checked-in tree here, so `cargo test` alone catches
+//! a violation before the dedicated CI job does.
+
+use std::path::Path;
+
+use invnorm_lint::{lint_workspace, load_allowlist};
+
+#[test]
+fn workspace_lints_clean() {
+    // crates/lint/ → workspace root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint has a workspace root two levels up");
+    let allowlist = load_allowlist(&root.join("lint_allow.toml")).expect("allowlist parses");
+    let report = lint_workspace(root, &allowlist).expect("workspace walk succeeds");
+    assert!(
+        report.files > 50,
+        "suspiciously few files walked ({}) — wrong root?",
+        report.files
+    );
+    let mut msg = String::new();
+    for v in &report.violations {
+        msg.push_str(&format!("{v}\n"));
+    }
+    for e in &report.unused_allow {
+        msg.push_str(&format!(
+            "stale allowlist entry at lint_allow.toml:{} ({} / {})\n",
+            e.line, e.rule, e.path
+        ));
+    }
+    assert!(report.is_clean(), "workspace has lint violations:\n{msg}");
+}

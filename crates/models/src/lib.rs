@@ -26,6 +26,9 @@
 //! injection (used for the binarized models) and the quantization
 //! configuration for post-training weight quantization.
 
+// This crate must stay free of `unsafe`; all unsafe code in the
+// workspace is confined to `crates/tensor` (lint rule R2).
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod lstm;

@@ -974,6 +974,7 @@ impl Plan {
     ///
     /// Returns an error when a layer rejects its input or the plan state was
     /// released.
+    // lint: no_alloc
     pub fn forward<M: Layer + ?Sized>(&mut self, model: &mut M) -> Result<&Tensor> {
         let ctx = PlanCtx {
             input_gen: self.gen,

@@ -20,6 +20,9 @@
 //! * [`config`] — per-model precision configuration ([`config::QuantConfig`]),
 //!   mirroring the W/A column of the paper's Table I.
 
+// This crate must stay free of `unsafe`; all unsafe code in the
+// workspace is confined to `crates/tensor` (lint rule R2).
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod binary;

@@ -16,6 +16,8 @@
 //! [`DirtyRows`] is the companion bookkeeping type for cached packed-weight
 //! panels: fault injectors mark which weight rows a realization touched, and
 //! the plan re-packs only the panels covering those rows.
+//!
+//! lint: no_alloc
 
 /// A reserved range of an [`Arena`], handed out during the build phase and
 /// resolved to a slice at execution time.
@@ -59,6 +61,8 @@ pub struct Arena<T> {
 
 impl<T: Copy + Default> Arena<T> {
     /// Creates an empty arena in the build phase.
+    // lint: alloc_ok(build-phase constructor; the arena exists to hoist
+    // allocation out of the steady state)
     pub fn new() -> Self {
         Self {
             buf: Vec::new(),
@@ -150,6 +154,8 @@ pub struct DirtyRows {
 
 impl DirtyRows {
     /// Creates an all-clean set over `rows` rows.
+    // lint: alloc_ok(build-phase constructor; the bitset is allocated once
+    // per packed operand and reused across realizations)
     pub fn new(rows: usize) -> Self {
         Self {
             bits: vec![0u64; rows.div_ceil(64)],

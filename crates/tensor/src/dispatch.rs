@@ -90,6 +90,10 @@ impl std::fmt::Display for KernelTier {
 /// `u8::MAX` marks "not yet resolved"; otherwise the tier discriminant.
 const UNRESOLVED: u8 = u8::MAX;
 
+// Ordering contract: Relaxed everywhere. ACTIVE is a monotonic cache of a
+// pure function of the host CPU (plus an idempotent env read); racing
+// resolvers compute the same value, and no other memory is published
+// through it, so no acquire/release pairing is needed.
 static ACTIVE: AtomicU8 = AtomicU8::new(UNRESOLVED);
 
 /// Returns the best kernel tier the host CPU supports, ignoring overrides.

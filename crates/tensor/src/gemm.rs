@@ -35,6 +35,8 @@
 //! bit-identical results; only the portable tier (separate multiply + add
 //! roundings) diverges. The active tier is thus the sole reproducibility
 //! boundary, and it is surfaced via telemetry.
+//!
+//! lint: no_alloc
 
 use crate::arena::DirtyRows;
 use crate::dispatch::{self, KernelTier};
@@ -259,6 +261,9 @@ fn gemm_with_scratch_impl(
 /// Work-stealing parallel path: row blocks are claimed from an atomic
 /// counter; each worker packs its own A blocks, while the packed B panel for
 /// the current `(jc, pc)` stage is shared read-only across workers.
+// lint: alloc_ok(per-call packing scratch: one shared B panel plus one A
+// panel per worker, allocated at entry — steady-state callers go through
+// `PackedA`/`PackedB` plans that hoist even these)
 #[allow(clippy::too_many_arguments)]
 fn gemm_parallel(
     kern: &F32Kernel,
@@ -323,6 +328,9 @@ fn gemm_parallel(
 /// Raw pointer wrapper so scoped workers can share the output buffer; safety
 /// rests on the disjoint row-block claim discipline in [`gemm_parallel`].
 struct SendPtr(*mut f32);
+// SAFETY: SendPtr is only handed to scoped workers that write disjoint
+// row blocks of C (each `mc` block is claimed by exactly one worker via the
+// fetch_add ticket in `gemm_parallel`), so concurrent access never aliases.
 unsafe impl Send for SendPtr {}
 unsafe impl Sync for SendPtr {}
 
@@ -933,6 +941,12 @@ fn block_kernel(
 /// Portable 4×8 microkernel: plain scalar accumulation (separate multiply
 /// and add roundings — the one f32 tier that is *not* bit-identical to the
 /// FMA tiers), auto-vectorized by LLVM where the build target allows.
+///
+/// # Safety
+///
+/// Contains no unsafe operations of its own; it is `unsafe fn` only to
+/// match the [`MicrokernelF32`] signature shared with the SIMD tiers.
+/// Callable with any arguments (bounds are asserted).
 unsafe fn microkernel_portable(kc: usize, pa: &[f32], pb: &[f32], acc_out: &mut [f32]) {
     const MR: usize = 4;
     const NR: usize = 8;
@@ -972,24 +986,30 @@ unsafe fn microkernel_avx2(kc: usize, pa: &[f32], pb: &[f32], acc_out: &mut [f32
     const MR: usize = 6;
     const NR: usize = 16;
     assert!(pa.len() >= kc * MR && pb.len() >= kc * NR && acc_out.len() >= MR * NR);
-    let mut acc = [_mm256_setzero_ps(); 2 * MR];
-    let mut ap = pa.as_ptr();
-    let mut bp = pb.as_ptr();
-    for _ in 0..kc {
-        let b0 = _mm256_loadu_ps(bp);
-        let b1 = _mm256_loadu_ps(bp.add(8));
-        // Fixed trip count: fully unrolled, `acc` stays in registers.
-        for r in 0..MR {
-            let ar = _mm256_broadcast_ss(&*ap.add(r));
-            acc[2 * r] = _mm256_fmadd_ps(ar, b0, acc[2 * r]);
-            acc[2 * r + 1] = _mm256_fmadd_ps(ar, b1, acc[2 * r + 1]);
+    // SAFETY: the asserts above bound every pointer offset used below
+    // (`pa`/`pb` hold full `kc`-deep packed panels, `acc_out` holds the full
+    // MR×NR tile), and the fn-level contract guarantees the host supports
+    // the SIMD features these intrinsics require.
+    unsafe {
+        let mut acc = [_mm256_setzero_ps(); 2 * MR];
+        let mut ap = pa.as_ptr();
+        let mut bp = pb.as_ptr();
+        for _ in 0..kc {
+            let b0 = _mm256_loadu_ps(bp);
+            let b1 = _mm256_loadu_ps(bp.add(8));
+            // Fixed trip count: fully unrolled, `acc` stays in registers.
+            for r in 0..MR {
+                let ar = _mm256_broadcast_ss(&*ap.add(r));
+                acc[2 * r] = _mm256_fmadd_ps(ar, b0, acc[2 * r]);
+                acc[2 * r + 1] = _mm256_fmadd_ps(ar, b1, acc[2 * r + 1]);
+            }
+            ap = ap.add(MR);
+            bp = bp.add(NR);
         }
-        ap = ap.add(MR);
-        bp = bp.add(NR);
-    }
-    for r in 0..MR {
-        _mm256_storeu_ps(acc_out.as_mut_ptr().add(r * NR), acc[2 * r]);
-        _mm256_storeu_ps(acc_out.as_mut_ptr().add(r * NR + 8), acc[2 * r + 1]);
+        for r in 0..MR {
+            _mm256_storeu_ps(acc_out.as_mut_ptr().add(r * NR), acc[2 * r]);
+            _mm256_storeu_ps(acc_out.as_mut_ptr().add(r * NR + 8), acc[2 * r + 1]);
+        }
     }
 }
 
@@ -1013,23 +1033,29 @@ unsafe fn microkernel_avx512(kc: usize, pa: &[f32], pb: &[f32], acc_out: &mut [f
     const MR: usize = 14;
     const NR: usize = 32;
     assert!(pa.len() >= kc * MR && pb.len() >= kc * NR && acc_out.len() >= MR * NR);
-    let mut acc = [_mm512_setzero_ps(); 2 * MR];
-    let mut ap = pa.as_ptr();
-    let mut bp = pb.as_ptr();
-    for _ in 0..kc {
-        let b0 = _mm512_loadu_ps(bp);
-        let b1 = _mm512_loadu_ps(bp.add(16));
-        for r in 0..MR {
-            let ar = _mm512_set1_ps(*ap.add(r));
-            acc[2 * r] = _mm512_fmadd_ps(ar, b0, acc[2 * r]);
-            acc[2 * r + 1] = _mm512_fmadd_ps(ar, b1, acc[2 * r + 1]);
+    // SAFETY: the asserts above bound every pointer offset used below
+    // (`pa`/`pb` hold full `kc`-deep packed panels, `acc_out` holds the full
+    // MR×NR tile), and the fn-level contract guarantees the host supports
+    // the SIMD features these intrinsics require.
+    unsafe {
+        let mut acc = [_mm512_setzero_ps(); 2 * MR];
+        let mut ap = pa.as_ptr();
+        let mut bp = pb.as_ptr();
+        for _ in 0..kc {
+            let b0 = _mm512_loadu_ps(bp);
+            let b1 = _mm512_loadu_ps(bp.add(16));
+            for r in 0..MR {
+                let ar = _mm512_set1_ps(*ap.add(r));
+                acc[2 * r] = _mm512_fmadd_ps(ar, b0, acc[2 * r]);
+                acc[2 * r + 1] = _mm512_fmadd_ps(ar, b1, acc[2 * r + 1]);
+            }
+            ap = ap.add(MR);
+            bp = bp.add(NR);
         }
-        ap = ap.add(MR);
-        bp = bp.add(NR);
-    }
-    for r in 0..MR {
-        _mm512_storeu_ps(acc_out.as_mut_ptr().add(r * NR), acc[2 * r]);
-        _mm512_storeu_ps(acc_out.as_mut_ptr().add(r * NR + 16), acc[2 * r + 1]);
+        for r in 0..MR {
+            _mm512_storeu_ps(acc_out.as_mut_ptr().add(r * NR), acc[2 * r]);
+            _mm512_storeu_ps(acc_out.as_mut_ptr().add(r * NR + 16), acc[2 * r + 1]);
+        }
     }
 }
 

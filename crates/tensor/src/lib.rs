@@ -45,6 +45,10 @@
 //! assert_eq!(c.data(), &[2.0, 3.0, 4.0, 5.0]);
 //! ```
 
+// The one crate allowed to contain `unsafe` (lint rule R2). Every
+// unsafe operation inside an `unsafe fn` must still be acknowledged
+// with a scoped `unsafe {}` block and its own SAFETY comment.
+#![deny(unsafe_op_in_unsafe_fn)]
 #![deny(missing_docs)]
 
 pub mod arena;

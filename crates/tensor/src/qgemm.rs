@@ -33,6 +33,8 @@
 //! Accumulation depth is bounded: `k · 127² ≤ i32::MAX` requires
 //! `k ≤ 133 152`, far beyond any layer in the workspace; the entry points
 //! debug-assert it.
+//!
+//! lint: no_alloc
 
 use crate::arena::DirtyRows;
 use crate::dispatch::{self, KernelTier};
@@ -273,6 +275,9 @@ fn qgemm_with_scratch_impl(
 /// Work-stealing parallel path mirroring `gemm_parallel`: row blocks are
 /// claimed from an atomic counter, each worker packs its own A blocks, and
 /// the packed B panel is shared read-only.
+// lint: alloc_ok(per-call packing scratch: one shared B panel plus one A
+// panel per worker, allocated at entry — steady-state callers go through
+// `QPackedA`/`QPackedB` plans that hoist even these)
 #[allow(clippy::too_many_arguments)]
 fn qgemm_parallel(
     kern: &QKernel,
@@ -336,6 +341,9 @@ fn qgemm_parallel(
 /// Raw pointer wrapper so scoped workers can share the output buffer; safety
 /// rests on the disjoint row-block claim discipline in [`qgemm_parallel`].
 struct SendPtr(*mut i32);
+// SAFETY: SendPtr is only handed to scoped workers that write disjoint
+// row blocks of C (each `mc` block is claimed by exactly one worker via the
+// fetch_add ticket in `qgemm_parallel`), so concurrent access never aliases.
 unsafe impl Send for SendPtr {}
 unsafe impl Sync for SendPtr {}
 
@@ -873,6 +881,12 @@ fn block_kernel(
 /// Portable scalar variant of the quantized microkernel (identical packed
 /// quad layout and — integers being exact — identical results to the SIMD
 /// tiers).
+///
+/// # Safety
+///
+/// Contains no unsafe operations of its own; it is `unsafe fn` only to
+/// match the [`MicrokernelI8`] signature shared with the SIMD tiers.
+/// Callable with any arguments (bounds are asserted).
 unsafe fn microkernel_portable(quads: usize, pa: &[i8], pb: &[i8], acc_out: &mut [i32]) {
     const QMR: usize = 4;
     const QNR: usize = 16;
@@ -922,31 +936,37 @@ unsafe fn microkernel_avx2(quads: usize, pa: &[i8], pb: &[i8], acc_out: &mut [i3
     const QNR: usize = 16;
     assert!(pa.len() >= quads * KQ * QMR && pb.len() >= quads * KQ * QNR);
     assert!(acc_out.len() >= QMR * QNR);
-    let ones = _mm256_set1_epi16(1);
-    let mut acc = [_mm256_setzero_si256(); 2 * QMR];
-    let mut ap = pa.as_ptr();
-    let mut bp = pb.as_ptr();
-    for _ in 0..quads {
-        let b0 = _mm256_loadu_si256(bp.cast());
-        let b1 = _mm256_loadu_si256(bp.add(32).cast());
-        for r in 0..QMR {
-            // Broadcast the row's 4-code quad across all lanes.
-            let aq = _mm256_set1_epi32(ap.add(r * KQ).cast::<i32>().read_unaligned());
-            let abs_a = _mm256_abs_epi8(aq);
-            let sb0 = _mm256_sign_epi8(b0, aq);
-            let sb1 = _mm256_sign_epi8(b1, aq);
-            // 16 i16 pair sums → 8 i32 quad sums per vector (one per column).
-            let p0 = _mm256_madd_epi16(_mm256_maddubs_epi16(abs_a, sb0), ones);
-            let p1 = _mm256_madd_epi16(_mm256_maddubs_epi16(abs_a, sb1), ones);
-            acc[2 * r] = _mm256_add_epi32(acc[2 * r], p0);
-            acc[2 * r + 1] = _mm256_add_epi32(acc[2 * r + 1], p1);
+    // SAFETY: the asserts above bound every pointer offset used below
+    // (`pa`/`pb` hold full `quads`-deep packed quad panels, `acc_out` holds
+    // the full QMR×QNR tile), and the fn-level contract guarantees the host
+    // supports the SIMD features these intrinsics require.
+    unsafe {
+        let ones = _mm256_set1_epi16(1);
+        let mut acc = [_mm256_setzero_si256(); 2 * QMR];
+        let mut ap = pa.as_ptr();
+        let mut bp = pb.as_ptr();
+        for _ in 0..quads {
+            let b0 = _mm256_loadu_si256(bp.cast());
+            let b1 = _mm256_loadu_si256(bp.add(32).cast());
+            for r in 0..QMR {
+                // Broadcast the row's 4-code quad across all lanes.
+                let aq = _mm256_set1_epi32(ap.add(r * KQ).cast::<i32>().read_unaligned());
+                let abs_a = _mm256_abs_epi8(aq);
+                let sb0 = _mm256_sign_epi8(b0, aq);
+                let sb1 = _mm256_sign_epi8(b1, aq);
+                // 16 i16 pair sums → 8 i32 quad sums per vector (one per column).
+                let p0 = _mm256_madd_epi16(_mm256_maddubs_epi16(abs_a, sb0), ones);
+                let p1 = _mm256_madd_epi16(_mm256_maddubs_epi16(abs_a, sb1), ones);
+                acc[2 * r] = _mm256_add_epi32(acc[2 * r], p0);
+                acc[2 * r + 1] = _mm256_add_epi32(acc[2 * r + 1], p1);
+            }
+            ap = ap.add(QMR * KQ);
+            bp = bp.add(QNR * KQ);
         }
-        ap = ap.add(QMR * KQ);
-        bp = bp.add(QNR * KQ);
-    }
-    for r in 0..QMR {
-        _mm256_storeu_si256(acc_out.as_mut_ptr().add(r * QNR).cast(), acc[2 * r]);
-        _mm256_storeu_si256(acc_out.as_mut_ptr().add(r * QNR + 8).cast(), acc[2 * r + 1]);
+        for r in 0..QMR {
+            _mm256_storeu_si256(acc_out.as_mut_ptr().add(r * QNR).cast(), acc[2 * r]);
+            _mm256_storeu_si256(acc_out.as_mut_ptr().add(r * QNR + 8).cast(), acc[2 * r + 1]);
+        }
     }
 }
 
@@ -976,33 +996,39 @@ unsafe fn microkernel_vnni(quads: usize, pa: &[i8], pb: &[i8], acc_out: &mut [i3
     const QNR: usize = 32;
     assert!(pa.len() >= quads * KQ * QMR && pb.len() >= quads * KQ * QNR);
     assert!(acc_out.len() >= QMR * QNR);
-    let zero = _mm512_setzero_si512();
-    let mut acc = [_mm512_setzero_si512(); 2 * QMR];
-    let mut ap = pa.as_ptr();
-    let mut bp = pb.as_ptr();
-    for _ in 0..quads {
-        let b0 = _mm512_loadu_si512(bp.cast());
-        let b1 = _mm512_loadu_si512(bp.add(64).cast());
-        for r in 0..QMR {
-            let aq = _mm512_set1_epi32(ap.add(r * KQ).cast::<i32>().read_unaligned());
-            let abs_a = _mm512_abs_epi8(aq);
-            // Negate the b bytes wherever the matching a byte is negative
-            // (a == 0 contributes 0 via |a| regardless).
-            let neg = _mm512_movepi8_mask(aq);
-            let sb0 = _mm512_mask_sub_epi8(b0, neg, zero, b0);
-            let sb1 = _mm512_mask_sub_epi8(b1, neg, zero, b1);
-            acc[2 * r] = _mm512_dpbusd_epi32(acc[2 * r], abs_a, sb0);
-            acc[2 * r + 1] = _mm512_dpbusd_epi32(acc[2 * r + 1], abs_a, sb1);
+    // SAFETY: the asserts above bound every pointer offset used below
+    // (`pa`/`pb` hold full `quads`-deep packed quad panels, `acc_out` holds
+    // the full QMR×QNR tile), and the fn-level contract guarantees the host
+    // supports the SIMD features these intrinsics require.
+    unsafe {
+        let zero = _mm512_setzero_si512();
+        let mut acc = [_mm512_setzero_si512(); 2 * QMR];
+        let mut ap = pa.as_ptr();
+        let mut bp = pb.as_ptr();
+        for _ in 0..quads {
+            let b0 = _mm512_loadu_si512(bp.cast());
+            let b1 = _mm512_loadu_si512(bp.add(64).cast());
+            for r in 0..QMR {
+                let aq = _mm512_set1_epi32(ap.add(r * KQ).cast::<i32>().read_unaligned());
+                let abs_a = _mm512_abs_epi8(aq);
+                // Negate the b bytes wherever the matching a byte is negative
+                // (a == 0 contributes 0 via |a| regardless).
+                let neg = _mm512_movepi8_mask(aq);
+                let sb0 = _mm512_mask_sub_epi8(b0, neg, zero, b0);
+                let sb1 = _mm512_mask_sub_epi8(b1, neg, zero, b1);
+                acc[2 * r] = _mm512_dpbusd_epi32(acc[2 * r], abs_a, sb0);
+                acc[2 * r + 1] = _mm512_dpbusd_epi32(acc[2 * r + 1], abs_a, sb1);
+            }
+            ap = ap.add(QMR * KQ);
+            bp = bp.add(QNR * KQ);
         }
-        ap = ap.add(QMR * KQ);
-        bp = bp.add(QNR * KQ);
-    }
-    for r in 0..QMR {
-        _mm512_storeu_si512(acc_out.as_mut_ptr().add(r * QNR).cast(), acc[2 * r]);
-        _mm512_storeu_si512(
-            acc_out.as_mut_ptr().add(r * QNR + 16).cast(),
-            acc[2 * r + 1],
-        );
+        for r in 0..QMR {
+            _mm512_storeu_si512(acc_out.as_mut_ptr().add(r * QNR).cast(), acc[2 * r]);
+            _mm512_storeu_si512(
+                acc_out.as_mut_ptr().add(r * QNR + 16).cast(),
+                acc[2 * r + 1],
+            );
+        }
     }
 }
 

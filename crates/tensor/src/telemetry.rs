@@ -35,6 +35,8 @@
 //! thread (worker spans accumulate in parallel, so phase totals behave like
 //! CPU time, not wall time), and concurrent Monte-Carlo runs share one
 //! registry. Scope one run at a time for attributable reports.
+//!
+//! lint: no_alloc
 
 use crate::stats::RunningStats;
 use serde::{Deserialize, Serialize};
@@ -191,10 +193,19 @@ impl std::fmt::Display for Counter {
 /// wrap around (the phase/counter totals are never lossy, only the trace).
 pub const RING_CAPACITY: usize = 8192;
 
+// Ordering contract: Relaxed everywhere. Telemetry is monotonic counting —
+// readers only need eventually-consistent totals, never happens-before
+// edges with the counted work, and a hot-path fetch_add must stay as cheap
+// as the instrumented code around it.
 static ENABLED: AtomicBool = AtomicBool::new(false);
+// Ordering contract: Relaxed — same monotonic-counter rationale as ENABLED.
 static PHASE_NS: [AtomicU64; PHASE_COUNT] = [const { AtomicU64::new(0) }; PHASE_COUNT];
+// Ordering contract: Relaxed — same monotonic-counter rationale as ENABLED.
 static PHASE_HITS: [AtomicU64; PHASE_COUNT] = [const { AtomicU64::new(0) }; PHASE_COUNT];
+// Ordering contract: Relaxed — same monotonic-counter rationale as ENABLED.
 static COUNTER_SLOTS: [AtomicU64; COUNTER_COUNT] = [const { AtomicU64::new(0) }; COUNTER_COUNT];
+// Ordering contract: Relaxed — tid allocation only needs uniqueness, which
+// fetch_add provides at any ordering; nothing is published through it.
 static NEXT_TID: AtomicUsize = AtomicUsize::new(1);
 static REGISTRY: Mutex<Vec<Arc<ThreadRing>>> = Mutex::new(Vec::new());
 static ANCHOR: OnceLock<Instant> = OnceLock::new();
@@ -235,6 +246,9 @@ thread_local! {
 }
 
 /// Registers (on first use per thread) and returns this thread's ring.
+// lint: alloc_ok(one-time per-thread ring materialization; every later span
+// on the thread reuses the fixed-capacity buffer — the zero-alloc claim is
+// for the steady state and is enforced by the counting-allocator test)
 fn with_local_ring(f: impl FnOnce(&ThreadRing)) {
     LOCAL_RING.with(|cell| {
         let ring = cell.get_or_init(|| {
@@ -435,6 +449,7 @@ impl Telemetry {
     ///
     /// Call from a quiesced point (after a run), not while workers are mid-
     /// span; spans still open are simply absent from the trace.
+    // lint: alloc_ok(offline exporter, runs after the measured region)
     pub fn chrome_trace() -> String {
         let rings: Vec<Arc<ThreadRing>> = REGISTRY
             .lock()
@@ -536,6 +551,7 @@ pub struct ConvergencePoint {
 
 /// Builds the Welford convergence stream over a per-run metric vector — one
 /// [`ConvergencePoint`] per prefix.
+// lint: alloc_ok(offline reporting, runs after the measured region)
 pub fn convergence_stream(per_run: &[f32]) -> Vec<ConvergencePoint> {
     let mut stats = RunningStats::new();
     let mut points = Vec::with_capacity(per_run.len());
@@ -611,6 +627,7 @@ impl RunTelemetry {
 
     /// Hand-rolled JSON rendering (the workspace's serde is an offline
     /// marker shim), stable enough to diff across runs.
+    // lint: alloc_ok(offline exporter, runs after the measured region)
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         let _ = writeln!(out, "  \"wall_ns\": {},", self.wall_ns);
@@ -654,6 +671,7 @@ impl RunTelemetry {
     }
 }
 
+// lint: alloc_ok(offline report formatting, runs after the measured region)
 fn fmt_ns(ns: u64) -> String {
     if ns >= 1_000_000_000 {
         format!("{:.3} s", ns as f64 / 1e9)

@@ -27,6 +27,8 @@
 //! polynomial (Cephes `expf`, the classic SIMD-friendly formulation) instead
 //! of libm, both so the vector tiers can actually vectorize them and so the
 //! scalar fallback computes the exact same thing.
+//!
+//! lint: no_alloc
 
 use crate::dispatch::{self, KernelTier};
 
@@ -45,12 +47,18 @@ macro_rules! dispatched {
             #[inline(always)]
             #[allow(clippy::too_many_arguments)]
             fn body($($arg: $ty),*) $body
+            // SAFETY: the tier bodies contain no unsafe operations; they
+            // are `unsafe fn` only because `#[target_feature]` makes them
+            // callable solely from a matching-feature context, which the
+            // dispatch below guarantees.
             #[cfg(target_arch = "x86_64")]
             #[target_feature(enable = "avx2")]
             #[allow(clippy::too_many_arguments)]
             unsafe fn body_avx2($($arg: $ty),*) {
                 body($($arg),*)
             }
+            // SAFETY: as for `body_avx2` — no unsafe operations inside;
+            // `unsafe fn` only because of `#[target_feature]`.
             #[cfg(target_arch = "x86_64")]
             #[target_feature(enable = "avx512f", enable = "avx512bw")]
             #[allow(clippy::too_many_arguments)]

@@ -73,7 +73,7 @@ fn main() -> Result<(), NnError> {
         fault,
         &x,
         |out: &Tensor| {
-            if calls.fetch_add(1, Ordering::SeqCst) + 1 >= 6 {
+            if calls.fetch_add(1, Ordering::Relaxed) + 1 >= 6 {
                 token.cancel();
             }
             metric(out)

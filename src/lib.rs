@@ -53,6 +53,9 @@
 //! # }
 //! ```
 
+// This crate must stay free of `unsafe`; all unsafe code in the
+// workspace is confined to `crates/tensor` (lint rule R2).
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub use invnorm_core as core;

@@ -31,24 +31,35 @@ fn thread_allocations() -> usize {
     ALLOCATIONS.with(|c| c.get())
 }
 
+// SAFETY: pure pass-through to `System` plus a thread-local counter bump;
+// every allocator contract (layout fidelity, no unwinding, pointer validity)
+// is inherited unchanged from `System`.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller's layout obligations forwarded verbatim to `System`.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.with(|c| c.set(c.get() + 1));
-        System.alloc(layout)
+        // SAFETY: same contract as the outer call, delegated to `System`.
+        unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: caller's layout obligations forwarded verbatim to `System`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
+        // SAFETY: same contract as the outer call, delegated to `System`.
+        unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: caller's layout obligations forwarded verbatim to `System`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.with(|c| c.set(c.get() + 1));
-        System.realloc(ptr, layout, new_size)
+        // SAFETY: same contract as the outer call, delegated to `System`.
+        unsafe { System.realloc(ptr, layout, new_size) }
     }
 
+    // SAFETY: caller's layout obligations forwarded verbatim to `System`.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.with(|c| c.set(c.get() + 1));
-        System.alloc_zeroed(layout)
+        // SAFETY: same contract as the outer call, delegated to `System`.
+        unsafe { System.alloc_zeroed(layout) }
     }
 }
 

@@ -144,7 +144,7 @@ fn resume_is_bit_identical_on_every_weight_domain_engine() {
                 fault,
                 |n: &mut dyn Layer| {
                     let out = n.forward(&xc, Mode::Eval)?;
-                    if calls.fetch_add(1, Ordering::SeqCst) + 1 >= k {
+                    if calls.fetch_add(1, Ordering::Relaxed) + 1 >= k {
                         token.cancel();
                     }
                     Ok(out.sum())
@@ -166,7 +166,7 @@ fn resume_is_bit_identical_on_every_weight_domain_engine() {
                         fault,
                         |m: &mut Sequential| {
                             let out = m.forward(&x, Mode::Eval)?;
-                            if calls.fetch_add(1, Ordering::SeqCst) + 1 >= k {
+                            if calls.fetch_add(1, Ordering::Relaxed) + 1 >= k {
                                 token.cancel();
                             }
                             Ok(out.sum())
@@ -189,7 +189,7 @@ fn resume_is_bit_identical_on_every_weight_domain_engine() {
                         &x,
                         |out: &Tensor| {
                             let v = out.sum();
-                            if calls.fetch_add(1, Ordering::SeqCst) + 1 >= k {
+                            if calls.fetch_add(1, Ordering::Relaxed) + 1 >= k {
                                 token.cancel();
                             }
                             Ok(v)
@@ -213,7 +213,7 @@ fn resume_is_bit_identical_on_every_weight_domain_engine() {
                         &x,
                         |out: &Tensor| {
                             let v = out.sum();
-                            if calls.fetch_add(1, Ordering::SeqCst) + 1 >= k {
+                            if calls.fetch_add(1, Ordering::Relaxed) + 1 >= k {
                                 token.cancel();
                             }
                             Ok(v)
@@ -236,7 +236,7 @@ fn resume_is_bit_identical_on_every_weight_domain_engine() {
                         &x,
                         |out: &Tensor| {
                             let v = out.sum();
-                            if calls.fetch_add(1, Ordering::SeqCst) + 1 >= k {
+                            if calls.fetch_add(1, Ordering::Relaxed) + 1 >= k {
                                 token.cancel();
                             }
                             Ok(v)
@@ -276,7 +276,7 @@ fn resume_is_bit_identical_on_every_code_domain_engine() {
                     fault,
                     |n: &mut dyn Layer| {
                         let out = n.forward(&xc, Mode::Eval)?;
-                        if calls.fetch_add(1, Ordering::SeqCst) + 1 >= k {
+                        if calls.fetch_add(1, Ordering::Relaxed) + 1 >= k {
                             token.cancel();
                         }
                         Ok(out.sum())
@@ -300,7 +300,7 @@ fn resume_is_bit_identical_on_every_code_domain_engine() {
                         &x,
                         |out: &Tensor| {
                             let v = out.sum();
-                            if calls.fetch_add(1, Ordering::SeqCst) + 1 >= k {
+                            if calls.fetch_add(1, Ordering::Relaxed) + 1 >= k {
                                 token.cancel();
                             }
                             Ok(v)
@@ -324,7 +324,7 @@ fn resume_is_bit_identical_on_every_code_domain_engine() {
                         &x,
                         |out: &Tensor| {
                             let v = out.sum();
-                            if calls.fetch_add(1, Ordering::SeqCst) + 1 >= k {
+                            if calls.fetch_add(1, Ordering::Relaxed) + 1 >= k {
                                 token.cancel();
                             }
                             Ok(v)
@@ -347,7 +347,7 @@ fn resume_is_bit_identical_on_every_code_domain_engine() {
                         &x,
                         |out: &Tensor| {
                             let v = out.sum();
-                            if calls.fetch_add(1, Ordering::SeqCst) + 1 >= k {
+                            if calls.fetch_add(1, Ordering::Relaxed) + 1 >= k {
                                 token.cancel();
                             }
                             Ok(v)
@@ -456,7 +456,7 @@ fn run_auto_supervised_resumes_on_the_checkpointed_engine() {
             &x,
             |out: &Tensor| {
                 let v = out.sum();
-                if calls.fetch_add(1, Ordering::SeqCst) + 1 >= CANCEL_AFTER {
+                if calls.fetch_add(1, Ordering::Relaxed) + 1 >= CANCEL_AFTER {
                     token.cancel();
                 }
                 Ok(v)
@@ -949,7 +949,7 @@ fn telemetry_counts_cancelled_quarantined_and_resumed_runs() {
             &x,
             |out: &Tensor| {
                 let v = out.sum();
-                if calls.fetch_add(1, Ordering::SeqCst) + 1 >= CANCEL_AFTER {
+                if calls.fetch_add(1, Ordering::Relaxed) + 1 >= CANCEL_AFTER {
                     token.cancel();
                 }
                 Ok(v)
